@@ -1,0 +1,109 @@
+//! Experiment E8 — archival and mailing formation.
+//!
+//! Measures §4's formation pipeline: object sizes with archiver pointers
+//! (shared data stored once) vs fully resolved mailed-outside forms, and
+//! the cost of the offset-rebasing fixpoint and pointer resolution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minos_bench::{fast_criterion, row};
+use minos_object::{
+    ArchivedObject, ArchiverRead, CompositionFile, DataKind, DataLocation, DescriptorEntry,
+    DrivingMode, ObjectDescriptor,
+};
+use minos_storage::{Archiver, OpticalDisk, SharedArchiver};
+use minos_types::{ByteSpan, ObjectId};
+
+/// Builds an object sharing `shared_kb` KB of archiver-resident data
+/// (referenced `refs` times) plus `local_kb` KB of local data.
+fn object_with_sharing(shared_span: ByteSpan, refs: usize, local_kb: usize) -> ArchivedObject {
+    let mut composition = CompositionFile::new();
+    let local = vec![0x55u8; local_kb * 1024];
+    let local_span = composition.append("body", &local);
+    let mut entries = vec![DescriptorEntry {
+        tag: "body".into(),
+        kind: DataKind::Text,
+        location: DataLocation::Composition(local_span),
+    }];
+    for i in 0..refs {
+        entries.push(DescriptorEntry {
+            tag: format!("xray-ref-{i}"),
+            kind: DataKind::Image,
+            location: DataLocation::Archiver(shared_span),
+        });
+    }
+    ArchivedObject {
+        descriptor: ObjectDescriptor {
+            object_id: ObjectId::new(1),
+            name: "mailer".into(),
+            driving_mode: DrivingMode::Visual,
+            attributes: vec![],
+            entries,
+        },
+        composition,
+    }
+}
+
+fn print_series() {
+    // Plant 64 KB of shared data in an archiver.
+    let mut archiver = Archiver::new(OpticalDisk::with_capacity(64 << 20));
+    let (record, _) = archiver.store(ObjectId::new(99), &vec![0xAAu8; 64 * 1024]).unwrap();
+    let shared = SharedArchiver::new(archiver);
+
+    row("E8", "object: 16KB local body + N references to 64KB shared archiver data");
+    row("E8", "refs  archived_bytes  mailed_inside  mailed_outside  sharing_saves");
+    for refs in [1usize, 2, 4, 8] {
+        let obj = object_with_sharing(record.span, refs, 16);
+        let archived_len = obj.encode_for_archive(1 << 20).len();
+        let inside_len = obj.mail_inside().len();
+        let outside = obj.mail_outside(&shared).unwrap();
+        let outside_len = outside.mail_inside().len();
+        row(
+            "E8",
+            &format!(
+                "{refs:>4}  {archived_bytes:>14}  {inside_len:>13}  {outside_len:>14}  {saves:>12}",
+                archived_bytes = archived_len,
+                saves = outside_len - inside_len,
+            ),
+        );
+        // Shared data is appended once no matter how many references
+        // (the few extra bytes are re-encoded descriptor varints).
+        let grew = outside_len - inside_len;
+        assert!(
+            (64 * 1024..64 * 1024 + 64).contains(&grew),
+            "refs {refs}: grew {grew}"
+        );
+    }
+    row("E8", "note: mailed-outside grows by exactly one copy of the shared data, independent of refs");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut archiver = Archiver::new(OpticalDisk::with_capacity(64 << 20));
+    let (record, _) = archiver.store(ObjectId::new(99), &vec![0xAAu8; 64 * 1024]).unwrap();
+    let shared = SharedArchiver::new(archiver);
+    let obj = object_with_sharing(record.span, 4, 16);
+
+    let mut group = c.benchmark_group("e8_archival_mailing");
+    group.bench_function("encode_for_archive", |b| {
+        b.iter(|| obj.encode_for_archive(123_456_789))
+    });
+    group.bench_function("decode_from_archive", |b| {
+        let bytes = obj.encode_for_archive(123_456_789);
+        b.iter(|| ArchivedObject::decode_from_archive(&bytes, 123_456_789).unwrap())
+    });
+    group.bench_function("mail_inside", |b| b.iter(|| obj.mail_inside()));
+    group.bench_function("mail_outside_resolve", |b| {
+        b.iter(|| obj.mail_outside(&shared).unwrap())
+    });
+    group.bench_function("archiver_read_span", |b| {
+        b.iter(|| shared.read_span(record.span).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

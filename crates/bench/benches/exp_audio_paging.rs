@@ -1,0 +1,77 @@
+//! Experiment E3 — audio pages.
+//!
+//! "Audio pages … are of approximately constant time length. The user can
+//! advance several voice pages at a time." (§2) The series verifies the
+//! constant-length property on real dictation and shows page jumps cost
+//! the same regardless of distance (they are coordinate arithmetic, not
+//! playback).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minos_bench::{fast_criterion, row};
+use minos_corpus::speech::dictation;
+use minos_voice::pause::PauseDetector;
+use minos_voice::synth::{synthesize, SpeakerProfile};
+use minos_voice::{AudioPages, PlaybackEngine};
+use minos_types::SimDuration;
+
+fn engine() -> PlaybackEngine {
+    let text = dictation(8, 10, 5);
+    let (audio, _) = synthesize(&text, &SpeakerProfile::CLEAR, 2);
+    let pauses = PauseDetector::new().detect(&audio);
+    PlaybackEngine::new(AudioPages::new(audio.duration(), SimDuration::from_secs(20)), pauses)
+}
+
+fn print_series() {
+    let e = engine();
+    let pages = e.pages();
+    row("E3", "dictation paged at 20s; page spans:");
+    let mut all_but_last_constant = true;
+    for i in 0..pages.page_count() {
+        let span = pages.span_of(i).unwrap();
+        if i + 1 < pages.page_count() && span.duration() != SimDuration::from_secs(20) {
+            all_but_last_constant = false;
+        }
+        row("E3", &format!("page {:>2}: {} .. {} ({})", i + 1, span.start, span.end, span.duration()));
+    }
+    row("E3", &format!("constant_length_except_last = {all_but_last_constant}"));
+    row(
+        "E3",
+        &format!(
+            "jump cost is O(1): goto page 2 and goto page {} are the same arithmetic",
+            pages.page_count()
+        ),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e3_audio_paging");
+    for delta in [1i64, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("advance_pages", delta), &delta, |b, &d| {
+            let mut e = engine();
+            b.iter(|| {
+                e.advance_pages(d);
+                e.advance_pages(-d);
+            })
+        });
+    }
+    group.bench_function("tick_one_second", |b| {
+        let mut e = engine();
+        e.play();
+        b.iter(|| {
+            let crossings = e.tick(SimDuration::from_secs(1));
+            if e.state() == minos_voice::PlaybackState::Finished {
+                e.goto_page(0);
+            }
+            crossings
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

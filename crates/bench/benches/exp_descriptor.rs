@@ -1,0 +1,76 @@
+//! Experiment E9 — descriptor-driven navigation.
+//!
+//! "The presentation manager uses the descriptor in order to navigate
+//! through various parts of an object during browsing." (§4) The series
+//! reports descriptor sizes and codec throughput as the part table grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minos_bench::{fast_criterion, row};
+use minos_object::{DataKind, DataLocation, DescriptorEntry, DrivingMode, ObjectDescriptor};
+use minos_types::{ByteSpan, ObjectId};
+
+fn descriptor_with(entries: usize) -> ObjectDescriptor {
+    ObjectDescriptor {
+        object_id: ObjectId::new(7),
+        name: "synthetic".into(),
+        driving_mode: DrivingMode::Visual,
+        attributes: vec![("author".into(), "bench".into())],
+        entries: (0..entries)
+            .map(|i| DescriptorEntry {
+                tag: format!("part-{i}"),
+                kind: match i % 3 {
+                    0 => DataKind::Text,
+                    1 => DataKind::Image,
+                    _ => DataKind::Voice,
+                },
+                location: if i % 4 == 0 {
+                    DataLocation::Archiver(ByteSpan::at(i as u64 * 100_000, 50_000))
+                } else {
+                    DataLocation::Composition(ByteSpan::at(i as u64 * 4_096, 4_096))
+                },
+            })
+            .collect(),
+    }
+}
+
+fn print_series() {
+    row("E9", "entries  encoded_bytes  bytes_per_entry");
+    for n in [4usize, 16, 64, 256, 1_024] {
+        let bytes = descriptor_with(n).encode();
+        row(
+            "E9",
+            &format!("{n:>7}  {:>13}  {:>15.1}", bytes.len(), bytes.len() as f64 / n as f64),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e9_descriptor");
+    for n in [16usize, 256] {
+        let desc = descriptor_with(n);
+        let bytes = desc.encode();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &desc, |b, d| {
+            b.iter(|| d.encode())
+        });
+        group.bench_with_input(BenchmarkId::new("decode", n), &bytes, |b, bytes| {
+            b.iter(|| ObjectDescriptor::decode(bytes).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rebase", n), &desc, |b, d| {
+            b.iter(|| d.rebased_for_archive(1 << 30))
+        });
+        group.bench_with_input(BenchmarkId::new("entry_lookup", n), &desc, |b, d| {
+            let tag = format!("part-{}", n - 1);
+            b.iter(|| d.entry(&tag).unwrap().location.span())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Experiment E10 — text pattern-match browsing throughput.
+//!
+//! "A user types a text pattern … and the system returns the next page
+//! with the occurrence of this pattern." (§2) Compares the BMH access
+//! method against the naive scan baseline and the word index, over growing
+//! documents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minos_bench::{fast_criterion, row};
+use minos_corpus::documents::office_markup;
+use minos_text::search::{naive_find_next, normalize_word};
+use minos_text::{parse_markup, PatternSearcher, WordIndex};
+use std::time::Instant;
+
+fn haystack(chapters: usize) -> Vec<char> {
+    parse_markup(&office_markup(3, chapters, 3, 4)).unwrap().text().chars().collect()
+}
+
+fn print_series() {
+    row("E10", "pattern = 'transparency'; documents of growing size");
+    row("E10", "chars    bmh_all_hits_us  naive_all_hits_us  speedup  hits");
+    for chapters in [2usize, 8, 32] {
+        let hay = haystack(chapters);
+        let searcher = PatternSearcher::new("transparency");
+        let t0 = Instant::now();
+        let hits = searcher.find_all(&hay);
+        let bmh_us = t0.elapsed().as_micros();
+        let t0 = Instant::now();
+        let mut from = 0;
+        let mut naive_hits = 0;
+        while let Some(hit) = naive_find_next(&hay, "transparency", from) {
+            naive_hits += 1;
+            from = hit + 1;
+        }
+        let naive_us = t0.elapsed().as_micros();
+        assert_eq!(hits.len(), naive_hits);
+        row(
+            "E10",
+            &format!(
+                "{:>7}  {bmh_us:>15}  {naive_us:>17}  {:>6.1}x  {:>4}",
+                hay.len(),
+                naive_us as f64 / bmh_us.max(1) as f64,
+                hits.len()
+            ),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e10_pattern_matching");
+    for chapters in [8usize, 32] {
+        let hay = haystack(chapters);
+        group.throughput(Throughput::Elements(hay.len() as u64));
+        group.bench_with_input(BenchmarkId::new("bmh_find_all", hay.len()), &hay, |b, hay| {
+            let searcher = PatternSearcher::new("transparency");
+            b.iter(|| searcher.find_all(hay))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_first", hay.len()), &hay, |b, hay| {
+            b.iter(|| naive_find_next(hay, "transparency", 0))
+        });
+    }
+    // Word-index lookups (the voice-symmetric access method).
+    let doc = parse_markup(&office_markup(3, 16, 3, 4)).unwrap();
+    let index = WordIndex::build(&doc);
+    group.bench_function("word_index_build", |b| b.iter(|| WordIndex::build(&doc)));
+    group.bench_function("word_index_next", |b| {
+        b.iter(|| index.next_occurrence(&normalize_word("transparency"), 10_000))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Experiment E2 — pause detection quality and rewind accuracy.
+//!
+//! Quantifies §2's pause-browsing design across speaker profiles: how many
+//! true gaps the detector finds, how reliably long pauses match paragraph
+//! boundaries, and how far "N short pauses back" lands from "N words back".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minos_bench::{fast_criterion, row};
+use minos_corpus::speech::dictation;
+use minos_voice::eval::{evaluate_pauses, mean_rewind_error};
+use minos_voice::pause::PauseDetector;
+use minos_voice::synth::{synthesize, SpeakerProfile};
+
+fn print_series() {
+    let text = dictation(5, 8, 5);
+    row("E2", "speech: 8 paragraphs x 5 sentences; detector: default config");
+    row("E2", "profile  precision  recall  long_prec  long_recall  rewind_err(n=1)  (n=2)  (n=4)");
+    for (name, profile) in SpeakerProfile::named() {
+        let (audio, transcript) = synthesize(&text, &profile, 11);
+        let pauses = PauseDetector::new().detect(&audio);
+        let r = evaluate_pauses(&transcript, &pauses);
+        let e1 = mean_rewind_error(&transcript, &pauses, 1);
+        let e2 = mean_rewind_error(&transcript, &pauses, 2);
+        let e4 = mean_rewind_error(&transcript, &pauses, 4);
+        row(
+            "E2",
+            &format!(
+                "{name:<7}  {:>9.3}  {:>6.3}  {:>9.3}  {:>11.3}  {e1:>15.2}  {e2:>5.2}  {e4:>5.2}",
+                r.precision, r.recall, r.long_precision, r.long_recall
+            ),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let text = dictation(5, 8, 5);
+    let mut group = c.benchmark_group("e2_pause_detection");
+    for (name, profile) in SpeakerProfile::named() {
+        let (audio, _) = synthesize(&text, &profile, 11);
+        group.bench_with_input(BenchmarkId::new("detect", name), &audio, |b, audio| {
+            b.iter(|| PauseDetector::new().detect(audio))
+        });
+    }
+    group.finish();
+
+    let (audio, _) = synthesize(&text, &SpeakerProfile::CLEAR, 11);
+    let pauses = PauseDetector::new().detect(&audio);
+    let mut rewind_group = c.benchmark_group("e2_rewind");
+    rewind_group.bench_function("rewind_2_short", |b| {
+        let at = minos_types::SimInstant::from_micros(audio.duration().as_micros() / 2);
+        b.iter(|| {
+            minos_voice::pause::rewind_position(&pauses, minos_voice::PauseKind::Short, 2, at)
+        })
+    });
+    rewind_group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Experiment E7 — server queueing delays.
+//!
+//! "Performance may be crucial due to queueing delays that may be
+//! experienced when several users try to access data from the same
+//! device." (§5) The series sweeps concurrent users against the optical
+//! device under FCFS and elevator scheduling, and shows the magnetic-class
+//! cache flattening repeated access.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minos_bench::{fast_criterion, row};
+use minos_storage::sched::mean_response;
+use minos_storage::{
+    simulate_schedule, BlockCache, BlockDevice, MagneticDisk, OpticalDisk, Request, SchedPolicy,
+};
+use minos_types::{ByteSpan, SimInstant};
+
+fn loaded_optical() -> OpticalDisk {
+    let mut d = OpticalDisk::with_capacity(128 << 20);
+    d.append(&vec![0u8; 64 << 20]).unwrap();
+    d
+}
+
+/// `users` users each issuing 4 object reads of 64 KB, arrivals spread over
+/// one second — a busy browsing minute compressed.
+fn workload(users: u64) -> Vec<Request> {
+    (0..users * 4)
+        .map(|i| Request {
+            id: i,
+            arrival: SimInstant::from_micros((i % users) * 1_000_000 / users.max(1)),
+            span: ByteSpan::at((i * 7919 * 8192) % (60 << 20), 64 << 10),
+        })
+        .collect()
+}
+
+fn print_series() {
+    row("E7", "workload: 4 x 64KB reads per user, arrivals within 1s; optical archiver");
+    row("E7", "users  fcfs_mean_response  elevator_mean_response  elevator_gain");
+    for users in [1u64, 2, 4, 8, 16, 32] {
+        let reqs = workload(users);
+        let mut d = loaded_optical();
+        let fcfs = mean_response(&simulate_schedule(&mut d, &reqs, SchedPolicy::Fcfs).unwrap());
+        let mut d = loaded_optical();
+        let elevator =
+            mean_response(&simulate_schedule(&mut d, &reqs, SchedPolicy::Elevator).unwrap());
+        row(
+            "E7",
+            &format!(
+                "{users:>5}  {fcfs:>18}  {elevator:>22}  {:>12.2}x",
+                fcfs.as_secs_f64() / elevator.as_secs_f64().max(1e-9)
+            ),
+        );
+    }
+
+    // Cache configuration: hot-set rereads through a memory cache vs raw
+    // optical access (the magnetic-staging effect).
+    row("E7", "cache: 32 x 64KB blocks; hot set of 8 objects reread 10 times");
+    let mut raw = loaded_optical();
+    let mut raw_total = minos_types::SimDuration::ZERO;
+    for round in 0..10u64 {
+        for i in 0..8u64 {
+            let span = ByteSpan::at(i * (1 << 20), 64 << 10);
+            let (_, t) = raw.read_at(span).unwrap();
+            raw_total += t;
+            let _ = round;
+        }
+    }
+    let mut cached = BlockCache::new(loaded_optical(), 64 << 10, 32);
+    let mut cached_total = minos_types::SimDuration::ZERO;
+    for _ in 0..10u64 {
+        for i in 0..8u64 {
+            let span = ByteSpan::at(i * (1 << 20), 64 << 10);
+            let (_, t) = cached.read_at(span).unwrap();
+            cached_total += t;
+        }
+    }
+    row(
+        "E7",
+        &format!(
+            "uncached_total {raw_total}  cached_total {cached_total}  hit_ratio {:.2}  speedup {:.1}x",
+            cached.hit_ratio(),
+            raw_total.as_secs_f64() / cached_total.as_secs_f64().max(1e-9)
+        ),
+    );
+
+    // Magnetic vs optical single-stream baseline.
+    let mut m = MagneticDisk::with_capacity(128 << 20);
+    m.append(&vec![0u8; 64 << 20]).unwrap();
+    let (_, tm) = m.read_at(ByteSpan::at(10 << 20, 256 << 10)).unwrap();
+    let mut o = loaded_optical();
+    let (_, to) = o.read_at(ByteSpan::at(10 << 20, 256 << 10)).unwrap();
+    row("E7", &format!("single 256KB read: magnetic {tm}  optical {to}"));
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e7_schedule_simulation");
+    for users in [8u64, 32] {
+        let reqs = workload(users);
+        group.bench_with_input(BenchmarkId::new("fcfs", users), &reqs, |b, reqs| {
+            b.iter(|| {
+                let mut d = loaded_optical();
+                simulate_schedule(&mut d, reqs, SchedPolicy::Fcfs).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("elevator", users), &reqs, |b, reqs| {
+            b.iter(|| {
+                let mut d = loaded_optical();
+                simulate_schedule(&mut d, reqs, SchedPolicy::Elevator).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Experiment E1 — symmetric browsing cost.
+//!
+//! The same command script drives a text twin and a voice twin of the same
+//! content; the series reports that both accept the full vocabulary and
+//! Criterion compares the per-command cost in each medium.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minos_bench::{fast_criterion, row};
+use minos_corpus::speech::dictation;
+use minos_object::{DrivingMode, MultimediaObject, VoiceSegment};
+use minos_presentation::{BrowseCommand, BrowsingSession};
+use minos_text::{LogicalLevel, PaginateConfig};
+use minos_types::{ObjectId, SimDuration};
+use minos_voice::recognize::{Recognizer, RecognizerConfig};
+use minos_voice::synth::SpeakerProfile;
+use std::collections::HashMap;
+
+fn twins() -> HashMap<ObjectId, MultimediaObject> {
+    let source = dictation(3, 6, 5);
+    let markup: String = source.split('\n').map(|p| format!(".pp\n{p}\n")).collect();
+    let mut visual = MultimediaObject::new(ObjectId::new(1), "text-twin", DrivingMode::Visual);
+    visual.text_segments.push(minos_text::parse_markup(&markup).unwrap());
+    visual.archive().unwrap();
+
+    let vocab: Vec<String> =
+        source.split_whitespace().map(|w| w.trim_end_matches('.').to_string()).collect();
+    let recognizer = Recognizer::new(
+        vocab.iter(),
+        RecognizerConfig { hit_rate: 1.0, false_alarm_rate: 0.0, seed: 1 },
+    );
+    let mut audio = MultimediaObject::new(ObjectId::new(2), "voice-twin", DrivingMode::Audio);
+    audio.voice_segments.push(
+        VoiceSegment::dictate(&source, &SpeakerProfile::CLEAR, 1)
+            .with_marks(&[LogicalLevel::Paragraph, LogicalLevel::Sentence])
+            .with_recognition(&recognizer),
+    );
+    audio.archive().unwrap();
+
+    let mut store = HashMap::new();
+    store.insert(visual.id, visual);
+    store.insert(audio.id, audio);
+    store
+}
+
+fn script() -> Vec<BrowseCommand> {
+    vec![
+        BrowseCommand::NextPage,
+        BrowseCommand::NextUnit(LogicalLevel::Paragraph),
+        BrowseCommand::FindPattern("multimedia".into()),
+        BrowseCommand::PreviousUnit(LogicalLevel::Paragraph),
+        BrowseCommand::AdvancePages(2),
+        BrowseCommand::PreviousPage,
+    ]
+}
+
+fn run_script(store: HashMap<ObjectId, MultimediaObject>, id: u64) -> usize {
+    let (mut session, _) = BrowsingSession::open(
+        store,
+        ObjectId::new(id),
+        PaginateConfig::default(),
+        SimDuration::from_secs(10),
+    )
+    .unwrap();
+    let mut events = 0;
+    for cmd in script() {
+        events += session.apply(cmd).map(|e| e.len()).unwrap_or(0);
+    }
+    events
+}
+
+fn print_series() {
+    row("E1", "identical 6-command script on the text twin and the voice twin");
+    let v_events = run_script(twins(), 1);
+    let a_events = run_script(twins(), 2);
+    row("E1", &format!("visual twin: all commands accepted, {v_events} events"));
+    row("E1", &format!("audio twin:  all commands accepted, {a_events} events"));
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e1_symmetric_script");
+    group.bench_function("visual_twin", |b| b.iter(|| run_script(twins(), 1)));
+    group.bench_function("audio_twin", |b| b.iter(|| run_script(twins(), 2)));
+    // Session opening cost per mode (pagination vs pause detection reuse).
+    group.bench_function("open_visual", |b| {
+        b.iter(|| {
+            BrowsingSession::open(
+                twins(),
+                ObjectId::new(1),
+                PaginateConfig::default(),
+                SimDuration::from_secs(10),
+            )
+            .unwrap()
+            .0
+            .depth()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Experiment E4 — recognition-based voice content addressability.
+//!
+//! "Voice recognition (even limitted) is used to reduce (or eliminate) the
+//! need for manual indexing … recognized uterences are associated with a
+//! particular point of the object voice part in order to facilitate
+//! browsing within an object." (§2) The series sweeps the recognizer's
+//! quality knobs and reports how much of the spoken content pattern
+//! browsing can reach, and how precise retrieval stays as false alarms
+//! grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minos_bench::{fast_criterion, row};
+use minos_corpus::speech::dictation;
+use minos_text::search::normalize_word;
+use minos_voice::recognize::{Recognizer, RecognizerConfig, UtteranceIndex};
+use minos_voice::synth::{synthesize, SpeakerProfile};
+
+fn print_series() {
+    let text = dictation(4, 6, 6);
+    let (_, transcript) = synthesize(&text, &SpeakerProfile::CLEAR, 5);
+    let vocabulary: Vec<String> =
+        transcript.words.iter().map(|w| normalize_word(&w.text)).collect();
+    let total_words = transcript.words.len();
+
+    row("E4", "dictation: 6 paragraphs x 6 sentences; full-content vocabulary");
+    row("E4", "hit_rate  false_alarms  indexed_utts  reach_recall  position_precision");
+    for (hit_rate, false_alarm_rate) in
+        [(0.25, 0.0), (0.5, 0.0), (0.75, 0.0), (0.9, 0.02), (1.0, 0.0), (0.9, 0.2)]
+    {
+        let recognizer = Recognizer::new(
+            vocabulary.iter(),
+            RecognizerConfig { hit_rate, false_alarm_rate, seed: 3 },
+        );
+        let utterances = recognizer.recognize(&transcript);
+        let indexed = utterances.len();
+        // Position precision: fraction of indexed utterances whose word
+        // really was spoken at that instant.
+        let correct = utterances
+            .iter()
+            .filter(|u| {
+                transcript
+                    .words
+                    .iter()
+                    .any(|w| w.span.start == u.at && normalize_word(&w.text) == u.word)
+            })
+            .count();
+        row(
+            "E4",
+            &format!(
+                "{hit_rate:>8.2}  {false_alarm_rate:>12.2}  {indexed:>12}  {:>12.3}  {:>18.3}",
+                indexed.min(total_words) as f64 / total_words as f64,
+                if indexed == 0 { 1.0 } else { correct as f64 / indexed as f64 }
+            ),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let text = dictation(4, 6, 6);
+    let (_, transcript) = synthesize(&text, &SpeakerProfile::CLEAR, 5);
+    let vocabulary: Vec<String> =
+        transcript.words.iter().map(|w| normalize_word(&w.text)).collect();
+
+    let mut group = c.benchmark_group("e4_voice_indexing");
+    for hit_rate in [0.5f64, 1.0] {
+        let recognizer = Recognizer::new(
+            vocabulary.iter(),
+            RecognizerConfig { hit_rate, false_alarm_rate: 0.02, seed: 3 },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recognize", format!("{hit_rate}")),
+            &transcript,
+            |b, tr| b.iter(|| recognizer.recognize(tr)),
+        );
+    }
+    let recognizer = Recognizer::new(
+        vocabulary.iter(),
+        RecognizerConfig { hit_rate: 0.9, false_alarm_rate: 0.02, seed: 3 },
+    );
+    let index = UtteranceIndex::new(recognizer.recognize(&transcript));
+    group.bench_function("next_occurrence", |b| {
+        b.iter(|| index.next_occurrence("multimedia", minos_types::SimInstant::EPOCH))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

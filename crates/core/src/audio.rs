@@ -1,0 +1,402 @@
+//! The audio-mode browsing engine.
+//!
+//! The symmetric counterpart of [`crate::visual`]: canonical state is a
+//! time position in the object's voice segment, driven by the simulated
+//! clock. Page commands act on audio pages; logical commands on the manual
+//! voice marks; pattern commands on the recognized utterances ("the same
+//! access methods as in text", §2); and the voice-specific commands —
+//! interrupt, resume, resume-from-page-start, pause rewind — realize the
+//! browsing-near-the-context the paper designs for unedited dictation.
+//!
+//! Visual logical messages anchored to voice spans are *active* while the
+//! position is inside the span ("the visual logical message will stay on
+//! display for the duration of the play of each voice segment to which it
+//! is attached", §2); voice messages anchored to voice positions fire on
+//! entry.
+
+use crate::command::BrowseEvent;
+use minos_object::{Anchor, MessageBody, MultimediaObject};
+use minos_text::LogicalLevel;
+use minos_types::{MinosError, PageNumber, Result, SimDuration, SimInstant, TimeSpan};
+use minos_voice::recognize::UtteranceIndex;
+use minos_voice::{AudioPages, PauseKind, PlaybackEngine, PlaybackState, VoiceMarks};
+use std::collections::HashSet;
+
+/// The audio-mode engine for one voice segment of an object.
+#[derive(Clone, Debug)]
+pub struct AudioEngine {
+    playback: PlaybackEngine,
+    marks: VoiceMarks,
+    utterances: UtteranceIndex,
+    /// (message index, anchor span) of visual messages on this segment.
+    visual_anchors: Vec<(usize, TimeSpan)>,
+    /// (message index, anchor span/point) of voice messages.
+    voice_anchors: Vec<(usize, TimeSpan)>,
+    inside_voice: HashSet<usize>,
+    active_visual: Option<usize>,
+}
+
+impl AudioEngine {
+    /// Builds the engine for `object`'s voice segment `segment`, with
+    /// audio pages of `page_len`.
+    pub fn new(object: &MultimediaObject, segment: usize, page_len: SimDuration) -> Result<Self> {
+        let vs = object
+            .voice_segments
+            .get(segment)
+            .ok_or_else(|| MinosError::UnknownComponent(format!("voice segment {segment}")))?;
+        let pages = AudioPages::new(vs.duration(), page_len);
+        let playback = PlaybackEngine::new(pages, vs.pauses.clone());
+
+        let mut visual_anchors = Vec::new();
+        let mut voice_anchors = Vec::new();
+        for (i, message) in object.messages.iter().enumerate() {
+            let span = match message.anchor {
+                Anchor::VoiceSegment { segment: s, span } if s == segment => span,
+                Anchor::VoicePoint { segment: s, at } if s == segment => {
+                    // A point anchors the short stretch after it.
+                    TimeSpan::starting_at(at, SimDuration::from_millis(1))
+                }
+                _ => continue,
+            };
+            match &message.body {
+                MessageBody::Visual { .. } => visual_anchors.push((i, span)),
+                MessageBody::Voice { .. } => voice_anchors.push((i, span)),
+            }
+        }
+        Ok(AudioEngine {
+            playback,
+            marks: vs.marks.clone(),
+            utterances: UtteranceIndex::new(vs.utterances.clone()),
+            visual_anchors,
+            voice_anchors,
+            inside_voice: HashSet::new(),
+            active_visual: None,
+        })
+    }
+
+    /// Current position within the voice part.
+    pub fn position(&self) -> SimInstant {
+        self.playback.position()
+    }
+
+    /// Current playback state.
+    pub fn state(&self) -> PlaybackState {
+        self.playback.state()
+    }
+
+    /// Current audio page (0-based).
+    pub fn current_page(&self) -> Option<usize> {
+        self.playback.current_page()
+    }
+
+    /// Number of audio pages.
+    pub fn page_count(&self) -> usize {
+        self.playback.pages().page_count()
+    }
+
+    /// The visual message currently on display, if any.
+    pub fn active_visual_message(&self) -> Option<usize> {
+        self.active_visual
+    }
+
+    /// Logical levels available (identified marks only).
+    pub fn available_levels(&self) -> Vec<LogicalLevel> {
+        self.marks.available_levels()
+    }
+
+    /// Recomputes message activations after a position change, emitting
+    /// transition events.
+    fn refresh_messages(&mut self, events: &mut Vec<BrowseEvent>) {
+        let t = self.playback.position();
+        // Voice messages fire when playback first enters their anchor
+        // (point anchors: at or after the point, before re-arming on exit).
+        for &(message, span) in &self.voice_anchors {
+            let inside = span.contains(t)
+                || (span.duration() <= SimDuration::from_millis(1) && t >= span.start);
+            if inside && self.inside_voice.insert(message) {
+                events.push(BrowseEvent::VoiceMessagePlayed(message));
+            } else if !inside && span.duration() > SimDuration::from_millis(1) {
+                self.inside_voice.remove(&message);
+            }
+        }
+        // Visual messages stay on display while inside their span.
+        let now = self
+            .visual_anchors
+            .iter()
+            .find(|(_, span)| span.contains(t))
+            .map(|&(m, _)| m);
+        if now != self.active_visual {
+            if now.is_none() {
+                events.push(BrowseEvent::VisualMessageUnpinned);
+            }
+            if let Some(m) = now {
+                events.push(BrowseEvent::VisualMessagePinned(m));
+            }
+            self.active_visual = now;
+        }
+    }
+
+    fn report_position(&mut self) -> Vec<BrowseEvent> {
+        let mut events = Vec::new();
+        self.refresh_messages(&mut events);
+        events.push(BrowseEvent::VoicePosition(self.playback.position()));
+        if let Some(p) = self.current_page() {
+            events.push(BrowseEvent::PageShown(p));
+        }
+        events
+    }
+
+    /// Starts playback from the beginning.
+    pub fn open(&mut self) -> Vec<BrowseEvent> {
+        self.playback.play();
+        self.report_position()
+    }
+
+    /// Advances playback by `dt` of simulated time; reports page crossings
+    /// (speech is not interrupted at page ends), message transitions, and
+    /// the end of the part.
+    pub fn tick(&mut self, dt: SimDuration) -> Vec<BrowseEvent> {
+        let crossings = self.playback.tick(dt);
+        let mut events: Vec<BrowseEvent> =
+            crossings.iter().map(|c| BrowseEvent::CrossedIntoPage(c.to)).collect();
+        self.refresh_messages(&mut events);
+        if self.playback.state() == PlaybackState::Finished {
+            events.push(BrowseEvent::PlaybackFinished);
+        }
+        events
+    }
+
+    /// Interrupts the voice output.
+    pub fn interrupt(&mut self) -> Vec<BrowseEvent> {
+        self.playback.interrupt();
+        vec![BrowseEvent::VoicePosition(self.playback.position())]
+    }
+
+    /// Resumes from the current position.
+    pub fn resume(&mut self) -> Vec<BrowseEvent> {
+        self.playback.play();
+        self.report_position()
+    }
+
+    /// Resumes from the beginning of the current voice page.
+    pub fn resume_page_start(&mut self) -> Vec<BrowseEvent> {
+        self.playback.resume_page_start();
+        self.report_position()
+    }
+
+    /// Replays from `n` `kind` pauses back.
+    pub fn rewind_pauses(&mut self, kind: PauseKind, n: usize) -> Vec<BrowseEvent> {
+        self.playback.rewind_pauses(kind, n);
+        self.report_position()
+    }
+
+    /// Next audio page.
+    pub fn next_page(&mut self) -> Vec<BrowseEvent> {
+        self.playback.next_page();
+        self.report_position()
+    }
+
+    /// Previous audio page.
+    pub fn previous_page(&mut self) -> Vec<BrowseEvent> {
+        self.playback.previous_page();
+        self.report_position()
+    }
+
+    /// Advance several audio pages forth or back.
+    pub fn advance_pages(&mut self, delta: i64) -> Vec<BrowseEvent> {
+        self.playback.advance_pages(delta);
+        self.report_position()
+    }
+
+    /// Jump to an audio page by number.
+    pub fn goto_page(&mut self, page: PageNumber) -> Vec<BrowseEvent> {
+        self.playback.goto_page_number(page);
+        self.report_position()
+    }
+
+    /// Hear the page with the next start of a logical unit.
+    pub fn next_unit(&mut self, level: LogicalLevel) -> Vec<BrowseEvent> {
+        match self.marks.next_start_after(level, self.playback.position()) {
+            Some(start) => {
+                self.playback.seek(start);
+                self.playback.play();
+                self.report_position()
+            }
+            None => vec![BrowseEvent::VoicePosition(self.playback.position())],
+        }
+    }
+
+    /// Hear the page with the previous start of a logical unit.
+    pub fn previous_unit(&mut self, level: LogicalLevel) -> Vec<BrowseEvent> {
+        match self.marks.prev_start_before(level, self.playback.position()) {
+            Some(start) => {
+                self.playback.seek(start);
+                self.playback.play();
+                self.report_position()
+            }
+            None => vec![BrowseEvent::VoicePosition(self.playback.position())],
+        }
+    }
+
+    /// Pattern-match browsing over recognized utterances: seeks to the
+    /// next occurrence of the (spoken or typed) pattern word.
+    pub fn find_pattern(&mut self, pattern: &str) -> Vec<BrowseEvent> {
+        match self.utterances.next_occurrence(pattern, self.playback.position()) {
+            Some(at) => {
+                self.playback.seek(at);
+                self.playback.play();
+                let mut events = self.report_position();
+                let page = self.current_page().unwrap_or(0);
+                events.push(BrowseEvent::PatternFound { page });
+                events
+            }
+            None => vec![BrowseEvent::PatternNotFound],
+        }
+    }
+
+    /// Seeks to an absolute position (relevance targets).
+    pub fn seek(&mut self, to: SimInstant) -> Vec<BrowseEvent> {
+        self.playback.seek(to);
+        self.report_position()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_corpus::audio_xray_report;
+    use minos_types::ObjectId;
+
+    fn engine() -> (minos_object::MultimediaObject, AudioEngine) {
+        let obj = audio_xray_report(ObjectId::new(1), 7);
+        let engine = AudioEngine::new(&obj, 0, SimDuration::from_secs(5)).unwrap();
+        (obj, engine)
+    }
+
+    #[test]
+    fn open_starts_playing_at_zero() {
+        let (_, mut e) = engine();
+        let events = e.open();
+        assert_eq!(e.state(), PlaybackState::Playing);
+        assert!(events.contains(&BrowseEvent::VoicePosition(SimInstant::EPOCH)));
+        assert!(e.page_count() >= 2, "dictation should span several audio pages");
+    }
+
+    #[test]
+    fn ticking_crosses_pages_and_finishes() {
+        let (_, mut e) = engine();
+        e.open();
+        let events = e.tick(SimDuration::from_secs(6));
+        assert!(events.iter().any(|ev| matches!(ev, BrowseEvent::CrossedIntoPage(1))));
+        let events = e.tick(SimDuration::from_secs(500));
+        assert!(events.contains(&BrowseEvent::PlaybackFinished));
+    }
+
+    #[test]
+    fn xray_appears_during_finding_paragraph_only() {
+        let (obj, mut e) = engine();
+        e.open();
+        let finding_start = obj.voice_segments[0].transcript.paragraph_starts[1];
+        // Before the finding: no visual message.
+        assert_eq!(e.active_visual_message(), None);
+        let events = e.seek(finding_start + SimDuration::from_millis(10));
+        assert!(
+            events.contains(&BrowseEvent::VisualMessagePinned(0)),
+            "x-ray not shown: {events:?}"
+        );
+        assert_eq!(e.active_visual_message(), Some(0));
+        // After the finding paragraph: removed.
+        let para3 = obj.voice_segments[0].transcript.paragraph_starts[2];
+        let events = e.seek(para3 + SimDuration::from_millis(10));
+        assert!(events.contains(&BrowseEvent::VisualMessageUnpinned));
+        assert_eq!(e.active_visual_message(), None);
+    }
+
+    #[test]
+    fn branching_into_the_finding_also_shows_it() {
+        // "if the user during his browsing branches at some section of the
+        // speech which relates to the x-ray, the x-ray will automatically
+        // be displayed" (§3).
+        let (obj, mut e) = engine();
+        e.open();
+        let finding = obj.voice_segments[0].transcript.paragraph_starts[1];
+        e.goto_page(PageNumber::FIRST);
+        let events = e.seek(finding + SimDuration::from_millis(5));
+        assert!(events.contains(&BrowseEvent::VisualMessagePinned(0)));
+    }
+
+    #[test]
+    fn interrupt_resume_and_page_restart() {
+        let (_, mut e) = engine();
+        e.open();
+        e.tick(SimDuration::from_secs(7));
+        e.interrupt();
+        assert_eq!(e.state(), PlaybackState::Interrupted);
+        let pos = e.position();
+        e.resume();
+        assert_eq!(e.state(), PlaybackState::Playing);
+        assert_eq!(e.position(), pos);
+        e.resume_page_start();
+        assert_eq!(e.position(), SimInstant::EPOCH + SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn pause_rewind_moves_backwards() {
+        let (_, mut e) = engine();
+        e.open();
+        e.tick(SimDuration::from_secs(8));
+        let before = e.position();
+        e.rewind_pauses(PauseKind::Short, 2);
+        assert!(e.position() < before);
+    }
+
+    #[test]
+    fn logical_browsing_uses_marks() {
+        let (obj, mut e) = engine();
+        e.open();
+        let events = e.next_unit(LogicalLevel::Paragraph);
+        let para2 = obj.voice_segments[0].transcript.paragraph_starts[1];
+        assert_eq!(e.position(), para2);
+        assert!(events.iter().any(|ev| matches!(ev, BrowseEvent::VoicePosition(_))));
+        e.previous_unit(LogicalLevel::Paragraph);
+        assert_eq!(e.position(), obj.voice_segments[0].transcript.paragraph_starts[0]);
+        assert!(e.available_levels().contains(&LogicalLevel::Sentence));
+    }
+
+    #[test]
+    fn pattern_browsing_seeks_recognized_utterances() {
+        let (obj, mut e) = engine();
+        e.open();
+        let events = e.find_pattern("shadow");
+        match events.iter().find(|ev| matches!(ev, BrowseEvent::PatternFound { .. })) {
+            Some(_) => {
+                // Landed on a recognized "shadow" utterance.
+                let seg = &obj.voice_segments[0];
+                assert!(seg.utterances.iter().any(|u| u.at == e.position()));
+            }
+            None => panic!("pattern not found: {events:?}"),
+        }
+        // Unknown pattern.
+        assert_eq!(e.find_pattern("zebra"), vec![BrowseEvent::PatternNotFound]);
+    }
+
+    #[test]
+    fn page_navigation_is_symmetric_with_text() {
+        let (_, mut e) = engine();
+        e.open();
+        e.next_page();
+        assert_eq!(e.current_page(), Some(1));
+        e.advance_pages(2);
+        assert_eq!(e.current_page(), Some(3));
+        e.previous_page();
+        assert_eq!(e.current_page(), Some(2));
+        e.goto_page(PageNumber::FIRST);
+        assert_eq!(e.current_page(), Some(0));
+    }
+
+    #[test]
+    fn missing_segment_is_an_error() {
+        let obj = audio_xray_report(ObjectId::new(2), 1);
+        assert!(AudioEngine::new(&obj, 3, SimDuration::from_secs(5)).is_err());
+    }
+}

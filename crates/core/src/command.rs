@@ -1,0 +1,100 @@
+//! The symmetric browsing vocabulary.
+//!
+//! The same [`BrowseCommand`]s drive visual-mode and audio-mode objects:
+//! page navigation acts on visual pages or audio pages according to the
+//! object's driving mode ("Next page in those objects implies the next
+//! audio page", §2); logical and pattern browsing act on the logical tree
+//! or the voice marks / recognized utterances. Voice adds realizations that
+//! have no visual counterpart (interrupt/resume, pause rewind) and these
+//! are rejected on visual objects — the menu never offers them there.
+
+use minos_text::LogicalLevel;
+use minos_types::{ObjectId, PageNumber, SimInstant};
+use minos_voice::PauseKind;
+
+/// A browsing command, as selected from the menu.
+#[derive(Clone, PartialEq, Debug)]
+pub enum BrowseCommand {
+    /// Turn to the next page (visual or audio per driving mode).
+    NextPage,
+    /// Turn to the previous page.
+    PreviousPage,
+    /// Advance a number of pages forth (positive) or back (negative).
+    AdvancePages(i64),
+    /// Jump to a page by number.
+    GotoPage(PageNumber),
+    /// Move to the page with the next start of a logical unit.
+    NextUnit(LogicalLevel),
+    /// Move to the page with the previous start of a logical unit.
+    PreviousUnit(LogicalLevel),
+    /// Move to the next occurrence of a pattern (typed text, or a spoken
+    /// pattern matched against recognized utterances).
+    FindPattern(String),
+    /// Interrupt the voice output (audio mode only).
+    Interrupt,
+    /// Resume the voice output from the current position (audio mode
+    /// only).
+    Resume,
+    /// Resume from the beginning of the current voice page (audio mode
+    /// only).
+    ResumePageStart,
+    /// Replay from `n` short/long pauses back (audio mode only).
+    RewindPauses(PauseKind, usize),
+    /// Select the `n`-th currently visible relevant object indicator.
+    SelectRelevant(usize),
+    /// Return from the current relevant object to its parent.
+    ReturnFromRelevant,
+}
+
+/// What happened as a result of a command (or of simulated time passing).
+#[derive(Clone, PartialEq, Debug)]
+pub enum BrowseEvent {
+    /// A (0-based) page is now presented.
+    PageShown(usize),
+    /// A voice logical message started playing (message index in the
+    /// object's message table).
+    VoiceMessagePlayed(usize),
+    /// A visual logical message is now pinned to the top of the display.
+    VisualMessagePinned(usize),
+    /// The pinned visual logical message was removed.
+    VisualMessageUnpinned,
+    /// A pattern search landed on this position.
+    PatternFound {
+        /// The page now shown.
+        page: usize,
+    },
+    /// A pattern search found nothing ahead of the current position.
+    PatternNotFound,
+    /// Browsing entered a relevant object.
+    EnteredRelevant(ObjectId),
+    /// Browsing returned to the parent object.
+    ReturnedToParent(ObjectId),
+    /// Voice playback reached the end of the voice part.
+    PlaybackFinished,
+    /// Voice playback crossed into an audio page (uninterrupted).
+    CrossedIntoPage(usize),
+    /// Voice playback position (reported after seeks, for tests and UIs).
+    VoicePosition(SimInstant),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_are_comparable_and_cloneable() {
+        let a = BrowseCommand::FindPattern("shadow".into());
+        assert_eq!(a.clone(), a);
+        assert_ne!(a, BrowseCommand::NextPage);
+        assert_ne!(
+            BrowseCommand::RewindPauses(PauseKind::Short, 1),
+            BrowseCommand::RewindPauses(PauseKind::Long, 1)
+        );
+    }
+
+    #[test]
+    fn events_are_comparable() {
+        assert_eq!(BrowseEvent::PageShown(3), BrowseEvent::PageShown(3));
+        assert_ne!(BrowseEvent::PageShown(3), BrowseEvent::PageShown(4));
+    }
+}

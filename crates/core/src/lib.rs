@@ -1,0 +1,44 @@
+//! The multimedia object presentation manager — the paper's primary
+//! contribution.
+//!
+//! "The presentation manager provides functions for effective multimedia
+//! information presentation and browsing. … In addition the presentation
+//! manager presents a symmetric functionality for presentation of text and
+//! voice information." (§1)
+//!
+//! * [`command`] — the symmetric browsing command vocabulary and the
+//!   events browsing emits;
+//! * [`visual`] — the visual-mode engine: visual pages, logical and
+//!   pattern browsing, pinned visual logical messages (Figures 3–4);
+//! * [`audio`] — the audio-mode engine: audio pages, pause rewind,
+//!   recognized-utterance pattern browsing, voice-anchored messages;
+//! * [`session`] — the browsing session: driving-mode dispatch, menu
+//!   derivation, relevant-object navigation with mode restore;
+//! * [`transparency`] — transparency-set presentation (Figures 5–8);
+//! * [`process`] — process simulation with audio-gated page turns
+//!   (Figures 9–10);
+//! * [`remote`] — the workstation side of the server protocol: remote
+//!   views, miniature browsing, transfer accounting.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod audio;
+pub mod command;
+pub mod compose;
+pub mod process;
+pub mod remote;
+pub mod session;
+pub mod tour;
+pub mod transparency;
+pub mod visual;
+
+pub use audio::AudioEngine;
+pub use compose::{compose_screen, resolve_figure};
+pub use command::{BrowseCommand, BrowseEvent};
+pub use process::{ProcessRunner, ProcessState};
+pub use remote::{MiniatureBrowser, ServerEndpoint, Workstation};
+pub use session::{BrowsingSession, ObjectStore};
+pub use tour::{TourEvent, TourRunner};
+pub use transparency::TransparencyViewer;
+pub use visual::{VisualEngine, VisualView};

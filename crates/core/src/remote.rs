@@ -1,0 +1,442 @@
+//! The workstation side of the architecture.
+//!
+//! "The multimedia object presentation manager resides in the user's
+//! workstation and requests the appropriate pieces of information from the
+//! multimedia object server subsystems." (§5)
+//!
+//! A [`Workstation`] wraps a server endpoint behind a link model and
+//! accounts for every simulated microsecond and byte: request transfer,
+//! server device time, response transfer. Experiments E5 (views vs whole
+//! images) and E6 (miniature-first browsing) read their numbers from here.
+
+use minos_image::{Bitmap, View};
+use minos_net::{Link, ServerRequest, ServerResponse};
+use minos_object::{ArchivedObject, DataKind, DataPayload};
+use minos_server::ObjectServer;
+use minos_types::{MinosError, ObjectId, Rect, Result, SimClock, SimDuration, Size};
+
+/// Anything that can answer protocol requests with a device-time charge.
+pub trait ServerEndpoint {
+    /// Handles one request.
+    fn handle(&mut self, request: &ServerRequest) -> (ServerResponse, SimDuration);
+}
+
+impl ServerEndpoint for ObjectServer {
+    fn handle(&mut self, request: &ServerRequest) -> (ServerResponse, SimDuration) {
+        ObjectServer::handle(self, request)
+    }
+}
+
+/// The workstation: a server endpoint reached over a link, with full time
+/// and transfer accounting.
+pub struct Workstation<E: ServerEndpoint> {
+    endpoint: E,
+    link: Link,
+    clock: SimClock,
+}
+
+impl<E: ServerEndpoint> Workstation<E> {
+    /// Connects a workstation to `endpoint` over `link`.
+    pub fn new(endpoint: E, link: Link) -> Self {
+        Workstation { endpoint, link, clock: SimClock::new() }
+    }
+
+    /// Total simulated time spent so far.
+    pub fn elapsed(&self) -> SimDuration {
+        self.clock.now().since(minos_types::SimInstant::EPOCH)
+    }
+
+    /// Payload bytes moved over the link so far.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.link.stats().bytes
+    }
+
+    /// Resets the accounting (between experiment configurations).
+    pub fn reset_accounting(&mut self) {
+        self.link.reset_stats();
+        self.clock = SimClock::new();
+    }
+
+    /// The wrapped endpoint.
+    pub fn endpoint_mut(&mut self) -> &mut E {
+        &mut self.endpoint
+    }
+
+    /// Issues one request, charging request transfer + server device time
+    /// + response transfer, and surfacing server-side errors.
+    pub fn request(&mut self, request: &ServerRequest) -> Result<ServerResponse> {
+        let up = self.link.transfer(request.wire_size());
+        self.clock.advance(up);
+        let (response, device_time) = self.endpoint.handle(request);
+        self.clock.advance(device_time);
+        let down = self.link.transfer(response.wire_size());
+        self.clock.advance(down);
+        if let ServerResponse::Error(message) = response {
+            return Err(MinosError::Protocol(message));
+        }
+        Ok(response)
+    }
+
+    /// Fetches the whole archived object (descriptor + composition),
+    /// decoding it against its archive base.
+    pub fn fetch_object(&mut self, id: ObjectId, archive_base: u64) -> Result<ArchivedObject> {
+        match self.request(&ServerRequest::FetchObject { id })? {
+            ServerResponse::Object(bytes) => {
+                ArchivedObject::decode_from_archive(&bytes, archive_base)
+            }
+            other => Err(MinosError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetches the window of an image through a view — only the window's
+    /// bytes cross the link.
+    pub fn fetch_view(&mut self, id: ObjectId, image: usize, rect: Rect) -> Result<Bitmap> {
+        match self.request(&ServerRequest::FetchView { id, tag: image.to_string(), rect })? {
+            ServerResponse::View(bytes) => {
+                DataPayload { kind: DataKind::Image, bytes }.as_image()
+            }
+            other => Err(MinosError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetches an object's miniature.
+    pub fn fetch_miniature(&mut self, id: ObjectId) -> Result<Bitmap> {
+        match self.request(&ServerRequest::FetchMiniature { id })? {
+            ServerResponse::Miniature(bytes) => {
+                DataPayload { kind: DataKind::Image, bytes }.as_image()
+            }
+            other => Err(MinosError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Evaluates a content query on the server.
+    pub fn query(&mut self, keywords: &[&str]) -> Result<Vec<ObjectId>> {
+        let request =
+            ServerRequest::Query { keywords: keywords.iter().map(|s| s.to_string()).collect() };
+        match self.request(&request)? {
+            ServerResponse::Hits(ids) => Ok(ids),
+            other => Err(MinosError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Evaluates an exact attribute query on the server.
+    pub fn query_attribute(&mut self, name: &str, value: &str) -> Result<Vec<ObjectId>> {
+        let request =
+            ServerRequest::QueryAttribute { name: name.to_string(), value: value.to_string() };
+        match self.request(&request)? {
+            ServerResponse::Hits(ids) => Ok(ids),
+            other => Err(MinosError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// The sequential browsing interface of §5: fetches miniatures of the
+    /// qualifying objects in order, returning `(id, miniature)` pairs.
+    pub fn miniature_stream(&mut self, hits: &[ObjectId]) -> Result<Vec<(ObjectId, Bitmap)>> {
+        hits.iter().map(|&id| Ok((id, self.fetch_miniature(id)?))).collect()
+    }
+}
+
+/// A remote-view browsing session: view geometry on the workstation, pixels
+/// fetched window-by-window from the server as the user moves.
+#[derive(Clone, Debug)]
+pub struct RemoteView {
+    object: ObjectId,
+    image: usize,
+    view: View,
+}
+
+impl RemoteView {
+    /// Opens a view of `view_size` over image `image` of `object`, whose
+    /// full size is `image_size`.
+    pub fn open(
+        object: ObjectId,
+        image: usize,
+        image_size: Size,
+        view_size: Size,
+        step: u32,
+    ) -> Result<Self> {
+        Ok(RemoteView { object, image, view: View::new(image_size, view_size, step)? })
+    }
+
+    /// The current window rectangle.
+    pub fn rect(&self) -> Rect {
+        self.view.rect()
+    }
+
+    /// Mutable view geometry (move/jump/resize, then `fetch`).
+    pub fn view_mut(&mut self) -> &mut View {
+        &mut self.view
+    }
+
+    /// Fetches the current window's pixels from the server.
+    pub fn fetch<E: ServerEndpoint>(&self, ws: &mut Workstation<E>) -> Result<Bitmap> {
+        ws.fetch_view(self.object, self.image, self.view.rect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_corpus::objects::archived_form;
+    use minos_corpus::{medical_report, subway_map_object};
+    use minos_image::view::MoveDirection;
+    use minos_server::ObjectServer;
+
+    fn server() -> (ObjectServer, u64) {
+        let mut server = ObjectServer::new();
+        let report = medical_report(ObjectId::new(1), 42);
+        let archived = archived_form(&report);
+        let receipt = server.publish(report, &archived).unwrap();
+        let (map, overlays) =
+            subway_map_object(ObjectId::new(2), ObjectId::new(3), ObjectId::new(4), 5);
+        server.publish(map.clone(), &archived_form(&map)).unwrap();
+        for o in overlays {
+            let a = archived_form(&o);
+            server.publish(o, &a).unwrap();
+        }
+        (server, receipt.span.start)
+    }
+
+    fn workstation() -> (Workstation<ObjectServer>, u64) {
+        let (server, base) = server();
+        (Workstation::new(server, Link::ethernet()), base)
+    }
+
+    #[test]
+    fn fetch_object_round_trips_over_the_link() {
+        let (mut ws, base) = workstation();
+        let obj = ws.fetch_object(ObjectId::new(1), base).unwrap();
+        assert_eq!(obj.descriptor.object_id, ObjectId::new(1));
+        assert!(ws.elapsed() > SimDuration::ZERO);
+        assert!(ws.bytes_transferred() > 1_000);
+    }
+
+    #[test]
+    fn queries_travel_cheaply() {
+        let (mut ws, _) = workstation();
+        let hits = ws.query(&["shadow"]).unwrap();
+        assert_eq!(hits, vec![ObjectId::new(1)]);
+        assert!(ws.bytes_transferred() < 200, "query moved {} bytes", ws.bytes_transferred());
+    }
+
+    #[test]
+    fn attribute_queries_over_the_link() {
+        let (mut ws, _) = workstation();
+        let hits = ws.query_attribute("author", "doctor jones").unwrap();
+        assert_eq!(hits, vec![ObjectId::new(1)]);
+        assert!(ws.query_attribute("author", "nobody").unwrap().is_empty());
+    }
+
+    #[test]
+    fn view_browsing_costs_window_bytes_per_move() {
+        let (mut ws, _) = workstation();
+        let mut rv = RemoteView::open(
+            ObjectId::new(2),
+            0,
+            Size::new(900, 700),
+            Size::new(200, 150),
+            40,
+        )
+        .unwrap();
+        let w1 = rv.fetch(&mut ws).unwrap();
+        assert_eq!(w1.size(), Size::new(200, 150));
+        let after_first = ws.bytes_transferred();
+        rv.view_mut().step(MoveDirection::Down);
+        rv.fetch(&mut ws).unwrap();
+        let per_move = ws.bytes_transferred() - after_first;
+        let full_image = Bitmap::new(900, 700).byte_size();
+        assert!(
+            per_move * 10 < full_image,
+            "per-move cost {per_move} not ≪ full image {full_image}"
+        );
+    }
+
+    #[test]
+    fn miniature_stream_serves_all_hits() {
+        let (mut ws, _) = workstation();
+        let hits = ws.query(&["the"]).unwrap_or_default();
+        let stream =
+            ws.miniature_stream(&[ObjectId::new(1), ObjectId::new(2)]).unwrap();
+        assert_eq!(stream.len(), 2);
+        for (_, mini) in &stream {
+            assert!(mini.width() <= 160);
+        }
+        let _ = hits;
+    }
+
+    #[test]
+    fn server_errors_surface_as_protocol_errors() {
+        let (mut ws, _) = workstation();
+        assert!(matches!(
+            ws.fetch_miniature(ObjectId::new(404)),
+            Err(MinosError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn accounting_resets() {
+        let (mut ws, _) = workstation();
+        ws.query(&["anything"]).unwrap();
+        assert!(ws.bytes_transferred() > 0);
+        ws.reset_accounting();
+        assert_eq!(ws.bytes_transferred(), 0);
+        assert_eq!(ws.elapsed(), SimDuration::ZERO);
+    }
+}
+
+/// The §5 sequential browsing interface over query hits: the user walks a
+/// strip of miniatures, then selects one for full presentation. ("When the
+/// user selects the miniature of an object the multimedia object
+/// presentation manager undertakes the responsibility to present the
+/// information of the selected object.")
+#[derive(Clone, Debug)]
+pub struct MiniatureBrowser {
+    hits: Vec<ObjectId>,
+    miniatures: Vec<Bitmap>,
+    current: usize,
+}
+
+impl MiniatureBrowser {
+    /// Runs a content query and streams the qualifying miniatures.
+    pub fn query<E: ServerEndpoint>(
+        ws: &mut Workstation<E>,
+        keywords: &[&str],
+    ) -> Result<MiniatureBrowser> {
+        let hits = ws.query(keywords)?;
+        let stream = ws.miniature_stream(&hits)?;
+        Ok(MiniatureBrowser {
+            hits,
+            miniatures: stream.into_iter().map(|(_, m)| m).collect(),
+            current: 0,
+        })
+    }
+
+    /// Number of qualifying objects.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Whether the query matched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// The miniature currently in front of the user, with its object id.
+    pub fn current(&self) -> Option<(ObjectId, &Bitmap)> {
+        self.hits.get(self.current).map(|&id| (id, &self.miniatures[self.current]))
+    }
+
+    /// Moves to the next miniature (clamped at the end).
+    pub fn advance(&mut self) -> Option<(ObjectId, &Bitmap)> {
+        if self.current + 1 < self.hits.len() {
+            self.current += 1;
+        }
+        self.current()
+    }
+
+    /// Moves back one miniature (clamped at the start).
+    pub fn previous(&mut self) -> Option<(ObjectId, &Bitmap)> {
+        self.current = self.current.saturating_sub(1);
+        self.current()
+    }
+
+    /// Selects the current miniature for full presentation.
+    pub fn select(&self) -> Option<ObjectId> {
+        self.hits.get(self.current).copied()
+    }
+}
+
+/// A server-backed object store: browsing sessions resolve relevant-object
+/// targets through the workstation, charging the link for each object's
+/// archived size — the architecture of §5 end to end.
+impl crate::session::ObjectStore for Workstation<ObjectServer> {
+    fn fetch(&mut self, id: ObjectId) -> Result<minos_object::MultimediaObject> {
+        // Charge the transfer of the archived form over the link.
+        let request = ServerRequest::FetchObject { id };
+        let response = self.request(&request)?;
+        let ServerResponse::Object(_) = response else {
+            return Err(MinosError::Protocol(format!("unexpected response to {request:?}")));
+        };
+        // The typed form is reconstructed workstation-side; the server's
+        // resident copy stands in for that decode step.
+        self.endpoint_mut()
+            .resident_object(id)
+            .cloned()
+            .ok_or_else(|| MinosError::UnknownObject(id.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod store_tests {
+    use super::*;
+    use crate::session::BrowsingSession;
+    use minos_corpus::objects::archived_form;
+    use minos_text::PaginateConfig;
+    use minos_types::SimDuration;
+
+    #[test]
+    fn miniature_browser_query_to_selection() {
+        let mut server = ObjectServer::new();
+        for i in 0..4u64 {
+            let obj = minos_corpus::office_document(ObjectId::new(i + 1), i, 2);
+            server.publish(obj.clone(), &archived_form(&obj)).unwrap();
+        }
+        let mut ws = Workstation::new(server, Link::ethernet());
+        let mut browser = MiniatureBrowser::query(&mut ws, &["chapter"]).unwrap();
+        assert_eq!(browser.len(), 4);
+        let (first, mini) = browser.current().unwrap();
+        assert_eq!(first, ObjectId::new(1));
+        assert!(!mini.is_blank());
+        browser.advance();
+        browser.advance();
+        assert_eq!(browser.select(), Some(ObjectId::new(3)));
+        browser.previous();
+        assert_eq!(browser.select(), Some(ObjectId::new(2)));
+        // Clamping at both ends.
+        browser.previous();
+        browser.previous();
+        assert_eq!(browser.select(), Some(ObjectId::new(1)));
+        for _ in 0..10 {
+            browser.advance();
+        }
+        assert_eq!(browser.select(), Some(ObjectId::new(4)));
+    }
+
+    #[test]
+    fn empty_query_result_is_empty_browser() {
+        let server = ObjectServer::new();
+        let mut ws = Workstation::new(server, Link::ethernet());
+        let browser = MiniatureBrowser::query(&mut ws, &["nothing"]).unwrap();
+        assert!(browser.is_empty());
+        assert_eq!(browser.current(), None);
+        assert_eq!(browser.select(), None);
+    }
+
+    #[test]
+    fn session_over_the_server_store_follows_relevant_links() {
+        let (parent, overlays) = minos_corpus::subway_map_object(
+            ObjectId::new(1),
+            ObjectId::new(2),
+            ObjectId::new(3),
+            7,
+        );
+        let mut server = ObjectServer::new();
+        server.publish(parent.clone(), &archived_form(&parent)).unwrap();
+        for o in overlays {
+            let a = archived_form(&o);
+            server.publish(o, &a).unwrap();
+        }
+        let ws = Workstation::new(server, Link::ethernet());
+        let (mut session, _) = BrowsingSession::open(
+            ws,
+            ObjectId::new(1),
+            PaginateConfig::default(),
+            SimDuration::from_secs(5),
+        )
+        .unwrap();
+        session.apply(crate::command::BrowseCommand::SelectRelevant(0)).unwrap();
+        assert_eq!(session.object().id, ObjectId::new(2));
+        session.apply(crate::command::BrowseCommand::ReturnFromRelevant).unwrap();
+        assert_eq!(session.object().id, ObjectId::new(1));
+    }
+}

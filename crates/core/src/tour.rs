@@ -1,0 +1,267 @@
+//! Tour playing with logical messages and the voice-label option.
+//!
+//! "A tour is a sequence of views defined on an image by the multimedia
+//! object designer. The sequence is played automatically … A logical
+//! message (visual or audio) may be associated with each position of the
+//! tour. The user may interrupt the tour and move the window all round."
+//! (§2) And for views generally: "If the voice option has been turned on
+//! the system plays the voice labels which are encountered as the view
+//! moves." (§2)
+//!
+//! [`TourRunner`] drives an object's [`minos_object::TourSpec`] against the
+//! simulated clock, reporting stop entries, attached logical messages, and
+//! — with the voice option on — voice labels newly encountered by the
+//! moving window.
+
+use minos_image::tour::TourState;
+use minos_image::view::MoveDirection;
+use minos_image::{Bitmap, LabelIndex, TourPlayer};
+use minos_object::MultimediaObject;
+use minos_types::{MinosError, Rect, Result, SimDuration};
+use std::collections::HashSet;
+
+/// Events a playing tour reports.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TourEvent {
+    /// The window arrived at stop `index`.
+    StopEntered(usize),
+    /// The stop's attached voice message started playing (message index in
+    /// the object's message table).
+    VoiceMessagePlayed(usize),
+    /// The stop's attached visual message went on display.
+    VisualMessageShown(usize),
+    /// The voice option played a voice label encountered by the window
+    /// (the label's data-file tag).
+    VoiceLabelPlayed(String),
+    /// The last stop's dwell elapsed.
+    Finished,
+}
+
+/// Plays one tour of an object.
+pub struct TourRunner {
+    player: TourPlayer,
+    /// Rendered raster of the toured image (windows are cut from it).
+    raster: Bitmap,
+    /// Message body kinds, indexed like the object's message table.
+    message_is_voice: Vec<bool>,
+    voice_option: bool,
+    /// Voice-label tags already played (each label plays once per tour).
+    played_labels: HashSet<String>,
+    /// Owned copy of the graphics for label lookups, if the image has any.
+    graphics: Option<minos_image::GraphicsImage>,
+}
+
+impl TourRunner {
+    /// Opens the object's `tour_index`-th tour. `voice_option` enables
+    /// voice-label playing as the window moves.
+    pub fn new(object: &MultimediaObject, tour_index: usize, voice_option: bool) -> Result<Self> {
+        let spec = object
+            .tours
+            .get(tour_index)
+            .ok_or_else(|| MinosError::UnknownComponent(format!("tour {tour_index}")))?;
+        let image = object
+            .images
+            .get(spec.image)
+            .ok_or_else(|| MinosError::UnknownComponent(format!("tour image {}", spec.image)))?;
+        let raster = image.render();
+        let graphics = image.as_graphics().cloned();
+        let player = TourPlayer::new(spec.tour.clone())?;
+        let message_is_voice = object.messages.iter().map(|m| m.body.is_voice()).collect();
+        let mut runner = TourRunner {
+            player,
+            raster,
+            message_is_voice,
+            voice_option,
+            played_labels: HashSet::new(),
+            graphics,
+        };
+        // Labels under the opening window count as encountered.
+        let _ = runner.labels_in(runner.player.current_rect());
+        Ok(runner)
+    }
+
+    /// Current window rectangle.
+    pub fn current_rect(&self) -> Rect {
+        self.player.current_rect()
+    }
+
+    /// Current stop index.
+    pub fn current_stop(&self) -> usize {
+        self.player.current_stop()
+    }
+
+    /// Whether the tour is playing, interrupted, or done.
+    pub fn state(&self) -> TourState {
+        self.player.state()
+    }
+
+    /// The pixels currently in the window.
+    pub fn current_window(&self) -> Result<Bitmap> {
+        self.raster.extract(self.current_rect())
+    }
+
+    fn message_event(&self, message: usize) -> TourEvent {
+        if self.message_is_voice.get(message).copied().unwrap_or(false) {
+            TourEvent::VoiceMessagePlayed(message)
+        } else {
+            TourEvent::VisualMessageShown(message)
+        }
+    }
+
+    /// Voice labels newly encountered in `rect` (marks them played).
+    fn labels_in(&mut self, rect: Rect) -> Vec<String> {
+        let Some(graphics) = &self.graphics else { return Vec::new() };
+        if !self.voice_option {
+            return Vec::new();
+        }
+        let index = LabelIndex::new(graphics);
+        index
+            .voice_labels_in(rect)
+            .into_iter()
+            .filter(|tag| self.played_labels.insert((*tag).to_string()))
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Advances the tour by `dt` of simulated time.
+    pub fn tick(&mut self, dt: SimDuration) -> Vec<TourEvent> {
+        let was_finished = self.player.state() == TourState::Finished;
+        let entered = self.player.tick(dt);
+        let mut events = Vec::new();
+        for stop in entered {
+            events.push(TourEvent::StopEntered(stop));
+            if let Some(message) = self.player.tour().stops()[stop].message {
+                events.push(self.message_event(message));
+            }
+            for tag in self.labels_in(self.player.tour().view_at(stop).expect("stop in range")) {
+                events.push(TourEvent::VoiceLabelPlayed(tag));
+            }
+        }
+        if !was_finished && self.player.state() == TourState::Finished {
+            events.push(TourEvent::Finished);
+        }
+        events
+    }
+
+    /// Interrupts the automatic sequence; the window becomes free-moving.
+    pub fn interrupt(&mut self) {
+        self.player.interrupt();
+    }
+
+    /// Resumes the automatic sequence.
+    pub fn resume(&mut self) {
+        self.player.resume();
+    }
+
+    /// Moves the free window one step (valid while interrupted), playing
+    /// any voice labels the move encounters.
+    pub fn move_window(&mut self, direction: MoveDirection) -> Result<Vec<TourEvent>> {
+        {
+            let view = self.player.free_view_mut().ok_or_else(|| {
+                MinosError::OperationUnavailable("window moves require an interrupted tour".into())
+            })?;
+            view.step(direction);
+        }
+        let rect = self.player.current_rect();
+        Ok(self
+            .labels_in(rect)
+            .into_iter()
+            .map(TourEvent::VoiceLabelPlayed)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_corpus::harbor_tour_object;
+    use minos_types::ObjectId;
+
+    fn runner(voice: bool) -> (minos_object::MultimediaObject, TourRunner) {
+        let obj = harbor_tour_object(ObjectId::new(1), 5);
+        let r = TourRunner::new(&obj, 0, voice).unwrap();
+        (obj, r)
+    }
+
+    #[test]
+    fn tour_plays_stops_and_messages() {
+        let (obj, mut r) = runner(false);
+        let stops = obj.tours[0].tour.stops().len();
+        let mut entered = 0;
+        let mut messages = 0;
+        let mut finished = false;
+        for _ in 0..200 {
+            for e in r.tick(SimDuration::from_secs(1)) {
+                match e {
+                    TourEvent::StopEntered(_) => entered += 1,
+                    TourEvent::VoiceMessagePlayed(_) | TourEvent::VisualMessageShown(_) => {
+                        messages += 1
+                    }
+                    TourEvent::Finished => finished = true,
+                    TourEvent::VoiceLabelPlayed(_) => panic!("voice option is off"),
+                }
+            }
+            if finished {
+                break;
+            }
+        }
+        assert!(finished, "tour never finished");
+        assert_eq!(entered, stops - 1, "every stop after the first entered once");
+        assert!(messages >= 1);
+    }
+
+    #[test]
+    fn voice_option_plays_labels_once() {
+        let (_, mut r) = runner(true);
+        let mut labels = Vec::new();
+        for _ in 0..200 {
+            for e in r.tick(SimDuration::from_secs(1)) {
+                if let TourEvent::VoiceLabelPlayed(tag) = e {
+                    labels.push(tag);
+                }
+            }
+            if r.state() == TourState::Finished {
+                break;
+            }
+        }
+        assert!(!labels.is_empty(), "tour encountered no voice labels");
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "labels must play once: {labels:?}");
+    }
+
+    #[test]
+    fn interrupt_frees_the_window_and_moves_play_labels() {
+        let (_, mut r) = runner(true);
+        assert!(r.move_window(MoveDirection::Right).is_err(), "moves need an interrupt");
+        r.interrupt();
+        let before = r.current_rect();
+        let mut played = Vec::new();
+        for _ in 0..30 {
+            played.extend(r.move_window(MoveDirection::Right).unwrap());
+            played.extend(r.move_window(MoveDirection::Down).unwrap());
+        }
+        assert_ne!(r.current_rect(), before);
+        // Sweeping the map encounters labels the tour had not reached yet.
+        assert!(
+            played.iter().any(|e| matches!(e, TourEvent::VoiceLabelPlayed(_))),
+            "free movement played nothing"
+        );
+        r.resume();
+        assert_eq!(r.state(), TourState::Playing);
+    }
+
+    #[test]
+    fn current_window_cuts_the_raster() {
+        let (_, r) = runner(false);
+        let window = r.current_window().unwrap();
+        assert_eq!(window.size(), r.current_rect().size);
+    }
+
+    #[test]
+    fn missing_tour_is_an_error() {
+        let obj = harbor_tour_object(ObjectId::new(2), 5);
+        assert!(TourRunner::new(&obj, 3, false).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Transparency-set presentation.
+//!
+//! Drives a [`minos_object::TransparencySetSpec`] the way the user
+//! experiences Figures 5–6: page turns superimpose (or exchange) the
+//! designer's transparencies over the base page, and the user may override
+//! the designer's order by selecting an arbitrary subset to project at the
+//! same time.
+
+use minos_image::{Bitmap, TransparencySet};
+use minos_object::MultimediaObject;
+use minos_types::{MinosError, Result};
+
+/// Viewer state over one transparency set of an object.
+#[derive(Clone, Debug)]
+pub struct TransparencyViewer {
+    base: Bitmap,
+    set: TransparencySet,
+    /// Pages turned into the set so far: 0 = base page only, k = k-th
+    /// transparency shown.
+    turned: usize,
+}
+
+impl TransparencyViewer {
+    /// Opens the viewer on the object's `set_index`-th transparency set.
+    pub fn new(object: &MultimediaObject, set_index: usize) -> Result<Self> {
+        let spec = object.transparency_sets.get(set_index).ok_or_else(|| {
+            MinosError::UnknownComponent(format!("transparency set {set_index}"))
+        })?;
+        let base = object
+            .images
+            .get(spec.base_image)
+            .ok_or_else(|| {
+                MinosError::UnknownComponent(format!("base image {}", spec.base_image))
+            })?
+            .render();
+        let sheets: Result<Vec<Bitmap>> = spec
+            .sheets
+            .iter()
+            .map(|&i| {
+                object
+                    .images
+                    .get(i)
+                    .map(|img| img.render())
+                    .ok_or_else(|| MinosError::UnknownComponent(format!("sheet image {i}")))
+            })
+            .collect();
+        let set = TransparencySet::new(sheets?, spec.display)?;
+        Ok(TransparencyViewer { base, set, turned: 0 })
+    }
+
+    /// Number of transparencies in the set.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// How many transparencies have been turned (0 = base page).
+    pub fn turned(&self) -> usize {
+        self.turned
+    }
+
+    /// The page currently displayed.
+    pub fn current(&self) -> Result<Bitmap> {
+        if self.turned == 0 {
+            return Ok(self.base.clone());
+        }
+        self.set.page_at(&self.base, self.turned - 1)
+    }
+
+    /// Turns the next transparency (clamped at the last).
+    pub fn next_page(&mut self) -> Result<Bitmap> {
+        if self.turned < self.set.len() {
+            self.turned += 1;
+        }
+        self.current()
+    }
+
+    /// Turns back one transparency (down to the bare base page).
+    pub fn previous_page(&mut self) -> Result<Bitmap> {
+        self.turned = self.turned.saturating_sub(1);
+        self.current()
+    }
+
+    /// The user's override: "he may choose to see certain transparencies
+    /// of the set only projected at the same time" (§2).
+    pub fn superimpose(&self, indices: &[usize]) -> Result<Bitmap> {
+        self.set.superimpose(&self.base, indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_corpus::medical_report;
+    use minos_types::ObjectId;
+
+    fn viewer() -> TransparencyViewer {
+        let obj = medical_report(ObjectId::new(1), 42);
+        TransparencyViewer::new(&obj, 0).unwrap()
+    }
+
+    #[test]
+    fn starts_on_the_bare_xray() {
+        let v = viewer();
+        assert_eq!(v.turned(), 0);
+        assert_eq!(v.len(), 2);
+        let base = v.current().unwrap();
+        assert!(!base.is_blank());
+    }
+
+    #[test]
+    fn turning_stacks_annotations() {
+        let mut v = viewer();
+        let base_ink = v.current().unwrap().count_ink();
+        let one = v.next_page().unwrap();
+        assert_eq!(v.turned(), 1);
+        assert!(one.count_ink() > base_ink, "first sheet adds the circle");
+        let two = v.next_page().unwrap();
+        assert!(two.count_ink() > one.count_ink(), "stacked display accumulates");
+        // Clamped at the end.
+        let still_two = v.next_page().unwrap();
+        assert_eq!(still_two, two);
+        assert_eq!(v.turned(), 2);
+    }
+
+    #[test]
+    fn turning_back_removes_sheets() {
+        let mut v = viewer();
+        v.next_page().unwrap();
+        v.next_page().unwrap();
+        v.previous_page().unwrap();
+        assert_eq!(v.turned(), 1);
+        v.previous_page().unwrap();
+        v.previous_page().unwrap(); // clamped at base
+        assert_eq!(v.turned(), 0);
+        assert_eq!(v.current().unwrap(), viewer().current().unwrap());
+    }
+
+    #[test]
+    fn user_selected_subset() {
+        let v = viewer();
+        let only_second = v.superimpose(&[1]).unwrap();
+        let both = v.superimpose(&[0, 1]).unwrap();
+        assert!(both.count_ink() > only_second.count_ink());
+        assert!(v.superimpose(&[5]).is_err());
+    }
+
+    #[test]
+    fn missing_set_is_an_error() {
+        let obj = medical_report(ObjectId::new(2), 1);
+        assert!(TransparencyViewer::new(&obj, 3).is_err());
+    }
+}

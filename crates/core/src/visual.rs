@@ -1,0 +1,522 @@
+//! The visual-mode browsing engine.
+//!
+//! Canonical state is a character position in the object's text segment.
+//! Page, logical and pattern commands move that position; the engine then
+//! decides what the screen shows:
+//!
+//! * normally, the base presentation form's page containing the position;
+//! * inside the anchor of a *visual logical message*, the related text is
+//!   re-paginated under the pinned message ("the logical message is
+//!   displayed at the upper part of the screen while the lower part of the
+//!   screen is devoted to the display of parts of the related visual
+//!   segment", §2) — paging walks the related text page by page and the
+//!   first turn past its end drops the pinned message, exactly the Figure
+//!   3–4 sequence;
+//! * entering the anchor of a *voice logical message* plays it ("the voice
+//!   logical message will be played when the user first branches into the
+//!   corresponding segments during browsing", §2).
+
+use crate::command::BrowseEvent;
+use minos_object::{Anchor, MessageBody, MultimediaObject};
+use minos_text::{
+    Document, LogicalLevel, PaginateConfig, PatternSearcher, PresentationForm, VisualPage,
+};
+use minos_types::{CharSpan, MinosError, PageNumber, Result};
+use std::collections::HashSet;
+
+/// A pinned-message region: the message, its anchor span, and the related
+/// text's own pagination under the reserved top area.
+#[derive(Clone, Debug)]
+struct PinnedRegion {
+    message: usize,
+    span: CharSpan,
+    reserved: u32,
+    form: PresentationForm,
+    show_once: bool,
+}
+
+/// What the display presents right now.
+#[derive(Clone, Debug)]
+pub struct VisualView {
+    /// The visual page to render.
+    pub page: VisualPage,
+    /// 0-based index of the page within the active form.
+    pub page_index: usize,
+    /// Page count of the active form.
+    pub page_count: usize,
+    /// The message pinned at the top, if any (index into the object's
+    /// message table).
+    pub pinned_message: Option<usize>,
+    /// Vertical pixels reserved for the pinned message.
+    pub reserved_top: u32,
+}
+
+/// The visual-mode engine for one text segment of an object.
+#[derive(Clone, Debug)]
+pub struct VisualEngine {
+    doc: Document,
+    base_form: PresentationForm,
+    regions: Vec<PinnedRegion>,
+    voice_anchors: Vec<(usize, CharSpan)>,
+    pos: u32,
+    inside_voice: HashSet<usize>,
+    shown_once: HashSet<usize>,
+    pinned_now: Option<usize>,
+}
+
+impl VisualEngine {
+    /// Builds the engine for `object`'s text segment `segment`.
+    pub fn new(object: &MultimediaObject, segment: usize, config: PaginateConfig) -> Result<Self> {
+        // Segment 0 of a text-less object (a pure image object like the
+        // subway map) browses as an empty document: page commands are
+        // no-ops and only image facilities apply. Higher segment indices
+        // must exist.
+        let doc = match object.text_segments.get(segment) {
+            Some(d) => d.clone(),
+            None if segment == 0 => Document::default(),
+            None => {
+                return Err(MinosError::UnknownComponent(format!("text segment {segment}")))
+            }
+        };
+        let base_form = PresentationForm::paginate(&doc, config);
+
+        let mut regions = Vec::new();
+        let mut voice_anchors = Vec::new();
+        for (i, message) in object.messages.iter().enumerate() {
+            let Anchor::TextSegment { segment: s, span } = message.anchor else { continue };
+            if s != segment {
+                continue;
+            }
+            match &message.body {
+                MessageBody::Voice { .. } => voice_anchors.push((i, span)),
+                MessageBody::Visual { content, show_once } => {
+                    // Reserve space for the pinned content: the image's
+                    // height (clamped to half a page) plus a caption strip.
+                    let image_height = content
+                        .image
+                        .and_then(|idx| object.images.get(idx))
+                        .map(|img| img.size().height)
+                        .unwrap_or(0);
+                    let reserved =
+                        (image_height + 24).min(config.page_size.height / 2).max(40);
+                    let sub = Self::paginate_span(&doc, span, config.with_reserved_top(reserved));
+                    regions.push(PinnedRegion {
+                        message: i,
+                        span,
+                        reserved,
+                        form: sub,
+                        show_once: *show_once,
+                    });
+                }
+            }
+        }
+        let mut engine = VisualEngine {
+            doc,
+            base_form,
+            regions,
+            voice_anchors,
+            pos: 0,
+            inside_voice: HashSet::new(),
+            shown_once: HashSet::new(),
+            pinned_now: None,
+        };
+        // Establish initial message state without reporting entry events;
+        // `open()` reports them.
+        engine.pinned_now = engine.active_region_index().map(|r| engine.regions[r].message);
+        Ok(engine)
+    }
+
+    /// Paginates only the blocks of `doc` lying within `span` (the related
+    /// visual segment of a pinned message).
+    fn paginate_span(doc: &Document, span: CharSpan, config: PaginateConfig) -> PresentationForm {
+        let blocks: Vec<minos_text::LaidBlock> = doc
+            .blocks()
+            .iter()
+            .filter(|b| b.span().map(|s| span.contains_span(&s)).unwrap_or(false))
+            .map(|b| minos_text::layout::layout_block(doc, b, config.content_width()))
+            .collect();
+        PresentationForm::from_blocks(&blocks, config)
+    }
+
+    /// The document being browsed.
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// Current canonical position (character offset).
+    pub fn position(&self) -> u32 {
+        self.pos
+    }
+
+    /// The base form's page count (user-facing page numbering).
+    pub fn base_page_count(&self) -> usize {
+        self.base_form.page_count()
+    }
+
+    /// The index of the active pinned region, honouring show-once
+    /// suppression.
+    fn active_region_index(&self) -> Option<usize> {
+        self.regions.iter().position(|r| {
+            (r.span.contains(self.pos) || (r.span.is_empty() && r.span.start == self.pos))
+                && !(r.show_once && self.shown_once.contains(&r.message))
+        })
+    }
+
+    /// What the screen shows now.
+    pub fn view(&self) -> VisualView {
+        if let Some(ri) = self.active_region_index() {
+            let region = &self.regions[ri];
+            let idx = region.form.page_containing(self.pos).unwrap_or(0);
+            return VisualView {
+                page: region.form.page(idx).cloned().unwrap_or_default(),
+                page_index: idx,
+                page_count: region.form.page_count(),
+                pinned_message: Some(region.message),
+                reserved_top: region.reserved,
+            };
+        }
+        let idx = self.base_form.page_containing(self.pos).unwrap_or(0);
+        VisualView {
+            page: self.base_form.page(idx).cloned().unwrap_or_default(),
+            page_index: idx,
+            page_count: self.base_form.page_count(),
+            pinned_message: None,
+            reserved_top: 0,
+        }
+    }
+
+    /// Moves the canonical position, emitting entry/exit events for
+    /// logical messages and the page-shown event.
+    fn goto_pos(&mut self, pos: u32) -> Vec<BrowseEvent> {
+        let mut events = Vec::new();
+        self.pos = pos.min(self.doc.len());
+        // Voice messages: fire on entry.
+        for &(message, span) in &self.voice_anchors {
+            let inside =
+                span.contains(self.pos) || (span.is_empty() && span.start == self.pos);
+            if inside && self.inside_voice.insert(message) {
+                events.push(BrowseEvent::VoiceMessagePlayed(message));
+            } else if !inside {
+                self.inside_voice.remove(&message);
+            }
+        }
+        // Visual messages: pin/unpin transitions.
+        let now = self.active_region_index().map(|r| self.regions[r].message);
+        if now != self.pinned_now {
+            if now.is_none() {
+                events.push(BrowseEvent::VisualMessageUnpinned);
+            }
+            if let Some(m) = now {
+                self.shown_once.insert(m);
+                events.push(BrowseEvent::VisualMessagePinned(m));
+            }
+            self.pinned_now = now;
+        }
+        events.push(BrowseEvent::PageShown(self.view().page_index));
+        events
+    }
+
+    /// Reports the initial presentation (messages anchored at the start
+    /// fire here).
+    pub fn open(&mut self) -> Vec<BrowseEvent> {
+        self.pinned_now = None;
+        self.goto_pos(0)
+    }
+
+    /// Turn to the next page of the active form; past the end of a pinned
+    /// region this exits the region (Figure 4's final page turn).
+    pub fn next_page(&mut self) -> Vec<BrowseEvent> {
+        if let Some(ri) = self.active_region_index() {
+            let region = &self.regions[ri];
+            let idx = region.form.page_containing(self.pos).unwrap_or(0);
+            if idx + 1 < region.form.page_count() {
+                let start = region.form.page(idx + 1).and_then(|p| p.span).map(|s| s.start);
+                if let Some(start) = start {
+                    return self.goto_pos(start);
+                }
+            }
+            let exit = region.span.end.min(self.doc.len());
+            return self.goto_pos(exit);
+        }
+        let idx = self.base_form.page_containing(self.pos).unwrap_or(0);
+        if idx + 1 < self.base_form.page_count() {
+            if let Some(start) = self.base_form.page(idx + 1).and_then(|p| p.span).map(|s| s.start)
+            {
+                return self.goto_pos(start);
+            }
+        }
+        vec![BrowseEvent::PageShown(self.view().page_index)]
+    }
+
+    /// Turn to the previous page of the active form; before a pinned
+    /// region's first page this exits backwards.
+    pub fn previous_page(&mut self) -> Vec<BrowseEvent> {
+        if let Some(ri) = self.active_region_index() {
+            let region = &self.regions[ri];
+            let idx = region.form.page_containing(self.pos).unwrap_or(0);
+            if idx > 0 {
+                let start = region.form.page(idx - 1).and_then(|p| p.span).map(|s| s.start);
+                if let Some(start) = start {
+                    return self.goto_pos(start);
+                }
+            }
+            return self.goto_pos(region.span.start.saturating_sub(1));
+        }
+        let idx = self.base_form.page_containing(self.pos).unwrap_or(0);
+        if idx > 0 {
+            if let Some(start) = self.base_form.page(idx - 1).and_then(|p| p.span).map(|s| s.start)
+            {
+                return self.goto_pos(start);
+            }
+        }
+        vec![BrowseEvent::PageShown(self.view().page_index)]
+    }
+
+    /// Advance `delta` pages of the *base* form (absolute page
+    /// arithmetic, clamped).
+    pub fn advance_pages(&mut self, delta: i64) -> Vec<BrowseEvent> {
+        let count = self.base_form.page_count();
+        if count == 0 {
+            return Vec::new();
+        }
+        let cur = self.base_form.page_containing(self.pos).unwrap_or(0) as i64;
+        let target = (cur + delta).clamp(0, count as i64 - 1) as usize;
+        self.goto_base_page(target)
+    }
+
+    /// Jump to an absolute base-form page number.
+    pub fn goto_page(&mut self, page: PageNumber) -> Vec<BrowseEvent> {
+        let count = self.base_form.page_count();
+        if count == 0 {
+            return Vec::new();
+        }
+        self.goto_base_page(page.index().min(count - 1))
+    }
+
+    fn goto_base_page(&mut self, index: usize) -> Vec<BrowseEvent> {
+        match self.base_form.page(index).and_then(|p| p.span) {
+            Some(span) => self.goto_pos(span.start),
+            None => vec![BrowseEvent::PageShown(self.view().page_index)],
+        }
+    }
+
+    /// "See the page with the next start of a logical unit" (§2).
+    pub fn next_unit(&mut self, level: LogicalLevel) -> Vec<BrowseEvent> {
+        match self.doc.tree().next_start_after(level, self.pos) {
+            Some(unit) => self.goto_pos(unit.span.start),
+            None => vec![BrowseEvent::PageShown(self.view().page_index)],
+        }
+    }
+
+    /// The previous start of a logical unit.
+    pub fn previous_unit(&mut self, level: LogicalLevel) -> Vec<BrowseEvent> {
+        match self.doc.tree().prev_start_before(level, self.pos) {
+            Some(unit) => self.goto_pos(unit.span.start),
+            None => vec![BrowseEvent::PageShown(self.view().page_index)],
+        }
+    }
+
+    /// "The system returns the next page with the occurrence of this
+    /// pattern" (§2).
+    pub fn find_pattern(&mut self, pattern: &str) -> Vec<BrowseEvent> {
+        let searcher = PatternSearcher::new(pattern);
+        let chars: Vec<char> = self.doc.text().chars().collect();
+        match searcher.find_next(&chars, self.pos + 1) {
+            Some(hit) => {
+                let mut events = self.goto_pos(hit);
+                let page = self.view().page_index;
+                events.push(BrowseEvent::PatternFound { page });
+                events
+            }
+            None => vec![BrowseEvent::PatternNotFound],
+        }
+    }
+
+    /// Seeks directly to a character position (relevance targets).
+    pub fn seek(&mut self, pos: u32) -> Vec<BrowseEvent> {
+        self.goto_pos(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_corpus::medical_report;
+    use minos_types::ObjectId;
+
+    fn engine() -> (MultimediaObject, VisualEngine) {
+        let obj = medical_report(ObjectId::new(1), 42);
+        let config = PaginateConfig {
+            page_size: minos_types::Size::new(420, 260),
+            margin: 10,
+            block_gap: 6,
+        };
+        let engine = VisualEngine::new(&obj, 0, config).unwrap();
+        (obj, engine)
+    }
+
+    use minos_object::MultimediaObject;
+
+    #[test]
+    fn open_shows_first_page() {
+        let (_, mut e) = engine();
+        let events = e.open();
+        assert!(events.contains(&BrowseEvent::PageShown(0)));
+        assert_eq!(e.view().page_index, 0);
+        assert!(e.base_page_count() > 1);
+    }
+
+    #[test]
+    fn paging_walks_forward_and_back() {
+        let (_, mut e) = engine();
+        e.open();
+        let start_pos = e.position();
+        e.next_page();
+        assert!(e.position() > start_pos);
+        e.previous_page();
+        // Back on page 0 (position is the page start, not necessarily 0).
+        assert_eq!(e.view().page_index, 0);
+    }
+
+    #[test]
+    fn next_page_terminates_at_the_end() {
+        let (_, mut e) = engine();
+        e.open();
+        // Paging forward always terminates: the position is monotone and
+        // eventually stops changing.
+        let mut last_pos = e.position();
+        for _ in 0..200 {
+            e.next_page();
+            let pos = e.position();
+            assert!(pos >= last_pos, "position moved backwards");
+            if pos == last_pos {
+                break;
+            }
+            last_pos = pos;
+        }
+        let final_pos = e.position();
+        let events = e.next_page();
+        assert_eq!(e.position(), final_pos, "stuck position must stay put");
+        assert!(events.iter().any(|ev| matches!(ev, BrowseEvent::PageShown(_))));
+    }
+
+    #[test]
+    fn entering_findings_pins_the_xray() {
+        let (obj, mut e) = engine();
+        e.open();
+        let findings_start = obj.text_segments[0].tree().chapters[0].span.start;
+        let events = e.seek(findings_start);
+        assert!(
+            events.contains(&BrowseEvent::VisualMessagePinned(0)),
+            "no pin event: {events:?}"
+        );
+        let view = e.view();
+        assert_eq!(view.pinned_message, Some(0));
+        assert!(view.reserved_top > 0);
+        assert!(view.page_count >= 2, "related text should span pages, got {}", view.page_count);
+    }
+
+    #[test]
+    fn paging_past_related_text_unpins() {
+        let (obj, mut e) = engine();
+        e.open();
+        let findings = obj.text_segments[0].tree().chapters[0].span;
+        e.seek(findings.start);
+        let sub_pages = e.view().page_count;
+        let mut unpinned = false;
+        for _ in 0..sub_pages + 2 {
+            let events = e.next_page();
+            if events.contains(&BrowseEvent::VisualMessageUnpinned) {
+                unpinned = true;
+                break;
+            }
+        }
+        assert!(unpinned, "never exited the pinned region");
+        assert_eq!(e.view().pinned_message, None);
+        assert!(e.position() >= findings.end);
+    }
+
+    #[test]
+    fn logical_browsing_moves_between_chapters() {
+        let (obj, mut e) = engine();
+        e.open();
+        e.next_unit(LogicalLevel::Chapter);
+        let ch0 = obj.text_segments[0].tree().chapters[0].span;
+        assert_eq!(e.position(), ch0.start);
+        e.next_unit(LogicalLevel::Chapter);
+        let ch1 = obj.text_segments[0].tree().chapters[1].span;
+        assert_eq!(e.position(), ch1.start);
+        // No further chapter: stays put.
+        let before = e.position();
+        e.next_unit(LogicalLevel::Chapter);
+        assert_eq!(e.position(), before);
+        e.previous_unit(LogicalLevel::Chapter);
+        assert_eq!(e.position(), ch0.start);
+    }
+
+    #[test]
+    fn pattern_browsing_finds_next_page_with_pattern() {
+        let (_, mut e) = engine();
+        e.open();
+        let events = e.find_pattern("shadow");
+        assert!(events.iter().any(|ev| matches!(ev, BrowseEvent::PatternFound { .. })));
+        let first_hit = e.position();
+        // Search again: next occurrence or not found.
+        let events2 = e.find_pattern("shadow");
+        if events2.iter().any(|ev| matches!(ev, BrowseEvent::PatternFound { .. })) {
+            assert!(e.position() > first_hit);
+        }
+        let none = e.find_pattern("zzznotthere");
+        assert_eq!(none, vec![BrowseEvent::PatternNotFound]);
+    }
+
+    #[test]
+    fn goto_page_is_absolute() {
+        let (_, mut e) = engine();
+        e.open();
+        e.goto_page(PageNumber::new(2).unwrap());
+        assert_eq!(e.base_form_page(), 1);
+        e.goto_page(PageNumber::new(999).unwrap());
+        assert_eq!(e.base_form_page(), e.base_page_count() - 1);
+    }
+
+    impl VisualEngine {
+        fn base_form_page(&self) -> usize {
+            self.base_form.page_containing(self.pos).unwrap_or(0)
+        }
+    }
+
+    #[test]
+    fn voice_note_plays_on_entry_once_until_exit() {
+        let mut obj = minos_corpus::office_document(ObjectId::new(2), 5, 3);
+        // Un-archive trick: rebuild an editing copy to attach a message.
+        let mut fresh =
+            MultimediaObject::new(ObjectId::new(2), "annotated", minos_object::DrivingMode::Visual);
+        fresh.text_segments = obj.text_segments.clone();
+        let span = {
+            let tree = fresh.text_segments[0].tree();
+            tree.chapters[1].span
+        };
+        minos_corpus::objects::attach_voice_note(&mut fresh, span, "note for chapter two", 9);
+        fresh.archive().unwrap();
+        obj = fresh;
+
+        let mut e = VisualEngine::new(&obj, 0, PaginateConfig::default()).unwrap();
+        e.open();
+        let events = e.seek(span.start);
+        assert!(events.contains(&BrowseEvent::VoiceMessagePlayed(0)));
+        // Moving within the span does not replay.
+        let events = e.seek(span.start + 5);
+        assert!(!events.contains(&BrowseEvent::VoiceMessagePlayed(0)));
+        // Leaving and re-entering replays ("first branches into").
+        e.seek(0);
+        let events = e.seek(span.start + 1);
+        assert!(events.contains(&BrowseEvent::VoiceMessagePlayed(0)));
+    }
+
+    #[test]
+    fn missing_segment_is_an_error() {
+        let obj = medical_report(ObjectId::new(3), 1);
+        assert!(VisualEngine::new(&obj, 5, PaginateConfig::default()).is_err());
+    }
+}

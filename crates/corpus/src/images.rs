@@ -1,0 +1,183 @@
+//! Synthetic images: x-rays, the subway map, the city view.
+
+use minos_image::raster::{draw_circle, draw_line, fill_circle};
+use minos_image::{Bitmap, GraphicsImage, GraphicsObject, Label, LabelContent, Shape};
+use minos_types::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic chest film: a rib-cage pattern of arcs with a small round
+/// "shadow" whose position is returned alongside (the finding the
+/// transparencies of Figures 5–6 circle).
+pub fn xray_bitmap(seed: u64, width: u32, height: u32) -> (Bitmap, Point) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0b5e);
+    let mut bm = Bitmap::new(width, height);
+    // Lung outline: two large ellipse-ish circles of dotted texture.
+    let cx = width as i32 / 2;
+    let cy = height as i32 / 2;
+    for side in [-1i32, 1] {
+        let lung_cx = cx + side * width as i32 / 5;
+        for r in (8..height.min(width) / 3).step_by(9) {
+            draw_circle(&mut bm, Point::new(lung_cx, cy), r);
+        }
+    }
+    // Spine: vertical line.
+    draw_line(&mut bm, Point::new(cx, 4), Point::new(cx, height as i32 - 5));
+    // The shadow: a small filled circle in the upper left lung field.
+    let shadow = Point::new(
+        cx - width as i32 / 5 + rng.gen_range(-8..8),
+        cy - height as i32 / 6 + rng.gen_range(-8..8),
+    );
+    fill_circle(&mut bm, shadow, (width / 40).max(3));
+    (bm, shadow)
+}
+
+/// One station of the generated subway map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Station {
+    /// Position on the map.
+    pub at: Point,
+    /// Station name (searchable label text).
+    pub name: String,
+    /// Whether a hospital is adjacent (drives the Figure 7–8 relevant
+    /// transparency).
+    pub hospital: bool,
+    /// Whether a university site is adjacent.
+    pub university: bool,
+}
+
+/// The generated subway map: the graphics image plus its stations.
+pub struct SubwayMap {
+    /// The map drawing with labelled station objects.
+    pub image: GraphicsImage,
+    /// Ground truth about the stations.
+    pub stations: Vec<Station>,
+}
+
+/// Generates a subway map with `lines` lines of `stations_per` stations
+/// each (Figures 7–8).
+pub fn subway_map(seed: u64, width: u32, height: u32, lines: usize, stations_per: usize) -> SubwayMap {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5b);
+    let mut image = GraphicsImage::new(width, height);
+    let mut stations = Vec::new();
+    let names = [
+        "central", "harbor", "university", "hospital", "market", "stadium", "airport", "park",
+        "museum", "castle", "bridge", "garden",
+    ];
+    for line in 0..lines.max(1) {
+        // A subway line: a polyline from one edge to the other.
+        let y0 = ((line + 1) * height as usize / (lines + 1)) as i32;
+        let mut points = Vec::new();
+        for s in 0..stations_per.max(2) {
+            let x = (s * (width as usize - 40) / (stations_per - 1).max(1)) as i32 + 20;
+            let y = y0 + rng.gen_range(-(height as i32) / 8..height as i32 / 8);
+            points.push(Point::new(x, y));
+        }
+        image.push(GraphicsObject::new(Shape::Polyline(points.clone())));
+        for (s, &at) in points.iter().enumerate() {
+            let base = names[(line * stations_per + s) % names.len()];
+            let name = format!("{base} {line}{s}");
+            let hospital = base == "hospital" || rng.gen_bool(0.15);
+            let university = base == "university" || rng.gen_bool(0.15);
+            image.push(
+                GraphicsObject::new(Shape::Circle { center: at, radius: 5, filled: s % 2 == 0 })
+                    .with_label(Label {
+                        content: LabelContent::Text(name.clone()),
+                        anchor: at.offset(8, -8),
+                        visible: true,
+                    }),
+            );
+            stations.push(Station { at, name, hospital, university });
+        }
+    }
+    SubwayMap { image, stations }
+}
+
+/// A transparency sheet marking the given map positions with circles —
+/// how Figures 7–8 overlay hospitals/university sites on the map.
+pub fn marker_transparency(width: u32, height: u32, positions: &[Point]) -> Bitmap {
+    let mut bm = Bitmap::new(width, height);
+    for &p in positions {
+        draw_circle(&mut bm, p, 10);
+        draw_circle(&mut bm, p, 11);
+    }
+    bm
+}
+
+/// A synthetic city view for the Figure 9–10 walk: building blocks along
+/// streets; returns the bitmap and the walk's route points.
+pub fn city_view(seed: u64, width: u32, height: u32, route_stops: usize) -> (Bitmap, Vec<Point>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc17);
+    let mut bm = Bitmap::new(width, height);
+    // Street grid.
+    for gx in (0..width as i32).step_by((width / 6) as usize) {
+        draw_line(&mut bm, Point::new(gx, 0), Point::new(gx, height as i32 - 1));
+    }
+    for gy in (0..height as i32).step_by((height / 5) as usize) {
+        draw_line(&mut bm, Point::new(0, gy), Point::new(width as i32 - 1, gy));
+    }
+    // Buildings: filled blocks inside cells.
+    for _ in 0..24 {
+        let x = rng.gen_range(0..width.saturating_sub(30)) as i32;
+        let y = rng.gen_range(0..height.saturating_sub(24)) as i32;
+        bm.fill_rect(Rect::new(x + 3, y + 3, rng.gen_range(10..26), rng.gen_range(8..20)), true);
+    }
+    // The walking route: stops along a diagonal-ish path.
+    let stops = (0..route_stops.max(2))
+        .map(|i| {
+            Point::new(
+                (20 + i * (width as usize - 60) / (route_stops - 1).max(1)) as i32,
+                (20 + i * (height as usize - 60) / (route_stops - 1).max(1)) as i32,
+            )
+        })
+        .collect();
+    (bm, stops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xray_is_deterministic_with_shadow_inside() {
+        let (a, shadow_a) = xray_bitmap(4, 400, 300);
+        let (b, shadow_b) = xray_bitmap(4, 400, 300);
+        assert_eq!(a, b);
+        assert_eq!(shadow_a, shadow_b);
+        assert!(a.bounds().contains(shadow_a));
+        assert!(a.get(shadow_a.x, shadow_a.y), "shadow must be inked");
+        let (c, _) = xray_bitmap(5, 400, 300);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn subway_map_has_labelled_stations() {
+        let map = subway_map(2, 600, 400, 3, 5);
+        assert_eq!(map.stations.len(), 15);
+        // Every station is selectable and labelled.
+        for s in &map.stations {
+            let hit = map.image.object_at(s.at);
+            assert!(hit.is_some(), "station {} not selectable", s.name);
+        }
+        // Label search finds stations by name fragment.
+        assert!(!map.image.objects_with_label_pattern("central").is_empty());
+    }
+
+    #[test]
+    fn marker_transparency_marks_positions() {
+        let t = marker_transparency(200, 200, &[Point::new(50, 50), Point::new(150, 100)]);
+        assert!(t.get(60, 50)); // radius-10 ring
+        assert!(t.get(160, 100));
+        assert!(!t.get(100, 180));
+    }
+
+    #[test]
+    fn city_view_route_is_inside() {
+        let (bm, route) = city_view(9, 500, 400, 5);
+        assert_eq!(route.len(), 5);
+        for p in &route {
+            assert!(bm.bounds().contains(*p));
+        }
+        assert!(bm.count_ink() > 1_000);
+    }
+}

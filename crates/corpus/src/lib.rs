@@ -1,0 +1,24 @@
+//! Synthetic corpora for the MINOS reproduction.
+//!
+//! The paper's figures use office documents, medical x-rays, a subway map
+//! and a city walk. None of that data survives, so this crate generates
+//! seeded, reproducible stand-ins of controllable size:
+//!
+//! * [`documents`] — office/report markup text;
+//! * [`speech`] — dictation scripts for the voice synthesizer;
+//! * [`images`] — x-ray bitmaps, subway-map graphics, city views;
+//! * [`objects`] — fully assembled multimedia objects reproducing each
+//!   figure's scenario (see DESIGN.md's experiment index).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod documents;
+pub mod images;
+pub mod objects;
+pub mod speech;
+
+pub use objects::{
+    audio_xray_report, city_walk_object, harbor_tour_object, medical_report, office_document,
+    subway_map_object,
+};

@@ -1,0 +1,478 @@
+//! Fully assembled multimedia objects reproducing the paper's figures.
+//!
+//! Each constructor returns archived, validated objects ready for the
+//! presentation manager; `archived_form` derives the descriptor +
+//! composition byte form the server stores.
+
+use crate::images::{city_view, marker_transparency, subway_map, xray_bitmap};
+use crate::speech::{tour_narrations, xray_dictation};
+use minos_image::{Bitmap, Image, Overwrite, TransparencyDisplay};
+use minos_object::{
+    Anchor, ArchivedObject, Attribute, CompositionFile, DataKind, DataLocation, DataPayload,
+    DescriptorEntry, DrivingMode, LogicalMessage, MessageBody, MultimediaObject,
+    ObjectDescriptor, Relevance, RelevantLink, TransparencySetSpec, VisualMessageContent,
+    VoiceSegment,
+};
+use minos_text::LogicalLevel;
+use minos_types::{CharSpan, ObjectId, Point, Rect, SimDuration};
+use minos_voice::recognize::{Recognizer, RecognizerConfig};
+use minos_voice::synth::SpeakerProfile;
+
+/// Derives the archivable byte form of an object: one descriptor entry and
+/// composition record per part, in part order.
+pub fn archived_form(obj: &MultimediaObject) -> ArchivedObject {
+    let mut composition = CompositionFile::new();
+    let mut entries = Vec::new();
+    for (i, doc) in obj.text_segments.iter().enumerate() {
+        let tag = format!("text{i}");
+        let payload = DataPayload::text(&doc.text());
+        let span = composition.append(&tag, &payload.bytes);
+        entries.push(DescriptorEntry { tag, kind: DataKind::Text, location: DataLocation::Composition(span) });
+    }
+    for (i, image) in obj.images.iter().enumerate() {
+        let tag = format!("img{i}");
+        let payload = DataPayload::image(&image.render());
+        let span = composition.append(&tag, &payload.bytes);
+        entries.push(DescriptorEntry { tag, kind: DataKind::Image, location: DataLocation::Composition(span) });
+    }
+    for (i, seg) in obj.voice_segments.iter().enumerate() {
+        let tag = format!("voice{i}");
+        let payload = DataPayload::voice(seg.audio.samples(), seg.audio.sample_rate());
+        let span = composition.append(&tag, &payload.bytes);
+        entries.push(DescriptorEntry { tag, kind: DataKind::Voice, location: DataLocation::Composition(span) });
+    }
+    ArchivedObject {
+        descriptor: ObjectDescriptor {
+            object_id: obj.id,
+            name: obj.name.clone(),
+            driving_mode: obj.driving_mode,
+            attributes: obj.attributes.iter().map(|a| (a.name.clone(), a.value.clone())).collect(),
+            entries,
+        },
+        composition,
+    }
+}
+
+/// A transparency sheet for the x-ray: a circle pinpointing the shadow with
+/// a short annotation bar under the image area (Figures 5–6).
+fn xray_annotation_sheet(size: minos_types::Size, shadow: Point, offset: i32) -> Bitmap {
+    let mut sheet = Bitmap::new(size.width, size.height);
+    minos_image::raster::draw_circle(&mut sheet, shadow, (14 + offset * 4) as u32);
+    // Annotation bar: a distinct stripe near the bottom per sheet.
+    let y = size.height as i32 - 12 - offset * 6;
+    for x in 10..(size.width as i32 - 10) {
+        sheet.set(x, y, true);
+    }
+    sheet
+}
+
+/// Figures 1–2 + 3–6 (visual half): the visual-mode examination report.
+///
+/// Text segment 0 holds the findings; image 0 is the x-ray, pinned as a
+/// visual logical message over the findings chapter so the doctor "can
+/// browse through the related text by keeping continuously the x-ray in
+/// front of him"; images 1–2 are the annotation transparencies.
+pub fn medical_report(id: ObjectId, seed: u64) -> MultimediaObject {
+    let (xray, shadow) = xray_bitmap(seed, 400, 260);
+    // The dictated findings plus the elaborations a written report carries;
+    // long enough that the related text spans several pages under the
+    // pinned x-ray, as in Figures 3-4 ("Three pages are needed in this
+    // particular example").
+    const ELABORATIONS: [&str; 4] = [
+        "comparison with the prior film of last year shows no change in the \
+         surrounding tissue and the heart outline remains normal in size and \
+         shape throughout the examined region.",
+        "the costophrenic angles are sharp on both sides. the bony structures \
+         of the thorax show no lesion and the soft tissues are unremarkable \
+         in every respect that this examination can establish.",
+        "the trachea is central and the mediastinum is not widened. both hila \
+         are of normal density and position. the visualized portions of the \
+         upper abdomen appear normal.",
+        "exposure technique and patient positioning were verified against the \
+         standing protocol of the department and found satisfactory for \
+         diagnostic purposes.",
+    ];
+    let mut findings = String::new();
+    for (i, para) in xray_dictation().split('\n').enumerate() {
+        findings.push_str(&format!(".pp\n{para}\n"));
+        findings.push_str(&format!(".pp\n{}\n", ELABORATIONS[i % ELABORATIONS.len()]));
+        findings.push_str(&format!(".pp\n{}\n", ELABORATIONS[(i + 2) % ELABORATIONS.len()]));
+    }
+    let markup = format!(
+        ".ti Examination Report {}\n.ab\nChest film examination with annotated findings.\n\
+         .ch Findings\n{findings}.ch Conclusion\nFollow up in three months.\n",
+        id.raw()
+    );
+    let doc = minos_text::parse_markup(&markup).expect("report markup parses");
+    // Anchor: the findings chapter's span.
+    let findings_span = doc.tree().chapters[0].span;
+    let sheet_a = xray_annotation_sheet(xray.size(), shadow, 0);
+    let sheet_b = xray_annotation_sheet(xray.size(), shadow, 1);
+
+    let mut obj = MultimediaObject::new(id, format!("report-{}", id.raw()), DrivingMode::Visual);
+    obj.attributes.push(Attribute { name: "author".into(), value: "doctor jones".into() });
+    obj.attributes.push(Attribute { name: "kind".into(), value: "radiology report".into() });
+    obj.text_segments.push(doc);
+    obj.images.push(Image::Bitmap(xray));
+    obj.images.push(Image::Bitmap(sheet_a));
+    obj.images.push(Image::Bitmap(sheet_b));
+    obj.messages.push(LogicalMessage {
+        anchor: Anchor::TextSegment { segment: 0, span: findings_span },
+        body: MessageBody::Visual {
+            content: VisualMessageContent { text: Some("patient x-ray".into()), image: Some(0) },
+            show_once: false,
+        },
+    });
+    obj.transparency_sets.push(TransparencySetSpec {
+        base_image: 0,
+        sheets: vec![1, 2],
+        display: TransparencyDisplay::Stacked,
+    });
+    obj.archive().expect("medical report is consistent");
+    obj
+}
+
+/// Figures 3–6 (audio half): the audio-mode dictation with the x-ray
+/// attached as a visual logical message to the section of speech that
+/// describes it — "the x-ray will only appear on the screen of the
+/// workstation during the related section of the speech" (§3).
+pub fn audio_xray_report(id: ObjectId, seed: u64) -> MultimediaObject {
+    let recognizer = Recognizer::new(
+        ["shadow", "film", "biopsy", "lung", "patient"],
+        RecognizerConfig { hit_rate: 0.9, false_alarm_rate: 0.01, seed },
+    );
+    let segment = VoiceSegment::dictate(xray_dictation(), &SpeakerProfile::CLEAR, seed)
+        .with_marks(&[LogicalLevel::Paragraph, LogicalLevel::Sentence])
+        .with_recognition(&recognizer);
+    // The finding is paragraph 2 of the dictation.
+    let para_starts = &segment.transcript.paragraph_starts;
+    let finding_span = minos_types::TimeSpan::new(
+        para_starts[1],
+        para_starts.get(2).copied().unwrap_or(minos_types::SimInstant::EPOCH + segment.duration()),
+    );
+    let (xray, _) = xray_bitmap(seed, 400, 260);
+
+    let mut obj = MultimediaObject::new(id, format!("dictation-{}", id.raw()), DrivingMode::Audio);
+    obj.attributes.push(Attribute { name: "author".into(), value: "doctor jones".into() });
+    obj.voice_segments.push(segment);
+    obj.images.push(Image::Bitmap(xray));
+    obj.messages.push(LogicalMessage {
+        anchor: Anchor::VoiceSegment { segment: 0, span: finding_span },
+        body: MessageBody::Visual {
+            content: VisualMessageContent { text: Some("the film under discussion".into()), image: Some(0) },
+            show_once: false,
+        },
+    });
+    obj.archive().expect("audio report is consistent");
+    obj
+}
+
+/// Figures 7–8: the subway map with relevant objects. Returns the parent
+/// map object plus the two relevant objects (hospital sites, university
+/// sites) whose images are marker transparencies superimposed on the map
+/// when their indicator is selected.
+pub fn subway_map_object(
+    parent_id: ObjectId,
+    hospitals_id: ObjectId,
+    university_id: ObjectId,
+    seed: u64,
+) -> (MultimediaObject, Vec<MultimediaObject>) {
+    let map = subway_map(seed, 900, 700, 3, 6);
+    let size = minos_types::Size::new(900, 700);
+    let hospital_points: Vec<Point> =
+        map.stations.iter().filter(|s| s.hospital).map(|s| s.at).collect();
+    let university_points: Vec<Point> =
+        map.stations.iter().filter(|s| s.university).map(|s| s.at).collect();
+
+    let make_overlay = |id: ObjectId, name: &str, points: &[Point]| {
+        let mut o = MultimediaObject::new(id, name, DrivingMode::Visual);
+        o.images
+            .push(Image::Bitmap(marker_transparency(size.width, size.height, points)));
+        o.text_segments.push(
+            minos_text::parse_markup(&format!("{name} sites of the city shown on the map.\n"))
+                .expect("overlay markup"),
+        );
+        o.archive().expect("overlay consistent");
+        o
+    };
+    let hospitals = make_overlay(hospitals_id, "hospitals", &hospital_points);
+    let university = make_overlay(university_id, "university", &university_points);
+
+    let mut parent = MultimediaObject::new(parent_id, "subway-map", DrivingMode::Visual);
+    parent.images.push(Image::Graphics(map.image));
+    parent.relevant.push(RelevantLink {
+        label: "hospitals".into(),
+        target: hospitals_id,
+        anchor: Anchor::Image { image: 0 },
+        relevances: hospital_points
+            .iter()
+            .map(|p| Relevance::ImagePolygon {
+                image: 0,
+                vertices: vec![
+                    p.offset(-12, -12),
+                    p.offset(12, -12),
+                    p.offset(12, 12),
+                    p.offset(-12, 12),
+                ],
+            })
+            .collect(),
+    });
+    parent.relevant.push(RelevantLink {
+        label: "university".into(),
+        target: university_id,
+        anchor: Anchor::Image { image: 0 },
+        relevances: vec![],
+    });
+    parent.archive().expect("subway map consistent");
+    (parent, vec![hospitals, university])
+}
+
+/// Figures 9–10: the guided city walk as a process simulation — "done with
+/// a single image and overwrites on the top of it. The overwrites have
+/// logical voice messages associated with them" (§3). The blank spots mark
+/// the route walked so far.
+pub fn city_walk_object(id: ObjectId, seed: u64) -> MultimediaObject {
+    let narrations = tour_narrations();
+    let (mut city, route) = city_view(seed, 700, 500, narrations.len());
+    // Draw a solid site marker at every stop: the walk's overwrites blank
+    // these markers one by one ("The blank spots identify the route
+    // followed so far").
+    for stop in &route {
+        city.fill_rect(Rect::new(stop.x - 8, stop.y - 8, 16, 16), true);
+    }
+    let mut obj = MultimediaObject::new(id, "city-walk", DrivingMode::Visual);
+    obj.images.push(Image::Bitmap(city));
+
+    let mut steps = Vec::new();
+    for (i, (stop, narration)) in route.iter().zip(narrations.iter()).enumerate() {
+        let segment = VoiceSegment::dictate(narration, &SpeakerProfile::CLEAR, seed + i as u64);
+        let duration = segment.duration();
+        obj.voice_segments.push(segment);
+        obj.messages.push(LogicalMessage {
+            anchor: Anchor::Image { image: 0 },
+            body: MessageBody::Voice { segment: i, duration },
+        });
+        steps.push(minos_object::model::ProcessStep {
+            overwrite: Overwrite::blank(Rect::new(stop.x - 8, stop.y - 8, 16, 16)),
+            message: Some(i),
+        });
+    }
+    obj.process_sims.push(minos_object::model::ProcessSimulation {
+        base_image: 0,
+        steps,
+        interval: SimDuration::from_secs(3),
+    });
+    obj.archive().expect("city walk consistent");
+    obj
+}
+
+/// Figures 1–2: an ordinary office document (text, headings, a figure).
+pub fn office_document(id: ObjectId, seed: u64, chapters: usize) -> MultimediaObject {
+    let markup = crate::documents::office_markup(seed, chapters, 2, 3);
+    let doc = minos_text::parse_markup(&markup).expect("office markup parses");
+    let (figure, _) = xray_bitmap(seed + 17, 300, 180);
+    let mut obj = MultimediaObject::new(id, format!("office-{}", id.raw()), DrivingMode::Visual);
+    obj.attributes.push(Attribute { name: "kind".into(), value: "office document".into() });
+    obj.text_segments.push(doc);
+    obj.images.push(Image::Bitmap(figure));
+    obj.archive().expect("office document consistent");
+    obj
+}
+
+/// Attaches a voice logical message to a span of the object's first text
+/// segment (used in tests of overlapping-message semantics).
+pub fn attach_voice_note(
+    obj: &mut MultimediaObject,
+    span: CharSpan,
+    note_text: &str,
+    seed: u64,
+) -> usize {
+    let segment = VoiceSegment::dictate(note_text, &SpeakerProfile::CLEAR, seed);
+    let duration = segment.duration();
+    obj.voice_segments.push(segment);
+    let voice_index = obj.voice_segments.len() - 1;
+    obj.messages.push(LogicalMessage {
+        anchor: Anchor::TextSegment { segment: 0, span },
+        body: MessageBody::Voice { segment: voice_index, duration },
+    });
+    obj.messages.len() - 1
+}
+
+/// A harbor-city map with voice-labelled sites and a designer tour over it
+/// (§2's tour + voice-label facilities; used by the tour runner tests and
+/// the tourist-information scenario of §3).
+pub fn harbor_tour_object(id: ObjectId, seed: u64) -> MultimediaObject {
+    use minos_image::{GraphicsImage, GraphicsObject, Label, LabelContent, Shape, Tour, TourStop};
+
+    let narrations = tour_narrations();
+    let mut map = GraphicsImage::new(900, 700);
+    // Waterfront: a polyline across the map.
+    map.push(GraphicsObject::new(Shape::Polyline(vec![
+        Point::new(0, 620),
+        Point::new(300, 560),
+        Point::new(600, 640),
+        Point::new(899, 580),
+    ])));
+    // Sites with voice labels, spread along the walk's diagonal.
+    let site_names = ["city gate", "market square", "cathedral", "promenade", "old crane", "fish hall"];
+    let mut sites = Vec::new();
+    for (i, name) in site_names.iter().enumerate() {
+        let at = Point::new(80 + i as i32 * 140, 90 + i as i32 * 90);
+        map.push(
+            GraphicsObject::new(Shape::Circle { center: at, radius: 12, filled: i % 2 == 0 })
+                .with_label(Label {
+                    content: LabelContent::Voice {
+                        tag: format!("site-{i}"),
+                        transcript: (*name).to_string(),
+                    },
+                    anchor: at.offset(16, -10),
+                    visible: true,
+                }),
+        );
+        sites.push(at);
+    }
+
+    let mut obj = MultimediaObject::new(id, "harbor-tour", DrivingMode::Visual);
+    obj.images.push(Image::Graphics(map));
+
+    // Narrated voice messages for the first stops, a visual note for the
+    // rest — tours may attach either kind (§2).
+    let mut stops = Vec::new();
+    for (i, &site) in sites.iter().enumerate().take(4) {
+        let message = if i < narrations.len().min(2) {
+            let segment = VoiceSegment::dictate(narrations[i], &SpeakerProfile::CLEAR, seed + i as u64);
+            let duration = segment.duration();
+            obj.voice_segments.push(segment);
+            obj.messages.push(LogicalMessage {
+                anchor: Anchor::Image { image: 0 },
+                body: MessageBody::Voice { segment: obj.voice_segments.len() - 1, duration },
+            });
+            Some(obj.messages.len() - 1)
+        } else {
+            obj.messages.push(LogicalMessage {
+                anchor: Anchor::Image { image: 0 },
+                body: MessageBody::Visual {
+                    content: VisualMessageContent {
+                        text: Some(format!("tour stop {}", i + 1)),
+                        image: None,
+                    },
+                    show_once: false,
+                },
+            });
+            Some(obj.messages.len() - 1)
+        };
+        stops.push(TourStop {
+            position: site.offset(-110, -80),
+            message,
+            dwell: SimDuration::from_secs(3),
+        });
+    }
+    let tour = Tour::new(
+        minos_types::Size::new(900, 700),
+        minos_types::Size::new(260, 200),
+        stops,
+    )
+    .expect("tour is well formed");
+    obj.tours.push(minos_object::TourSpec { image: 0, tour });
+    obj.archive().expect("harbor tour consistent");
+    obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medical_report_is_archived_and_consistent() {
+        let obj = medical_report(ObjectId::new(1), 42);
+        assert!(obj.is_archived());
+        assert_eq!(obj.images.len(), 3);
+        assert_eq!(obj.messages.len(), 1);
+        assert_eq!(obj.transparency_sets.len(), 1);
+        obj.validate().unwrap();
+        // The pinned message anchors the findings chapter.
+        match obj.messages[0].anchor {
+            Anchor::TextSegment { segment: 0, span } => {
+                let text = obj.text_segments[0].slice(span);
+                assert!(text.contains("shadow"));
+            }
+            ref other => panic!("unexpected anchor {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audio_report_attaches_xray_to_finding_speech() {
+        let obj = audio_xray_report(ObjectId::new(2), 7);
+        assert_eq!(obj.driving_mode, DrivingMode::Audio);
+        let seg = &obj.voice_segments[0];
+        assert!(!seg.utterances.is_empty(), "recognition ran");
+        assert!(!seg.marks.available_levels().is_empty(), "marks recorded");
+        match obj.messages[0].anchor {
+            Anchor::VoiceSegment { segment: 0, span } => {
+                // The anchored span is paragraph 2.
+                assert_eq!(span.start, seg.transcript.paragraph_starts[1]);
+            }
+            ref other => panic!("unexpected anchor {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subway_bundle_links_to_overlays() {
+        let (parent, overlays) =
+            subway_map_object(ObjectId::new(3), ObjectId::new(4), ObjectId::new(5), 11);
+        assert_eq!(parent.relevant.len(), 2);
+        assert_eq!(overlays.len(), 2);
+        assert_eq!(parent.relevant[0].target, overlays[0].id);
+        assert!(overlays.iter().all(|o| o.is_archived()));
+        // Overlay images share the map's size so superposition is aligned.
+        assert_eq!(overlays[0].images[0].size(), parent.images[0].size());
+    }
+
+    #[test]
+    fn city_walk_steps_carry_voice_messages() {
+        let obj = city_walk_object(ObjectId::new(6), 3);
+        let sim = &obj.process_sims[0];
+        assert_eq!(sim.steps.len(), 4);
+        assert_eq!(obj.voice_segments.len(), 4);
+        for step in &sim.steps {
+            let m = step.message.expect("every step narrated");
+            assert!(obj.messages[m].body.is_voice());
+        }
+    }
+
+    #[test]
+    fn archived_form_round_trips_each_part() {
+        let obj = medical_report(ObjectId::new(7), 5);
+        let archived = archived_form(&obj);
+        assert_eq!(archived.descriptor.entries.len(), 1 + 3);
+        // Text payload reads back as the document text.
+        let entry = archived.descriptor.entry("text0").unwrap();
+        let bytes = archived.composition.read(entry.location.span()).unwrap();
+        let text = String::from_utf8(bytes.to_vec()).unwrap();
+        assert!(text.contains("Findings"));
+        // Image payload decodes to the x-ray's raster.
+        let entry = archived.descriptor.entry("img0").unwrap();
+        let bytes = archived.composition.read(entry.location.span()).unwrap();
+        let payload = DataPayload { kind: DataKind::Image, bytes: bytes.to_vec() };
+        assert_eq!(payload.as_image().unwrap(), obj.images[0].render());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = medical_report(ObjectId::new(9), 3);
+        let b = medical_report(ObjectId::new(9), 3);
+        assert_eq!(a.text_segments[0].text(), b.text_segments[0].text());
+        assert_eq!(a.images[0].render(), b.images[0].render());
+    }
+
+    #[test]
+    fn attach_voice_note_appends_message() {
+        let mut obj = MultimediaObject::new(ObjectId::new(10), "notes", DrivingMode::Visual);
+        obj.text_segments
+            .push(minos_text::parse_markup("a paragraph to annotate\n").unwrap());
+        let idx = attach_voice_note(&mut obj, CharSpan::new(0, 5), "listen to this note", 1);
+        assert_eq!(idx, 0);
+        assert_eq!(obj.voice_segments.len(), 1);
+        obj.validate().unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! Dictation scripts for the voice synthesizer.
+
+use crate::documents::WORDS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A doctor's x-ray dictation: the Figure 3–6 scenario text. Paragraph one
+/// describes the film; paragraph two the finding; paragraph three the plan.
+pub fn xray_dictation() -> &'static str {
+    "this is the chest film of the patient taken on tuesday morning. \
+     the exposure is good and the positioning is adequate.\n\
+     there is a small round shadow in the upper left lung field. \
+     the shadow measures about one centimeter. the margins are smooth. \
+     no other abnormality is seen.\n\
+     i recommend a follow up film in three months. \
+     if the shadow grows a biopsy will be necessary."
+}
+
+/// A generated dictation of `paragraphs` paragraphs with
+/// `sentences_per` sentences each, deterministic in `seed`.
+pub fn dictation(seed: u64, paragraphs: usize, sentences_per: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut out = String::new();
+    for p in 0..paragraphs.max(1) {
+        if p > 0 {
+            out.push('\n');
+        }
+        let sentences: Vec<String> = (0..sentences_per.max(1))
+            .map(|_| {
+                let len = rng.gen_range(5..12);
+                let words: Vec<&str> =
+                    (0..len).map(|_| WORDS[rng.gen_range(0..WORDS.len())]).collect();
+                format!("{}.", words.join(" "))
+            })
+            .collect();
+        out.push_str(&sentences.join(" "));
+    }
+    out
+}
+
+/// Short voice-label scripts for map objects.
+pub fn tour_narrations() -> [&'static str; 4] {
+    [
+        "we start at the old city gate built in the twelfth century.",
+        "this is the market square with the famous clock tower.",
+        "the cathedral on your left took two hundred years to complete.",
+        "finally the river promenade where the walk ends.",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictation_is_deterministic_and_sized() {
+        assert_eq!(dictation(5, 3, 4), dictation(5, 3, 4));
+        let d = dictation(5, 3, 4);
+        assert_eq!(d.split('\n').count(), 3);
+        for para in d.split('\n') {
+            assert_eq!(para.matches('.').count(), 4);
+        }
+    }
+
+    #[test]
+    fn xray_dictation_has_three_paragraphs() {
+        assert_eq!(xray_dictation().split('\n').count(), 3);
+        assert!(xray_dictation().contains("shadow"));
+    }
+
+    #[test]
+    fn narrations_are_nonempty() {
+        for n in tour_narrations() {
+            assert!(n.split_whitespace().count() > 4);
+        }
+    }
+}

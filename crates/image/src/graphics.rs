@@ -1,0 +1,303 @@
+//! Graphics objects and labels.
+//!
+//! "Images with graphics contain graphics objects such as points, polygons,
+//! polylines, circles, etc. Graphics objects may have a label associated
+//! with them. A label is some short information about the object. The
+//! presentation form of a label may be invisible, text label, or voice
+//! label." (§2)
+
+use minos_types::{bounding_box, polygon_contains, Point, Rect};
+
+/// The geometric shape of a graphics object.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Shape {
+    /// A single pixel marker.
+    Point(Point),
+    /// An open chain of line segments.
+    Polyline(Vec<Point>),
+    /// A closed polygon, optionally filled ("possibly shaded", §2).
+    Polygon {
+        /// Vertices in order.
+        vertices: Vec<Point>,
+        /// Whether the interior is shaded.
+        filled: bool,
+    },
+    /// A circle, optionally filled.
+    Circle {
+        /// Centre.
+        center: Point,
+        /// Radius in pixels.
+        radius: u32,
+        /// Whether the interior is shaded.
+        filled: bool,
+    },
+}
+
+impl Shape {
+    /// Axis-aligned bounding box of the shape (used for highlighting and
+    /// hit-testing). `None` for degenerate empty shapes.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        match self {
+            Shape::Point(p) => Some(Rect::new(p.x, p.y, 1, 1)),
+            Shape::Polyline(pts) => bounding_box(pts),
+            Shape::Polygon { vertices, .. } => bounding_box(vertices),
+            Shape::Circle { center, radius, .. } => {
+                let r = *radius as i32;
+                Some(Rect::new(center.x - r, center.y - r, 2 * radius + 1, 2 * radius + 1))
+            }
+        }
+    }
+
+    /// Whether `p` hits the shape (interior for closed shapes, bounding box
+    /// for polylines — generous hit targets suit mouse selection).
+    pub fn hit_test(&self, p: Point) -> bool {
+        match self {
+            Shape::Point(q) => p.distance_sq(*q) <= 4,
+            Shape::Polyline(_) => self.bounding_box().map(|b| b.contains(p)).unwrap_or(false),
+            Shape::Polygon { vertices, .. } => polygon_contains(vertices, p),
+            Shape::Circle { center, radius, .. } => {
+                p.distance_sq(*center) <= (*radius as i64) * (*radius as i64)
+            }
+        }
+    }
+}
+
+/// What a label presents when activated.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LabelContent {
+    /// A short piece of text displayed near the object.
+    Text(String),
+    /// A short piece of voice, named by its data-file tag; a voice label
+    /// indicator is displayed and the voice plays on selection.
+    Voice {
+        /// Tag of the voice data file.
+        tag: String,
+        /// Transcript of the label (what recognition/indexing sees).
+        transcript: String,
+    },
+}
+
+impl LabelContent {
+    /// The searchable text of the label — the text itself, or the voice
+    /// label's transcript ("the user can specify a pattern and request that
+    /// the objects in which this pattern appears within their label are
+    /// highlighted", §2).
+    pub fn searchable_text(&self) -> &str {
+        match self {
+            LabelContent::Text(t) => t,
+            LabelContent::Voice { transcript, .. } => transcript,
+        }
+    }
+
+    /// Whether this is a voice label.
+    pub fn is_voice(&self) -> bool {
+        matches!(self, LabelContent::Voice { .. })
+    }
+}
+
+/// A label attached to a graphics object.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Label {
+    /// What the label presents.
+    pub content: LabelContent,
+    /// Designer-specified display position near the object.
+    pub anchor: Point,
+    /// Invisible labels "do not display any information about their
+    /// existence by default" (§2) but still participate in search.
+    pub visible: bool,
+}
+
+/// One graphics object: a shape plus an optional label.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GraphicsObject {
+    /// Geometry.
+    pub shape: Shape,
+    /// Optional label.
+    pub label: Option<Label>,
+}
+
+impl GraphicsObject {
+    /// An unlabelled object.
+    pub fn new(shape: Shape) -> Self {
+        GraphicsObject { shape, label: None }
+    }
+
+    /// Attaches a label.
+    pub fn with_label(mut self, label: Label) -> Self {
+        self.label = Some(label);
+        self
+    }
+}
+
+/// A graphics image: an extent plus its objects in z-order.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct GraphicsImage {
+    /// Pixel extent of the image.
+    pub width: u32,
+    /// Pixel extent of the image.
+    pub height: u32,
+    /// Objects, first drawn first.
+    pub objects: Vec<GraphicsObject>,
+}
+
+impl GraphicsImage {
+    /// Creates an empty graphics image.
+    pub fn new(width: u32, height: u32) -> Self {
+        GraphicsImage { width, height, objects: Vec::new() }
+    }
+
+    /// Adds an object, returning its index.
+    pub fn push(&mut self, object: GraphicsObject) -> usize {
+        self.objects.push(object);
+        self.objects.len() - 1
+    }
+
+    /// The topmost object hit by `p`, if any (later objects are on top).
+    pub fn object_at(&self, p: Point) -> Option<usize> {
+        self.objects.iter().rposition(|o| o.shape.hit_test(p))
+    }
+
+    /// Indices of objects whose label text contains `pattern`
+    /// (case-insensitive) — the highlight query of §2.
+    pub fn objects_with_label_pattern(&self, pattern: &str) -> Vec<usize> {
+        let needle = pattern.to_lowercase();
+        if needle.is_empty() {
+            return Vec::new();
+        }
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| {
+                o.label
+                    .as_ref()
+                    .map(|l| l.content.searchable_text().to_lowercase().contains(&needle))
+                    .unwrap_or(false)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// All voice labels in the image in z-order, as `(object index, tag)` —
+    /// the system-defined order used when "the user … request\[s\] that all
+    /// voice labels are played" (§2).
+    pub fn voice_labels(&self) -> Vec<(usize, &str)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| match &o.label {
+                Some(Label { content: LabelContent::Voice { tag, .. }, .. }) => {
+                    Some((i, tag.as_str()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labelled(shape: Shape, text: &str) -> GraphicsObject {
+        GraphicsObject::new(shape).with_label(Label {
+            content: LabelContent::Text(text.into()),
+            anchor: Point::new(0, 0),
+            visible: true,
+        })
+    }
+
+    #[test]
+    fn shape_bounding_boxes() {
+        assert_eq!(
+            Shape::Point(Point::new(3, 4)).bounding_box(),
+            Some(Rect::new(3, 4, 1, 1))
+        );
+        assert_eq!(
+            Shape::Circle { center: Point::new(10, 10), radius: 3, filled: false }
+                .bounding_box(),
+            Some(Rect::new(7, 7, 7, 7))
+        );
+        let poly = Shape::Polygon {
+            vertices: vec![Point::new(0, 0), Point::new(4, 0), Point::new(2, 6)],
+            filled: true,
+        };
+        assert_eq!(poly.bounding_box(), Some(Rect::new(0, 0, 5, 7)));
+        assert_eq!(Shape::Polyline(vec![]).bounding_box(), None);
+    }
+
+    #[test]
+    fn hit_tests() {
+        let circle = Shape::Circle { center: Point::new(10, 10), radius: 5, filled: true };
+        assert!(circle.hit_test(Point::new(10, 10)));
+        assert!(circle.hit_test(Point::new(13, 13))); // dist^2 = 18 <= 25
+        assert!(!circle.hit_test(Point::new(14, 14))); // dist^2 = 32 > 25
+        let square = Shape::Polygon {
+            vertices: vec![
+                Point::new(0, 0),
+                Point::new(10, 0),
+                Point::new(10, 10),
+                Point::new(0, 10),
+            ],
+            filled: false,
+        };
+        assert!(square.hit_test(Point::new(5, 5)));
+        assert!(!square.hit_test(Point::new(15, 5)));
+        assert!(Shape::Point(Point::new(2, 2)).hit_test(Point::new(3, 3)));
+        assert!(!Shape::Point(Point::new(2, 2)).hit_test(Point::new(6, 6)));
+    }
+
+    #[test]
+    fn object_at_returns_topmost() {
+        let mut img = GraphicsImage::new(100, 100);
+        let below = img.push(labelled(
+            Shape::Circle { center: Point::new(50, 50), radius: 20, filled: true },
+            "below",
+        ));
+        let above = img.push(labelled(
+            Shape::Circle { center: Point::new(50, 50), radius: 10, filled: true },
+            "above",
+        ));
+        assert_eq!(img.object_at(Point::new(50, 50)), Some(above));
+        assert_eq!(img.object_at(Point::new(65, 50)), Some(below));
+        assert_eq!(img.object_at(Point::new(90, 90)), None);
+    }
+
+    #[test]
+    fn label_pattern_search_is_case_insensitive() {
+        let mut img = GraphicsImage::new(200, 200);
+        img.push(labelled(Shape::Point(Point::new(1, 1)), "General Hospital"));
+        img.push(labelled(Shape::Point(Point::new(2, 2)), "City Hall"));
+        img.push(GraphicsObject::new(Shape::Point(Point::new(3, 3)))); // no label
+        img.push(labelled(Shape::Point(Point::new(4, 4)), "hospital annex"));
+        assert_eq!(img.objects_with_label_pattern("HOSPITAL"), vec![0, 3]);
+        assert_eq!(img.objects_with_label_pattern("hall"), vec![1]);
+        assert!(img.objects_with_label_pattern("").is_empty());
+    }
+
+    #[test]
+    fn voice_label_transcripts_are_searchable() {
+        let mut img = GraphicsImage::new(100, 100);
+        img.push(GraphicsObject::new(Shape::Point(Point::new(5, 5))).with_label(Label {
+            content: LabelContent::Voice {
+                tag: "v1".into(),
+                transcript: "university of waterloo".into(),
+            },
+            anchor: Point::new(5, 5),
+            visible: true,
+        }));
+        assert_eq!(img.objects_with_label_pattern("waterloo"), vec![0]);
+        assert_eq!(img.voice_labels(), vec![(0, "v1")]);
+        assert!(img.objects[0].label.as_ref().unwrap().content.is_voice());
+    }
+
+    #[test]
+    fn invisible_labels_still_searchable() {
+        let mut img = GraphicsImage::new(100, 100);
+        img.push(GraphicsObject::new(Shape::Point(Point::new(5, 5))).with_label(Label {
+            content: LabelContent::Text("hidden landmark".into()),
+            anchor: Point::new(5, 5),
+            visible: false,
+        }));
+        assert_eq!(img.objects_with_label_pattern("landmark"), vec![0]);
+    }
+}

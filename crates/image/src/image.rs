@@ -1,0 +1,116 @@
+//! The image type: bitmap or graphics.
+
+use crate::bitmap::Bitmap;
+use crate::graphics::GraphicsImage;
+use crate::raster::render_graphics;
+use minos_types::Size;
+
+/// An image part of a multimedia object (§2: "Images in MINOS may be
+/// bitmaps or graphics").
+#[derive(Clone, PartialEq, Debug)]
+pub enum Image {
+    /// A captured raster (e.g. a scanned page or an x-ray).
+    Bitmap(Bitmap),
+    /// A structured drawing whose archival form is symbolic.
+    Graphics(GraphicsImage),
+}
+
+impl Image {
+    /// Pixel extent.
+    pub fn size(&self) -> Size {
+        match self {
+            Image::Bitmap(b) => b.size(),
+            Image::Graphics(g) => Size::new(g.width, g.height),
+        }
+    }
+
+    /// Renders to a raster for display. Bitmaps are returned as-is
+    /// (cloned); graphics are rasterized.
+    pub fn render(&self) -> Bitmap {
+        match self {
+            Image::Bitmap(b) => b.clone(),
+            Image::Graphics(g) => render_graphics(g),
+        }
+    }
+
+    /// Approximate stored size in bytes: raster bytes for bitmaps, a
+    /// symbolic estimate for graphics (vertices are compact — the reason
+    /// graphics archival forms are small).
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            Image::Bitmap(b) => b.byte_size(),
+            Image::Graphics(g) => {
+                let mut bytes = 8u64;
+                for o in &g.objects {
+                    bytes += 16; // shape header
+                    bytes += match &o.shape {
+                        crate::graphics::Shape::Point(_) => 8,
+                        crate::graphics::Shape::Polyline(p) => 8 * p.len() as u64,
+                        crate::graphics::Shape::Polygon { vertices, .. } => {
+                            8 * vertices.len() as u64
+                        }
+                        crate::graphics::Shape::Circle { .. } => 12,
+                    };
+                    if let Some(l) = &o.label {
+                        bytes += 16 + l.content.searchable_text().len() as u64;
+                    }
+                }
+                bytes
+            }
+        }
+    }
+
+    /// The graphics structure, if this is a graphics image (labels and
+    /// object hit-testing only exist for graphics).
+    pub fn as_graphics(&self) -> Option<&GraphicsImage> {
+        match self {
+            Image::Graphics(g) => Some(g),
+            Image::Bitmap(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphics::{GraphicsObject, Shape};
+    use minos_types::Point;
+
+    #[test]
+    fn bitmap_image_round_trip() {
+        let mut bm = Bitmap::new(10, 8);
+        bm.set(3, 3, true);
+        let img = Image::Bitmap(bm.clone());
+        assert_eq!(img.size(), Size::new(10, 8));
+        assert_eq!(img.render(), bm);
+        assert_eq!(img.byte_size(), bm.byte_size());
+        assert!(img.as_graphics().is_none());
+    }
+
+    #[test]
+    fn graphics_image_renders() {
+        let mut g = GraphicsImage::new(20, 20);
+        g.push(GraphicsObject::new(Shape::Circle {
+            center: Point::new(10, 10),
+            radius: 5,
+            filled: false,
+        }));
+        let img = Image::Graphics(g);
+        let bm = img.render();
+        assert!(bm.get(15, 10));
+        assert!(img.as_graphics().is_some());
+    }
+
+    #[test]
+    fn graphics_are_much_smaller_than_their_raster() {
+        let mut g = GraphicsImage::new(1000, 1000);
+        g.push(GraphicsObject::new(Shape::Circle {
+            center: Point::new(500, 500),
+            radius: 400,
+            filled: false,
+        }));
+        let img = Image::Graphics(g);
+        let raster_bytes = img.render().byte_size();
+        assert!(img.byte_size() * 100 < raster_bytes);
+    }
+}

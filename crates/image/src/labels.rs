@@ -1,0 +1,196 @@
+//! Label-based browsing over large images.
+//!
+//! "Labels may be used to identify the corresponding objects in an image.
+//! The user can specify a pattern and request that the objects in which
+//! this pattern appears within their label are highlighted. This facility
+//! is useful for browsing through large images with many objects on them,
+//! such as a road map. The inverse facility is also provided: the user can
+//! select an object using the mouse and the system plays or displays the
+//! label associated with the object." (§2)
+
+use crate::bitmap::Bitmap;
+use crate::graphics::{GraphicsImage, LabelContent};
+use crate::raster::draw_polygon_outline;
+use minos_types::{Point, Rect};
+
+/// Query interface over a graphics image's labels.
+#[derive(Clone, Debug)]
+pub struct LabelIndex<'a> {
+    image: &'a GraphicsImage,
+}
+
+/// The result of activating (mouse-selecting) an object.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LabelActivation<'a> {
+    /// The object has a text label: display it.
+    DisplayText(&'a str),
+    /// The object has a voice label: play the named voice data.
+    PlayVoice {
+        /// Voice data-file tag to play.
+        tag: &'a str,
+    },
+    /// The object has no label.
+    Unlabelled,
+}
+
+impl<'a> LabelIndex<'a> {
+    /// Creates the index over an image.
+    pub fn new(image: &'a GraphicsImage) -> Self {
+        LabelIndex { image }
+    }
+
+    /// Objects whose label contains `pattern`, with the bounding boxes to
+    /// highlight.
+    pub fn highlight(&self, pattern: &str) -> Vec<(usize, Rect)> {
+        self.image
+            .objects_with_label_pattern(pattern)
+            .into_iter()
+            .filter_map(|i| self.image.objects[i].shape.bounding_box().map(|b| (i, b)))
+            .collect()
+    }
+
+    /// Renders highlight boxes onto a copy of `rendered` (the displayed
+    /// raster): each matching object gets its bounding box outlined,
+    /// expanded by two pixels so it does not sit on the object's own ink.
+    pub fn render_highlights(&self, rendered: &Bitmap, pattern: &str) -> Bitmap {
+        let mut out = rendered.clone();
+        for (_, bbox) in self.highlight(pattern) {
+            let r = Rect::new(
+                bbox.left() - 2,
+                bbox.top() - 2,
+                bbox.size.width + 4,
+                bbox.size.height + 4,
+            );
+            let corners = [
+                Point::new(r.left(), r.top()),
+                Point::new(r.right() - 1, r.top()),
+                Point::new(r.right() - 1, r.bottom() - 1),
+                Point::new(r.left(), r.bottom() - 1),
+            ];
+            draw_polygon_outline(&mut out, &corners);
+        }
+        out
+    }
+
+    /// The inverse facility: select with the mouse, get the label back.
+    /// Returns `None` when no object is under the pointer.
+    pub fn activate(&self, at: Point) -> Option<LabelActivation<'a>> {
+        let idx = self.image.object_at(at)?;
+        Some(match &self.image.objects[idx].label {
+            Some(label) => match &label.content {
+                LabelContent::Text(t) => LabelActivation::DisplayText(t),
+                LabelContent::Voice { tag, .. } => LabelActivation::PlayVoice { tag },
+            },
+            None => LabelActivation::Unlabelled,
+        })
+    }
+
+    /// All voice-label tags whose object intersects `window`, in z-order —
+    /// what the view plays "as the view moves" with the voice option on
+    /// (§2).
+    pub fn voice_labels_in(&self, window: Rect) -> Vec<&'a str> {
+        self.image
+            .objects
+            .iter()
+            .filter_map(|o| {
+                let label = o.label.as_ref()?;
+                let LabelContent::Voice { tag, .. } = &label.content else { return None };
+                let bbox = o.shape.bounding_box()?;
+                window.intersects(bbox).then_some(tag.as_str())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphics::{GraphicsObject, Label, Shape};
+    use crate::raster::render_graphics;
+
+    fn city_map() -> GraphicsImage {
+        let mut img = GraphicsImage::new(200, 200);
+        img.push(
+            GraphicsObject::new(Shape::Circle {
+                center: Point::new(40, 40),
+                radius: 8,
+                filled: true,
+            })
+            .with_label(Label {
+                content: LabelContent::Text("General Hospital".into()),
+                anchor: Point::new(52, 40),
+                visible: true,
+            }),
+        );
+        img.push(
+            GraphicsObject::new(Shape::Circle {
+                center: Point::new(150, 150),
+                radius: 8,
+                filled: true,
+            })
+            .with_label(Label {
+                content: LabelContent::Voice {
+                    tag: "campus-voice".into(),
+                    transcript: "university campus".into(),
+                },
+                anchor: Point::new(162, 150),
+                visible: true,
+            }),
+        );
+        img.push(GraphicsObject::new(Shape::Point(Point::new(100, 100))));
+        img
+    }
+
+    #[test]
+    fn highlight_returns_bounding_boxes() {
+        let img = city_map();
+        let idx = LabelIndex::new(&img);
+        let hits = idx.highlight("hospital");
+        assert_eq!(hits.len(), 1);
+        let (i, bbox) = hits[0];
+        assert_eq!(i, 0);
+        assert!(bbox.contains(Point::new(40, 40)));
+    }
+
+    #[test]
+    fn render_highlights_draws_boxes_outside_objects() {
+        let img = city_map();
+        let idx = LabelIndex::new(&img);
+        let base = render_graphics(&img);
+        let hl = idx.render_highlights(&base, "hospital");
+        assert!(hl.count_ink() > base.count_ink());
+        // Box corner: bbox is (32,32)-(48,48), expanded -> (30,30).
+        assert!(hl.get(30, 30));
+        // No-match pattern renders identically.
+        assert_eq!(idx.render_highlights(&base, "nomatch"), base);
+    }
+
+    #[test]
+    fn activate_text_voice_and_unlabelled() {
+        let img = city_map();
+        let idx = LabelIndex::new(&img);
+        assert_eq!(
+            idx.activate(Point::new(40, 40)),
+            Some(LabelActivation::DisplayText("General Hospital"))
+        );
+        assert_eq!(
+            idx.activate(Point::new(150, 150)),
+            Some(LabelActivation::PlayVoice { tag: "campus-voice" })
+        );
+        assert_eq!(idx.activate(Point::new(100, 100)), Some(LabelActivation::Unlabelled));
+        assert_eq!(idx.activate(Point::new(5, 5)), None);
+    }
+
+    #[test]
+    fn voice_labels_in_window() {
+        let img = city_map();
+        let idx = LabelIndex::new(&img);
+        assert_eq!(
+            idx.voice_labels_in(Rect::new(100, 100, 100, 100)),
+            vec!["campus-voice"]
+        );
+        assert!(idx.voice_labels_in(Rect::new(0, 0, 60, 60)).is_empty());
+        // Window covering everything finds the one voice label.
+        assert_eq!(idx.voice_labels_in(Rect::new(0, 0, 200, 200)).len(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Image substrate for the MINOS reproduction.
+//!
+//! "Images in MINOS may be bitmaps or graphics. Images with graphics
+//! contain graphics objects such as points, polygons, polylines, circles,
+//! etc. Graphics objects may have a label associated with them." (§2)
+//!
+//! The target display is a 1-bit workstation bitmap (SUN-3 class), so the
+//! whole substrate works in monochrome:
+//!
+//! * [`bitmap`] — bit-packed rasters with replace/or/masked blitting;
+//! * [`graphics`] — graphics objects and their labels (text, voice,
+//!   invisible);
+//! * [`raster`] — Bresenham/midpoint/scanline rasterization of graphics
+//!   into bitmaps;
+//! * [`image`] — the bitmap-or-graphics image type;
+//! * [`miniature`] — representation images ("miniatures"), downsampled
+//!   stand-ins that are "easily transferable to main memory" (§2);
+//! * [`view`] — rectangular views over large images, with menu-style
+//!   moves, jumps and resizes;
+//! * [`tour`] — designer-defined view sequences played automatically;
+//! * [`transparency`] — transparencies and transparency sets with the two
+//!   display methods of §2;
+//! * [`overwrite`] — masked-replace overwrite pages (Figures 9–10);
+//! * [`labels`] — pattern→object highlighting and object→label lookup.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitmap;
+pub mod graphics;
+pub mod image;
+pub mod labels;
+pub mod miniature;
+pub mod overwrite;
+pub mod raster;
+pub mod tour;
+pub mod transparency;
+pub mod view;
+
+pub use bitmap::{Bitmap, BlitMode};
+pub use graphics::{GraphicsImage, GraphicsObject, Label, LabelContent, Shape};
+pub use image::Image;
+pub use labels::LabelIndex;
+pub use miniature::Miniature;
+pub use overwrite::Overwrite;
+pub use tour::{Tour, TourPlayer, TourStop};
+pub use transparency::{TransparencyDisplay, TransparencySet};
+pub use view::View;

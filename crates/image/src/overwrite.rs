@@ -1,0 +1,189 @@
+//! Overwrite pages.
+//!
+//! "An overwrite is a visual page with an image which contains a number of
+//! bitmaps or graphics objects (possibly shaded). When the overwrite page
+//! is turned, the bitmaps, lines, and shades of the overwrite image replace
+//! whatever existed in the previous page but they leave anything else
+//! intact." (§2)
+//!
+//! Unlike a transparency (pure OR), an overwrite can *blank* regions — that
+//! is how Figures 9–10 mark the walked route with "blank spots". The
+//! content therefore carries an explicit mask: where the mask has ink the
+//! destination takes the overwrite's pixel (ink or blank); elsewhere the
+//! previous page shows through.
+
+use crate::bitmap::Bitmap;
+use minos_types::{MinosError, Point, Rect, Result};
+
+/// One overwrite page.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Overwrite {
+    content: Bitmap,
+    mask: Bitmap,
+    at: Point,
+}
+
+impl Overwrite {
+    /// Creates an overwrite whose `content` replaces the destination
+    /// wherever `mask` has ink, positioned at `at`.
+    pub fn new(content: Bitmap, mask: Bitmap, at: Point) -> Result<Self> {
+        if content.size() != mask.size() {
+            return Err(MinosError::Geometry(
+                "overwrite mask must match content size".into(),
+            ));
+        }
+        Ok(Overwrite { content, mask, at })
+    }
+
+    /// An overwrite that paints `content`'s ink (mask = content): the
+    /// common "add these marks" case.
+    pub fn paint(content: Bitmap, at: Point) -> Self {
+        let mask = content.clone();
+        Overwrite { content, mask, at }
+    }
+
+    /// An overwrite that blanks `rect` — the "blank spots identify the
+    /// route followed so far" of Figures 9–10.
+    pub fn blank(rect: Rect) -> Self {
+        let content = Bitmap::new(rect.size.width, rect.size.height);
+        let mut mask = Bitmap::new(rect.size.width, rect.size.height);
+        mask.fill_rect(Rect::of_size(rect.size), true);
+        Overwrite { content, mask, at: rect.origin }
+    }
+
+    /// Position of the overwrite on the page.
+    pub fn position(&self) -> Point {
+        self.at
+    }
+
+    /// The content raster.
+    pub fn content(&self) -> &Bitmap {
+        &self.content
+    }
+
+    /// The mask raster.
+    pub fn mask(&self) -> &Bitmap {
+        &self.mask
+    }
+
+    /// Applies the overwrite to `page` in place.
+    pub fn apply(&self, page: &mut Bitmap) {
+        page.blit_masked(&self.content, &self.mask, self.at);
+    }
+}
+
+/// Applies a sequence of overwrites to a copy of `base`, returning the page
+/// after the `upto`-th overwrite (exclusive upper bound = state after that
+/// many page turns).
+pub fn apply_sequence(base: &Bitmap, overwrites: &[Overwrite], upto: usize) -> Bitmap {
+    let mut page = base.clone();
+    for o in overwrites.iter().take(upto) {
+        o.apply(&mut page);
+    }
+    page
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkerboard(n: u32) -> Bitmap {
+        let mut bm = Bitmap::new(n, n);
+        for y in 0..n as i32 {
+            for x in 0..n as i32 {
+                if (x + y) % 2 == 0 {
+                    bm.set(x, y, true);
+                }
+            }
+        }
+        bm
+    }
+
+    #[test]
+    fn paint_adds_ink_and_leaves_rest_intact() {
+        let base = checkerboard(8);
+        let mut marks = Bitmap::new(3, 3);
+        marks.set(1, 1, true);
+        let ow = Overwrite::paint(marks, Point::new(2, 2));
+        let mut page = base.clone();
+        ow.apply(&mut page);
+        assert!(page.get(3, 3));
+        // Everything outside the single masked pixel is unchanged.
+        for y in 0..8 {
+            for x in 0..8 {
+                if (x, y) != (3, 3) {
+                    assert_eq!(page.get(x, y), base.get(x, y), "changed at ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blank_clears_a_region() {
+        let base = checkerboard(8);
+        let ow = Overwrite::blank(Rect::new(2, 2, 3, 3));
+        let mut page = base.clone();
+        ow.apply(&mut page);
+        for y in 2..5 {
+            for x in 2..5 {
+                assert!(!page.get(x, y), "not blanked at ({x},{y})");
+            }
+        }
+        assert_eq!(page.get(0, 0), base.get(0, 0));
+    }
+
+    #[test]
+    fn masked_content_can_mix_ink_and_blank() {
+        // Replace a 2x2 block with a diagonal: ink at (0,0),(1,1), blank at
+        // the anti-diagonal.
+        let mut content = Bitmap::new(2, 2);
+        content.set(0, 0, true);
+        content.set(1, 1, true);
+        let mut mask = Bitmap::new(2, 2);
+        mask.fill_rect(Rect::new(0, 0, 2, 2), true);
+        let ow = Overwrite::new(content, mask, Point::new(0, 0)).unwrap();
+        let mut page = checkerboard(2);
+        ow.apply(&mut page);
+        assert!(page.get(0, 0) && page.get(1, 1));
+        assert!(!page.get(1, 0) && !page.get(0, 1));
+    }
+
+    #[test]
+    fn size_mismatch_is_error() {
+        assert!(Overwrite::new(Bitmap::new(2, 2), Bitmap::new(3, 3), Point::ORIGIN).is_err());
+    }
+
+    #[test]
+    fn apply_sequence_is_cumulative_and_ordered() {
+        let base = Bitmap::new(8, 8);
+        let mut ink = Bitmap::new(2, 2);
+        ink.fill_rect(Rect::new(0, 0, 2, 2), true);
+        let seq = vec![
+            Overwrite::paint(ink.clone(), Point::new(0, 0)),
+            Overwrite::paint(ink.clone(), Point::new(4, 4)),
+            Overwrite::blank(Rect::new(0, 0, 2, 2)), // erases the first
+        ];
+        let p0 = apply_sequence(&base, &seq, 0);
+        assert!(p0.is_blank());
+        let p1 = apply_sequence(&base, &seq, 1);
+        assert_eq!(p1.count_ink(), 4);
+        let p2 = apply_sequence(&base, &seq, 2);
+        assert_eq!(p2.count_ink(), 8);
+        let p3 = apply_sequence(&base, &seq, 3);
+        assert_eq!(p3.count_ink(), 4);
+        assert!(p3.get(5, 5) && !p3.get(0, 0));
+    }
+
+    #[test]
+    fn overwrite_order_matters() {
+        let base = Bitmap::new(4, 4);
+        let mut ink = Bitmap::new(4, 4);
+        ink.fill_rect(Rect::new(0, 0, 4, 4), true);
+        let paint = Overwrite::paint(ink, Point::ORIGIN);
+        let blank = Overwrite::blank(Rect::new(0, 0, 4, 4));
+        let paint_then_blank = apply_sequence(&base, &[paint.clone(), blank.clone()], 2);
+        let blank_then_paint = apply_sequence(&base, &[blank, paint], 2);
+        assert!(paint_then_blank.is_blank());
+        assert_eq!(blank_then_paint.count_ink(), 16);
+    }
+}

@@ -1,0 +1,355 @@
+//! Rasterization of graphics objects into bitmaps.
+//!
+//! The archival form of an image "is device and software package
+//! independent" (§4): graphics objects are stored symbolically and
+//! rasterized at presentation time on the workstation. Lines use Bresenham,
+//! circles the midpoint algorithm, filled polygons even-odd scanline fill.
+
+use crate::bitmap::Bitmap;
+use crate::graphics::{GraphicsImage, Shape};
+use minos_types::Point;
+
+/// Draws a line segment from `a` to `b` (inclusive) — Bresenham.
+pub fn draw_line(bm: &mut Bitmap, a: Point, b: Point) {
+    let (mut x0, mut y0, x1, y1) = (a.x, a.y, b.x, b.y);
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        bm.set(x0, y0, true);
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+/// Draws a polyline through `points`.
+pub fn draw_polyline(bm: &mut Bitmap, points: &[Point]) {
+    match points {
+        [] => {}
+        [p] => bm.set(p.x, p.y, true),
+        _ => {
+            for pair in points.windows(2) {
+                draw_line(bm, pair[0], pair[1]);
+            }
+        }
+    }
+}
+
+/// Draws a polygon outline (closing the ring).
+pub fn draw_polygon_outline(bm: &mut Bitmap, vertices: &[Point]) {
+    if vertices.len() < 2 {
+        draw_polyline(bm, vertices);
+        return;
+    }
+    draw_polyline(bm, vertices);
+    draw_line(bm, *vertices.last().unwrap(), vertices[0]);
+}
+
+/// Fills a polygon interior with even-odd scanline fill, then outlines it
+/// so thin polygons stay visible.
+pub fn fill_polygon(bm: &mut Bitmap, vertices: &[Point]) {
+    if vertices.len() < 3 {
+        draw_polygon_outline(bm, vertices);
+        return;
+    }
+    let min_y = vertices.iter().map(|p| p.y).min().unwrap();
+    let max_y = vertices.iter().map(|p| p.y).max().unwrap();
+    for y in min_y..=max_y {
+        // Gather x-crossings of the scanline with each edge.
+        let mut xs: Vec<i32> = Vec::new();
+        let n = vertices.len();
+        for i in 0..n {
+            let (a, b) = (vertices[i], vertices[(i + 1) % n]);
+            if (a.y > y) != (b.y > y) {
+                let x = a.x as i64
+                    + (y - a.y) as i64 * (b.x - a.x) as i64 / (b.y - a.y) as i64;
+                xs.push(x as i32);
+            }
+        }
+        xs.sort_unstable();
+        for pair in xs.chunks_exact(2) {
+            for x in pair[0]..=pair[1] {
+                bm.set(x, y, true);
+            }
+        }
+    }
+    draw_polygon_outline(bm, vertices);
+}
+
+/// Draws a circle outline — midpoint algorithm.
+pub fn draw_circle(bm: &mut Bitmap, center: Point, radius: u32) {
+    if radius == 0 {
+        bm.set(center.x, center.y, true);
+        return;
+    }
+    let (cx, cy) = (center.x, center.y);
+    let mut x = radius as i32;
+    let mut y = 0i32;
+    let mut err = 1 - x;
+    while x >= y {
+        for (px, py) in [
+            (cx + x, cy + y),
+            (cx + y, cy + x),
+            (cx - y, cy + x),
+            (cx - x, cy + y),
+            (cx - x, cy - y),
+            (cx - y, cy - x),
+            (cx + y, cy - x),
+            (cx + x, cy - y),
+        ] {
+            bm.set(px, py, true);
+        }
+        y += 1;
+        if err < 0 {
+            err += 2 * y + 1;
+        } else {
+            x -= 1;
+            err += 2 * (y - x) + 1;
+        }
+    }
+}
+
+/// Fills a circle (disk).
+pub fn fill_circle(bm: &mut Bitmap, center: Point, radius: u32) {
+    let r = radius as i64;
+    for dy in -(r as i32)..=(r as i32) {
+        for dx in -(r as i32)..=(r as i32) {
+            if (dx as i64) * (dx as i64) + (dy as i64) * (dy as i64) <= r * r {
+                bm.set(center.x + dx, center.y + dy, true);
+            }
+        }
+    }
+}
+
+/// Renders one shape onto `bm`.
+pub fn render_shape(bm: &mut Bitmap, shape: &Shape) {
+    match shape {
+        Shape::Point(p) => bm.set(p.x, p.y, true),
+        Shape::Polyline(pts) => draw_polyline(bm, pts),
+        Shape::Polygon { vertices, filled } => {
+            if *filled {
+                fill_polygon(bm, vertices);
+            } else {
+                draw_polygon_outline(bm, vertices);
+            }
+        }
+        Shape::Circle { center, radius, filled } => {
+            if *filled {
+                fill_circle(bm, *center, *radius);
+            } else {
+                draw_circle(bm, *center, *radius);
+            }
+        }
+    }
+}
+
+/// Renders a whole graphics image to a fresh bitmap. Visible text labels
+/// are indicated with a small marker at their anchor (glyph rendering
+/// belongs to the screen substrate); voice labels get a distinct hollow
+/// marker — the paper's "voice label indication … displayed near a graphics
+/// object" (§2).
+pub fn render_graphics(image: &GraphicsImage) -> Bitmap {
+    let mut bm = Bitmap::new(image.width, image.height);
+    for object in &image.objects {
+        render_shape(&mut bm, &object.shape);
+        if let Some(label) = &object.label {
+            if label.visible {
+                if label.content.is_voice() {
+                    draw_circle(&mut bm, label.anchor, 2);
+                } else {
+                    bm.set(label.anchor.x, label.anchor.y, true);
+                }
+            }
+        }
+    }
+    bm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphics::{GraphicsObject, Label, LabelContent};
+    use proptest::prelude::*;
+
+    #[test]
+    fn line_endpoints_and_connectivity() {
+        let mut bm = Bitmap::new(20, 20);
+        draw_line(&mut bm, Point::new(2, 3), Point::new(15, 11));
+        assert!(bm.get(2, 3));
+        assert!(bm.get(15, 11));
+        // A Bresenham line of major extent dx has dx+1 pixels.
+        assert_eq!(bm.count_ink(), 14);
+    }
+
+    #[test]
+    fn degenerate_line_is_a_point() {
+        let mut bm = Bitmap::new(5, 5);
+        draw_line(&mut bm, Point::new(2, 2), Point::new(2, 2));
+        assert_eq!(bm.count_ink(), 1);
+    }
+
+    #[test]
+    fn vertical_and_horizontal_lines() {
+        let mut bm = Bitmap::new(10, 10);
+        draw_line(&mut bm, Point::new(3, 0), Point::new(3, 9));
+        assert_eq!(bm.count_ink(), 10);
+        let mut bm = Bitmap::new(10, 10);
+        draw_line(&mut bm, Point::new(9, 4), Point::new(0, 4));
+        assert_eq!(bm.count_ink(), 10);
+    }
+
+    #[test]
+    fn polyline_empty_and_single() {
+        let mut bm = Bitmap::new(5, 5);
+        draw_polyline(&mut bm, &[]);
+        assert!(bm.is_blank());
+        draw_polyline(&mut bm, &[Point::new(1, 1)]);
+        assert_eq!(bm.count_ink(), 1);
+    }
+
+    #[test]
+    fn polygon_outline_closes_the_ring() {
+        let mut bm = Bitmap::new(10, 10);
+        let tri = [Point::new(1, 1), Point::new(8, 1), Point::new(1, 8)];
+        draw_polygon_outline(&mut bm, &tri);
+        // Closing edge pixel present.
+        assert!(bm.get(1, 8));
+        assert!(bm.get(4, 5) || bm.get(5, 4), "hypotenuse missing");
+    }
+
+    #[test]
+    fn filled_rectangle_has_full_area() {
+        let mut bm = Bitmap::new(12, 12);
+        let square = [
+            Point::new(2, 2),
+            Point::new(9, 2),
+            Point::new(9, 9),
+            Point::new(2, 9),
+        ];
+        fill_polygon(&mut bm, &square);
+        assert_eq!(bm.count_ink(), 64);
+        assert!(bm.get(5, 5));
+        assert!(!bm.get(1, 1));
+    }
+
+    #[test]
+    fn filled_concave_polygon_excludes_notch() {
+        let mut bm = Bitmap::new(20, 20);
+        // L-shape; the notch (12..18)x(2..8) stays empty.
+        let l = [
+            Point::new(2, 2),
+            Point::new(10, 2),
+            Point::new(10, 10),
+            Point::new(18, 10),
+            Point::new(18, 18),
+            Point::new(2, 18),
+        ];
+        fill_polygon(&mut bm, &l);
+        assert!(bm.get(5, 5));
+        assert!(bm.get(15, 15));
+        assert!(!bm.get(15, 5));
+    }
+
+    #[test]
+    fn circle_outline_radius_symmetry() {
+        let mut bm = Bitmap::new(30, 30);
+        draw_circle(&mut bm, Point::new(15, 15), 8);
+        for (x, y) in [(23, 15), (7, 15), (15, 23), (15, 7)] {
+            assert!(bm.get(x, y), "cardinal point ({x},{y}) missing");
+        }
+        assert!(!bm.get(15, 15), "centre should be hollow");
+    }
+
+    #[test]
+    fn zero_radius_circle_is_a_dot() {
+        let mut bm = Bitmap::new(5, 5);
+        draw_circle(&mut bm, Point::new(2, 2), 0);
+        assert_eq!(bm.count_ink(), 1);
+    }
+
+    #[test]
+    fn filled_circle_area_approximates_pi_r_squared() {
+        let mut bm = Bitmap::new(50, 50);
+        fill_circle(&mut bm, Point::new(25, 25), 10);
+        let area = bm.count_ink() as f64;
+        let expected = std::f64::consts::PI * 100.0;
+        assert!((area - expected).abs() / expected < 0.1, "area {area}");
+    }
+
+    #[test]
+    fn render_graphics_draws_objects_and_label_markers() {
+        let mut img = GraphicsImage::new(40, 40);
+        img.push(GraphicsObject::new(Shape::Circle {
+            center: Point::new(20, 20),
+            radius: 10,
+            filled: false,
+        }));
+        img.push(GraphicsObject::new(Shape::Point(Point::new(5, 5))).with_label(Label {
+            content: LabelContent::Voice { tag: "v".into(), transcript: "site".into() },
+            anchor: Point::new(35, 5),
+            visible: true,
+        }));
+        img.push(GraphicsObject::new(Shape::Point(Point::new(6, 6))).with_label(Label {
+            content: LabelContent::Text("hidden".into()),
+            anchor: Point::new(35, 35),
+            visible: false,
+        }));
+        let bm = render_graphics(&img);
+        assert!(bm.get(30, 20)); // circle
+        assert!(bm.get(5, 5)); // point
+        assert!(bm.get(37, 5)); // voice label indicator ring
+        assert!(!bm.get(35, 35), "invisible label must not render");
+    }
+
+    #[test]
+    fn rasterization_clips_safely() {
+        let mut bm = Bitmap::new(10, 10);
+        draw_line(&mut bm, Point::new(-5, -5), Point::new(20, 20));
+        assert!(bm.get(0, 0));
+        assert!(bm.get(9, 9));
+        fill_circle(&mut bm, Point::new(0, 0), 100);
+        assert_eq!(bm.count_ink(), 100); // fully inked, no panic
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn line_is_symmetric(ax in 0i32..24, ay in 0i32..24, bx in 0i32..24, by in 0i32..24) {
+            let mut fwd = Bitmap::new(24, 24);
+            draw_line(&mut fwd, Point::new(ax, ay), Point::new(bx, by));
+            let mut rev = Bitmap::new(24, 24);
+            draw_line(&mut rev, Point::new(bx, by), Point::new(ax, ay));
+            // Endpoints identical; pixel counts equal (paths may differ by
+            // rounding but Bresenham as implemented is symmetric in count).
+            prop_assert!(fwd.get(ax, ay) && fwd.get(bx, by));
+            prop_assert!(rev.get(ax, ay) && rev.get(bx, by));
+            prop_assert_eq!(fwd.count_ink(), rev.count_ink());
+        }
+
+        #[test]
+        fn filled_polygon_contains_its_fill(
+            vs in proptest::collection::vec((2i32..30, 2i32..30), 3..8)
+        ) {
+            let vertices: Vec<Point> = vs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let mut bm = Bitmap::new(32, 32);
+            fill_polygon(&mut bm, &vertices);
+            // Every vertex is inked (outline pass guarantees it).
+            for v in &vertices {
+                prop_assert!(bm.get(v.x, v.y));
+            }
+        }
+    }
+}

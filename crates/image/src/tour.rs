@@ -1,0 +1,279 @@
+//! Tours: designer-defined view sequences.
+//!
+//! "A tour is a sequence of views defined on an image by the multimedia
+//! object designer. The sequence is played automatically (the user does not
+//! need to press the next page button). A tour is defined by a rectangle
+//! and a sequence of points indicating the position of the rectangle on the
+//! large image or on a representation of it. A logical message (visual or
+//! audio) may be associated with each position of the tour. The user may
+//! interrupt the tour and move the window all round in order to navigate
+//! through other positions of the image." (§2)
+//!
+//! The tour definition lives here; logical-message payloads are carried as
+//! opaque indices resolved by the object layer, and the actual playing is a
+//! small state machine ([`TourPlayer`]) the presentation manager drives.
+
+use crate::view::View;
+use minos_types::{MinosError, Point, Rect, Result, SimDuration, Size};
+
+/// One stop of a tour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TourStop {
+    /// Where the view's top-left corner sits at this stop.
+    pub position: Point,
+    /// Index of the logical message attached to this stop, if any
+    /// (resolved against the owning object's message table).
+    pub message: Option<usize>,
+    /// How long the stop is held before the tour advances (dwell).
+    pub dwell: SimDuration,
+}
+
+/// A tour definition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Tour {
+    window: Size,
+    image_size: Size,
+    stops: Vec<TourStop>,
+}
+
+impl Tour {
+    /// Creates a tour of `window`-sized views over an image of
+    /// `image_size`, visiting `stops` in order. Errors on an empty window
+    /// or no stops.
+    pub fn new(image_size: Size, window: Size, stops: Vec<TourStop>) -> Result<Self> {
+        if window.is_empty() {
+            return Err(MinosError::Geometry("tour window must be non-empty".into()));
+        }
+        if stops.is_empty() {
+            return Err(MinosError::Geometry("tour needs at least one stop".into()));
+        }
+        Ok(Tour { window, image_size, stops })
+    }
+
+    /// The view rectangle size.
+    pub fn window(&self) -> Size {
+        self.window
+    }
+
+    /// The toured image's extent.
+    pub fn image_size(&self) -> Size {
+        self.image_size
+    }
+
+    /// The stops.
+    pub fn stops(&self) -> &[TourStop] {
+        &self.stops
+    }
+
+    /// The view rectangle at stop `i` (clamped within the image).
+    pub fn view_at(&self, i: usize) -> Option<Rect> {
+        self.stops.get(i).map(|s| {
+            Rect { origin: s.position, size: self.window }
+                .clamp_within(Rect::of_size(self.image_size))
+        })
+    }
+}
+
+/// Playing state of a tour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TourState {
+    /// Advancing automatically through the stops.
+    Playing,
+    /// Interrupted by the user; the view is free-moving.
+    Interrupted,
+    /// All stops visited.
+    Finished,
+}
+
+/// Drives a [`Tour`] against simulated time.
+#[derive(Clone, Debug)]
+pub struct TourPlayer {
+    tour: Tour,
+    current: usize,
+    state: TourState,
+    /// Time left at the current stop.
+    remaining: SimDuration,
+    /// The free-moving view used while interrupted.
+    free_view: View,
+}
+
+impl TourPlayer {
+    /// Starts a player at the first stop.
+    pub fn new(tour: Tour) -> Result<Self> {
+        let first_dwell = tour.stops[0].dwell;
+        let rect = tour.view_at(0).expect("tour has stops");
+        let mut free_view = View::new(tour.image_size(), tour.window(), 32)?;
+        free_view.jump_to(rect.center());
+        Ok(TourPlayer { tour, current: 0, state: TourState::Playing, remaining: first_dwell, free_view })
+    }
+
+    /// The tour being played.
+    pub fn tour(&self) -> &Tour {
+        &self.tour
+    }
+
+    /// Current stop index.
+    pub fn current_stop(&self) -> usize {
+        self.current
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TourState {
+        self.state
+    }
+
+    /// The rectangle currently presented: the stop's view while playing,
+    /// or the free view while interrupted.
+    pub fn current_rect(&self) -> Rect {
+        match self.state {
+            TourState::Interrupted => self.free_view.rect(),
+            _ => self.tour.view_at(self.current).expect("stop in range"),
+        }
+    }
+
+    /// The message attached to the current stop, if any.
+    pub fn current_message(&self) -> Option<usize> {
+        self.tour.stops[self.current].message
+    }
+
+    /// Advances simulated time. Returns the indices of stops *entered*
+    /// during this tick (so the caller can trigger their messages). The
+    /// tour finishes after the last stop's dwell elapses.
+    pub fn tick(&mut self, mut dt: SimDuration) -> Vec<usize> {
+        let mut entered = Vec::new();
+        if self.state != TourState::Playing {
+            return entered;
+        }
+        while dt >= self.remaining {
+            dt = dt - self.remaining;
+            if self.current + 1 >= self.tour.stops.len() {
+                self.remaining = SimDuration::ZERO;
+                self.state = TourState::Finished;
+                return entered;
+            }
+            self.current += 1;
+            self.remaining = self.tour.stops[self.current].dwell;
+            entered.push(self.current);
+        }
+        self.remaining = self.remaining - dt;
+        entered
+    }
+
+    /// Interrupts the tour; the user may then "move the window all round".
+    /// The free view starts where the tour was.
+    pub fn interrupt(&mut self) {
+        if self.state == TourState::Playing {
+            let rect = self.current_rect();
+            self.free_view.jump_to(rect.center());
+            self.state = TourState::Interrupted;
+        }
+    }
+
+    /// Mutable access to the free-moving view (valid while interrupted).
+    pub fn free_view_mut(&mut self) -> Option<&mut View> {
+        (self.state == TourState::Interrupted).then_some(&mut self.free_view)
+    }
+
+    /// Resumes the automatic sequence from the current stop.
+    pub fn resume(&mut self) {
+        if self.state == TourState::Interrupted {
+            self.state = TourState::Playing;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::MoveDirection;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn tour() -> Tour {
+        let stops = vec![
+            TourStop { position: Point::new(0, 0), message: Some(0), dwell: secs(2) },
+            TourStop { position: Point::new(100, 50), message: None, dwell: secs(3) },
+            TourStop { position: Point::new(300, 200), message: Some(1), dwell: secs(2) },
+        ];
+        Tour::new(Size::new(500, 400), Size::new(100, 80), stops).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Tour::new(Size::new(10, 10), Size::new(0, 5), vec![]).is_err());
+        assert!(Tour::new(Size::new(10, 10), Size::new(5, 5), vec![]).is_err());
+    }
+
+    #[test]
+    fn view_at_clamps_inside_image() {
+        let t = tour();
+        assert_eq!(t.view_at(0), Some(Rect::new(0, 0, 100, 80)));
+        // Stop 2 at (300,200): right edge 400 <= 500, fits.
+        assert_eq!(t.view_at(2), Some(Rect::new(300, 200, 100, 80)));
+        assert_eq!(t.view_at(3), None);
+        let edge = Tour::new(
+            Size::new(500, 400),
+            Size::new(100, 80),
+            vec![TourStop { position: Point::new(480, 390), message: None, dwell: secs(1) }],
+        )
+        .unwrap();
+        let r = edge.view_at(0).unwrap();
+        assert!(Rect::new(0, 0, 500, 400).contains_rect(r));
+    }
+
+    #[test]
+    fn player_advances_automatically() {
+        let mut p = TourPlayer::new(tour()).unwrap();
+        assert_eq!(p.current_stop(), 0);
+        assert_eq!(p.current_message(), Some(0));
+        let entered = p.tick(secs(2)); // exactly stop 0's dwell
+        assert_eq!(entered, vec![1]);
+        assert_eq!(p.current_stop(), 1);
+        let entered = p.tick(secs(5)); // 3s at stop 1, then into stop 2
+        assert_eq!(entered, vec![2]);
+        assert_eq!(p.state(), TourState::Finished);
+    }
+
+    #[test]
+    fn one_big_tick_visits_every_stop() {
+        let mut p = TourPlayer::new(tour()).unwrap();
+        let entered = p.tick(secs(100));
+        assert_eq!(entered, vec![1, 2]);
+        assert_eq!(p.state(), TourState::Finished);
+        assert!(p.tick(secs(1)).is_empty());
+    }
+
+    #[test]
+    fn interrupt_freezes_and_frees_the_view() {
+        let mut p = TourPlayer::new(tour()).unwrap();
+        p.tick(secs(2)); // at stop 1
+        p.interrupt();
+        assert_eq!(p.state(), TourState::Interrupted);
+        assert!(p.tick(secs(100)).is_empty(), "no auto-advance while interrupted");
+        assert_eq!(p.current_stop(), 1);
+        // User moves the window around.
+        let before = p.current_rect();
+        p.free_view_mut().unwrap().step(MoveDirection::Right);
+        assert_ne!(p.current_rect(), before);
+        // Resume returns to the stop sequence.
+        p.resume();
+        assert_eq!(p.state(), TourState::Playing);
+        assert_eq!(p.current_rect(), Rect::new(100, 50, 100, 80));
+    }
+
+    #[test]
+    fn free_view_unavailable_while_playing() {
+        let mut p = TourPlayer::new(tour()).unwrap();
+        assert!(p.free_view_mut().is_none());
+    }
+
+    #[test]
+    fn partial_dwell_accumulates() {
+        let mut p = TourPlayer::new(tour()).unwrap();
+        assert!(p.tick(secs(1)).is_empty());
+        assert_eq!(p.current_stop(), 0);
+        assert_eq!(p.tick(secs(1)), vec![1]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Transparencies and transparency sets.
+//!
+//! "Transparencies are visual pages which allow the user to see the
+//! previous visual page displayed on the screen of the workstation. A
+//! transparency set is an ordered set of consecutive transparencies. The
+//! multimedia object designer may specify one of two different ways for
+//! displaying the transparencies of a set. The first method is by
+//! displaying every transparency on the top of one another (and on the top
+//! of the last page before the transparency set). The second method is by
+//! displaying every transparency of the set separately, on the top of the
+//! last page before the transparency set. The user may alter the
+//! presentation order … and he may choose to see certain transparencies of
+//! the set only projected at the same time." (§2)
+
+use crate::bitmap::{Bitmap, BlitMode};
+use minos_types::{MinosError, Point, Result};
+
+/// The designer-specified display method for a set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransparencyDisplay {
+    /// Each transparency stacks on everything before it (method one).
+    Stacked,
+    /// Each transparency is shown alone over the base page (method two).
+    Separate,
+}
+
+/// An ordered set of transparencies over a base page.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TransparencySet {
+    sheets: Vec<Bitmap>,
+    display: TransparencyDisplay,
+}
+
+impl TransparencySet {
+    /// Creates a set; all sheets must share one size.
+    pub fn new(sheets: Vec<Bitmap>, display: TransparencyDisplay) -> Result<Self> {
+        if let Some(first) = sheets.first() {
+            let size = first.size();
+            if sheets.iter().any(|s| s.size() != size) {
+                return Err(MinosError::Geometry(
+                    "transparencies in a set must share one size".into(),
+                ));
+            }
+        }
+        Ok(TransparencySet { sheets, display })
+    }
+
+    /// Number of transparencies.
+    pub fn len(&self) -> usize {
+        self.sheets.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sheets.is_empty()
+    }
+
+    /// The designer's display method.
+    pub fn display(&self) -> TransparencyDisplay {
+        self.display
+    }
+
+    /// The individual sheets.
+    pub fn sheets(&self) -> &[Bitmap] {
+        &self.sheets
+    }
+
+    /// Renders the page shown after the user has turned to transparency
+    /// `index` (0-based), starting from `base` (the last page before the
+    /// set). Honors the designer's display method.
+    pub fn page_at(&self, base: &Bitmap, index: usize) -> Result<Bitmap> {
+        if index >= self.sheets.len() {
+            return Err(MinosError::Geometry(format!(
+                "transparency {index} of {}",
+                self.sheets.len()
+            )));
+        }
+        match self.display {
+            TransparencyDisplay::Stacked => self.superimpose(base, &upto(index)),
+            TransparencyDisplay::Separate => self.superimpose(base, &[index]),
+        }
+    }
+
+    /// Renders the user-selected combination: "the ones that he wants to
+    /// see superimposed" (§2). Indices may come in any order; each sheet is
+    /// projected at most once.
+    pub fn superimpose(&self, base: &Bitmap, indices: &[usize]) -> Result<Bitmap> {
+        let mut page = base.clone();
+        let mut shown = vec![false; self.sheets.len()];
+        for &i in indices {
+            let sheet = self.sheets.get(i).ok_or_else(|| {
+                MinosError::Geometry(format!("transparency {i} of {}", self.sheets.len()))
+            })?;
+            if !shown[i] {
+                shown[i] = true;
+                page.blit(sheet, Point::ORIGIN, BlitMode::Or);
+            }
+        }
+        Ok(page)
+    }
+}
+
+fn upto(index: usize) -> Vec<usize> {
+    (0..=index).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_types::Rect;
+
+    fn dot(x: i32, y: i32) -> Bitmap {
+        let mut bm = Bitmap::new(16, 16);
+        bm.set(x, y, true);
+        bm
+    }
+
+    fn base() -> Bitmap {
+        let mut bm = Bitmap::new(16, 16);
+        bm.fill_rect(Rect::new(0, 0, 16, 1), true); // top stripe = x-ray stand-in
+        bm
+    }
+
+    fn set(display: TransparencyDisplay) -> TransparencySet {
+        TransparencySet::new(vec![dot(2, 2), dot(4, 4), dot(6, 6)], display).unwrap()
+    }
+
+    #[test]
+    fn stacked_accumulates() {
+        let s = set(TransparencyDisplay::Stacked);
+        let p0 = s.page_at(&base(), 0).unwrap();
+        assert!(p0.get(2, 2) && !p0.get(4, 4));
+        let p2 = s.page_at(&base(), 2).unwrap();
+        assert!(p2.get(2, 2) && p2.get(4, 4) && p2.get(6, 6));
+        assert!(p2.get(5, 0), "base page must show through");
+    }
+
+    #[test]
+    fn separate_shows_one_sheet_at_a_time() {
+        let s = set(TransparencyDisplay::Separate);
+        let p1 = s.page_at(&base(), 1).unwrap();
+        assert!(p1.get(4, 4));
+        assert!(!p1.get(2, 2) && !p1.get(6, 6));
+        assert!(p1.get(5, 0));
+    }
+
+    #[test]
+    fn user_selected_superposition() {
+        let s = set(TransparencyDisplay::Separate);
+        let p = s.superimpose(&base(), &[0, 2]).unwrap();
+        assert!(p.get(2, 2) && p.get(6, 6));
+        assert!(!p.get(4, 4));
+        // Duplicates are harmless; order is irrelevant for OR.
+        let p2 = s.superimpose(&base(), &[2, 0, 2]).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn out_of_range_index_is_error() {
+        let s = set(TransparencyDisplay::Stacked);
+        assert!(s.page_at(&base(), 3).is_err());
+        assert!(s.superimpose(&base(), &[5]).is_err());
+    }
+
+    #[test]
+    fn mismatched_sheet_sizes_rejected() {
+        let err = TransparencySet::new(
+            vec![Bitmap::new(16, 16), Bitmap::new(8, 8)],
+            TransparencyDisplay::Stacked,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_set_is_valid_but_empty() {
+        let s = TransparencySet::new(vec![], TransparencyDisplay::Stacked).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.page_at(&base(), 0).is_err());
+        // Superimposing nothing reproduces the base.
+        assert_eq!(s.superimpose(&base(), &[]).unwrap(), base());
+    }
+
+    #[test]
+    fn transparency_never_erases_base_ink() {
+        let s = set(TransparencyDisplay::Stacked);
+        let b = base();
+        let p = s.page_at(&b, 2).unwrap();
+        for y in 0..16 {
+            for x in 0..16 {
+                if b.get(x, y) {
+                    assert!(p.get(x, y), "base ink erased at ({x},{y})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Views: rectangular windows over large images.
+//!
+//! "A view is a rectangle overlaid on an image. The portion of the image
+//! which is enclosed by the rectangle is presented into the display … The
+//! view can be moved at the top of the image using menu options and the
+//! mouse. … Non-contiguous moves (jumps) of the view can also be specified
+//! … The dimensions of the view can be shrunk or expanded by small
+//! quantities at a time." (§2)
+//!
+//! A [`View`] is pure geometry plus the bookkeeping experiment E5 needs:
+//! every retrieval through the view reports how many bytes of image data it
+//! required, which is what the paper's retrieval argument is about.
+
+use crate::bitmap::Bitmap;
+use minos_types::{MinosError, Point, Rect, Result, Size};
+
+/// Directions a view can be moved by menu option.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MoveDirection {
+    /// Toward smaller x.
+    Left,
+    /// Toward larger x.
+    Right,
+    /// Toward smaller y.
+    Up,
+    /// Toward larger y.
+    Down,
+}
+
+/// A view over an image of a known size.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct View {
+    rect: Rect,
+    image_size: Size,
+    /// Pixels moved per menu-option step.
+    step: u32,
+}
+
+impl View {
+    /// Creates a view of `view_size` at the image's top-left corner.
+    /// Errors if the image is empty.
+    pub fn new(image_size: Size, view_size: Size, step: u32) -> Result<Self> {
+        if image_size.is_empty() {
+            return Err(MinosError::Geometry("view over empty image".into()));
+        }
+        let rect = Rect::of_size(view_size).clamp_within(Rect::of_size(image_size));
+        Ok(View { rect, image_size, step: step.max(1) })
+    }
+
+    /// The current window rectangle (always within the image).
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// The underlying image extent.
+    pub fn image_size(&self) -> Size {
+        self.image_size
+    }
+
+    /// Moves one step in `direction`, clamped at the image edge. Returns
+    /// whether the view actually moved.
+    pub fn step(&mut self, direction: MoveDirection) -> bool {
+        let s = self.step as i32;
+        let (dx, dy) = match direction {
+            MoveDirection::Left => (-s, 0),
+            MoveDirection::Right => (s, 0),
+            MoveDirection::Up => (0, -s),
+            MoveDirection::Down => (0, s),
+        };
+        let moved = self.rect.translate(dx, dy).clamp_within(Rect::of_size(self.image_size));
+        let changed = moved != self.rect;
+        self.rect = moved;
+        changed
+    }
+
+    /// Non-contiguous move: centres the view on `target` (clamped).
+    pub fn jump_to(&mut self, target: Point) {
+        let half_w = (self.rect.size.width / 2) as i32;
+        let half_h = (self.rect.size.height / 2) as i32;
+        self.rect = self
+            .rect
+            .at(Point::new(target.x - half_w, target.y - half_h))
+            .clamp_within(Rect::of_size(self.image_size));
+    }
+
+    /// Expands both dimensions by `amount` pixels ("expanded by small
+    /// quantities at a time"), clamped to the image.
+    pub fn expand(&mut self, amount: u32) {
+        let new = Rect::new(
+            self.rect.left() - (amount / 2) as i32,
+            self.rect.top() - (amount / 2) as i32,
+            self.rect.size.width + amount,
+            self.rect.size.height + amount,
+        );
+        self.rect = new.clamp_within(Rect::of_size(self.image_size));
+    }
+
+    /// Shrinks both dimensions by `amount` pixels, never below 1×1.
+    pub fn shrink(&mut self, amount: u32) {
+        let w = self.rect.size.width.saturating_sub(amount).max(1);
+        let h = self.rect.size.height.saturating_sub(amount).max(1);
+        let new = Rect::new(
+            self.rect.left() + ((self.rect.size.width - w) / 2) as i32,
+            self.rect.top() + ((self.rect.size.height - h) / 2) as i32,
+            w,
+            h,
+        );
+        self.rect = new.clamp_within(Rect::of_size(self.image_size));
+    }
+
+    /// Retrieves the window's pixels from the full raster, returning the
+    /// extracted data and the number of image bytes the retrieval required
+    /// (the E5 metric). Only the view's bytes are touched — "the system has
+    /// to transfer only the data of the view in main memory and not the
+    /// whole image" (§2).
+    pub fn retrieve(&self, full: &Bitmap) -> Result<(Bitmap, u64)> {
+        if full.size() != self.image_size {
+            return Err(MinosError::Geometry(format!(
+                "view image size {:?} does not match raster {:?}",
+                self.image_size,
+                full.size()
+            )));
+        }
+        let window = full.extract(self.rect)?;
+        let bytes = window.byte_size();
+        Ok((window, bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> View {
+        View::new(Size::new(1000, 800), Size::new(200, 100), 50).unwrap()
+    }
+
+    #[test]
+    fn new_view_starts_at_origin() {
+        let v = view();
+        assert_eq!(v.rect(), Rect::new(0, 0, 200, 100));
+    }
+
+    #[test]
+    fn oversized_view_is_clamped_to_image() {
+        let v = View::new(Size::new(100, 100), Size::new(500, 500), 10).unwrap();
+        assert_eq!(v.rect(), Rect::new(0, 0, 100, 100));
+    }
+
+    #[test]
+    fn empty_image_is_an_error() {
+        assert!(View::new(Size::new(0, 100), Size::new(10, 10), 1).is_err());
+    }
+
+    #[test]
+    fn step_moves_and_clamps() {
+        let mut v = view();
+        assert!(v.step(MoveDirection::Right));
+        assert_eq!(v.rect().origin, Point::new(50, 0));
+        assert!(!v.step(MoveDirection::Up), "already at top edge");
+        for _ in 0..100 {
+            v.step(MoveDirection::Right);
+        }
+        assert_eq!(v.rect().right(), 1000);
+        assert!(!v.step(MoveDirection::Right));
+    }
+
+    #[test]
+    fn jump_centres_on_target() {
+        let mut v = view();
+        v.jump_to(Point::new(500, 400));
+        assert_eq!(v.rect().center(), Point::new(500, 400));
+        // Jump near a corner clamps.
+        v.jump_to(Point::new(0, 0));
+        assert_eq!(v.rect().origin, Point::new(0, 0));
+        v.jump_to(Point::new(2000, 2000));
+        assert_eq!(v.rect().right(), 1000);
+        assert_eq!(v.rect().bottom(), 800);
+    }
+
+    #[test]
+    fn expand_and_shrink() {
+        let mut v = view();
+        v.jump_to(Point::new(500, 400));
+        let before = v.rect().size;
+        v.expand(20);
+        assert_eq!(v.rect().size, Size::new(before.width + 20, before.height + 20));
+        v.shrink(20);
+        assert_eq!(v.rect().size, before);
+        // Shrink below 1 clamps.
+        v.shrink(10_000);
+        assert_eq!(v.rect().size, Size::new(1, 1));
+        // Expand past the image clamps to image size.
+        v.expand(10_000);
+        assert_eq!(v.rect().size, Size::new(1000, 800));
+    }
+
+    #[test]
+    fn retrieve_returns_window_bytes_only() {
+        let mut full = Bitmap::new(1000, 800);
+        full.set(60, 10, true);
+        let mut v = view();
+        let (window, bytes) = v.retrieve(&full).unwrap();
+        assert_eq!(window.size(), Size::new(200, 100));
+        assert!(window.get(60, 10));
+        assert_eq!(bytes, window.byte_size());
+        assert!(bytes * 4 < full.byte_size(), "view should cost far less than the image");
+        v.step(MoveDirection::Down);
+        let (window2, _) = v.retrieve(&full).unwrap();
+        assert!(!window2.get(60, 10), "moved view no longer covers the pixel");
+    }
+
+    #[test]
+    fn retrieve_checks_image_size() {
+        let v = view();
+        let wrong = Bitmap::new(10, 10);
+        assert!(v.retrieve(&wrong).is_err());
+    }
+
+    #[test]
+    fn view_rect_always_inside_image() {
+        let mut v = view();
+        let bounds = Rect::of_size(v.image_size());
+        for i in 0..200 {
+            match i % 7 {
+                0 => {
+                    v.step(MoveDirection::Right);
+                }
+                1 => {
+                    v.step(MoveDirection::Down);
+                }
+                2 => v.jump_to(Point::new(i * 13 % 1100, i * 7 % 900)),
+                3 => v.expand(30),
+                4 => v.shrink(45),
+                5 => {
+                    v.step(MoveDirection::Left);
+                }
+                _ => {
+                    v.step(MoveDirection::Up);
+                }
+            }
+            assert!(bounds.contains_rect(v.rect()), "escaped at step {i}: {:?}", v.rect());
+            assert!(!v.rect().is_empty());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Communication substrate: the workstation ↔ server links.
+//!
+//! "We envision the overall system architecture for MINOS as being composed
+//! of a multimedia object server subsystem and a number of workstations
+//! interconnected through high capacity links. … The workstation is
+//! connected to several other machines through Ethernet." (§5)
+//!
+//! The reproduction models a link as latency plus bandwidth with transfer
+//! accounting (experiments E5/E6 are about bytes moved over this link), and
+//! defines the binary request/response protocol between the presentation
+//! manager and the object server.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod link;
+pub mod protocol;
+
+pub use link::{Link, LinkStats, ETHERNET_10MBIT};
+pub use protocol::{ServerRequest, ServerResponse};

@@ -1,0 +1,322 @@
+//! The workstation ↔ server protocol.
+//!
+//! "The multimedia object presentation manager resides in the user's
+//! workstation and requests the appropriate pieces of information from the
+//! multimedia object server subsystems." (§5)
+//!
+//! The request vocabulary mirrors what the presentation manager needs:
+//! whole archived objects, descriptor-pointed spans, *view windows* of
+//! large images (so only the view's data crosses the link, §2), miniatures,
+//! and content queries. Both directions have a binary encoding with
+//! round-trip tests; encoded size is what the link model charges.
+
+use minos_types::{ByteSpan, Decoder, Encoder, MinosError, ObjectId, Rect, Result};
+
+/// A request from the workstation to the server.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ServerRequest {
+    /// Fetch the whole archived form of an object (descriptor +
+    /// composition).
+    FetchObject {
+        /// The object wanted.
+        id: ObjectId,
+    },
+    /// Fetch raw archiver bytes a descriptor pointer names.
+    FetchSpan {
+        /// The absolute archiver span.
+        span: ByteSpan,
+    },
+    /// Fetch only the window of an image — the E5 path.
+    FetchView {
+        /// The owning object.
+        id: ObjectId,
+        /// The image's data tag within the object.
+        tag: String,
+        /// The requested window in image coordinates.
+        rect: Rect,
+    },
+    /// Fetch an object's miniature for the sequential browsing interface.
+    FetchMiniature {
+        /// The object wanted.
+        id: ObjectId,
+    },
+    /// Evaluate a content query: all keywords must match.
+    Query {
+        /// Conjunctive keywords.
+        keywords: Vec<String>,
+    },
+    /// Evaluate an attribute query: exact attribute name/value match
+    /// (attributes are the object's formatted data, §2).
+    QueryAttribute {
+        /// Attribute name.
+        name: String,
+        /// Attribute value.
+        value: String,
+    },
+}
+
+/// A response from the server.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ServerResponse {
+    /// Whole-object bytes.
+    Object(Vec<u8>),
+    /// Raw span bytes.
+    Span(Vec<u8>),
+    /// A view window's pixels (image-payload encoded).
+    View(Vec<u8>),
+    /// A miniature (image-payload encoded).
+    Miniature(Vec<u8>),
+    /// Ids of qualifying objects.
+    Hits(Vec<ObjectId>),
+    /// Server-side failure.
+    Error(String),
+}
+
+impl ServerRequest {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            ServerRequest::FetchObject { id } => {
+                e.put_u8(1);
+                e.put_u64(id.raw());
+            }
+            ServerRequest::FetchSpan { span } => {
+                e.put_u8(2);
+                e.put_varint(span.start);
+                e.put_varint(span.end);
+            }
+            ServerRequest::FetchView { id, tag, rect } => {
+                e.put_u8(3);
+                e.put_u64(id.raw());
+                e.put_str(tag);
+                e.put_i32(rect.origin.x);
+                e.put_i32(rect.origin.y);
+                e.put_u32(rect.size.width);
+                e.put_u32(rect.size.height);
+            }
+            ServerRequest::FetchMiniature { id } => {
+                e.put_u8(4);
+                e.put_u64(id.raw());
+            }
+            ServerRequest::Query { keywords } => {
+                e.put_u8(5);
+                e.put_varint(keywords.len() as u64);
+                for k in keywords {
+                    e.put_str(k);
+                }
+            }
+            ServerRequest::QueryAttribute { name, value } => {
+                e.put_u8(6);
+                e.put_str(name);
+                e.put_str(value);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes from wire bytes.
+    pub fn decode(bytes: &[u8]) -> Result<ServerRequest> {
+        let mut d = Decoder::new(bytes);
+        let req = match d.get_u8()? {
+            1 => ServerRequest::FetchObject { id: ObjectId::new(d.get_u64()?) },
+            2 => {
+                let start = d.get_varint()?;
+                let end = d.get_varint()?;
+                if start > end {
+                    return Err(MinosError::Codec("inverted span in request".into()));
+                }
+                ServerRequest::FetchSpan { span: ByteSpan::new(start, end) }
+            }
+            3 => {
+                let id = ObjectId::new(d.get_u64()?);
+                let tag = d.get_str()?;
+                let x = d.get_i32()?;
+                let y = d.get_i32()?;
+                let w = d.get_u32()?;
+                let h = d.get_u32()?;
+                ServerRequest::FetchView { id, tag, rect: Rect::new(x, y, w, h) }
+            }
+            4 => ServerRequest::FetchMiniature { id: ObjectId::new(d.get_u64()?) },
+            5 => {
+                let n = d.get_varint()? as usize;
+                let mut keywords = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    keywords.push(d.get_str()?);
+                }
+                ServerRequest::Query { keywords }
+            }
+            6 => ServerRequest::QueryAttribute { name: d.get_str()?, value: d.get_str()? },
+            other => return Err(MinosError::Codec(format!("unknown request tag {other}"))),
+        };
+        d.expect_end()?;
+        Ok(req)
+    }
+
+    /// Bytes on the wire.
+    pub fn wire_size(&self) -> u64 {
+        self.encode().len() as u64
+    }
+}
+
+impl ServerResponse {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            ServerResponse::Object(b) => {
+                e.put_u8(1);
+                e.put_bytes(b);
+            }
+            ServerResponse::Span(b) => {
+                e.put_u8(2);
+                e.put_bytes(b);
+            }
+            ServerResponse::View(b) => {
+                e.put_u8(3);
+                e.put_bytes(b);
+            }
+            ServerResponse::Miniature(b) => {
+                e.put_u8(4);
+                e.put_bytes(b);
+            }
+            ServerResponse::Hits(ids) => {
+                e.put_u8(5);
+                e.put_varint(ids.len() as u64);
+                for id in ids {
+                    e.put_varint(id.raw());
+                }
+            }
+            ServerResponse::Error(msg) => {
+                e.put_u8(6);
+                e.put_str(msg);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes from wire bytes.
+    pub fn decode(bytes: &[u8]) -> Result<ServerResponse> {
+        let mut d = Decoder::new(bytes);
+        let resp = match d.get_u8()? {
+            1 => ServerResponse::Object(d.get_bytes()?),
+            2 => ServerResponse::Span(d.get_bytes()?),
+            3 => ServerResponse::View(d.get_bytes()?),
+            4 => ServerResponse::Miniature(d.get_bytes()?),
+            5 => {
+                let n = d.get_varint()? as usize;
+                let mut ids = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    ids.push(ObjectId::new(d.get_varint()?));
+                }
+                ServerResponse::Hits(ids)
+            }
+            6 => ServerResponse::Error(d.get_str()?),
+            other => return Err(MinosError::Codec(format!("unknown response tag {other}"))),
+        };
+        d.expect_end()?;
+        Ok(resp)
+    }
+
+    /// Bytes on the wire — what the link charges for this response.
+    pub fn wire_size(&self) -> u64 {
+        self.encode().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn all_requests() -> Vec<ServerRequest> {
+        vec![
+            ServerRequest::FetchObject { id: ObjectId::new(7) },
+            ServerRequest::FetchSpan { span: ByteSpan::at(1_000, 500) },
+            ServerRequest::FetchView {
+                id: ObjectId::new(3),
+                tag: "map".into(),
+                rect: Rect::new(-5, 10, 200, 100),
+            },
+            ServerRequest::FetchMiniature { id: ObjectId::new(1) },
+            ServerRequest::Query { keywords: vec!["x-ray".into(), "shadow".into()] },
+            ServerRequest::Query { keywords: vec![] },
+            ServerRequest::QueryAttribute { name: "author".into(), value: "dr jones".into() },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in all_requests() {
+            let bytes = req.encode();
+            assert_eq!(ServerRequest::decode(&bytes).unwrap(), req, "{req:?}");
+            assert_eq!(req.wire_size(), bytes.len() as u64);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            ServerResponse::Object(vec![1, 2, 3]),
+            ServerResponse::Span(vec![]),
+            ServerResponse::View(vec![9; 100]),
+            ServerResponse::Miniature(vec![4; 10]),
+            ServerResponse::Hits(vec![ObjectId::new(1), ObjectId::new(99)]),
+            ServerResponse::Hits(vec![]),
+            ServerResponse::Error("no such object".into()),
+        ];
+        for resp in responses {
+            let bytes = resp.encode();
+            assert_eq!(ServerResponse::decode(&bytes).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn bad_tags_and_truncation_rejected() {
+        assert!(ServerRequest::decode(&[99]).is_err());
+        assert!(ServerResponse::decode(&[0]).is_err());
+        assert!(ServerRequest::decode(&[]).is_err());
+        let bytes = ServerRequest::FetchObject { id: ObjectId::new(1) }.encode();
+        assert!(ServerRequest::decode(&bytes[..bytes.len() - 1]).is_err());
+        // Trailing garbage rejected.
+        let mut bytes = ServerResponse::Error("x".into()).encode();
+        bytes.push(0);
+        assert!(ServerResponse::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn view_request_is_small_regardless_of_window() {
+        let small = ServerRequest::FetchView {
+            id: ObjectId::new(1),
+            tag: "map".into(),
+            rect: Rect::new(0, 0, 10, 10),
+        };
+        let huge = ServerRequest::FetchView {
+            id: ObjectId::new(1),
+            tag: "map".into(),
+            rect: Rect::new(0, 0, 100_000, 100_000),
+        };
+        assert_eq!(small.wire_size(), huge.wire_size());
+        assert!(small.wire_size() < 64);
+    }
+
+    proptest! {
+        #[test]
+        fn query_round_trips(keywords in proptest::collection::vec(".{0,12}", 0..8)) {
+            let req = ServerRequest::Query { keywords };
+            prop_assert_eq!(ServerRequest::decode(&req.encode()).unwrap(), req);
+        }
+
+        #[test]
+        fn hits_round_trip(ids in proptest::collection::vec(any::<u64>(), 0..32)) {
+            let resp = ServerResponse::Hits(ids.into_iter().map(ObjectId::new).collect());
+            prop_assert_eq!(ServerResponse::decode(&resp.encode()).unwrap(), resp);
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = ServerRequest::decode(&bytes);
+            let _ = ServerResponse::decode(&bytes);
+        }
+    }
+}

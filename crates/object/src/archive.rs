@@ -1,0 +1,405 @@
+//! Archival and mailing transforms.
+//!
+//! "Archived or mailed within the organization multimedia objects are
+//! composed of the concatenation of the descriptor file with the
+//! composition file. In the case that objects are archived the offsets of
+//! the descriptor have to be incremented by the offset where the
+//! composition file is placed within the archiver. Finally when the
+//! multimedia object is mailed outside the organization the object
+//! descriptor is searched for pointers to information which exists in the
+//! archiver. If such pointers exist, the relevant data is extracted from
+//! the archiver and appended to the composition \[file\]. The pointers of
+//! the descriptor which pointed to the archiver are changed to point within
+//! the composition file." (§4)
+
+use crate::composition::CompositionFile;
+use crate::descriptor::{DataLocation, ObjectDescriptor};
+use crate::formatter::MultimediaObjectFile;
+use minos_types::{ByteSpan, Decoder, Encoder, MinosError, Result};
+
+/// Read access to archiver-resident data, implemented by the storage
+/// subsystem. Kept as a trait here so the object layer does not depend on
+/// a concrete archiver.
+pub trait ArchiverRead {
+    /// Reads the bytes of an absolute archiver span.
+    fn read_span(&self, span: ByteSpan) -> Result<Vec<u8>>;
+}
+
+/// An archivable/mailable object: descriptor + composition file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArchivedObject {
+    /// The descriptor; composition pointers are relative to
+    /// [`ArchivedObject::composition`].
+    pub descriptor: ObjectDescriptor,
+    /// The composition file.
+    pub composition: CompositionFile,
+}
+
+impl ArchivedObject {
+    /// Takes the archivable parts of a formatted object file.
+    pub fn from_file(file: &MultimediaObjectFile) -> Self {
+        ArchivedObject { descriptor: file.descriptor.clone(), composition: file.composition.clone() }
+    }
+
+    /// Total size of the stored form in bytes.
+    pub fn stored_size(&self) -> u64 {
+        self.descriptor.encode().len() as u64 + self.composition.len() + 4
+    }
+
+    /// Encodes for placement in the archiver at absolute offset `base`:
+    /// the descriptor's composition pointers are rebased to absolute
+    /// archiver offsets, then the descriptor is concatenated with the
+    /// composition file (with a 4-byte descriptor-length header so the
+    /// concatenation can be split again).
+    ///
+    /// Rebasing changes varint-encoded offsets, which can change the
+    /// descriptor's encoded length — the rebase target is therefore found
+    /// by fixpoint iteration (converges in a few rounds since lengths grow
+    /// monotonically with offsets).
+    pub fn encode_for_archive(&self, base: u64) -> Vec<u8> {
+        let mut desc_len = self.descriptor.encode().len() as u64;
+        loop {
+            let composition_base = base + 4 + desc_len;
+            let rebased = self.descriptor.rebased_for_archive(composition_base);
+            let bytes = rebased.encode();
+            if bytes.len() as u64 == desc_len {
+                let mut e = Encoder::with_capacity(bytes.len() + self.composition.bytes().len() + 4);
+                e.put_u32(bytes.len() as u32);
+                e.put_raw(&bytes);
+                e.put_raw(self.composition.bytes());
+                return e.finish();
+            }
+            desc_len = bytes.len() as u64;
+        }
+    }
+
+    /// Decodes an archived region placed at absolute offset `base`,
+    /// returning the object with composition pointers made
+    /// composition-relative again. Pointers into other archiver regions
+    /// (shared data) stay absolute.
+    pub fn decode_from_archive(bytes: &[u8], base: u64) -> Result<ArchivedObject> {
+        let mut d = Decoder::new(bytes);
+        let desc_len = d.get_u32()? as usize;
+        let desc_bytes = d.get_raw(desc_len)?;
+        let descriptor = ObjectDescriptor::decode(desc_bytes)?;
+        let composition_bytes = d.get_raw(d.remaining())?.to_vec();
+        let composition_base = base + 4 + desc_len as u64;
+        let composition_end = composition_base + composition_bytes.len() as u64;
+
+        let mut local = descriptor.clone();
+        for entry in &mut local.entries {
+            if let DataLocation::Archiver(span) = entry.location {
+                // Pointers inside this object's own composition region
+                // become composition-relative; anything else is shared data
+                // elsewhere in the archiver.
+                if span.start >= composition_base && span.end <= composition_end {
+                    entry.location = DataLocation::Composition(ByteSpan::new(
+                        span.start - composition_base,
+                        span.end - composition_base,
+                    ));
+                }
+            }
+        }
+        Ok(ArchivedObject {
+            descriptor: local,
+            composition: CompositionFile::from_bytes(composition_bytes),
+        })
+    }
+
+    /// The mailed-within-the-organization form: descriptor and composition
+    /// concatenated as-is; archiver pointers are legal because the
+    /// recipient shares the archiver.
+    pub fn mail_inside(&self) -> Vec<u8> {
+        let desc = self.descriptor.encode();
+        let mut e = Encoder::with_capacity(desc.len() + self.composition.bytes().len() + 4);
+        e.put_u32(desc.len() as u32);
+        e.put_raw(&desc);
+        e.put_raw(self.composition.bytes());
+        e.finish()
+    }
+
+    /// The mailed-outside form: every archiver pointer is resolved by
+    /// extracting the data and appending it to the composition file; the
+    /// result is self-contained. Identical archiver spans are appended
+    /// once.
+    pub fn mail_outside(&self, archiver: &dyn ArchiverRead) -> Result<ArchivedObject> {
+        let mut out = self.clone();
+        let mut resolved: Vec<(ByteSpan, ByteSpan)> = Vec::new(); // archiver span -> composition span
+        for entry in &mut out.descriptor.entries {
+            if let DataLocation::Archiver(span) = entry.location {
+                let comp_span = match resolved.iter().find(|(a, _)| *a == span) {
+                    Some((_, c)) => *c,
+                    None => {
+                        let data = archiver.read_span(span)?;
+                        if data.len() as u64 != span.len() {
+                            return Err(MinosError::Storage(format!(
+                                "archiver returned {} bytes for {span}",
+                                data.len()
+                            )));
+                        }
+                        let c = out.composition.append_anonymous(&data);
+                        resolved.push((span, c));
+                        c
+                    }
+                };
+                entry.location = DataLocation::Composition(comp_span);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether the object is self-contained (no archiver pointers) — a
+    /// precondition for leaving the organization.
+    pub fn is_self_contained(&self) -> bool {
+        self.descriptor.entries.iter().all(|e| !e.location.is_archiver())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::DescriptorEntry;
+    use crate::model::DrivingMode;
+    use crate::payload::DataKind;
+    use minos_types::ObjectId;
+    use std::collections::HashMap;
+
+    /// A toy archiver for tests: span → bytes.
+    struct FakeArchiver {
+        regions: HashMap<(u64, u64), Vec<u8>>,
+    }
+
+    impl ArchiverRead for FakeArchiver {
+        fn read_span(&self, span: ByteSpan) -> Result<Vec<u8>> {
+            self.regions
+                .get(&(span.start, span.end))
+                .cloned()
+                .ok_or_else(|| MinosError::Storage(format!("no region at {span}")))
+        }
+    }
+
+    fn object_with_pointer() -> ArchivedObject {
+        let mut composition = CompositionFile::new();
+        let local_span = composition.append("notes", b"the local notes text");
+        ArchivedObject {
+            descriptor: ObjectDescriptor {
+                object_id: ObjectId::new(5),
+                name: "mailme".into(),
+                driving_mode: DrivingMode::Visual,
+                attributes: vec![],
+                entries: vec![
+                    DescriptorEntry {
+                        tag: "notes".into(),
+                        kind: DataKind::Text,
+                        location: DataLocation::Composition(local_span),
+                    },
+                    DescriptorEntry {
+                        tag: "xray".into(),
+                        kind: DataKind::Image,
+                        location: DataLocation::Archiver(ByteSpan::at(70_000, 16)),
+                    },
+                    DescriptorEntry {
+                        tag: "xray-again".into(),
+                        kind: DataKind::Image,
+                        location: DataLocation::Archiver(ByteSpan::at(70_000, 16)),
+                    },
+                ],
+            },
+            composition,
+        }
+    }
+
+    #[test]
+    fn archive_round_trip_at_various_bases() {
+        let obj = object_with_pointer();
+        for base in [0u64, 1, 127, 128, 100_000, u32::MAX as u64] {
+            let bytes = obj.encode_for_archive(base);
+            let back = ArchivedObject::decode_from_archive(&bytes, base).unwrap();
+            assert_eq!(back.descriptor.entries.len(), 3);
+            // Local data is composition-relative again and readable.
+            let notes = back.descriptor.entry("notes").unwrap();
+            assert!(matches!(notes.location, DataLocation::Composition(_)), "base {base}");
+            assert_eq!(
+                back.composition.read(notes.location.span()).unwrap(),
+                b"the local notes text"
+            );
+            // The shared pointer survives untouched.
+            assert_eq!(
+                back.descriptor.entry("xray").unwrap().location,
+                DataLocation::Archiver(ByteSpan::at(70_000, 16))
+            );
+        }
+    }
+
+    #[test]
+    fn archived_offsets_are_absolute() {
+        let obj = object_with_pointer();
+        let base = 12_345u64;
+        let bytes = obj.encode_for_archive(base);
+        // Parse the raw descriptor (before un-rebasing) to check offsets.
+        let desc_len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let raw = ObjectDescriptor::decode(&bytes[4..4 + desc_len]).unwrap();
+        let notes = raw.entry("notes").unwrap();
+        match notes.location {
+            DataLocation::Archiver(span) => {
+                assert_eq!(span.start, base + 4 + desc_len as u64);
+            }
+            other => panic!("expected absolute archiver pointer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mail_inside_keeps_pointers() {
+        let obj = object_with_pointer();
+        let bytes = obj.mail_inside();
+        let back = ArchivedObject::decode_from_archive(&bytes, 0).unwrap();
+        assert!(!back.is_self_contained());
+        assert!(back.descriptor.entry("xray").unwrap().location.is_archiver());
+    }
+
+    #[test]
+    fn mail_outside_resolves_pointers_once() {
+        let obj = object_with_pointer();
+        let archiver = FakeArchiver {
+            regions: HashMap::from([((70_000, 70_016), b"XRAYDATA16BYTES!".to_vec())]),
+        };
+        let mailed = obj.mail_outside(&archiver).unwrap();
+        assert!(mailed.is_self_contained());
+        let xray = mailed.descriptor.entry("xray").unwrap();
+        let again = mailed.descriptor.entry("xray-again").unwrap();
+        assert_eq!(xray.location, again.location, "shared span appended once");
+        assert_eq!(mailed.composition.read(xray.location.span()).unwrap(), b"XRAYDATA16BYTES!");
+        // Size grew by exactly one copy of the shared data.
+        assert_eq!(mailed.composition.len(), obj.composition.len() + 16);
+    }
+
+    #[test]
+    fn mail_outside_fails_on_missing_region() {
+        let obj = object_with_pointer();
+        let archiver = FakeArchiver { regions: HashMap::new() };
+        assert!(obj.mail_outside(&archiver).is_err());
+    }
+
+    #[test]
+    fn self_contained_object_mails_outside_unchanged() {
+        let mut composition = CompositionFile::new();
+        let span = composition.append("only", b"data");
+        let obj = ArchivedObject {
+            descriptor: ObjectDescriptor {
+                object_id: ObjectId::new(1),
+                name: "solo".into(),
+                driving_mode: DrivingMode::Visual,
+                attributes: vec![],
+                entries: vec![DescriptorEntry {
+                    tag: "only".into(),
+                    kind: DataKind::Text,
+                    location: DataLocation::Composition(span),
+                }],
+            },
+            composition,
+        };
+        assert!(obj.is_self_contained());
+        let archiver = FakeArchiver { regions: HashMap::new() };
+        let mailed = obj.mail_outside(&archiver).unwrap();
+        assert_eq!(mailed, obj);
+    }
+
+    #[test]
+    fn stored_size_accounts_for_both_parts() {
+        let obj = object_with_pointer();
+        let encoded = obj.encode_for_archive(0);
+        // Fixpoint rebasing may change descriptor length slightly; the
+        // stored size is within a few varint bytes of the encoding.
+        let diff = (encoded.len() as i64 - obj.stored_size() as i64).abs();
+        assert!(diff <= 16, "stored_size off by {diff}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::descriptor::{DescriptorEntry, ObjectDescriptor};
+    use crate::model::DrivingMode;
+    use crate::payload::DataKind;
+    use minos_types::ObjectId;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Archive encode/decode round-trips for arbitrary local payload
+        /// layouts and arbitrary placement bases, including bases that
+        /// stress varint length changes during the rebase fixpoint.
+        #[test]
+        fn archive_round_trips_arbitrary_objects(
+            parts in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..6),
+            base in proptest::sample::select(vec![
+                0u64, 1, 127, 128, 16_383, 16_384, 1 << 20, (1 << 32) - 1, 1 << 40,
+            ]),
+        ) {
+            let mut composition = CompositionFile::new();
+            let mut entries = Vec::new();
+            for (i, data) in parts.iter().enumerate() {
+                let tag = format!("part{i}");
+                let span = composition.append(&tag, data);
+                entries.push(DescriptorEntry {
+                    tag,
+                    kind: DataKind::Text,
+                    location: DataLocation::Composition(span),
+                });
+            }
+            let obj = ArchivedObject {
+                descriptor: ObjectDescriptor {
+                    object_id: ObjectId::new(9),
+                    name: "prop".into(),
+                    driving_mode: DrivingMode::Visual,
+                    attributes: vec![],
+                    entries,
+                },
+                composition,
+            };
+            let bytes = obj.encode_for_archive(base);
+            let back = ArchivedObject::decode_from_archive(&bytes, base).unwrap();
+            prop_assert_eq!(back.descriptor.entries.len(), parts.len());
+            for (i, data) in parts.iter().enumerate() {
+                let entry = back.descriptor.entry(&format!("part{i}")).unwrap();
+                prop_assert!(matches!(entry.location, DataLocation::Composition(_)));
+                prop_assert_eq!(back.composition.read(entry.location.span()).unwrap(), &data[..]);
+            }
+        }
+
+        /// Mailing outside is idempotent: a self-contained object mails to
+        /// itself, and resolving twice equals resolving once.
+        #[test]
+        fn mail_outside_is_idempotent(
+            data in proptest::collection::vec(any::<u8>(), 1..64),
+        ) {
+            struct NoArchiver;
+            impl ArchiverRead for NoArchiver {
+                fn read_span(&self, span: ByteSpan) -> Result<Vec<u8>> {
+                    Err(MinosError::Storage(format!("unexpected read of {span}")))
+                }
+            }
+            let mut composition = CompositionFile::new();
+            let span = composition.append("only", &data);
+            let obj = ArchivedObject {
+                descriptor: ObjectDescriptor {
+                    object_id: ObjectId::new(1),
+                    name: "solo".into(),
+                    driving_mode: DrivingMode::Audio,
+                    attributes: vec![("k".into(), "v".into())],
+                    entries: vec![DescriptorEntry {
+                        tag: "only".into(),
+                        kind: DataKind::Voice,
+                        location: DataLocation::Composition(span),
+                    }],
+                },
+                composition,
+            };
+            let once = obj.mail_outside(&NoArchiver).unwrap();
+            let twice = once.mail_outside(&NoArchiver).unwrap();
+            prop_assert_eq!(&once, &obj);
+            prop_assert_eq!(&twice, &once);
+        }
+    }
+}

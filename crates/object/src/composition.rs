@@ -1,0 +1,152 @@
+//! The composition file.
+//!
+//! "The composition file is the concatenation of several data files each
+//! one of which contains a certain part of the multimedia object (text
+//! parts, images, etc.)." (§4)
+//!
+//! Appends are deduplicated by tag: a data file spliced at several points
+//! of the presentation (the x-ray of Figures 3–4, shown with each page of
+//! its related text) is stored once and every descriptor entry points at
+//! the same span — "The x-ray bitmap is only stored once within the
+//! multimedia object." (§3)
+
+use minos_types::{ByteSpan, MinosError, Result};
+use std::collections::HashMap;
+
+/// A composition file under construction or loaded from the archive.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CompositionFile {
+    bytes: Vec<u8>,
+    /// tag → span of the (single) stored copy.
+    toc: HashMap<String, ByteSpan>,
+}
+
+impl CompositionFile {
+    /// An empty composition file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reconstructs a composition file from raw bytes (no table of
+    /// contents — spans come from the accompanying descriptor).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        CompositionFile { bytes, toc: HashMap::new() }
+    }
+
+    /// Appends `data` under `tag`, returning its span. If the tag was
+    /// already appended, returns the existing span without storing a second
+    /// copy.
+    pub fn append(&mut self, tag: &str, data: &[u8]) -> ByteSpan {
+        if let Some(&span) = self.toc.get(tag) {
+            return span;
+        }
+        let span = ByteSpan::at(self.bytes.len() as u64, data.len() as u64);
+        self.bytes.extend_from_slice(data);
+        self.toc.insert(tag.to_string(), span);
+        span
+    }
+
+    /// Appends anonymous data (always stored; used when mailing resolves
+    /// archiver pointers).
+    pub fn append_anonymous(&mut self, data: &[u8]) -> ByteSpan {
+        let span = ByteSpan::at(self.bytes.len() as u64, data.len() as u64);
+        self.bytes.extend_from_slice(data);
+        span
+    }
+
+    /// Reads the bytes of `span`.
+    pub fn read(&self, span: ByteSpan) -> Result<&[u8]> {
+        let (start, end) = (span.start as usize, span.end as usize);
+        if end > self.bytes.len() {
+            return Err(MinosError::Codec(format!(
+                "span {span} outside composition file of {} bytes",
+                self.bytes.len()
+            )));
+        }
+        Ok(&self.bytes[start..end])
+    }
+
+    /// Total length in bytes.
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The raw bytes (for archival concatenation).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The span previously appended under `tag`, if any.
+    pub fn span_of(&self, tag: &str) -> Option<ByteSpan> {
+        self.toc.get(tag).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read() {
+        let mut c = CompositionFile::new();
+        let a = c.append("a", b"hello");
+        let b = c.append("b", b"world!");
+        assert_eq!(a, ByteSpan::at(0, 5));
+        assert_eq!(b, ByteSpan::at(5, 6));
+        assert_eq!(c.read(a).unwrap(), b"hello");
+        assert_eq!(c.read(b).unwrap(), b"world!");
+        assert_eq!(c.len(), 11);
+    }
+
+    #[test]
+    fn repeated_tag_is_stored_once() {
+        let mut c = CompositionFile::new();
+        let first = c.append("xray", &[7u8; 1000]);
+        let second = c.append("xray", &[7u8; 1000]);
+        assert_eq!(first, second);
+        assert_eq!(c.len(), 1000, "x-ray stored once");
+    }
+
+    #[test]
+    fn anonymous_appends_always_store() {
+        let mut c = CompositionFile::new();
+        c.append_anonymous(b"one");
+        c.append_anonymous(b"one");
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn read_out_of_range_is_error() {
+        let mut c = CompositionFile::new();
+        c.append("a", b"xy");
+        assert!(c.read(ByteSpan::at(1, 5)).is_err());
+        assert!(c.read(ByteSpan::at(0, 2)).is_ok());
+    }
+
+    #[test]
+    fn span_lookup_by_tag() {
+        let mut c = CompositionFile::new();
+        c.append("a", b"abc");
+        assert_eq!(c.span_of("a"), Some(ByteSpan::at(0, 3)));
+        assert_eq!(c.span_of("b"), None);
+    }
+
+    #[test]
+    fn from_bytes_supports_reading() {
+        let c = CompositionFile::from_bytes(b"restored".to_vec());
+        assert_eq!(c.read(ByteSpan::at(0, 8)).unwrap(), b"restored");
+        assert_eq!(c.span_of("anything"), None);
+    }
+
+    #[test]
+    fn empty_file() {
+        let c = CompositionFile::new();
+        assert!(c.is_empty());
+        assert_eq!(c.read(ByteSpan::empty_at(0)).unwrap(), b"");
+    }
+}

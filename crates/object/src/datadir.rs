@@ -1,0 +1,242 @@
+//! The data directory file of an editing-state object.
+//!
+//! "The data directory file contains information about the various data
+//! files as well as about data in the archiver that have been extracted but
+//! not copied. Such information is the name, type, location, length, and
+//! status of data. The status information describes if the data in a
+//! particular file is in its final form which is to be used for archiving
+//! or mailing." (§4)
+
+use crate::payload::{DataKind, DataPayload};
+use minos_types::{ByteSpan, MinosError, Result};
+use std::collections::BTreeMap;
+
+/// Whether a data file is ready for archiving.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DataStatus {
+    /// Still being edited; not acceptable to the archiver ("the
+    /// presentation interface of the archiver expects always the data in
+    /// its final form").
+    Draft,
+    /// Final, device-independent form.
+    Final,
+}
+
+/// Where an entry's data currently is.
+#[derive(Clone, PartialEq, Debug)]
+pub enum DataHome {
+    /// A local data file within the multimedia object file, holding the
+    /// payload.
+    Local(DataPayload),
+    /// Data that exists in the archiver and has been referenced but not
+    /// copied.
+    Archiver(ByteSpan),
+}
+
+/// One entry of the data directory.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DataEntry {
+    /// The tag the synthesis file refers to this data by.
+    pub tag: String,
+    /// Media kind.
+    pub kind: DataKind,
+    /// Where the data lives.
+    pub home: DataHome,
+    /// Editing status.
+    pub status: DataStatus,
+}
+
+impl DataEntry {
+    /// Length in bytes of the data (local payload length or archiver span
+    /// length).
+    pub fn len(&self) -> u64 {
+        match &self.home {
+            DataHome::Local(p) => p.len(),
+            DataHome::Archiver(span) => span.len(),
+        }
+    }
+
+    /// Whether the entry holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The data directory: tag → entry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DataDirectory {
+    entries: BTreeMap<String, DataEntry>,
+}
+
+impl DataDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a local data file. Errors if the tag is taken.
+    pub fn insert_local(
+        &mut self,
+        tag: impl Into<String>,
+        payload: DataPayload,
+        status: DataStatus,
+    ) -> Result<()> {
+        let tag = tag.into();
+        self.insert(DataEntry { tag, kind: payload.kind, home: DataHome::Local(payload), status })
+    }
+
+    /// Registers a reference to archiver-resident data (extracted but not
+    /// copied). Archiver data is always final form.
+    pub fn insert_archiver_ref(
+        &mut self,
+        tag: impl Into<String>,
+        kind: DataKind,
+        span: ByteSpan,
+    ) -> Result<()> {
+        let tag = tag.into();
+        self.insert(DataEntry { tag, kind, home: DataHome::Archiver(span), status: DataStatus::Final })
+    }
+
+    fn insert(&mut self, entry: DataEntry) -> Result<()> {
+        if self.entries.contains_key(&entry.tag) {
+            return Err(MinosError::WrongState(format!("data tag {:?} already exists", entry.tag)));
+        }
+        self.entries.insert(entry.tag.clone(), entry);
+        Ok(())
+    }
+
+    /// Looks up an entry by tag.
+    pub fn get(&self, tag: &str) -> Option<&DataEntry> {
+        self.entries.get(tag)
+    }
+
+    /// Marks a draft entry final (e.g. "when the editing of an image is
+    /// completed its archival form … is produced", §4).
+    pub fn finalize(&mut self, tag: &str) -> Result<()> {
+        let entry = self
+            .entries
+            .get_mut(tag)
+            .ok_or_else(|| MinosError::UnknownComponent(format!("data tag {tag:?}")))?;
+        entry.status = DataStatus::Final;
+        Ok(())
+    }
+
+    /// Replaces a local entry's payload (an edit), resetting it to draft.
+    pub fn update_local(&mut self, tag: &str, payload: DataPayload) -> Result<()> {
+        let entry = self
+            .entries
+            .get_mut(tag)
+            .ok_or_else(|| MinosError::UnknownComponent(format!("data tag {tag:?}")))?;
+        if matches!(entry.home, DataHome::Archiver(_)) {
+            return Err(MinosError::WrongState(format!(
+                "data tag {tag:?} is archiver-resident and immutable"
+            )));
+        }
+        entry.kind = payload.kind;
+        entry.home = DataHome::Local(payload);
+        entry.status = DataStatus::Draft;
+        Ok(())
+    }
+
+    /// All entries in tag order.
+    pub fn entries(&self) -> impl Iterator<Item = &DataEntry> {
+        self.entries.values()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Errors unless every entry is in final form — the archiver's
+    /// precondition.
+    pub fn ensure_all_final(&self) -> Result<()> {
+        for e in self.entries.values() {
+            if e.status != DataStatus::Final {
+                return Err(MinosError::WrongState(format!(
+                    "data tag {:?} is still in draft form",
+                    e.tag
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> DataDirectory {
+        let mut d = DataDirectory::new();
+        d.insert_local("notes", DataPayload::text("hello world"), DataStatus::Final).unwrap();
+        d.insert_local("draft-img", DataPayload::image(&minos_image::Bitmap::new(8, 8)), DataStatus::Draft)
+            .unwrap();
+        d.insert_archiver_ref("xray", DataKind::Image, ByteSpan::at(9_000, 1_234)).unwrap();
+        d
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let d = dir();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.get("notes").unwrap().kind, DataKind::Text);
+        assert_eq!(d.get("xray").unwrap().len(), 1_234);
+        assert!(d.get("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_tags_rejected() {
+        let mut d = dir();
+        assert!(d.insert_local("notes", DataPayload::text("x"), DataStatus::Draft).is_err());
+        assert!(d
+            .insert_archiver_ref("xray", DataKind::Image, ByteSpan::at(0, 1))
+            .is_err());
+    }
+
+    #[test]
+    fn finalize_flow() {
+        let mut d = dir();
+        assert!(d.ensure_all_final().is_err(), "draft-img blocks archiving");
+        d.finalize("draft-img").unwrap();
+        d.ensure_all_final().unwrap();
+        assert!(d.finalize("missing").is_err());
+    }
+
+    #[test]
+    fn update_resets_to_draft() {
+        let mut d = dir();
+        d.update_local("notes", DataPayload::text("edited")).unwrap();
+        assert_eq!(d.get("notes").unwrap().status, DataStatus::Draft);
+        match &d.get("notes").unwrap().home {
+            DataHome::Local(p) => assert_eq!(p.as_text().unwrap(), "edited"),
+            _ => panic!("expected local"),
+        }
+    }
+
+    #[test]
+    fn archiver_entries_are_immutable() {
+        let mut d = dir();
+        assert!(d.update_local("xray", DataPayload::text("nope")).is_err());
+        assert!(d.update_local("ghost", DataPayload::text("nope")).is_err());
+    }
+
+    #[test]
+    fn entries_iterate_in_tag_order() {
+        let d = dir();
+        let tags: Vec<&str> = d.entries().map(|e| e.tag.as_str()).collect();
+        assert_eq!(tags, vec!["draft-img", "notes", "xray"]);
+    }
+
+    #[test]
+    fn empty_directory() {
+        let d = DataDirectory::new();
+        assert!(d.is_empty());
+        d.ensure_all_final().unwrap(); // vacuously final
+    }
+}

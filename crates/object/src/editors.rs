@@ -1,0 +1,358 @@
+//! The media editors of §4.
+//!
+//! "There is a number of editors in MINOS. These editors are responsible
+//! for the interactive generation and editing of text, image and voice
+//! data. … The status information describes if the data in a particular
+//! file is in its final form which is to be used for archiving or mailing.
+//! For images with graphics for example the archival form may be different
+//! than the editing form. When the editing of an image is completed its
+//! archival form (which is device and software package independent) is
+//! produced." (§4)
+//!
+//! Each editor owns one data file's *editing form* and writes draft
+//! payloads into the object's [`crate::datadir::DataDirectory`]; `finish`
+//! produces the final archival form and marks the entry final. The editors
+//! are deliberately small — their interactive behaviour is not the paper's
+//! contribution — but they complete the formation pipeline so the
+//! draft→final lifecycle is real.
+
+use crate::datadir::{DataDirectory, DataStatus};
+use crate::payload::DataPayload;
+use minos_image::{raster, GraphicsImage, GraphicsObject};
+use minos_types::{MinosError, Result};
+use minos_voice::synth::SpeakerProfile;
+use minos_voice::AudioBuffer;
+
+/// A line-oriented markup text editor.
+#[derive(Clone, Debug, Default)]
+pub struct TextEditor {
+    lines: Vec<String>,
+}
+
+impl TextEditor {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens existing markup source.
+    pub fn open(source: &str) -> Self {
+        TextEditor { lines: source.lines().map(str::to_string).collect() }
+    }
+
+    /// Number of lines.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Appends a line at the end.
+    pub fn append(&mut self, line: impl Into<String>) {
+        self.lines.push(line.into());
+    }
+
+    /// Inserts a line before 0-based `at` (clamped to the end).
+    pub fn insert(&mut self, at: usize, line: impl Into<String>) {
+        let at = at.min(self.lines.len());
+        self.lines.insert(at, line.into());
+    }
+
+    /// Deletes the 0-based line `at`.
+    pub fn delete(&mut self, at: usize) -> Result<()> {
+        if at >= self.lines.len() {
+            return Err(MinosError::UnknownComponent(format!("line {at}")));
+        }
+        self.lines.remove(at);
+        Ok(())
+    }
+
+    /// Replaces the first occurrence of `from` with `to` across the buffer.
+    /// Returns whether anything changed.
+    pub fn replace_first(&mut self, from: &str, to: &str) -> bool {
+        for line in &mut self.lines {
+            if let Some(idx) = line.find(from) {
+                line.replace_range(idx..idx + from.len(), to);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The current source.
+    pub fn source(&self) -> String {
+        let mut s = self.lines.join("\n");
+        if !s.is_empty() {
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Saves a draft into the data directory under `tag` (creating or
+    /// updating the entry).
+    pub fn save_draft(&self, datadir: &mut DataDirectory, tag: &str) -> Result<()> {
+        let payload = DataPayload::text(&self.source());
+        if datadir.get(tag).is_some() {
+            datadir.update_local(tag, payload)
+        } else {
+            datadir.insert_local(tag, payload, DataStatus::Draft)
+        }
+    }
+
+    /// Validates the markup and finalizes the entry — the archiver only
+    /// accepts final forms, and final text must parse.
+    pub fn finish(&self, datadir: &mut DataDirectory, tag: &str) -> Result<()> {
+        minos_text::parse_markup(&self.source())?;
+        self.save_draft(datadir, tag)?;
+        datadir.finalize(tag)
+    }
+}
+
+/// A graphics image editor. The *editing form* is the symbolic
+/// [`GraphicsImage`]; the *archival form* is the rasterized,
+/// device-independent image payload — exactly the §4 distinction.
+#[derive(Clone, Debug)]
+pub struct ImageEditor {
+    image: GraphicsImage,
+}
+
+impl ImageEditor {
+    /// A blank canvas.
+    pub fn new(width: u32, height: u32) -> Self {
+        ImageEditor { image: GraphicsImage::new(width, height) }
+    }
+
+    /// Opens an existing editing form.
+    pub fn open(image: GraphicsImage) -> Self {
+        ImageEditor { image }
+    }
+
+    /// The editing form.
+    pub fn image(&self) -> &GraphicsImage {
+        &self.image
+    }
+
+    /// Adds a graphics object, returning its index.
+    pub fn add(&mut self, object: GraphicsObject) -> usize {
+        self.image.push(object)
+    }
+
+    /// Removes the topmost object at `at` (mouse-delete). Returns the
+    /// removed object, or an error when nothing is there.
+    pub fn delete_at(&mut self, at: minos_types::Point) -> Result<GraphicsObject> {
+        match self.image.object_at(at) {
+            Some(idx) => Ok(self.image.objects.remove(idx)),
+            None => Err(MinosError::UnknownComponent(format!("no object at {at:?}"))),
+        }
+    }
+
+    /// Saves the *editing form* as a draft. (Drafts are not archival: the
+    /// raster has not been produced yet, so the payload is a placeholder
+    /// raster at draft status.)
+    pub fn save_draft(&self, datadir: &mut DataDirectory, tag: &str) -> Result<()> {
+        let payload = DataPayload::image(&raster::render_graphics(&self.image));
+        if datadir.get(tag).is_some() {
+            datadir.update_local(tag, payload)
+        } else {
+            datadir.insert_local(tag, payload, DataStatus::Draft)
+        }
+    }
+
+    /// Produces the device-independent archival form (the rendered raster)
+    /// and finalizes the entry.
+    pub fn finish(&self, datadir: &mut DataDirectory, tag: &str) -> Result<()> {
+        self.save_draft(datadir, tag)?;
+        datadir.finalize(tag)
+    }
+}
+
+/// A voice editor: dictation capture with optional re-takes.
+#[derive(Clone, Debug)]
+pub struct VoiceEditor {
+    profile: SpeakerProfile,
+    seed: u64,
+    takes: Vec<String>,
+}
+
+impl VoiceEditor {
+    /// A fresh recorder for one speaker.
+    pub fn new(profile: SpeakerProfile, seed: u64) -> Self {
+        VoiceEditor { profile, seed, takes: Vec::new() }
+    }
+
+    /// Records (dictates) one more take; takes are concatenated as
+    /// paragraphs.
+    pub fn record(&mut self, text: impl Into<String>) {
+        self.takes.push(text.into());
+    }
+
+    /// Discards the last take ("no — again").
+    pub fn discard_last(&mut self) -> Option<String> {
+        self.takes.pop()
+    }
+
+    /// Number of takes kept.
+    pub fn take_count(&self) -> usize {
+        self.takes.len()
+    }
+
+    /// Renders the digitized audio of all takes.
+    pub fn audio(&self) -> AudioBuffer {
+        minos_voice::synthesize(&self.takes.join("\n"), &self.profile, self.seed).0
+    }
+
+    /// Saves the digitized form as a draft.
+    pub fn save_draft(&self, datadir: &mut DataDirectory, tag: &str) -> Result<()> {
+        let audio = self.audio();
+        let payload = DataPayload::voice(audio.samples(), audio.sample_rate());
+        if datadir.get(tag).is_some() {
+            datadir.update_local(tag, payload)
+        } else {
+            datadir.insert_local(tag, payload, DataStatus::Draft)
+        }
+    }
+
+    /// Finalizes the dictation. Empty recordings are rejected — an empty
+    /// voice part has no final form.
+    pub fn finish(&self, datadir: &mut DataDirectory, tag: &str) -> Result<()> {
+        if self.takes.iter().all(|t| t.trim().is_empty()) {
+            return Err(MinosError::WrongState("nothing was dictated".into()));
+        }
+        self.save_draft(datadir, tag)?;
+        datadir.finalize(tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_image::Shape;
+    use minos_types::Point;
+
+    #[test]
+    fn text_editor_edit_cycle() {
+        let mut e = TextEditor::open(".ch One\nfirst line\n");
+        assert_eq!(e.line_count(), 2);
+        e.append("appended line");
+        e.insert(1, "inserted line");
+        assert_eq!(e.source(), ".ch One\ninserted line\nfirst line\nappended line\n");
+        e.delete(2).unwrap();
+        assert!(e.delete(99).is_err());
+        assert!(e.replace_first("inserted", "edited"));
+        assert!(!e.replace_first("missing", "x"));
+        assert_eq!(e.source(), ".ch One\nedited line\nappended line\n");
+    }
+
+    #[test]
+    fn text_editor_draft_then_final() {
+        let mut datadir = DataDirectory::new();
+        let mut e = TextEditor::new();
+        e.append(".ch Draft");
+        e.append("work in progress");
+        e.save_draft(&mut datadir, "notes").unwrap();
+        assert_eq!(datadir.get("notes").unwrap().status, DataStatus::Draft);
+        assert!(datadir.ensure_all_final().is_err());
+        e.finish(&mut datadir, "notes").unwrap();
+        datadir.ensure_all_final().unwrap();
+    }
+
+    #[test]
+    fn text_editor_finish_rejects_bad_markup() {
+        let mut datadir = DataDirectory::new();
+        let mut e = TextEditor::new();
+        e.append(".zz not a directive");
+        assert!(e.finish(&mut datadir, "bad").is_err());
+        assert!(datadir.get("bad").is_none(), "failed finish must not pollute the directory");
+    }
+
+    #[test]
+    fn image_editor_draw_delete_finish() {
+        let mut datadir = DataDirectory::new();
+        let mut e = ImageEditor::new(100, 100);
+        e.add(GraphicsObject::new(Shape::Circle {
+            center: Point::new(50, 50),
+            radius: 20,
+            filled: true,
+        }));
+        e.add(GraphicsObject::new(Shape::Point(Point::new(10, 10))));
+        assert_eq!(e.image().objects.len(), 2);
+        // Mouse-delete the circle.
+        e.delete_at(Point::new(50, 50)).unwrap();
+        assert_eq!(e.image().objects.len(), 1);
+        assert!(e.delete_at(Point::new(90, 90)).is_err());
+        e.finish(&mut datadir, "figure").unwrap();
+        // The archival form decodes to the rendered raster.
+        let entry = datadir.get("figure").unwrap();
+        assert_eq!(entry.status, DataStatus::Final);
+        match &entry.home {
+            crate::datadir::DataHome::Local(p) => {
+                let bm = p.as_image().unwrap();
+                assert!(bm.get(10, 10));
+                assert!(!bm.get(50, 50), "deleted circle must not render");
+            }
+            other => panic!("unexpected home {other:?}"),
+        }
+    }
+
+    #[test]
+    fn voice_editor_takes_and_retakes() {
+        let mut e = VoiceEditor::new(SpeakerProfile::CLEAR, 9);
+        e.record("first attempt that went badly");
+        e.record("second paragraph");
+        assert_eq!(e.take_count(), 2);
+        let long = e.audio().duration();
+        e.discard_last();
+        assert_eq!(e.take_count(), 1);
+        let short = e.audio().duration();
+        assert!(short < long);
+    }
+
+    #[test]
+    fn voice_editor_draft_updates_and_finalizes() {
+        let mut datadir = DataDirectory::new();
+        let mut e = VoiceEditor::new(SpeakerProfile::CLEAR, 9);
+        e.record("the dictated memo");
+        e.save_draft(&mut datadir, "memo").unwrap();
+        let len1 = datadir.get("memo").unwrap().len();
+        e.record("with a second paragraph added");
+        e.save_draft(&mut datadir, "memo").unwrap();
+        let len2 = datadir.get("memo").unwrap().len();
+        assert!(len2 > len1);
+        assert_eq!(datadir.get("memo").unwrap().status, DataStatus::Draft);
+        e.finish(&mut datadir, "memo").unwrap();
+        assert_eq!(datadir.get("memo").unwrap().status, DataStatus::Final);
+    }
+
+    #[test]
+    fn empty_dictation_cannot_finalize() {
+        let mut datadir = DataDirectory::new();
+        let e = VoiceEditor::new(SpeakerProfile::CLEAR, 1);
+        assert!(e.finish(&mut datadir, "empty").is_err());
+    }
+
+    #[test]
+    fn editors_feed_the_formatter() {
+        // The full §4 flow: editors → data directory → synthesis → build.
+        use crate::formatter::FormatterSession;
+        let mut session = FormatterSession::new(minos_types::ObjectId::new(1));
+
+        let mut text = TextEditor::new();
+        text.append(".ch Edited Chapter");
+        text.append("body written in the text editor.");
+        text.finish(session.datadir_mut(), "body").unwrap();
+
+        let mut image = ImageEditor::new(120, 80);
+        image.add(GraphicsObject::new(Shape::Circle {
+            center: Point::new(60, 40),
+            radius: 15,
+            filled: false,
+        }));
+        image.finish(session.datadir_mut(), "figure").unwrap();
+
+        session
+            .set_synthesis("@object edited\n@data body\n@data figure\n")
+            .unwrap();
+        let file = session.build().unwrap();
+        assert_eq!(file.descriptor.entries.len(), 2);
+        assert_eq!(file.descriptor.entries[0].kind, crate::payload::DataKind::Text);
+        assert_eq!(file.descriptor.entries[1].kind, crate::payload::DataKind::Image);
+    }
+}

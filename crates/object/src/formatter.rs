@@ -1,0 +1,334 @@
+//! The multimedia object formatter.
+//!
+//! "The multimedia object formatter is responsible for the creation of the
+//! multimedia object descriptor. The formatter is declarative and
+//! interactive. Declarative formatters emphasize more the logical structure
+//! of the object instead of how to do the formatting. Interactive
+//! formatters allow the user to see immediately the result of local changes
+//! in the formatting commands." (§4)
+//!
+//! A [`FormatterSession`] owns the synthesis source and the data directory
+//! of one editing-state object. Every change to the synthesis source
+//! rebuilds the composition file and descriptor ("If the user makes certain
+//! changes … part of the descriptor file and the composition file may have
+//! to be deleted and recreated"), and the preview form is available at any
+//! time for the page miniature shown beside the menu options.
+
+use crate::composition::CompositionFile;
+use crate::datadir::{DataDirectory, DataHome};
+use crate::descriptor::{DataLocation, DescriptorEntry, ObjectDescriptor};
+use crate::payload::DataKind;
+use crate::synthesis::{SynthesisFile, SynthesisItem};
+use minos_text::{PaginateConfig, PresentationForm};
+use minos_types::{MinosError, ObjectId, Result};
+
+/// The set of files that make up an editing-state multimedia object —
+/// "a synthesis-file, the object descriptor, a composition-file, a
+/// data-directory file, and a set of data files" (§4; the data files live
+/// inside the data directory here).
+#[derive(Clone, Debug)]
+pub struct MultimediaObjectFile {
+    /// The synthesis source as last written by the user.
+    pub synthesis_source: String,
+    /// Its parse.
+    pub synthesis: SynthesisFile,
+    /// The data directory (owning local data files).
+    pub datadir: DataDirectory,
+    /// The derived descriptor.
+    pub descriptor: ObjectDescriptor,
+    /// The derived composition file.
+    pub composition: CompositionFile,
+}
+
+/// An interactive formatting session.
+#[derive(Clone, Debug)]
+pub struct FormatterSession {
+    object_id: ObjectId,
+    synthesis_source: String,
+    datadir: DataDirectory,
+}
+
+impl FormatterSession {
+    /// Opens a session for a new object.
+    pub fn new(object_id: ObjectId) -> Self {
+        FormatterSession { object_id, synthesis_source: String::new(), datadir: DataDirectory::new() }
+    }
+
+    /// The object's data directory (register data files here).
+    pub fn datadir(&self) -> &DataDirectory {
+        &self.datadir
+    }
+
+    /// Mutable access to the data directory.
+    pub fn datadir_mut(&mut self) -> &mut DataDirectory {
+        &mut self.datadir
+    }
+
+    /// Replaces the synthesis source (the user edited it). Returns the
+    /// parse result immediately — interactive feedback.
+    pub fn set_synthesis(&mut self, source: &str) -> Result<SynthesisFile> {
+        let parsed = SynthesisFile::parse(source)?;
+        self.synthesis_source = source.to_string();
+        Ok(parsed)
+    }
+
+    /// The current synthesis source.
+    pub fn synthesis_source(&self) -> &str {
+        &self.synthesis_source
+    }
+
+    /// Derives the markup the preview/pagination sees: markup runs pass
+    /// through; image data references become `.fig` anchors with the
+    /// image's real dimensions; text data references are spliced inline.
+    fn preview_markup(&self, synthesis: &SynthesisFile) -> Result<String> {
+        let mut out = String::new();
+        for item in &synthesis.items {
+            match item {
+                SynthesisItem::Markup(m) => {
+                    out.push_str(m);
+                    out.push('\n');
+                }
+                SynthesisItem::DataRef(tag) => {
+                    let entry = self.datadir.get(tag).ok_or_else(|| {
+                        MinosError::UnknownComponent(format!("data tag {tag:?} not in directory"))
+                    })?;
+                    match (&entry.home, entry.kind) {
+                        (DataHome::Local(p), DataKind::Image) => {
+                            let bm = p.as_image()?;
+                            out.push_str(&format!(".fig {tag} {} {}\n", bm.width(), bm.height()));
+                        }
+                        (DataHome::Archiver(_), DataKind::Image) => {
+                            // Dimensions live with the data; the preview
+                            // shows a standard placeholder frame.
+                            out.push_str(&format!(".fig {tag} 200 150\n"));
+                        }
+                        (DataHome::Local(p), DataKind::Text) => {
+                            out.push_str(&p.as_text()?);
+                            out.push('\n');
+                        }
+                        (DataHome::Archiver(_), DataKind::Text) => {
+                            out.push_str(".pp\n");
+                        }
+                        (_, DataKind::Voice) => {
+                            // Voice data has no visual preview form.
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The interactive preview: the paginated presentation form of the
+    /// object as currently written. "A miniature of the current page of
+    /// the formatted object is displayed in the right hand side of the
+    /// screen … This way the user can immediately see the results of his
+    /// formatting actions." The screen substrate renders the miniature;
+    /// this returns the form it renders from.
+    pub fn preview(&self, config: PaginateConfig) -> Result<PresentationForm> {
+        let synthesis = SynthesisFile::parse(&self.synthesis_source)?;
+        let markup = self.preview_markup(&synthesis)?;
+        let doc = minos_text::parse_markup(&markup)?;
+        Ok(PresentationForm::paginate(&doc, config))
+    }
+
+    /// Builds the full object file: parses the synthesis source, creates
+    /// the composition file by concatenating referenced final-form data,
+    /// and derives the descriptor. Draft data files are rejected.
+    pub fn build(&self) -> Result<MultimediaObjectFile> {
+        let synthesis = SynthesisFile::parse(&self.synthesis_source)?;
+        let mut composition = CompositionFile::new();
+        let mut entries = Vec::new();
+        let mut text_counter = 0usize;
+
+        for item in &synthesis.items {
+            match item {
+                SynthesisItem::Markup(m) => {
+                    let tag = format!("text#{text_counter}");
+                    text_counter += 1;
+                    let span = composition.append(&tag, m.as_bytes());
+                    entries.push(DescriptorEntry {
+                        tag,
+                        kind: DataKind::Text,
+                        location: DataLocation::Composition(span),
+                    });
+                }
+                SynthesisItem::DataRef(tag) => {
+                    let entry = self.datadir.get(tag).ok_or_else(|| {
+                        MinosError::UnknownComponent(format!("data tag {tag:?} not in directory"))
+                    })?;
+                    if entry.status != crate::datadir::DataStatus::Final {
+                        return Err(MinosError::WrongState(format!(
+                            "data tag {tag:?} is not in final form"
+                        )));
+                    }
+                    let location = match &entry.home {
+                        DataHome::Local(p) => {
+                            DataLocation::Composition(composition.append(tag, &p.bytes))
+                        }
+                        // "In the case that a data tag in the synthesis file
+                        // refers to data which exist in the archiver, the
+                        // object descriptor is updated with a pointer to the
+                        // location within the archiver." (§4)
+                        DataHome::Archiver(span) => DataLocation::Archiver(*span),
+                    };
+                    entries.push(DescriptorEntry { tag: tag.clone(), kind: entry.kind, location });
+                }
+            }
+        }
+
+        let descriptor = ObjectDescriptor {
+            object_id: self.object_id,
+            name: synthesis.name.clone(),
+            driving_mode: synthesis.mode,
+            attributes: synthesis.attributes.clone(),
+            entries,
+        };
+        Ok(MultimediaObjectFile {
+            synthesis_source: self.synthesis_source.clone(),
+            synthesis,
+            datadir: self.datadir.clone(),
+            descriptor,
+            composition,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datadir::DataStatus;
+    use crate::model::DrivingMode;
+    use crate::payload::DataPayload;
+    use minos_image::Bitmap;
+    use minos_types::ByteSpan;
+
+    fn session() -> FormatterSession {
+        let mut s = FormatterSession::new(ObjectId::new(9));
+        s.datadir_mut()
+            .insert_local("xray", DataPayload::image(&Bitmap::new(120, 90)), DataStatus::Final)
+            .unwrap();
+        s.datadir_mut()
+            .insert_archiver_ref("old-film", DataKind::Image, ByteSpan::at(77_000, 4_096))
+            .unwrap();
+        s.set_synthesis(
+            "@object report\n@mode visual\n@attr author jones\n\
+             .ch Findings\nA shadow appears on the film.\n@data xray\n\
+             Compare with the previous film.\n@data old-film\n@data xray\n",
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn build_produces_descriptor_and_composition() {
+        let file = session().build().unwrap();
+        assert_eq!(file.descriptor.name, "report");
+        assert_eq!(file.descriptor.driving_mode, DrivingMode::Visual);
+        assert_eq!(file.descriptor.attributes.len(), 1);
+        // Items: markup, xray, markup, old-film, xray.
+        assert_eq!(file.descriptor.entries.len(), 5);
+        assert_eq!(file.descriptor.entries[1].tag, "xray");
+        assert!(matches!(file.descriptor.entries[1].location, DataLocation::Composition(_)));
+        assert!(matches!(file.descriptor.entries[3].location, DataLocation::Archiver(_)));
+    }
+
+    #[test]
+    fn repeated_data_ref_shares_one_copy() {
+        let file = session().build().unwrap();
+        let first = file.descriptor.entries[1].location.span();
+        let second = file.descriptor.entries[4].location.span();
+        assert_eq!(first, second, "x-ray stored once, referenced twice");
+        // Composition holds exactly one copy of the image payload.
+        let img_len = DataPayload::image(&Bitmap::new(120, 90)).len();
+        let markup_len: u64 = file
+            .descriptor
+            .entries
+            .iter()
+            .filter(|e| e.kind == DataKind::Text)
+            .map(|e| e.location.span().len())
+            .sum();
+        assert_eq!(file.composition.len(), img_len + markup_len);
+    }
+
+    #[test]
+    fn composition_data_reads_back() {
+        let file = session().build().unwrap();
+        let entry = file.descriptor.entry("xray").unwrap();
+        let bytes = file.composition.read(entry.location.span()).unwrap();
+        let payload = DataPayload { kind: DataKind::Image, bytes: bytes.to_vec() };
+        assert_eq!(payload.as_image().unwrap().size(), minos_types::Size::new(120, 90));
+    }
+
+    #[test]
+    fn unknown_data_tag_fails_build() {
+        let mut s = FormatterSession::new(ObjectId::new(1));
+        s.set_synthesis("@object x\n@data ghost\n").unwrap();
+        assert!(matches!(s.build(), Err(MinosError::UnknownComponent(_))));
+    }
+
+    #[test]
+    fn draft_data_fails_build() {
+        let mut s = FormatterSession::new(ObjectId::new(1));
+        s.datadir_mut()
+            .insert_local("wip", DataPayload::text("unfinished"), DataStatus::Draft)
+            .unwrap();
+        s.set_synthesis("@object x\n@data wip\n").unwrap();
+        assert!(matches!(s.build(), Err(MinosError::WrongState(_))));
+        // Finalizing unblocks the build.
+        let mut s2 = s.clone();
+        s2.datadir_mut().finalize("wip").unwrap();
+        assert!(s2.build().is_ok());
+    }
+
+    #[test]
+    fn set_synthesis_rejects_bad_source_and_keeps_old() {
+        let mut s = session();
+        let before = s.synthesis_source().to_string();
+        assert!(s.set_synthesis("no object line").is_err());
+        assert_eq!(s.synthesis_source(), before);
+    }
+
+    #[test]
+    fn preview_reflects_edits_immediately() {
+        let mut s = session();
+        let cfg = PaginateConfig::default();
+        let before = s.preview(cfg).unwrap().page_count();
+        // Append many paragraphs; the preview grows.
+        let mut longer = s.synthesis_source().to_string();
+        for i in 0..120 {
+            longer.push_str(&format!(
+                ".pp\nAdditional observation number {i} with enough words to fill lines of text.\n"
+            ));
+        }
+        s.set_synthesis(&longer).unwrap();
+        let after = s.preview(cfg).unwrap().page_count();
+        assert!(after > before, "preview did not grow: {before} -> {after}");
+    }
+
+    #[test]
+    fn preview_places_image_figures() {
+        let s = session();
+        let form = s.preview(PaginateConfig::default()).unwrap();
+        let has_figure = form.pages().iter().any(|p| {
+            p.elements
+                .iter()
+                .any(|e| matches!(e, minos_text::PageElement::Figure { .. }))
+        });
+        assert!(has_figure);
+    }
+
+    #[test]
+    fn voice_refs_have_no_visual_preview() {
+        let mut s = FormatterSession::new(ObjectId::new(2));
+        s.datadir_mut()
+            .insert_local("memo", DataPayload::voice(&[0; 64], 8_000), DataStatus::Final)
+            .unwrap();
+        s.set_synthesis("@object m\n@mode audio\n@data memo\n").unwrap();
+        let form = s.preview(PaginateConfig::default()).unwrap();
+        assert_eq!(form.page_count(), 0);
+        let file = s.build().unwrap();
+        assert_eq!(file.descriptor.entries.len(), 1);
+        assert_eq!(file.descriptor.entries[0].kind, DataKind::Voice);
+    }
+}

@@ -1,0 +1,54 @@
+//! The multimedia object model and formation pipeline (§2 and §4 of the
+//! paper).
+//!
+//! "The unit of information in MINOS is a multimedia object. Multimedia
+//! objects may be composed of attributes, an object text part (collection
+//! of text segments) an object voice part (collection of voice segments),
+//! and an object image part (collection of images)." (§2)
+//!
+//! * [`payload`] — typed data payloads and their byte serializations (what
+//!   composition files and the archiver actually store);
+//! * [`model`] — the in-memory multimedia object: parts, attributes,
+//!   driving mode, editing/archived state, presentation specs;
+//! * [`messages`] — voice and visual logical messages and their anchors;
+//! * [`relevant`] — relevant objects and relevances;
+//! * [`descriptor`] — the binary object descriptor: "the object descriptor
+//!   points either to offsets within the composition file or to offsets
+//!   within the archiver" (§4);
+//! * [`datadir`] — the data directory file of an editing-state object;
+//! * [`synthesis`] — the synthesis-file language;
+//! * [`composition`] — composition-file construction;
+//! * [`formatter`] — the declarative, interactive multimedia object
+//!   formatter;
+//! * [`archive`] — archival and mailing transforms (offset rebasing,
+//!   pointer resolution, shared-data deduplication).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod archive;
+pub mod composition;
+pub mod datadir;
+pub mod descriptor;
+pub mod editors;
+pub mod formatter;
+pub mod messages;
+pub mod model;
+pub mod payload;
+pub mod relevant;
+pub mod synthesis;
+
+pub use archive::{ArchivedObject, ArchiverRead};
+pub use composition::CompositionFile;
+pub use datadir::{DataDirectory, DataEntry, DataStatus};
+pub use descriptor::{DataLocation, DescriptorEntry, ObjectDescriptor};
+pub use editors::{ImageEditor, TextEditor, VoiceEditor};
+pub use formatter::{FormatterSession, MultimediaObjectFile};
+pub use messages::{Anchor, LogicalMessage, MessageBody, VisualMessageContent};
+pub use model::{
+    Attribute, DrivingMode, MultimediaObject, ObjectState, ProcessSimulation, ProcessStep,
+    TourSpec, TransparencySetSpec, VoiceSegment,
+};
+pub use payload::{DataKind, DataPayload};
+pub use relevant::{Relevance, RelevantLink};
+pub use synthesis::{SynthesisFile, SynthesisItem};

@@ -1,0 +1,253 @@
+//! Voice and visual logical messages.
+//!
+//! "Voice logical messages are unstructured audio segments (typically
+//! short). They can be attached to either visual mode objects or audio mode
+//! objects. When attached to visual mode objects they may be associated
+//! with text segments or images. … When attached to audio mode objects they
+//! may be associated with voice segments or with particular points within
+//! the object voice part. The semantics are that the voice logical message
+//! will be played when the user first branches into the corresponding
+//! segments during browsing." (§2)
+//!
+//! "Visual logical messages are short (at most one visual page long)
+//! segments of visual information (text and/or images). They are … always
+//! displayed in the same page of the presentation form (top part)." (§2)
+
+use minos_types::{CharSpan, SimDuration, SimInstant, TimeSpan};
+
+/// What a logical message is anchored to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Anchor {
+    /// A span of a text segment. "Text is linear. Two points identify the
+    /// beginning and the end of a text segment. The two points may
+    /// coincide." (§2)
+    TextSegment {
+        /// Index of the text segment within the object text part.
+        segment: usize,
+        /// The anchored span (may be empty: the two points coincide).
+        span: CharSpan,
+    },
+    /// A whole image of the object image part.
+    Image {
+        /// Index of the image within the object image part.
+        image: usize,
+    },
+    /// A span of a voice segment.
+    VoiceSegment {
+        /// Index of the voice segment within the object voice part.
+        segment: usize,
+        /// The anchored time span.
+        span: TimeSpan,
+    },
+    /// A particular point within a voice segment.
+    VoicePoint {
+        /// Index of the voice segment.
+        segment: usize,
+        /// The anchored instant.
+        at: SimInstant,
+    },
+}
+
+impl Anchor {
+    /// Whether browsing at text position `(segment, pos)` is inside this
+    /// anchor. An empty text span anchors to the single position where its
+    /// two points coincide.
+    pub fn covers_text(&self, segment: usize, pos: u32) -> bool {
+        match self {
+            Anchor::TextSegment { segment: s, span } => {
+                *s == segment && (span.contains(pos) || (span.is_empty() && span.start == pos))
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether playback at voice position `(segment, t)` is inside this
+    /// anchor. Voice points cover only their exact instant's neighbourhood
+    /// (the caller quantizes by its tick).
+    pub fn covers_voice(&self, segment: usize, t: SimInstant) -> bool {
+        match self {
+            Anchor::VoiceSegment { segment: s, span } => *s == segment && span.contains(t),
+            Anchor::VoicePoint { segment: s, at } => *s == segment && *at <= t,
+            _ => false,
+        }
+    }
+
+    /// Whether this anchor refers to image `image`.
+    pub fn covers_image(&self, image: usize) -> bool {
+        matches!(self, Anchor::Image { image: i } if *i == image)
+    }
+}
+
+/// The visual content of a visual logical message: text and/or an image,
+/// at most one visual page long.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct VisualMessageContent {
+    /// Optional short text.
+    pub text: Option<String>,
+    /// Optional image (index into the object image part).
+    pub image: Option<usize>,
+}
+
+/// The body of a logical message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MessageBody {
+    /// A short audio segment, named by the voice data file holding it.
+    Voice {
+        /// Index of the voice segment (in the object voice part) holding
+        /// the message audio.
+        segment: usize,
+        /// Play length (used to gate process-simulation page turns).
+        duration: SimDuration,
+    },
+    /// A short visual page-top display.
+    Visual {
+        /// What is shown.
+        content: VisualMessageContent,
+        /// "The user has the option to specify that the visual logical
+        /// message is displayed only once whenever the user branches during
+        /// browsing from a non-related segment" (§2).
+        show_once: bool,
+    },
+}
+
+impl MessageBody {
+    /// Whether this is a voice message.
+    pub fn is_voice(&self) -> bool {
+        matches!(self, MessageBody::Voice { .. })
+    }
+}
+
+/// A logical message: a body attached to an anchor. Logical messages "have
+/// only existence as a part of a multimedia object" (§2), so they are plain
+/// data owned by the object.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogicalMessage {
+    /// What the message is attached to.
+    pub anchor: Anchor,
+    /// What the message presents.
+    pub body: MessageBody,
+}
+
+/// Indices of the messages anchored at text position `(segment, pos)` —
+/// anchors may overlap, so several can fire at once ("Voice logical
+/// messages may be attached to overlapping text segments", §2).
+pub fn messages_at_text(messages: &[LogicalMessage], segment: usize, pos: u32) -> Vec<usize> {
+    messages
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.anchor.covers_text(segment, pos))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Indices of the messages anchored at voice position `(segment, t)`.
+pub fn messages_at_voice(messages: &[LogicalMessage], segment: usize, t: SimInstant) -> Vec<usize> {
+    messages
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.anchor.covers_voice(segment, t))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Indices of the messages anchored to image `image`.
+pub fn messages_at_image(messages: &[LogicalMessage], image: usize) -> Vec<usize> {
+    messages
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.anchor.covers_image(image))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimInstant {
+        SimInstant::from_micros(ms * 1_000)
+    }
+
+    fn voice_msg(anchor: Anchor) -> LogicalMessage {
+        LogicalMessage {
+            anchor,
+            body: MessageBody::Voice { segment: 0, duration: SimDuration::from_secs(2) },
+        }
+    }
+
+    #[test]
+    fn text_anchor_coverage() {
+        let a = Anchor::TextSegment { segment: 1, span: CharSpan::new(10, 20) };
+        assert!(a.covers_text(1, 10));
+        assert!(a.covers_text(1, 19));
+        assert!(!a.covers_text(1, 20));
+        assert!(!a.covers_text(0, 15));
+        assert!(!a.covers_voice(1, t(0)));
+    }
+
+    #[test]
+    fn coincident_points_anchor_single_position() {
+        let a = Anchor::TextSegment { segment: 0, span: CharSpan::empty_at(5) };
+        assert!(a.covers_text(0, 5));
+        assert!(!a.covers_text(0, 4));
+        assert!(!a.covers_text(0, 6));
+    }
+
+    #[test]
+    fn voice_anchor_coverage() {
+        let span = minos_types::TimeSpan::new(t(1_000), t(3_000));
+        let a = Anchor::VoiceSegment { segment: 0, span };
+        assert!(a.covers_voice(0, t(1_000)));
+        assert!(a.covers_voice(0, t(2_999)));
+        assert!(!a.covers_voice(0, t(3_000)));
+        assert!(!a.covers_voice(1, t(2_000)));
+    }
+
+    #[test]
+    fn voice_point_covers_from_its_instant() {
+        let a = Anchor::VoicePoint { segment: 0, at: t(500) };
+        assert!(!a.covers_voice(0, t(400)));
+        assert!(a.covers_voice(0, t(500)));
+        assert!(a.covers_voice(0, t(10_000)));
+    }
+
+    #[test]
+    fn image_anchor() {
+        let a = Anchor::Image { image: 2 };
+        assert!(a.covers_image(2));
+        assert!(!a.covers_image(1));
+        assert!(!a.covers_text(2, 0));
+    }
+
+    #[test]
+    fn overlapping_text_anchors_all_fire() {
+        let messages = vec![
+            voice_msg(Anchor::TextSegment { segment: 0, span: CharSpan::new(0, 50) }),
+            voice_msg(Anchor::TextSegment { segment: 0, span: CharSpan::new(30, 80) }),
+            voice_msg(Anchor::TextSegment { segment: 1, span: CharSpan::new(0, 100) }),
+        ];
+        assert_eq!(messages_at_text(&messages, 0, 40), vec![0, 1]);
+        assert_eq!(messages_at_text(&messages, 0, 10), vec![0]);
+        assert_eq!(messages_at_text(&messages, 1, 40), vec![2]);
+        assert!(messages_at_text(&messages, 0, 90).is_empty());
+    }
+
+    #[test]
+    fn voice_and_image_lookups() {
+        let span = minos_types::TimeSpan::new(t(0), t(5_000));
+        let messages = vec![
+            voice_msg(Anchor::VoiceSegment { segment: 0, span }),
+            LogicalMessage {
+                anchor: Anchor::Image { image: 0 },
+                body: MessageBody::Visual {
+                    content: VisualMessageContent { text: Some("see figure".into()), image: None },
+                    show_once: true,
+                },
+            },
+        ];
+        assert_eq!(messages_at_voice(&messages, 0, t(100)), vec![0]);
+        assert_eq!(messages_at_image(&messages, 0), vec![1]);
+        assert!(messages[0].body.is_voice());
+        assert!(!messages[1].body.is_voice());
+    }
+}

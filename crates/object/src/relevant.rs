@@ -1,0 +1,157 @@
+//! Relevant objects and relevances.
+//!
+//! "Relevant objects are objects which contain information related to the
+//! information which exists in a section of a given (parent) object.
+//! Relevant objects are independent multimedia objects (e.g. they have
+//! existence by themselves) … The user does not automatically see the
+//! relevant objects (in contrast to logical messages). A relevant object
+//! indicator which is displayed on the screen of the workstation indicates
+//! the existence of a relevant object." (§2)
+
+use crate::messages::Anchor;
+use minos_types::{CharSpan, ObjectId, Point, TimeSpan};
+
+/// A relevance: a section *of the relevant object* related to the anchored
+/// section of the parent. "Relevances to text sections are indicated
+/// graphically with beginning and end indicators. Relevances to images are
+/// indicated by closed polygons displayed at the top of the image.
+/// Relevances to voice segments are indicated by the fact that the voice
+/// segment is played independently." (§2)
+#[derive(Clone, PartialEq, Debug)]
+pub enum Relevance {
+    /// A text span of the relevant object.
+    Text {
+        /// Text segment index within the relevant object.
+        segment: usize,
+        /// The related span.
+        span: CharSpan,
+    },
+    /// A polygonal region of one of the relevant object's images.
+    ImagePolygon {
+        /// Image index within the relevant object.
+        image: usize,
+        /// Vertices of the closed polygon projected on the image.
+        vertices: Vec<Point>,
+    },
+    /// A voice span of the relevant object (played independently, on menu
+    /// selection).
+    Voice {
+        /// Voice segment index within the relevant object.
+        segment: usize,
+        /// The related span.
+        span: TimeSpan,
+    },
+}
+
+/// A link from a section of the parent object to a relevant object.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RelevantLink {
+    /// The label shown on the relevant object indicator.
+    pub label: String,
+    /// The independent object the indicator leads to. "An object may have
+    /// several relevant objects (including itself)" — the target may equal
+    /// the parent's id.
+    pub target: ObjectId,
+    /// The section of the parent the relevant object relates to.
+    pub anchor: Anchor,
+    /// Relevances within the target object.
+    pub relevances: Vec<Relevance>,
+}
+
+/// Indices of the links whose indicator should be visible while browsing
+/// text position `(segment, pos)` of the parent.
+pub fn links_at_text(links: &[RelevantLink], segment: usize, pos: u32) -> Vec<usize> {
+    links
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.anchor.covers_text(segment, pos))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Indices of links visible at voice position `(segment, t)`.
+pub fn links_at_voice(
+    links: &[RelevantLink],
+    segment: usize,
+    t: minos_types::SimInstant,
+) -> Vec<usize> {
+    links
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.anchor.covers_voice(segment, t))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Indices of links anchored to image `image`.
+pub fn links_at_image(links: &[RelevantLink], image: usize) -> Vec<usize> {
+    links
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.anchor.covers_image(image))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_types::SimInstant;
+
+    fn link(label: &str, anchor: Anchor) -> RelevantLink {
+        RelevantLink {
+            label: label.into(),
+            target: ObjectId::new(7),
+            anchor,
+            relevances: vec![],
+        }
+    }
+
+    #[test]
+    fn indicators_appear_only_in_anchored_sections() {
+        let links = vec![
+            link("hospitals", Anchor::Image { image: 0 }),
+            link("details", Anchor::TextSegment { segment: 0, span: CharSpan::new(10, 40) }),
+        ];
+        assert_eq!(links_at_image(&links, 0), vec![0]);
+        assert!(links_at_image(&links, 1).is_empty());
+        assert_eq!(links_at_text(&links, 0, 20), vec![1]);
+        assert!(links_at_text(&links, 0, 50).is_empty());
+    }
+
+    #[test]
+    fn voice_anchored_links() {
+        let span = TimeSpan::new(SimInstant::from_micros(0), SimInstant::from_micros(1_000_000));
+        let links = vec![link("x-ray", Anchor::VoiceSegment { segment: 0, span })];
+        assert_eq!(links_at_voice(&links, 0, SimInstant::from_micros(500_000)), vec![0]);
+        assert!(links_at_voice(&links, 0, SimInstant::from_micros(2_000_000)).is_empty());
+    }
+
+    #[test]
+    fn self_relevant_object_is_allowed() {
+        // "An object may have several relevant objects (including itself)".
+        let l = RelevantLink {
+            label: "same object".into(),
+            target: ObjectId::new(7),
+            anchor: Anchor::TextSegment { segment: 0, span: CharSpan::new(0, 5) },
+            relevances: vec![Relevance::Text { segment: 0, span: CharSpan::new(100, 150) }],
+        };
+        assert_eq!(l.target, ObjectId::new(7));
+        assert_eq!(l.relevances.len(), 1);
+    }
+
+    #[test]
+    fn relevance_variants_carry_their_geometry() {
+        let r = Relevance::ImagePolygon {
+            image: 2,
+            vertices: vec![Point::new(0, 0), Point::new(10, 0), Point::new(5, 8)],
+        };
+        match r {
+            Relevance::ImagePolygon { image, vertices } => {
+                assert_eq!(image, 2);
+                assert_eq!(vertices.len(), 3);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The synthesis-file language.
+//!
+//! "The object formation process starts when the user creates the synthesis
+//! file. The synthesis file contains information about the presentation
+//! form of the multimedia object, tags with the names of various data
+//! files, and possibly text (this will typically be the case for visual
+//! mode objects)." (§4)
+//!
+//! Grammar (line oriented, extending the `minos-text` markup):
+//!
+//! | Line | Meaning |
+//! |---|---|
+//! | `@object <name>` | object name (required, first non-blank line) |
+//! | `@mode visual\|audio` | driving mode (default visual) |
+//! | `@attr <name> <value…>` | an attribute |
+//! | `@data <tag>` | splice the named data file at this point |
+//! | anything else | markup text passed to the text formatter |
+
+use crate::model::DrivingMode;
+use minos_types::{MinosError, Result};
+
+/// One ordered item of the synthesis file body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SynthesisItem {
+    /// A run of markup source lines (joined with newlines).
+    Markup(String),
+    /// A reference to a data file by tag.
+    DataRef(String),
+}
+
+/// A parsed synthesis file.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SynthesisFile {
+    /// Object name.
+    pub name: String,
+    /// Driving mode.
+    pub mode: DrivingMode,
+    /// Attributes in order of appearance.
+    pub attributes: Vec<(String, String)>,
+    /// The body: markup runs and data references, in presentation order.
+    pub items: Vec<SynthesisItem>,
+}
+
+impl SynthesisFile {
+    /// Parses synthesis source.
+    pub fn parse(source: &str) -> Result<SynthesisFile> {
+        let mut name: Option<String> = None;
+        let mut mode = DrivingMode::Visual;
+        let mut attributes = Vec::new();
+        let mut items: Vec<SynthesisItem> = Vec::new();
+        let mut markup_run: Vec<&str> = Vec::new();
+
+        let flush_markup = |items: &mut Vec<SynthesisItem>, run: &mut Vec<&str>| {
+            if !run.is_empty() {
+                let text = run.join("\n");
+                if !text.trim().is_empty() {
+                    items.push(SynthesisItem::Markup(text));
+                }
+                run.clear();
+            }
+        };
+
+        for (lineno0, line) in source.lines().enumerate() {
+            let lineno = lineno0 as u32 + 1;
+            if let Some(body) = line.strip_prefix('@') {
+                flush_markup(&mut items, &mut markup_run);
+                let mut parts = body.splitn(2, char::is_whitespace);
+                let directive = parts.next().unwrap_or("");
+                let arg = parts.next().unwrap_or("").trim();
+                match directive {
+                    "object" => {
+                        if arg.is_empty() {
+                            return Err(MinosError::parse(lineno, "@object requires a name"));
+                        }
+                        if name.is_some() {
+                            return Err(MinosError::parse(lineno, "duplicate @object"));
+                        }
+                        name = Some(arg.to_string());
+                    }
+                    "mode" => {
+                        mode = match arg {
+                            "visual" => DrivingMode::Visual,
+                            "audio" => DrivingMode::Audio,
+                            other => {
+                                return Err(MinosError::parse(
+                                    lineno,
+                                    format!("mode must be visual or audio, got {other:?}"),
+                                ))
+                            }
+                        };
+                    }
+                    "attr" => {
+                        let mut kv = arg.splitn(2, char::is_whitespace);
+                        let key = kv.next().unwrap_or("");
+                        let value = kv.next().unwrap_or("").trim();
+                        if key.is_empty() || value.is_empty() {
+                            return Err(MinosError::parse(lineno, "@attr requires name and value"));
+                        }
+                        attributes.push((key.to_string(), value.to_string()));
+                    }
+                    "data" => {
+                        if arg.is_empty() || arg.contains(char::is_whitespace) {
+                            return Err(MinosError::parse(lineno, "@data requires a single tag"));
+                        }
+                        items.push(SynthesisItem::DataRef(arg.to_string()));
+                    }
+                    other => {
+                        return Err(MinosError::parse(lineno, format!("unknown directive @{other}")))
+                    }
+                }
+            } else {
+                markup_run.push(line);
+            }
+        }
+        flush_markup(&mut items, &mut markup_run);
+
+        let name = name.ok_or_else(|| MinosError::parse(1, "synthesis file needs @object"))?;
+        Ok(SynthesisFile { name, mode, attributes, items })
+    }
+
+    /// All data tags referenced, in order (with duplicates — a tag may be
+    /// spliced at several points, which is exactly how the x-ray of Figures
+    /// 3–4 appears on every related page while being "only stored once").
+    pub fn data_refs(&self) -> Vec<&str> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                SynthesisItem::DataRef(tag) => Some(tag.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+@object patient-2291
+@mode visual
+@attr author dr-jones
+@attr date 1986-05-28
+.ti Examination Report
+.ch Findings
+The film shows a small shadow.
+@data xray
+Further observations below the film.
+@data xray
+.ch Conclusion
+Benign.
+";
+
+    #[test]
+    fn parses_header_and_items() {
+        let s = SynthesisFile::parse(SAMPLE).unwrap();
+        assert_eq!(s.name, "patient-2291");
+        assert_eq!(s.mode, DrivingMode::Visual);
+        assert_eq!(s.attributes.len(), 2);
+        assert_eq!(s.attributes[0], ("author".into(), "dr-jones".into()));
+        // markup, data, markup, data, markup
+        assert_eq!(s.items.len(), 5);
+        assert!(matches!(&s.items[0], SynthesisItem::Markup(m) if m.contains(".ti")));
+        assert!(matches!(&s.items[1], SynthesisItem::DataRef(t) if t == "xray"));
+    }
+
+    #[test]
+    fn repeated_data_tags_are_allowed() {
+        let s = SynthesisFile::parse(SAMPLE).unwrap();
+        assert_eq!(s.data_refs(), vec!["xray", "xray"]);
+    }
+
+    #[test]
+    fn audio_mode() {
+        let s = SynthesisFile::parse("@object memo\n@mode audio\n@data dictation\n").unwrap();
+        assert_eq!(s.mode, DrivingMode::Audio);
+        assert_eq!(s.data_refs(), vec!["dictation"]);
+    }
+
+    #[test]
+    fn missing_object_name_is_error() {
+        assert!(SynthesisFile::parse("some text\n").is_err());
+        assert!(SynthesisFile::parse("@object\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_object_is_error() {
+        assert!(SynthesisFile::parse("@object a\n@object b\n").is_err());
+    }
+
+    #[test]
+    fn bad_directives_are_errors() {
+        assert!(SynthesisFile::parse("@object a\n@mode paper\n").is_err());
+        assert!(SynthesisFile::parse("@object a\n@attr only-key\n").is_err());
+        assert!(SynthesisFile::parse("@object a\n@data two tags\n").is_err());
+        assert!(SynthesisFile::parse("@object a\n@wat\n").is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = SynthesisFile::parse("@object a\nfine text\n@data\n").unwrap_err();
+        assert!(matches!(err, MinosError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn whitespace_only_markup_is_dropped() {
+        let s = SynthesisFile::parse("@object a\n\n   \n@data x\n").unwrap();
+        assert_eq!(s.items.len(), 1);
+    }
+
+    #[test]
+    fn markup_runs_preserve_line_structure() {
+        let s = SynthesisFile::parse("@object a\n.ch One\nline a\nline b\n").unwrap();
+        match &s.items[0] {
+            SynthesisItem::Markup(m) => {
+                assert_eq!(m, ".ch One\nline a\nline b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

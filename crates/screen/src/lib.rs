@@ -1,0 +1,21 @@
+//! The simulated workstation display.
+//!
+//! The original presentation manager drew on a SUN-3 bitmap display with
+//! menu options "in the right hand side of the screen" (§3, Figures 1–2).
+//! The reproduction's screen is an in-memory 1-bit framebuffer with the
+//! same layout: a top message strip (for visual logical messages), the page
+//! display area, and the menu column. Text rendering is *greeked* (runs are
+//! drawn as correctly measured blocks with underlines, the way early page
+//! previews drew unreadable-but-accurate text); exact glyph shapes carry no
+//! presentation semantics, while geometry — what the tests assert — does.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod menu;
+pub mod render;
+pub mod screen;
+
+pub use menu::{Menu, MenuItem};
+pub use render::render_page;
+pub use screen::Screen;

@@ -1,0 +1,187 @@
+//! The menu column.
+//!
+//! "The presentation and browsing functions which are available for each
+//! multimedia object depend on the object itself and they are presented in
+//! the form of menu options." (§2) The menu model here is generic over
+//! option labels; the presentation manager decides which options exist for
+//! the object at hand and maps selections back to commands.
+
+use minos_image::Bitmap;
+use minos_types::{Point, Rect};
+
+/// Height of one menu slot in pixels.
+pub const SLOT_HEIGHT: u32 = 28;
+
+/// One menu option.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MenuItem {
+    /// The label shown to the user.
+    pub label: String,
+    /// Whether the option is currently selectable. (Unavailable operations
+    /// are not shown at all in MINOS; disabled items model the transient
+    /// state while a message plays.)
+    pub enabled: bool,
+}
+
+impl MenuItem {
+    /// An enabled item.
+    pub fn new(label: impl Into<String>) -> Self {
+        MenuItem { label: label.into(), enabled: true }
+    }
+}
+
+/// A vertical menu laid out in a region of the screen.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Menu {
+    items: Vec<MenuItem>,
+}
+
+impl Menu {
+    /// A menu with the given items.
+    pub fn new(items: Vec<MenuItem>) -> Self {
+        Menu { items }
+    }
+
+    /// The items.
+    pub fn items(&self) -> &[MenuItem] {
+        &self.items
+    }
+
+    /// Number of options.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the menu has no options.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The slot rectangle of item `index` within `region`.
+    pub fn slot_rect(&self, region: Rect, index: usize) -> Rect {
+        Rect::new(
+            region.left() + 4,
+            region.top() + (index as u32 * SLOT_HEIGHT) as i32 + 4,
+            region.size.width.saturating_sub(8),
+            SLOT_HEIGHT - 8,
+        )
+    }
+
+    /// Resolves a mouse click at `at` (screen coordinates) to the selected
+    /// enabled item's index, if any.
+    pub fn hit(&self, region: Rect, at: Point) -> Option<usize> {
+        if !region.contains(at) {
+            return None;
+        }
+        let index = ((at.y - region.top()) as u32 / SLOT_HEIGHT) as usize;
+        (index < self.items.len()
+            && self.items[index].enabled
+            && self.slot_rect(region, index).contains(at))
+        .then_some(index)
+    }
+
+    /// Renders the menu into a bitmap of the region's size: a box per slot
+    /// (solid-bordered when enabled, dotted when disabled) with a greeked
+    /// label bar proportional to the label length.
+    pub fn render(&self, region: Rect) -> Bitmap {
+        let mut bm = Bitmap::new(region.size.width, region.size.height);
+        for (i, item) in self.items.iter().enumerate() {
+            let slot = self.slot_rect(region, i).translate(-region.left(), -region.top());
+            // Border.
+            for x in slot.left()..slot.right() {
+                let draw = item.enabled || x % 3 != 0;
+                if draw {
+                    bm.set(x, slot.top(), true);
+                    bm.set(x, slot.bottom() - 1, true);
+                }
+            }
+            for y in slot.top()..slot.bottom() {
+                let draw = item.enabled || y % 3 != 0;
+                if draw {
+                    bm.set(slot.left(), y, true);
+                    bm.set(slot.right() - 1, y, true);
+                }
+            }
+            // Greeked label: a bar whose width tracks the label length.
+            let text_w =
+                ((item.label.chars().count() as u32 * 6).min(slot.size.width.saturating_sub(8)))
+                    as i32;
+            let mid_y = slot.top() + (slot.size.height / 2) as i32;
+            for x in 0..text_w {
+                bm.set(slot.left() + 4 + x, mid_y, true);
+            }
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn menu() -> Menu {
+        Menu::new(vec![
+            MenuItem::new("next page"),
+            MenuItem::new("previous page"),
+            MenuItem { label: "resume voice".into(), enabled: false },
+            MenuItem::new("next chapter"),
+        ])
+    }
+
+    fn region() -> Rect {
+        Rect::new(912, 0, 240, 900)
+    }
+
+    #[test]
+    fn hit_resolves_slots() {
+        let m = menu();
+        let r = region();
+        // Middle of slot 0.
+        assert_eq!(m.hit(r, Point::new(1_000, 14)), Some(0));
+        // Middle of slot 1.
+        assert_eq!(m.hit(r, Point::new(1_000, 14 + SLOT_HEIGHT as i32)), Some(1));
+        // Slot 3.
+        assert_eq!(m.hit(r, Point::new(1_000, 14 + 3 * SLOT_HEIGHT as i32)), Some(3));
+    }
+
+    #[test]
+    fn disabled_items_do_not_hit() {
+        let m = menu();
+        assert_eq!(m.hit(region(), Point::new(1_000, 14 + 2 * SLOT_HEIGHT as i32)), None);
+    }
+
+    #[test]
+    fn clicks_outside_region_or_slots_miss() {
+        let m = menu();
+        let r = region();
+        assert_eq!(m.hit(r, Point::new(100, 14)), None); // display area
+        assert_eq!(m.hit(r, Point::new(1_000, 800)), None); // below the items
+        // The gap between slots misses.
+        assert_eq!(m.hit(r, Point::new(1_000, SLOT_HEIGHT as i32)), None);
+    }
+
+    #[test]
+    fn render_draws_every_slot() {
+        let m = menu();
+        let bm = m.render(region());
+        assert_eq!(bm.width(), 240);
+        for i in 0..m.len() {
+            let slot = m.slot_rect(region(), i).translate(-912, 0);
+            assert!(bm.get(slot.left() + 1, slot.top()), "slot {i} top border missing");
+        }
+        // Longer labels draw longer bars.
+        let short = Menu::new(vec![MenuItem::new("ok")]).render(region()).count_ink();
+        let long = Menu::new(vec![MenuItem::new("return from relevant object")])
+            .render(region())
+            .count_ink();
+        assert!(long > short);
+    }
+
+    #[test]
+    fn empty_menu() {
+        let m = Menu::default();
+        assert!(m.is_empty());
+        assert_eq!(m.hit(region(), Point::new(1_000, 10)), None);
+        assert!(m.render(region()).is_blank());
+    }
+}

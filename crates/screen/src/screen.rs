@@ -1,0 +1,209 @@
+//! The screen model and its fixed regions.
+
+use minos_image::{Bitmap, BlitMode, Miniature};
+use minos_types::{Point, Rect, Size};
+
+/// SUN-3 display width.
+pub const SCREEN_WIDTH: u32 = 1152;
+/// SUN-3 display height.
+pub const SCREEN_HEIGHT: u32 = 900;
+/// Width of the menu column at the right edge.
+pub const MENU_WIDTH: u32 = 240;
+/// Height of the top strip used by visual logical messages.
+pub const MESSAGE_STRIP_HEIGHT: u32 = 0; // grows when a message is pinned
+
+/// The simulated workstation screen.
+#[derive(Clone, Debug)]
+pub struct Screen {
+    framebuffer: Bitmap,
+    /// Height currently reserved at the top for a pinned visual logical
+    /// message (0 when none).
+    reserved_top: u32,
+}
+
+impl Screen {
+    /// A blank SUN-3 sized screen.
+    pub fn new() -> Self {
+        Screen { framebuffer: Bitmap::new(SCREEN_WIDTH, SCREEN_HEIGHT), reserved_top: 0 }
+    }
+
+    /// The raw framebuffer.
+    pub fn framebuffer(&self) -> &Bitmap {
+        &self.framebuffer
+    }
+
+    /// Full screen bounds.
+    pub fn bounds(&self) -> Rect {
+        self.framebuffer.bounds()
+    }
+
+    /// The menu column region (right edge, full height).
+    pub fn menu_region(&self) -> Rect {
+        Rect::new((SCREEN_WIDTH - MENU_WIDTH) as i32, 0, MENU_WIDTH, SCREEN_HEIGHT)
+    }
+
+    /// The message strip region (top, left of the menu column); empty when
+    /// nothing is pinned.
+    pub fn message_region(&self) -> Rect {
+        Rect::new(0, 0, SCREEN_WIDTH - MENU_WIDTH, self.reserved_top)
+    }
+
+    /// The page display region: everything left of the menu and below the
+    /// message strip.
+    pub fn display_region(&self) -> Rect {
+        Rect::new(
+            0,
+            self.reserved_top as i32,
+            SCREEN_WIDTH - MENU_WIDTH,
+            SCREEN_HEIGHT - self.reserved_top,
+        )
+    }
+
+    /// Reserves `height` pixels at the top for a pinned visual logical
+    /// message ("displayed at the upper part of the screen while the lower
+    /// part … is devoted to the display of parts of the related visual
+    /// segment", §2). Pass 0 to release.
+    pub fn reserve_top(&mut self, height: u32) {
+        self.reserved_top = height.min(SCREEN_HEIGHT / 2);
+    }
+
+    /// Currently reserved top height.
+    pub fn reserved_top(&self) -> u32 {
+        self.reserved_top
+    }
+
+    /// Clears the whole framebuffer.
+    pub fn clear(&mut self) {
+        self.framebuffer.fill_rect(self.framebuffer.bounds(), false);
+    }
+
+    /// Clears one region.
+    pub fn clear_region(&mut self, region: Rect) {
+        self.framebuffer.fill_rect(region, false);
+    }
+
+    /// Blits `content` into `region` (clipped to it), replacing what was
+    /// there.
+    pub fn show(&mut self, content: &Bitmap, region: Rect) {
+        self.clear_region(region);
+        // Clip by extracting the fitting part if the content overflows.
+        let fit_w = content.width().min(region.size.width);
+        let fit_h = content.height().min(region.size.height);
+        if fit_w == 0 || fit_h == 0 {
+            return;
+        }
+        let part = content
+            .extract(Rect::new(0, 0, fit_w, fit_h))
+            .expect("clip rect within content");
+        self.framebuffer.blit(&part, region.origin, BlitMode::Replace);
+    }
+
+    /// Blits `content` into `region` without erasing (for transparencies
+    /// and highlights).
+    pub fn overlay(&mut self, content: &Bitmap, at: Point) {
+        self.framebuffer.blit(content, at, BlitMode::Or);
+    }
+
+    /// A terminal-sized ASCII rendering of the screen (for demos), `cols`
+    /// characters wide.
+    pub fn to_ascii(&self, cols: u32) -> Vec<String> {
+        let factor = (SCREEN_WIDTH / cols.max(1)).max(1);
+        Miniature::build(&self.framebuffer, factor).raster().to_ascii()
+    }
+}
+
+impl Default for Screen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Returns the page size a presentation form should be paginated at to fit
+/// this screen's display region.
+pub fn page_size_for(screen: &Screen) -> Size {
+    screen.display_region().size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_partition_the_screen() {
+        let mut s = Screen::new();
+        assert_eq!(s.display_region().size, Size::new(912, 900));
+        assert!(!s.display_region().intersects(s.menu_region()));
+        assert!(s.message_region().is_empty());
+        s.reserve_top(300);
+        assert_eq!(s.message_region().size, Size::new(912, 300));
+        assert_eq!(s.display_region(), Rect::new(0, 300, 912, 600));
+        assert!(!s.message_region().intersects(s.display_region()));
+        s.reserve_top(0);
+        assert_eq!(s.display_region().size.height, 900);
+    }
+
+    #[test]
+    fn reserve_top_is_capped() {
+        let mut s = Screen::new();
+        s.reserve_top(10_000);
+        assert_eq!(s.reserved_top(), 450);
+    }
+
+    #[test]
+    fn show_replaces_region_content() {
+        let mut s = Screen::new();
+        let mut content = Bitmap::new(100, 100);
+        content.set(10, 10, true);
+        let region = Rect::new(50, 60, 100, 100);
+        s.show(&content, region);
+        assert!(s.framebuffer().get(60, 70));
+        // Showing a blank replaces it away.
+        s.show(&Bitmap::new(100, 100), region);
+        assert!(!s.framebuffer().get(60, 70));
+    }
+
+    #[test]
+    fn show_clips_oversized_content() {
+        let mut s = Screen::new();
+        let mut content = Bitmap::new(2_000, 2_000);
+        content.set(1_999, 1_999, true);
+        content.set(0, 0, true);
+        s.show(&content, s.display_region());
+        assert!(s.framebuffer().get(0, 0));
+        // Nothing bled into the menu column.
+        let menu = s.menu_region();
+        for y in (0..SCREEN_HEIGHT as i32).step_by(97) {
+            assert!(!s.framebuffer().get(menu.left() + 1, y));
+        }
+    }
+
+    #[test]
+    fn overlay_accumulates() {
+        let mut s = Screen::new();
+        let mut a = Bitmap::new(10, 10);
+        a.set(1, 1, true);
+        let mut b = Bitmap::new(10, 10);
+        b.set(2, 2, true);
+        s.overlay(&a, Point::new(0, 0));
+        s.overlay(&b, Point::new(0, 0));
+        assert!(s.framebuffer().get(1, 1));
+        assert!(s.framebuffer().get(2, 2));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut s = Screen::new();
+        s.overlay(&Bitmap::from_ascii(&["##", "##"]), Point::new(5, 5));
+        assert!(!s.framebuffer().is_blank());
+        s.clear();
+        assert!(s.framebuffer().is_blank());
+    }
+
+    #[test]
+    fn ascii_rendering_has_requested_width() {
+        let s = Screen::new();
+        let rows = s.to_ascii(96);
+        assert_eq!(rows[0].len(), 96);
+        assert!(rows.len() > 40);
+    }
+}

@@ -1,0 +1,257 @@
+//! The inverted index over object content.
+//!
+//! Content addressability in MINOS is word-granular and media-blind: text
+//! words, recognized voice utterances and image-label text all land in one
+//! index, so "retrieving objects based on content" (§2) works the same way
+//! whatever medium carried the information. Voice coverage is only as good
+//! as the recognizer's output — which is exactly what experiment E4
+//! measures.
+
+use minos_object::MultimediaObject;
+use minos_text::search::normalize_word;
+use minos_types::ObjectId;
+use std::collections::{BTreeSet, HashMap};
+
+/// Word → ids of objects containing it.
+#[derive(Clone, Debug, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, BTreeSet<ObjectId>>,
+    attributes: HashMap<(String, String), BTreeSet<ObjectId>>,
+    indexed_objects: BTreeSet<ObjectId>,
+}
+
+impl InvertedIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn post(&mut self, word: &str, id: ObjectId) {
+        let w = normalize_word(word);
+        if !w.is_empty() {
+            self.postings.entry(w).or_default().insert(id);
+        }
+    }
+
+    /// Indexes everything searchable in `obj`: every text-segment word,
+    /// every recognized utterance of every voice segment, and every
+    /// graphics label (text labels and voice-label transcripts).
+    pub fn index_object(&mut self, obj: &MultimediaObject) {
+        let id = obj.id;
+        self.indexed_objects.insert(id);
+        for doc in &obj.text_segments {
+            for span in &doc.tree().words {
+                self.post(&doc.slice(*span), id);
+            }
+        }
+        for seg in &obj.voice_segments {
+            for utterance in &seg.utterances {
+                self.post(&utterance.word, id);
+            }
+        }
+        for image in &obj.images {
+            if let Some(g) = image.as_graphics() {
+                for object in &g.objects {
+                    if let Some(label) = &object.label {
+                        for word in label.content.searchable_text().split_whitespace() {
+                            self.post(word, id);
+                        }
+                    }
+                }
+            }
+        }
+        for attr in &obj.attributes {
+            for word in attr.value.split_whitespace() {
+                self.post(word, id);
+            }
+            self.attributes
+                .entry((attr.name.to_lowercase(), attr.value.to_lowercase()))
+                .or_default()
+                .insert(id);
+        }
+    }
+
+    /// Exact attribute query: ids of objects carrying attribute
+    /// `name = value` (case-insensitive), ascending.
+    pub fn query_attribute(&self, name: &str, value: &str) -> Vec<ObjectId> {
+        self.attributes
+            .get(&(name.to_lowercase(), value.to_lowercase()))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Conjunctive keyword query: ids of objects containing *all*
+    /// keywords, ascending. An empty keyword list matches nothing (the
+    /// query interface requires at least one term).
+    pub fn query(&self, keywords: &[String]) -> Vec<ObjectId> {
+        if keywords.is_empty() {
+            return Vec::new();
+        }
+        let mut result: Option<BTreeSet<ObjectId>> = None;
+        for keyword in keywords {
+            let w = normalize_word(keyword);
+            let posting = self.postings.get(&w).cloned().unwrap_or_default();
+            result = Some(match result {
+                None => posting,
+                Some(acc) => acc.intersection(&posting).copied().collect(),
+            });
+            if result.as_ref().map(|s| s.is_empty()).unwrap_or(false) {
+                break;
+            }
+        }
+        result.unwrap_or_default().into_iter().collect()
+    }
+
+    /// Number of distinct indexed words.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of objects indexed.
+    pub fn object_count(&self) -> usize {
+        self.indexed_objects.len()
+    }
+
+    /// Whether `id` was indexed.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.indexed_objects.contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_image::{GraphicsImage, GraphicsObject, Image, Label, LabelContent, Shape};
+    use minos_object::{DrivingMode, VoiceSegment};
+    use minos_types::Point;
+    use minos_voice::recognize::{Recognizer, RecognizerConfig};
+    use minos_voice::synth::SpeakerProfile;
+
+    fn text_object(id: u64, text: &str) -> MultimediaObject {
+        let mut obj = MultimediaObject::new(ObjectId::new(id), "doc", DrivingMode::Visual);
+        obj.text_segments.push(minos_text::parse_markup(&format!("{text}\n")).unwrap());
+        obj
+    }
+
+    #[test]
+    fn text_words_are_indexed() {
+        let mut idx = InvertedIndex::new();
+        idx.index_object(&text_object(1, "the x-ray shows a shadow"));
+        idx.index_object(&text_object(2, "the report is clean"));
+        assert_eq!(idx.query(&["shadow".into()]), vec![ObjectId::new(1)]);
+        assert_eq!(idx.query(&["the".into()]).len(), 2);
+        assert!(idx.query(&["absent".into()]).is_empty());
+        assert_eq!(idx.object_count(), 2);
+        assert!(idx.contains(ObjectId::new(1)));
+    }
+
+    #[test]
+    fn conjunctive_queries_intersect() {
+        let mut idx = InvertedIndex::new();
+        idx.index_object(&text_object(1, "optical disk storage"));
+        idx.index_object(&text_object(2, "optical character recognition"));
+        assert_eq!(
+            idx.query(&["optical".into(), "disk".into()]),
+            vec![ObjectId::new(1)]
+        );
+        assert_eq!(idx.query(&["optical".into()]).len(), 2);
+        assert!(idx.query(&["optical".into(), "nothing".into()]).is_empty());
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let mut idx = InvertedIndex::new();
+        idx.index_object(&text_object(1, "anything"));
+        assert!(idx.query(&[]).is_empty());
+    }
+
+    #[test]
+    fn query_normalizes_keywords() {
+        let mut idx = InvertedIndex::new();
+        idx.index_object(&text_object(1, "The Shadow appears."));
+        assert_eq!(idx.query(&["SHADOW".into()]), vec![ObjectId::new(1)]);
+        assert_eq!(idx.query(&["shadow.".into()]), vec![ObjectId::new(1)]);
+    }
+
+    #[test]
+    fn recognized_utterances_are_indexed() {
+        let mut obj = MultimediaObject::new(ObjectId::new(3), "memo", DrivingMode::Audio);
+        let recognizer = Recognizer::new(
+            ["budget"],
+            RecognizerConfig { hit_rate: 1.0, false_alarm_rate: 0.0, seed: 0 },
+        );
+        obj.voice_segments.push(
+            VoiceSegment::dictate("the budget meeting is tuesday", &SpeakerProfile::CLEAR, 4)
+                .with_recognition(&recognizer),
+        );
+        let mut idx = InvertedIndex::new();
+        idx.index_object(&obj);
+        assert_eq!(idx.query(&["budget".into()]), vec![ObjectId::new(3)]);
+        // Unrecognized spoken words are invisible to content search.
+        assert!(idx.query(&["tuesday".into()]).is_empty());
+    }
+
+    #[test]
+    fn image_labels_are_indexed() {
+        let mut g = GraphicsImage::new(100, 100);
+        g.push(GraphicsObject::new(Shape::Point(Point::new(5, 5))).with_label(Label {
+            content: LabelContent::Text("General Hospital".into()),
+            anchor: Point::new(5, 5),
+            visible: true,
+        }));
+        g.push(GraphicsObject::new(Shape::Point(Point::new(9, 9))).with_label(Label {
+            content: LabelContent::Voice { tag: "v".into(), transcript: "city hall".into() },
+            anchor: Point::new(9, 9),
+            visible: true,
+        }));
+        let mut obj = MultimediaObject::new(ObjectId::new(4), "map", DrivingMode::Visual);
+        obj.images.push(Image::Graphics(g));
+        let mut idx = InvertedIndex::new();
+        idx.index_object(&obj);
+        assert_eq!(idx.query(&["hospital".into()]), vec![ObjectId::new(4)]);
+        assert_eq!(idx.query(&["hall".into()]), vec![ObjectId::new(4)]);
+    }
+
+    #[test]
+    fn attributes_are_indexed() {
+        let mut obj = text_object(5, "body");
+        obj.attributes.push(minos_object::Attribute {
+            name: "author".into(),
+            value: "christodoulakis".into(),
+        });
+        let mut idx = InvertedIndex::new();
+        idx.index_object(&obj);
+        assert_eq!(idx.query(&["christodoulakis".into()]), vec![ObjectId::new(5)]);
+    }
+
+    #[test]
+    fn attribute_queries_match_exactly_and_case_insensitively() {
+        let mut a = text_object(6, "body");
+        a.attributes.push(minos_object::Attribute {
+            name: "author".into(),
+            value: "Doctor Jones".into(),
+        });
+        let mut b = text_object(7, "body");
+        b.attributes.push(minos_object::Attribute {
+            name: "author".into(),
+            value: "doctor smith".into(),
+        });
+        let mut idx = InvertedIndex::new();
+        idx.index_object(&a);
+        idx.index_object(&b);
+        assert_eq!(idx.query_attribute("Author", "doctor jones"), vec![ObjectId::new(6)]);
+        assert_eq!(idx.query_attribute("author", "doctor smith"), vec![ObjectId::new(7)]);
+        assert!(idx.query_attribute("author", "doctor").is_empty(), "exact match only");
+        assert!(idx.query_attribute("date", "doctor jones").is_empty());
+    }
+
+    #[test]
+    fn vocabulary_grows_with_content() {
+        let mut idx = InvertedIndex::new();
+        assert_eq!(idx.vocabulary_size(), 0);
+        idx.index_object(&text_object(1, "alpha beta gamma"));
+        assert_eq!(idx.vocabulary_size(), 3);
+        idx.index_object(&text_object(2, "alpha delta"));
+        assert_eq!(idx.vocabulary_size(), 4);
+    }
+}

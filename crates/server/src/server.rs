@@ -1,0 +1,399 @@
+//! The object server.
+//!
+//! Serves the protocol of [`minos_net::protocol`] against an optical-disk
+//! archiver with an optional magnetic-backed block cache. Every reply
+//! reports the simulated device time it cost; the caller adds link time.
+//! The server keeps the typed form of each published object so it can
+//! render view windows and miniatures server-side — shipping a window or a
+//! miniature instead of the whole image is the point of experiments E5/E6.
+
+use crate::index::InvertedIndex;
+use minos_image::{Bitmap, Miniature};
+use minos_net::{ServerRequest, ServerResponse};
+use minos_object::{ArchivedObject, DataPayload, MultimediaObject};
+use minos_storage::{Archiver, OpticalDisk};
+use minos_types::{ByteSpan, MinosError, ObjectId, Result, SimDuration};
+use std::collections::HashMap;
+
+/// What `publish` returns: where the archived bytes went and what storing
+/// them cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PublishReceipt {
+    /// The stored region on the optical disk.
+    pub span: ByteSpan,
+    /// Device time charged for the store.
+    pub store_time: SimDuration,
+}
+
+/// Rendered rasters of an object's images, cached server-side so repeated
+/// view requests do not re-rasterize graphics.
+struct RenderedObject {
+    object: MultimediaObject,
+    rasters: Vec<Bitmap>,
+    miniature: Miniature,
+}
+
+/// The multimedia object server.
+pub struct ObjectServer {
+    archiver: Archiver<OpticalDisk>,
+    index: InvertedIndex,
+    resident: HashMap<ObjectId, RenderedObject>,
+    miniature_factor: u32,
+}
+
+impl ObjectServer {
+    /// A server over a fresh optical disk. (Block caching is a storage-
+    /// layer concern; experiment E7 wraps the optical device in a
+    /// [`minos_storage::BlockCache`] directly.)
+    pub fn new() -> Self {
+        ObjectServer {
+            archiver: Archiver::new(OpticalDisk::new()),
+            index: InvertedIndex::new(),
+            resident: HashMap::new(),
+            miniature_factor: 8,
+        }
+    }
+
+    /// The archiver (for experiment setup: request spans, device stats).
+    pub fn archiver(&self) -> &Archiver<OpticalDisk> {
+        &self.archiver
+    }
+
+    /// Mutable archiver access.
+    pub fn archiver_mut(&mut self) -> &mut Archiver<OpticalDisk> {
+        &mut self.archiver
+    }
+
+    /// The content index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Publishes an object: stores its archived bytes at the current
+    /// frontier, indexes its content, renders its images, and builds its
+    /// miniature.
+    pub fn publish(
+        &mut self,
+        object: MultimediaObject,
+        archived: &ArchivedObject,
+    ) -> Result<PublishReceipt> {
+        if !object.is_archived() {
+            return Err(MinosError::WrongState(format!(
+                "{} must be archived before publishing",
+                object.id
+            )));
+        }
+        let base = self.archiver.next_offset();
+        let bytes = archived.encode_for_archive(base);
+        let (record, store_time) = self.archiver.store(object.id, &bytes)?;
+        self.index.index_object(&object);
+        let rasters: Vec<Bitmap> = object.images.iter().map(|i| i.render()).collect();
+        let miniature_source = rasters.first().cloned().unwrap_or_else(|| {
+            // Text/voice-only objects get a schematic first-page miniature:
+            // one stripe per text paragraph, or a blank card for pure voice.
+            let mut bm = Bitmap::new(160, 120);
+            if let Some(doc) = object.text_segments.first() {
+                for (i, _) in doc.tree().paragraphs.iter().enumerate().take(14) {
+                    let y = 8 + i as i32 * 8;
+                    for x in 8..152 {
+                        bm.set(x, y, true);
+                    }
+                }
+            }
+            bm
+        });
+        let miniature = Miniature::build(&miniature_source, self.miniature_factor);
+        self.resident
+            .insert(object.id, RenderedObject { object, rasters, miniature });
+        Ok(PublishReceipt { span: record.span, store_time })
+    }
+
+    /// The archived region of `id` (latest version), for queueing
+    /// workloads.
+    pub fn record_span(&self, id: ObjectId) -> Result<ByteSpan> {
+        Ok(self.archiver.latest(id)?.span)
+    }
+
+    /// Handles one protocol request, returning the response and the device
+    /// time it cost the server.
+    pub fn handle(&mut self, request: &ServerRequest) -> (ServerResponse, SimDuration) {
+        match self.try_handle(request) {
+            Ok(ok) => ok,
+            Err(e) => (ServerResponse::Error(e.to_string()), SimDuration::ZERO),
+        }
+    }
+
+    fn try_handle(&mut self, request: &ServerRequest) -> Result<(ServerResponse, SimDuration)> {
+        match request {
+            ServerRequest::FetchObject { id } => {
+                let (bytes, took) = self.archiver.fetch_latest(*id)?;
+                Ok((ServerResponse::Object(bytes), took))
+            }
+            ServerRequest::FetchSpan { span } => {
+                let (bytes, took) = self.archiver.read_at(*span)?;
+                Ok((ServerResponse::Span(bytes), took))
+            }
+            ServerRequest::FetchView { id, tag, rect } => {
+                let resident = self
+                    .resident
+                    .get(id)
+                    .ok_or_else(|| MinosError::UnknownObject(id.to_string()))?;
+                let image_index: usize = tag.parse().map_err(|_| {
+                    MinosError::UnknownComponent(format!("image tag {tag:?} (expected index)"))
+                })?;
+                let raster = resident.rasters.get(image_index).ok_or_else(|| {
+                    MinosError::UnknownComponent(format!("{id} image {image_index}"))
+                })?;
+                let clamped = rect.clamp_within(raster.bounds());
+                let window = raster.extract(clamped)?;
+                // The device is charged for the *window's* bytes read from
+                // the image region — the E5 claim made concrete.
+                let record = self.archiver.latest(*id)?;
+                let window_bytes = window.byte_size().min(record.span.len());
+                let span = ByteSpan::at(record.span.start, window_bytes);
+                let (_, took) = self.archiver.read_at(span)?;
+                Ok((ServerResponse::View(DataPayload::image(&window).bytes), took))
+            }
+            ServerRequest::FetchMiniature { id } => {
+                let resident = self
+                    .resident
+                    .get(id)
+                    .ok_or_else(|| MinosError::UnknownObject(id.to_string()))?;
+                let mini = resident.miniature.raster().clone();
+                let record = self.archiver.latest(*id)?;
+                let bytes = mini.byte_size().min(record.span.len());
+                let span = ByteSpan::at(record.span.start, bytes);
+                let (_, took) = self.archiver.read_at(span)?;
+                Ok((ServerResponse::Miniature(DataPayload::image(&mini).bytes), took))
+            }
+            ServerRequest::Query { keywords } => {
+                // Index is memory-resident; queries cost no device time.
+                Ok((ServerResponse::Hits(self.index.query(keywords)), SimDuration::ZERO))
+            }
+            ServerRequest::QueryAttribute { name, value } => Ok((
+                ServerResponse::Hits(self.index.query_attribute(name, value)),
+                SimDuration::ZERO,
+            )),
+        }
+    }
+
+    /// The typed object, if resident (used by the presentation manager
+    /// after it has fetched the object).
+    pub fn resident_object(&self, id: ObjectId) -> Option<&MultimediaObject> {
+        self.resident.get(&id).map(|r| &r.object)
+    }
+
+    /// Number of published objects.
+    pub fn object_count(&self) -> usize {
+        self.resident.len()
+    }
+}
+
+impl Default for ObjectServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_object::{DrivingMode, FormatterSession};
+    use minos_types::Rect;
+
+    fn make_published(server: &mut ObjectServer, id: u64, body: &str) -> ObjectId {
+        let oid = ObjectId::new(id);
+        let mut session = FormatterSession::new(oid);
+        session
+            .set_synthesis(&format!("@object obj{id}\n.ch Content\n{body}\n"))
+            .unwrap();
+        let file = session.build().unwrap();
+        let archived = ArchivedObject::from_file(&file);
+        let mut object = MultimediaObject::new(oid, format!("obj{id}"), DrivingMode::Visual);
+        object
+            .text_segments
+            .push(minos_text::parse_markup(&format!("{body}\n")).unwrap());
+        object.archive().unwrap();
+        server.publish(object, &archived).unwrap();
+        oid
+    }
+
+    fn published_with_image(server: &mut ObjectServer, id: u64, side: u32) -> ObjectId {
+        let oid = ObjectId::new(id);
+        let mut bm = Bitmap::new(side, side);
+        for i in 0..side as i32 {
+            bm.set(i, i, true);
+        }
+        let mut object = MultimediaObject::new(oid, "imgobj", DrivingMode::Visual);
+        object.images.push(minos_image::Image::Bitmap(bm));
+        object.archive().unwrap();
+        let mut session = FormatterSession::new(oid);
+        session.set_synthesis("@object imgobj\nplaceholder text\n").unwrap();
+        let file = session.build().unwrap();
+        server.publish(object, &ArchivedObject::from_file(&file)).unwrap();
+        oid
+    }
+
+    #[test]
+    fn publish_then_fetch_round_trips() {
+        let mut server = ObjectServer::new();
+        let id = make_published(&mut server, 1, "the optical archive");
+        let (resp, took) = server.handle(&ServerRequest::FetchObject { id });
+        match resp {
+            ServerResponse::Object(bytes) => {
+                let record = server.archiver().latest(id).unwrap();
+                let back = ArchivedObject::decode_from_archive(&bytes, record.span.start).unwrap();
+                assert_eq!(back.descriptor.object_id, id);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(took > SimDuration::ZERO);
+        assert_eq!(server.object_count(), 1);
+    }
+
+    #[test]
+    fn unarchived_objects_cannot_publish() {
+        let mut server = ObjectServer::new();
+        let object = MultimediaObject::new(ObjectId::new(1), "draft", DrivingMode::Visual);
+        let mut session = FormatterSession::new(ObjectId::new(1));
+        session.set_synthesis("@object draft\ntext\n").unwrap();
+        let archived = ArchivedObject::from_file(&session.build().unwrap());
+        assert!(server.publish(object, &archived).is_err());
+    }
+
+    #[test]
+    fn queries_find_published_content() {
+        let mut server = ObjectServer::new();
+        make_published(&mut server, 1, "subway map of the city");
+        make_published(&mut server, 2, "x-ray of the patient");
+        let (resp, _) = server.handle(&ServerRequest::Query { keywords: vec!["x-ray".into()] });
+        assert_eq!(resp, ServerResponse::Hits(vec![ObjectId::new(2)]));
+        let (resp, _) = server.handle(&ServerRequest::Query { keywords: vec!["the".into()] });
+        assert_eq!(
+            resp,
+            ServerResponse::Hits(vec![ObjectId::new(1), ObjectId::new(2)])
+        );
+    }
+
+    #[test]
+    fn view_ships_window_not_image() {
+        let mut server = ObjectServer::new();
+        let id = published_with_image(&mut server, 3, 1_000);
+        let (resp, _) = server.handle(&ServerRequest::FetchView {
+            id,
+            tag: "0".into(),
+            rect: Rect::new(100, 100, 200, 150),
+        });
+        let window_bytes = match resp {
+            ServerResponse::View(bytes) => {
+                let payload = DataPayload { kind: minos_object::DataKind::Image, bytes };
+                let window = payload.as_image().unwrap();
+                assert_eq!(window.size(), minos_types::Size::new(200, 150));
+                // Diagonal pixels of the source appear view-relative.
+                assert!(window.get(50, 50));
+                payload.len()
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        let (resp_full, _) = server.handle(&ServerRequest::FetchView {
+            id,
+            tag: "0".into(),
+            rect: Rect::new(0, 0, 1_000, 1_000),
+        });
+        let full_bytes = match resp_full {
+            ServerResponse::View(bytes) => bytes.len() as u64,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(window_bytes * 20 < full_bytes, "window {window_bytes} vs full {full_bytes}");
+    }
+
+    #[test]
+    fn view_requests_clamp_and_validate() {
+        let mut server = ObjectServer::new();
+        let id = published_with_image(&mut server, 4, 100);
+        // Off-edge rect clamps.
+        let (resp, _) = server.handle(&ServerRequest::FetchView {
+            id,
+            tag: "0".into(),
+            rect: Rect::new(90, 90, 50, 50),
+        });
+        assert!(matches!(resp, ServerResponse::View(_)));
+        // Bad image tag errors.
+        let (resp, _) = server.handle(&ServerRequest::FetchView {
+            id,
+            tag: "map".into(),
+            rect: Rect::new(0, 0, 10, 10),
+        });
+        assert!(matches!(resp, ServerResponse::Error(_)));
+        let (resp, _) = server.handle(&ServerRequest::FetchView {
+            id,
+            tag: "7".into(),
+            rect: Rect::new(0, 0, 10, 10),
+        });
+        assert!(matches!(resp, ServerResponse::Error(_)));
+    }
+
+    #[test]
+    fn miniatures_are_much_smaller_than_objects() {
+        let mut server = ObjectServer::new();
+        let id = published_with_image(&mut server, 5, 800);
+        let (mini_resp, _) = server.handle(&ServerRequest::FetchMiniature { id });
+        let mini_size = match mini_resp {
+            ServerResponse::Miniature(b) => b.len() as u64,
+            other => panic!("unexpected {other:?}"),
+        };
+        let (obj_resp, _) = server.handle(&ServerRequest::FetchObject { id });
+        let obj_size = match obj_resp {
+            ServerResponse::Object(b) => b.len() as u64,
+            other => panic!("unexpected {other:?}"),
+        };
+        // The object's archived bytes here are small (text placeholder),
+        // but the miniature must beat the rendered image by ~factor².
+        let full_image_bytes = Bitmap::new(800, 800).byte_size();
+        assert!(mini_size * 30 < full_image_bytes, "{mini_size} vs {full_image_bytes}");
+        let _ = obj_size;
+    }
+
+    #[test]
+    fn text_only_objects_get_schematic_miniatures() {
+        let mut server = ObjectServer::new();
+        let id = make_published(&mut server, 6, "one paragraph.\n.pp\nanother paragraph.");
+        let (resp, _) = server.handle(&ServerRequest::FetchMiniature { id });
+        match resp {
+            ServerResponse::Miniature(bytes) => {
+                let payload = DataPayload { kind: minos_object::DataKind::Image, bytes };
+                assert!(!payload.as_image().unwrap().is_blank());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_ids_yield_protocol_errors() {
+        let mut server = ObjectServer::new();
+        let ghost = ObjectId::new(404);
+        for request in [
+            ServerRequest::FetchObject { id: ghost },
+            ServerRequest::FetchMiniature { id: ghost },
+            ServerRequest::FetchView { id: ghost, tag: "0".into(), rect: Rect::new(0, 0, 1, 1) },
+        ] {
+            let (resp, took) = server.handle(&request);
+            assert!(matches!(resp, ServerResponse::Error(_)), "{request:?}");
+            assert_eq!(took, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn span_fetch_serves_descriptor_pointers() {
+        let mut server = ObjectServer::new();
+        let id = make_published(&mut server, 7, "pointer target text");
+        let span = server.record_span(id).unwrap();
+        let (resp, _) = server.handle(&ServerRequest::FetchSpan {
+            span: ByteSpan::new(span.start, span.start + 4),
+        });
+        match resp {
+            ServerResponse::Span(bytes) => assert_eq!(bytes.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

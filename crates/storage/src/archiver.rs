@@ -1,0 +1,218 @@
+//! The object archiver.
+//!
+//! The archiver stores archived multimedia objects on the optical store,
+//! keeps a directory from object id to the stored regions, and provides
+//! version control (§5). Because the optical disk is write-once, a new
+//! version is a new appended region; old versions remain readable forever.
+
+use crate::device::BlockDevice;
+use minos_object::ArchiverRead;
+use minos_types::{ByteSpan, MinosError, ObjectId, Result, SimDuration, VersionId};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Directory record for one stored version.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ArchiveRecord {
+    /// Version number (1-based, in store order).
+    pub version: VersionId,
+    /// Where the version's bytes live on the device.
+    pub span: ByteSpan,
+}
+
+/// The archiver over a block device.
+#[derive(Debug)]
+pub struct Archiver<D: BlockDevice> {
+    device: D,
+    directory: BTreeMap<ObjectId, Vec<ArchiveRecord>>,
+}
+
+impl<D: BlockDevice> Archiver<D> {
+    /// Creates an archiver on an empty device.
+    pub fn new(device: D) -> Self {
+        Archiver { device, directory: BTreeMap::new() }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &D {
+        &self.device
+    }
+
+    /// Next write offset — callers encoding an archived object need the
+    /// base before storing (offset rebasing, §4).
+    pub fn next_offset(&self) -> u64 {
+        self.device.len()
+    }
+
+    /// Stores a new version of `id`, returning its record and the time
+    /// charged.
+    pub fn store(&mut self, id: ObjectId, bytes: &[u8]) -> Result<(ArchiveRecord, SimDuration)> {
+        let (offset, took) = self.device.append(bytes)?;
+        let versions = self.directory.entry(id).or_default();
+        let record = ArchiveRecord {
+            version: VersionId::new(versions.len() as u64 + 1),
+            span: ByteSpan::at(offset, bytes.len() as u64),
+        };
+        versions.push(record);
+        Ok((record, took))
+    }
+
+    /// The latest version record of `id`.
+    pub fn latest(&self, id: ObjectId) -> Result<ArchiveRecord> {
+        self.directory
+            .get(&id)
+            .and_then(|v| v.last())
+            .copied()
+            .ok_or_else(|| MinosError::UnknownObject(id.to_string()))
+    }
+
+    /// A specific version record of `id`.
+    pub fn version(&self, id: ObjectId, version: VersionId) -> Result<ArchiveRecord> {
+        self.directory
+            .get(&id)
+            .and_then(|v| v.iter().find(|r| r.version == version))
+            .copied()
+            .ok_or_else(|| MinosError::UnknownObject(format!("{id} {version}")))
+    }
+
+    /// All version records of `id`, oldest first.
+    pub fn versions(&self, id: ObjectId) -> &[ArchiveRecord] {
+        self.directory.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All stored object ids.
+    pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.directory.keys().copied()
+    }
+
+    /// Number of stored objects (not versions).
+    pub fn object_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Fetches the latest version's bytes with the time charged.
+    pub fn fetch_latest(&mut self, id: ObjectId) -> Result<(Vec<u8>, SimDuration)> {
+        let record = self.latest(id)?;
+        self.device.read_at(record.span)
+    }
+
+    /// Reads an arbitrary span (for descriptor pointers into shared data).
+    pub fn read_at(&mut self, span: ByteSpan) -> Result<(Vec<u8>, SimDuration)> {
+        self.device.read_at(span)
+    }
+}
+
+/// A shareable archiver handle implementing [`ArchiverRead`], so the object
+/// layer can resolve pointers during mailing.
+#[derive(Clone, Debug)]
+pub struct SharedArchiver<D: BlockDevice>(Arc<Mutex<Archiver<D>>>);
+
+impl<D: BlockDevice> SharedArchiver<D> {
+    /// Wraps an archiver for sharing.
+    pub fn new(archiver: Archiver<D>) -> Self {
+        SharedArchiver(Arc::new(Mutex::new(archiver)))
+    }
+
+    /// Runs `f` with exclusive access to the archiver.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Archiver<D>) -> R) -> R {
+        f(&mut self.0.lock())
+    }
+}
+
+impl<D: BlockDevice> ArchiverRead for SharedArchiver<D> {
+    fn read_span(&self, span: ByteSpan) -> Result<Vec<u8>> {
+        let (data, _) = self.0.lock().read_at(span)?;
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optical::OpticalDisk;
+
+    fn archiver() -> Archiver<OpticalDisk> {
+        Archiver::new(OpticalDisk::with_capacity(1 << 20))
+    }
+
+    #[test]
+    fn store_and_fetch_round_trips() {
+        let mut a = archiver();
+        let id = ObjectId::new(1);
+        let (record, _) = a.store(id, b"object bytes").unwrap();
+        assert_eq!(record.version, VersionId::new(1));
+        let (data, took) = a.fetch_latest(id).unwrap();
+        assert_eq!(data, b"object bytes");
+        assert!(took > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn versions_accumulate_append_only() {
+        let mut a = archiver();
+        let id = ObjectId::new(2);
+        a.store(id, b"v1 bytes").unwrap();
+        a.store(id, b"v2 bytes longer").unwrap();
+        let versions = a.versions(id);
+        assert_eq!(versions.len(), 2);
+        assert_eq!(versions[0].version, VersionId::new(1));
+        assert_eq!(versions[1].version, VersionId::new(2));
+        assert!(versions[1].span.start >= versions[0].span.end, "append-only layout");
+        // Old version still readable.
+        let (old, _) = a.read_at(versions[0].span).unwrap();
+        assert_eq!(old, b"v1 bytes");
+        let (latest, _) = a.fetch_latest(id).unwrap();
+        assert_eq!(latest, b"v2 bytes longer");
+    }
+
+    #[test]
+    fn version_lookup() {
+        let mut a = archiver();
+        let id = ObjectId::new(3);
+        a.store(id, b"one").unwrap();
+        a.store(id, b"two").unwrap();
+        let r = a.version(id, VersionId::new(1)).unwrap();
+        assert_eq!(a.read_at(r.span).unwrap().0, b"one");
+        assert!(a.version(id, VersionId::new(3)).is_err());
+    }
+
+    #[test]
+    fn unknown_object_is_error() {
+        let mut a = archiver();
+        assert!(a.fetch_latest(ObjectId::new(9)).is_err());
+        assert!(a.latest(ObjectId::new(9)).is_err());
+        assert!(a.versions(ObjectId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn next_offset_tracks_frontier() {
+        let mut a = archiver();
+        assert_eq!(a.next_offset(), 0);
+        a.store(ObjectId::new(1), &[0; 100]).unwrap();
+        assert_eq!(a.next_offset(), 100);
+    }
+
+    #[test]
+    fn directory_enumerates_objects() {
+        let mut a = archiver();
+        a.store(ObjectId::new(5), b"x").unwrap();
+        a.store(ObjectId::new(3), b"y").unwrap();
+        a.store(ObjectId::new(5), b"z").unwrap();
+        assert_eq!(a.object_count(), 2);
+        let ids: Vec<ObjectId> = a.object_ids().collect();
+        assert_eq!(ids, vec![ObjectId::new(3), ObjectId::new(5)]);
+    }
+
+    #[test]
+    fn shared_archiver_reads_spans() {
+        let mut a = archiver();
+        let (record, _) = a.store(ObjectId::new(1), b"shared data here").unwrap();
+        let shared = SharedArchiver::new(a);
+        let data = shared.read_span(record.span).unwrap();
+        assert_eq!(data, b"shared data here");
+        assert!(shared.read_span(ByteSpan::at(1 << 19, 10)).is_err());
+        // `with` gives exclusive access.
+        let count = shared.with(|a| a.object_count());
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! The LRU block cache.
+//!
+//! The server subsystem provides "cashing" (§5): hot blocks of the optical
+//! store are kept in faster storage (main memory here; experiment E7 also
+//! stages through the magnetic disk) so repeated object accesses avoid the
+//! optical actuator.
+
+use crate::device::{BlockDevice, DeviceStats};
+use minos_types::{ByteSpan, Result, SimDuration};
+use std::collections::HashMap;
+
+/// Cost of serving a block from cache memory.
+pub const CACHE_HIT_COST: SimDuration = SimDuration::from_micros(200);
+
+/// A read-through LRU block cache over a device.
+#[derive(Debug)]
+pub struct BlockCache<D: BlockDevice> {
+    device: D,
+    block_size: u64,
+    capacity_blocks: usize,
+    blocks: HashMap<u64, (Vec<u8>, u64)>, // block index -> (data, last-use tick)
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<D: BlockDevice> BlockCache<D> {
+    /// Wraps `device` with a cache of `capacity_blocks` blocks of
+    /// `block_size` bytes.
+    pub fn new(device: D, block_size: u64, capacity_blocks: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        assert!(capacity_blocks > 0, "cache must hold at least one block");
+        BlockCache {
+            device,
+            block_size,
+            capacity_blocks,
+            blocks: HashMap::with_capacity(capacity_blocks),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The wrapped device.
+    pub fn device(&self) -> &D {
+        &self.device
+    }
+
+    /// Mutable access to the wrapped device (appends bypass the cache).
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.device
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio in [0, 1].
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Underlying device statistics.
+    pub fn device_stats(&self) -> DeviceStats {
+        self.device.stats()
+    }
+
+    fn evict_if_full(&mut self) {
+        while self.blocks.len() >= self.capacity_blocks {
+            let lru = self
+                .blocks
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(&idx, _)| idx)
+                .expect("cache non-empty");
+            self.blocks.remove(&lru);
+        }
+    }
+
+    /// Reads a span through the cache. Whole blocks are fetched on miss;
+    /// the returned duration charges device time for missed blocks plus
+    /// the in-memory cost for hits.
+    pub fn read_at(&mut self, span: ByteSpan) -> Result<(Vec<u8>, SimDuration)> {
+        if span.is_empty() {
+            return Ok((Vec::new(), SimDuration::ZERO));
+        }
+        if span.end > self.device.len() {
+            return Err(minos_types::MinosError::Storage(format!(
+                "cached read {span} past device frontier {}",
+                self.device.len()
+            )));
+        }
+        let first = span.start / self.block_size;
+        let last = (span.end - 1) / self.block_size;
+        let mut total = SimDuration::ZERO;
+        let mut out = Vec::with_capacity(span.len() as usize);
+        for block in first..=last {
+            self.tick += 1;
+            let tick = self.tick;
+            if let Some((data, last_use)) = self.blocks.get_mut(&block) {
+                *last_use = tick;
+                total += CACHE_HIT_COST;
+                self.hits += 1;
+                let data = data.clone();
+                Self::copy_block_part(&mut out, &data, block, self.block_size, span);
+            } else {
+                self.misses += 1;
+                let start = block * self.block_size;
+                let end = (start + self.block_size).min(self.device.len());
+                let (data, took) = self.device.read_at(ByteSpan::new(start, end))?;
+                total += took;
+                self.evict_if_full();
+                self.blocks.insert(block, (data.clone(), tick));
+                Self::copy_block_part(&mut out, &data, block, self.block_size, span);
+            }
+        }
+        Ok((out, total))
+    }
+
+    fn copy_block_part(out: &mut Vec<u8>, data: &[u8], block: u64, block_size: u64, span: ByteSpan) {
+        let block_start = block * block_size;
+        let from = span.start.max(block_start) - block_start;
+        let to = (span.end.min(block_start + block_size) - block_start).min(data.len() as u64);
+        if from < to {
+            out.extend_from_slice(&data[from as usize..to as usize]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::magnetic::MagneticDisk;
+    use crate::optical::OpticalDisk;
+
+    fn loaded_cache(blocks: usize) -> BlockCache<OpticalDisk> {
+        let mut disk = OpticalDisk::with_capacity(1 << 20);
+        let data: Vec<u8> = (0..40_960u32).map(|i| (i % 251) as u8).collect();
+        disk.append(&data).unwrap();
+        BlockCache::new(disk, 4_096, blocks)
+    }
+
+    #[test]
+    fn read_returns_correct_bytes() {
+        let mut c = loaded_cache(4);
+        let (data, _) = c.read_at(ByteSpan::at(1_000, 6_000)).unwrap();
+        assert_eq!(data.len(), 6_000);
+        for (i, &b) in data.iter().enumerate() {
+            assert_eq!(b, ((1_000 + i) % 251) as u8, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn repeated_reads_hit_the_cache() {
+        let mut c = loaded_cache(8);
+        let span = ByteSpan::at(0, 4_096);
+        let (_, cold) = c.read_at(span).unwrap();
+        let (_, warm) = c.read_at(span).unwrap();
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 1);
+        assert!(warm * 10 < cold, "warm {warm} not ≪ cold {cold}");
+        assert_eq!(warm, CACHE_HIT_COST);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = loaded_cache(2);
+        c.read_at(ByteSpan::at(0, 100)).unwrap(); // block 0
+        c.read_at(ByteSpan::at(4_096, 100)).unwrap(); // block 1
+        c.read_at(ByteSpan::at(0, 100)).unwrap(); // touch block 0
+        c.read_at(ByteSpan::at(8_192, 100)).unwrap(); // block 2 evicts block 1
+        c.read_at(ByteSpan::at(0, 100)).unwrap(); // still cached
+        assert_eq!(c.hits(), 2);
+        c.read_at(ByteSpan::at(4_096, 100)).unwrap(); // block 1 must re-read
+        assert_eq!(c.misses(), 4);
+    }
+
+    #[test]
+    fn spanning_reads_mix_hits_and_misses() {
+        let mut c = loaded_cache(8);
+        c.read_at(ByteSpan::at(0, 4_096)).unwrap(); // block 0 cached
+        let (data, _) = c.read_at(ByteSpan::at(2_000, 4_096)).unwrap(); // blocks 0,1
+        assert_eq!(data.len(), 4_096);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn empty_span_costs_nothing() {
+        let mut c = loaded_cache(2);
+        let (data, took) = c.read_at(ByteSpan::empty_at(5)).unwrap();
+        assert!(data.is_empty());
+        assert_eq!(took, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn read_past_end_is_error() {
+        let mut c = loaded_cache(2);
+        assert!(c.read_at(ByteSpan::at(40_000, 10_000)).is_err());
+    }
+
+    #[test]
+    fn hit_ratio_reporting() {
+        let mut c = loaded_cache(8);
+        assert_eq!(c.hit_ratio(), 0.0);
+        c.read_at(ByteSpan::at(0, 100)).unwrap();
+        c.read_at(ByteSpan::at(0, 100)).unwrap();
+        c.read_at(ByteSpan::at(0, 100)).unwrap();
+        assert!((c.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn works_over_magnetic_too() {
+        let mut disk = MagneticDisk::with_capacity(1 << 20);
+        disk.append(&[9u8; 8_192]).unwrap();
+        let mut c = BlockCache::new(disk, 4_096, 2);
+        let (data, _) = c.read_at(ByteSpan::at(4_000, 200)).unwrap();
+        assert_eq!(data, vec![9u8; 200]);
+    }
+}

@@ -1,0 +1,162 @@
+//! The block-device abstraction and its timing vocabulary.
+//!
+//! Devices charge simulated time for every access: a position-dependent
+//! seek, an average rotational latency, and a size-dependent transfer. The
+//! numbers are per-device (see [`crate::optical`] and [`crate::magnetic`])
+//! and chosen to mid-1980s magnitudes, which is what gives the queueing
+//! experiment (E7) its shape.
+
+use minos_types::{ByteSpan, Result, SimDuration};
+
+/// Access statistics, maintained by every device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Completed read operations.
+    pub reads: u64,
+    /// Completed writes/appends.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Total simulated time the device was busy.
+    pub busy: SimDuration,
+}
+
+impl DeviceStats {
+    /// Records a read.
+    pub fn record_read(&mut self, bytes: u64, took: SimDuration) {
+        self.reads += 1;
+        self.bytes_read += bytes;
+        self.busy += took;
+    }
+
+    /// Records a write.
+    pub fn record_write(&mut self, bytes: u64, took: SimDuration) {
+        self.writes += 1;
+        self.bytes_written += bytes;
+        self.busy += took;
+    }
+}
+
+/// A storage device with explicit timing.
+pub trait BlockDevice {
+    /// Bytes currently stored (the write frontier for append-only
+    /// devices).
+    fn len(&self) -> u64;
+
+    /// Whether nothing is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Current head position (byte offset), for seek modelling and
+    /// scheduling.
+    fn head_position(&self) -> u64;
+
+    /// Pure cost query: what an access of `len` bytes at `offset` would
+    /// cost with the head where it is now. Schedulers use this without
+    /// disturbing the device.
+    fn access_cost(&self, offset: u64, len: u64) -> SimDuration;
+
+    /// Reads a span, returning the data and the time charged.
+    fn read_at(&mut self, span: ByteSpan) -> Result<(Vec<u8>, SimDuration)>;
+
+    /// Appends data at the write frontier, returning its offset and the
+    /// time charged.
+    fn append(&mut self, data: &[u8]) -> Result<(u64, SimDuration)>;
+
+    /// Overwrites in place. Write-once devices refuse.
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<SimDuration>;
+
+    /// Access statistics so far.
+    fn stats(&self) -> DeviceStats;
+}
+
+/// Shared timing math for the concrete devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingModel {
+    /// Fixed cost of starting any access.
+    pub seek_base: SimDuration,
+    /// Additional full-stroke seek cost; actual seek scales with distance
+    /// as a fraction of capacity.
+    pub seek_full_stroke: SimDuration,
+    /// Average rotational latency.
+    pub rotation: SimDuration,
+    /// Transfer rate in bytes per second.
+    pub transfer_rate: u64,
+}
+
+impl TimingModel {
+    /// Cost of accessing `len` bytes at `offset` from `head`, on a device
+    /// of `capacity` bytes.
+    pub fn access(&self, head: u64, offset: u64, len: u64, capacity: u64) -> SimDuration {
+        let distance = head.abs_diff(offset);
+        let seek = self.seek_base
+            + self.seek_full_stroke.mul_ratio(distance, capacity.max(1));
+        let transfer =
+            SimDuration::from_micros(len.saturating_mul(1_000_000) / self.transfer_rate.max(1));
+        seek + self.rotation + transfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: TimingModel = TimingModel {
+        seek_base: SimDuration::from_millis(10),
+        seek_full_stroke: SimDuration::from_millis(100),
+        rotation: SimDuration::from_millis(8),
+        transfer_rate: 1_000_000, // 1 MB/s
+    };
+
+    #[test]
+    fn access_cost_components() {
+        // Zero distance, zero length: base + rotation.
+        let t = MODEL.access(0, 0, 0, 1_000_000);
+        assert_eq!(t, SimDuration::from_millis(18));
+        // Full stroke adds the full seek.
+        let t = MODEL.access(0, 1_000_000, 0, 1_000_000);
+        assert_eq!(t, SimDuration::from_millis(118));
+        // Transfer of 1MB at 1MB/s adds a second.
+        let t = MODEL.access(0, 0, 1_000_000, 1_000_000);
+        assert_eq!(t, SimDuration::from_millis(1_018));
+    }
+
+    #[test]
+    fn nearer_accesses_are_cheaper() {
+        let near = MODEL.access(500_000, 510_000, 1_000, 1_000_000);
+        let far = MODEL.access(500_000, 990_000, 1_000, 1_000_000);
+        assert!(near < far);
+    }
+
+    #[test]
+    fn cost_is_symmetric_in_direction() {
+        let fwd = MODEL.access(100, 200, 10, 1_000);
+        let back = MODEL.access(200, 100, 10, 1_000);
+        assert_eq!(fwd, back);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = DeviceStats::default();
+        s.record_read(100, SimDuration::from_millis(5));
+        s.record_read(50, SimDuration::from_millis(3));
+        s.record_write(10, SimDuration::from_millis(2));
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_read, 150);
+        assert_eq!(s.bytes_written, 10);
+        assert_eq!(s.busy, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn zero_capacity_does_not_divide_by_zero() {
+        let t = MODEL.access(0, 10, 0, 0);
+        assert!(t >= MODEL.seek_base);
+    }
+}

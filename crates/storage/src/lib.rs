@@ -1,0 +1,31 @@
+//! Storage substrate: the optical-disk archiver and its performance model.
+//!
+//! "The multimedia object server subsystem is optical disk based and it may
+//! also contain one or more high performance magnetic disks. It is used to
+//! store objects in an archived state. The major concern in the server
+//! subsystem is performance. Performance may be crucial due to queueing
+//! delays that may be experienced when several users try to access data
+//! from the same device. The subsystem provides access methods, scheduling,
+//! cashing, version control." (§5)
+//!
+//! The reproduction models both device classes with seek/rotation/transfer
+//! timing charged to the simulated clock, an LRU block cache, request
+//! scheduling (FCFS and elevator), and the archiver with its object
+//! directory and version control.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod archiver;
+pub mod cache;
+pub mod device;
+pub mod magnetic;
+pub mod optical;
+pub mod sched;
+
+pub use archiver::{ArchiveRecord, Archiver, SharedArchiver};
+pub use cache::BlockCache;
+pub use device::{BlockDevice, DeviceStats};
+pub use magnetic::MagneticDisk;
+pub use optical::OpticalDisk;
+pub use sched::{simulate_schedule, Completion, Request, SchedPolicy};

@@ -1,0 +1,194 @@
+//! The write-once optical disk.
+//!
+//! "Optical disks with huge storage capacities become reality. They will be
+//! appropriate for storing text, digitized voice and digitized images."
+//! (§1) The mid-80s optical disk is WORM: huge, slow to seek, modest
+//! transfer rate, and sectors can never be rewritten — which is why
+//! archived objects are immutable and version control appends.
+
+use crate::device::{BlockDevice, DeviceStats, TimingModel};
+use minos_types::{ByteSpan, MinosError, Result, SimDuration};
+
+/// Default capacity: 1 GB — "huge" for 1986.
+pub const DEFAULT_OPTICAL_CAPACITY: u64 = 1 << 30;
+
+/// Mid-80s optical timing: slow actuator, ~250 KB/s transfer.
+pub const OPTICAL_TIMING: TimingModel = TimingModel {
+    seek_base: SimDuration::from_millis(35),
+    seek_full_stroke: SimDuration::from_millis(250),
+    rotation: SimDuration::from_millis(20),
+    transfer_rate: 250_000,
+};
+
+/// A write-once optical disk.
+#[derive(Clone, Debug)]
+pub struct OpticalDisk {
+    data: Vec<u8>,
+    capacity: u64,
+    head: u64,
+    timing: TimingModel,
+    stats: DeviceStats,
+}
+
+impl OpticalDisk {
+    /// A disk with the default capacity and timing.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_OPTICAL_CAPACITY)
+    }
+
+    /// A disk with explicit capacity.
+    pub fn with_capacity(capacity: u64) -> Self {
+        OpticalDisk { data: Vec::new(), capacity, head: 0, timing: OPTICAL_TIMING, stats: DeviceStats::default() }
+    }
+
+    /// Overrides the timing model (for calibration sweeps).
+    pub fn with_timing(mut self, timing: TimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+}
+
+impl Default for OpticalDisk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockDevice for OpticalDisk {
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn head_position(&self) -> u64 {
+        self.head
+    }
+
+    fn access_cost(&self, offset: u64, len: u64) -> SimDuration {
+        self.timing.access(self.head, offset, len, self.capacity)
+    }
+
+    fn read_at(&mut self, span: ByteSpan) -> Result<(Vec<u8>, SimDuration)> {
+        if span.end > self.len() {
+            return Err(MinosError::Storage(format!(
+                "read {span} past optical frontier {}",
+                self.len()
+            )));
+        }
+        let took = self.access_cost(span.start, span.len());
+        let data = self.data[span.start as usize..span.end as usize].to_vec();
+        self.head = span.end;
+        self.stats.record_read(span.len(), took);
+        Ok((data, took))
+    }
+
+    fn append(&mut self, data: &[u8]) -> Result<(u64, SimDuration)> {
+        let offset = self.len();
+        if offset + data.len() as u64 > self.capacity {
+            return Err(MinosError::Storage(format!(
+                "optical disk full: {} + {} > {}",
+                offset,
+                data.len(),
+                self.capacity
+            )));
+        }
+        let took = self.access_cost(offset, data.len() as u64);
+        self.data.extend_from_slice(data);
+        self.head = self.len();
+        self.stats.record_write(data.len() as u64, took);
+        Ok((offset, took))
+    }
+
+    fn write_at(&mut self, offset: u64, _data: &[u8]) -> Result<SimDuration> {
+        Err(MinosError::Storage(format!(
+            "optical disk is write-once: cannot overwrite at {offset}"
+        )))
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let mut d = OpticalDisk::with_capacity(1 << 20);
+        let (off_a, _) = d.append(b"first record").unwrap();
+        let (off_b, _) = d.append(b"second").unwrap();
+        assert_eq!(off_a, 0);
+        assert_eq!(off_b, 12);
+        let (data, _) = d.read_at(ByteSpan::at(off_a, 12)).unwrap();
+        assert_eq!(data, b"first record");
+        let (data, _) = d.read_at(ByteSpan::at(off_b, 6)).unwrap();
+        assert_eq!(data, b"second");
+    }
+
+    #[test]
+    fn overwrite_is_refused() {
+        let mut d = OpticalDisk::with_capacity(1 << 20);
+        d.append(b"immutable").unwrap();
+        assert!(d.write_at(0, b"mutated!!").is_err());
+        let (data, _) = d.read_at(ByteSpan::at(0, 9)).unwrap();
+        assert_eq!(data, b"immutable");
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut d = OpticalDisk::with_capacity(10);
+        d.append(&[0; 8]).unwrap();
+        assert!(d.append(&[0; 3]).is_err());
+        assert_eq!(d.len(), 8, "failed append leaves nothing behind");
+        d.append(&[0; 2]).unwrap();
+    }
+
+    #[test]
+    fn read_past_frontier_is_error() {
+        let mut d = OpticalDisk::with_capacity(1 << 20);
+        d.append(&[1; 100]).unwrap();
+        assert!(d.read_at(ByteSpan::at(50, 100)).is_err());
+    }
+
+    #[test]
+    fn timing_charges_seek_and_transfer() {
+        let mut d = OpticalDisk::with_capacity(1 << 20);
+        d.append(&vec![0u8; 500_000]).unwrap();
+        // Head is at 500_000. Reading near the head is cheaper than
+        // seeking back to 0 and reading the same amount.
+        let near = d.access_cost(499_000, 1_000);
+        let far = d.access_cost(0, 1_000);
+        assert!(near < far);
+        // A large transfer is dominated by transfer time: 250_000 bytes at
+        // 250 KB/s is one second.
+        let big = d.access_cost(500_000, 250_000);
+        assert!(big >= SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn reads_move_the_head() {
+        let mut d = OpticalDisk::with_capacity(1 << 20);
+        d.append(&[7; 1000]).unwrap();
+        d.read_at(ByteSpan::at(100, 50)).unwrap();
+        assert_eq!(d.head_position(), 150);
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let mut d = OpticalDisk::with_capacity(1 << 20);
+        d.append(&[0; 64]).unwrap();
+        d.read_at(ByteSpan::at(0, 32)).unwrap();
+        d.read_at(ByteSpan::at(32, 16)).unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.bytes_written, 64);
+        assert_eq!(s.bytes_read, 48);
+        assert!(s.busy > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,241 @@
+//! Request scheduling on a shared device.
+//!
+//! "Performance may be crucial due to queueing delays that may be
+//! experienced when several users try to access data from the same
+//! device. The subsystem provides access methods, scheduling …" (§5)
+//!
+//! A small discrete-event simulation: requests arrive at given instants,
+//! the device serves one at a time, and the scheduler picks the next
+//! request from the queue either in arrival order (FCFS) or by an elevator
+//! sweep over byte offsets (the classic seek-minimizing policy). Experiment
+//! E7 runs both against the optical disk under increasing load.
+
+use crate::device::BlockDevice;
+use minos_types::{ByteSpan, Result, SimDuration, SimInstant};
+
+/// Scheduling policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedPolicy {
+    /// First come, first served.
+    Fcfs,
+    /// Elevator (SCAN): serve the nearest request in the sweep direction,
+    /// reversing at the ends.
+    Elevator,
+}
+
+/// A read request against the shared device.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Request {
+    /// Caller-chosen identifier.
+    pub id: u64,
+    /// When the request arrives at the server.
+    pub arrival: SimInstant,
+    /// The bytes requested.
+    pub span: ByteSpan,
+}
+
+/// The outcome of one request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Completion {
+    /// The request's identifier.
+    pub id: u64,
+    /// When service began.
+    pub start: SimInstant,
+    /// When the data was delivered.
+    pub finish: SimInstant,
+    /// Queueing delay (start − arrival).
+    pub wait: SimDuration,
+    /// Total response time (finish − arrival).
+    pub response: SimDuration,
+}
+
+/// Runs the queueing simulation: serves every request on `device` under
+/// `policy`, returning completions in service order.
+pub fn simulate_schedule(
+    device: &mut dyn BlockDevice,
+    requests: &[Request],
+    policy: SchedPolicy,
+) -> Result<Vec<Completion>> {
+    let mut pending: Vec<Request> = requests.to_vec();
+    pending.sort_by_key(|r| (r.arrival, r.id));
+    let mut queue: Vec<Request> = Vec::new();
+    let mut completions = Vec::with_capacity(pending.len());
+    let mut now = SimInstant::EPOCH;
+    let mut next_arrival = 0usize;
+    let mut sweep_up = true;
+
+    while next_arrival < pending.len() || !queue.is_empty() {
+        // Admit everything that has arrived by now.
+        while next_arrival < pending.len() && pending[next_arrival].arrival <= now {
+            queue.push(pending[next_arrival]);
+            next_arrival += 1;
+        }
+        if queue.is_empty() {
+            // Idle until the next arrival.
+            now = pending[next_arrival].arrival;
+            continue;
+        }
+        // Pick the next request.
+        let idx = match policy {
+            SchedPolicy::Fcfs => 0,
+            SchedPolicy::Elevator => {
+                let head = device.head_position();
+                let pick = |up: bool| {
+                    queue
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| {
+                            if up {
+                                r.span.start >= head
+                            } else {
+                                r.span.start <= head
+                            }
+                        })
+                        .min_by_key(|(_, r)| r.span.start.abs_diff(head))
+                        .map(|(i, _)| i)
+                };
+                match pick(sweep_up) {
+                    Some(i) => i,
+                    None => {
+                        sweep_up = !sweep_up;
+                        pick(sweep_up).expect("queue is non-empty")
+                    }
+                }
+            }
+        };
+        let request = queue.remove(idx);
+        let start = now;
+        let (_, took) = device.read_at(request.span)?;
+        now = now + took;
+        completions.push(Completion {
+            id: request.id,
+            start,
+            finish: now,
+            wait: start.saturating_since(request.arrival),
+            response: now.since(request.arrival),
+        });
+    }
+    Ok(completions)
+}
+
+/// Mean response time over a set of completions.
+pub fn mean_response(completions: &[Completion]) -> SimDuration {
+    if completions.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let total: u64 = completions.iter().map(|c| c.response.as_micros()).sum();
+    SimDuration::from_micros(total / completions.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optical::OpticalDisk;
+
+    fn loaded_disk() -> OpticalDisk {
+        let mut d = OpticalDisk::with_capacity(64 << 20);
+        d.append(&vec![0u8; 32 << 20]).unwrap();
+        d
+    }
+
+    fn burst(n: u64, stride: u64, len: u64) -> Vec<Request> {
+        // n simultaneous requests scattered over the disk.
+        (0..n)
+            .map(|i| Request {
+                id: i,
+                arrival: SimInstant::EPOCH,
+                span: ByteSpan::at((i * stride * 7919) % (30 << 20), len),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fcfs_serves_in_arrival_order() {
+        let mut d = loaded_disk();
+        let reqs = vec![
+            Request { id: 10, arrival: SimInstant::from_micros(0), span: ByteSpan::at(0, 100) },
+            Request { id: 11, arrival: SimInstant::from_micros(1), span: ByteSpan::at(5_000_000, 100) },
+            Request { id: 12, arrival: SimInstant::from_micros(2), span: ByteSpan::at(100, 100) },
+        ];
+        let done = simulate_schedule(&mut d, &reqs, SchedPolicy::Fcfs).unwrap();
+        let order: Vec<u64> = done.iter().map(|c| c.id).collect();
+        assert_eq!(order, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn completions_are_consistent() {
+        let mut d = loaded_disk();
+        let reqs = burst(20, 1 << 16, 4_096);
+        let done = simulate_schedule(&mut d, &reqs, SchedPolicy::Fcfs).unwrap();
+        assert_eq!(done.len(), 20);
+        for c in &done {
+            assert!(c.finish > c.start);
+            assert_eq!(c.response, c.wait + c.finish.since(c.start));
+        }
+        // Service is serialized: starts are ordered.
+        for pair in done.windows(2) {
+            assert!(pair[1].start >= pair[0].finish);
+        }
+    }
+
+    #[test]
+    fn elevator_beats_fcfs_on_scattered_burst() {
+        let reqs = burst(40, 1 << 14, 4_096);
+        let mut d1 = loaded_disk();
+        let fcfs = simulate_schedule(&mut d1, &reqs, SchedPolicy::Fcfs).unwrap();
+        let mut d2 = loaded_disk();
+        let elevator = simulate_schedule(&mut d2, &reqs, SchedPolicy::Elevator).unwrap();
+        let mf = mean_response(&fcfs);
+        let me = mean_response(&elevator);
+        assert!(me < mf, "elevator {me} not better than fcfs {mf}");
+    }
+
+    #[test]
+    fn elevator_serves_everything_exactly_once() {
+        let mut d = loaded_disk();
+        let reqs = burst(25, 1 << 15, 1_024);
+        let done = simulate_schedule(&mut d, &reqs, SchedPolicy::Elevator).unwrap();
+        let mut ids: Vec<u64> = done.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn idle_gaps_are_skipped() {
+        let mut d = loaded_disk();
+        let reqs = vec![
+            Request { id: 0, arrival: SimInstant::from_micros(0), span: ByteSpan::at(0, 100) },
+            Request {
+                id: 1,
+                arrival: SimInstant::EPOCH + SimDuration::from_secs(100),
+                span: ByteSpan::at(200, 100),
+            },
+        ];
+        let done = simulate_schedule(&mut d, &reqs, SchedPolicy::Fcfs).unwrap();
+        assert_eq!(done[1].start, SimInstant::EPOCH + SimDuration::from_secs(100));
+        assert_eq!(done[1].wait, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn later_arrivals_wait_under_load() {
+        let mut d = loaded_disk();
+        let reqs: Vec<Request> = (0..10)
+            .map(|i| Request {
+                id: i,
+                arrival: SimInstant::from_micros(i * 1_000),
+                span: ByteSpan::at(i * 1_000_000, 100_000),
+            })
+            .collect();
+        let done = simulate_schedule(&mut d, &reqs, SchedPolicy::Fcfs).unwrap();
+        let last = done.last().unwrap();
+        assert!(last.wait > SimDuration::from_secs(1), "expected queueing, wait {}", last.wait);
+    }
+
+    #[test]
+    fn empty_request_set() {
+        let mut d = loaded_disk();
+        let done = simulate_schedule(&mut d, &[], SchedPolicy::Elevator).unwrap();
+        assert!(done.is_empty());
+        assert_eq!(mean_response(&done), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,307 @@
+//! Deterministic font metrics.
+//!
+//! The paper calls for "various character fonts, letter sizes" (§3) and for
+//! emphasis conventions — "underlined words, tilted words, bold tones" (§2).
+//! Real font rasterization is irrelevant to presentation semantics, so the
+//! reproduction uses a synthetic metric model: every (family, size) pair has
+//! a fixed per-character advance and line height. The model is monotone in
+//! size, distinguishes families, and is entirely deterministic, which makes
+//! layout and pagination exactly reproducible in tests and benches.
+
+use std::fmt;
+
+/// A typeface family available on the simulated workstation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub enum FontFamily {
+    /// Proportional roman text face (the default body face).
+    #[default]
+    Roman,
+    /// Heavier face used for headings and bold emphasis.
+    Bold,
+    /// Slanted face — the paper's "tilted words".
+    Italic,
+    /// Fixed-pitch face for verbatim material.
+    Typewriter,
+}
+
+impl FontFamily {
+    /// All families, for sweeps in tests and benches.
+    pub const ALL: [FontFamily; 4] =
+        [FontFamily::Roman, FontFamily::Bold, FontFamily::Italic, FontFamily::Typewriter];
+
+    /// Parses a family name as written in markup (`.ft bold`).
+    pub fn parse(name: &str) -> Option<FontFamily> {
+        match name.to_ascii_lowercase().as_str() {
+            "roman" | "r" => Some(FontFamily::Roman),
+            "bold" | "b" => Some(FontFamily::Bold),
+            "italic" | "i" | "tilted" => Some(FontFamily::Italic),
+            "typewriter" | "tt" | "fixed" => Some(FontFamily::Typewriter),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FontFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FontFamily::Roman => "roman",
+            FontFamily::Bold => "bold",
+            FontFamily::Italic => "italic",
+            FontFamily::Typewriter => "typewriter",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Inline emphasis flags, combinable (a word can be bold *and* underlined).
+///
+/// Stored as a bitset so style runs stay `Copy`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Emphasis(u8);
+
+impl Emphasis {
+    /// No emphasis.
+    pub const NONE: Emphasis = Emphasis(0);
+    /// Bold tone.
+    pub const BOLD: Emphasis = Emphasis(1);
+    /// Underlined word.
+    pub const UNDERLINE: Emphasis = Emphasis(2);
+    /// Tilted (italic) word.
+    pub const ITALIC: Emphasis = Emphasis(4);
+
+    /// Combines two emphasis sets.
+    pub const fn with(self, other: Emphasis) -> Emphasis {
+        Emphasis(self.0 | other.0)
+    }
+
+    /// Removes the flags in `other`.
+    pub const fn without(self, other: Emphasis) -> Emphasis {
+        Emphasis(self.0 & !other.0)
+    }
+
+    /// Whether all flags in `other` are set.
+    pub const fn contains(self, other: Emphasis) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Toggles the flags in `other` (markup emphasis markers toggle).
+    pub const fn toggled(self, other: Emphasis) -> Emphasis {
+        Emphasis(self.0 ^ other.0)
+    }
+
+    /// Whether no emphasis is set.
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw bits, for codecs.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs from raw bits, masking unknown flags.
+    pub const fn from_bits(bits: u8) -> Emphasis {
+        Emphasis(bits & 0x7)
+    }
+}
+
+/// A concrete font: family plus point size.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FontSpec {
+    /// Typeface family.
+    pub family: FontFamily,
+    /// Nominal size in points. On the simulated display one point is one
+    /// pixel of body height.
+    pub size: u8,
+}
+
+impl Default for FontSpec {
+    fn default() -> Self {
+        FontSpec { family: FontFamily::Roman, size: 12 }
+    }
+}
+
+impl FontSpec {
+    /// Creates a font spec.
+    pub const fn new(family: FontFamily, size: u8) -> Self {
+        Self { family, size }
+    }
+
+    /// The body face at the default size.
+    pub const BODY: FontSpec = FontSpec::new(FontFamily::Roman, 12);
+
+    /// Applies inline emphasis: bold/italic emphasis switches family (the
+    /// 1-bit display has no other way to show weight), underline is drawn by
+    /// the renderer and does not change metrics.
+    pub fn with_emphasis(self, e: Emphasis) -> FontSpec {
+        let family = if e.contains(Emphasis::BOLD) {
+            FontFamily::Bold
+        } else if e.contains(Emphasis::ITALIC) {
+            FontFamily::Italic
+        } else {
+            self.family
+        };
+        FontSpec { family, size: self.size }
+    }
+}
+
+impl fmt::Display for FontSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.family, self.size)
+    }
+}
+
+/// Metric oracle for the simulated display.
+///
+/// Widths: proportional faces advance `size * k / 16` pixels per character
+/// with `k` depending on the family (bold is wider than roman, italic equal
+/// to roman); the typewriter face is fixed-pitch at `size * 10 / 16`.
+/// Narrow characters (`i`, `l`, punctuation) advance less in proportional
+/// faces. Line height is `size + size/4` (20% leading, rounded down).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FontMetrics;
+
+impl FontMetrics {
+    /// Advance width of `ch` in pixels under `font`.
+    pub fn advance(self, font: FontSpec, ch: char) -> u32 {
+        let size = font.size as u32;
+        let base_num = match font.family {
+            FontFamily::Roman => 9,
+            FontFamily::Bold => 10,
+            FontFamily::Italic => 9,
+            FontFamily::Typewriter => 10,
+        };
+        let base = (size * base_num).div_ceil(16).max(1);
+        if font.family == FontFamily::Typewriter {
+            return base; // fixed pitch
+        }
+        match ch {
+            'i' | 'l' | 'j' | 't' | 'f' | '.' | ',' | ';' | ':' | '!' | '\'' | '|' => {
+                (base / 2).max(1)
+            }
+            'm' | 'w' | 'M' | 'W' => base + base / 2,
+            ' ' => (base * 3 / 4).max(1),
+            _ => base,
+        }
+    }
+
+    /// Width of a whole string under `font`.
+    pub fn text_width(self, font: FontSpec, text: &str) -> u32 {
+        text.chars().map(|c| self.advance(font, c)).sum()
+    }
+
+    /// Line height (baseline-to-baseline) in pixels for `font`.
+    pub fn line_height(self, font: FontSpec) -> u32 {
+        let size = font.size as u32;
+        size + size / 4
+    }
+
+    /// Distance from line top to the baseline.
+    pub fn ascent(self, font: FontSpec) -> u32 {
+        // Four fifths of the body sit above the baseline in this model.
+        (font.size as u32 * 4) / 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: FontMetrics = FontMetrics;
+
+    #[test]
+    fn family_parse_round_trip() {
+        for fam in FontFamily::ALL {
+            assert_eq!(FontFamily::parse(&fam.to_string()), Some(fam));
+        }
+        assert_eq!(FontFamily::parse("TT"), Some(FontFamily::Typewriter));
+        assert_eq!(FontFamily::parse("gothic"), None);
+    }
+
+    #[test]
+    fn emphasis_algebra() {
+        let e = Emphasis::BOLD.with(Emphasis::UNDERLINE);
+        assert!(e.contains(Emphasis::BOLD));
+        assert!(e.contains(Emphasis::UNDERLINE));
+        assert!(!e.contains(Emphasis::ITALIC));
+        assert_eq!(e.without(Emphasis::BOLD), Emphasis::UNDERLINE);
+        assert_eq!(e.toggled(Emphasis::BOLD), Emphasis::UNDERLINE);
+        assert_eq!(e.toggled(Emphasis::ITALIC).toggled(Emphasis::ITALIC), e);
+        assert!(Emphasis::NONE.is_none());
+    }
+
+    #[test]
+    fn emphasis_bits_round_trip() {
+        let e = Emphasis::BOLD.with(Emphasis::ITALIC);
+        assert_eq!(Emphasis::from_bits(e.bits()), e);
+        // Unknown bits are masked off.
+        assert_eq!(Emphasis::from_bits(0xff), Emphasis::from_bits(0x7));
+    }
+
+    #[test]
+    fn widths_monotone_in_size() {
+        for fam in FontFamily::ALL {
+            let mut prev = 0;
+            for size in [8u8, 10, 12, 14, 18, 24] {
+                let w = M.text_width(FontSpec::new(fam, size), "multimedia object");
+                assert!(w >= prev, "{fam} width not monotone at size {size}");
+                prev = w;
+            }
+        }
+    }
+
+    #[test]
+    fn bold_is_wider_than_roman() {
+        let roman = M.text_width(FontSpec::new(FontFamily::Roman, 12), "presentation");
+        let bold = M.text_width(FontSpec::new(FontFamily::Bold, 12), "presentation");
+        assert!(bold > roman);
+    }
+
+    #[test]
+    fn typewriter_is_fixed_pitch() {
+        let tt = FontSpec::new(FontFamily::Typewriter, 12);
+        assert_eq!(M.advance(tt, 'i'), M.advance(tt, 'm'));
+        assert_eq!(M.advance(tt, '.'), M.advance(tt, 'W'));
+    }
+
+    #[test]
+    fn proportional_narrow_and_wide_chars() {
+        let roman = FontSpec::new(FontFamily::Roman, 12);
+        assert!(M.advance(roman, 'i') < M.advance(roman, 'a'));
+        assert!(M.advance(roman, 'm') > M.advance(roman, 'a'));
+    }
+
+    #[test]
+    fn advance_never_zero() {
+        for fam in FontFamily::ALL {
+            let f = FontSpec::new(fam, 1);
+            for ch in ['i', ' ', 'a', 'W'] {
+                assert!(M.advance(f, ch) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn line_height_has_leading() {
+        let f = FontSpec::new(FontFamily::Roman, 12);
+        assert_eq!(M.line_height(f), 15);
+        assert!(M.ascent(f) < M.line_height(f));
+    }
+
+    #[test]
+    fn with_emphasis_switches_family() {
+        let f = FontSpec::BODY;
+        assert_eq!(f.with_emphasis(Emphasis::BOLD).family, FontFamily::Bold);
+        assert_eq!(f.with_emphasis(Emphasis::ITALIC).family, FontFamily::Italic);
+        // Bold wins over italic when both are set (matches heading style).
+        let both = Emphasis::BOLD.with(Emphasis::ITALIC);
+        assert_eq!(f.with_emphasis(both).family, FontFamily::Bold);
+        // Underline leaves metrics alone.
+        assert_eq!(f.with_emphasis(Emphasis::UNDERLINE), f);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(FontSpec::new(FontFamily::Bold, 14).to_string(), "bold@14");
+    }
+}

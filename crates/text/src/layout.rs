@@ -1,0 +1,408 @@
+//! Line breaking and justification.
+//!
+//! Converts a document's blocks into positioned lines for a given column
+//! width, honouring fonts, sizes, first-line indents and inline emphasis —
+//! the "paragraphing, indenting" facilities of §3. The output is purely
+//! geometric: the paginator stacks it into visual pages and the screen
+//! substrate rasterizes it.
+
+use crate::document::{Block, Document, Style};
+use minos_types::{CharSpan, Size};
+
+/// Font-metric oracle shared by layout (one instance; metrics are pure).
+const METRICS: crate::font::FontMetrics = crate::font::FontMetrics;
+
+/// A horizontally positioned run of same-style text on one line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlacedRun {
+    /// The run's text.
+    pub text: String,
+    /// Left edge, pixels from the column's left edge.
+    pub x: u32,
+    /// Advance width in pixels.
+    pub width: u32,
+    /// Style to render with.
+    pub style: Style,
+    /// Characters of the document this run covers.
+    pub span: CharSpan,
+}
+
+/// One laid-out line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Line {
+    /// Runs in left-to-right order.
+    pub runs: Vec<PlacedRun>,
+    /// Line height (baseline-to-baseline) in pixels.
+    pub height: u32,
+    /// Characters covered by the line (first to last run).
+    pub span: CharSpan,
+    /// Total advance width of the line's content.
+    pub width: u32,
+    /// Whether the line is centered in the column (titles are).
+    pub centered: bool,
+}
+
+impl Line {
+    /// The text of the line (runs concatenated).
+    pub fn text(&self) -> String {
+        self.runs.iter().map(|r| r.text.as_str()).collect()
+    }
+}
+
+/// A block after layout.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LaidBlock {
+    /// A text block broken into lines.
+    Lines(Vec<Line>),
+    /// A figure anchor, passed through with its extent.
+    Figure {
+        /// Index into [`Document::figures`].
+        index: usize,
+        /// Pixel extent in the flow.
+        size: Size,
+    },
+}
+
+impl LaidBlock {
+    /// Total flow height of the block in pixels.
+    pub fn height(&self) -> u32 {
+        match self {
+            LaidBlock::Lines(lines) => lines.iter().map(|l| l.height).sum(),
+            LaidBlock::Figure { size, .. } => size.height,
+        }
+    }
+}
+
+/// Lays out every block of `doc` into a column of `column_width` pixels.
+pub fn layout_document(doc: &Document, column_width: u32) -> Vec<LaidBlock> {
+    doc.blocks().iter().map(|b| layout_block(doc, b, column_width)).collect()
+}
+
+/// Lays out a single block.
+pub fn layout_block(doc: &Document, block: &Block, column_width: u32) -> LaidBlock {
+    match block {
+        Block::Figure(index) => {
+            let size = doc.figures()[*index].size;
+            LaidBlock::Figure { index: *index, size }
+        }
+        Block::Title(span) => {
+            let mut lines = break_span(doc, *span, column_width, 0);
+            for line in &mut lines {
+                line.centered = true;
+            }
+            LaidBlock::Lines(lines)
+        }
+        Block::Heading { span, .. } => LaidBlock::Lines(break_span(doc, *span, column_width, 0)),
+        Block::Paragraph { span, indent } => {
+            LaidBlock::Lines(break_span(doc, *span, column_width, *indent))
+        }
+    }
+}
+
+/// A word with per-char styles, pulled out of the canonical stream.
+struct MeasuredWord {
+    span: CharSpan,
+    width: u32,
+    /// (text, style, width, char_span) fragments of the word.
+    fragments: Vec<(String, Style, u32, CharSpan)>,
+    /// Width of a space rendered in the word's leading style.
+    space_width: u32,
+    line_height: u32,
+}
+
+fn measure_words(doc: &Document, span: CharSpan) -> Vec<MeasuredWord> {
+    let chars = doc.chars();
+    let mut words = Vec::new();
+    let mut pos = span.start;
+    while pos < span.end {
+        // Skip separators.
+        while pos < span.end && chars[pos as usize].is_whitespace() {
+            pos += 1;
+        }
+        if pos >= span.end {
+            break;
+        }
+        let word_start = pos;
+        let mut fragments: Vec<(String, Style, u32, CharSpan)> = Vec::new();
+        let mut width = 0u32;
+        let mut line_height = 0u32;
+        while pos < span.end && !chars[pos as usize].is_whitespace() {
+            let ch = chars[pos as usize];
+            let style = doc.style_at(pos);
+            let font = style.effective_font();
+            let adv = METRICS.advance(font, ch);
+            line_height = line_height.max(METRICS.line_height(font));
+            width += adv;
+            match fragments.last_mut() {
+                Some((text, s, w, fspan)) if *s == style => {
+                    text.push(ch);
+                    *w += adv;
+                    fspan.end = pos + 1;
+                }
+                _ => fragments.push((ch.to_string(), style, adv, CharSpan::at(pos, 1))),
+            }
+            pos += 1;
+        }
+        let leading_style = fragments[0].1;
+        let space_width = METRICS.advance(leading_style.effective_font(), ' ');
+        words.push(MeasuredWord {
+            span: CharSpan::new(word_start, pos),
+            width,
+            fragments,
+            space_width,
+            line_height,
+        });
+    }
+    words
+}
+
+/// Greedy word wrap of `span` into lines of at most `column_width` pixels,
+/// indenting the first line by `indent`.
+fn break_span(doc: &Document, span: CharSpan, column_width: u32, indent: u32) -> Vec<Line> {
+    let words = measure_words(doc, span);
+    let mut lines: Vec<Line> = Vec::new();
+    let mut current: Vec<&MeasuredWord> = Vec::new();
+    let mut current_width = 0u32;
+    let mut first_line = true;
+
+    let flush =
+        |lines: &mut Vec<Line>, current: &mut Vec<&MeasuredWord>, first_line: &mut bool| {
+            if current.is_empty() {
+                return;
+            }
+            let line_indent = if *first_line { indent } else { 0 };
+            *first_line = false;
+            let mut runs: Vec<PlacedRun> = Vec::new();
+            let mut x = line_indent;
+            let mut height = 0u32;
+            for (wi, word) in current.iter().enumerate() {
+                if wi > 0 {
+                    x += word.space_width;
+                    // The inter-word space extends the previous run so that
+                    // rendering reproduces the canonical stream spacing.
+                    if let Some(prev) = runs.last_mut() {
+                        prev.text.push(' ');
+                        prev.width += word.space_width;
+                    }
+                }
+                for (text, style, w, fspan) in &word.fragments {
+                    match runs.last_mut() {
+                        Some(prev) if prev.style == *style && prev.span.end == fspan.start => {
+                            prev.text.push_str(text);
+                            prev.width += w;
+                            prev.span.end = fspan.end;
+                        }
+                        _ => runs.push(PlacedRun {
+                            text: text.clone(),
+                            x,
+                            width: *w,
+                            style: *style,
+                            span: *fspan,
+                        }),
+                    }
+                    x += w;
+                }
+                height = height.max(word.line_height);
+            }
+            let span = CharSpan::new(current[0].span.start, current.last().unwrap().span.end);
+            let width = x;
+            lines.push(Line { runs, height, span, width, centered: false });
+            current.clear();
+        };
+
+    for word in &words {
+        let line_indent = if first_line && current.is_empty() { indent } else { 0 };
+        let extra = if current.is_empty() { 0 } else { word.space_width };
+        let candidate = current_width + extra + word.width;
+        let budget = column_width.saturating_sub(if current.is_empty() {
+            line_indent
+        } else {
+            0
+        });
+        if !current.is_empty() && candidate > budget {
+            flush(&mut lines, &mut current, &mut first_line);
+            current_width = 0;
+        }
+        let extra = if current.is_empty() { 0 } else { word.space_width };
+        current_width += extra + word.width;
+        current.push(word);
+    }
+    flush(&mut lines, &mut current, &mut first_line);
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{DocumentBuilder, FigureRef};
+    use crate::font::{Emphasis, FontFamily, FontSpec};
+
+    fn doc_with(text: &str) -> Document {
+        let mut b = DocumentBuilder::new();
+        b.text(text);
+        b.end_paragraph();
+        b.finish()
+    }
+
+    fn all_lines(blocks: &[LaidBlock]) -> Vec<&Line> {
+        blocks
+            .iter()
+            .filter_map(|b| match b {
+                LaidBlock::Lines(lines) => Some(lines.iter()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    #[test]
+    fn narrow_column_breaks_lines() {
+        let doc = doc_with("alpha beta gamma delta epsilon zeta eta theta");
+        let wide = layout_document(&doc, 10_000);
+        let narrow = layout_document(&doc, 120);
+        assert_eq!(all_lines(&wide).len(), 1);
+        assert!(all_lines(&narrow).len() > 1);
+    }
+
+    #[test]
+    fn lines_fit_the_column() {
+        let doc = doc_with(
+            "the multimedia object presentation manager provides browsing \
+             primitives for text voice and images on the workstation screen",
+        );
+        for width in [100u32, 200, 300, 500] {
+            for line in all_lines(&layout_document(&doc, width)) {
+                assert!(line.width <= width, "line {:?} overflows {width}px", line.text());
+            }
+        }
+    }
+
+    #[test]
+    fn single_word_wider_than_column_gets_its_own_line() {
+        let doc = doc_with("supercalifragilisticexpialidocious a");
+        let blocks = layout_document(&doc, 30);
+        let lines = all_lines(&blocks);
+        assert_eq!(lines.len(), 2);
+        // The overwide word still occupies one line (no infinite loop, no
+        // character split in this model).
+        assert!(lines[0].width > 30);
+    }
+
+    #[test]
+    fn line_spans_partition_paragraph_words() {
+        let doc = doc_with("one two three four five six seven eight nine ten");
+        let blocks = layout_document(&doc, 150);
+        let lines = all_lines(&blocks);
+        for pair in lines.windows(2) {
+            assert!(pair[0].span.end <= pair[1].span.start);
+        }
+        // Every word of the paragraph is inside some line span.
+        for w in &doc.tree().words {
+            assert!(
+                lines.iter().any(|l| l.span.contains_span(w)),
+                "word not covered by any line"
+            );
+        }
+    }
+
+    #[test]
+    fn first_line_is_indented() {
+        let mut b = DocumentBuilder::new();
+        b.set_indent(24);
+        b.text("alpha beta gamma delta epsilon zeta eta theta iota kappa");
+        b.end_paragraph();
+        let doc = b.finish();
+        let blocks = layout_document(&doc, 200);
+        let lines = all_lines(&blocks);
+        assert!(lines.len() >= 2);
+        assert_eq!(lines[0].runs[0].x, 24);
+        assert_eq!(lines[1].runs[0].x, 0);
+    }
+
+    #[test]
+    fn title_lines_are_centered() {
+        let mut b = DocumentBuilder::new();
+        b.title("A Title");
+        b.text("body");
+        b.end_paragraph();
+        let doc = b.finish();
+        let blocks = layout_document(&doc, 400);
+        match &blocks[0] {
+            LaidBlock::Lines(lines) => assert!(lines[0].centered),
+            other => panic!("expected lines, got {other:?}"),
+        }
+        match &blocks[1] {
+            LaidBlock::Lines(lines) => assert!(!lines[0].centered),
+            other => panic!("expected lines, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn emphasis_splits_runs_and_preserves_text() {
+        let mut b = DocumentBuilder::new();
+        b.text("pre ");
+        b.toggle_emphasis(Emphasis::BOLD);
+        b.text("bold");
+        b.toggle_emphasis(Emphasis::BOLD);
+        b.text(" post");
+        b.end_paragraph();
+        let doc = b.finish();
+        let blocks = layout_document(&doc, 10_000);
+        let lines = all_lines(&blocks);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].text(), "pre bold post");
+        assert!(lines[0].runs.len() >= 3);
+        let bold_run = lines[0]
+            .runs
+            .iter()
+            .find(|r| r.text.trim() == "bold")
+            .expect("bold run");
+        assert!(bold_run.style.emphasis.contains(Emphasis::BOLD));
+    }
+
+    #[test]
+    fn runs_are_contiguous_in_x() {
+        let doc = doc_with("some words to lay out in order");
+        let blocks = layout_document(&doc, 10_000);
+        for line in all_lines(&blocks) {
+            let mut x = line.runs[0].x;
+            for run in &line.runs {
+                assert_eq!(run.x, x, "run {:?} not adjacent", run.text);
+                x += run.width;
+            }
+        }
+    }
+
+    #[test]
+    fn figure_blocks_pass_through() {
+        let mut b = DocumentBuilder::new();
+        b.text("before");
+        b.figure(FigureRef { tag: "map".into(), size: Size::new(300, 200), caption: None });
+        b.end_paragraph();
+        let doc = b.finish();
+        let blocks = layout_document(&doc, 400);
+        assert!(matches!(blocks[1], LaidBlock::Figure { index: 0, size } if size == Size::new(300, 200)));
+        assert_eq!(blocks[1].height(), 200);
+    }
+
+    #[test]
+    fn larger_font_makes_taller_lines() {
+        let mut small = DocumentBuilder::new();
+        small.set_font(FontSpec::new(FontFamily::Roman, 10));
+        small.text("hello world");
+        small.end_paragraph();
+        let mut big = DocumentBuilder::new();
+        big.set_font(FontSpec::new(FontFamily::Roman, 24));
+        big.text("hello world");
+        big.end_paragraph();
+        let hs = all_lines(&layout_document(&small.finish(), 1000))[0].height;
+        let hb = all_lines(&layout_document(&big.finish(), 1000))[0].height;
+        assert!(hb > hs);
+    }
+
+    #[test]
+    fn empty_document_lays_out_to_nothing() {
+        let doc = DocumentBuilder::new().finish();
+        assert!(layout_document(&doc, 500).is_empty());
+    }
+}

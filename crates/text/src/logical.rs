@@ -1,0 +1,310 @@
+//! The logical structure tree and navigation over it.
+//!
+//! "A text segment of a multimedia object in MINOS may be logically
+//! subdivided into title, abstract, chapters, and references. Each chapter
+//! is subdivided into sections, sections into paragraphs, paragraphs into
+//! sentences and sentences into words." (§2)
+//!
+//! "Browsing capabilities in text or in voice allow the user to see or hear
+//! the page with the next or previous start of a logical unit (such as
+//! chapter, section, etc.)." — that navigation is implemented here as binary
+//! searches over the per-level span lists.
+//!
+//! Crucially, the *same* [`LogicalLevel`] enum and navigation API are reused
+//! by the voice substrate: this shared vocabulary is half of the paper's
+//! symmetry argument.
+
+use minos_types::CharSpan;
+use std::fmt;
+
+/// A chapter of a text segment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Chapter {
+    /// Heading text.
+    pub title: String,
+    /// Characters covered (heading through last contained paragraph).
+    pub span: CharSpan,
+    /// Sections nested within the chapter.
+    pub sections: Vec<Section>,
+}
+
+/// A section of a chapter.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Section {
+    /// Heading text.
+    pub title: String,
+    /// Characters covered.
+    pub span: CharSpan,
+}
+
+/// The logical levels a one-dimensional medium may be subdivided into.
+///
+/// Which levels are *available* depends on the object: "The logical browsing
+/// options that are available to the user in MINOS depend on the object
+/// (e.g. what logical units have been identified for the object)." (§2)
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum LogicalLevel {
+    /// Chapters.
+    Chapter,
+    /// Sections.
+    Section,
+    /// Paragraphs.
+    Paragraph,
+    /// Sentences.
+    Sentence,
+    /// Words.
+    Word,
+}
+
+impl LogicalLevel {
+    /// All levels, coarsest first.
+    pub const ALL: [LogicalLevel; 5] = [
+        LogicalLevel::Chapter,
+        LogicalLevel::Section,
+        LogicalLevel::Paragraph,
+        LogicalLevel::Sentence,
+        LogicalLevel::Word,
+    ];
+}
+
+impl fmt::Display for LogicalLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LogicalLevel::Chapter => "chapter",
+            LogicalLevel::Section => "section",
+            LogicalLevel::Paragraph => "paragraph",
+            LogicalLevel::Sentence => "sentence",
+            LogicalLevel::Word => "word",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A resolved reference to one logical unit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UnitRef {
+    /// The unit's level.
+    pub level: LogicalLevel,
+    /// Index of the unit within its level (0-based, document order).
+    pub index: usize,
+    /// Characters covered by the unit.
+    pub span: CharSpan,
+}
+
+/// The logical structure of a text segment.
+#[derive(Clone, Debug, Default)]
+pub struct LogicalTree {
+    /// Title span, if a title was given.
+    pub title: Option<CharSpan>,
+    /// Abstract span, if an abstract was given.
+    pub abstract_span: Option<CharSpan>,
+    /// References span, if a references unit was given.
+    pub references: Option<CharSpan>,
+    /// Chapters in order, with nested sections.
+    pub chapters: Vec<Chapter>,
+    /// All paragraph spans, document order.
+    pub paragraphs: Vec<CharSpan>,
+    /// All sentence spans, document order.
+    pub sentences: Vec<CharSpan>,
+    /// All word spans, document order.
+    pub words: Vec<CharSpan>,
+
+    // Flattened caches for navigation.
+    chapter_spans: Vec<CharSpan>,
+    section_spans: Vec<CharSpan>,
+}
+
+impl LogicalTree {
+    /// Assembles a tree, computing the flattened navigation caches.
+    pub fn new(
+        title: Option<CharSpan>,
+        abstract_span: Option<CharSpan>,
+        references: Option<CharSpan>,
+        chapters: Vec<Chapter>,
+        paragraphs: Vec<CharSpan>,
+        sentences: Vec<CharSpan>,
+        words: Vec<CharSpan>,
+    ) -> Self {
+        let chapter_spans = chapters.iter().map(|c| c.span).collect();
+        let section_spans =
+            chapters.iter().flat_map(|c| c.sections.iter().map(|s| s.span)).collect();
+        LogicalTree {
+            title,
+            abstract_span,
+            references,
+            chapters,
+            paragraphs,
+            sentences,
+            words,
+            chapter_spans,
+            section_spans,
+        }
+    }
+
+    /// Spans of all units at `level`, in document order.
+    pub fn spans(&self, level: LogicalLevel) -> &[CharSpan] {
+        match level {
+            LogicalLevel::Chapter => &self.chapter_spans,
+            LogicalLevel::Section => &self.section_spans,
+            LogicalLevel::Paragraph => &self.paragraphs,
+            LogicalLevel::Sentence => &self.sentences,
+            LogicalLevel::Word => &self.words,
+        }
+    }
+
+    /// Levels for which at least one unit was identified. Drives the menu:
+    /// only identified levels yield browsing options.
+    pub fn available_levels(&self) -> Vec<LogicalLevel> {
+        LogicalLevel::ALL.into_iter().filter(|l| !self.spans(*l).is_empty()).collect()
+    }
+
+    /// The first unit at `level` starting strictly after `pos`
+    /// ("next chapter" from the current position).
+    pub fn next_start_after(&self, level: LogicalLevel, pos: u32) -> Option<UnitRef> {
+        let spans = self.spans(level);
+        let idx = spans.partition_point(|s| s.start <= pos);
+        spans.get(idx).map(|s| UnitRef { level, index: idx, span: *s })
+    }
+
+    /// The last unit at `level` starting strictly before `pos`
+    /// ("previous section").
+    pub fn prev_start_before(&self, level: LogicalLevel, pos: u32) -> Option<UnitRef> {
+        let spans = self.spans(level);
+        let idx = spans.partition_point(|s| s.start < pos);
+        idx.checked_sub(1).map(|i| UnitRef { level, index: i, span: spans[i] })
+    }
+
+    /// The unit at `level` whose span contains `pos`, if any.
+    pub fn unit_containing(&self, level: LogicalLevel, pos: u32) -> Option<UnitRef> {
+        let spans = self.spans(level);
+        let idx = spans.partition_point(|s| s.start <= pos);
+        idx.checked_sub(1).and_then(|i| {
+            spans[i]
+                .contains(pos)
+                .then_some(UnitRef { level, index: i, span: spans[i] })
+        })
+    }
+
+    /// Number of units at `level`.
+    pub fn count(&self, level: LogicalLevel) -> usize {
+        self.spans(level).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::DocumentBuilder;
+
+    fn tree() -> (LogicalTree, String) {
+        let mut b = DocumentBuilder::new();
+        b.begin_chapter("One");
+        b.text("First para of one. Second sentence.");
+        b.end_paragraph();
+        b.begin_section("One A");
+        b.text("Section content here.");
+        b.end_paragraph();
+        b.begin_chapter("Two");
+        b.text("Para of two.");
+        b.end_paragraph();
+        let doc = b.finish();
+        let text = doc.text();
+        (doc.tree().clone(), text)
+    }
+
+    #[test]
+    fn available_levels_reflect_content() {
+        let (t, _) = tree();
+        let levels = t.available_levels();
+        assert_eq!(
+            levels,
+            vec![
+                LogicalLevel::Chapter,
+                LogicalLevel::Section,
+                LogicalLevel::Paragraph,
+                LogicalLevel::Sentence,
+                LogicalLevel::Word
+            ]
+        );
+        let empty = LogicalTree::default();
+        assert!(empty.available_levels().is_empty());
+    }
+
+    #[test]
+    fn next_start_after_moves_forward() {
+        let (t, _) = tree();
+        // From the very beginning, next chapter is chapter Two (chapter One
+        // starts at 0 which is not strictly after 0).
+        let next = t.next_start_after(LogicalLevel::Chapter, 0).unwrap();
+        assert_eq!(next.index, 1);
+        // From inside chapter Two there is no next chapter.
+        assert!(t.next_start_after(LogicalLevel::Chapter, next.span.start).is_none());
+    }
+
+    #[test]
+    fn prev_start_before_moves_backward() {
+        let (t, _) = tree();
+        let ch2 = t.spans(LogicalLevel::Chapter)[1];
+        let prev = t.prev_start_before(LogicalLevel::Chapter, ch2.start).unwrap();
+        assert_eq!(prev.index, 0);
+        assert!(t.prev_start_before(LogicalLevel::Chapter, 0).is_none());
+    }
+
+    #[test]
+    fn unit_containing_finds_enclosing_unit() {
+        let (t, text) = tree();
+        let pos = text.find("Section content").unwrap() as u32;
+        let section = t.unit_containing(LogicalLevel::Section, pos).unwrap();
+        assert_eq!(section.index, 0);
+        let chapter = t.unit_containing(LogicalLevel::Chapter, pos).unwrap();
+        assert_eq!(chapter.index, 0);
+        // A position in chapter Two is in no section.
+        let pos2 = text.find("Para of two").unwrap() as u32;
+        assert!(t.unit_containing(LogicalLevel::Section, pos2).is_none());
+    }
+
+    #[test]
+    fn sentence_navigation_is_fine_grained() {
+        let (t, text) = tree();
+        let pos = text.find("First para").unwrap() as u32;
+        let next_sentence = t.next_start_after(LogicalLevel::Sentence, pos).unwrap();
+        let got: String = text
+            .chars()
+            .skip(next_sentence.span.start as usize)
+            .take((next_sentence.span.end - next_sentence.span.start) as usize)
+            .collect();
+        assert_eq!(got, "Second sentence.");
+    }
+
+    #[test]
+    fn word_navigation_steps_by_one_word() {
+        let (t, _) = tree();
+        let w0 = t.spans(LogicalLevel::Word)[0];
+        let next = t.next_start_after(LogicalLevel::Word, w0.start).unwrap();
+        assert_eq!(next.index, 1);
+        let back = t.prev_start_before(LogicalLevel::Word, next.span.start).unwrap();
+        assert_eq!(back.index, 0);
+    }
+
+    #[test]
+    fn counts() {
+        let (t, _) = tree();
+        assert_eq!(t.count(LogicalLevel::Chapter), 2);
+        assert_eq!(t.count(LogicalLevel::Section), 1);
+        assert_eq!(t.count(LogicalLevel::Paragraph), 3);
+    }
+
+    #[test]
+    fn next_prev_are_inverse_on_starts() {
+        let (t, _) = tree();
+        for level in LogicalLevel::ALL {
+            let spans = t.spans(level).to_vec();
+            for (i, s) in spans.iter().enumerate().skip(1) {
+                let prev = t.prev_start_before(level, s.start).unwrap();
+                assert_eq!(prev.index, i - 1, "level {level} unit {i}");
+                let next = t.next_start_after(level, prev.span.start).unwrap();
+                assert_eq!(next.index, i, "level {level} unit {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Pagination into visual pages.
+//!
+//! "The presentation form of text is subdivided into text pages. A text
+//! page is all the text information which is presented at the same time at
+//! the screen of the workstation. Often text is intermixed with images in
+//! the same page. We call these generic pages visual pages." (§2)
+//!
+//! The paginator stacks laid-out lines and figure anchors into fixed-height
+//! pages. Each page records the character span it presents, which is the
+//! bridge used by every other browsing mode: logical browsing finds "the
+//! page with the next start of a logical unit", pattern browsing "the next
+//! page with the occurrence of this pattern".
+
+use crate::document::Document;
+use crate::layout::{layout_document, LaidBlock, Line};
+use minos_types::{CharSpan, PageNumber, Rect, Size};
+
+/// Page geometry for pagination.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PaginateConfig {
+    /// Full page extent in pixels.
+    pub page_size: Size,
+    /// Margin on all four sides, in pixels.
+    pub margin: u32,
+    /// Vertical gap inserted between blocks, in pixels.
+    pub block_gap: u32,
+}
+
+impl Default for PaginateConfig {
+    fn default() -> Self {
+        // The display area left to a page once the simulated workstation
+        // screen reserves its menu column and message strip.
+        PaginateConfig { page_size: Size::new(800, 720), margin: 16, block_gap: 8 }
+    }
+}
+
+impl PaginateConfig {
+    /// Width available to content.
+    pub fn content_width(&self) -> u32 {
+        self.page_size.width.saturating_sub(2 * self.margin)
+    }
+
+    /// Height available to content.
+    pub fn content_height(&self) -> u32 {
+        self.page_size.height.saturating_sub(2 * self.margin)
+    }
+
+    /// A copy whose content height is reduced by `reserved` pixels at the
+    /// top. Used when a visual logical message occupies the upper part of
+    /// every page (§2: "the logical message is displayed at the upper part
+    /// of the screen while the lower part … is devoted to the display of
+    /// parts of the related visual segment").
+    pub fn with_reserved_top(&self, reserved: u32) -> PaginateConfig {
+        PaginateConfig {
+            page_size: Size::new(
+                self.page_size.width,
+                self.page_size.height.saturating_sub(reserved),
+            ),
+            ..*self
+        }
+    }
+}
+
+/// One positioned element of a visual page.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PageElement {
+    /// A text line at vertical offset `y` (pixels from the content top).
+    Line {
+        /// Vertical offset of the line's top.
+        y: u32,
+        /// The line.
+        line: Line,
+    },
+    /// A figure at the given content-relative rectangle.
+    Figure {
+        /// Index into [`Document::figures`].
+        index: usize,
+        /// Position and extent within the page content area.
+        rect: Rect,
+    },
+}
+
+impl PageElement {
+    /// The character span the element presents, if any.
+    pub fn span(&self) -> Option<CharSpan> {
+        match self {
+            PageElement::Line { line, .. } => Some(line.span),
+            PageElement::Figure { .. } => None,
+        }
+    }
+}
+
+/// One visual page.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct VisualPage {
+    /// Elements in top-to-bottom order.
+    pub elements: Vec<PageElement>,
+    /// Characters presented on this page (None for image-only pages).
+    pub span: Option<CharSpan>,
+    /// Content height actually used, in pixels.
+    pub used_height: u32,
+}
+
+impl VisualPage {
+    /// Whether the page presents no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The page's text content, one line per laid-out line.
+    pub fn text_lines(&self) -> Vec<String> {
+        self.elements
+            .iter()
+            .filter_map(|e| match e {
+                PageElement::Line { line, .. } => Some(line.text()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn extend_span(&mut self, span: CharSpan) {
+        self.span = Some(match self.span {
+            None => span,
+            Some(s) => CharSpan::new(s.start.min(span.start), s.end.max(span.end)),
+        });
+    }
+}
+
+/// The paginated presentation form of a text segment.
+#[derive(Clone, Debug)]
+pub struct PresentationForm {
+    pages: Vec<VisualPage>,
+    config: PaginateConfig,
+}
+
+impl PresentationForm {
+    /// Lays out and paginates `doc` under `config`.
+    pub fn paginate(doc: &Document, config: PaginateConfig) -> Self {
+        let blocks = layout_document(doc, config.content_width());
+        Self::from_blocks(&blocks, config)
+    }
+
+    /// Paginates pre-laid-out blocks (used by the object layer, which may
+    /// interleave blocks from several data files).
+    pub fn from_blocks(blocks: &[LaidBlock], config: PaginateConfig) -> Self {
+        let content_height = config.content_height().max(1);
+        let mut pages: Vec<VisualPage> = Vec::new();
+        let mut page = VisualPage::default();
+        let mut y = 0u32;
+
+        let start_new_page = |pages: &mut Vec<VisualPage>, page: &mut VisualPage, y: &mut u32| {
+            if !page.is_empty() {
+                pages.push(std::mem::take(page));
+            }
+            *y = 0;
+        };
+
+        for block in blocks {
+            // Gap between blocks (not at the top of a page).
+            if y > 0 {
+                y += config.block_gap;
+            }
+            match block {
+                LaidBlock::Lines(lines) => {
+                    for line in lines {
+                        if y + line.height > content_height && y > 0 {
+                            start_new_page(&mut pages, &mut page, &mut y);
+                        }
+                        page.extend_span(line.span);
+                        page.elements.push(PageElement::Line { y, line: line.clone() });
+                        y += line.height;
+                        page.used_height = y;
+                    }
+                }
+                LaidBlock::Figure { index, size } => {
+                    if y + size.height > content_height && y > 0 {
+                        start_new_page(&mut pages, &mut page, &mut y);
+                    }
+                    // Center the figure horizontally in the content area.
+                    let x = (config.content_width().saturating_sub(size.width) / 2) as i32;
+                    page.elements.push(PageElement::Figure {
+                        index: *index,
+                        rect: Rect { origin: minos_types::Point::new(x, y as i32), size: *size },
+                    });
+                    y += size.height;
+                    page.used_height = y;
+                }
+            }
+        }
+        if !page.is_empty() {
+            pages.push(page);
+        }
+        PresentationForm { pages, config }
+    }
+
+    /// The pages, in order.
+    pub fn pages(&self) -> &[VisualPage] {
+        &self.pages
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// A page by 0-based index.
+    pub fn page(&self, index: usize) -> Option<&VisualPage> {
+        self.pages.get(index)
+    }
+
+    /// The pagination geometry used.
+    pub fn config(&self) -> PaginateConfig {
+        self.config
+    }
+
+    /// The 0-based index of the page presenting character `pos`: the last
+    /// page that starts at or before `pos`. Positions between pages (e.g. a
+    /// paragraph-final newline) resolve to the page of the preceding text.
+    pub fn page_containing(&self, pos: u32) -> Option<usize> {
+        let idx = self
+            .pages
+            .partition_point(|p| p.span.map(|s| s.start <= pos).unwrap_or(true));
+        idx.checked_sub(1)
+    }
+
+    /// User-facing page number of the page presenting `pos`.
+    pub fn page_number_containing(&self, pos: u32) -> Option<PageNumber> {
+        self.page_containing(pos).map(PageNumber::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{DocumentBuilder, FigureRef};
+    use proptest::prelude::*;
+
+    fn long_doc(paragraphs: usize) -> Document {
+        let mut b = DocumentBuilder::new();
+        b.begin_chapter("Body");
+        for i in 0..paragraphs {
+            b.text(&format!(
+                "Paragraph number {i} talks about multimedia objects and the \
+                 presentation manager of the MINOS system at some length so \
+                 that several lines are produced."
+            ));
+            b.end_paragraph();
+        }
+        b.finish()
+    }
+
+    fn small_config() -> PaginateConfig {
+        PaginateConfig { page_size: Size::new(300, 200), margin: 10, block_gap: 6 }
+    }
+
+    #[test]
+    fn long_document_spans_multiple_pages() {
+        let form = PresentationForm::paginate(&long_doc(12), small_config());
+        assert!(form.page_count() > 2, "got {} pages", form.page_count());
+    }
+
+    #[test]
+    fn pages_respect_content_height() {
+        let cfg = small_config();
+        let form = PresentationForm::paginate(&long_doc(12), cfg);
+        for (i, page) in form.pages().iter().enumerate() {
+            // Only a single oversized element may overflow; regular pages fit.
+            if page.elements.len() > 1 {
+                assert!(
+                    page.used_height <= cfg.content_height(),
+                    "page {i} used {} of {}",
+                    page.used_height,
+                    cfg.content_height()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn page_spans_are_ordered_and_cover_all_lines() {
+        let form = PresentationForm::paginate(&long_doc(8), small_config());
+        let spans: Vec<CharSpan> = form.pages().iter().filter_map(|p| p.span).collect();
+        for pair in spans.windows(2) {
+            assert!(pair[0].start < pair[1].start);
+            assert!(pair[0].end <= pair[1].start + 1);
+        }
+    }
+
+    #[test]
+    fn page_containing_maps_every_word() {
+        let doc = long_doc(8);
+        let form = PresentationForm::paginate(&doc, small_config());
+        for w in &doc.tree().words {
+            let idx = form.page_containing(w.start).expect("word on some page");
+            let page = form.page(idx).unwrap();
+            assert!(
+                page.span.unwrap().contains(w.start),
+                "word at {} mapped to page {idx} spanning {:?}",
+                w.start,
+                page.span
+            );
+        }
+    }
+
+    #[test]
+    fn page_containing_start_is_first_page() {
+        let form = PresentationForm::paginate(&long_doc(4), small_config());
+        assert_eq!(form.page_containing(0), Some(0));
+        assert_eq!(form.page_number_containing(0), Some(PageNumber::FIRST));
+    }
+
+    #[test]
+    fn empty_document_has_no_pages() {
+        let doc = DocumentBuilder::new().finish();
+        let form = PresentationForm::paginate(&doc, PaginateConfig::default());
+        assert_eq!(form.page_count(), 0);
+        assert_eq!(form.page_containing(0), None);
+    }
+
+    #[test]
+    fn figure_taller_than_page_gets_own_page() {
+        let mut b = DocumentBuilder::new();
+        b.text("before text");
+        b.figure(FigureRef { tag: "big".into(), size: Size::new(100, 5000), caption: None });
+        b.text("after text");
+        b.end_paragraph();
+        let form = PresentationForm::paginate(&b.finish(), small_config());
+        assert!(form.page_count() >= 3);
+        // Middle page holds only the figure.
+        let fig_page = form
+            .pages()
+            .iter()
+            .find(|p| p.elements.iter().any(|e| matches!(e, PageElement::Figure { .. })))
+            .unwrap();
+        assert_eq!(fig_page.elements.len(), 1);
+        assert!(fig_page.span.is_none());
+    }
+
+    #[test]
+    fn figure_is_centered_horizontally() {
+        let mut b = DocumentBuilder::new();
+        b.figure(FigureRef { tag: "f".into(), size: Size::new(100, 50), caption: None });
+        let cfg = small_config();
+        let form = PresentationForm::paginate(&b.finish(), cfg);
+        match &form.page(0).unwrap().elements[0] {
+            PageElement::Figure { rect, .. } => {
+                assert_eq!(rect.origin.x as u32, (cfg.content_width() - 100) / 2);
+            }
+            other => panic!("expected figure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_reserved_top_shrinks_pages() {
+        let cfg = PaginateConfig::default();
+        let reserved = cfg.with_reserved_top(300);
+        assert_eq!(reserved.content_height() + 300, cfg.content_height());
+        let doc = long_doc(10);
+        let full = PresentationForm::paginate(&doc, cfg);
+        let shrunk = PresentationForm::paginate(&doc, reserved);
+        assert!(shrunk.page_count() >= full.page_count());
+    }
+
+    #[test]
+    fn elements_are_stacked_top_to_bottom() {
+        let form = PresentationForm::paginate(&long_doc(6), small_config());
+        for page in form.pages() {
+            let mut last_y = 0u32;
+            for e in &page.elements {
+                let y = match e {
+                    PageElement::Line { y, .. } => *y,
+                    PageElement::Figure { rect, .. } => rect.origin.y as u32,
+                };
+                assert!(y >= last_y);
+                last_y = y;
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Every line of the laid-out document appears on exactly one page,
+        /// in order, for arbitrary page heights.
+        #[test]
+        fn pagination_preserves_all_lines(height in 60u32..400, paragraphs in 1usize..8) {
+            let doc = long_doc(paragraphs);
+            let cfg = PaginateConfig {
+                page_size: Size::new(300, height),
+                margin: 8,
+                block_gap: 4,
+            };
+            let form = PresentationForm::paginate(&doc, cfg);
+            let texts: Vec<String> = form
+                .pages()
+                .iter()
+                .flat_map(|p| p.text_lines())
+                .collect();
+            let direct: Vec<String> = crate::layout::layout_document(&doc, cfg.content_width())
+                .iter()
+                .filter_map(|b| match b {
+                    crate::layout::LaidBlock::Lines(ls) => {
+                        Some(ls.iter().map(|l| l.text()).collect::<Vec<_>>())
+                    }
+                    _ => None,
+                })
+                .flatten()
+                .collect();
+            prop_assert_eq!(texts, direct);
+        }
+
+        /// page_containing is monotone: later positions never map to
+        /// earlier pages.
+        #[test]
+        fn page_containing_is_monotone(height in 60u32..300) {
+            let doc = long_doc(5);
+            let cfg = PaginateConfig {
+                page_size: Size::new(280, height),
+                margin: 8,
+                block_gap: 4,
+            };
+            let form = PresentationForm::paginate(&doc, cfg);
+            let mut last = 0usize;
+            for pos in (0..doc.len()).step_by(7) {
+                if let Some(idx) = form.page_containing(pos) {
+                    prop_assert!(idx >= last);
+                    last = idx;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Pattern-match browsing support.
+//!
+//! "A user types a text pattern … and the system returns the next page with
+//! the occurrence of this pattern in the object's text" (§2). The searcher
+//! here finds occurrences in the canonical character stream; the
+//! presentation layer maps them to pages via
+//! [`crate::paginate::PresentationForm::page_containing`].
+//!
+//! Two engines are provided: a Boyer–Moore–Horspool searcher (the access
+//! method proper) and a naive scan kept as the baseline for experiment E10.
+//! A [`WordIndex`] over the document's words provides the word-granularity
+//! content addressability that recognized voice utterances also use
+//! (`minos-server` builds its inverted index from the same tokenization).
+
+use crate::document::Document;
+use std::collections::HashMap;
+
+/// A compiled pattern for repeated searches over character streams.
+#[derive(Clone, Debug)]
+pub struct PatternSearcher {
+    pattern: Vec<char>,
+    /// Horspool shift table: distance to shift when the window's last
+    /// character is `c`. Characters absent from the table shift by the full
+    /// pattern length.
+    skip: HashMap<char, usize>,
+    case_insensitive: bool,
+}
+
+impl PatternSearcher {
+    /// Compiles a case-insensitive searcher (the browsing default: users
+    /// type patterns, capitalization in the object shouldn't hide hits).
+    pub fn new(pattern: &str) -> Self {
+        Self::with_case(pattern, false)
+    }
+
+    /// Compiles a searcher; `case_sensitive` controls matching.
+    pub fn with_case(pattern: &str, case_sensitive: bool) -> Self {
+        let pattern: Vec<char> = if case_sensitive {
+            pattern.chars().collect()
+        } else {
+            pattern.chars().flat_map(|c| c.to_lowercase()).collect()
+        };
+        let m = pattern.len();
+        let mut skip = HashMap::with_capacity(m);
+        if m > 0 {
+            for (i, &c) in pattern[..m - 1].iter().enumerate() {
+                skip.insert(c, m - 1 - i);
+            }
+        }
+        PatternSearcher { pattern, skip, case_insensitive: !case_sensitive }
+    }
+
+    /// Pattern length in characters.
+    pub fn len(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Whether the pattern is empty (matches nowhere).
+    pub fn is_empty(&self) -> bool {
+        self.pattern.is_empty()
+    }
+
+    fn normalize(&self, c: char) -> char {
+        if self.case_insensitive {
+            // to_lowercase may expand to several chars for exotic code
+            // points; take the first, which is exact for the ASCII corpora
+            // the reproduction uses and conservative otherwise.
+            c.to_lowercase().next().unwrap_or(c)
+        } else {
+            c
+        }
+    }
+
+    /// Finds the first occurrence at or after `from` (character offset).
+    pub fn find_next(&self, haystack: &[char], from: u32) -> Option<u32> {
+        let m = self.pattern.len();
+        let n = haystack.len();
+        if m == 0 || n < m {
+            return None;
+        }
+        let mut i = from as usize;
+        while i + m <= n {
+            let last = self.normalize(haystack[i + m - 1]);
+            if last == self.pattern[m - 1] {
+                let mut j = 0;
+                while j + 1 < m && self.normalize(haystack[i + j]) == self.pattern[j] {
+                    j += 1;
+                }
+                if j + 1 == m {
+                    return Some(i as u32);
+                }
+            }
+            i += self.skip.get(&last).copied().unwrap_or(m);
+        }
+        None
+    }
+
+    /// Finds the last occurrence strictly before `before`.
+    pub fn find_prev(&self, haystack: &[char], before: u32) -> Option<u32> {
+        // Occurrences are sparse in browsing workloads; a forward scan
+        // collecting the last hit before the bound is simple and adequate.
+        let mut found = None;
+        let mut from = 0;
+        while let Some(hit) = self.find_next(haystack, from) {
+            if hit >= before {
+                break;
+            }
+            found = Some(hit);
+            from = hit + 1;
+        }
+        found
+    }
+
+    /// All occurrences, in order.
+    pub fn find_all(&self, haystack: &[char]) -> Vec<u32> {
+        let mut hits = Vec::new();
+        let mut from = 0;
+        while let Some(hit) = self.find_next(haystack, from) {
+            hits.push(hit);
+            from = hit + 1;
+        }
+        hits
+    }
+}
+
+/// Naive character-by-character search, the baseline for experiment E10.
+pub fn naive_find_next(haystack: &[char], pattern: &str, from: u32) -> Option<u32> {
+    let pat: Vec<char> = pattern.chars().flat_map(|c| c.to_lowercase()).collect();
+    let m = pat.len();
+    let n = haystack.len();
+    if m == 0 || n < m {
+        return None;
+    }
+    'outer: for i in from as usize..=(n - m) {
+        for j in 0..m {
+            if haystack[i + j].to_lowercase().next().unwrap_or(haystack[i + j]) != pat[j] {
+                continue 'outer;
+            }
+        }
+        return Some(i as u32);
+    }
+    None
+}
+
+/// Word-granularity index over a document.
+///
+/// Maps each lowercased word to the character offsets where it starts.
+/// This is the same structure the server's inverted index uses per object,
+/// and the structure recognized voice utterances are merged into for
+/// symmetric voice pattern browsing (§2: "The recognized voice segments are
+/// used to provide content addressibility and browsing by using the same
+/// access methods as in text").
+#[derive(Clone, Debug, Default)]
+pub struct WordIndex {
+    map: HashMap<String, Vec<u32>>,
+    word_count: usize,
+}
+
+impl WordIndex {
+    /// Builds the index from a document's word spans.
+    pub fn build(doc: &Document) -> Self {
+        let mut map: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut word_count = 0;
+        for span in &doc.tree().words {
+            let word = normalize_word(&doc.slice(*span));
+            if word.is_empty() {
+                continue;
+            }
+            word_count += 1;
+            map.entry(word).or_default().push(span.start);
+        }
+        WordIndex { map, word_count }
+    }
+
+    /// Offsets at which `word` starts (normalized), in document order.
+    pub fn positions(&self, word: &str) -> &[u32] {
+        self.map.get(&normalize_word(word)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// First occurrence of `word` at or after `from`.
+    pub fn next_occurrence(&self, word: &str, from: u32) -> Option<u32> {
+        let positions = self.positions(word);
+        let idx = positions.partition_point(|&p| p < from);
+        positions.get(idx).copied()
+    }
+
+    /// Number of distinct words.
+    pub fn vocabulary_size(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of indexed word occurrences.
+    pub fn word_count(&self) -> usize {
+        self.word_count
+    }
+
+    /// Iterates over (word, positions) pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[u32])> {
+        self.map.iter().map(|(w, p)| (w.as_str(), p.as_slice()))
+    }
+}
+
+/// Lowercases and strips leading/trailing punctuation, the tokenizer shared
+/// by the word index and the server's inverted index.
+pub fn normalize_word(word: &str) -> String {
+    word.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::DocumentBuilder;
+    use proptest::prelude::*;
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    #[test]
+    fn finds_all_occurrences() {
+        let hay = chars("the voice and the text and the image");
+        let s = PatternSearcher::new("the");
+        assert_eq!(s.find_all(&hay), vec![0, 14, 27]);
+    }
+
+    #[test]
+    fn find_next_respects_from() {
+        let hay = chars("abcabcabc");
+        let s = PatternSearcher::new("abc");
+        assert_eq!(s.find_next(&hay, 0), Some(0));
+        assert_eq!(s.find_next(&hay, 1), Some(3));
+        assert_eq!(s.find_next(&hay, 7), None);
+    }
+
+    #[test]
+    fn find_prev_finds_last_before() {
+        let hay = chars("abcabcabc");
+        let s = PatternSearcher::new("abc");
+        assert_eq!(s.find_prev(&hay, 9), Some(6));
+        assert_eq!(s.find_prev(&hay, 6), Some(3));
+        assert_eq!(s.find_prev(&hay, 1), Some(0));
+        assert_eq!(s.find_prev(&hay, 0), None);
+    }
+
+    #[test]
+    fn case_insensitive_by_default() {
+        let hay = chars("X-Ray observations: the x-ray shows");
+        let s = PatternSearcher::new("x-ray");
+        assert_eq!(s.find_all(&hay).len(), 2);
+        let cs = PatternSearcher::with_case("x-ray", true);
+        assert_eq!(cs.find_all(&hay).len(), 1);
+    }
+
+    #[test]
+    fn empty_pattern_matches_nothing() {
+        let hay = chars("anything");
+        let s = PatternSearcher::new("");
+        assert!(s.is_empty());
+        assert_eq!(s.find_next(&hay, 0), None);
+        assert_eq!(naive_find_next(&hay, "", 0), None);
+    }
+
+    #[test]
+    fn pattern_longer_than_haystack() {
+        let hay = chars("ab");
+        assert_eq!(PatternSearcher::new("abc").find_next(&hay, 0), None);
+    }
+
+    #[test]
+    fn overlapping_occurrences_are_found() {
+        let hay = chars("aaaa");
+        let s = PatternSearcher::new("aa");
+        assert_eq!(s.find_all(&hay), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_at_both_ends() {
+        let hay = chars("edge middle edge");
+        let s = PatternSearcher::new("edge");
+        assert_eq!(s.find_all(&hay), vec![0, 12]);
+    }
+
+    proptest! {
+        /// BMH agrees with the naive scanner on random inputs.
+        #[test]
+        fn bmh_agrees_with_naive(
+            hay in "[ab ]{0,64}",
+            pat in "[ab ]{1,6}",
+            from in 0u32..64,
+        ) {
+            let hay_chars = chars(&hay);
+            let s = PatternSearcher::new(&pat);
+            prop_assert_eq!(
+                s.find_next(&hay_chars, from),
+                naive_find_next(&hay_chars, &pat, from)
+            );
+        }
+
+        /// find_all returns strictly increasing offsets and every offset is
+        /// a real match.
+        #[test]
+        fn find_all_offsets_are_matches(hay in "[abc]{0,80}", pat in "[abc]{1,4}") {
+            let hay_chars = chars(&hay);
+            let s = PatternSearcher::new(&pat);
+            let hits = s.find_all(&hay_chars);
+            for pair in hits.windows(2) {
+                prop_assert!(pair[0] < pair[1]);
+            }
+            let pat_chars = chars(&pat);
+            for hit in hits {
+                let window = &hay_chars[hit as usize..hit as usize + pat_chars.len()];
+                prop_assert_eq!(window, &pat_chars[..]);
+            }
+        }
+    }
+
+    fn sample_doc() -> Document {
+        let mut b = DocumentBuilder::new();
+        b.text("The doctor examined the x-ray. The X-RAY showed a shadow.");
+        b.end_paragraph();
+        b.text("No shadow appeared on the second x-ray image.");
+        b.end_paragraph();
+        b.finish()
+    }
+
+    #[test]
+    fn word_index_counts_and_positions() {
+        let doc = sample_doc();
+        let idx = WordIndex::build(&doc);
+        assert_eq!(idx.positions("x-ray").len(), 3);
+        assert_eq!(idx.positions("shadow").len(), 2);
+        assert_eq!(idx.positions("absent").len(), 0);
+        assert!(idx.vocabulary_size() > 5);
+        assert_eq!(idx.word_count(), doc.tree().words.len());
+    }
+
+    #[test]
+    fn word_index_normalizes_case_and_punctuation() {
+        let doc = sample_doc();
+        let idx = WordIndex::build(&doc);
+        // "x-ray." and "X-RAY" both normalize to "x-ray".
+        assert_eq!(idx.positions("X-Ray"), idx.positions("x-ray"));
+        // Positions are document order.
+        let p = idx.positions("x-ray");
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn next_occurrence_walks_forward() {
+        let doc = sample_doc();
+        let idx = WordIndex::build(&doc);
+        let first = idx.next_occurrence("x-ray", 0).unwrap();
+        let second = idx.next_occurrence("x-ray", first + 1).unwrap();
+        assert!(second > first);
+        let third = idx.next_occurrence("x-ray", second + 1).unwrap();
+        assert_eq!(idx.next_occurrence("x-ray", third + 1), None);
+    }
+
+    #[test]
+    fn normalize_word_edge_cases() {
+        assert_eq!(normalize_word("Hello,"), "hello");
+        assert_eq!(normalize_word("(MINOS)"), "minos");
+        assert_eq!(normalize_word("..."), "");
+        assert_eq!(normalize_word("x-ray."), "x-ray");
+    }
+}

@@ -1,0 +1,409 @@
+//! A compact binary codec.
+//!
+//! Archived MINOS objects are "the object descriptor concatenated with the
+//! composition file" (§4). The descriptor is therefore a *byte format*, not
+//! an in-memory structure: the same bytes are written to the archiver,
+//! mailed outside the organization, and parsed back on a workstation. This
+//! module provides the little-endian writer/reader the descriptor format is
+//! built on: fixed-width integers, LEB128 varints, length-prefixed strings
+//! and byte blocks, all with explicit error reporting on truncated or
+//! malformed input.
+
+use crate::error::{MinosError, Result};
+
+/// Writes values into a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an encoder with preallocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian i32.
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an unsigned LEB128 varint. Descriptors are dominated by small
+    /// counts and offsets, so varints keep them compact.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_varint(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed byte block.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_varint(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes raw bytes with no length prefix (caller knows the framing).
+    pub fn put_raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+}
+
+/// Reads values back out of a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the input is exhausted.
+    pub fn is_at_end(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Errors unless the input is fully consumed. Descriptor parsing calls
+    /// this last so that trailing garbage is detected rather than silently
+    /// ignored.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.is_at_end() {
+            Ok(())
+        } else {
+            Err(MinosError::Codec(format!("{} trailing bytes after value", self.remaining())))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(MinosError::Codec(format!(
+                "truncated input: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian i32.
+    pub fn get_i32(&mut self) -> Result<i32> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    pub fn get_varint(&mut self) -> Result<u64> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(MinosError::Codec("varint overflows u64".into()));
+            }
+            value |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(MinosError::Codec("varint too long".into()));
+            }
+        }
+    }
+
+    /// Reads a varint and converts it to usize, guarding against values that
+    /// exceed the remaining input (prevents huge preallocations on corrupt
+    /// data).
+    pub fn get_len(&mut self) -> Result<usize> {
+        let v = self.get_varint()?;
+        if v > self.remaining() as u64 {
+            return Err(MinosError::Codec(format!(
+                "length {v} exceeds remaining input {}",
+                self.remaining()
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let len = self.get_len()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| MinosError::Codec(format!("invalid utf-8 in string: {e}")))
+    }
+
+    /// Reads a length-prefixed byte block.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.get_len()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a bool; any nonzero byte other than 1 is rejected so corrupt
+    /// descriptors fail loudly.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(MinosError::Codec(format!("invalid bool byte {other:#x}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_width_round_trip() {
+        let mut e = Encoder::new();
+        e.put_u8(0xab);
+        e.put_u16(0x1234);
+        e.put_u32(0xdead_beef);
+        e.put_u64(0x0123_4567_89ab_cdef);
+        e.put_i32(-42);
+        e.put_bool(true);
+        e.put_bool(false);
+        let bytes = e.finish();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 0xab);
+        assert_eq!(d.get_u16().unwrap(), 0x1234);
+        assert_eq!(d.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(d.get_i32().unwrap(), -42);
+        assert!(d.get_bool().unwrap());
+        assert!(!d.get_bool().unwrap());
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn varint_known_encodings() {
+        let cases: &[(u64, &[u8])] = &[
+            (0, &[0x00]),
+            (1, &[0x01]),
+            (127, &[0x7f]),
+            (128, &[0x80, 0x01]),
+            (300, &[0xac, 0x02]),
+            (u64::MAX, &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]),
+        ];
+        for &(value, expected) in cases {
+            let mut e = Encoder::new();
+            e.put_varint(value);
+            assert_eq!(e.finish(), expected, "encoding of {value}");
+            let mut d = Decoder::new(expected);
+            assert_eq!(d.get_varint().unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn string_and_bytes_round_trip() {
+        let mut e = Encoder::new();
+        e.put_str("MINOS: Μίνως");
+        e.put_bytes(&[1, 2, 3]);
+        e.put_str("");
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_str().unwrap(), "MINOS: Μίνως");
+        assert_eq!(d.get_bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(d.get_str().unwrap(), "");
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut e = Encoder::new();
+        e.put_u32(7);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes[..2]);
+        assert!(matches!(d.get_u32(), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn corrupt_length_is_an_error() {
+        // Varint length claims 1000 bytes but only 2 follow.
+        let mut e = Encoder::new();
+        e.put_varint(1000);
+        e.put_raw(&[0, 0]);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.get_str(), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn invalid_bool_is_an_error() {
+        let mut d = Decoder::new(&[2]);
+        assert!(matches!(d.get_bool(), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn overlong_varint_is_an_error() {
+        let bytes = [0xff; 11];
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.get_varint(), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn expect_end_detects_trailing_bytes() {
+        let mut d = Decoder::new(&[1, 2]);
+        let _ = d.get_u8().unwrap();
+        assert!(matches!(d.expect_end(), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut e = Encoder::new();
+        e.put_bytes(&[0xff, 0xfe]);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.get_str(), Err(MinosError::Codec(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn varint_round_trips(v in any::<u64>()) {
+            let mut e = Encoder::new();
+            e.put_varint(v);
+            let bytes = e.finish();
+            prop_assert!(bytes.len() <= 10);
+            let mut d = Decoder::new(&bytes);
+            prop_assert_eq!(d.get_varint().unwrap(), v);
+            d.expect_end().unwrap();
+        }
+
+        #[test]
+        fn string_round_trips(s in ".*") {
+            let mut e = Encoder::new();
+            e.put_str(&s);
+            let bytes = e.finish();
+            let mut d = Decoder::new(&bytes);
+            prop_assert_eq!(d.get_str().unwrap(), s);
+        }
+
+        #[test]
+        fn mixed_sequence_round_trips(
+            ints in proptest::collection::vec(any::<u64>(), 0..32),
+            blob in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let mut e = Encoder::new();
+            e.put_varint(ints.len() as u64);
+            for &v in &ints { e.put_varint(v); }
+            e.put_bytes(&blob);
+            let bytes = e.finish();
+
+            let mut d = Decoder::new(&bytes);
+            let n = d.get_varint().unwrap() as usize;
+            let got: Vec<u64> = (0..n).map(|_| d.get_varint().unwrap()).collect();
+            prop_assert_eq!(got, ints);
+            prop_assert_eq!(d.get_bytes().unwrap(), blob);
+            d.expect_end().unwrap();
+        }
+
+        #[test]
+        fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut d = Decoder::new(&bytes);
+            // Whatever the bytes are, decoding returns Ok or Err, never panics.
+            let _ = d.get_varint();
+            let _ = d.get_str();
+            let _ = d.get_u32();
+            let _ = d.get_bool();
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The common error type.
+
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, MinosError>;
+
+/// Errors surfaced by MINOS components.
+///
+/// Variants are grouped by the subsystem that raises them. The presentation
+/// manager converts most of these into disabled menu options rather than
+/// surfacing them to the user — the paper's interface never shows an
+/// unavailable operation ("The menu options which are displayed define the
+/// set of available operations", §2) — but library callers see them as
+/// errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MinosError {
+    /// A referenced object does not exist in the archiver or workstation
+    /// store.
+    UnknownObject(String),
+    /// A referenced part/segment/data file does not exist within an object.
+    UnknownComponent(String),
+    /// The requested operation is not available for this object (e.g.
+    /// logical browsing on an object whose logical units were never
+    /// identified, §2).
+    OperationUnavailable(String),
+    /// The object is in the wrong state (browsing requires archived state;
+    /// editing requires editing state, §2/§4).
+    WrongState(String),
+    /// A synthesis-file or markup parse error (line number + message).
+    Parse {
+        /// 1-based line where the problem was found.
+        line: u32,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A malformed binary descriptor or codec failure.
+    Codec(String),
+    /// A storage-device failure (out of space on the optical disk, read past
+    /// end of device, write to write-once sector).
+    Storage(String),
+    /// A network/protocol failure between workstation and server.
+    Protocol(String),
+    /// A geometric argument was invalid (view outside image, empty page
+    /// size, ...).
+    Geometry(String),
+    /// An invariant that should be locally impossible was violated; carries
+    /// diagnostics.
+    Internal(String),
+}
+
+impl MinosError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: u32, message: impl Into<String>) -> Self {
+        MinosError::Parse { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for MinosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MinosError::UnknownObject(s) => write!(f, "unknown object: {s}"),
+            MinosError::UnknownComponent(s) => write!(f, "unknown component: {s}"),
+            MinosError::OperationUnavailable(s) => write!(f, "operation unavailable: {s}"),
+            MinosError::WrongState(s) => write!(f, "wrong object state: {s}"),
+            MinosError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            MinosError::Codec(s) => write!(f, "codec error: {s}"),
+            MinosError::Storage(s) => write!(f, "storage error: {s}"),
+            MinosError::Protocol(s) => write!(f, "protocol error: {s}"),
+            MinosError::Geometry(s) => write!(f, "geometry error: {s}"),
+            MinosError::Internal(s) => write!(f, "internal error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MinosError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            MinosError::UnknownObject("obj#9".into()).to_string(),
+            "unknown object: obj#9"
+        );
+        assert_eq!(
+            MinosError::parse(12, "unknown tag .xx").to_string(),
+            "parse error at line 12: unknown tag .xx"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&MinosError::Storage("disk full".into()));
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(MinosError::Codec("x".into()), MinosError::Codec("x".into()));
+        assert_ne!(MinosError::Codec("x".into()), MinosError::Codec("y".into()));
+    }
+}

@@ -1,0 +1,368 @@
+//! Integer screen geometry.
+//!
+//! MINOS targets a bitmapped workstation display; views on large images are
+//! "a rectangle overlaid on an image" (§2) and relevances to images are
+//! "closed polygons displayed at the top of the image". All geometry in the
+//! reproduction is integer pixel geometry on that model.
+
+/// A pixel position. `x` grows rightward, `y` grows downward, matching a
+/// raster display.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Point {
+    /// Horizontal coordinate in pixels.
+    pub x: i32,
+    /// Vertical coordinate in pixels.
+    pub y: i32,
+}
+
+impl Point {
+    /// Origin (0, 0).
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Creates a point.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Self { x, y }
+    }
+
+    /// Component-wise translation.
+    pub const fn offset(self, dx: i32, dy: i32) -> Self {
+        Self { x: self.x + dx, y: self.y + dy }
+    }
+
+    /// Squared Euclidean distance to another point (avoids floats; used for
+    /// nearest-object label lookup).
+    pub fn distance_sq(self, other: Point) -> i64 {
+        let dx = (self.x - other.x) as i64;
+        let dy = (self.y - other.y) as i64;
+        dx * dx + dy * dy
+    }
+}
+
+/// A pixel extent.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Size {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl Size {
+    /// Creates a size.
+    pub const fn new(width: u32, height: u32) -> Self {
+        Self { width, height }
+    }
+
+    /// Pixel area.
+    pub const fn area(self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Whether either dimension is zero.
+    pub const fn is_empty(self) -> bool {
+        self.width == 0 || self.height == 0
+    }
+
+    /// Scales both dimensions by a rational factor `num/den`, rounding down
+    /// but never below 1 for a non-empty size. Used when views are "shrunk or
+    /// expanded by small quantities at a time" (§2) and when producing
+    /// miniatures.
+    pub fn scale(self, num: u32, den: u32) -> Size {
+        assert!(den > 0, "scale denominator must be positive");
+        let scale_dim = |d: u32| -> u32 {
+            if d == 0 {
+                0
+            } else {
+                ((d as u64 * num as u64) / den as u64).max(1) as u32
+            }
+        };
+        Size::new(scale_dim(self.width), scale_dim(self.height))
+    }
+}
+
+/// An axis-aligned pixel rectangle, defined by its top-left corner and size.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Rect {
+    /// Top-left corner.
+    pub origin: Point,
+    /// Extent.
+    pub size: Size,
+}
+
+impl Rect {
+    /// Creates a rectangle from corner coordinates and size.
+    pub const fn new(x: i32, y: i32, width: u32, height: u32) -> Self {
+        Self { origin: Point::new(x, y), size: Size::new(width, height) }
+    }
+
+    /// Creates a rectangle at the origin with the given size.
+    pub const fn of_size(size: Size) -> Self {
+        Self { origin: Point::ORIGIN, size }
+    }
+
+    /// Left edge.
+    pub const fn left(self) -> i32 {
+        self.origin.x
+    }
+
+    /// Top edge.
+    pub const fn top(self) -> i32 {
+        self.origin.y
+    }
+
+    /// One past the right edge.
+    pub const fn right(self) -> i32 {
+        self.origin.x + self.size.width as i32
+    }
+
+    /// One past the bottom edge.
+    pub const fn bottom(self) -> i32 {
+        self.origin.y + self.size.height as i32
+    }
+
+    /// Pixel area.
+    pub const fn area(self) -> u64 {
+        self.size.area()
+    }
+
+    /// Whether the rectangle covers no pixels.
+    pub const fn is_empty(self) -> bool {
+        self.size.is_empty()
+    }
+
+    /// Whether `p` lies inside the rectangle (half-open on right/bottom).
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= self.left() && p.x < self.right() && p.y >= self.top() && p.y < self.bottom()
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    pub fn contains_rect(self, other: Rect) -> bool {
+        other.is_empty()
+            || (other.left() >= self.left()
+                && other.right() <= self.right()
+                && other.top() >= self.top()
+                && other.bottom() <= self.bottom())
+    }
+
+    /// Intersection of two rectangles; `None` when disjoint.
+    pub fn intersect(self, other: Rect) -> Option<Rect> {
+        let left = self.left().max(other.left());
+        let top = self.top().max(other.top());
+        let right = self.right().min(other.right());
+        let bottom = self.bottom().min(other.bottom());
+        if left < right && top < bottom {
+            Some(Rect::new(left, top, (right - left) as u32, (bottom - top) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Whether two rectangles overlap in at least one pixel.
+    pub fn intersects(self, other: Rect) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Translates the rectangle.
+    pub fn translate(self, dx: i32, dy: i32) -> Rect {
+        Rect { origin: self.origin.offset(dx, dy), size: self.size }
+    }
+
+    /// Moves the rectangle so its top-left corner is at `p`.
+    pub fn at(self, p: Point) -> Rect {
+        Rect { origin: p, size: self.size }
+    }
+
+    /// Clamps the rectangle so that it lies within `bounds`, preserving its
+    /// size when possible (shrinking only if it is larger than the bounds).
+    /// This is how a view is kept on top of its image as the user moves it.
+    pub fn clamp_within(self, bounds: Rect) -> Rect {
+        let width = self.size.width.min(bounds.size.width);
+        let height = self.size.height.min(bounds.size.height);
+        let max_x = bounds.right() - width as i32;
+        let max_y = bounds.bottom() - height as i32;
+        let x = self.left().clamp(bounds.left(), max_x.max(bounds.left()));
+        let y = self.top().clamp(bounds.top(), max_y.max(bounds.top()));
+        Rect::new(x, y, width, height)
+    }
+
+    /// Centre point (rounded toward the top-left for even sizes).
+    pub fn center(self) -> Point {
+        Point::new(
+            self.left() + (self.size.width / 2) as i32,
+            self.top() + (self.size.height / 2) as i32,
+        )
+    }
+}
+
+/// Tests whether point `p` lies inside the closed polygon `vertices` using
+/// the even-odd rule. Polygons mark relevances on images (§2: "Relevances to
+/// images are indicated by closed polygons displayed at the top of the
+/// image").
+pub fn polygon_contains(vertices: &[Point], p: Point) -> bool {
+    if vertices.len() < 3 {
+        return false;
+    }
+    let mut inside = false;
+    let mut j = vertices.len() - 1;
+    for i in 0..vertices.len() {
+        let (vi, vj) = (vertices[i], vertices[j]);
+        // Ray cast to the right; count crossings of edges that straddle p.y.
+        if (vi.y > p.y) != (vj.y > p.y) {
+            let dy = (vj.y - vi.y) as i64;
+            let t_num = (p.y - vi.y) as i64;
+            let x_cross = vi.x as i64 + t_num * (vj.x - vi.x) as i64 / dy;
+            if (p.x as i64) < x_cross {
+                inside = !inside;
+            }
+        }
+        j = i;
+    }
+    inside
+}
+
+/// Axis-aligned bounding box of a set of points; `None` when empty.
+pub fn bounding_box(points: &[Point]) -> Option<Rect> {
+    let first = points.first()?;
+    let mut min_x = first.x;
+    let mut min_y = first.y;
+    let mut max_x = first.x;
+    let mut max_y = first.y;
+    for p in &points[1..] {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    Some(Rect::new(min_x, min_y, (max_x - min_x + 1) as u32, (max_y - min_y + 1) as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_edges() {
+        let r = Rect::new(10, 20, 30, 40);
+        assert_eq!((r.left(), r.top(), r.right(), r.bottom()), (10, 20, 40, 60));
+        assert_eq!(r.area(), 1200);
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = Rect::new(0, 0, 10, 10);
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(r.contains(Point::new(9, 9)));
+        assert!(!r.contains(Point::new(10, 9)));
+        assert!(!r.contains(Point::new(9, 10)));
+        assert!(!r.contains(Point::new(-1, 5)));
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        assert_eq!(a.intersect(b), Some(Rect::new(5, 5, 5, 5)));
+        assert!(a.intersects(b));
+    }
+
+    #[test]
+    fn intersect_disjoint_and_touching() {
+        let a = Rect::new(0, 0, 10, 10);
+        assert_eq!(a.intersect(Rect::new(20, 20, 5, 5)), None);
+        // Rectangles sharing only an edge do not intersect (half-open).
+        assert_eq!(a.intersect(Rect::new(10, 0, 5, 10)), None);
+    }
+
+    #[test]
+    fn intersect_is_commutative() {
+        let a = Rect::new(-3, -3, 8, 8);
+        let b = Rect::new(0, 0, 10, 2);
+        assert_eq!(a.intersect(b), b.intersect(a));
+    }
+
+    #[test]
+    fn contains_rect_accepts_empty() {
+        let a = Rect::new(0, 0, 10, 10);
+        assert!(a.contains_rect(Rect::new(100, 100, 0, 0)));
+        assert!(a.contains_rect(Rect::new(2, 2, 5, 5)));
+        assert!(!a.contains_rect(Rect::new(2, 2, 20, 5)));
+    }
+
+    #[test]
+    fn clamp_within_keeps_size() {
+        let bounds = Rect::new(0, 0, 100, 100);
+        let v = Rect::new(95, -5, 20, 20);
+        let c = v.clamp_within(bounds);
+        assert_eq!(c, Rect::new(80, 0, 20, 20));
+        assert!(bounds.contains_rect(c));
+    }
+
+    #[test]
+    fn clamp_within_shrinks_oversized() {
+        let bounds = Rect::new(0, 0, 50, 50);
+        let v = Rect::new(-10, -10, 200, 30);
+        let c = v.clamp_within(bounds);
+        assert_eq!(c.size, Size::new(50, 30));
+        assert!(bounds.contains_rect(c));
+    }
+
+    #[test]
+    fn size_scale_rounds_down_but_not_to_zero() {
+        assert_eq!(Size::new(100, 50).scale(1, 2), Size::new(50, 25));
+        assert_eq!(Size::new(3, 3).scale(1, 10), Size::new(1, 1));
+        assert_eq!(Size::new(0, 10).scale(1, 2), Size::new(0, 5));
+    }
+
+    #[test]
+    fn polygon_contains_square() {
+        let square = [
+            Point::new(0, 0),
+            Point::new(10, 0),
+            Point::new(10, 10),
+            Point::new(0, 10),
+        ];
+        assert!(polygon_contains(&square, Point::new(5, 5)));
+        assert!(!polygon_contains(&square, Point::new(15, 5)));
+        assert!(!polygon_contains(&square, Point::new(-1, 5)));
+    }
+
+    #[test]
+    fn polygon_contains_concave() {
+        // An L-shape: the notch at top-right must be outside.
+        let l_shape = [
+            Point::new(0, 0),
+            Point::new(4, 0),
+            Point::new(4, 4),
+            Point::new(8, 4),
+            Point::new(8, 8),
+            Point::new(0, 8),
+        ];
+        assert!(polygon_contains(&l_shape, Point::new(2, 2)));
+        assert!(polygon_contains(&l_shape, Point::new(6, 6)));
+        assert!(!polygon_contains(&l_shape, Point::new(6, 2)));
+    }
+
+    #[test]
+    fn polygon_degenerate_is_empty() {
+        assert!(!polygon_contains(&[], Point::ORIGIN));
+        assert!(!polygon_contains(&[Point::ORIGIN, Point::new(5, 5)], Point::new(2, 2)));
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [Point::new(3, 7), Point::new(-2, 4), Point::new(9, 5)];
+        assert_eq!(bounding_box(&pts), Some(Rect::new(-2, 4, 12, 4)));
+        assert_eq!(bounding_box(&[]), None);
+    }
+
+    #[test]
+    fn center_of_rect() {
+        assert_eq!(Rect::new(0, 0, 10, 10).center(), Point::new(5, 5));
+        assert_eq!(Rect::new(2, 2, 3, 3).center(), Point::new(3, 3));
+    }
+
+    #[test]
+    fn distance_sq() {
+        assert_eq!(Point::new(0, 0).distance_sq(Point::new(3, 4)), 25);
+    }
+}

@@ -1,0 +1,241 @@
+//! Strongly typed identifiers.
+//!
+//! The paper assigns "a unique object identifier" to every multimedia object
+//! (§2) and refers to parts, segments, data files and versions throughout.
+//! Newtypes keep those id spaces from being confused with one another.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw identifier value.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw identifier value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Unique identifier of a multimedia object (§2: "A unique object
+    /// identifier is associated with each multimedia object").
+    ObjectId,
+    "obj#"
+);
+
+id_type!(
+    /// Identifier of a segment (text segment, voice segment or image) within
+    /// a multimedia object part.
+    SegmentId,
+    "seg#"
+);
+
+id_type!(
+    /// Identifier of a data file inside a multimedia object file (§4: the
+    /// editing-state object is "a set of files organized within a
+    /// directory").
+    DataFileId,
+    "file#"
+);
+
+id_type!(
+    /// Version of an archived object. The archiver provides "version
+    /// control" (§5); archived objects are immutable, so a new version is a
+    /// new appended object that shares data with its predecessor.
+    VersionId,
+    "v"
+);
+
+/// Index of a part within a multimedia object (0-based position inside the
+/// object text part, voice part or image part collections).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PartIndex(pub u32);
+
+impl PartIndex {
+    /// Wraps a raw part index.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw index as a `usize` for slice indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PartIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "part[{}]", self.0)
+    }
+}
+
+/// A 1-based page number as shown to the user.
+///
+/// Visual pages and audio pages are both numbered from 1 in menu options
+/// ("find a page with a given page number", §2). Internally the engines use
+/// 0-based indices; this type is the user-facing form and the conversion
+/// point between the two.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PageNumber(pub u32);
+
+impl PageNumber {
+    /// First page.
+    pub const FIRST: PageNumber = PageNumber(1);
+
+    /// Creates a page number from a 1-based value. Returns `None` for 0,
+    /// which is not a valid page number.
+    pub fn new(one_based: u32) -> Option<Self> {
+        (one_based >= 1).then_some(Self(one_based))
+    }
+
+    /// Creates a page number from a 0-based engine index.
+    pub fn from_index(index: usize) -> Self {
+        Self(index as u32 + 1)
+    }
+
+    /// The 0-based engine index of this page.
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// The page `n` pages forward, saturating.
+    pub fn forward(self, n: u32) -> Self {
+        Self(self.0.saturating_add(n))
+    }
+
+    /// The page `n` pages back, saturating at the first page.
+    pub fn back(self, n: u32) -> Self {
+        Self(self.0.saturating_sub(n).max(1))
+    }
+}
+
+impl fmt::Display for PageNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page {}", self.0)
+    }
+}
+
+/// Allocates monotonically increasing identifiers for one id space.
+///
+/// Formatter and archiver components use one allocator per id space so that
+/// identifiers are never reused within a run, mirroring the paper's unique
+/// object identifiers.
+#[derive(Debug, Default)]
+pub struct IdAllocator {
+    next: u64,
+}
+
+impl IdAllocator {
+    /// Creates an allocator that starts at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an allocator that starts at `first`.
+    pub fn starting_at(first: u64) -> Self {
+        Self { next: first }
+    }
+
+    /// Returns the next raw identifier.
+    pub fn next_raw(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// Returns the next identifier wrapped in the requested id type.
+    pub fn next_id<T: From<u64>>(&mut self) -> T {
+        T::from(self.next_raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_uses_prefix() {
+        assert_eq!(ObjectId::new(7).to_string(), "obj#7");
+        assert_eq!(SegmentId::new(3).to_string(), "seg#3");
+        assert_eq!(VersionId::new(2).to_string(), "v2");
+        assert_eq!(format!("{:?}", DataFileId::new(9)), "file#9");
+    }
+
+    #[test]
+    fn id_round_trips_raw_value() {
+        let id = ObjectId::from(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(ObjectId::new(42), id);
+    }
+
+    #[test]
+    fn page_number_rejects_zero() {
+        assert_eq!(PageNumber::new(0), None);
+        assert_eq!(PageNumber::new(1), Some(PageNumber::FIRST));
+    }
+
+    #[test]
+    fn page_number_index_round_trip() {
+        for i in 0..100 {
+            assert_eq!(PageNumber::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn page_number_back_saturates_at_first_page() {
+        let p = PageNumber::new(3).unwrap();
+        assert_eq!(p.back(2), PageNumber::FIRST);
+        assert_eq!(p.back(200), PageNumber::FIRST);
+        assert_eq!(p.forward(2), PageNumber::new(5).unwrap());
+    }
+
+    #[test]
+    fn allocator_is_monotonic_and_dense() {
+        let mut alloc = IdAllocator::new();
+        let a: ObjectId = alloc.next_id();
+        let b: ObjectId = alloc.next_id();
+        let c: ObjectId = alloc.next_id();
+        assert_eq!((a.raw(), b.raw(), c.raw()), (0, 1, 2));
+    }
+
+    #[test]
+    fn allocator_starting_at_respects_origin() {
+        let mut alloc = IdAllocator::starting_at(100);
+        assert_eq!(alloc.next_raw(), 100);
+        assert_eq!(alloc.next_raw(), 101);
+    }
+
+    #[test]
+    fn part_index_as_usize() {
+        assert_eq!(PartIndex::new(4).as_usize(), 4);
+        assert_eq!(PartIndex::new(4).to_string(), "part[4]");
+    }
+}

@@ -1,0 +1,244 @@
+//! Spans: half-open intervals over bytes, characters and simulated time.
+//!
+//! The object descriptor "points either to offsets within the composition
+//! file or to offsets within the archiver" (§4) — those are [`ByteSpan`]s.
+//! Logical messages attach to text segments identified by "two points
+//! \[which\] identify the beginning and the end" (§2) — those are
+//! [`CharSpan`]s. Voice segments and audio pages are [`TimeSpan`]s.
+
+use crate::time::{SimDuration, SimInstant};
+use std::fmt;
+
+macro_rules! span_common {
+    ($name:ident, $unit:ty, $len:ty) => {
+        impl $name {
+            /// Creates a span. Panics if `start > end`.
+            pub fn new(start: $unit, end: $unit) -> Self {
+                assert!(start <= end, concat!(stringify!($name), ": start must be <= end"));
+                Self { start, end }
+            }
+
+            /// An empty span at `at`.
+            pub fn empty_at(at: $unit) -> Self {
+                Self { start: at, end: at }
+            }
+
+            /// Whether the span covers nothing.
+            pub fn is_empty(&self) -> bool {
+                self.start == self.end
+            }
+
+            /// Whether `pos` falls inside the half-open interval.
+            pub fn contains(&self, pos: $unit) -> bool {
+                pos >= self.start && pos < self.end
+            }
+
+            /// Whether the two spans share any position. Empty spans overlap
+            /// nothing. Overlap matters because "voice logical messages may
+            /// be attached to overlapping text segments" (§2) and the
+            /// triggering engine must detect entry into each.
+            pub fn overlaps(&self, other: &Self) -> bool {
+                !self.is_empty()
+                    && !other.is_empty()
+                    && self.start < other.end
+                    && other.start < self.end
+            }
+
+            /// Whether `other` lies entirely within `self`.
+            pub fn contains_span(&self, other: &Self) -> bool {
+                other.start >= self.start && other.end <= self.end
+            }
+        }
+    };
+}
+
+/// Half-open interval of byte offsets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct ByteSpan {
+    /// First byte covered.
+    pub start: u64,
+    /// One past the last byte covered.
+    pub end: u64,
+}
+
+span_common!(ByteSpan, u64, u64);
+
+impl ByteSpan {
+    /// Creates a span from a start offset and a length.
+    pub fn at(start: u64, len: u64) -> Self {
+        Self { start, end: start + len }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// The span shifted `delta` bytes later. Archival "increments the
+    /// offsets of the descriptor by the offset where the composition file is
+    /// placed within the archiver" (§4) — this is that operation.
+    pub fn rebased(self, delta: u64) -> ByteSpan {
+        ByteSpan { start: self.start + delta, end: self.end + delta }
+    }
+}
+
+impl fmt::Display for ByteSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytes[{}..{})", self.start, self.end)
+    }
+}
+
+/// Half-open interval of character (not byte) offsets within a text part.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct CharSpan {
+    /// First character covered.
+    pub start: u32,
+    /// One past the last character covered.
+    pub end: u32,
+}
+
+span_common!(CharSpan, u32, u32);
+
+impl CharSpan {
+    /// Creates a span from a start offset and a length.
+    pub fn at(start: u32, len: u32) -> Self {
+        Self { start, end: start + len }
+    }
+
+    /// Number of characters covered.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+}
+
+impl fmt::Display for CharSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chars[{}..{})", self.start, self.end)
+    }
+}
+
+/// Half-open interval of simulated time inside a voice part, measured from
+/// the start of that voice part.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct TimeSpan {
+    /// Start instant (relative to the containing voice part).
+    pub start: SimInstant,
+    /// End instant (exclusive).
+    pub end: SimInstant,
+}
+
+impl TimeSpan {
+    /// Creates a span. Panics if `start > end`.
+    pub fn new(start: SimInstant, end: SimInstant) -> Self {
+        assert!(start <= end, "TimeSpan: start must be <= end");
+        Self { start, end }
+    }
+
+    /// A span starting at `start` lasting `d`.
+    pub fn starting_at(start: SimInstant, d: SimDuration) -> Self {
+        Self { start, end: start + d }
+    }
+
+    /// An empty span at `at`.
+    pub fn empty_at(at: SimInstant) -> Self {
+        Self { start: at, end: at }
+    }
+
+    /// Length of the span.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+
+    /// Whether the span covers no time.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `t` falls inside the half-open interval.
+    pub fn contains(&self, t: SimInstant) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Whether two spans share any instant. Empty spans overlap nothing.
+    pub fn overlaps(&self, other: &TimeSpan) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+
+    /// Whether `other` lies entirely within `self`.
+    pub fn contains_span(&self, other: &TimeSpan) -> bool {
+        other.start >= self.start && other.end <= self.end
+    }
+}
+
+impl fmt::Display for TimeSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "time[{}..{})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_span_basics() {
+        let s = ByteSpan::at(10, 5);
+        assert_eq!(s, ByteSpan::new(10, 15));
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(10));
+        assert!(s.contains(14));
+        assert!(!s.contains(15));
+        assert!(!s.is_empty());
+        assert_eq!(s.to_string(), "bytes[10..15)");
+    }
+
+    #[test]
+    fn byte_span_rebase() {
+        let s = ByteSpan::at(10, 5).rebased(100);
+        assert_eq!(s, ByteSpan::new(110, 115));
+    }
+
+    #[test]
+    #[should_panic(expected = "start must be <= end")]
+    fn byte_span_rejects_inverted() {
+        let _ = ByteSpan::new(5, 3);
+    }
+
+    #[test]
+    fn char_span_overlap_rules() {
+        let a = CharSpan::new(0, 10);
+        let b = CharSpan::new(5, 15);
+        let c = CharSpan::new(10, 20);
+        let e = CharSpan::empty_at(5);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // touching, half-open: no overlap
+        assert!(!a.overlaps(&e)); // empty spans overlap nothing
+        assert!(a.contains_span(&CharSpan::new(2, 8)));
+        assert!(!a.contains_span(&b));
+    }
+
+    #[test]
+    fn time_span_duration() {
+        let s = TimeSpan::starting_at(SimInstant::from_micros(100), SimDuration::from_micros(50));
+        assert_eq!(s.duration(), SimDuration::from_micros(50));
+        assert!(s.contains(SimInstant::from_micros(100)));
+        assert!(!s.contains(SimInstant::from_micros(150)));
+    }
+
+    #[test]
+    fn time_span_overlap() {
+        let a = TimeSpan::new(SimInstant::from_micros(0), SimInstant::from_micros(10));
+        let b = TimeSpan::new(SimInstant::from_micros(9), SimInstant::from_micros(20));
+        let c = TimeSpan::new(SimInstant::from_micros(10), SimInstant::from_micros(20));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(TimeSpan::empty_at(SimInstant::from_micros(5)).is_empty());
+    }
+
+    #[test]
+    fn span_empty_at_contains_nothing() {
+        let e = ByteSpan::empty_at(7);
+        assert!(!e.contains(7));
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! The simulated clock.
+//!
+//! The original MINOS ran against real hardware: voice boards played samples
+//! in real time, optical disks imposed seek and rotation delays, Ethernet
+//! links imposed transfer times. The reproduction replaces all of those with
+//! a single discrete simulated clock with microsecond resolution. Device
+//! models *charge* durations to the clock; browsing engines *schedule*
+//! against it. Because the clock is explicit, every experiment is
+//! deterministic and runs as fast as the host CPU allows while still
+//! reporting hardware-faithful latencies.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span of simulated time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * 1_000_000)
+    }
+
+    /// The duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in whole milliseconds (rounded down).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The duration in seconds as a float, for reporting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked scaling by a rational factor, rounding to nearest.
+    pub fn mul_ratio(self, num: u64, den: u64) -> SimDuration {
+        assert!(den > 0, "ratio denominator must be positive");
+        SimDuration((self.0.saturating_mul(num) + den / 2) / den)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// A point on the simulated timeline, in microseconds since simulation
+/// start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimInstant(u64);
+
+impl SimInstant {
+    /// Simulation start.
+    pub const EPOCH: SimInstant = SimInstant(0);
+
+    /// Creates an instant at the given microsecond offset.
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us)
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since an earlier instant.
+    pub fn since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration(self.0.checked_sub(earlier.0).expect("instant ordering violated"))
+    }
+
+    /// Saturating duration since another instant (zero if `other` is later).
+    pub fn saturating_since(self, other: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0 + rhs.as_micros())
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+/// The simulation clock.
+///
+/// A `SimClock` only ever moves forward. Components either `advance` it by a
+/// charged duration (a disk transfer, a link delay, playing an audio page) or
+/// `advance_to` a scheduled instant (discrete-event simulation in the server
+/// queueing experiments).
+#[derive(Debug, Default, Clone)]
+pub struct SimClock {
+    now: SimInstant,
+}
+
+impl SimClock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&mut self, d: SimDuration) -> SimInstant {
+        self.now = self.now + d;
+        self.now
+    }
+
+    /// Advances the clock to `t`. Panics if `t` is in the past: simulated
+    /// time never rewinds.
+    pub fn advance_to(&mut self, t: SimInstant) {
+        assert!(t >= self.now, "simulated clock cannot move backwards");
+        self.now = t;
+    }
+
+    /// Advances to `t` only if `t` is later than now (convenient when
+    /// merging independent event streams).
+    pub fn advance_to_at_least(&mut self, t: SimInstant) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(10);
+        let b = SimDuration::from_millis(4);
+        assert_eq!(a + b, SimDuration::from_millis(14));
+        assert_eq!(a - b, SimDuration::from_millis(6));
+        assert_eq!(a * 3, SimDuration::from_millis(30));
+        assert_eq!(a / 2, SimDuration::from_millis(5));
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn duration_sub_underflow_panics() {
+        let _ = SimDuration::from_millis(1) - SimDuration::from_millis(2);
+    }
+
+    #[test]
+    fn mul_ratio_rounds_to_nearest() {
+        assert_eq!(SimDuration::from_micros(10).mul_ratio(1, 3), SimDuration::from_micros(3));
+        assert_eq!(SimDuration::from_micros(10).mul_ratio(1, 4), SimDuration::from_micros(3)); // 2.5 -> 3
+        assert_eq!(SimDuration::from_micros(100).mul_ratio(3, 2), SimDuration::from_micros(150));
+    }
+
+    #[test]
+    fn instant_ordering_and_since() {
+        let t0 = SimInstant::EPOCH;
+        let t1 = t0 + SimDuration::from_millis(5);
+        assert!(t1 > t0);
+        assert_eq!(t1.since(t0), SimDuration::from_millis(5));
+        assert_eq!(t0.saturating_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut clock = SimClock::new();
+        clock.advance(SimDuration::from_millis(1));
+        let t = clock.now();
+        clock.advance_to(t + SimDuration::from_millis(2));
+        assert_eq!(clock.now().as_micros(), 3_000);
+        clock.advance_to_at_least(SimInstant::from_micros(1_000)); // in the past: no-op
+        assert_eq!(clock.now().as_micros(), 3_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn clock_rejects_rewind() {
+        let mut clock = SimClock::new();
+        clock.advance(SimDuration::from_millis(2));
+        clock.advance_to(SimInstant::from_micros(500));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12us");
+        assert_eq!(SimDuration::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_millis(2_500).to_string(), "2.500s");
+        assert_eq!(SimInstant::from_micros(42).to_string(), "t+42us");
+    }
+}

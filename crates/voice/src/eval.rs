@@ -1,0 +1,205 @@
+//! Ground-truth evaluation of pause browsing (experiment E2).
+//!
+//! The paper concedes that pause-based browsing has "no guarantee that
+//! these mechanisms will match word boundaries and paragraph boundaries"
+//! (§2) but argues the combination of short and long rewinds gives usable
+//! browsing "near the current context". Because the reproduction's speech
+//! is synthetic, we can *measure* that claim: how many true gaps the
+//! detector finds, how often its long/short labels agree with the speaker's
+//! word/sentence vs paragraph boundaries, and how far (in words) an
+//! "N short pauses back" rewind lands from the ideal "N words back" target.
+
+use crate::pause::{rewind_position, DetectedPause, PauseKind};
+use crate::transcript::{GapKind, Transcript};
+
+/// Detection and classification quality against ground truth.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PauseEvalReport {
+    /// True silence gaps in the speech.
+    pub true_gaps: usize,
+    /// Pauses the detector reported.
+    pub detected: usize,
+    /// Detected pauses overlapping some true gap.
+    pub matched: usize,
+    /// Fraction of detections that are real gaps.
+    pub precision: f64,
+    /// Fraction of real gaps that were detected.
+    pub recall: f64,
+    /// Of detected pauses overlapping *paragraph* gaps, the fraction
+    /// classified long.
+    pub long_recall: f64,
+    /// Of pauses classified long, the fraction overlapping paragraph gaps.
+    pub long_precision: f64,
+}
+
+/// Compares detected pauses to the transcript's true gaps.
+pub fn evaluate_pauses(transcript: &Transcript, pauses: &[DetectedPause]) -> PauseEvalReport {
+    let true_gaps = transcript.gaps.len();
+    let detected = pauses.len();
+    let mut matched = 0;
+    let mut long_detected = 0;
+    let mut long_correct = 0;
+    let mut paragraph_gaps = 0;
+    let mut paragraph_found_long = 0;
+
+    for p in pauses {
+        let overlapping = transcript.gaps.iter().find(|g| g.span.overlaps(&p.span));
+        if overlapping.is_some() {
+            matched += 1;
+        }
+        if p.kind == PauseKind::Long {
+            long_detected += 1;
+            if overlapping.map(|g| g.kind == GapKind::Paragraph).unwrap_or(false) {
+                long_correct += 1;
+            }
+        }
+    }
+    for g in &transcript.gaps {
+        if g.kind == GapKind::Paragraph {
+            paragraph_gaps += 1;
+            if pauses
+                .iter()
+                .any(|p| p.kind == PauseKind::Long && p.span.overlaps(&g.span))
+            {
+                paragraph_found_long += 1;
+            }
+        }
+    }
+
+    let ratio = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    // A detected pause can only match one gap; count distinct matched gaps
+    // for recall.
+    let matched_gaps = transcript
+        .gaps
+        .iter()
+        .filter(|g| pauses.iter().any(|p| p.span.overlaps(&g.span)))
+        .count();
+
+    PauseEvalReport {
+        true_gaps,
+        detected,
+        matched,
+        precision: ratio(matched, detected),
+        recall: ratio(matched_gaps, true_gaps),
+        long_recall: ratio(paragraph_found_long, paragraph_gaps),
+        long_precision: ratio(long_correct, long_detected),
+    }
+}
+
+/// Outcome of one simulated rewind interaction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RewindOutcome {
+    /// Word index the user was hearing when they rewound.
+    pub from_word: usize,
+    /// Word index they intended to reach (`from_word - n`).
+    pub target_word: usize,
+    /// Word index playback actually resumed at.
+    pub landed_word: usize,
+    /// |landed − target| in words: the paper's "no guarantee" quantified.
+    pub error_words: usize,
+}
+
+/// Simulates "rewind `n` short pauses to go back `n` words" from the start
+/// of word `from_word`, returning where playback lands relative to the
+/// intended word. Returns `None` if `from_word` is out of range.
+pub fn rewind_word_accuracy(
+    transcript: &Transcript,
+    pauses: &[DetectedPause],
+    from_word: usize,
+    n: usize,
+) -> Option<RewindOutcome> {
+    let from = transcript.words.get(from_word)?.span.start;
+    let target_word = from_word.saturating_sub(n);
+    let landed_at = rewind_position(pauses, PauseKind::Short, n, from);
+    let landed_word = transcript.word_at_or_after(landed_at).unwrap_or(transcript.words.len());
+    Some(RewindOutcome {
+        from_word,
+        target_word,
+        landed_word,
+        error_words: landed_word.abs_diff(target_word),
+    })
+}
+
+/// Mean rewind error (in words) over every feasible `(from, n)` pair with
+/// the given `n`, the series experiment E2 reports.
+pub fn mean_rewind_error(transcript: &Transcript, pauses: &[DetectedPause], n: usize) -> f64 {
+    let mut total = 0usize;
+    let mut count = 0usize;
+    for from in n..transcript.words.len() {
+        if let Some(outcome) = rewind_word_accuracy(transcript, pauses, from, n) {
+            total += outcome.error_words;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pause::PauseDetector;
+    use crate::synth::{synthesize, SpeakerProfile};
+
+    const TEXT: &str = "alpha beta gamma delta epsilon. zeta eta theta iota kappa.\n\
+                        lambda mu nu xi omicron. pi rho sigma tau upsilon.";
+
+    #[test]
+    fn clear_speech_evaluates_well() {
+        let (audio, tr) = synthesize(TEXT, &SpeakerProfile::CLEAR, 21);
+        let pauses = PauseDetector::new().detect(&audio);
+        let report = evaluate_pauses(&tr, &pauses);
+        assert!(report.precision > 0.9, "precision {}", report.precision);
+        assert!(report.recall > 0.9, "recall {}", report.recall);
+        assert!(report.long_recall > 0.9, "long recall {}", report.long_recall);
+    }
+
+    #[test]
+    fn noisy_speech_degrades_gracefully() {
+        let (audio, tr) = synthesize(TEXT, &SpeakerProfile::NOISY, 21);
+        let pauses = PauseDetector::new().detect(&audio);
+        let report = evaluate_pauses(&tr, &pauses);
+        // Still functional, but quantifiably worse than perfect.
+        assert!(report.recall > 0.3, "recall {}", report.recall);
+    }
+
+    #[test]
+    fn rewind_on_clear_speech_is_accurate() {
+        let (audio, tr) = synthesize(TEXT, &SpeakerProfile::CLEAR, 33);
+        let pauses = PauseDetector::new().detect(&audio);
+        for n in 1..=3 {
+            let err = mean_rewind_error(&tr, &pauses, n);
+            assert!(err <= 1.5, "mean rewind error {err} for n={n}");
+        }
+    }
+
+    #[test]
+    fn rewind_outcome_fields_are_consistent() {
+        let (audio, tr) = synthesize(TEXT, &SpeakerProfile::CLEAR, 3);
+        let pauses = PauseDetector::new().detect(&audio);
+        let o = rewind_word_accuracy(&tr, &pauses, 5, 2).unwrap();
+        assert_eq!(o.from_word, 5);
+        assert_eq!(o.target_word, 3);
+        assert_eq!(o.error_words, o.landed_word.abs_diff(o.target_word));
+    }
+
+    #[test]
+    fn rewind_from_out_of_range_word_is_none() {
+        let (audio, tr) = synthesize("a b c", &SpeakerProfile::CLEAR, 3);
+        let pauses = PauseDetector::new().detect(&audio);
+        assert!(rewind_word_accuracy(&tr, &pauses, 99, 1).is_none());
+    }
+
+    #[test]
+    fn empty_inputs_give_zeroed_report() {
+        let report = evaluate_pauses(&Transcript::default(), &[]);
+        assert_eq!(report.true_gaps, 0);
+        assert_eq!(report.detected, 0);
+        assert_eq!(report.precision, 0.0);
+        assert_eq!(report.recall, 0.0);
+        assert_eq!(mean_rewind_error(&Transcript::default(), &[], 1), 0.0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Energy-based pause detection with adaptive short/long classification.
+//!
+//! "Pause is a segment of digitized voice which does not contain any sound
+//! (in practice the intensity of the registered sound is very small). The
+//! user may specify that the audio is replayed starting from a number of
+//! short or long pauses back from the current position. … The exact timing
+//! for short, and long pauses depends on the speaker and the section of the
+//! speech. It is decided from the current context by sampling." (§2)
+//!
+//! Detection thresholds window energy against a fraction of the buffer's
+//! peak; classification clusters the durations of *nearby* pauses
+//! (two-means over the context window), so a fast talker's 120 ms breath
+//! can be a long pause while a slow dictator's 120 ms gap is a short one —
+//! exactly the speaker-adaptivity the paper asks for.
+
+use crate::pcm::AudioBuffer;
+use minos_types::{SimDuration, SimInstant, TimeSpan};
+
+/// Short vs long pause, the two rewind granularities of §2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PauseKind {
+    /// Roughly a word-boundary pause.
+    Short,
+    /// Roughly a paragraph-boundary pause.
+    Long,
+}
+
+/// A detected silence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetectedPause {
+    /// When the silence occupies the voice part.
+    pub span: TimeSpan,
+    /// Adaptive classification.
+    pub kind: PauseKind,
+}
+
+/// Detector configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PauseDetectorConfig {
+    /// Energy analysis window.
+    pub window: SimDuration,
+    /// Silence threshold as a fraction of the buffer's peak mean-abs window
+    /// energy.
+    pub threshold_ratio: f64,
+    /// Gaps shorter than this are intra-word articulation, not pauses.
+    pub min_pause: SimDuration,
+    /// Width of the context sampled around each pause for adaptive
+    /// classification.
+    pub context: SimDuration,
+}
+
+impl Default for PauseDetectorConfig {
+    fn default() -> Self {
+        PauseDetectorConfig {
+            window: SimDuration::from_millis(10),
+            threshold_ratio: 0.12,
+            min_pause: SimDuration::from_millis(25),
+            context: SimDuration::from_secs(45),
+        }
+    }
+}
+
+/// The pause detector.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PauseDetector {
+    config: PauseDetectorConfig,
+}
+
+impl PauseDetector {
+    /// Creates a detector with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a detector with an explicit configuration.
+    pub fn with_config(config: PauseDetectorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> PauseDetectorConfig {
+        self.config
+    }
+
+    /// Detects and classifies all pauses in `audio`.
+    pub fn detect(&self, audio: &AudioBuffer) -> Vec<DetectedPause> {
+        let raw = self.silent_spans(audio);
+        self.classify(&raw)
+    }
+
+    /// Phase 1: silence spans by energy thresholding.
+    fn silent_spans(&self, audio: &AudioBuffer) -> Vec<TimeSpan> {
+        if audio.is_empty() {
+            return Vec::new();
+        }
+        let windows = audio.energy_windows(self.config.window);
+        let peak = windows.iter().map(|&(_, e)| e).max().unwrap_or(0);
+        if peak == 0 {
+            // All silence: one pause covering everything.
+            return vec![TimeSpan::new(SimInstant::EPOCH, SimInstant::EPOCH + audio.duration())];
+        }
+        // Threshold: a fraction of the peak window energy, but never below
+        // twice the estimated noise floor (the 10th-percentile window
+        // energy), so that a loud floor — dictation over a telephone line —
+        // still separates from speech. Capped at half the peak so a
+        // pause-free recording cannot push the "floor" into speech energy.
+        let mut energies: Vec<u32> = windows.iter().map(|&(_, e)| e).collect();
+        let p10_idx = energies.len() / 10;
+        let noise_floor = *energies.select_nth_unstable(p10_idx).1;
+        let ratio_threshold = ((peak as f64) * self.config.threshold_ratio).max(1.0) as u32;
+        let threshold = ratio_threshold.max((2 * noise_floor).min(peak / 2));
+        let mut spans: Vec<TimeSpan> = Vec::new();
+        let mut open: Option<usize> = None;
+        for &(start_sample, energy) in &windows {
+            if energy < threshold {
+                if open.is_none() {
+                    open = Some(start_sample);
+                }
+            } else if let Some(s) = open.take() {
+                spans.push(TimeSpan::new(audio.instant_of(s), audio.instant_of(start_sample)));
+            }
+        }
+        if let Some(s) = open {
+            spans.push(TimeSpan::new(
+                audio.instant_of(s),
+                SimInstant::EPOCH + audio.duration(),
+            ));
+        }
+        spans.retain(|s| s.duration() >= self.config.min_pause);
+        spans
+    }
+
+    /// Phase 2: classify each silence as short or long by clustering the
+    /// durations of pauses within the surrounding context window.
+    fn classify(&self, spans: &[TimeSpan]) -> Vec<DetectedPause> {
+        spans
+            .iter()
+            .map(|&span| {
+                let center = span.start;
+                let ctx_lo = center.saturating_since(SimInstant::EPOCH + self.config.context / 2);
+                let ctx_lo = SimInstant::EPOCH + ctx_lo; // clamped lower bound
+                let ctx_hi = center + self.config.context / 2;
+                let context: Vec<u64> = spans
+                    .iter()
+                    .filter(|s| s.start >= ctx_lo && s.start <= ctx_hi)
+                    .map(|s| s.duration().as_micros())
+                    .collect();
+                let kind = classify_duration(span.duration().as_micros(), &context);
+                DetectedPause { span, kind }
+            })
+            .collect()
+    }
+}
+
+/// One-dimensional two-means clustering. Returns the (low, high) cluster
+/// means, or `None` when the input has fewer than two values or converges
+/// to a single cluster.
+fn two_means(values: &[u64]) -> Option<(f64, f64)> {
+    if values.len() < 2 {
+        return None;
+    }
+    let min = *values.iter().min().unwrap() as f64;
+    let max = *values.iter().max().unwrap() as f64;
+    if min == max {
+        return None;
+    }
+    let (mut lo, mut hi) = (min, max);
+    for _ in 0..24 {
+        let mid = (lo + hi) / 2.0;
+        let (mut lo_sum, mut lo_n, mut hi_sum, mut hi_n) = (0.0f64, 0u32, 0.0f64, 0u32);
+        for &d in values {
+            if (d as f64) < mid {
+                lo_sum += d as f64;
+                lo_n += 1;
+            } else {
+                hi_sum += d as f64;
+                hi_n += 1;
+            }
+        }
+        if lo_n == 0 || hi_n == 0 {
+            return None;
+        }
+        let (new_lo, new_hi) = (lo_sum / lo_n as f64, hi_sum / hi_n as f64);
+        let converged = (new_lo - lo).abs() < 1.0 && (new_hi - hi).abs() < 1.0;
+        lo = new_lo;
+        hi = new_hi;
+        if converged {
+            break;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Two-means clustering of pause durations; `duration` is long if it falls
+/// in the upper cluster *and* the clusters are genuinely separated
+/// (mean ratio ≥ 2). With an unimodal context everything is short — a
+/// speech with no paragraph breaks has no long pauses.
+fn classify_duration(duration: u64, context: &[u64]) -> PauseKind {
+    let Some((lo, hi)) = two_means(context) else {
+        return PauseKind::Short;
+    };
+    if hi < 2.0 * lo.max(1.0) {
+        return PauseKind::Short;
+    }
+    let boundary = (lo + hi) / 2.0;
+    if (duration as f64) >= boundary {
+        PauseKind::Long
+    } else {
+        PauseKind::Short
+    }
+}
+
+/// The playback position that results from "replay starting from `n` `kind`
+/// pauses back from `current`" (§2): the end of the n-th matching pause at
+/// or before `current`, i.e. the start of the speech that follows it.
+/// Fewer than `n` such pauses rewinds to the very beginning.
+pub fn rewind_position(
+    pauses: &[DetectedPause],
+    kind: PauseKind,
+    n: usize,
+    current: SimInstant,
+) -> SimInstant {
+    if n == 0 {
+        return current;
+    }
+    let mut seen = 0;
+    for p in pauses.iter().rev() {
+        if p.kind != kind {
+            continue;
+        }
+        if p.span.end > current {
+            continue;
+        }
+        seen += 1;
+        if seen == n {
+            return p.span.end;
+        }
+    }
+    SimInstant::EPOCH
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, SpeakerProfile};
+    use crate::transcript::GapKind;
+
+    fn t(ms: u64) -> SimInstant {
+        SimInstant::from_micros(ms * 1_000)
+    }
+
+    const TEXT: &str = "alpha beta gamma delta epsilon. zeta eta theta iota kappa.\n\
+                        lambda mu nu xi omicron. pi rho sigma tau upsilon.\n\
+                        phi chi psi omega alpha. beta gamma delta epsilon zeta.";
+
+    #[test]
+    fn detects_roughly_one_pause_per_gap() {
+        let (audio, tr) = synthesize(TEXT, &SpeakerProfile::CLEAR, 42);
+        let pauses = PauseDetector::new().detect(&audio);
+        let n_gaps = tr.gaps.len();
+        assert!(
+            pauses.len() >= n_gaps * 8 / 10 && pauses.len() <= n_gaps * 12 / 10,
+            "detected {} pauses for {} true gaps",
+            pauses.len(),
+            n_gaps
+        );
+    }
+
+    #[test]
+    fn detected_pauses_overlap_true_gaps() {
+        let (audio, tr) = synthesize(TEXT, &SpeakerProfile::CLEAR, 42);
+        let pauses = PauseDetector::new().detect(&audio);
+        let matched = pauses
+            .iter()
+            .filter(|p| tr.gaps.iter().any(|g| g.span.overlaps(&p.span)))
+            .count();
+        assert!(
+            matched * 10 >= pauses.len() * 9,
+            "only {matched}/{} detected pauses overlap a true gap",
+            pauses.len()
+        );
+    }
+
+    #[test]
+    fn paragraph_gaps_are_classified_long() {
+        let (audio, tr) = synthesize(TEXT, &SpeakerProfile::CLEAR, 7);
+        let pauses = PauseDetector::new().detect(&audio);
+        for g in tr.gaps.iter().filter(|g| g.kind == GapKind::Paragraph) {
+            let hit = pauses.iter().find(|p| p.span.overlaps(&g.span));
+            let hit = hit.expect("paragraph gap not detected at all");
+            assert_eq!(hit.kind, PauseKind::Long, "paragraph gap classified short");
+        }
+    }
+
+    #[test]
+    fn word_gaps_are_classified_short() {
+        let (audio, tr) = synthesize(TEXT, &SpeakerProfile::CLEAR, 7);
+        let pauses = PauseDetector::new().detect(&audio);
+        let word_gaps: Vec<_> = tr.gaps.iter().filter(|g| g.kind == GapKind::Word).collect();
+        let misclassified = word_gaps
+            .iter()
+            .filter(|g| {
+                pauses
+                    .iter()
+                    .any(|p| p.span.overlaps(&g.span) && p.kind == PauseKind::Long)
+            })
+            .count();
+        assert!(
+            misclassified * 10 <= word_gaps.len(),
+            "{misclassified}/{} word gaps classified long",
+            word_gaps.len()
+        );
+    }
+
+    #[test]
+    fn uniform_speech_has_no_long_pauses() {
+        // One paragraph, no sentence ends: all gaps are word gaps, so the
+        // duration distribution is unimodal and nothing should be "long".
+        let text: String = (0..40).map(|i| format!("word{i}")).collect::<Vec<_>>().join(" ");
+        let (audio, _) = synthesize(&text, &SpeakerProfile::CLEAR, 3);
+        let pauses = PauseDetector::new().detect(&audio);
+        assert!(!pauses.is_empty());
+        assert!(
+            pauses.iter().all(|p| p.kind == PauseKind::Short),
+            "long pauses found in uniform speech"
+        );
+    }
+
+    #[test]
+    fn silence_only_buffer_is_one_pause() {
+        let audio = AudioBuffer::from_samples(vec![0; 8_000], 8_000);
+        let pauses = PauseDetector::new().detect(&audio);
+        assert_eq!(pauses.len(), 1);
+        assert_eq!(pauses[0].span.duration(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn empty_buffer_has_no_pauses() {
+        let audio = AudioBuffer::new(8_000);
+        assert!(PauseDetector::new().detect(&audio).is_empty());
+    }
+
+    #[test]
+    fn rewind_position_walks_back_matching_pauses() {
+        let pauses = vec![
+            DetectedPause { span: TimeSpan::new(t(100), t(150)), kind: PauseKind::Short },
+            DetectedPause { span: TimeSpan::new(t(300), t(350)), kind: PauseKind::Long },
+            DetectedPause { span: TimeSpan::new(t(500), t(550)), kind: PauseKind::Short },
+        ];
+        let cur = t(700);
+        assert_eq!(rewind_position(&pauses, PauseKind::Short, 1, cur), t(550));
+        assert_eq!(rewind_position(&pauses, PauseKind::Short, 2, cur), t(150));
+        assert_eq!(rewind_position(&pauses, PauseKind::Long, 1, cur), t(350));
+        // More pauses than exist: back to the beginning.
+        assert_eq!(rewind_position(&pauses, PauseKind::Short, 5, cur), SimInstant::EPOCH);
+        // Zero pauses back: stay put.
+        assert_eq!(rewind_position(&pauses, PauseKind::Short, 0, cur), cur);
+    }
+
+    #[test]
+    fn rewind_ignores_pauses_after_current() {
+        let pauses = vec![
+            DetectedPause { span: TimeSpan::new(t(100), t(150)), kind: PauseKind::Short },
+            DetectedPause { span: TimeSpan::new(t(500), t(550)), kind: PauseKind::Short },
+        ];
+        assert_eq!(rewind_position(&pauses, PauseKind::Short, 1, t(400)), t(150));
+    }
+
+    #[test]
+    fn classify_duration_edge_cases() {
+        // Not enough context: short.
+        assert_eq!(classify_duration(1_000_000, &[1_000_000]), PauseKind::Short);
+        // Clearly bimodal context: the big one is long.
+        let ctx = [50_000u64, 60_000, 55_000, 900_000, 950_000, 52_000];
+        assert_eq!(classify_duration(900_000, &ctx), PauseKind::Long);
+        assert_eq!(classify_duration(55_000, &ctx), PauseKind::Short);
+        // Tight unimodal context: everything short.
+        let ctx = [50_000u64, 52_000, 51_000, 53_000];
+        assert_eq!(classify_duration(53_000, &ctx), PauseKind::Short);
+    }
+
+    #[test]
+    fn detector_works_on_noisy_profile() {
+        let (audio, tr) = synthesize(TEXT, &SpeakerProfile::NOISY, 13);
+        let pauses = PauseDetector::new().detect(&audio);
+        // Degraded but functional: at least half the true gaps are found.
+        let found = tr
+            .gaps
+            .iter()
+            .filter(|g| pauses.iter().any(|p| p.span.overlaps(&g.span)))
+            .count();
+        assert!(found * 2 >= tr.gaps.len(), "found {found}/{}", tr.gaps.len());
+    }
+}

@@ -1,0 +1,199 @@
+//! Sampled audio buffers.
+//!
+//! Digitized voice in the reproduction is 16-bit mono PCM at a configurable
+//! rate (8 kHz by default — telephone quality, in keeping with the paper's
+//! "access information using telephones"). The pause detector and the
+//! playback engine both operate on this representation.
+
+use minos_types::{SimDuration, SimInstant, TimeSpan};
+
+/// Default sampling rate, samples per second.
+pub const DEFAULT_SAMPLE_RATE: u32 = 8_000;
+
+/// A mono PCM buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AudioBuffer {
+    samples: Vec<i16>,
+    sample_rate: u32,
+}
+
+impl AudioBuffer {
+    /// Creates an empty buffer at `sample_rate` Hz.
+    pub fn new(sample_rate: u32) -> Self {
+        assert!(sample_rate > 0, "sample rate must be positive");
+        Self { samples: Vec::new(), sample_rate }
+    }
+
+    /// Creates a buffer from raw samples.
+    pub fn from_samples(samples: Vec<i16>, sample_rate: u32) -> Self {
+        assert!(sample_rate > 0, "sample rate must be positive");
+        Self { samples, sample_rate }
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[i16] {
+        &self.samples
+    }
+
+    /// Samples per second.
+    pub fn sample_rate(&self) -> u32 {
+        self.sample_rate
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the buffer holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total duration of the buffer.
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_micros(self.samples.len() as u64 * 1_000_000 / self.sample_rate as u64)
+    }
+
+    /// Appends raw samples.
+    pub fn push_samples(&mut self, samples: &[i16]) {
+        self.samples.extend_from_slice(samples);
+    }
+
+    /// Converts a buffer-relative instant to a sample index (clamped to the
+    /// buffer length).
+    pub fn sample_at(&self, t: SimInstant) -> usize {
+        let idx = t.as_micros() * self.sample_rate as u64 / 1_000_000;
+        (idx as usize).min(self.samples.len())
+    }
+
+    /// Converts a sample index to a buffer-relative instant.
+    pub fn instant_of(&self, sample: usize) -> SimInstant {
+        SimInstant::from_micros(sample as u64 * 1_000_000 / self.sample_rate as u64)
+    }
+
+    /// The samples covered by the buffer-relative time span.
+    pub fn slice(&self, span: TimeSpan) -> &[i16] {
+        let start = self.sample_at(span.start);
+        let end = self.sample_at(span.end);
+        &self.samples[start..end]
+    }
+
+    /// Mean absolute amplitude of a sample window — the "intensity of the
+    /// registered sound" (§2) the pause detector thresholds on.
+    pub fn mean_abs(&self, window: &[i16]) -> u32 {
+        if window.is_empty() {
+            return 0;
+        }
+        let sum: u64 = window.iter().map(|&s| (s as i32).unsigned_abs() as u64).sum();
+        (sum / window.len() as u64) as u32
+    }
+
+    /// Iterates over consecutive analysis windows of `window` duration,
+    /// yielding `(start_sample, mean_abs)` pairs. The final partial window
+    /// is included.
+    pub fn energy_windows(&self, window: SimDuration) -> Vec<(usize, u32)> {
+        let step = ((window.as_micros() * self.sample_rate as u64) / 1_000_000).max(1) as usize;
+        let mut out = Vec::with_capacity(self.samples.len() / step + 1);
+        let mut i = 0;
+        while i < self.samples.len() {
+            let end = (i + step).min(self.samples.len());
+            out.push((i, self.mean_abs(&self.samples[i..end])));
+            i = end;
+        }
+        out
+    }
+
+    /// Peak absolute amplitude over the whole buffer.
+    pub fn peak(&self) -> u32 {
+        self.samples.iter().map(|&s| (s as i32).unsigned_abs()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buffer_of(n: usize, value: i16, rate: u32) -> AudioBuffer {
+        AudioBuffer::from_samples(vec![value; n], rate)
+    }
+
+    #[test]
+    fn duration_follows_sample_count() {
+        let b = buffer_of(8_000, 0, 8_000);
+        assert_eq!(b.duration(), SimDuration::from_secs(1));
+        let b = buffer_of(4_000, 0, 8_000);
+        assert_eq!(b.duration(), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn sample_instant_round_trip() {
+        let b = buffer_of(16_000, 0, 8_000);
+        for sample in [0usize, 1, 100, 8_000, 15_999] {
+            let t = b.instant_of(sample);
+            assert_eq!(b.sample_at(t), sample);
+        }
+    }
+
+    #[test]
+    fn sample_at_clamps() {
+        let b = buffer_of(100, 0, 8_000);
+        assert_eq!(b.sample_at(SimInstant::from_micros(10_000_000)), 100);
+    }
+
+    #[test]
+    fn slice_by_time_span() {
+        let mut b = AudioBuffer::new(1_000); // 1 sample per ms
+        b.push_samples(&[1; 100]);
+        b.push_samples(&[2; 100]);
+        let span = TimeSpan::new(
+            SimInstant::from_micros(100_000),
+            SimInstant::from_micros(150_000),
+        );
+        let s = b.slice(span);
+        assert_eq!(s.len(), 50);
+        assert!(s.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn mean_abs_energy() {
+        let b = AudioBuffer::new(8_000);
+        assert_eq!(b.mean_abs(&[]), 0);
+        assert_eq!(b.mean_abs(&[10, -10, 10, -10]), 10);
+        assert_eq!(b.mean_abs(&[i16::MIN]), 32_768);
+    }
+
+    #[test]
+    fn energy_windows_cover_everything() {
+        let b = buffer_of(1_000, 5, 1_000); // 1s at 1kHz
+        let windows = b.energy_windows(SimDuration::from_millis(100));
+        assert_eq!(windows.len(), 10);
+        assert!(windows.iter().all(|&(_, e)| e == 5));
+        // Partial tail window.
+        let b = buffer_of(1_050, 5, 1_000);
+        let windows = b.energy_windows(SimDuration::from_millis(100));
+        assert_eq!(windows.len(), 11);
+        assert_eq!(windows.last().unwrap().0, 1_000);
+    }
+
+    #[test]
+    fn peak_amplitude() {
+        let b = AudioBuffer::from_samples(vec![3, -7, 2], 8_000);
+        assert_eq!(b.peak(), 7);
+        assert_eq!(AudioBuffer::new(8_000).peak(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn zero_rate_rejected() {
+        let _ = AudioBuffer::new(0);
+    }
+
+    #[test]
+    fn empty_buffer_properties() {
+        let b = AudioBuffer::new(8_000);
+        assert!(b.is_empty());
+        assert_eq!(b.duration(), SimDuration::ZERO);
+        assert!(b.energy_windows(SimDuration::from_millis(10)).is_empty());
+    }
+}

@@ -1,0 +1,347 @@
+//! The voice playback state machine.
+//!
+//! Implements the §2 voice browsing vocabulary: "interrupt the voice
+//! output, resume the voice output from the current position, resume the
+//! voice output from the beginning of the current voice page, as well as to
+//! browse between pages in a similar fashion with text browsing (e.g. next
+//! page, previous page, etc.)" — plus the short/long pause rewind.
+//!
+//! Playback is driven by the simulated clock: callers `tick` the engine
+//! with elapsed simulated time and it advances through the voice part,
+//! crossing audio page boundaries without interruption (visual pages turn
+//! on command; voice pages do not).
+
+use crate::pages::AudioPages;
+use crate::pause::{rewind_position, DetectedPause, PauseKind};
+use minos_types::{PageNumber, SimDuration, SimInstant};
+
+/// Playback state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlaybackState {
+    /// Audio is playing; `tick` advances the position.
+    Playing,
+    /// The user interrupted the output; position is retained.
+    Interrupted,
+    /// The end of the voice part was reached.
+    Finished,
+}
+
+/// Events the engine reports as playback advances, consumed by the
+/// presentation manager (e.g. to trigger logical messages when playback
+/// enters an attached segment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageCrossing {
+    /// Page left.
+    pub from: usize,
+    /// Page entered.
+    pub to: usize,
+}
+
+/// The playback engine for one voice part.
+#[derive(Clone, Debug)]
+pub struct PlaybackEngine {
+    pages: AudioPages,
+    pauses: Vec<DetectedPause>,
+    position: SimInstant,
+    state: PlaybackState,
+}
+
+impl PlaybackEngine {
+    /// Creates an engine at the start of the part, interrupted (playback
+    /// starts on the first `play`).
+    pub fn new(pages: AudioPages, pauses: Vec<DetectedPause>) -> Self {
+        PlaybackEngine { pages, pauses, position: SimInstant::EPOCH, state: PlaybackState::Interrupted }
+    }
+
+    /// Current position within the voice part.
+    pub fn position(&self) -> SimInstant {
+        self.position
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PlaybackState {
+        self.state
+    }
+
+    /// The page structure.
+    pub fn pages(&self) -> AudioPages {
+        self.pages
+    }
+
+    /// The detected pauses available for rewind.
+    pub fn pauses(&self) -> &[DetectedPause] {
+        &self.pauses
+    }
+
+    /// 0-based index of the current audio page.
+    pub fn current_page(&self) -> Option<usize> {
+        self.pages.page_containing(self.position)
+    }
+
+    /// User-facing current page number.
+    pub fn current_page_number(&self) -> Option<PageNumber> {
+        self.current_page().map(PageNumber::from_index)
+    }
+
+    fn end(&self) -> SimInstant {
+        SimInstant::EPOCH + self.pages.total()
+    }
+
+    /// Starts or resumes playback from the current position.
+    pub fn play(&mut self) {
+        if self.position >= self.end() {
+            self.state = PlaybackState::Finished;
+        } else {
+            self.state = PlaybackState::Playing;
+        }
+    }
+
+    /// Interrupts the voice output, keeping the position.
+    pub fn interrupt(&mut self) {
+        if self.state == PlaybackState::Playing {
+            self.state = PlaybackState::Interrupted;
+        }
+    }
+
+    /// Resumes from the beginning of the current voice page.
+    pub fn resume_page_start(&mut self) {
+        if let Some(idx) = self.current_page() {
+            if let Some(span) = self.pages.span_of(idx) {
+                self.position = span.start;
+            }
+        }
+        self.play();
+    }
+
+    /// Replays "starting from a number of short or long pauses back from
+    /// the current position" (§2).
+    pub fn rewind_pauses(&mut self, kind: PauseKind, n: usize) {
+        self.position = rewind_position(&self.pauses, kind, n, self.position);
+        self.play();
+    }
+
+    /// Moves to the start of the next page. Clamps at the last page.
+    pub fn next_page(&mut self) {
+        self.advance_pages(1);
+    }
+
+    /// Moves to the start of the previous page. Clamps at the first page.
+    pub fn previous_page(&mut self) {
+        self.advance_pages(-1);
+    }
+
+    /// Advances `delta` pages forward (positive) or back (negative),
+    /// landing on the page start, clamped to the part.
+    pub fn advance_pages(&mut self, delta: i64) {
+        let count = self.pages.page_count();
+        if count == 0 {
+            return;
+        }
+        let cur = self.current_page().unwrap_or(0) as i64;
+        let target = (cur + delta).clamp(0, count as i64 - 1) as usize;
+        self.goto_page(target);
+    }
+
+    /// Jumps to the start of 0-based page `index` (clamped).
+    pub fn goto_page(&mut self, index: usize) {
+        let count = self.pages.page_count();
+        if count == 0 {
+            return;
+        }
+        let idx = index.min(count - 1);
+        self.position = self.pages.span_of(idx).expect("clamped index").start;
+        self.state = PlaybackState::Playing;
+    }
+
+    /// Jumps to a user-facing page number.
+    pub fn goto_page_number(&mut self, page: PageNumber) {
+        self.goto_page(page.index());
+    }
+
+    /// Seeks to an absolute position (used when branching into a voice
+    /// segment from a relevance or logical unit).
+    pub fn seek(&mut self, to: SimInstant) {
+        self.position = to.min(self.end());
+        if self.position >= self.end() {
+            self.state = PlaybackState::Finished;
+        }
+    }
+
+    /// Advances playback by `dt` of simulated time. Returns the page
+    /// crossings that occurred (speech is *not* interrupted at page
+    /// boundaries). No-op unless playing.
+    pub fn tick(&mut self, dt: SimDuration) -> Vec<PageCrossing> {
+        if self.state != PlaybackState::Playing {
+            return Vec::new();
+        }
+        let start_page = self.current_page().unwrap_or(0);
+        let target = (self.position + dt).min(self.end());
+        self.position = target;
+        if self.position >= self.end() {
+            self.state = PlaybackState::Finished;
+        }
+        let end_page = self.current_page().unwrap_or(start_page);
+        (start_page..end_page)
+            .map(|p| PageCrossing { from: p, to: p + 1 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_types::TimeSpan;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn t(s: u64) -> SimInstant {
+        SimInstant::EPOCH + secs(s)
+    }
+
+    fn engine() -> PlaybackEngine {
+        // 100s part, 20s pages, pauses at 15s (short) and 55s (long).
+        let pages = AudioPages::new(secs(100), secs(20));
+        let pauses = vec![
+            DetectedPause { span: TimeSpan::new(t(15), t(16)), kind: PauseKind::Short },
+            DetectedPause { span: TimeSpan::new(t(55), t(57)), kind: PauseKind::Long },
+        ];
+        PlaybackEngine::new(pages, pauses)
+    }
+
+    #[test]
+    fn starts_interrupted_at_beginning() {
+        let e = engine();
+        assert_eq!(e.state(), PlaybackState::Interrupted);
+        assert_eq!(e.position(), SimInstant::EPOCH);
+        assert_eq!(e.current_page(), Some(0));
+    }
+
+    #[test]
+    fn tick_advances_only_while_playing() {
+        let mut e = engine();
+        assert!(e.tick(secs(5)).is_empty());
+        assert_eq!(e.position(), SimInstant::EPOCH);
+        e.play();
+        e.tick(secs(5));
+        assert_eq!(e.position(), t(5));
+    }
+
+    #[test]
+    fn speech_crosses_page_boundaries_uninterrupted() {
+        let mut e = engine();
+        e.play();
+        let crossings = e.tick(secs(45));
+        assert_eq!(e.state(), PlaybackState::Playing);
+        assert_eq!(e.current_page(), Some(2));
+        assert_eq!(
+            crossings,
+            vec![PageCrossing { from: 0, to: 1 }, PageCrossing { from: 1, to: 2 }]
+        );
+    }
+
+    #[test]
+    fn playback_finishes_at_end() {
+        let mut e = engine();
+        e.play();
+        e.tick(secs(200));
+        assert_eq!(e.state(), PlaybackState::Finished);
+        assert_eq!(e.position(), t(100));
+        // Play at end stays finished.
+        e.play();
+        assert_eq!(e.state(), PlaybackState::Finished);
+    }
+
+    #[test]
+    fn interrupt_and_resume_keep_position() {
+        let mut e = engine();
+        e.play();
+        e.tick(secs(33));
+        e.interrupt();
+        assert_eq!(e.state(), PlaybackState::Interrupted);
+        e.tick(secs(10)); // no effect
+        assert_eq!(e.position(), t(33));
+        e.play();
+        e.tick(secs(1));
+        assert_eq!(e.position(), t(34));
+    }
+
+    #[test]
+    fn resume_page_start_rewinds_to_page_boundary() {
+        let mut e = engine();
+        e.play();
+        e.tick(secs(33));
+        e.resume_page_start();
+        assert_eq!(e.position(), t(20));
+        assert_eq!(e.state(), PlaybackState::Playing);
+    }
+
+    #[test]
+    fn rewind_short_and_long_pauses() {
+        let mut e = engine();
+        e.play();
+        e.tick(secs(70));
+        e.rewind_pauses(PauseKind::Long, 1);
+        assert_eq!(e.position(), t(57));
+        e.tick(secs(13)); // back to 70
+        e.rewind_pauses(PauseKind::Short, 1);
+        assert_eq!(e.position(), t(16));
+        // More short pauses back than exist: beginning.
+        e.rewind_pauses(PauseKind::Short, 3);
+        assert_eq!(e.position(), SimInstant::EPOCH);
+    }
+
+    #[test]
+    fn page_navigation_clamps() {
+        let mut e = engine();
+        e.previous_page();
+        assert_eq!(e.current_page(), Some(0));
+        e.advance_pages(3);
+        assert_eq!(e.current_page(), Some(3));
+        assert_eq!(e.position(), t(60));
+        e.advance_pages(100);
+        assert_eq!(e.current_page(), Some(4));
+        e.next_page();
+        assert_eq!(e.current_page(), Some(4));
+        e.advance_pages(-2);
+        assert_eq!(e.current_page(), Some(2));
+    }
+
+    #[test]
+    fn goto_page_number_is_one_based() {
+        let mut e = engine();
+        e.goto_page_number(PageNumber::new(3).unwrap());
+        assert_eq!(e.current_page(), Some(2));
+        assert_eq!(e.current_page_number(), PageNumber::new(3));
+    }
+
+    #[test]
+    fn seek_past_end_finishes() {
+        let mut e = engine();
+        e.seek(t(500));
+        assert_eq!(e.position(), t(100));
+        assert_eq!(e.state(), PlaybackState::Finished);
+    }
+
+    #[test]
+    fn goto_page_restarts_finished_playback() {
+        let mut e = engine();
+        e.play();
+        e.tick(secs(200));
+        assert_eq!(e.state(), PlaybackState::Finished);
+        e.goto_page(0);
+        assert_eq!(e.state(), PlaybackState::Playing);
+        assert_eq!(e.position(), SimInstant::EPOCH);
+    }
+
+    #[test]
+    fn empty_part_is_inert() {
+        let mut e = PlaybackEngine::new(AudioPages::new(SimDuration::ZERO, secs(20)), vec![]);
+        assert_eq!(e.current_page(), None);
+        e.next_page();
+        e.goto_page(5);
+        e.play();
+        assert!(e.tick(secs(1)).is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! The limited-vocabulary voice recognizer simulation.
+//!
+//! "Voice recognition is not taking place at the time of browsing. Instead,
+//! some voice segments have been recognized at the time of voice insertion,
+//! or at machine's idle time, from the digitized voice. The recognized
+//! voice segments are used to provide content addressibility and browsing
+//! by using the same access methods as in text." (§2)
+//!
+//! Real 1986 recognizers were limited-vocabulary and error-prone; rather
+//! than pretend otherwise, the simulation exposes the two error knobs that
+//! matter to the retrieval experiments: the *hit rate* (probability an
+//! in-vocabulary spoken word is recognized) and the *false-alarm rate*
+//! (probability a non-vocabulary word is mistaken for a vocabulary word).
+//! Experiment E4 sweeps these knobs and measures pattern-browsing recall.
+
+use crate::transcript::Transcript;
+use minos_text::search::normalize_word;
+use minos_types::SimInstant;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A word the recognizer claims was spoken at an instant of the voice part.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecognizedUtterance {
+    /// The recognized (normalized) vocabulary word.
+    pub word: String,
+    /// Start of the utterance within the voice part.
+    pub at: SimInstant,
+}
+
+/// Recognizer error model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecognizerConfig {
+    /// Probability that a spoken in-vocabulary word is recognized.
+    pub hit_rate: f64,
+    /// Probability that a spoken out-of-vocabulary word is misrecognized as
+    /// some vocabulary word.
+    pub false_alarm_rate: f64,
+    /// RNG seed (recognition happens once, at insertion or idle time, so a
+    /// fixed seed per object models its frozen result).
+    pub seed: u64,
+}
+
+impl Default for RecognizerConfig {
+    fn default() -> Self {
+        // A decent mid-80s isolated-word recognizer on a cooperative
+        // speaker: most vocabulary words found, few false alarms.
+        RecognizerConfig { hit_rate: 0.85, false_alarm_rate: 0.02, seed: 0 }
+    }
+}
+
+/// A limited-vocabulary recognizer.
+#[derive(Clone, Debug)]
+pub struct Recognizer {
+    vocabulary: BTreeSet<String>,
+    config: RecognizerConfig,
+}
+
+impl Recognizer {
+    /// Creates a recognizer for the given vocabulary (normalized; an
+    /// ordered set keeps false-alarm substitution deterministic).
+    pub fn new<I, S>(vocabulary: I, config: RecognizerConfig) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        assert!((0.0..=1.0).contains(&config.hit_rate), "hit_rate out of range");
+        assert!(
+            (0.0..=1.0).contains(&config.false_alarm_rate),
+            "false_alarm_rate out of range"
+        );
+        let vocabulary = vocabulary
+            .into_iter()
+            .map(|w| normalize_word(w.as_ref()))
+            .filter(|w| !w.is_empty())
+            .collect();
+        Recognizer { vocabulary, config }
+    }
+
+    /// The vocabulary size.
+    pub fn vocabulary_size(&self) -> usize {
+        self.vocabulary.len()
+    }
+
+    /// Whether `word` is in vocabulary (after normalization).
+    pub fn knows(&self, word: &str) -> bool {
+        self.vocabulary.contains(&normalize_word(word))
+    }
+
+    /// Runs recognition over the (ground-truth) transcript, producing the
+    /// utterances that would have been stored with the object. The
+    /// transcript stands in for the digitized voice the real system
+    /// processed; the error model stands in for the acoustic front end.
+    pub fn recognize(&self, transcript: &Transcript) -> Vec<RecognizedUtterance> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let vocab: Vec<&String> = self.vocabulary.iter().collect();
+        let mut out = Vec::new();
+        for spoken in &transcript.words {
+            let normalized = normalize_word(&spoken.text);
+            if normalized.is_empty() {
+                continue;
+            }
+            if self.vocabulary.contains(&normalized) {
+                if rng.gen_bool(self.config.hit_rate) {
+                    out.push(RecognizedUtterance { word: normalized, at: spoken.span.start });
+                }
+            } else if !vocab.is_empty() && rng.gen_bool(self.config.false_alarm_rate) {
+                let wrong = vocab[rng.gen_range(0..vocab.len())].clone();
+                out.push(RecognizedUtterance { word: wrong, at: spoken.span.start });
+            }
+        }
+        out
+    }
+}
+
+/// Sorted lookup structure over recognized utterances: the voice-side
+/// analogue of [`minos_text::WordIndex`], answering "next occurrence of
+/// this spoken pattern after the current position".
+#[derive(Clone, Debug, Default)]
+pub struct UtteranceIndex {
+    /// Utterances sorted by instant.
+    utterances: Vec<RecognizedUtterance>,
+}
+
+impl UtteranceIndex {
+    /// Builds the index (sorts by instant).
+    pub fn new(mut utterances: Vec<RecognizedUtterance>) -> Self {
+        utterances.sort_by_key(|u| u.at);
+        UtteranceIndex { utterances }
+    }
+
+    /// All indexed utterances, time order.
+    pub fn utterances(&self) -> &[RecognizedUtterance] {
+        &self.utterances
+    }
+
+    /// First occurrence of `word` strictly after `t`.
+    pub fn next_occurrence(&self, word: &str, t: SimInstant) -> Option<SimInstant> {
+        let w = normalize_word(word);
+        self.utterances.iter().find(|u| u.at > t && u.word == w).map(|u| u.at)
+    }
+
+    /// Last occurrence of `word` strictly before `t`.
+    pub fn prev_occurrence(&self, word: &str, t: SimInstant) -> Option<SimInstant> {
+        let w = normalize_word(word);
+        self.utterances.iter().rev().find(|u| u.at < t && u.word == w).map(|u| u.at)
+    }
+
+    /// All occurrences of `word`, time order.
+    pub fn occurrences(&self, word: &str) -> Vec<SimInstant> {
+        let w = normalize_word(word);
+        self.utterances.iter().filter(|u| u.word == w).map(|u| u.at).collect()
+    }
+
+    /// Distinct recognized words.
+    pub fn vocabulary(&self) -> BTreeSet<&str> {
+        self.utterances.iter().map(|u| u.word.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, SpeakerProfile};
+
+    const TEXT: &str = "the x-ray shows a shadow on the left lung. \
+                        the shadow is small. review the x-ray next week.";
+
+    fn transcript() -> Transcript {
+        synthesize(TEXT, &SpeakerProfile::CLEAR, 1).1
+    }
+
+    #[test]
+    fn perfect_recognizer_finds_all_vocabulary_words() {
+        let tr = transcript();
+        let r = Recognizer::new(
+            ["x-ray", "shadow", "lung"],
+            RecognizerConfig { hit_rate: 1.0, false_alarm_rate: 0.0, seed: 5 },
+        );
+        let utts = r.recognize(&tr);
+        assert_eq!(utts.len(), 5); // x-ray ×2, shadow ×2, lung ×1
+        assert!(utts.iter().all(|u| ["x-ray", "shadow", "lung"].contains(&u.word.as_str())));
+    }
+
+    #[test]
+    fn zero_hit_rate_finds_nothing() {
+        let tr = transcript();
+        let r = Recognizer::new(
+            ["x-ray"],
+            RecognizerConfig { hit_rate: 0.0, false_alarm_rate: 0.0, seed: 5 },
+        );
+        assert!(r.recognize(&tr).is_empty());
+    }
+
+    #[test]
+    fn recognition_is_deterministic_per_seed() {
+        let tr = transcript();
+        let mk = |seed| {
+            Recognizer::new(
+                ["x-ray", "shadow"],
+                RecognizerConfig { hit_rate: 0.6, false_alarm_rate: 0.1, seed },
+            )
+            .recognize(&tr)
+        };
+        assert_eq!(mk(3), mk(3));
+    }
+
+    #[test]
+    fn false_alarms_emit_vocabulary_words_at_real_positions() {
+        let tr = transcript();
+        let r = Recognizer::new(
+            ["zebra"], // never actually spoken
+            RecognizerConfig { hit_rate: 1.0, false_alarm_rate: 1.0, seed: 2 },
+        );
+        let utts = r.recognize(&tr);
+        assert_eq!(utts.len(), tr.words.len()); // every word misrecognized
+        assert!(utts.iter().all(|u| u.word == "zebra"));
+        for u in &utts {
+            assert!(tr.words.iter().any(|w| w.span.start == u.at));
+        }
+    }
+
+    #[test]
+    fn utterances_are_anchored_at_word_starts() {
+        let tr = transcript();
+        let r = Recognizer::new(["shadow"], RecognizerConfig::default());
+        for u in r.recognize(&tr) {
+            let w = tr.words.iter().find(|w| w.span.start == u.at).expect("anchor");
+            assert_eq!(normalize_word(&w.text), "shadow");
+        }
+    }
+
+    #[test]
+    fn vocabulary_is_normalized() {
+        let r = Recognizer::new(["X-Ray.", "  ", "(Lung)"], RecognizerConfig::default());
+        assert_eq!(r.vocabulary_size(), 2);
+        assert!(r.knows("x-ray"));
+        assert!(r.knows("LUNG"));
+        assert!(!r.knows("shadow"));
+    }
+
+    #[test]
+    #[should_panic(expected = "hit_rate")]
+    fn invalid_hit_rate_rejected() {
+        let _ = Recognizer::new(
+            ["a"],
+            RecognizerConfig { hit_rate: 1.5, false_alarm_rate: 0.0, seed: 0 },
+        );
+    }
+
+    #[test]
+    fn index_navigation() {
+        let tr = transcript();
+        let r = Recognizer::new(
+            ["x-ray", "shadow"],
+            RecognizerConfig { hit_rate: 1.0, false_alarm_rate: 0.0, seed: 0 },
+        );
+        let idx = UtteranceIndex::new(r.recognize(&tr));
+        let first = idx.next_occurrence("x-ray", SimInstant::EPOCH).unwrap();
+        let second = idx.next_occurrence("x-ray", first).unwrap();
+        assert!(second > first);
+        assert_eq!(idx.next_occurrence("x-ray", second), None);
+        assert_eq!(idx.prev_occurrence("x-ray", second), Some(first));
+        assert_eq!(idx.occurrences("shadow").len(), 2);
+        assert_eq!(idx.occurrences("absent").len(), 0);
+        assert_eq!(idx.vocabulary().len(), 2);
+    }
+
+    #[test]
+    fn index_sorts_unsorted_input() {
+        let t = |ms: u64| SimInstant::from_micros(ms * 1000);
+        let idx = UtteranceIndex::new(vec![
+            RecognizedUtterance { word: "b".into(), at: t(200) },
+            RecognizedUtterance { word: "a".into(), at: t(100) },
+        ]);
+        assert_eq!(idx.utterances()[0].at, t(100));
+    }
+}

@@ -1,0 +1,314 @@
+//! The digitized-speech generator.
+//!
+//! This is the reproduction's substitute for the SUN-3 voice digitization
+//! hardware. Given text and a [`SpeakerProfile`], it produces a PCM buffer
+//! whose structure mirrors dictated speech — voiced stretches for words,
+//! low-energy silence for the pauses between them — plus the ground-truth
+//! [`Transcript`]. Pause lengths follow the paper's observation that "the
+//! exact timing for short, and long pauses depends on the speaker and the
+//! section of the speech": every profile has its own gap distributions and
+//! jitter, and a deterministic seed makes each utterance reproducible.
+
+use crate::pcm::{AudioBuffer, DEFAULT_SAMPLE_RATE};
+use crate::transcript::{Gap, GapKind, SpokenUnit, Transcript};
+use minos_types::{SimDuration, SimInstant, TimeSpan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Speaking style parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeakerProfile {
+    /// Speech rate in words per minute (sound only; gaps add on top).
+    pub words_per_minute: u32,
+    /// Mean silence between words, milliseconds.
+    pub word_gap_ms: u32,
+    /// Mean silence after a sentence, milliseconds.
+    pub sentence_gap_ms: u32,
+    /// Mean silence after a paragraph, milliseconds.
+    pub paragraph_gap_ms: u32,
+    /// Relative jitter applied to every duration, 0.0–0.9.
+    pub jitter: f64,
+    /// Peak speech amplitude (out of i16 range).
+    pub amplitude: i16,
+    /// Amplitude of the "registered sound" during silence — room noise and
+    /// microphone hiss.
+    pub noise_floor: i16,
+}
+
+impl SpeakerProfile {
+    /// A careful dictating speaker: clear gaps, quiet room.
+    pub const CLEAR: SpeakerProfile = SpeakerProfile {
+        words_per_minute: 130,
+        word_gap_ms: 70,
+        sentence_gap_ms: 400,
+        paragraph_gap_ms: 1_100,
+        jitter: 0.2,
+        amplitude: 14_000,
+        noise_floor: 150,
+    };
+
+    /// A fast talker: short, irregular gaps. Harder for pause browsing.
+    pub const FAST: SpeakerProfile = SpeakerProfile {
+        words_per_minute: 190,
+        word_gap_ms: 35,
+        sentence_gap_ms: 180,
+        paragraph_gap_ms: 500,
+        jitter: 0.45,
+        amplitude: 13_000,
+        noise_floor: 200,
+    };
+
+    /// Dictation over a noisy telephone line: weak signal, loud floor.
+    pub const NOISY: SpeakerProfile = SpeakerProfile {
+        words_per_minute: 140,
+        word_gap_ms: 70,
+        sentence_gap_ms: 350,
+        paragraph_gap_ms: 900,
+        jitter: 0.3,
+        amplitude: 4_000,
+        noise_floor: 900,
+    };
+
+    /// Named profiles for sweeps in benches and reports.
+    pub fn named() -> [(&'static str, SpeakerProfile); 3] {
+        [("clear", Self::CLEAR), ("fast", Self::FAST), ("noisy", Self::NOISY)]
+    }
+}
+
+impl Default for SpeakerProfile {
+    fn default() -> Self {
+        Self::CLEAR
+    }
+}
+
+/// Duration of one word's sound under `profile`, before jitter. Scales
+/// with word length around a 5-character norm.
+fn base_word_duration(profile: &SpeakerProfile, word: &str) -> SimDuration {
+    let per_word_ms = 60_000 / profile.words_per_minute.max(1) as u64;
+    let len = word.chars().count().max(1) as u64;
+    let scaled = per_word_ms * (len + 2) / 7; // 5-char word => per_word_ms
+    SimDuration::from_millis(scaled.clamp(80, 2_500))
+}
+
+fn jittered(rng: &mut StdRng, base: SimDuration, jitter: f64) -> SimDuration {
+    if jitter <= 0.0 {
+        return base;
+    }
+    let factor = 1.0 + rng.gen_range(-jitter..jitter);
+    let us = (base.as_micros() as f64 * factor).max(1_000.0) as u64;
+    SimDuration::from_micros(us)
+}
+
+/// Synthesizes `text` spoken under `profile`.
+///
+/// Paragraphs are separated by newlines; sentence boundaries are words
+/// ending in `.`, `!` or `?` — the same conventions as the text substrate,
+/// which is what lets one source describe both media in the symmetry
+/// experiments. Returns the audio and its ground-truth transcript.
+pub fn synthesize(text: &str, profile: &SpeakerProfile, seed: u64) -> (AudioBuffer, Transcript) {
+    synthesize_at_rate(text, profile, seed, DEFAULT_SAMPLE_RATE)
+}
+
+/// [`synthesize`] with an explicit sample rate.
+pub fn synthesize_at_rate(
+    text: &str,
+    profile: &SpeakerProfile,
+    seed: u64,
+    sample_rate: u32,
+) -> (AudioBuffer, Transcript) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut audio = AudioBuffer::new(sample_rate);
+    let mut transcript = Transcript::default();
+    let mut cursor = SimInstant::EPOCH;
+
+    let paragraphs: Vec<Vec<&str>> = text
+        .split('\n')
+        .map(|p| p.split_whitespace().collect::<Vec<_>>())
+        .filter(|p| !p.is_empty())
+        .collect();
+
+    for (pi, words) in paragraphs.iter().enumerate() {
+        transcript.paragraph_starts.push(cursor);
+        let mut sentence_open = false;
+        for (wi, word) in words.iter().enumerate() {
+            if !sentence_open {
+                transcript.sentence_starts.push(cursor);
+                sentence_open = true;
+            }
+            // Voiced samples for the word.
+            let dur = jittered(&mut rng, base_word_duration(profile, word), profile.jitter);
+            let start = cursor;
+            push_voiced(&mut audio, &mut rng, dur, profile);
+            cursor = audio.instant_of(audio.len());
+            transcript
+                .words
+                .push(SpokenUnit { text: (*word).to_string(), span: TimeSpan::new(start, cursor) });
+
+            let ends_sentence = word.ends_with(['.', '!', '?']);
+            if ends_sentence {
+                sentence_open = false;
+            }
+            let last_word_of_para = wi + 1 == words.len();
+            let last_word_overall = last_word_of_para && pi + 1 == paragraphs.len();
+            if last_word_overall {
+                break;
+            }
+            let (gap_ms, kind) = if last_word_of_para {
+                (profile.paragraph_gap_ms, GapKind::Paragraph)
+            } else if ends_sentence {
+                (profile.sentence_gap_ms, GapKind::Sentence)
+            } else {
+                (profile.word_gap_ms, GapKind::Word)
+            };
+            let gap_dur =
+                jittered(&mut rng, SimDuration::from_millis(gap_ms as u64), profile.jitter);
+            let gap_start = cursor;
+            push_silence(&mut audio, &mut rng, gap_dur, profile);
+            cursor = audio.instant_of(audio.len());
+            transcript.gaps.push(Gap { span: TimeSpan::new(gap_start, cursor), kind });
+        }
+    }
+    transcript.total = audio.duration();
+    debug_assert_eq!(transcript.check_invariants(), Ok(()));
+    (audio, transcript)
+}
+
+/// Appends `dur` of voiced signal: noise shaped by a slow envelope so the
+/// energy is well above the floor but varies like speech.
+fn push_voiced(audio: &mut AudioBuffer, rng: &mut StdRng, dur: SimDuration, p: &SpeakerProfile) {
+    let n = (dur.as_micros() * audio.sample_rate() as u64 / 1_000_000).max(1) as usize;
+    let amp = p.amplitude as f64;
+    let mut samples = Vec::with_capacity(n);
+    for i in 0..n {
+        // Envelope rises and falls across the word (syllable-ish shape).
+        let phase = i as f64 / n as f64;
+        let envelope = 0.35 + 0.65 * (std::f64::consts::PI * phase).sin();
+        let v = rng.gen_range(-1.0..1.0) * amp * envelope;
+        samples.push(v as i16);
+    }
+    audio.push_samples(&samples);
+}
+
+/// Appends `dur` of silence at the profile's noise floor.
+fn push_silence(audio: &mut AudioBuffer, rng: &mut StdRng, dur: SimDuration, p: &SpeakerProfile) {
+    let n = (dur.as_micros() * audio.sample_rate() as u64 / 1_000_000).max(1) as usize;
+    let floor = p.noise_floor as f64;
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        samples.push((rng.gen_range(-1.0..1.0) * floor) as i16);
+    }
+    audio.push_samples(&samples);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEXT: &str = "The doctor examined the film. A shadow appeared.\n\
+                        On review the shadow was benign. No action needed.";
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let (a1, t1) = synthesize(TEXT, &SpeakerProfile::CLEAR, 7);
+        let (a2, t2) = synthesize(TEXT, &SpeakerProfile::CLEAR, 7);
+        assert_eq!(a1, a2);
+        assert_eq!(t1, t2);
+        let (a3, _) = synthesize(TEXT, &SpeakerProfile::CLEAR, 8);
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn transcript_matches_text_tokenization() {
+        let (_, tr) = synthesize(TEXT, &SpeakerProfile::CLEAR, 1);
+        assert_eq!(tr.words.len(), 17);
+        assert_eq!(tr.paragraph_starts.len(), 2);
+        assert_eq!(tr.sentence_starts.len(), 4);
+        assert_eq!(tr.text(), TEXT.replace('\n', " "));
+        tr.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn audio_duration_matches_transcript_total() {
+        let (audio, tr) = synthesize(TEXT, &SpeakerProfile::FAST, 3);
+        assert_eq!(audio.duration(), tr.total);
+        assert!(tr.total > SimDuration::from_secs(3), "speech too short: {}", tr.total);
+    }
+
+    #[test]
+    fn words_are_louder_than_gaps() {
+        let (audio, tr) = synthesize(TEXT, &SpeakerProfile::CLEAR, 5);
+        for w in &tr.words {
+            let e = audio.mean_abs(audio.slice(w.span));
+            assert!(e > 2_000, "word energy {e} too low");
+        }
+        for g in &tr.gaps {
+            let e = audio.mean_abs(audio.slice(g.span));
+            assert!(e < 500, "gap energy {e} too high");
+        }
+    }
+
+    #[test]
+    fn gap_kinds_order_by_length_on_average() {
+        let long_text: String = (0..12)
+            .map(|i| format!("sentence number {i} has several words in it."))
+            .collect::<Vec<_>>()
+            .join(" ")
+            + "\nsecond paragraph begins here with more words. and ends.";
+        let (_, tr) = synthesize(&long_text, &SpeakerProfile::CLEAR, 11);
+        let mean = |kind: GapKind| {
+            let v: Vec<u64> = tr
+                .gaps
+                .iter()
+                .filter(|g| g.kind == kind)
+                .map(|g| g.span.duration().as_micros())
+                .collect();
+            if v.is_empty() {
+                0
+            } else {
+                v.iter().sum::<u64>() / v.len() as u64
+            }
+        };
+        let (w, s, p) = (mean(GapKind::Word), mean(GapKind::Sentence), mean(GapKind::Paragraph));
+        assert!(w < s, "word gap {w} not shorter than sentence gap {s}");
+        assert!(s < p, "sentence gap {s} not shorter than paragraph gap {p}");
+    }
+
+    #[test]
+    fn longer_words_take_longer() {
+        let short = base_word_duration(&SpeakerProfile::CLEAR, "cat");
+        let long = base_word_duration(&SpeakerProfile::CLEAR, "presentation");
+        assert!(long > short);
+    }
+
+    #[test]
+    fn faster_profile_speaks_faster() {
+        let long_text: String =
+            (0..30).map(|i| format!("word{i}")).collect::<Vec<_>>().join(" ");
+        let (_, clear) = synthesize(&long_text, &SpeakerProfile::CLEAR, 2);
+        let (_, fast) = synthesize(&long_text, &SpeakerProfile::FAST, 2);
+        assert!(fast.total < clear.total);
+    }
+
+    #[test]
+    fn empty_text_produces_empty_audio() {
+        let (audio, tr) = synthesize("", &SpeakerProfile::CLEAR, 1);
+        assert!(audio.is_empty());
+        assert!(tr.words.is_empty());
+        assert_eq!(tr.total, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn whitespace_only_paragraphs_are_skipped() {
+        let (_, tr) = synthesize("one two\n   \nthree", &SpeakerProfile::CLEAR, 1);
+        assert_eq!(tr.paragraph_starts.len(), 2);
+        assert_eq!(tr.words.len(), 3);
+    }
+
+    #[test]
+    fn no_trailing_gap_after_last_word() {
+        let (audio, tr) = synthesize("just these words", &SpeakerProfile::CLEAR, 4);
+        let last = tr.words.last().unwrap();
+        assert_eq!(last.span.end, SimInstant::EPOCH + audio.duration());
+        assert_eq!(tr.gaps.len(), tr.words.len() - 1);
+    }
+}

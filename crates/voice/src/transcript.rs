@@ -1,0 +1,224 @@
+//! Ground-truth transcripts.
+//!
+//! A [`Transcript`] records what a (simulated) speaker said and exactly
+//! when: word timings, the silence gaps between them, and sentence/
+//! paragraph boundaries. The synthesizer produces one alongside the audio;
+//! the evaluation module (experiment E2) uses it as ground truth for
+//! measuring pause detection and rewind accuracy — something the original
+//! authors could not quantify with live speech.
+
+use minos_types::{SimDuration, SimInstant, TimeSpan};
+
+/// One spoken word with its timing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpokenUnit {
+    /// The word as text (for recognition and symmetric pattern browsing).
+    pub text: String,
+    /// When the word's sound occupies the voice part (relative to its
+    /// start).
+    pub span: TimeSpan,
+}
+
+/// Kind of silence following a word, as ground truth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GapKind {
+    /// Ordinary inter-word gap.
+    Word,
+    /// Gap after a sentence-final word.
+    Sentence,
+    /// Gap after a paragraph-final word.
+    Paragraph,
+}
+
+/// A silence gap between spoken words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gap {
+    /// When the silence occupies the voice part.
+    pub span: TimeSpan,
+    /// What the silence separates.
+    pub kind: GapKind,
+}
+
+/// Ground truth for one voice part.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Transcript {
+    /// Spoken words in order.
+    pub words: Vec<SpokenUnit>,
+    /// Silence gaps in order (between and around words).
+    pub gaps: Vec<Gap>,
+    /// Start instants of sentences.
+    pub sentence_starts: Vec<SimInstant>,
+    /// Start instants of paragraphs.
+    pub paragraph_starts: Vec<SimInstant>,
+    /// Total duration of the voice part.
+    pub total: SimDuration,
+}
+
+impl Transcript {
+    /// The index of the word whose sound contains `t`, or the first word
+    /// after `t` when `t` falls in a gap. `None` past the last word.
+    pub fn word_at_or_after(&self, t: SimInstant) -> Option<usize> {
+        let idx = self.words.partition_point(|w| w.span.end <= t);
+        (idx < self.words.len()).then_some(idx)
+    }
+
+    /// Index of the last word that starts at or before `t`.
+    pub fn word_at_or_before(&self, t: SimInstant) -> Option<usize> {
+        let idx = self.words.partition_point(|w| w.span.start <= t);
+        idx.checked_sub(1)
+    }
+
+    /// Number of word starts in the half-open interval `[a, b)` — the
+    /// "distance in words" metric used to score rewind landings.
+    pub fn words_between(&self, a: SimInstant, b: SimInstant) -> usize {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let start = self.words.partition_point(|w| w.span.start < lo);
+        let end = self.words.partition_point(|w| w.span.start < hi);
+        end - start
+    }
+
+    /// The paragraph index containing `t` (paragraphs run from their start
+    /// instant to the next paragraph's start).
+    pub fn paragraph_containing(&self, t: SimInstant) -> Option<usize> {
+        let idx = self.paragraph_starts.partition_point(|&p| p <= t);
+        idx.checked_sub(1)
+    }
+
+    /// Concatenated words as text (whitespace separated).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for (i, w) in self.words.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&w.text);
+        }
+        out
+    }
+
+    /// Verifies internal consistency: words and gaps are ordered, disjoint,
+    /// and within the total duration. Used by tests and by the synthesizer's
+    /// own debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut last_end = SimInstant::EPOCH;
+        for (i, w) in self.words.iter().enumerate() {
+            if w.span.start < last_end {
+                return Err(format!("word {i} overlaps its predecessor"));
+            }
+            if w.span.is_empty() {
+                return Err(format!("word {i} has empty span"));
+            }
+            last_end = w.span.end;
+        }
+        if let Some(w) = self.words.last() {
+            if w.span.end > SimInstant::EPOCH + self.total {
+                return Err("last word extends past total duration".into());
+            }
+        }
+        let mut last_gap_end = SimInstant::EPOCH;
+        for (i, g) in self.gaps.iter().enumerate() {
+            if g.span.start < last_gap_end {
+                return Err(format!("gap {i} overlaps its predecessor"));
+            }
+            last_gap_end = g.span.end;
+        }
+        for g in &self.gaps {
+            for w in &self.words {
+                if g.span.overlaps(&w.span) {
+                    return Err(format!("gap {:?} overlaps word {:?}", g.span, w.span));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimInstant {
+        SimInstant::from_micros(ms * 1_000)
+    }
+
+    fn sample() -> Transcript {
+        // Words at [0,100), [150,250), [300,400) ms with gaps between.
+        let words = vec![
+            SpokenUnit { text: "alpha".into(), span: TimeSpan::new(t(0), t(100)) },
+            SpokenUnit { text: "beta".into(), span: TimeSpan::new(t(150), t(250)) },
+            SpokenUnit { text: "gamma".into(), span: TimeSpan::new(t(300), t(400)) },
+        ];
+        let gaps = vec![
+            Gap { span: TimeSpan::new(t(100), t(150)), kind: GapKind::Word },
+            Gap { span: TimeSpan::new(t(250), t(300)), kind: GapKind::Sentence },
+        ];
+        Transcript {
+            words,
+            gaps,
+            sentence_starts: vec![t(0), t(300)],
+            paragraph_starts: vec![t(0)],
+            total: SimDuration::from_millis(400),
+        }
+    }
+
+    #[test]
+    fn invariants_hold_for_sample() {
+        sample().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn word_at_or_after_in_gap_returns_next() {
+        let tr = sample();
+        assert_eq!(tr.word_at_or_after(t(0)), Some(0));
+        assert_eq!(tr.word_at_or_after(t(120)), Some(1)); // inside first gap
+        assert_eq!(tr.word_at_or_after(t(350)), Some(2));
+        assert_eq!(tr.word_at_or_after(t(400)), None);
+    }
+
+    #[test]
+    fn word_at_or_before() {
+        let tr = sample();
+        assert_eq!(tr.word_at_or_before(t(0)), Some(0));
+        assert_eq!(tr.word_at_or_before(t(120)), Some(0));
+        assert_eq!(tr.word_at_or_before(t(399)), Some(2));
+    }
+
+    #[test]
+    fn words_between_counts_starts() {
+        let tr = sample();
+        assert_eq!(tr.words_between(t(0), t(400)), 3);
+        assert_eq!(tr.words_between(t(1), t(400)), 2);
+        assert_eq!(tr.words_between(t(200), t(200)), 0);
+        // Order-insensitive.
+        assert_eq!(tr.words_between(t(400), t(1)), 2);
+    }
+
+    #[test]
+    fn paragraph_containing() {
+        let mut tr = sample();
+        tr.paragraph_starts = vec![t(0), t(300)];
+        assert_eq!(tr.paragraph_containing(t(10)), Some(0));
+        assert_eq!(tr.paragraph_containing(t(300)), Some(1));
+        assert_eq!(tr.paragraph_containing(t(399)), Some(1));
+    }
+
+    #[test]
+    fn text_concatenation() {
+        assert_eq!(sample().text(), "alpha beta gamma");
+    }
+
+    #[test]
+    fn invariant_violations_are_detected() {
+        let mut tr = sample();
+        tr.words[1].span = TimeSpan::new(t(50), t(250)); // overlaps word 0
+        assert!(tr.check_invariants().is_err());
+
+        let mut tr = sample();
+        tr.gaps[0].span = TimeSpan::new(t(90), t(150)); // overlaps word 0
+        assert!(tr.check_invariants().is_err());
+
+        let mut tr = sample();
+        tr.total = SimDuration::from_millis(300); // last word past end
+        assert!(tr.check_invariants().is_err());
+    }
+}

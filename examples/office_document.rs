@@ -1,0 +1,65 @@
+//! Figures 1–2: visual pages with text, graphics and bitmaps, menu options
+//! at the right hand side of the screen.
+//!
+//! ```sh
+//! cargo run --example office_document
+//! ```
+
+use minos::corpus;
+use minos::presentation::{BrowseCommand, BrowsingSession};
+use minos::screen::{render_page, Screen};
+use minos::text::PaginateConfig;
+use minos::types::{ObjectId, SimDuration};
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let object = corpus::office_document(ObjectId::new(1), 7, 8);
+    let images: Vec<minos::image::Bitmap> =
+        object.images.iter().map(|i| i.render()).collect();
+
+    let mut screen = Screen::new();
+    let config = PaginateConfig {
+        page_size: screen.display_region().size,
+        margin: 24,
+        block_gap: 10,
+    };
+    let mut store = HashMap::new();
+    store.insert(object.id, object);
+    let (mut session, _) = BrowsingSession::open(
+        store,
+        ObjectId::new(1),
+        config,
+        SimDuration::from_secs(20),
+    )?;
+
+    // Compose the workstation screen: page in the display region, menu in
+    // the right-hand column (Figures 1-2's layout).
+    let view = session.visual_view().unwrap();
+    let page_bitmap = render_page(&view.page, config, |idx| images.get(idx).cloned());
+    screen.show(&page_bitmap, screen.display_region());
+    let menu = session.menu();
+    let menu_bitmap = menu.render(screen.menu_region());
+    screen.show(&menu_bitmap, screen.menu_region());
+
+    println!(
+        "page {}/{} of {:?}; menu offers {} options",
+        view.page_index + 1,
+        view.page_count,
+        session.object().name,
+        menu.len()
+    );
+    println!("\nworkstation screen (ASCII rendering, menu column at right):\n");
+    for row in screen.to_ascii(110) {
+        println!("{row}");
+    }
+
+    // Page through the document the way a reader would.
+    println!("\npage texts while browsing:");
+    for _ in 0..3 {
+        session.apply(BrowseCommand::NextPage)?;
+        let v = session.visual_view().unwrap();
+        let first_line = v.page.text_lines().into_iter().next().unwrap_or_default();
+        println!("  page {:>2}: {first_line}", v.page_index + 1);
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! The symmetric audio side: browsing a dictated audio-mode object.
+//!
+//! The doctor dictated the x-ray report; the x-ray appears on screen only
+//! while the related section of speech plays (§3). The same page/logical/
+//! pattern commands work as on text, plus the voice-specific interrupt,
+//! resume and pause-rewind operations.
+//!
+//! ```sh
+//! cargo run --example voice_dictation
+//! ```
+
+use minos::corpus;
+use minos::presentation::{BrowseCommand, BrowseEvent, BrowsingSession};
+use minos::text::{LogicalLevel, PaginateConfig};
+use minos::types::{ObjectId, SimDuration};
+use minos::voice::PauseKind;
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let object = corpus::audio_xray_report(ObjectId::new(1), 7);
+    let duration = object.voice_segments[0].duration();
+    let words = object.voice_segments[0].transcript.words.len();
+    println!("dictation: {words} words, {duration} of digitized speech");
+    println!(
+        "recognized utterances stored with the object: {}",
+        object.voice_segments[0].utterances.len()
+    );
+
+    let mut store = HashMap::new();
+    store.insert(object.id, object);
+    let (mut session, _) = BrowsingSession::open(
+        store,
+        ObjectId::new(1),
+        PaginateConfig::default(),
+        SimDuration::from_secs(5),
+    )?;
+
+    println!("\nmenu (note the voice operations text objects never offer):");
+    for item in session.menu().items() {
+        println!("  [{}]", item.label);
+    }
+
+    // Let the speech play; watch the x-ray appear and disappear with the
+    // related paragraph.
+    println!("\nplaying:");
+    let mut shown = false;
+    for _ in 0..40 {
+        for event in session.tick(SimDuration::from_millis(900)) {
+            match event {
+                BrowseEvent::VisualMessagePinned(_) => {
+                    shown = true;
+                    println!("  -> the x-ray appears (finding paragraph playing)");
+                }
+                BrowseEvent::VisualMessageUnpinned => {
+                    println!("  -> the x-ray is removed (finding paragraph over)");
+                }
+                BrowseEvent::CrossedIntoPage(p) => {
+                    println!("  crossed into audio page {}", p + 1);
+                }
+                BrowseEvent::PlaybackFinished => println!("  playback finished"),
+                _ => {}
+            }
+        }
+    }
+    assert!(shown, "the x-ray never appeared");
+
+    // The browsing-near-the-context facility: interrupt, rewind two short
+    // pauses (about two words), resume.
+    println!("\ninterrupt / rewind / resume:");
+    session.apply(BrowseCommand::GotoPage(minos::types::PageNumber::new(2).unwrap()))?;
+    session.tick(SimDuration::from_secs(3));
+    session.apply(BrowseCommand::Interrupt)?;
+    let at = session.audio().unwrap().position();
+    println!("  interrupted at {at}");
+    session.apply(BrowseCommand::RewindPauses(PauseKind::Short, 2))?;
+    println!("  rewound 2 short pauses -> {}", session.audio().unwrap().position());
+    session.apply(BrowseCommand::RewindPauses(PauseKind::Long, 1))?;
+    println!("  rewound 1 long pause  -> {}", session.audio().unwrap().position());
+
+    // Logical and pattern browsing, symmetric with text.
+    session.apply(BrowseCommand::NextUnit(LogicalLevel::Paragraph))?;
+    println!("  next paragraph        -> {}", session.audio().unwrap().position());
+    let events = session.apply(BrowseCommand::FindPattern("shadow".into()))?;
+    let found = events.iter().any(|e| matches!(e, BrowseEvent::PatternFound { .. }));
+    println!("  spoken pattern 'shadow' found: {found}");
+    Ok(())
+}

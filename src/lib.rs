@@ -1,0 +1,21 @@
+//! # MINOS — a reproduction of the SIGMOD 1986 multimedia presentation manager
+//!
+//! This facade crate re-exports the full public API of the workspace:
+//! the presentation manager itself ([`presentation`]) and every substrate it
+//! is built on. See `README.md` for a tour and `DESIGN.md` for the system
+//! inventory.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use minos_corpus as corpus;
+pub use minos_image as image;
+pub use minos_net as net;
+pub use minos_object as object;
+pub use minos_presentation as presentation;
+pub use minos_screen as screen;
+pub use minos_server as server;
+pub use minos_storage as storage;
+pub use minos_text as text;
+pub use minos_types as types;
+pub use minos_voice as voice;

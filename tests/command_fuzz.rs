@@ -1,0 +1,95 @@
+//! Property test: arbitrary command sequences never break a session.
+//!
+//! Whatever the user mashes on the menu — in either driving mode, across
+//! relevant-object boundaries — the session must never panic, must keep its
+//! stack depth ≥ 1, and must keep every reported position inside the
+//! browsed medium.
+
+use minos::corpus;
+use minos::presentation::{BrowseCommand, BrowsingSession};
+use minos::text::{LogicalLevel, PaginateConfig};
+use minos::types::{ObjectId, PageNumber, SimDuration, SimInstant};
+use minos::voice::PauseKind;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+type Store = HashMap<ObjectId, minos::object::MultimediaObject>;
+
+fn store() -> Store {
+    let mut map = Store::new();
+    let report = corpus::medical_report(ObjectId::new(1), 42);
+    map.insert(report.id, report);
+    let dictation = corpus::audio_xray_report(ObjectId::new(2), 7);
+    map.insert(dictation.id, dictation);
+    let (parent, overlays) =
+        corpus::subway_map_object(ObjectId::new(3), ObjectId::new(4), ObjectId::new(5), 11);
+    map.insert(parent.id, parent);
+    for o in overlays {
+        map.insert(o.id, o);
+    }
+    map
+}
+
+/// One of every command, parameterized by small fuzzed values.
+fn command(choice: u8, n: u8) -> BrowseCommand {
+    match choice % 12 {
+        0 => BrowseCommand::NextPage,
+        1 => BrowseCommand::PreviousPage,
+        2 => BrowseCommand::AdvancePages(n as i64 - 8),
+        3 => BrowseCommand::GotoPage(PageNumber::new(n as u32 + 1).unwrap()),
+        4 => BrowseCommand::NextUnit(LogicalLevel::ALL[n as usize % 5]),
+        5 => BrowseCommand::PreviousUnit(LogicalLevel::ALL[n as usize % 5]),
+        6 => BrowseCommand::FindPattern(["shadow", "the", "zzz", ""][n as usize % 4].into()),
+        7 => BrowseCommand::Interrupt,
+        8 => BrowseCommand::Resume,
+        9 => BrowseCommand::RewindPauses(
+            if n.is_multiple_of(2) { PauseKind::Short } else { PauseKind::Long },
+            (n % 5) as usize,
+        ),
+        10 => BrowseCommand::SelectRelevant((n % 3) as usize),
+        _ => BrowseCommand::ReturnFromRelevant,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_scripts_never_corrupt_a_session(
+        start in 1u64..=3,
+        script in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..40),
+        ticks in proptest::collection::vec(0u64..10_000, 0..10),
+    ) {
+        let (mut session, _) = BrowsingSession::open(
+            store(),
+            ObjectId::new(start),
+            PaginateConfig::default(),
+            SimDuration::from_secs(5),
+        )
+        .unwrap();
+        let mut tick_iter = ticks.into_iter();
+        for (choice, n) in script {
+            // Commands may fail (unavailable operation, no indicator) but
+            // must never panic or corrupt state.
+            let _ = session.apply(command(choice, n));
+            if let Some(ms) = tick_iter.next() {
+                session.tick(SimDuration::from_millis(ms));
+            }
+            prop_assert!(session.depth() >= 1);
+            let object = session.object();
+            if let Some(pos) = session.visual_position() {
+                let len = object.text_segments.first().map(|d| d.len()).unwrap_or(0);
+                prop_assert!(pos <= len, "text position {pos} beyond {len}");
+            }
+            if let Some(audio) = session.audio() {
+                let total = object.voice_segments[0].duration();
+                prop_assert!(
+                    audio.position() <= SimInstant::EPOCH + total,
+                    "voice position beyond the part"
+                );
+            }
+            // The menu is always derivable.
+            prop_assert!(!session.menu().is_empty());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Scenario tests for every figure of the paper (F1–F10 in DESIGN.md).
+//!
+//! Each test re-creates a figure's interaction end-to-end and asserts the
+//! observable behaviour the figure demonstrates.
+
+use minos::corpus;
+use minos::presentation::process::{ProcessEvent, ProcessRunner};
+use minos::presentation::{
+    BrowseCommand, BrowseEvent, BrowsingSession, ProcessState, TransparencyViewer,
+};
+use minos::screen::{render_page, Screen};
+use minos::text::{LogicalLevel, PaginateConfig};
+use minos::types::{ObjectId, SimDuration};
+use std::collections::HashMap;
+
+fn open_one(
+    object: minos::object::MultimediaObject,
+    config: PaginateConfig,
+) -> BrowsingSession<HashMap<ObjectId, minos::object::MultimediaObject>> {
+    let id = object.id;
+    let mut store = HashMap::new();
+    store.insert(id, object);
+    BrowsingSession::open(store, id, config, SimDuration::from_secs(5)).unwrap().0
+}
+
+/// Figures 1–2: visual pages with text, graphics and bitmaps, with menu
+/// options on the right-hand side of the screen.
+#[test]
+fn f1_f2_visual_pages_with_menu_column() {
+    let object = corpus::office_document(ObjectId::new(1), 7, 10);
+    let images: Vec<minos::image::Bitmap> = object.images.iter().map(|i| i.render()).collect();
+    let mut screen = Screen::new();
+    let config =
+        PaginateConfig { page_size: screen.display_region().size, margin: 24, block_gap: 10 };
+    let session = open_one(object, config);
+
+    let view = session.visual_view().unwrap();
+    assert!(view.page_count >= 3, "office document should span pages");
+    let page_bitmap = render_page(&view.page, config, |i| images.get(i).cloned());
+    assert!(!page_bitmap.is_blank(), "the page renders visibly");
+
+    screen.show(&page_bitmap, screen.display_region());
+    let menu = session.menu();
+    assert!(menu.len() >= 7, "menu offers the browsing options");
+    screen.show(&menu.render(screen.menu_region()), screen.menu_region());
+    // Ink in both regions: page content and the menu column.
+    let fb = screen.framebuffer();
+    let display_ink = fb.extract(screen.display_region()).unwrap().count_ink();
+    let menu_ink = fb.extract(screen.menu_region()).unwrap().count_ink();
+    assert!(display_ink > 1_000);
+    assert!(menu_ink > 100);
+}
+
+/// Figures 3–4: the pinned x-ray over several pages of related text; a
+/// final page turn shows a page without the image; the image is stored
+/// once.
+#[test]
+fn f3_f4_visual_logical_message_sequence() {
+    let object = corpus::medical_report(ObjectId::new(1), 42);
+    let config = PaginateConfig {
+        page_size: minos::types::Size::new(560, 420),
+        margin: 16,
+        block_gap: 8,
+    };
+    let mut session = open_one(object.clone(), config);
+
+    // Enter the findings chapter: the x-ray pins.
+    let events = session.apply(BrowseCommand::NextUnit(LogicalLevel::Chapter)).unwrap();
+    assert!(events.contains(&BrowseEvent::VisualMessagePinned(0)));
+    let first = session.visual_view().unwrap();
+    assert!(first.page_count >= 3, "the paper needed three pages; we need several too");
+    assert!(first.reserved_top > 0);
+
+    // Page through the related text: the image stays pinned.
+    for _ in 0..first.page_count - 1 {
+        let events = session.apply(BrowseCommand::NextPage).unwrap();
+        assert!(
+            !events.contains(&BrowseEvent::VisualMessageUnpinned),
+            "unpinned too early"
+        );
+        assert_eq!(session.visual_view().unwrap().pinned_message, Some(0));
+    }
+    // The next turn exits: a page without the image.
+    let events = session.apply(BrowseCommand::NextPage).unwrap();
+    assert!(events.contains(&BrowseEvent::VisualMessageUnpinned));
+    assert_eq!(session.visual_view().unwrap().pinned_message, None);
+
+    // Stored once: the archived form carries a single copy of the x-ray.
+    let archived = corpus::objects::archived_form(&object);
+    let xray_payload = minos::object::DataPayload::image(&object.images[0].render());
+    let image_bytes: u64 = archived
+        .descriptor
+        .entries
+        .iter()
+        .filter(|e| e.tag == "img0")
+        .map(|e| e.location.span().len())
+        .sum();
+    assert_eq!(image_bytes, xray_payload.len());
+}
+
+/// Figures 5–6: transparencies superimposed on the x-ray as the user
+/// presses next page; each adds a circle and an annotation.
+#[test]
+fn f5_f6_transparencies_on_the_xray() {
+    let object = corpus::medical_report(ObjectId::new(1), 42);
+    let mut viewer = TransparencyViewer::new(&object, 0).unwrap();
+    let base = viewer.current().unwrap();
+    let one = viewer.next_page().unwrap();
+    let two = viewer.next_page().unwrap();
+    // Ink accumulates; the base is never erased.
+    assert!(one.count_ink() > base.count_ink());
+    assert!(two.count_ink() > one.count_ink());
+    for y in 0..base.height() as i32 {
+        for x in 0..base.width() as i32 {
+            if base.get(x, y) {
+                assert!(two.get(x, y), "transparency erased base ink at ({x},{y})");
+            }
+        }
+    }
+    // The user may project a chosen subset.
+    let pick = viewer.superimpose(&[1]).unwrap();
+    assert!(pick.count_ink() > base.count_ink());
+    assert!(pick.count_ink() < two.count_ink());
+}
+
+/// Figures 7–8: relevant objects (hospital/university transparencies)
+/// selected from the subway map and superimposed; explicit return.
+#[test]
+fn f7_f8_relevant_objects_on_the_subway_map() {
+    let (parent, overlays) =
+        corpus::subway_map_object(ObjectId::new(1), ObjectId::new(2), ObjectId::new(3), 11);
+    let mut store = HashMap::new();
+    store.insert(parent.id, parent.clone());
+    for o in &overlays {
+        store.insert(o.id, o.clone());
+    }
+    let (mut session, _) = BrowsingSession::open(
+        store,
+        ObjectId::new(1),
+        PaginateConfig::default(),
+        SimDuration::from_secs(5),
+    )
+    .unwrap();
+
+    // Indicators for both overlays are visible on the map.
+    let labels: Vec<String> =
+        session.visible_relevant().iter().map(|(_, l)| l.label.clone()).collect();
+    assert_eq!(labels, vec!["hospitals", "university"]);
+
+    // Selecting the indicator enters the overlay object; superimposing its
+    // transparency on the map adds the markers.
+    session.apply(BrowseCommand::SelectRelevant(0)).unwrap();
+    assert_eq!(session.object().id, ObjectId::new(2));
+    let map = parent.images[0].render();
+    let marker = session.object().images[0].render();
+    let mut combined = map.clone();
+    combined.blit(&marker, minos::types::Point::ORIGIN, minos::image::BlitMode::Or);
+    assert!(combined.count_ink() > map.count_ink(), "markers visible over the map");
+
+    // Explicit return re-establishes the parent.
+    let events = session.apply(BrowseCommand::ReturnFromRelevant).unwrap();
+    assert!(events.contains(&BrowseEvent::ReturnedToParent(ObjectId::new(1))));
+    assert_eq!(session.object().id, ObjectId::new(1));
+
+    // The relevances record the marked stations as polygons.
+    assert!(!parent.relevant[0].relevances.is_empty());
+}
+
+/// Figures 9–10: the guided city walk — overwrites blanking the route,
+/// narrated, pages turning only after each narration completes.
+#[test]
+fn f9_f10_process_simulation_guided_walk() {
+    let object = corpus::city_walk_object(ObjectId::new(1), 3);
+    let mut runner = ProcessRunner::new(&object, 0).unwrap();
+    let initial_ink = runner.current_page().count_ink();
+
+    let mut blanked_so_far = Vec::new();
+    let mut total = SimDuration::ZERO;
+    while runner.state() != ProcessState::Finished {
+        let events = runner.tick(SimDuration::from_millis(500));
+        total += SimDuration::from_millis(500);
+        for e in events {
+            if let ProcessEvent::StepShown(i) = e {
+                let ink = runner.current_page().count_ink();
+                blanked_so_far.push((i, ink));
+            }
+        }
+        assert!(total < SimDuration::from_secs(600), "walk never finished");
+    }
+    // Each step blanks more of the route: ink is non-increasing and ends
+    // strictly lower.
+    assert_eq!(blanked_so_far.len(), 4);
+    for pair in blanked_so_far.windows(2) {
+        assert!(pair[1].1 <= pair[0].1, "ink increased between steps");
+    }
+    assert!(blanked_so_far.last().unwrap().1 < initial_ink);
+
+    // Narrations gate the turns: total time exceeds what the bare interval
+    // alone would need.
+    let narration_total: SimDuration = object
+        .voice_segments
+        .iter()
+        .map(|s| s.duration())
+        .fold(SimDuration::ZERO, |a, b| a + b);
+    assert!(total + SimDuration::from_secs(1) >= narration_total);
+}

@@ -1,0 +1,204 @@
+//! Experiment E1 — the symmetry thesis.
+//!
+//! "The information system should provide symmetric capabilities for
+//! entering, presenting, and browsing through voice or text." (§1)
+//!
+//! One source text is entered twice: as a visual-mode text object and as an
+//! audio-mode dictation of the same words. The *same* command scripts must
+//! be accepted by both, and position-equivalent commands must land both
+//! sessions on the same word of the underlying content.
+
+use minos::object::{DrivingMode, MultimediaObject, VoiceSegment};
+use minos::presentation::{BrowseCommand, BrowseEvent, BrowsingSession};
+use minos::text::{LogicalLevel, PaginateConfig};
+use minos::types::{ObjectId, SimDuration};
+use minos::voice::recognize::{Recognizer, RecognizerConfig};
+use minos::voice::synth::SpeakerProfile;
+use std::collections::HashMap;
+
+const SOURCE: &str = "\
+the presentation manager treats text and voice alike. both media carry the same words.\n\
+logical units let the reader or the listener jump by paragraph. pattern search lands on spoken or written words.\n\
+the final paragraph closes the argument. symmetric browsing needs no second vocabulary.";
+
+fn twin_objects() -> (MultimediaObject, MultimediaObject) {
+    // Visual twin: same paragraphs as markup.
+    let markup: String = SOURCE.split('\n').map(|p| format!(".pp\n{p}\n")).collect();
+    let mut visual = MultimediaObject::new(ObjectId::new(1), "text-twin", DrivingMode::Visual);
+    visual.text_segments.push(minos::text::parse_markup(&markup).unwrap());
+    visual.archive().unwrap();
+
+    // Audio twin: the same words dictated, fully marked and recognized.
+    let recognizer = Recognizer::new(
+        ["pattern", "paragraph", "symmetric", "vocabulary"],
+        RecognizerConfig { hit_rate: 1.0, false_alarm_rate: 0.0, seed: 1 },
+    );
+    let mut audio = MultimediaObject::new(ObjectId::new(2), "voice-twin", DrivingMode::Audio);
+    audio.voice_segments.push(
+        VoiceSegment::dictate(SOURCE, &SpeakerProfile::CLEAR, 1)
+            .with_marks(&[LogicalLevel::Paragraph, LogicalLevel::Sentence, LogicalLevel::Word])
+            .with_recognition(&recognizer),
+    );
+    audio.archive().unwrap();
+    (visual, audio)
+}
+
+type Session = BrowsingSession<HashMap<ObjectId, MultimediaObject>>;
+
+fn open_both() -> (Session, Session) {
+    let (visual, audio) = twin_objects();
+    let mut store = HashMap::new();
+    store.insert(visual.id, visual);
+    store.insert(audio.id, audio);
+    let (vs, _) = BrowsingSession::open(
+        store.clone(),
+        ObjectId::new(1),
+        PaginateConfig::default(),
+        SimDuration::from_secs(5),
+    )
+    .unwrap();
+    let (as_, _) = BrowsingSession::open(
+        store,
+        ObjectId::new(2),
+        PaginateConfig::default(),
+        SimDuration::from_secs(5),
+    )
+    .unwrap();
+    (vs, as_)
+}
+
+/// The word index the visual session currently points at (the word whose
+/// span contains or follows the exact engine position).
+fn visual_word(session: &Session) -> usize {
+    let doc = &session.object().text_segments[0];
+    let pos = session.visual_position().unwrap();
+    doc.tree().words.partition_point(|w| w.start <= pos).saturating_sub(1)
+}
+
+/// The word index the audio session currently points at.
+fn audio_word(session: &Session) -> usize {
+    let seg = &session.object().voice_segments[0];
+    let t = session.audio().unwrap().position();
+    seg.transcript.words.partition_point(|w| w.span.start <= t).saturating_sub(1)
+}
+
+#[test]
+fn both_modes_accept_the_same_command_script() {
+    let (mut visual, mut audio) = open_both();
+    let script = [
+        BrowseCommand::NextPage,
+        BrowseCommand::PreviousPage,
+        BrowseCommand::AdvancePages(1),
+        BrowseCommand::NextUnit(LogicalLevel::Paragraph),
+        BrowseCommand::PreviousUnit(LogicalLevel::Paragraph),
+        BrowseCommand::FindPattern("symmetric".into()),
+    ];
+    for cmd in &script {
+        visual
+            .apply(cmd.clone())
+            .unwrap_or_else(|e| panic!("visual rejected {cmd:?}: {e}"));
+        audio
+            .apply(cmd.clone())
+            .unwrap_or_else(|e| panic!("audio rejected {cmd:?}: {e}"));
+    }
+}
+
+#[test]
+fn paragraph_navigation_lands_on_the_same_words() {
+    let (mut visual, mut audio) = open_both();
+    // Jump to paragraph 2 in both media.
+    visual.apply(BrowseCommand::NextUnit(LogicalLevel::Paragraph)).unwrap();
+    audio.apply(BrowseCommand::NextUnit(LogicalLevel::Paragraph)).unwrap();
+
+    let vdoc = &visual.object().text_segments[0];
+    let vpos = visual.visual_position().unwrap();
+    let v_para = vdoc.tree().paragraphs.partition_point(|p| p.start <= vpos);
+    let a_t = audio.audio().unwrap().position();
+    let a_para = audio.object().voice_segments[0]
+        .transcript
+        .paragraph_starts
+        .partition_point(|&s| s <= a_t);
+    assert_eq!(v_para, a_para, "paragraph landing differs between media");
+}
+
+#[test]
+fn pattern_search_finds_the_same_word_occurrence() {
+    let (mut visual, mut audio) = open_both();
+    let v_events = visual.apply(BrowseCommand::FindPattern("symmetric".into())).unwrap();
+    let a_events = audio.apply(BrowseCommand::FindPattern("symmetric".into())).unwrap();
+    assert!(
+        v_events.iter().any(|e| matches!(e, BrowseEvent::PatternFound { .. })),
+        "visual search failed"
+    );
+    assert!(
+        a_events.iter().any(|e| matches!(e, BrowseEvent::PatternFound { .. })),
+        "audio search failed"
+    );
+    // Both landed on the same word of the source: "symmetric" occurs once.
+    let source_words: Vec<&str> = SOURCE.split_whitespace().collect();
+    let target = source_words.iter().position(|w| w.starts_with("symmetric")).unwrap();
+    let a_word = audio_word(&audio);
+    assert_eq!(a_word, target, "audio landed on word {a_word}, expected {target}");
+    let v_word = visual_word(&visual);
+    assert_eq!(v_word, target, "visual landed on word {v_word}, expected {target}");
+    // The visual hit is on the page containing that word.
+    let v_page_span = visual.visual_view().unwrap().page.span.unwrap();
+    let vdoc = &visual.object().text_segments[0];
+    let word_span = vdoc.tree().words[target];
+    assert!(
+        v_page_span.overlaps(&word_span),
+        "visual page {v_page_span:?} does not show word {word_span:?}"
+    );
+}
+
+#[test]
+fn menus_share_the_symmetric_core() {
+    let (visual, audio) = open_both();
+    let v: Vec<String> = visual.menu().items().iter().map(|i| i.label.clone()).collect();
+    let a: Vec<String> = audio.menu().items().iter().map(|i| i.label.clone()).collect();
+    for shared in [
+        "next page",
+        "previous page",
+        "advance pages",
+        "goto page",
+        "find pattern",
+        "next paragraph",
+        "previous paragraph",
+    ] {
+        assert!(v.contains(&shared.to_string()), "visual menu lacks {shared}");
+        assert!(a.contains(&shared.to_string()), "audio menu lacks {shared}");
+    }
+    // Voice-specific options only on the audio object.
+    for voice_only in ["interrupt", "resume", "rewind short pauses"] {
+        assert!(!v.contains(&voice_only.to_string()));
+        assert!(a.contains(&voice_only.to_string()));
+    }
+}
+
+#[test]
+fn word_positions_stay_aligned_through_mixed_browsing() {
+    let (mut visual, mut audio) = open_both();
+    // A realistic interleaving of commands applied identically.
+    let script = [
+        BrowseCommand::NextUnit(LogicalLevel::Paragraph),
+        BrowseCommand::NextUnit(LogicalLevel::Sentence),
+        BrowseCommand::NextUnit(LogicalLevel::Sentence),
+        BrowseCommand::PreviousUnit(LogicalLevel::Paragraph),
+        BrowseCommand::NextUnit(LogicalLevel::Word),
+    ];
+    for cmd in &script {
+        visual.apply(cmd.clone()).unwrap();
+        audio.apply(cmd.clone()).unwrap();
+    }
+    // Both sessions point into the same sentence of the shared source.
+    let vdoc = &visual.object().text_segments[0];
+    let v_word = visual_word(&visual);
+    let a_word = audio_word(&audio);
+    // Positions may differ by page rounding on the visual side; they must
+    // lie within the same sentence.
+    let sentence_of = |word: usize| {
+        let span = vdoc.tree().words[word.min(vdoc.tree().words.len() - 1)];
+        vdoc.tree().sentences.iter().position(|s| s.contains_span(&span))
+    };
+    assert_eq!(sentence_of(v_word), sentence_of(a_word));
+}
