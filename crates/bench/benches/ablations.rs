@@ -52,7 +52,10 @@ fn a1_pause_classification() {
         );
     }
     row("A1", "note: the fixed rule mislabels sentence gaps (~400ms) as long on careful speakers;");
-    row("A1", "      the adaptive boundary follows each speaker's own gap distribution, as §2 requires");
+    row(
+        "A1",
+        "      the adaptive boundary follows each speaker's own gap distribution, as §2 requires",
+    );
 }
 
 fn a2_miniature_factor() {

@@ -68,12 +68,12 @@ fn print_series() {
         // Shared data is appended once no matter how many references
         // (the few extra bytes are re-encoded descriptor varints).
         let grew = outside_len - inside_len;
-        assert!(
-            (64 * 1024..64 * 1024 + 64).contains(&grew),
-            "refs {refs}: grew {grew}"
-        );
+        assert!((64 * 1024..64 * 1024 + 64).contains(&grew), "refs {refs}: grew {grew}");
     }
-    row("E8", "note: mailed-outside grows by exactly one copy of the shared data, independent of refs");
+    row(
+        "E8",
+        "note: mailed-outside grows by exactly one copy of the shared data, independent of refs",
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -84,17 +84,13 @@ fn bench(c: &mut Criterion) {
     let obj = object_with_sharing(record.span, 4, 16);
 
     let mut group = c.benchmark_group("e8_archival_mailing");
-    group.bench_function("encode_for_archive", |b| {
-        b.iter(|| obj.encode_for_archive(123_456_789))
-    });
+    group.bench_function("encode_for_archive", |b| b.iter(|| obj.encode_for_archive(123_456_789)));
     group.bench_function("decode_from_archive", |b| {
         let bytes = obj.encode_for_archive(123_456_789);
         b.iter(|| ArchivedObject::decode_from_archive(&bytes, 123_456_789).unwrap())
     });
     group.bench_function("mail_inside", |b| b.iter(|| obj.mail_inside()));
-    group.bench_function("mail_outside_resolve", |b| {
-        b.iter(|| obj.mail_outside(&shared).unwrap())
-    });
+    group.bench_function("mail_outside_resolve", |b| b.iter(|| obj.mail_outside(&shared).unwrap()));
     group.bench_function("archiver_read_span", |b| {
         b.iter(|| shared.read_span(record.span).unwrap())
     });

@@ -9,10 +9,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use minos_bench::{fast_criterion, row};
 use minos_corpus::speech::dictation;
+use minos_types::SimDuration;
 use minos_voice::pause::PauseDetector;
 use minos_voice::synth::{synthesize, SpeakerProfile};
 use minos_voice::{AudioPages, PlaybackEngine};
-use minos_types::SimDuration;
 
 fn engine() -> PlaybackEngine {
     let text = dictation(8, 10, 5);
@@ -31,7 +31,10 @@ fn print_series() {
         if i + 1 < pages.page_count() && span.duration() != SimDuration::from_secs(20) {
             all_but_last_constant = false;
         }
-        row("E3", &format!("page {:>2}: {} .. {} ({})", i + 1, span.start, span.end, span.duration()));
+        row(
+            "E3",
+            &format!("page {:>2}: {} .. {} ({})", i + 1, span.start, span.end, span.duration()),
+        );
     }
     row("E3", &format!("constant_length_except_last = {all_but_last_constant}"));
     row(

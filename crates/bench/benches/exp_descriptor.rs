@@ -37,10 +37,7 @@ fn print_series() {
     row("E9", "entries  encoded_bytes  bytes_per_entry");
     for n in [4usize, 16, 64, 256, 1_024] {
         let bytes = descriptor_with(n).encode();
-        row(
-            "E9",
-            &format!("{n:>7}  {:>13}  {:>15.1}", bytes.len(), bytes.len() as f64 / n as f64),
-        );
+        row("E9", &format!("{n:>7}  {:>13}  {:>15.1}", bytes.len(), bytes.len() as f64 / n as f64));
     }
 }
 
@@ -51,9 +48,7 @@ fn bench(c: &mut Criterion) {
         let desc = descriptor_with(n);
         let bytes = desc.encode();
         group.throughput(Throughput::Bytes(bytes.len() as u64));
-        group.bench_with_input(BenchmarkId::new("encode", n), &desc, |b, d| {
-            b.iter(|| d.encode())
-        });
+        group.bench_with_input(BenchmarkId::new("encode", n), &desc, |b, d| b.iter(|| d.encode()));
         group.bench_with_input(BenchmarkId::new("decode", n), &bytes, |b, bytes| {
             b.iter(|| ObjectDescriptor::decode(bytes).unwrap())
         });

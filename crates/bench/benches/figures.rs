@@ -30,78 +30,84 @@ fn bench(c: &mut Criterion) {
     let mut store = Store::new();
     store.insert(object.id, object);
     let session = open(store.clone(), 1, config);
-    row("F1-F2", &format!(
-        "office document: {} visual pages, {} menu options",
-        session.visual_view().unwrap().page_count,
-        session.menu().len()
-    ));
+    row(
+        "F1-F2",
+        &format!(
+            "office document: {} visual pages, {} menu options",
+            session.visual_view().unwrap().page_count,
+            session.menu().len()
+        ),
+    );
     {
-    let mut g = c.benchmark_group("fig1_2_visual_pages");
-    g.bench_function("compose_screen", |b| {
-        b.iter(|| {
-            let mut screen = Screen::new();
-            let view = session.visual_view().unwrap();
-            let page = render_page(&view.page, config, |i| images.get(i).cloned());
-            screen.show(&page, screen.display_region());
-            screen.show(&session.menu().render(screen.menu_region()), screen.menu_region());
-            screen.framebuffer().count_ink()
-        })
-    });
-    g.finish();
+        let mut g = c.benchmark_group("fig1_2_visual_pages");
+        g.bench_function("compose_screen", |b| {
+            b.iter(|| {
+                let mut screen = Screen::new();
+                let view = session.visual_view().unwrap();
+                let page = render_page(&view.page, config, |i| images.get(i).cloned());
+                screen.show(&page, screen.display_region());
+                screen.show(&session.menu().render(screen.menu_region()), screen.menu_region());
+                screen.framebuffer().count_ink()
+            })
+        });
+        g.finish();
     }
 
     // F3-F4: page through the pinned-message region.
     let report = corpus::medical_report(ObjectId::new(2), 42);
-    let small = PaginateConfig {
-        page_size: minos_types::Size::new(560, 420),
-        margin: 16,
-        block_gap: 8,
-    };
+    let small =
+        PaginateConfig { page_size: minos_types::Size::new(560, 420), margin: 16, block_gap: 8 };
     let mut store2 = Store::new();
     store2.insert(report.id, report);
     {
         let mut s = open(store2.clone(), 2, small);
         s.apply(BrowseCommand::NextUnit(LogicalLevel::Chapter)).unwrap();
-        row("F3-F4", &format!(
-            "pinned x-ray over {} pages of related text",
-            s.visual_view().unwrap().page_count
-        ));
+        row(
+            "F3-F4",
+            &format!(
+                "pinned x-ray over {} pages of related text",
+                s.visual_view().unwrap().page_count
+            ),
+        );
     }
     {
-    let mut g = c.benchmark_group("fig3_4_pinned_message");
-    g.bench_function("enter_and_page_through", |b| {
-        b.iter(|| {
-            let mut s = open(store2.clone(), 2, small);
-            s.apply(BrowseCommand::NextUnit(LogicalLevel::Chapter)).unwrap();
-            let n = s.visual_view().unwrap().page_count;
-            for _ in 0..n {
-                s.apply(BrowseCommand::NextPage).unwrap();
-            }
-            s.visual_view().unwrap().pinned_message
-        })
-    });
-    g.finish();
+        let mut g = c.benchmark_group("fig3_4_pinned_message");
+        g.bench_function("enter_and_page_through", |b| {
+            b.iter(|| {
+                let mut s = open(store2.clone(), 2, small);
+                s.apply(BrowseCommand::NextUnit(LogicalLevel::Chapter)).unwrap();
+                let n = s.visual_view().unwrap().page_count;
+                for _ in 0..n {
+                    s.apply(BrowseCommand::NextPage).unwrap();
+                }
+                s.visual_view().unwrap().pinned_message
+            })
+        });
+        g.finish();
     }
 
     // F5-F6: transparency pages.
     let report2 = corpus::medical_report(ObjectId::new(3), 42);
-    row("F5-F6", &format!(
-        "transparency set of {} sheets over the x-ray",
-        report2.transparency_sets[0].sheets.len()
-    ));
+    row(
+        "F5-F6",
+        &format!(
+            "transparency set of {} sheets over the x-ray",
+            report2.transparency_sets[0].sheets.len()
+        ),
+    );
     {
-    let mut g = c.benchmark_group("fig5_6_transparencies");
-    g.bench_function("turn_all_sheets", |b| {
-        b.iter(|| {
-            let mut v = TransparencyViewer::new(&report2, 0).unwrap();
-            let mut ink = 0;
-            for _ in 0..v.len() {
-                ink = v.next_page().unwrap().count_ink();
-            }
-            ink
-        })
-    });
-    g.finish();
+        let mut g = c.benchmark_group("fig5_6_transparencies");
+        g.bench_function("turn_all_sheets", |b| {
+            b.iter(|| {
+                let mut v = TransparencyViewer::new(&report2, 0).unwrap();
+                let mut ink = 0;
+                for _ in 0..v.len() {
+                    ink = v.next_page().unwrap().count_ink();
+                }
+                ink
+            })
+        });
+        g.finish();
     }
 
     // F7-F8: select and return from a relevant object.
@@ -114,34 +120,34 @@ fn bench(c: &mut Criterion) {
     }
     row("F7-F8", "subway map with 2 relevant overlay objects");
     {
-    let mut g = c.benchmark_group("fig7_8_relevant_objects");
-    g.bench_function("select_and_return", |b| {
-        b.iter(|| {
-            let mut s = open(store3.clone(), 4, PaginateConfig::default());
-            s.apply(BrowseCommand::SelectRelevant(0)).unwrap();
-            s.apply(BrowseCommand::ReturnFromRelevant).unwrap();
-            s.depth()
-        })
-    });
-    g.finish();
+        let mut g = c.benchmark_group("fig7_8_relevant_objects");
+        g.bench_function("select_and_return", |b| {
+            b.iter(|| {
+                let mut s = open(store3.clone(), 4, PaginateConfig::default());
+                s.apply(BrowseCommand::SelectRelevant(0)).unwrap();
+                s.apply(BrowseCommand::ReturnFromRelevant).unwrap();
+                s.depth()
+            })
+        });
+        g.finish();
     }
 
     // F9-F10: play the whole walk.
     let walk = corpus::city_walk_object(ObjectId::new(7), 3);
     row("F9-F10", &format!("city walk of {} narrated stops", walk.process_sims[0].steps.len()));
     {
-    let mut g = c.benchmark_group("fig9_10_process_simulation");
-    g.bench_function("play_whole_walk", |b| {
-        b.iter(|| {
-            let mut r = ProcessRunner::new(&walk, 0).unwrap();
-            let mut events = 0;
-            while r.state() != minos_presentation::ProcessState::Finished {
-                events += r.tick(SimDuration::from_secs(5)).len();
-            }
-            events
-        })
-    });
-    g.finish();
+        let mut g = c.benchmark_group("fig9_10_process_simulation");
+        g.bench_function("play_whole_walk", |b| {
+            b.iter(|| {
+                let mut r = ProcessRunner::new(&walk, 0).unwrap();
+                let mut events = 0;
+                while r.state() != minos_presentation::ProcessState::Finished {
+                    events += r.tick(SimDuration::from_secs(5)).len();
+                }
+                events
+            })
+        });
+        g.finish();
     }
 }
 

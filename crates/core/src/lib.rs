@@ -18,7 +18,9 @@
 //! * [`process`] — process simulation with audio-gated page turns
 //!   (Figures 9–10);
 //! * [`remote`] — the workstation side of the server protocol: remote
-//!   views, miniature browsing, transfer accounting.
+//!   views, miniature browsing, transfer accounting;
+//! * [`prefetch`] — anticipatory prefetching: prediction policies, the
+//!   batched prefetch pipeline, and stall-time accounting (§5).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +28,7 @@
 pub mod audio;
 pub mod command;
 pub mod compose;
+pub mod prefetch;
 pub mod process;
 pub mod remote;
 pub mod session;
@@ -34,8 +37,9 @@ pub mod transparency;
 pub mod visual;
 
 pub use audio::AudioEngine;
-pub use compose::{compose_screen, resolve_figure};
 pub use command::{BrowseCommand, BrowseEvent};
+pub use compose::{compose_screen, resolve_figure};
+pub use prefetch::{page_spans, AnticipatingStore, PrefetchBuffer, PrefetchStats, Prefetcher};
 pub use process::{ProcessRunner, ProcessState};
 pub use remote::{MiniatureBrowser, ServerEndpoint, Workstation};
 pub use session::{BrowsingSession, ObjectStore};

@@ -196,8 +196,8 @@ mod tests {
     fn audio_messages_gate_page_turns() {
         let (obj, mut r) = runner();
         r.tick(SimDuration::from_millis(1)); // step 1 shown, message 0 playing
-        // The narration is longer than the 3 s interval, so after 3 s the
-        // next page must NOT have turned yet.
+                                             // The narration is longer than the 3 s interval, so after 3 s the
+                                             // next page must NOT have turned yet.
         let narration = match &obj.messages[0].body {
             MessageBody::Voice { duration, .. } => *duration,
             _ => unreachable!(),

@@ -33,12 +33,13 @@ pub struct Workstation<E: ServerEndpoint> {
     endpoint: E,
     link: Link,
     clock: SimClock,
+    round_trips: u64,
 }
 
 impl<E: ServerEndpoint> Workstation<E> {
     /// Connects a workstation to `endpoint` over `link`.
     pub fn new(endpoint: E, link: Link) -> Self {
-        Workstation { endpoint, link, clock: SimClock::new() }
+        Workstation { endpoint, link, clock: SimClock::new(), round_trips: 0 }
     }
 
     /// Total simulated time spent so far.
@@ -51,10 +52,17 @@ impl<E: ServerEndpoint> Workstation<E> {
         self.link.stats().bytes
     }
 
+    /// Request/response round trips so far (a batch counts as one — that is
+    /// its point).
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips
+    }
+
     /// Resets the accounting (between experiment configurations).
     pub fn reset_accounting(&mut self) {
         self.link.reset_stats();
         self.clock = SimClock::new();
+        self.round_trips = 0;
     }
 
     /// The wrapped endpoint.
@@ -65,6 +73,7 @@ impl<E: ServerEndpoint> Workstation<E> {
     /// Issues one request, charging request transfer + server device time
     /// + response transfer, and surfacing server-side errors.
     pub fn request(&mut self, request: &ServerRequest) -> Result<ServerResponse> {
+        self.round_trips += 1;
         let up = self.link.transfer(request.wire_size());
         self.clock.advance(up);
         let (response, device_time) = self.endpoint.handle(request);
@@ -75,6 +84,22 @@ impl<E: ServerEndpoint> Workstation<E> {
             return Err(MinosError::Protocol(message));
         }
         Ok(response)
+    }
+
+    /// Issues several requests in one batched round trip, returning one
+    /// response per request in order. The link latency is paid once for
+    /// the whole batch; per-request failures come back as inline
+    /// [`ServerResponse::Error`] entries rather than failing the call.
+    pub fn request_batch(&mut self, requests: Vec<ServerRequest>) -> Result<Vec<ServerResponse>> {
+        let expected = requests.len();
+        match self.request(&ServerRequest::Batch { requests })? {
+            ServerResponse::Batch(responses) if responses.len() == expected => Ok(responses),
+            ServerResponse::Batch(responses) => Err(MinosError::Protocol(format!(
+                "batch answered {} of {expected} requests",
+                responses.len()
+            ))),
+            other => Err(MinosError::Protocol(format!("unexpected response {other:?}"))),
+        }
     }
 
     /// Fetches the whole archived object (descriptor + composition),
@@ -92,9 +117,7 @@ impl<E: ServerEndpoint> Workstation<E> {
     /// bytes cross the link.
     pub fn fetch_view(&mut self, id: ObjectId, image: usize, rect: Rect) -> Result<Bitmap> {
         match self.request(&ServerRequest::FetchView { id, tag: image.to_string(), rect })? {
-            ServerResponse::View(bytes) => {
-                DataPayload { kind: DataKind::Image, bytes }.as_image()
-            }
+            ServerResponse::View(bytes) => DataPayload { kind: DataKind::Image, bytes }.as_image(),
             other => Err(MinosError::Protocol(format!("unexpected response {other:?}"))),
         }
     }
@@ -230,14 +253,9 @@ mod tests {
     #[test]
     fn view_browsing_costs_window_bytes_per_move() {
         let (mut ws, _) = workstation();
-        let mut rv = RemoteView::open(
-            ObjectId::new(2),
-            0,
-            Size::new(900, 700),
-            Size::new(200, 150),
-            40,
-        )
-        .unwrap();
+        let mut rv =
+            RemoteView::open(ObjectId::new(2), 0, Size::new(900, 700), Size::new(200, 150), 40)
+                .unwrap();
         let w1 = rv.fetch(&mut ws).unwrap();
         assert_eq!(w1.size(), Size::new(200, 150));
         let after_first = ws.bytes_transferred();
@@ -255,8 +273,7 @@ mod tests {
     fn miniature_stream_serves_all_hits() {
         let (mut ws, _) = workstation();
         let hits = ws.query(&["the"]).unwrap_or_default();
-        let stream =
-            ws.miniature_stream(&[ObjectId::new(1), ObjectId::new(2)]).unwrap();
+        let stream = ws.miniature_stream(&[ObjectId::new(1), ObjectId::new(2)]).unwrap();
         assert_eq!(stream.len(), 2);
         for (_, mini) in &stream {
             assert!(mini.width() <= 160);
@@ -267,10 +284,7 @@ mod tests {
     #[test]
     fn server_errors_surface_as_protocol_errors() {
         let (mut ws, _) = workstation();
-        assert!(matches!(
-            ws.fetch_miniature(ObjectId::new(404)),
-            Err(MinosError::Protocol(_))
-        ));
+        assert!(matches!(ws.fetch_miniature(ObjectId::new(404)), Err(MinosError::Protocol(_))));
     }
 
     #[test]
@@ -278,9 +292,45 @@ mod tests {
         let (mut ws, _) = workstation();
         ws.query(&["anything"]).unwrap();
         assert!(ws.bytes_transferred() > 0);
+        assert_eq!(ws.round_trips(), 1);
         ws.reset_accounting();
         assert_eq!(ws.bytes_transferred(), 0);
         assert_eq!(ws.elapsed(), SimDuration::ZERO);
+        assert_eq!(ws.round_trips(), 0);
+    }
+
+    #[test]
+    fn batch_is_one_round_trip_with_inline_errors() {
+        let (mut ws, _) = workstation();
+        let responses = ws
+            .request_batch(vec![
+                ServerRequest::FetchMiniature { id: ObjectId::new(1) },
+                ServerRequest::FetchMiniature { id: ObjectId::new(404) },
+                ServerRequest::Query { keywords: vec!["shadow".into()] },
+            ])
+            .unwrap();
+        assert_eq!(ws.round_trips(), 1);
+        assert_eq!(responses.len(), 3);
+        assert!(matches!(responses[0], ServerResponse::Miniature(_)));
+        assert!(matches!(responses[1], ServerResponse::Error(_)));
+        assert_eq!(responses[2], ServerResponse::Hits(vec![ObjectId::new(1)]));
+    }
+
+    #[test]
+    fn batching_beats_serial_round_trips() {
+        let (mut serial, _) = workstation();
+        let (mut batched, _) = workstation();
+        let ids = [ObjectId::new(1), ObjectId::new(2), ObjectId::new(3)];
+        for &id in &ids {
+            serial.fetch_miniature(id).unwrap();
+        }
+        batched
+            .request_batch(ids.iter().map(|&id| ServerRequest::FetchMiniature { id }).collect())
+            .unwrap();
+        assert_eq!(serial.round_trips(), 3);
+        assert_eq!(batched.round_trips(), 1);
+        // Two link latencies saved per avoided round trip.
+        assert!(batched.elapsed() < serial.elapsed());
     }
 }
 

@@ -21,6 +21,13 @@ use std::collections::HashMap;
 pub trait ObjectStore {
     /// Fetches an archived object by id.
     fn fetch(&mut self, id: ObjectId) -> Result<MultimediaObject>;
+
+    /// Observes the objects the user is likely to request next — the
+    /// targets of the relevant-object indicators currently on screen.
+    /// Remote stores prefetch them (§5 anticipation); the default ignores
+    /// the hint, and a wrong hint can only ever waste transfer, never
+    /// change what `fetch` returns.
+    fn note_upcoming(&mut self, _targets: &[ObjectId]) {}
 }
 
 impl ObjectStore for HashMap<ObjectId, MultimediaObject> {
@@ -62,12 +69,23 @@ impl<S: ObjectStore> BrowsingSession<S> {
         let object = store.fetch(id)?;
         let mut session = BrowsingSession { store, stack: Vec::new(), config, audio_page_len };
         let events = session.push_object(object)?;
+        session.announce_upcoming();
         Ok((session, events))
+    }
+
+    /// Reports the visible relevant-object targets to the store so it can
+    /// anticipate the user's next selection.
+    fn announce_upcoming(&mut self) {
+        let targets: Vec<ObjectId> =
+            self.visible_relevant().iter().map(|(_, link)| link.target).collect();
+        self.store.note_upcoming(&targets);
     }
 
     fn build_engine(&self, object: &MultimediaObject) -> Result<ModeEngine> {
         Ok(match object.driving_mode {
-            DrivingMode::Visual => ModeEngine::Visual(Box::new(VisualEngine::new(object, 0, self.config)?)),
+            DrivingMode::Visual => {
+                ModeEngine::Visual(Box::new(VisualEngine::new(object, 0, self.config)?))
+            }
             DrivingMode::Audio => {
                 ModeEngine::Audio(Box::new(AudioEngine::new(object, 0, self.audio_page_len)?))
             }
@@ -192,6 +210,14 @@ impl<S: ObjectStore> BrowsingSession<S> {
 
     /// Applies a browsing command.
     pub fn apply(&mut self, command: BrowseCommand) -> Result<Vec<BrowseEvent>> {
+        let events = self.dispatch(command)?;
+        // Whatever the command changed (page, object, mode), the now-
+        // visible indicators are the store's prefetch hint.
+        self.announce_upcoming();
+        Ok(events)
+    }
+
+    fn dispatch(&mut self, command: BrowseCommand) -> Result<Vec<BrowseEvent>> {
         match command {
             BrowseCommand::SelectRelevant(n) => return self.select_relevant(n),
             BrowseCommand::ReturnFromRelevant => return self.return_from_relevant(),
@@ -245,9 +271,7 @@ impl<S: ObjectStore> BrowsingSession<S> {
         let target = {
             let visible = self.visible_relevant();
             let (_, link) = visible.get(n).ok_or_else(|| {
-                MinosError::OperationUnavailable(format!(
-                    "no relevant object indicator {n} here"
-                ))
+                MinosError::OperationUnavailable(format!("no relevant object indicator {n} here"))
             })?;
             link.target
         };
@@ -260,9 +284,7 @@ impl<S: ObjectStore> BrowsingSession<S> {
     /// Explicitly returns from the current relevant object.
     fn return_from_relevant(&mut self) -> Result<Vec<BrowseEvent>> {
         if self.stack.len() <= 1 {
-            return Err(MinosError::OperationUnavailable(
-                "not inside a relevant object".into(),
-            ));
+            return Err(MinosError::OperationUnavailable("not inside a relevant object".into()));
         }
         self.stack.pop();
         let parent = self.top().object.id;
@@ -282,7 +304,7 @@ impl<S: ObjectStore> BrowsingSession<S> {
 mod tests {
     use super::*;
     use minos_corpus::{audio_xray_report, medical_report, subway_map_object};
-    
+
     use minos_voice::PauseKind;
 
     fn store() -> HashMap<ObjectId, MultimediaObject> {
@@ -324,10 +346,7 @@ mod tests {
         let (session, _) = open(2);
         assert!(session.audio().is_some());
         assert!(session.visual_view().is_none());
-        assert_eq!(
-            session.audio().unwrap().state(),
-            minos_voice::PlaybackState::Playing
-        );
+        assert_eq!(session.audio().unwrap().state(), minos_voice::PlaybackState::Playing);
     }
 
     #[test]
@@ -340,9 +359,9 @@ mod tests {
                 BrowseCommand::AdvancePages(2),
                 BrowseCommand::FindPattern("shadow".into()),
             ] {
-                session.apply(cmd.clone()).unwrap_or_else(|e| {
-                    panic!("command {cmd:?} failed on object {id}: {e}")
-                });
+                session
+                    .apply(cmd.clone())
+                    .unwrap_or_else(|e| panic!("command {cmd:?} failed on object {id}: {e}"));
             }
         }
     }
@@ -375,8 +394,7 @@ mod tests {
     #[test]
     fn menu_reflects_driving_mode_and_structure() {
         let (visual, _) = open(1);
-        let labels: Vec<String> =
-            visual.menu().items().iter().map(|i| i.label.clone()).collect();
+        let labels: Vec<String> = visual.menu().items().iter().map(|i| i.label.clone()).collect();
         assert!(labels.contains(&"next page".to_string()));
         assert!(labels.contains(&"next chapter".to_string()));
         assert!(!labels.contains(&"interrupt".to_string()));
@@ -395,8 +413,7 @@ mod tests {
         let visible = session.visible_relevant();
         assert_eq!(visible.len(), 2);
         assert_eq!(visible[0].1.label, "hospitals");
-        let labels: Vec<String> =
-            session.menu().items().iter().map(|i| i.label.clone()).collect();
+        let labels: Vec<String> = session.menu().items().iter().map(|i| i.label.clone()).collect();
         assert!(labels.contains(&"relevant: hospitals".to_string()));
     }
 
@@ -408,8 +425,7 @@ mod tests {
         assert_eq!(session.depth(), 2);
         assert_eq!(session.object().id, ObjectId::new(4));
         // The menu now offers the return option.
-        let labels: Vec<String> =
-            session.menu().items().iter().map(|i| i.label.clone()).collect();
+        let labels: Vec<String> = session.menu().items().iter().map(|i| i.label.clone()).collect();
         assert!(labels.contains(&"return from relevant object".to_string()));
 
         let events = session.apply(BrowseCommand::ReturnFromRelevant).unwrap();
@@ -467,11 +483,7 @@ mod tests {
         let mut map = store();
         let mut parent = medical_report(ObjectId::new(10), 1);
         // Rebuild as editing to add a link (generator archives).
-        let mut fresh = MultimediaObject::new(
-            ObjectId::new(10),
-            "parent",
-            DrivingMode::Visual,
-        );
+        let mut fresh = MultimediaObject::new(ObjectId::new(10), "parent", DrivingMode::Visual);
         fresh.text_segments = parent.text_segments.clone();
         fresh.relevant.push(minos_object::RelevantLink {
             label: "dictation".into(),

@@ -163,11 +163,7 @@ impl TourRunner {
             view.step(direction);
         }
         let rect = self.player.current_rect();
-        Ok(self
-            .labels_in(rect)
-            .into_iter()
-            .map(TourEvent::VoiceLabelPlayed)
-            .collect())
+        Ok(self.labels_in(rect).into_iter().map(TourEvent::VoiceLabelPlayed).collect())
     }
 }
 

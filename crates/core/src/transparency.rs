@@ -23,15 +23,14 @@ pub struct TransparencyViewer {
 impl TransparencyViewer {
     /// Opens the viewer on the object's `set_index`-th transparency set.
     pub fn new(object: &MultimediaObject, set_index: usize) -> Result<Self> {
-        let spec = object.transparency_sets.get(set_index).ok_or_else(|| {
-            MinosError::UnknownComponent(format!("transparency set {set_index}"))
-        })?;
+        let spec = object
+            .transparency_sets
+            .get(set_index)
+            .ok_or_else(|| MinosError::UnknownComponent(format!("transparency set {set_index}")))?;
         let base = object
             .images
             .get(spec.base_image)
-            .ok_or_else(|| {
-                MinosError::UnknownComponent(format!("base image {}", spec.base_image))
-            })?
+            .ok_or_else(|| MinosError::UnknownComponent(format!("base image {}", spec.base_image)))?
             .render();
         let sheets: Result<Vec<Bitmap>> = spec
             .sheets

@@ -74,9 +74,7 @@ impl VisualEngine {
         let doc = match object.text_segments.get(segment) {
             Some(d) => d.clone(),
             None if segment == 0 => Document::default(),
-            None => {
-                return Err(MinosError::UnknownComponent(format!("text segment {segment}")))
-            }
+            None => return Err(MinosError::UnknownComponent(format!("text segment {segment}"))),
         };
         let base_form = PresentationForm::paginate(&doc, config);
 
@@ -97,8 +95,7 @@ impl VisualEngine {
                         .and_then(|idx| object.images.get(idx))
                         .map(|img| img.size().height)
                         .unwrap_or(0);
-                    let reserved =
-                        (image_height + 24).min(config.page_size.height / 2).max(40);
+                    let reserved = (image_height + 24).min(config.page_size.height / 2).max(40);
                     let sub = Self::paginate_span(&doc, span, config.with_reserved_top(reserved));
                     regions.push(PinnedRegion {
                         message: i,
@@ -192,8 +189,7 @@ impl VisualEngine {
         self.pos = pos.min(self.doc.len());
         // Voice messages: fire on entry.
         for &(message, span) in &self.voice_anchors {
-            let inside =
-                span.contains(self.pos) || (span.is_empty() && span.start == self.pos);
+            let inside = span.contains(self.pos) || (span.is_empty() && span.start == self.pos);
             if inside && self.inside_voice.insert(message) {
                 events.push(BrowseEvent::VoiceMessagePlayed(message));
             } else if !inside {
@@ -406,10 +402,7 @@ mod tests {
         e.open();
         let findings_start = obj.text_segments[0].tree().chapters[0].span.start;
         let events = e.seek(findings_start);
-        assert!(
-            events.contains(&BrowseEvent::VisualMessagePinned(0)),
-            "no pin event: {events:?}"
-        );
+        assert!(events.contains(&BrowseEvent::VisualMessagePinned(0)), "no pin event: {events:?}");
         let view = e.view();
         assert_eq!(view.pinned_message, Some(0));
         assert!(view.reserved_top > 0);

@@ -6,14 +6,69 @@ use rand::{Rng, SeedableRng};
 /// The word pool: enough distinct words for interesting indexes and
 /// pattern-search targets, biased toward the paper's own vocabulary.
 pub const WORDS: &[&str] = &[
-    "multimedia", "object", "presentation", "manager", "browsing", "voice", "text", "image",
-    "workstation", "optical", "disk", "archive", "server", "page", "chapter", "section",
-    "paragraph", "sentence", "word", "pattern", "menu", "option", "screen", "bitmap", "graphics",
-    "label", "view", "tour", "transparency", "overwrite", "miniature", "descriptor", "synthesis",
-    "composition", "attribute", "segment", "pause", "recognition", "symmetric", "driving",
-    "mode", "relevant", "indicator", "message", "logical", "doctor", "patient", "x-ray",
-    "shadow", "hospital", "report", "office", "document", "system", "information", "bandwidth",
-    "communication", "storage", "retrieval", "query", "content", "keyword", "index",
+    "multimedia",
+    "object",
+    "presentation",
+    "manager",
+    "browsing",
+    "voice",
+    "text",
+    "image",
+    "workstation",
+    "optical",
+    "disk",
+    "archive",
+    "server",
+    "page",
+    "chapter",
+    "section",
+    "paragraph",
+    "sentence",
+    "word",
+    "pattern",
+    "menu",
+    "option",
+    "screen",
+    "bitmap",
+    "graphics",
+    "label",
+    "view",
+    "tour",
+    "transparency",
+    "overwrite",
+    "miniature",
+    "descriptor",
+    "synthesis",
+    "composition",
+    "attribute",
+    "segment",
+    "pause",
+    "recognition",
+    "symmetric",
+    "driving",
+    "mode",
+    "relevant",
+    "indicator",
+    "message",
+    "logical",
+    "doctor",
+    "patient",
+    "x-ray",
+    "shadow",
+    "hospital",
+    "report",
+    "office",
+    "document",
+    "system",
+    "information",
+    "bandwidth",
+    "communication",
+    "storage",
+    "retrieval",
+    "query",
+    "content",
+    "keyword",
+    "index",
 ];
 
 /// A deterministic pseudo-sentence of `len` words ending with a period.
@@ -43,7 +98,12 @@ pub fn paragraph(rng: &mut StdRng, sentences: usize) -> String {
 /// Generates a full office document in MINOS markup: title, abstract,
 /// `chapters` chapters of `sections_per` sections with
 /// `paragraphs_per` paragraphs each, and references.
-pub fn office_markup(seed: u64, chapters: usize, sections_per: usize, paragraphs_per: usize) -> String {
+pub fn office_markup(
+    seed: u64,
+    chapters: usize,
+    sections_per: usize,
+    paragraphs_per: usize,
+) -> String {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = String::new();
     out.push_str(&format!(".ti Report number {} on multimedia presentation\n", seed % 1000));

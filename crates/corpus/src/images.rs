@@ -56,13 +56,29 @@ pub struct SubwayMap {
 
 /// Generates a subway map with `lines` lines of `stations_per` stations
 /// each (Figures 7–8).
-pub fn subway_map(seed: u64, width: u32, height: u32, lines: usize, stations_per: usize) -> SubwayMap {
+pub fn subway_map(
+    seed: u64,
+    width: u32,
+    height: u32,
+    lines: usize,
+    stations_per: usize,
+) -> SubwayMap {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5b);
     let mut image = GraphicsImage::new(width, height);
     let mut stations = Vec::new();
     let names = [
-        "central", "harbor", "university", "hospital", "market", "stadium", "airport", "park",
-        "museum", "castle", "bridge", "garden",
+        "central",
+        "harbor",
+        "university",
+        "hospital",
+        "market",
+        "stadium",
+        "airport",
+        "park",
+        "museum",
+        "castle",
+        "bridge",
+        "garden",
     ];
     for line in 0..lines.max(1) {
         // A subway line: a polyline from one edge to the other.

@@ -9,9 +9,8 @@ use crate::speech::{tour_narrations, xray_dictation};
 use minos_image::{Bitmap, Image, Overwrite, TransparencyDisplay};
 use minos_object::{
     Anchor, ArchivedObject, Attribute, CompositionFile, DataKind, DataLocation, DataPayload,
-    DescriptorEntry, DrivingMode, LogicalMessage, MessageBody, MultimediaObject,
-    ObjectDescriptor, Relevance, RelevantLink, TransparencySetSpec, VisualMessageContent,
-    VoiceSegment,
+    DescriptorEntry, DrivingMode, LogicalMessage, MessageBody, MultimediaObject, ObjectDescriptor,
+    Relevance, RelevantLink, TransparencySetSpec, VisualMessageContent, VoiceSegment,
 };
 use minos_text::LogicalLevel;
 use minos_types::{CharSpan, ObjectId, Point, Rect, SimDuration};
@@ -27,19 +26,31 @@ pub fn archived_form(obj: &MultimediaObject) -> ArchivedObject {
         let tag = format!("text{i}");
         let payload = DataPayload::text(&doc.text());
         let span = composition.append(&tag, &payload.bytes);
-        entries.push(DescriptorEntry { tag, kind: DataKind::Text, location: DataLocation::Composition(span) });
+        entries.push(DescriptorEntry {
+            tag,
+            kind: DataKind::Text,
+            location: DataLocation::Composition(span),
+        });
     }
     for (i, image) in obj.images.iter().enumerate() {
         let tag = format!("img{i}");
         let payload = DataPayload::image(&image.render());
         let span = composition.append(&tag, &payload.bytes);
-        entries.push(DescriptorEntry { tag, kind: DataKind::Image, location: DataLocation::Composition(span) });
+        entries.push(DescriptorEntry {
+            tag,
+            kind: DataKind::Image,
+            location: DataLocation::Composition(span),
+        });
     }
     for (i, seg) in obj.voice_segments.iter().enumerate() {
         let tag = format!("voice{i}");
         let payload = DataPayload::voice(seg.audio.samples(), seg.audio.sample_rate());
         let span = composition.append(&tag, &payload.bytes);
-        entries.push(DescriptorEntry { tag, kind: DataKind::Voice, location: DataLocation::Composition(span) });
+        entries.push(DescriptorEntry {
+            tag,
+            kind: DataKind::Voice,
+            location: DataLocation::Composition(span),
+        });
     }
     ArchivedObject {
         descriptor: ObjectDescriptor {
@@ -159,7 +170,10 @@ pub fn audio_xray_report(id: ObjectId, seed: u64) -> MultimediaObject {
     obj.messages.push(LogicalMessage {
         anchor: Anchor::VoiceSegment { segment: 0, span: finding_span },
         body: MessageBody::Visual {
-            content: VisualMessageContent { text: Some("the film under discussion".into()), image: Some(0) },
+            content: VisualMessageContent {
+                text: Some("the film under discussion".into()),
+                image: Some(0),
+            },
             show_once: false,
         },
     });
@@ -186,8 +200,7 @@ pub fn subway_map_object(
 
     let make_overlay = |id: ObjectId, name: &str, points: &[Point]| {
         let mut o = MultimediaObject::new(id, name, DrivingMode::Visual);
-        o.images
-            .push(Image::Bitmap(marker_transparency(size.width, size.height, points)));
+        o.images.push(Image::Bitmap(marker_transparency(size.width, size.height, points)));
         o.text_segments.push(
             minos_text::parse_markup(&format!("{name} sites of the city shown on the map.\n"))
                 .expect("overlay markup"),
@@ -314,7 +327,8 @@ pub fn harbor_tour_object(id: ObjectId, seed: u64) -> MultimediaObject {
         Point::new(899, 580),
     ])));
     // Sites with voice labels, spread along the walk's diagonal.
-    let site_names = ["city gate", "market square", "cathedral", "promenade", "old crane", "fish hall"];
+    let site_names =
+        ["city gate", "market square", "cathedral", "promenade", "old crane", "fish hall"];
     let mut sites = Vec::new();
     for (i, name) in site_names.iter().enumerate() {
         let at = Point::new(80 + i as i32 * 140, 90 + i as i32 * 90);
@@ -340,7 +354,8 @@ pub fn harbor_tour_object(id: ObjectId, seed: u64) -> MultimediaObject {
     let mut stops = Vec::new();
     for (i, &site) in sites.iter().enumerate().take(4) {
         let message = if i < narrations.len().min(2) {
-            let segment = VoiceSegment::dictate(narrations[i], &SpeakerProfile::CLEAR, seed + i as u64);
+            let segment =
+                VoiceSegment::dictate(narrations[i], &SpeakerProfile::CLEAR, seed + i as u64);
             let duration = segment.duration();
             obj.voice_segments.push(segment);
             obj.messages.push(LogicalMessage {
@@ -367,12 +382,8 @@ pub fn harbor_tour_object(id: ObjectId, seed: u64) -> MultimediaObject {
             dwell: SimDuration::from_secs(3),
         });
     }
-    let tour = Tour::new(
-        minos_types::Size::new(900, 700),
-        minos_types::Size::new(260, 200),
-        stops,
-    )
-    .expect("tour is well formed");
+    let tour = Tour::new(minos_types::Size::new(900, 700), minos_types::Size::new(260, 200), stops)
+        .expect("tour is well formed");
     obj.tours.push(minos_object::TourSpec { image: 0, tour });
     obj.archive().expect("harbor tour consistent");
     obj
@@ -468,8 +479,7 @@ mod tests {
     #[test]
     fn attach_voice_note_appends_message() {
         let mut obj = MultimediaObject::new(ObjectId::new(10), "notes", DrivingMode::Visual);
-        obj.text_segments
-            .push(minos_text::parse_markup("a paragraph to annotate\n").unwrap());
+        obj.text_segments.push(minos_text::parse_markup("a paragraph to annotate\n").unwrap());
         let idx = attach_voice_note(&mut obj, CharSpan::new(0, 5), "listen to this note", 1);
         assert_eq!(idx, 0);
         assert_eq!(obj.voice_segments.len(), 1);

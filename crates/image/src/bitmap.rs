@@ -199,9 +199,7 @@ impl Bitmap {
     pub fn to_ascii(&self) -> Vec<String> {
         (0..self.height as i32)
             .map(|y| {
-                (0..self.width as i32)
-                    .map(|x| if self.get(x, y) { '#' } else { '.' })
-                    .collect()
+                (0..self.width as i32).map(|x| if self.get(x, y) { '#' } else { '.' }).collect()
             })
             .collect()
     }

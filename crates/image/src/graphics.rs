@@ -208,13 +208,9 @@ mod tests {
 
     #[test]
     fn shape_bounding_boxes() {
+        assert_eq!(Shape::Point(Point::new(3, 4)).bounding_box(), Some(Rect::new(3, 4, 1, 1)));
         assert_eq!(
-            Shape::Point(Point::new(3, 4)).bounding_box(),
-            Some(Rect::new(3, 4, 1, 1))
-        );
-        assert_eq!(
-            Shape::Circle { center: Point::new(10, 10), radius: 3, filled: false }
-                .bounding_box(),
+            Shape::Circle { center: Point::new(10, 10), radius: 3, filled: false }.bounding_box(),
             Some(Rect::new(7, 7, 7, 7))
         );
         let poly = Shape::Polygon {

@@ -185,10 +185,7 @@ mod tests {
     fn voice_labels_in_window() {
         let img = city_map();
         let idx = LabelIndex::new(&img);
-        assert_eq!(
-            idx.voice_labels_in(Rect::new(100, 100, 100, 100)),
-            vec!["campus-voice"]
-        );
+        assert_eq!(idx.voice_labels_in(Rect::new(100, 100, 100, 100)), vec!["campus-voice"]);
         assert!(idx.voice_labels_in(Rect::new(0, 0, 60, 60)).is_empty());
         // Window covering everything finds the one voice label.
         assert_eq!(idx.voice_labels_in(Rect::new(0, 0, 200, 200)).len(), 1);

@@ -28,9 +28,7 @@ impl Overwrite {
     /// wherever `mask` has ink, positioned at `at`.
     pub fn new(content: Bitmap, mask: Bitmap, at: Point) -> Result<Self> {
         if content.size() != mask.size() {
-            return Err(MinosError::Geometry(
-                "overwrite mask must match content size".into(),
-            ));
+            return Err(MinosError::Geometry("overwrite mask must match content size".into()));
         }
         Ok(Overwrite { content, mask, at })
     }

@@ -73,8 +73,7 @@ pub fn fill_polygon(bm: &mut Bitmap, vertices: &[Point]) {
         for i in 0..n {
             let (a, b) = (vertices[i], vertices[(i + 1) % n]);
             if (a.y > y) != (b.y > y) {
-                let x = a.x as i64
-                    + (y - a.y) as i64 * (b.x - a.x) as i64 / (b.y - a.y) as i64;
+                let x = a.x as i64 + (y - a.y) as i64 * (b.x - a.x) as i64 / (b.y - a.y) as i64;
                 xs.push(x as i32);
             }
         }
@@ -232,12 +231,7 @@ mod tests {
     #[test]
     fn filled_rectangle_has_full_area() {
         let mut bm = Bitmap::new(12, 12);
-        let square = [
-            Point::new(2, 2),
-            Point::new(9, 2),
-            Point::new(9, 9),
-            Point::new(2, 9),
-        ];
+        let square = [Point::new(2, 2), Point::new(9, 2), Point::new(9, 9), Point::new(2, 9)];
         fill_polygon(&mut bm, &square);
         assert_eq!(bm.count_ink(), 64);
         assert!(bm.get(5, 5));

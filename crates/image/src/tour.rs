@@ -104,7 +104,13 @@ impl TourPlayer {
         let rect = tour.view_at(0).expect("tour has stops");
         let mut free_view = View::new(tour.image_size(), tour.window(), 32)?;
         free_view.jump_to(rect.center());
-        Ok(TourPlayer { tour, current: 0, state: TourState::Playing, remaining: first_dwell, free_view })
+        Ok(TourPlayer {
+            tour,
+            current: 0,
+            state: TourState::Playing,
+            remaining: first_dwell,
+            free_view,
+        })
     }
 
     /// The tour being played.

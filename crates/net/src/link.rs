@@ -42,8 +42,15 @@ impl Link {
     }
 
     /// Pure cost query for transferring `bytes`.
+    ///
+    /// Transfer time rounds up to the next microsecond: a payload always
+    /// costs at least as much wire time as the bandwidth allows, and the
+    /// widened arithmetic cannot saturate for any `u64` payload (the old
+    /// `bytes * 1_000_000` overflowed past ~18 TB and silently pinned the
+    /// numerator at `u64::MAX`).
     pub fn transfer_cost(&self, bytes: u64) -> SimDuration {
-        self.latency + SimDuration::from_micros(bytes.saturating_mul(1_000_000) / self.bytes_per_sec)
+        let micros = (bytes as u128 * 1_000_000).div_ceil(self.bytes_per_sec as u128);
+        self.latency + SimDuration::from_micros(micros.min(u64::MAX as u128) as u64)
     }
 
     /// Transfers `bytes`, recording stats and returning the time charged.
@@ -101,6 +108,25 @@ mod tests {
     fn bigger_transfers_cost_more() {
         let link = Link::ethernet();
         assert!(link.transfer_cost(1 << 20) > link.transfer_cost(1 << 10));
+    }
+
+    #[test]
+    fn sub_microsecond_transfers_round_up() {
+        // 1 byte at 1.25 MB/s is 0.8 µs of wire time; truncation used to
+        // charge 0 extra microseconds, making tiny messages free.
+        let link = Link::ethernet();
+        assert_eq!(link.transfer_cost(1), ETHERNET_10MBIT.0 + SimDuration::from_micros(1));
+        assert!(link.transfer_cost(1) > link.transfer_cost(0));
+    }
+
+    #[test]
+    fn huge_transfers_do_not_saturate() {
+        // 20 TB at 1.25 MB/s: the old u64 numerator saturated and pinned
+        // the cost at ~14762 s; the widened math reports the true 16 Ms.
+        let link = Link::ethernet();
+        let bytes = 20_u64 * 1_000_000_000_000;
+        let expect = SimDuration::from_micros(bytes / 1_250_000 * 1_000_000);
+        assert_eq!(link.transfer_cost(bytes), ETHERNET_10MBIT.0 + expect);
     }
 
     #[test]

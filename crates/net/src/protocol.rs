@@ -53,6 +53,16 @@ pub enum ServerRequest {
         /// Attribute value.
         value: String,
     },
+    /// Several requests answered in one round trip — the anticipatory
+    /// prefetch path (§5). The presentation manager predicts the next
+    /// pages/windows and bundles their fetches so the link latency and the
+    /// optical actuator overhead are paid once per batch, not once per
+    /// page. Batches never nest.
+    Batch {
+        /// The bundled requests, answered in order. None may itself be a
+        /// batch.
+        requests: Vec<ServerRequest>,
+    },
 }
 
 /// A response from the server.
@@ -70,6 +80,10 @@ pub enum ServerResponse {
     Hits(Vec<ObjectId>),
     /// Server-side failure.
     Error(String),
+    /// One response per request of a [`ServerRequest::Batch`], in request
+    /// order. Individual failures appear as inline [`ServerResponse::Error`]
+    /// entries; the batch itself still succeeds.
+    Batch(Vec<ServerResponse>),
 }
 
 impl ServerRequest {
@@ -111,6 +125,13 @@ impl ServerRequest {
                 e.put_str(name);
                 e.put_str(value);
             }
+            ServerRequest::Batch { requests } => {
+                e.put_u8(7);
+                e.put_varint(requests.len() as u64);
+                for r in requests {
+                    e.put_bytes(&r.encode());
+                }
+            }
         }
         e.finish()
     }
@@ -147,6 +168,18 @@ impl ServerRequest {
                 ServerRequest::Query { keywords }
             }
             6 => ServerRequest::QueryAttribute { name: d.get_str()?, value: d.get_str()? },
+            7 => {
+                let n = d.get_varint()? as usize;
+                let mut requests = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    let sub = ServerRequest::decode(&d.get_bytes()?)?;
+                    if matches!(sub, ServerRequest::Batch { .. }) {
+                        return Err(MinosError::Codec("nested request batch".into()));
+                    }
+                    requests.push(sub);
+                }
+                ServerRequest::Batch { requests }
+            }
             other => return Err(MinosError::Codec(format!("unknown request tag {other}"))),
         };
         d.expect_end()?;
@@ -191,6 +224,13 @@ impl ServerResponse {
                 e.put_u8(6);
                 e.put_str(msg);
             }
+            ServerResponse::Batch(responses) => {
+                e.put_u8(7);
+                e.put_varint(responses.len() as u64);
+                for r in responses {
+                    e.put_bytes(&r.encode());
+                }
+            }
         }
         e.finish()
     }
@@ -212,6 +252,18 @@ impl ServerResponse {
                 ServerResponse::Hits(ids)
             }
             6 => ServerResponse::Error(d.get_str()?),
+            7 => {
+                let n = d.get_varint()? as usize;
+                let mut responses = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    let sub = ServerResponse::decode(&d.get_bytes()?)?;
+                    if matches!(sub, ServerResponse::Batch(_)) {
+                        return Err(MinosError::Codec("nested response batch".into()));
+                    }
+                    responses.push(sub);
+                }
+                ServerResponse::Batch(responses)
+            }
             other => return Err(MinosError::Codec(format!("unknown response tag {other}"))),
         };
         d.expect_end()?;
@@ -282,6 +334,41 @@ mod tests {
         let mut bytes = ServerResponse::Error("x".into()).encode();
         bytes.push(0);
         assert!(ServerResponse::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn batches_round_trip() {
+        let req = ServerRequest::Batch { requests: all_requests() };
+        assert_eq!(ServerRequest::decode(&req.encode()).unwrap(), req);
+        let empty = ServerRequest::Batch { requests: vec![] };
+        assert_eq!(ServerRequest::decode(&empty.encode()).unwrap(), empty);
+
+        let resp = ServerResponse::Batch(vec![
+            ServerResponse::Span(vec![1, 2, 3]),
+            ServerResponse::Error("missing".into()),
+            ServerResponse::Object(vec![]),
+        ]);
+        assert_eq!(ServerResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn nested_batches_rejected() {
+        let nested =
+            ServerRequest::Batch { requests: vec![ServerRequest::Batch { requests: vec![] }] };
+        assert!(ServerRequest::decode(&nested.encode()).is_err());
+        let nested = ServerResponse::Batch(vec![ServerResponse::Batch(vec![])]);
+        assert!(ServerResponse::decode(&nested.encode()).is_err());
+    }
+
+    #[test]
+    fn batch_wire_overhead_is_small() {
+        // Batching adds framing only: one tag + count + per-item length
+        // prefixes. The whole point is that it is much cheaper than the
+        // per-message link latency it replaces.
+        let requests = all_requests();
+        let singles: u64 = requests.iter().map(ServerRequest::wire_size).sum();
+        let batch = ServerRequest::Batch { requests };
+        assert!(batch.wire_size() < singles + 16);
     }
 
     #[test]

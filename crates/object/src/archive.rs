@@ -38,7 +38,10 @@ pub struct ArchivedObject {
 impl ArchivedObject {
     /// Takes the archivable parts of a formatted object file.
     pub fn from_file(file: &MultimediaObjectFile) -> Self {
-        ArchivedObject { descriptor: file.descriptor.clone(), composition: file.composition.clone() }
+        ArchivedObject {
+            descriptor: file.descriptor.clone(),
+            composition: file.composition.clone(),
+        }
     }
 
     /// Total size of the stored form in bytes.
@@ -63,7 +66,8 @@ impl ArchivedObject {
             let rebased = self.descriptor.rebased_for_archive(composition_base);
             let bytes = rebased.encode();
             if bytes.len() as u64 == desc_len {
-                let mut e = Encoder::with_capacity(bytes.len() + self.composition.bytes().len() + 4);
+                let mut e =
+                    Encoder::with_capacity(bytes.len() + self.composition.bytes().len() + 4);
                 e.put_u32(bytes.len() as u32);
                 e.put_raw(&bytes);
                 e.put_raw(self.composition.bytes());

@@ -94,7 +94,12 @@ impl DataDirectory {
         span: ByteSpan,
     ) -> Result<()> {
         let tag = tag.into();
-        self.insert(DataEntry { tag, kind, home: DataHome::Archiver(span), status: DataStatus::Final })
+        self.insert(DataEntry {
+            tag,
+            kind,
+            home: DataHome::Archiver(span),
+            status: DataStatus::Final,
+        })
     }
 
     fn insert(&mut self, entry: DataEntry) -> Result<()> {
@@ -175,8 +180,12 @@ mod tests {
     fn dir() -> DataDirectory {
         let mut d = DataDirectory::new();
         d.insert_local("notes", DataPayload::text("hello world"), DataStatus::Final).unwrap();
-        d.insert_local("draft-img", DataPayload::image(&minos_image::Bitmap::new(8, 8)), DataStatus::Draft)
-            .unwrap();
+        d.insert_local(
+            "draft-img",
+            DataPayload::image(&minos_image::Bitmap::new(8, 8)),
+            DataStatus::Draft,
+        )
+        .unwrap();
         d.insert_archiver_ref("xray", DataKind::Image, ByteSpan::at(9_000, 1_234)).unwrap();
         d
     }
@@ -194,9 +203,7 @@ mod tests {
     fn duplicate_tags_rejected() {
         let mut d = dir();
         assert!(d.insert_local("notes", DataPayload::text("x"), DataStatus::Draft).is_err());
-        assert!(d
-            .insert_archiver_ref("xray", DataKind::Image, ByteSpan::at(0, 1))
-            .is_err());
+        assert!(d.insert_archiver_ref("xray", DataKind::Image, ByteSpan::at(0, 1)).is_err());
     }
 
     #[test]

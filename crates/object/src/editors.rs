@@ -347,9 +347,7 @@ mod tests {
         }));
         image.finish(session.datadir_mut(), "figure").unwrap();
 
-        session
-            .set_synthesis("@object edited\n@data body\n@data figure\n")
-            .unwrap();
+        session.set_synthesis("@object edited\n@data body\n@data figure\n").unwrap();
         let file = session.build().unwrap();
         assert_eq!(file.descriptor.entries.len(), 2);
         assert_eq!(file.descriptor.entries[0].kind, crate::payload::DataKind::Text);

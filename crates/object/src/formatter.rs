@@ -51,7 +51,11 @@ pub struct FormatterSession {
 impl FormatterSession {
     /// Opens a session for a new object.
     pub fn new(object_id: ObjectId) -> Self {
-        FormatterSession { object_id, synthesis_source: String::new(), datadir: DataDirectory::new() }
+        FormatterSession {
+            object_id,
+            synthesis_source: String::new(),
+            datadir: DataDirectory::new(),
+        }
     }
 
     /// The object's data directory (register data files here).
@@ -311,9 +315,7 @@ mod tests {
         let s = session();
         let form = s.preview(PaginateConfig::default()).unwrap();
         let has_figure = form.pages().iter().any(|p| {
-            p.elements
-                .iter()
-                .any(|e| matches!(e, minos_text::PageElement::Figure { .. }))
+            p.elements.iter().any(|e| matches!(e, minos_text::PageElement::Figure { .. }))
         });
         assert!(has_figure);
     }

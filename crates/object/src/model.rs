@@ -212,10 +212,7 @@ impl MultimediaObject {
         if self.state == ObjectState::Editing {
             Ok(())
         } else {
-            Err(MinosError::WrongState(format!(
-                "{} is archived and may not be modified",
-                self.id
-            )))
+            Err(MinosError::WrongState(format!("{} is archived and may not be modified", self.id)))
         }
     }
 
@@ -240,12 +237,10 @@ impl MultimediaObject {
                 Anchor::Image { image } => {
                     check(*image < self.images.len(), format!("message {i}: image {image}"))?
                 }
-                Anchor::VoiceSegment { segment, .. } | Anchor::VoicePoint { segment, .. } => {
-                    check(
-                        *segment < self.voice_segments.len(),
-                        format!("message {i}: voice segment {segment}"),
-                    )?
-                }
+                Anchor::VoiceSegment { segment, .. } | Anchor::VoicePoint { segment, .. } => check(
+                    *segment < self.voice_segments.len(),
+                    format!("message {i}: voice segment {segment}"),
+                )?,
             }
             match &m.body {
                 MessageBody::Voice { segment, .. } => check(
@@ -283,7 +278,10 @@ impl MultimediaObject {
             )?;
             for (j, step) in p.steps.iter().enumerate() {
                 if let Some(m) = step.message {
-                    check(m < self.messages.len(), format!("process sim {i} step {j}: message {m}"))?;
+                    check(
+                        m < self.messages.len(),
+                        format!("process sim {i} step {j}: message {m}"),
+                    )?;
                 }
             }
         }
@@ -303,16 +301,12 @@ impl MultimediaObject {
     /// levels for audio objects. Menu options derive from this.
     pub fn available_logical_levels(&self) -> Vec<LogicalLevel> {
         match self.driving_mode {
-            DrivingMode::Visual => self
-                .text_segments
-                .first()
-                .map(|d| d.tree().available_levels())
-                .unwrap_or_default(),
-            DrivingMode::Audio => self
-                .voice_segments
-                .first()
-                .map(|v| v.marks.available_levels())
-                .unwrap_or_default(),
+            DrivingMode::Visual => {
+                self.text_segments.first().map(|d| d.tree().available_levels()).unwrap_or_default()
+            }
+            DrivingMode::Audio => {
+                self.voice_segments.first().map(|v| v.marks.available_levels()).unwrap_or_default()
+            }
         }
     }
 }

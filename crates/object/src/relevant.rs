@@ -85,12 +85,7 @@ pub fn links_at_voice(
 
 /// Indices of links anchored to image `image`.
 pub fn links_at_image(links: &[RelevantLink], image: usize) -> Vec<usize> {
-    links
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| l.anchor.covers_image(image))
-        .map(|(i, _)| i)
-        .collect()
+    links.iter().enumerate().filter(|(_, l)| l.anchor.covers_image(image)).map(|(i, _)| i).collect()
 }
 
 #[cfg(test)]
@@ -99,12 +94,7 @@ mod tests {
     use minos_types::SimInstant;
 
     fn link(label: &str, anchor: Anchor) -> RelevantLink {
-        RelevantLink {
-            label: label.into(),
-            target: ObjectId::new(7),
-            anchor,
-            relevances: vec![],
-        }
+        RelevantLink { label: label.into(), target: ObjectId::new(7), anchor, relevances: vec![] }
     }
 
     #[test]

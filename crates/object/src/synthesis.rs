@@ -105,7 +105,10 @@ impl SynthesisFile {
                         items.push(SynthesisItem::DataRef(arg.to_string()));
                     }
                     other => {
-                        return Err(MinosError::parse(lineno, format!("unknown directive @{other}")))
+                        return Err(MinosError::parse(
+                            lineno,
+                            format!("unknown directive @{other}"),
+                        ))
                     }
                 }
             } else {

@@ -103,9 +103,8 @@ impl Menu {
                 }
             }
             // Greeked label: a bar whose width tracks the label length.
-            let text_w =
-                ((item.label.chars().count() as u32 * 6).min(slot.size.width.saturating_sub(8)))
-                    as i32;
+            let text_w = ((item.label.chars().count() as u32 * 6)
+                .min(slot.size.width.saturating_sub(8))) as i32;
             let mid_y = slot.top() + (slot.size.height / 2) as i32;
             for x in 0..text_w {
                 bm.set(slot.left() + 4 + x, mid_y, true);
@@ -156,7 +155,7 @@ mod tests {
         let r = region();
         assert_eq!(m.hit(r, Point::new(100, 14)), None); // display area
         assert_eq!(m.hit(r, Point::new(1_000, 800)), None); // below the items
-        // The gap between slots misses.
+                                                            // The gap between slots misses.
         assert_eq!(m.hit(r, Point::new(1_000, SLOT_HEIGHT as i32)), None);
     }
 

@@ -159,8 +159,7 @@ mod tests {
             "a much longer paragraph with very many words that fill several \
              lines of the page and therefore leave much more ink behind.\n",
         );
-        let short_ink =
-            render_page(short.page(0).unwrap(), small_cfg(), |_| None).count_ink();
+        let short_ink = render_page(short.page(0).unwrap(), small_cfg(), |_| None).count_ink();
         let long_ink = render_page(long.page(0).unwrap(), small_cfg(), |_| None).count_ink();
         assert!(long_ink > short_ink * 3);
     }
@@ -169,10 +168,8 @@ mod tests {
     fn underlined_runs_draw_their_rule() {
         let plain = form("word word word\n");
         let under = form("_word word word_\n");
-        let plain_ink =
-            render_page(plain.page(0).unwrap(), small_cfg(), |_| None).count_ink();
-        let under_ink =
-            render_page(under.page(0).unwrap(), small_cfg(), |_| None).count_ink();
+        let plain_ink = render_page(plain.page(0).unwrap(), small_cfg(), |_| None).count_ink();
+        let under_ink = render_page(under.page(0).unwrap(), small_cfg(), |_| None).count_ink();
         assert!(under_ink > plain_ink);
     }
 

@@ -92,9 +92,8 @@ impl Screen {
         if fit_w == 0 || fit_h == 0 {
             return;
         }
-        let part = content
-            .extract(Rect::new(0, 0, fit_w, fit_h))
-            .expect("clip rect within content");
+        let part =
+            content.extract(Rect::new(0, 0, fit_w, fit_h)).expect("clip rect within content");
         self.framebuffer.blit(&part, region.origin, BlitMode::Replace);
     }
 

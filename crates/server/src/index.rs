@@ -150,10 +150,7 @@ mod tests {
         let mut idx = InvertedIndex::new();
         idx.index_object(&text_object(1, "optical disk storage"));
         idx.index_object(&text_object(2, "optical character recognition"));
-        assert_eq!(
-            idx.query(&["optical".into(), "disk".into()]),
-            vec![ObjectId::new(1)]
-        );
+        assert_eq!(idx.query(&["optical".into(), "disk".into()]), vec![ObjectId::new(1)]);
         assert_eq!(idx.query(&["optical".into()]).len(), 2);
         assert!(idx.query(&["optical".into(), "nothing".into()]).is_empty());
     }
@@ -227,15 +224,11 @@ mod tests {
     #[test]
     fn attribute_queries_match_exactly_and_case_insensitively() {
         let mut a = text_object(6, "body");
-        a.attributes.push(minos_object::Attribute {
-            name: "author".into(),
-            value: "Doctor Jones".into(),
-        });
+        a.attributes
+            .push(minos_object::Attribute { name: "author".into(), value: "Doctor Jones".into() });
         let mut b = text_object(7, "body");
-        b.attributes.push(minos_object::Attribute {
-            name: "author".into(),
-            value: "doctor smith".into(),
-        });
+        b.attributes
+            .push(minos_object::Attribute { name: "author".into(), value: "doctor smith".into() });
         let mut idx = InvertedIndex::new();
         idx.index_object(&a);
         idx.index_object(&b);

@@ -103,8 +103,7 @@ impl ObjectServer {
             bm
         });
         let miniature = Miniature::build(&miniature_source, self.miniature_factor);
-        self.resident
-            .insert(object.id, RenderedObject { object, rasters, miniature });
+        self.resident.insert(object.id, RenderedObject { object, rasters, miniature });
         Ok(PublishReceipt { span: record.span, store_time })
     }
 
@@ -174,7 +173,74 @@ impl ObjectServer {
                 ServerResponse::Hits(self.index.query_attribute(name, value)),
                 SimDuration::ZERO,
             )),
+            ServerRequest::Batch { requests } => self.handle_batch(requests),
         }
+    }
+
+    /// Answers a prefetch batch in one round trip.
+    ///
+    /// Individual failures become inline [`ServerResponse::Error`] entries
+    /// so one bad prediction cannot sink the rest of the batch. Runs of
+    /// *adjacent* span fetches — the common case, since anticipated pages
+    /// are contiguous on the write-once disk — are coalesced into a single
+    /// device read: the actuator pays one seek and one rotational delay for
+    /// the merged span instead of one per page, and the bytes are sliced
+    /// back into exact per-request responses.
+    fn handle_batch(
+        &mut self,
+        requests: &[ServerRequest],
+    ) -> Result<(ServerResponse, SimDuration)> {
+        if requests.iter().any(|r| matches!(r, ServerRequest::Batch { .. })) {
+            return Err(MinosError::Protocol("nested request batch".into()));
+        }
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut total = SimDuration::ZERO;
+        let mut i = 0;
+        while i < requests.len() {
+            let run = Self::adjacent_span_run(&requests[i..]);
+            if run.len() > 1 {
+                let whole = ByteSpan::new(run[0].start, run[run.len() - 1].end);
+                match self.archiver.read_at(whole) {
+                    Ok((bytes, took)) => {
+                        total += took;
+                        for span in &run {
+                            let from = (span.start - whole.start) as usize;
+                            let to = from + span.len() as usize;
+                            responses.push(ServerResponse::Span(bytes[from..to].to_vec()));
+                        }
+                    }
+                    Err(e) => {
+                        let msg = e.to_string();
+                        responses.extend(run.iter().map(|_| ServerResponse::Error(msg.clone())));
+                    }
+                }
+                i += run.len();
+            } else {
+                let (resp, took) = self.handle(&requests[i]);
+                total += took;
+                responses.push(resp);
+                i += 1;
+            }
+        }
+        Ok((ServerResponse::Batch(responses), total))
+    }
+
+    /// The leading run of span fetches where each span starts exactly where
+    /// the previous one ends (empty if the first request is not a span
+    /// fetch).
+    fn adjacent_span_run(requests: &[ServerRequest]) -> Vec<ByteSpan> {
+        let mut run: Vec<ByteSpan> = Vec::new();
+        for request in requests {
+            match request {
+                ServerRequest::FetchSpan { span }
+                    if run.last().is_none_or(|prev| prev.end == span.start) =>
+                {
+                    run.push(*span);
+                }
+                _ => break,
+            }
+        }
+        run
     }
 
     /// The typed object, if resident (used by the presentation manager
@@ -204,15 +270,11 @@ mod tests {
     fn make_published(server: &mut ObjectServer, id: u64, body: &str) -> ObjectId {
         let oid = ObjectId::new(id);
         let mut session = FormatterSession::new(oid);
-        session
-            .set_synthesis(&format!("@object obj{id}\n.ch Content\n{body}\n"))
-            .unwrap();
+        session.set_synthesis(&format!("@object obj{id}\n.ch Content\n{body}\n")).unwrap();
         let file = session.build().unwrap();
         let archived = ArchivedObject::from_file(&file);
         let mut object = MultimediaObject::new(oid, format!("obj{id}"), DrivingMode::Visual);
-        object
-            .text_segments
-            .push(minos_text::parse_markup(&format!("{body}\n")).unwrap());
+        object.text_segments.push(minos_text::parse_markup(&format!("{body}\n")).unwrap());
         object.archive().unwrap();
         server.publish(object, &archived).unwrap();
         oid
@@ -269,10 +331,7 @@ mod tests {
         let (resp, _) = server.handle(&ServerRequest::Query { keywords: vec!["x-ray".into()] });
         assert_eq!(resp, ServerResponse::Hits(vec![ObjectId::new(2)]));
         let (resp, _) = server.handle(&ServerRequest::Query { keywords: vec!["the".into()] });
-        assert_eq!(
-            resp,
-            ServerResponse::Hits(vec![ObjectId::new(1), ObjectId::new(2)])
-        );
+        assert_eq!(resp, ServerResponse::Hits(vec![ObjectId::new(1), ObjectId::new(2)]));
     }
 
     #[test]
@@ -384,13 +443,79 @@ mod tests {
     }
 
     #[test]
+    fn batch_answers_in_order_with_inline_errors() {
+        let mut server = ObjectServer::new();
+        let id = make_published(&mut server, 8, "batched content");
+        let span = server.record_span(id).unwrap();
+        let (resp, took) = server.handle(&ServerRequest::Batch {
+            requests: vec![
+                ServerRequest::FetchObject { id },
+                ServerRequest::FetchObject { id: ObjectId::new(404) },
+                ServerRequest::FetchSpan { span: ByteSpan::new(span.start, span.start + 8) },
+            ],
+        });
+        let ServerResponse::Batch(responses) = resp else {
+            panic!("expected batch response");
+        };
+        assert_eq!(responses.len(), 3);
+        assert!(matches!(responses[0], ServerResponse::Object(_)));
+        assert!(matches!(responses[1], ServerResponse::Error(_)));
+        assert!(matches!(&responses[2], ServerResponse::Span(b) if b.len() == 8));
+        assert!(took > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn batch_coalesces_adjacent_spans_into_one_read() {
+        // Two identical servers; one takes the pages batched, the other one
+        // by one. The batch pays the seek + rotational overhead once.
+        let mut batched = ObjectServer::new();
+        let mut serial = ObjectServer::new();
+        let body = "page data ".repeat(400);
+        let id = make_published(&mut batched, 9, &body);
+        make_published(&mut serial, 9, &body);
+        let whole = batched.record_span(id).unwrap();
+        let pages: Vec<ByteSpan> =
+            (0..4).map(|i| ByteSpan::at(whole.start + i * 1_000, 1_000)).collect();
+
+        let (resp, batch_time) = batched.handle(&ServerRequest::Batch {
+            requests: pages.iter().map(|&span| ServerRequest::FetchSpan { span }).collect(),
+        });
+        let ServerResponse::Batch(responses) = resp else {
+            panic!("expected batch response");
+        };
+
+        let mut serial_time = SimDuration::ZERO;
+        for (i, &span) in pages.iter().enumerate() {
+            let (resp, took) = serial.handle(&ServerRequest::FetchSpan { span });
+            serial_time += took;
+            // Coalescing must not change the bytes: each sliced response
+            // matches the one-at-a-time read exactly.
+            assert_eq!(responses[i], resp, "page {i}");
+        }
+        // Serial pays 4 × (seek + rotation); the batch pays it once.
+        assert!(
+            batch_time + SimDuration::from_millis(100) < serial_time,
+            "batch {batch_time} vs serial {serial_time}"
+        );
+    }
+
+    #[test]
+    fn nested_batches_rejected_by_server() {
+        let mut server = ObjectServer::new();
+        let (resp, took) = server.handle(&ServerRequest::Batch {
+            requests: vec![ServerRequest::Batch { requests: vec![] }],
+        });
+        assert!(matches!(resp, ServerResponse::Error(_)));
+        assert_eq!(took, SimDuration::ZERO);
+    }
+
+    #[test]
     fn span_fetch_serves_descriptor_pointers() {
         let mut server = ObjectServer::new();
         let id = make_published(&mut server, 7, "pointer target text");
         let span = server.record_span(id).unwrap();
-        let (resp, _) = server.handle(&ServerRequest::FetchSpan {
-            span: ByteSpan::new(span.start, span.start + 4),
-        });
+        let (resp, _) = server
+            .handle(&ServerRequest::FetchSpan { span: ByteSpan::new(span.start, span.start + 4) });
         match resp {
             ServerResponse::Span(bytes) => assert_eq!(bytes.len(), 4),
             other => panic!("unexpected {other:?}"),

@@ -95,8 +95,7 @@ impl TimingModel {
     /// of `capacity` bytes.
     pub fn access(&self, head: u64, offset: u64, len: u64, capacity: u64) -> SimDuration {
         let distance = head.abs_diff(offset);
-        let seek = self.seek_base
-            + self.seek_full_stroke.mul_ratio(distance, capacity.max(1));
+        let seek = self.seek_base + self.seek_full_stroke.mul_ratio(distance, capacity.max(1));
         let transfer =
             SimDuration::from_micros(len.saturating_mul(1_000_000) / self.transfer_rate.max(1));
         seek + self.rotation + transfer

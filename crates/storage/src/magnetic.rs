@@ -37,7 +37,13 @@ impl MagneticDisk {
 
     /// A disk with explicit capacity.
     pub fn with_capacity(capacity: u64) -> Self {
-        MagneticDisk { data: Vec::new(), capacity, head: 0, timing: MAGNETIC_TIMING, stats: DeviceStats::default() }
+        MagneticDisk {
+            data: Vec::new(),
+            capacity,
+            head: 0,
+            timing: MAGNETIC_TIMING,
+            stats: DeviceStats::default(),
+        }
     }
 
     /// Overrides the timing model.

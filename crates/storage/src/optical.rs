@@ -38,7 +38,13 @@ impl OpticalDisk {
 
     /// A disk with explicit capacity.
     pub fn with_capacity(capacity: u64) -> Self {
-        OpticalDisk { data: Vec::new(), capacity, head: 0, timing: OPTICAL_TIMING, stats: DeviceStats::default() }
+        OpticalDisk {
+            data: Vec::new(),
+            capacity,
+            head: 0,
+            timing: OPTICAL_TIMING,
+            stats: DeviceStats::default(),
+        }
     }
 
     /// Overrides the timing model (for calibration sweeps).

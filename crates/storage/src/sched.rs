@@ -84,13 +84,15 @@ pub fn simulate_schedule(
                     queue
                         .iter()
                         .enumerate()
-                        .filter(|(_, r)| {
-                            if up {
-                                r.span.start >= head
-                            } else {
-                                r.span.start <= head
-                            }
-                        })
+                        .filter(
+                            |(_, r)| {
+                                if up {
+                                    r.span.start >= head
+                                } else {
+                                    r.span.start <= head
+                                }
+                            },
+                        )
                         .min_by_key(|(_, r)| r.span.start.abs_diff(head))
                         .map(|(i, _)| i)
                 };
@@ -154,7 +156,11 @@ mod tests {
         let mut d = loaded_disk();
         let reqs = vec![
             Request { id: 10, arrival: SimInstant::from_micros(0), span: ByteSpan::at(0, 100) },
-            Request { id: 11, arrival: SimInstant::from_micros(1), span: ByteSpan::at(5_000_000, 100) },
+            Request {
+                id: 11,
+                arrival: SimInstant::from_micros(1),
+                span: ByteSpan::at(5_000_000, 100),
+            },
             Request { id: 12, arrival: SimInstant::from_micros(2), span: ByteSpan::at(100, 100) },
         ];
         let done = simulate_schedule(&mut d, &reqs, SchedPolicy::Fcfs).unwrap();

@@ -332,8 +332,7 @@ impl DocumentBuilder {
             let word_end = self.pos();
             self.words.push(CharSpan::new(word_start, word_end));
             if matches!(last_ch, '.' | '!' | '?') {
-                self.sentences
-                    .push(CharSpan::new(sentence_start.take().unwrap(), word_end));
+                self.sentences.push(CharSpan::new(sentence_start.take().unwrap(), word_end));
             }
         }
         // Unterminated tail is still a sentence.
@@ -555,8 +554,7 @@ mod tests {
     #[test]
     fn sentence_boundaries() {
         let doc = simple_doc();
-        let sentences: Vec<String> =
-            doc.tree().sentences.iter().map(|s| doc.slice(*s)).collect();
+        let sentences: Vec<String> = doc.tree().sentences.iter().map(|s| doc.slice(*s)).collect();
         assert!(sentences.contains(&"We present MINOS.".to_string()));
         assert!(sentences.contains(&"It is symmetric.".to_string()));
         assert!(sentences.contains(&"Voice matters!".to_string()));
@@ -566,8 +564,7 @@ mod tests {
     #[test]
     fn headings_are_single_sentences() {
         let doc = simple_doc();
-        let sentences: Vec<String> =
-            doc.tree().sentences.iter().map(|s| doc.slice(*s)).collect();
+        let sentences: Vec<String> = doc.tree().sentences.iter().map(|s| doc.slice(*s)).collect();
         assert!(sentences.contains(&"Introduction".to_string()));
     }
 

@@ -165,60 +165,55 @@ fn break_span(doc: &Document, span: CharSpan, column_width: u32, indent: u32) ->
     let mut current_width = 0u32;
     let mut first_line = true;
 
-    let flush =
-        |lines: &mut Vec<Line>, current: &mut Vec<&MeasuredWord>, first_line: &mut bool| {
-            if current.is_empty() {
-                return;
-            }
-            let line_indent = if *first_line { indent } else { 0 };
-            *first_line = false;
-            let mut runs: Vec<PlacedRun> = Vec::new();
-            let mut x = line_indent;
-            let mut height = 0u32;
-            for (wi, word) in current.iter().enumerate() {
-                if wi > 0 {
-                    x += word.space_width;
-                    // The inter-word space extends the previous run so that
-                    // rendering reproduces the canonical stream spacing.
-                    if let Some(prev) = runs.last_mut() {
-                        prev.text.push(' ');
-                        prev.width += word.space_width;
-                    }
+    let flush = |lines: &mut Vec<Line>, current: &mut Vec<&MeasuredWord>, first_line: &mut bool| {
+        if current.is_empty() {
+            return;
+        }
+        let line_indent = if *first_line { indent } else { 0 };
+        *first_line = false;
+        let mut runs: Vec<PlacedRun> = Vec::new();
+        let mut x = line_indent;
+        let mut height = 0u32;
+        for (wi, word) in current.iter().enumerate() {
+            if wi > 0 {
+                x += word.space_width;
+                // The inter-word space extends the previous run so that
+                // rendering reproduces the canonical stream spacing.
+                if let Some(prev) = runs.last_mut() {
+                    prev.text.push(' ');
+                    prev.width += word.space_width;
                 }
-                for (text, style, w, fspan) in &word.fragments {
-                    match runs.last_mut() {
-                        Some(prev) if prev.style == *style && prev.span.end == fspan.start => {
-                            prev.text.push_str(text);
-                            prev.width += w;
-                            prev.span.end = fspan.end;
-                        }
-                        _ => runs.push(PlacedRun {
-                            text: text.clone(),
-                            x,
-                            width: *w,
-                            style: *style,
-                            span: *fspan,
-                        }),
-                    }
-                    x += w;
-                }
-                height = height.max(word.line_height);
             }
-            let span = CharSpan::new(current[0].span.start, current.last().unwrap().span.end);
-            let width = x;
-            lines.push(Line { runs, height, span, width, centered: false });
-            current.clear();
-        };
+            for (text, style, w, fspan) in &word.fragments {
+                match runs.last_mut() {
+                    Some(prev) if prev.style == *style && prev.span.end == fspan.start => {
+                        prev.text.push_str(text);
+                        prev.width += w;
+                        prev.span.end = fspan.end;
+                    }
+                    _ => runs.push(PlacedRun {
+                        text: text.clone(),
+                        x,
+                        width: *w,
+                        style: *style,
+                        span: *fspan,
+                    }),
+                }
+                x += w;
+            }
+            height = height.max(word.line_height);
+        }
+        let span = CharSpan::new(current[0].span.start, current.last().unwrap().span.end);
+        let width = x;
+        lines.push(Line { runs, height, span, width, centered: false });
+        current.clear();
+    };
 
     for word in &words {
         let line_indent = if first_line && current.is_empty() { indent } else { 0 };
         let extra = if current.is_empty() { 0 } else { word.space_width };
         let candidate = current_width + extra + word.width;
-        let budget = column_width.saturating_sub(if current.is_empty() {
-            line_indent
-        } else {
-            0
-        });
+        let budget = column_width.saturating_sub(if current.is_empty() { line_indent } else { 0 });
         if !current.is_empty() && candidate > budget {
             flush(&mut lines, &mut current, &mut first_line);
             current_width = 0;
@@ -298,10 +293,7 @@ mod tests {
         }
         // Every word of the paragraph is inside some line span.
         for w in &doc.tree().words {
-            assert!(
-                lines.iter().any(|l| l.span.contains_span(w)),
-                "word not covered by any line"
-            );
+            assert!(lines.iter().any(|l| l.span.contains_span(w)), "word not covered by any line");
         }
     }
 
@@ -352,11 +344,7 @@ mod tests {
         assert_eq!(lines.len(), 1);
         assert_eq!(lines[0].text(), "pre bold post");
         assert!(lines[0].runs.len() >= 3);
-        let bold_run = lines[0]
-            .runs
-            .iter()
-            .find(|r| r.text.trim() == "bold")
-            .expect("bold run");
+        let bold_run = lines[0].runs.iter().find(|r| r.text.trim() == "bold").expect("bold run");
         assert!(bold_run.style.emphasis.contains(Emphasis::BOLD));
     }
 
@@ -381,7 +369,9 @@ mod tests {
         b.end_paragraph();
         let doc = b.finish();
         let blocks = layout_document(&doc, 400);
-        assert!(matches!(blocks[1], LaidBlock::Figure { index: 0, size } if size == Size::new(300, 200)));
+        assert!(
+            matches!(blocks[1], LaidBlock::Figure { index: 0, size } if size == Size::new(300, 200))
+        );
         assert_eq!(blocks[1].height(), 200);
     }
 

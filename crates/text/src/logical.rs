@@ -179,9 +179,7 @@ impl LogicalTree {
         let spans = self.spans(level);
         let idx = spans.partition_point(|s| s.start <= pos);
         idx.checked_sub(1).and_then(|i| {
-            spans[i]
-                .contains(pos)
-                .then_some(UnitRef { level, index: i, span: spans[i] })
+            spans[i].contains(pos).then_some(UnitRef { level, index: i, span: spans[i] })
         })
     }
 

@@ -152,9 +152,7 @@ fn push_inline_text(b: &mut DocumentBuilder, line: &str, lineno: u32) -> Result<
         match ch {
             '\\' => match chars.next() {
                 Some(escaped) => buf.push(escaped),
-                None => {
-                    return Err(MinosError::parse(lineno, "dangling backslash at end of line"))
-                }
+                None => return Err(MinosError::parse(lineno, "dangling backslash at end of line")),
             },
             '*' | '_' | '~' => {
                 if !buf.is_empty() {

@@ -217,9 +217,7 @@ impl PresentationForm {
     /// page that starts at or before `pos`. Positions between pages (e.g. a
     /// paragraph-final newline) resolve to the page of the preceding text.
     pub fn page_containing(&self, pos: u32) -> Option<usize> {
-        let idx = self
-            .pages
-            .partition_point(|p| p.span.map(|s| s.start <= pos).unwrap_or(true));
+        let idx = self.pages.partition_point(|p| p.span.map(|s| s.start <= pos).unwrap_or(true));
         idx.checked_sub(1)
     }
 

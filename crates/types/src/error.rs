@@ -63,7 +63,9 @@ impl fmt::Display for MinosError {
             MinosError::UnknownComponent(s) => write!(f, "unknown component: {s}"),
             MinosError::OperationUnavailable(s) => write!(f, "operation unavailable: {s}"),
             MinosError::WrongState(s) => write!(f, "wrong object state: {s}"),
-            MinosError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            MinosError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             MinosError::Codec(s) => write!(f, "codec error: {s}"),
             MinosError::Storage(s) => write!(f, "storage error: {s}"),
             MinosError::Protocol(s) => write!(f, "protocol error: {s}"),
@@ -81,10 +83,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(
-            MinosError::UnknownObject("obj#9".into()).to_string(),
-            "unknown object: obj#9"
-        );
+        assert_eq!(MinosError::UnknownObject("obj#9".into()).to_string(), "unknown object: obj#9");
         assert_eq!(
             MinosError::parse(12, "unknown tag .xx").to_string(),
             "parse error at line 12: unknown tag .xx"

@@ -315,12 +315,7 @@ mod tests {
 
     #[test]
     fn polygon_contains_square() {
-        let square = [
-            Point::new(0, 0),
-            Point::new(10, 0),
-            Point::new(10, 10),
-            Point::new(0, 10),
-        ];
+        let square = [Point::new(0, 0), Point::new(10, 0), Point::new(10, 10), Point::new(0, 10)];
         assert!(polygon_contains(&square, Point::new(5, 5)));
         assert!(!polygon_contains(&square, Point::new(15, 5)));
         assert!(!polygon_contains(&square, Point::new(-1, 5)));

@@ -57,10 +57,7 @@ pub fn evaluate_pauses(transcript: &Transcript, pauses: &[DetectedPause]) -> Pau
     for g in &transcript.gaps {
         if g.kind == GapKind::Paragraph {
             paragraph_gaps += 1;
-            if pauses
-                .iter()
-                .any(|p| p.kind == PauseKind::Long && p.span.overlaps(&g.span))
-            {
+            if pauses.iter().any(|p| p.kind == PauseKind::Long && p.span.overlaps(&g.span)) {
                 paragraph_found_long += 1;
             }
         }
@@ -69,11 +66,8 @@ pub fn evaluate_pauses(transcript: &Transcript, pauses: &[DetectedPause]) -> Pau
     let ratio = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
     // A detected pause can only match one gap; count distinct matched gaps
     // for recall.
-    let matched_gaps = transcript
-        .gaps
-        .iter()
-        .filter(|g| pauses.iter().any(|p| p.span.overlaps(&g.span)))
-        .count();
+    let matched_gaps =
+        transcript.gaps.iter().filter(|g| pauses.iter().any(|p| p.span.overlaps(&g.span))).count();
 
     PauseEvalReport {
         true_gaps,

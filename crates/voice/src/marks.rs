@@ -111,17 +111,15 @@ mod tests {
 
     #[test]
     fn with_level_sorts_and_dedups() {
-        let m = VoiceMarks::none().with_level(
-            LogicalLevel::Paragraph,
-            vec![t(500), t(100), t(500), t(300)],
-        );
+        let m = VoiceMarks::none()
+            .with_level(LogicalLevel::Paragraph, vec![t(500), t(100), t(500), t(300)]);
         assert_eq!(m.starts(LogicalLevel::Paragraph), &[t(100), t(300), t(500)]);
     }
 
     #[test]
     fn navigation_next_and_prev() {
-        let m = VoiceMarks::none()
-            .with_level(LogicalLevel::Paragraph, vec![t(0), t(1_000), t(2_000)]);
+        let m =
+            VoiceMarks::none().with_level(LogicalLevel::Paragraph, vec![t(0), t(1_000), t(2_000)]);
         assert_eq!(m.next_start_after(LogicalLevel::Paragraph, t(0)), Some(t(1_000)));
         assert_eq!(m.next_start_after(LogicalLevel::Paragraph, t(1_500)), Some(t(2_000)));
         assert_eq!(m.next_start_after(LogicalLevel::Paragraph, t(2_000)), None);

@@ -59,10 +59,7 @@ impl AudioPages {
         }
         let start = self.page_len * index as u64;
         let end_us = (start + self.page_len).as_micros().min(self.total.as_micros());
-        Some(TimeSpan::new(
-            SimInstant::EPOCH + start,
-            SimInstant::from_micros(end_us),
-        ))
+        Some(TimeSpan::new(SimInstant::EPOCH + start, SimInstant::from_micros(end_us)))
     }
 
     /// The 0-based page containing instant `t` (positions at or past the

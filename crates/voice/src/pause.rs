@@ -121,10 +121,7 @@ impl PauseDetector {
             }
         }
         if let Some(s) = open {
-            spans.push(TimeSpan::new(
-                audio.instant_of(s),
-                SimInstant::EPOCH + audio.duration(),
-            ));
+            spans.push(TimeSpan::new(audio.instant_of(s), SimInstant::EPOCH + audio.duration()));
         }
         spans.retain(|s| s.duration() >= self.config.min_pause);
         spans
@@ -270,10 +267,8 @@ mod tests {
     fn detected_pauses_overlap_true_gaps() {
         let (audio, tr) = synthesize(TEXT, &SpeakerProfile::CLEAR, 42);
         let pauses = PauseDetector::new().detect(&audio);
-        let matched = pauses
-            .iter()
-            .filter(|p| tr.gaps.iter().any(|g| g.span.overlaps(&p.span)))
-            .count();
+        let matched =
+            pauses.iter().filter(|p| tr.gaps.iter().any(|g| g.span.overlaps(&p.span))).count();
         assert!(
             matched * 10 >= pauses.len() * 9,
             "only {matched}/{} detected pauses overlap a true gap",
@@ -300,9 +295,7 @@ mod tests {
         let misclassified = word_gaps
             .iter()
             .filter(|g| {
-                pauses
-                    .iter()
-                    .any(|p| p.span.overlaps(&g.span) && p.kind == PauseKind::Long)
+                pauses.iter().any(|p| p.span.overlaps(&g.span) && p.kind == PauseKind::Long)
             })
             .count();
         assert!(
@@ -384,11 +377,8 @@ mod tests {
         let (audio, tr) = synthesize(TEXT, &SpeakerProfile::NOISY, 13);
         let pauses = PauseDetector::new().detect(&audio);
         // Degraded but functional: at least half the true gaps are found.
-        let found = tr
-            .gaps
-            .iter()
-            .filter(|g| pauses.iter().any(|p| p.span.overlaps(&g.span)))
-            .count();
+        let found =
+            tr.gaps.iter().filter(|g| pauses.iter().any(|p| p.span.overlaps(&g.span))).count();
         assert!(found * 2 >= tr.gaps.len(), "found {found}/{}", tr.gaps.len());
     }
 }

@@ -146,10 +146,8 @@ mod tests {
         let mut b = AudioBuffer::new(1_000); // 1 sample per ms
         b.push_samples(&[1; 100]);
         b.push_samples(&[2; 100]);
-        let span = TimeSpan::new(
-            SimInstant::from_micros(100_000),
-            SimInstant::from_micros(150_000),
-        );
+        let span =
+            TimeSpan::new(SimInstant::from_micros(100_000), SimInstant::from_micros(150_000));
         let s = b.slice(span);
         assert_eq!(s.len(), 50);
         assert!(s.iter().all(|&v| v == 2));

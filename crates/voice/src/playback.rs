@@ -50,7 +50,12 @@ impl PlaybackEngine {
     /// Creates an engine at the start of the part, interrupted (playback
     /// starts on the first `play`).
     pub fn new(pages: AudioPages, pauses: Vec<DetectedPause>) -> Self {
-        PlaybackEngine { pages, pauses, position: SimInstant::EPOCH, state: PlaybackState::Interrupted }
+        PlaybackEngine {
+            pages,
+            pauses,
+            position: SimInstant::EPOCH,
+            state: PlaybackState::Interrupted,
+        }
     }
 
     /// Current position within the voice part.
@@ -181,9 +186,7 @@ impl PlaybackEngine {
             self.state = PlaybackState::Finished;
         }
         let end_page = self.current_page().unwrap_or(start_page);
-        (start_page..end_page)
-            .map(|p| PageCrossing { from: p, to: p + 1 })
-            .collect()
+        (start_page..end_page).map(|p| PageCrossing { from: p, to: p + 1 }).collect()
     }
 }
 

@@ -66,10 +66,7 @@ impl Recognizer {
         S: AsRef<str>,
     {
         assert!((0.0..=1.0).contains(&config.hit_rate), "hit_rate out of range");
-        assert!(
-            (0.0..=1.0).contains(&config.false_alarm_rate),
-            "false_alarm_rate out of range"
-        );
+        assert!((0.0..=1.0).contains(&config.false_alarm_rate), "false_alarm_rate out of range");
         let vocabulary = vocabulary
             .into_iter()
             .map(|w| normalize_word(w.as_ref()))

@@ -282,8 +282,7 @@ mod tests {
 
     #[test]
     fn faster_profile_speaks_faster() {
-        let long_text: String =
-            (0..30).map(|i| format!("word{i}")).collect::<Vec<_>>().join(" ");
+        let long_text: String = (0..30).map(|i| format!("word{i}")).collect::<Vec<_>>().join(" ");
         let (_, clear) = synthesize(&long_text, &SpeakerProfile::CLEAR, 2);
         let (_, fast) = synthesize(&long_text, &SpeakerProfile::FAST, 2);
         assert!(fast.total < clear.total);

@@ -47,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Walk the miniature strip.
     while let Some((id, mini)) = browser.current() {
-        println!("  miniature of {id}: {}x{} px, {} ink", mini.width(), mini.height(), mini.count_ink());
+        println!(
+            "  miniature of {id}: {}x{} px, {} ink",
+            mini.width(),
+            mini.height(),
+            mini.count_ink()
+        );
         if browser.select() == Some(ObjectId::new(1)) {
             break;
         }
@@ -58,12 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // so every object fetch is charged to the link.
     let selected = browser.select().expect("a hit was selected");
     println!("\nselected {selected}; opening the presentation manager…");
-    let (mut session, _) = BrowsingSession::open(
-        ws,
-        selected,
-        PaginateConfig::default(),
-        SimDuration::from_secs(20),
-    )?;
+    let (mut session, _) =
+        BrowsingSession::open(ws, selected, PaginateConfig::default(), SimDuration::from_secs(20))?;
     println!("browsing {:?} ({:?} mode)", session.object().name, session.object().driving_mode);
     session.apply(BrowseCommand::FindPattern("shadow".into()))?;
     let view = session.visual_view().unwrap();

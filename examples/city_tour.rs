@@ -21,11 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimDuration::from_secs(3)
     );
 
-    let narrations: Vec<String> = object
-        .voice_segments
-        .iter()
-        .map(|s| s.transcript.text())
-        .collect();
+    let narrations: Vec<String> =
+        object.voice_segments.iter().map(|s| s.transcript.text()).collect();
 
     let mut clock = SimDuration::ZERO;
     let step_dt = SimDuration::from_millis(500);
@@ -69,9 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A designer tour over the harbor map, with the voice option turned on:
     // voice labels play as the window passes their sites (§2).
-    println!("
+    println!(
+        "
 == bonus: a designer tour with the voice option on ==
-");
+"
+    );
     let harbor = corpus::harbor_tour_object(ObjectId::new(2), 5);
     let mut tour = TourRunner::new(&harbor, 0, true)?;
     let mut t = SimDuration::ZERO;

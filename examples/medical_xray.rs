@@ -21,11 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let transparencies = TransparencyViewer::new(&object, 0)?;
     let mut store = HashMap::new();
     store.insert(object.id, object);
-    let config = PaginateConfig {
-        page_size: minos::types::Size::new(560, 420),
-        margin: 16,
-        block_gap: 8,
-    };
+    let config =
+        PaginateConfig { page_size: minos::types::Size::new(560, 420), margin: 16, block_gap: 8 };
     let (mut session, _) =
         BrowsingSession::open(store, ObjectId::new(1), config, SimDuration::from_secs(20))?;
 

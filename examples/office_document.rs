@@ -14,23 +14,15 @@ use std::collections::HashMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let object = corpus::office_document(ObjectId::new(1), 7, 8);
-    let images: Vec<minos::image::Bitmap> =
-        object.images.iter().map(|i| i.render()).collect();
+    let images: Vec<minos::image::Bitmap> = object.images.iter().map(|i| i.render()).collect();
 
     let mut screen = Screen::new();
-    let config = PaginateConfig {
-        page_size: screen.display_region().size,
-        margin: 24,
-        block_gap: 10,
-    };
+    let config =
+        PaginateConfig { page_size: screen.display_region().size, margin: 24, block_gap: 10 };
     let mut store = HashMap::new();
     store.insert(object.id, object);
-    let (mut session, _) = BrowsingSession::open(
-        store,
-        ObjectId::new(1),
-        config,
-        SimDuration::from_secs(20),
-    )?;
+    let (mut session, _) =
+        BrowsingSession::open(store, ObjectId::new(1), config, SimDuration::from_secs(20))?;
 
     // Compose the workstation screen: page in the display region, menu in
     // the right-hand column (Figures 1-2's layout).

@@ -67,13 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut server = ObjectServer::new();
     server.publish(parent.clone(), &archived_form(&parent))?;
     let mut ws = Workstation::new(server, Link::ethernet());
-    let mut rv = RemoteView::open(
-        ObjectId::new(1),
-        0,
-        parent.images[0].size(),
-        Size::new(220, 160),
-        48,
-    )?;
+    let mut rv =
+        RemoteView::open(ObjectId::new(1), 0, parent.images[0].size(), Size::new(220, 160), 48)?;
     rv.fetch(&mut ws)?;
     rv.view_mut().step(MoveDirection::Right);
     rv.fetch(&mut ws)?;

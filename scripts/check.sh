@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Repo-wide static checks: lints as errors, formatting, and the test suite
+# gate used by CI. Run from anywhere inside the repository.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "All checks passed."

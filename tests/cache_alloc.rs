@@ -1,0 +1,54 @@
+//! Allocation regression test for the block cache hit path.
+//!
+//! A cache hit used to clone the whole resident block before slicing out
+//! the requested span; this pins the fix by counting heap bytes allocated
+//! during a warm read. Lives in the facade tests because the storage crate
+//! itself forbids the `unsafe` a `#[global_allocator]` needs.
+
+use minos::storage::{BlockCache, BlockDevice, OpticalDisk};
+use minos::types::ByteSpan;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Counts this thread's heap allocations, so the assertion is immune to
+/// other tests running on parallel threads.
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATED: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATED.try_with(|a| a.set(a.get() + layout.size() as u64));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn cache_hits_do_not_clone_the_block() {
+    let mut disk = OpticalDisk::with_capacity(1 << 20);
+    let data: Vec<u8> = (0..40_960u32).map(|i| (i % 251) as u8).collect();
+    disk.append(&data).unwrap();
+    let mut cache = BlockCache::new(disk, 4_096, 4);
+
+    let span = ByteSpan::at(100, 64); // one 4 KB block, 64-byte slice
+    cache.read_at(span).unwrap(); // cold: block enters the cache
+
+    let before = ALLOCATED.with(|a| a.get());
+    let (bytes, _) = cache.read_at(span).unwrap();
+    let allocated = ALLOCATED.with(|a| a.get()) - before;
+
+    assert_eq!(bytes.len(), 64);
+    assert_eq!(cache.hits(), 1);
+    // The warm read may allocate the 64-byte output vector (plus a few
+    // bytes of LRU bookkeeping) but must not re-clone the 4 KB block.
+    assert!(allocated < 1_024, "cache hit allocated {allocated} bytes");
+}

@@ -57,11 +57,8 @@ fn f1_f2_visual_pages_with_menu_column() {
 #[test]
 fn f3_f4_visual_logical_message_sequence() {
     let object = corpus::medical_report(ObjectId::new(1), 42);
-    let config = PaginateConfig {
-        page_size: minos::types::Size::new(560, 420),
-        margin: 16,
-        block_gap: 8,
-    };
+    let config =
+        PaginateConfig { page_size: minos::types::Size::new(560, 420), margin: 16, block_gap: 8 };
     let mut session = open_one(object.clone(), config);
 
     // Enter the findings chapter: the x-ray pins.
@@ -74,10 +71,7 @@ fn f3_f4_visual_logical_message_sequence() {
     // Page through the related text: the image stays pinned.
     for _ in 0..first.page_count - 1 {
         let events = session.apply(BrowseCommand::NextPage).unwrap();
-        assert!(
-            !events.contains(&BrowseEvent::VisualMessageUnpinned),
-            "unpinned too early"
-        );
+        assert!(!events.contains(&BrowseEvent::VisualMessageUnpinned), "unpinned too early");
         assert_eq!(session.visual_view().unwrap().pinned_message, Some(0));
     }
     // The next turn exits: a page without the image.
@@ -197,10 +191,7 @@ fn f9_f10_process_simulation_guided_walk() {
 
     // Narrations gate the turns: total time exceeds what the bare interval
     // alone would need.
-    let narration_total: SimDuration = object
-        .voice_segments
-        .iter()
-        .map(|s| s.duration())
-        .fold(SimDuration::ZERO, |a, b| a + b);
+    let narration_total: SimDuration =
+        object.voice_segments.iter().map(|s| s.duration()).fold(SimDuration::ZERO, |a, b| a + b);
     assert!(total + SimDuration::from_secs(1) >= narration_total);
 }

@@ -9,7 +9,10 @@ use minos::corpus::{self, speech};
 use minos::net::Link;
 use minos::presentation::Workstation;
 use minos::server::ObjectServer;
-use minos::storage::{simulate_schedule, sched::mean_response, BlockCache, BlockDevice, OpticalDisk, Request, SchedPolicy};
+use minos::storage::{
+    sched::mean_response, simulate_schedule, BlockCache, BlockDevice, OpticalDisk, Request,
+    SchedPolicy,
+};
 use minos::types::{ByteSpan, ObjectId, Rect, SimDuration, SimInstant};
 use minos::voice::eval::{evaluate_pauses, mean_rewind_error};
 use minos::voice::pause::PauseDetector;
@@ -23,11 +26,12 @@ fn e5_views_beat_whole_image_transfer() {
     let mut ratios = Vec::new();
     for (i, side) in [600u32, 1_200].into_iter().enumerate() {
         let id = ObjectId::new(i as u64 + 1);
-        let mut object =
-            minos::object::MultimediaObject::new(id, "big-image", minos::object::DrivingMode::Visual);
-        object
-            .images
-            .push(minos::image::Image::Bitmap(minos::image::Bitmap::new(side, side)));
+        let mut object = minos::object::MultimediaObject::new(
+            id,
+            "big-image",
+            minos::object::DrivingMode::Visual,
+        );
+        object.images.push(minos::image::Image::Bitmap(minos::image::Bitmap::new(side, side)));
         object.archive().unwrap();
         let archived = archived_form(&object);
         let mut server = ObjectServer::new();
@@ -68,10 +72,7 @@ fn e6_miniatures_beat_full_objects() {
     }
     let full_bytes = ws.bytes_transferred();
     let full_time = ws.elapsed();
-    assert!(
-        miniature_bytes * 10 < full_bytes,
-        "miniatures {miniature_bytes} vs full {full_bytes}"
-    );
+    assert!(miniature_bytes * 10 < full_bytes, "miniatures {miniature_bytes} vs full {full_bytes}");
     // Seek latency dominates tiny reads on the optical device, so the
     // time gap is narrower than the byte gap; it must still be decisive.
     assert!(miniature_time * 2 < full_time, "{miniature_time} vs {full_time}");

@@ -1,0 +1,111 @@
+//! End-to-end check of the anticipatory prefetch pipeline (§5).
+//!
+//! A 1 MB record is read as sixteen 64 KB pages over the Ethernet link and
+//! the optical-disk model, with a fixed per-page dwell. The experiment's
+//! acceptance claims are pinned here deterministically:
+//!
+//! * stall time strictly decreases from prefetch depth 0 to 1 to 2 (and
+//!   depth 4 stalls no more than depth 2);
+//! * batching strictly reduces round trips;
+//! * every page's bytes are identical at every depth — and identical even
+//!   when the prediction plan is deliberately wrong.
+
+use minos::net::{Link, ServerRequest, ServerResponse};
+use minos::presentation::prefetch::{page_spans, PrefetchBuffer, PrefetchStats};
+use minos::presentation::Workstation;
+use minos::server::ObjectServer;
+use minos::types::{ByteSpan, ObjectId, SimDuration};
+
+const RECORD_LEN: usize = 1 << 20;
+const PAGES: usize = 16;
+const DWELL: SimDuration = SimDuration::from_millis(320);
+
+fn pipeline(depth: usize) -> (PrefetchBuffer<ObjectServer>, ByteSpan) {
+    let mut server = ObjectServer::new();
+    let data: Vec<u8> = (0..RECORD_LEN).map(|i| (i % 251) as u8).collect();
+    let (record, _) = server.archiver_mut().store(ObjectId::new(1), &data).unwrap();
+    (PrefetchBuffer::new(Workstation::new(server, Link::ethernet()), depth), record.span)
+}
+
+/// Plays the whole presentation at `depth`, checking every page's bytes,
+/// and returns (stats, round trips).
+fn play(depth: usize) -> (PrefetchStats, u64) {
+    let (mut pipe, span) = pipeline(depth);
+    let plan: Vec<ServerRequest> =
+        page_spans(span, PAGES).into_iter().map(|span| ServerRequest::FetchSpan { span }).collect();
+    pipe.prime(&plan).unwrap();
+    for (i, need) in plan.iter().enumerate() {
+        let (response, _) = pipe.step(need, &plan[i + 1..], DWELL).unwrap();
+        assert_page_bytes(i, need, &response);
+    }
+    (pipe.stats(), pipe.workstation().round_trips())
+}
+
+fn assert_page_bytes(i: usize, need: &ServerRequest, response: &ServerResponse) {
+    let ServerRequest::FetchSpan { span } = need else { panic!("page plan is spans") };
+    let ServerResponse::Span(bytes) = response else {
+        panic!("unexpected response at page {i}: {response:?}");
+    };
+    let expect: Vec<u8> = (span.start..span.end).map(|b| (b as usize % 251) as u8).collect();
+    assert_eq!(bytes, &expect, "page {i} content");
+}
+
+#[test]
+fn stall_strictly_decreases_with_depth() {
+    let (s0, _) = play(0);
+    let (s1, _) = play(1);
+    let (s2, _) = play(2);
+    let (s4, _) = play(4);
+    assert!(s0.stall > s1.stall, "depth 0 {} vs depth 1 {}", s0.stall, s1.stall);
+    assert!(s1.stall > s2.stall, "depth 1 {} vs depth 2 {}", s1.stall, s2.stall);
+    assert!(s4.stall <= s2.stall, "depth 4 {} vs depth 2 {}", s4.stall, s2.stall);
+    // Anticipation trades a longer opening fetch for continuity.
+    assert!(s4.opening > s0.opening);
+}
+
+#[test]
+fn batching_needs_fewer_round_trips() {
+    let (_, t0) = play(0);
+    let (_, t1) = play(1);
+    let (_, t2) = play(2);
+    let (_, t4) = play(4);
+    // Depth 0: one priming trip plus one demand trip per remaining page.
+    assert_eq!(t0, PAGES as u64);
+    assert!(t1 <= t0 && t2 < t1 && t4 < t2, "round trips {t0} / {t1} / {t2} / {t4}");
+}
+
+#[test]
+fn sequential_prefetch_wastes_nothing() {
+    for depth in [0, 1, 2, 4] {
+        let (stats, _) = play(depth);
+        assert_eq!(stats.hits + stats.misses, PAGES as u64, "depth {depth}");
+        if depth == 0 {
+            // No lookahead: only the primed first page hits.
+            assert_eq!(stats.misses, PAGES as u64 - 1);
+        } else {
+            assert_eq!(stats.misses, 0, "depth {depth}: every page was anticipated");
+        }
+        assert_eq!(stats.wasted(), 0, "depth {depth}");
+    }
+}
+
+#[test]
+fn wrong_plan_is_waste_never_wrong_content() {
+    let (mut pipe, span) = pipeline(2);
+    let truth = page_spans(span, PAGES);
+    // Predict spans that will never be requested.
+    let wrong: Vec<ServerRequest> = truth
+        .iter()
+        .map(|s| ServerRequest::FetchSpan { span: ByteSpan::at(s.start + 13, 64) })
+        .collect();
+    pipe.prime(&wrong).unwrap();
+    for (i, span) in truth.iter().enumerate() {
+        let need = ServerRequest::FetchSpan { span: *span };
+        let (response, _) = pipe.step(&need, &wrong, DWELL).unwrap();
+        assert_page_bytes(i, &need, &response);
+    }
+    let stats = pipe.stats();
+    assert_eq!(stats.misses, PAGES as u64);
+    assert_eq!(stats.hits, 0);
+    assert!(stats.wasted() > 0);
+}

@@ -51,10 +51,7 @@ fn different_pages_render_differently() {
     assert_ne!(page1, page2);
     // The menu column is identical across pages of the same object.
     let menu_region = screen.menu_region();
-    assert_eq!(
-        page1.extract(menu_region).unwrap(),
-        page2.extract(menu_region).unwrap()
-    );
+    assert_eq!(page1.extract(menu_region).unwrap(), page2.extract(menu_region).unwrap());
 }
 
 #[test]
@@ -67,12 +64,9 @@ fn ascii_screen_dump_is_stable() {
     assert_eq!(rows.len(), screen.to_ascii(96).len());
     // Structural invariants rather than a brittle pixel snapshot: text ink
     // in the upper display area, menu ink at the right edge.
-    let top_ink: usize =
-        rows[..10].iter().map(|r| r.chars().filter(|&c| c == '#').count()).sum();
+    let top_ink: usize = rows[..10].iter().map(|r| r.chars().filter(|&c| c == '#').count()).sum();
     assert!(top_ink > 10, "page text missing from the dump");
-    let menu_cols: usize = rows
-        .iter()
-        .map(|r| r.chars().rev().take(18).filter(|&c| c == '#').count())
-        .sum();
+    let menu_cols: usize =
+        rows.iter().map(|r| r.chars().rev().take(18).filter(|&c| c == '#').count()).sum();
     assert!(menu_cols > 20, "menu column missing from the dump");
 }

@@ -94,12 +94,8 @@ fn both_modes_accept_the_same_command_script() {
         BrowseCommand::FindPattern("symmetric".into()),
     ];
     for cmd in &script {
-        visual
-            .apply(cmd.clone())
-            .unwrap_or_else(|e| panic!("visual rejected {cmd:?}: {e}"));
-        audio
-            .apply(cmd.clone())
-            .unwrap_or_else(|e| panic!("audio rejected {cmd:?}: {e}"));
+        visual.apply(cmd.clone()).unwrap_or_else(|e| panic!("visual rejected {cmd:?}: {e}"));
+        audio.apply(cmd.clone()).unwrap_or_else(|e| panic!("audio rejected {cmd:?}: {e}"));
     }
 }
 
@@ -114,10 +110,8 @@ fn paragraph_navigation_lands_on_the_same_words() {
     let vpos = visual.visual_position().unwrap();
     let v_para = vdoc.tree().paragraphs.partition_point(|p| p.start <= vpos);
     let a_t = audio.audio().unwrap().position();
-    let a_para = audio.object().voice_segments[0]
-        .transcript
-        .paragraph_starts
-        .partition_point(|&s| s <= a_t);
+    let a_para =
+        audio.object().voice_segments[0].transcript.paragraph_starts.partition_point(|&s| s <= a_t);
     assert_eq!(v_para, a_para, "paragraph landing differs between media");
 }
 

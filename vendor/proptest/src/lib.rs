@@ -1,0 +1,265 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of the proptest API its property tests use: the `proptest!`
+//! macro, `prop_assert!`/`prop_assert_eq!`, `any::<T>()`, integer range
+//! strategies, a regex-subset string strategy, tuple strategies,
+//! `collection::vec`, `sample::select`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * sampling is plain randomized testing — no shrinking. A failure panics
+//!   with the usual assert message; re-running reproduces it because the
+//!   RNG is seeded from the test's name.
+//! * string strategies implement the regex subset the workspace actually
+//!   writes (`.`, `[class]`, `{m,n}`, `{n}`, `*`, `+`, `?`, literals), not
+//!   full regex.
+
+pub mod strategy;
+
+/// Runtime configuration for a `proptest!` block.
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to execute.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The deterministic per-test generator (SplitMix64 seeded from the
+    /// test name, so failures reproduce without a persistence file).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator for the named test.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name: stable across runs and platforms.
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// The next uniformly distributed 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform index in `[0, bound)`.
+        pub fn index(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "cannot sample an empty collection");
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `size` (half-open, like the upstream `SizeRange` from a range).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.start + rng.index(self.size.end - self.size.start);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies over explicit value lists.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy drawing uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "cannot select from an empty list");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.index(self.options.len())].clone()
+        }
+    }
+}
+
+/// The common imports property tests expect.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a property holds, failing the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts two values are equal within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts two values differ within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, …) { body }`
+/// becomes a `#[test]` running `body` over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            <$crate::test_runner::ProptestConfig as ::core::default::Default>::default();
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($binding:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $binding =
+                    $crate::strategy::Strategy::sample(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Doc comments and config attributes both parse.
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 0u32..10,
+            b in 1u64..=3,
+            v in crate::collection::vec(any::<u8>(), 0..5),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((1..=3).contains(&b));
+            prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn tuples_and_select(
+            (x, y) in (0i32..4, 0i32..4),
+            pick in crate::sample::select(vec![10u64, 20, 30]),
+        ) {
+            prop_assert!(x < 4 && y < 4);
+            prop_assert!(pick % 10 == 0);
+        }
+    }
+
+    #[test]
+    fn string_patterns_honor_class_and_bounds() {
+        let mut rng = TestRng::for_test("string_patterns");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[ab ]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "ab ".contains(c)), "{s:?}");
+            let t = Strategy::sample(&".{0,12}", &mut rng);
+            assert!(t.chars().count() <= 12);
+            let u = Strategy::sample(&".*", &mut rng);
+            assert!(u.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    fn same_test_name_reproduces_the_stream() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(
+            (0..20).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..20).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn vec_lengths_cover_the_range() {
+        let mut rng = TestRng::for_test("vec_lengths");
+        let strat = crate::collection::vec(any::<u8>(), 2..6);
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!((2..6).contains(&v.len()));
+            seen[v.len()] = true;
+        }
+        assert!(seen[2] && seen[3] && seen[4] && seen[5]);
+    }
+}
