@@ -50,7 +50,7 @@ impl Link {
     /// numerator at `u64::MAX`).
     pub fn transfer_cost(&self, bytes: u64) -> SimDuration {
         let micros = (bytes as u128 * 1_000_000).div_ceil(self.bytes_per_sec as u128);
-        self.latency + SimDuration::from_micros(micros.min(u64::MAX as u128) as u64)
+        self.latency + SimDuration::from_micros_saturating(micros)
     }
 
     /// Transfers `bytes`, recording stats and returning the time charged.

@@ -195,32 +195,42 @@ impl ObjectServer {
         }
         let mut responses = Vec::with_capacity(requests.len());
         let mut total = SimDuration::ZERO;
-        let mut i = 0;
-        while i < requests.len() {
-            let run = Self::adjacent_span_run(&requests[i..]);
-            if run.len() > 1 {
-                let whole = ByteSpan::new(run[0].start, run[run.len() - 1].end);
-                match self.archiver.read_at(whole) {
-                    Ok((bytes, took)) => {
-                        total += took;
-                        for span in &run {
-                            let from = (span.start - whole.start) as usize;
-                            let to = from + span.len() as usize;
-                            responses.push(ServerResponse::Span(bytes[from..to].to_vec()));
+        let mut rest = requests;
+        while let Some(request) = rest.first() {
+            let run = Self::adjacent_span_run(rest);
+            if let (Some(first), Some(last)) = (run.first(), run.last()) {
+                if run.len() > 1 {
+                    let whole = ByteSpan::new(first.start, last.end);
+                    match self.archiver.read_at(whole) {
+                        Ok((bytes, took)) => {
+                            total += took;
+                            for span in &run {
+                                let from = (span.start - whole.start) as usize;
+                                let to = from + span.len() as usize;
+                                let slice = bytes.get(from..to).ok_or_else(|| {
+                                    MinosError::Internal(format!(
+                                        "coalesced read lost {span}: {from}..{to} outside \
+                                         {} bytes",
+                                        bytes.len()
+                                    ))
+                                })?;
+                                responses.push(ServerResponse::Span(slice.to_vec()));
+                            }
+                        }
+                        Err(e) => {
+                            let msg = e.to_string();
+                            responses
+                                .extend(run.iter().map(|_| ServerResponse::Error(msg.clone())));
                         }
                     }
-                    Err(e) => {
-                        let msg = e.to_string();
-                        responses.extend(run.iter().map(|_| ServerResponse::Error(msg.clone())));
-                    }
+                    rest = rest.get(run.len()..).unwrap_or_default();
+                    continue;
                 }
-                i += run.len();
-            } else {
-                let (resp, took) = self.handle(&requests[i]);
-                total += took;
-                responses.push(resp);
-                i += 1;
             }
+            let (resp, took) = self.handle(request);
+            total += took;
+            responses.push(resp);
+            rest = rest.get(1..).unwrap_or_default();
         }
         Ok((ServerResponse::Batch(responses), total))
     }

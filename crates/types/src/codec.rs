@@ -145,41 +145,48 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.remaining() < n {
-            return Err(MinosError::Codec(format!(
+        let s = self.buf.get(self.pos..self.pos.saturating_add(n)).ok_or_else(|| {
+            MinosError::Codec(format!(
                 "truncated input: wanted {n} bytes at offset {}, have {}",
                 self.pos,
                 self.remaining()
-            )));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
+            ))
+        })?;
         self.pos += n;
         Ok(s)
     }
 
+    /// Reads exactly `N` bytes as a fixed-size array.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| MinosError::Internal(format!("take({N}) returned a wrong-sized slice")))
+    }
+
     /// Reads one byte.
     pub fn get_u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        let [byte] = self.take_array::<1>()?;
+        Ok(byte)
     }
 
     /// Reads a little-endian u16.
     pub fn get_u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian u32.
     pub fn get_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian u64.
     pub fn get_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian i32.
     pub fn get_i32(&mut self) -> Result<i32> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(i32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads an unsigned LEB128 varint.

@@ -35,6 +35,22 @@ impl SimDuration {
         Self(s * 1_000_000)
     }
 
+    /// Creates a duration from a widened microsecond count, saturating at
+    /// `u64::MAX` microseconds (~584,000 years of simulated time).
+    ///
+    /// Device and link models widen to `u128` for intermediate arithmetic
+    /// (`bytes * 1_000_000` overflows `u64` past ~18 TB — the original
+    /// `Link::transfer_cost` bug); this is the one sanctioned way back to
+    /// a `SimDuration`, and the unit-safety lint (`U001`) flags any raw
+    /// `as u64` narrowing that bypasses it.
+    pub const fn from_micros_saturating(us: u128) -> Self {
+        if us > u64::MAX as u128 {
+            Self(u64::MAX)
+        } else {
+            Self(us as u64)
+        }
+    }
+
     /// The duration in microseconds.
     pub const fn as_micros(self) -> u64 {
         self.0
@@ -237,6 +253,20 @@ mod tests {
     #[should_panic(expected = "underflow")]
     fn duration_sub_underflow_panics() {
         let _ = SimDuration::from_millis(1) - SimDuration::from_millis(2);
+    }
+
+    #[test]
+    fn from_micros_saturating_clamps_widened_counts() {
+        assert_eq!(SimDuration::from_micros_saturating(0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_micros_saturating(1_500), SimDuration::from_micros(1_500));
+        assert_eq!(
+            SimDuration::from_micros_saturating(u64::MAX as u128),
+            SimDuration::from_micros(u64::MAX)
+        );
+        assert_eq!(
+            SimDuration::from_micros_saturating(u128::MAX),
+            SimDuration::from_micros(u64::MAX)
+        );
     }
 
     #[test]

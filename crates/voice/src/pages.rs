@@ -49,7 +49,8 @@ impl AudioPages {
         if self.total == SimDuration::ZERO {
             return 0;
         }
-        self.total.as_micros().div_ceil(self.page_len.as_micros()) as usize
+        usize::try_from(self.total.as_micros().div_ceil(self.page_len.as_micros()))
+            .unwrap_or(usize::MAX)
     }
 
     /// The time span of page `index` (0-based). `None` past the end.
@@ -69,7 +70,7 @@ impl AudioPages {
         if count == 0 {
             return None;
         }
-        let idx = (t.as_micros() / self.page_len.as_micros()) as usize;
+        let idx = usize::try_from(t.as_micros() / self.page_len.as_micros()).unwrap_or(usize::MAX);
         Some(idx.min(count - 1))
     }
 

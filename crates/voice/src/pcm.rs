@@ -93,7 +93,9 @@ impl AudioBuffer {
     /// yielding `(start_sample, mean_abs)` pairs. The final partial window
     /// is included.
     pub fn energy_windows(&self, window: SimDuration) -> Vec<(usize, u32)> {
-        let step = ((window.as_micros() * self.sample_rate as u64) / 1_000_000).max(1) as usize;
+        let step =
+            usize::try_from(((window.as_micros() * self.sample_rate as u64) / 1_000_000).max(1))
+                .unwrap_or(usize::MAX);
         let mut out = Vec::with_capacity(self.samples.len() / step + 1);
         let mut i = 0;
         while i < self.samples.len() {

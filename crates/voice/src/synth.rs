@@ -95,8 +95,7 @@ fn jittered(rng: &mut StdRng, base: SimDuration, jitter: f64) -> SimDuration {
         return base;
     }
     let factor = 1.0 + rng.gen_range(-jitter..jitter);
-    let us = (base.as_micros() as f64 * factor).max(1_000.0) as u64;
-    SimDuration::from_micros(us)
+    SimDuration::from_micros_saturating((base.as_micros() as f64 * factor).max(1_000.0) as u128)
 }
 
 /// Synthesizes `text` spoken under `profile`.
@@ -176,7 +175,7 @@ pub fn synthesize_at_rate(
 /// Appends `dur` of voiced signal: noise shaped by a slow envelope so the
 /// energy is well above the floor but varies like speech.
 fn push_voiced(audio: &mut AudioBuffer, rng: &mut StdRng, dur: SimDuration, p: &SpeakerProfile) {
-    let n = (dur.as_micros() * audio.sample_rate() as u64 / 1_000_000).max(1) as usize;
+    let n = sample_count(dur, audio.sample_rate());
     let amp = p.amplitude as f64;
     let mut samples = Vec::with_capacity(n);
     for i in 0..n {
@@ -191,13 +190,19 @@ fn push_voiced(audio: &mut AudioBuffer, rng: &mut StdRng, dur: SimDuration, p: &
 
 /// Appends `dur` of silence at the profile's noise floor.
 fn push_silence(audio: &mut AudioBuffer, rng: &mut StdRng, dur: SimDuration, p: &SpeakerProfile) {
-    let n = (dur.as_micros() * audio.sample_rate() as u64 / 1_000_000).max(1) as usize;
+    let n = sample_count(dur, audio.sample_rate());
     let floor = p.noise_floor as f64;
     let mut samples = Vec::with_capacity(n);
     for _ in 0..n {
         samples.push((rng.gen_range(-1.0..1.0) * floor) as i16);
     }
     audio.push_samples(&samples);
+}
+
+/// Number of samples spanning `dur` at `rate` Hz, at least one.
+fn sample_count(dur: SimDuration, rate: u32) -> usize {
+    let n = (dur.as_micros() * rate as u64 / 1_000_000).max(1);
+    usize::try_from(n).unwrap_or(usize::MAX)
 }
 
 #[cfg(test)]

@@ -1,0 +1,271 @@
+//! The `lint-allow.toml` ratchet.
+//!
+//! Existing debt found by the ratchetable passes is enumerated in a
+//! committed allow file, one entry per `(rule, file)` with a cap:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "P002"
+//! file = "crates/storage/src/cache.rs"
+//! max = 1
+//! reason = "LRU recency index tracks every cached block by construction"
+//! ```
+//!
+//! Ratchet semantics are *shrink-only*: the lint fails when a file exceeds
+//! its cap, and it also fails when a cap is stale (fewer findings than
+//! allowed) — fixing debt forces the entry to be tightened or removed, so
+//! the recorded debt can never silently grow back. The file format is a
+//! tiny TOML subset (comments, `[[allow]]` tables, string and integer
+//! values) parsed here without external crates.
+
+use crate::diag::{rule, Diagnostic};
+use std::collections::HashMap;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule code the entry caps.
+    pub rule: String,
+    /// Workspace-relative file the entry caps.
+    pub file: String,
+    /// Maximum number of findings tolerated.
+    pub max: usize,
+    /// Why the debt is acceptable for now.
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header (for diagnostics).
+    pub line: usize,
+}
+
+/// The parsed allow file.
+#[derive(Debug, Clone, Default)]
+pub struct AllowList {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// Parses the allow-file text. `path` is used in error diagnostics.
+pub fn parse(path: &str, text: &str) -> Result<AllowList, Vec<Diagnostic>> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut errors: Vec<Diagnostic> = Vec::new();
+    let mut current: Option<(usize, HashMap<String, String>)> = None;
+
+    let finish = |current: &mut Option<(usize, HashMap<String, String>)>,
+                  entries: &mut Vec<AllowEntry>,
+                  errors: &mut Vec<Diagnostic>| {
+        let Some((header_line, map)) = current.take() else {
+            return;
+        };
+        let get = |k: &str| map.get(k).cloned();
+        let (Some(rule_code), Some(file), Some(max), Some(reason)) =
+            (get("rule"), get("file"), get("max"), get("reason"))
+        else {
+            errors.push(Diagnostic::new(
+                "ALLOW",
+                path,
+                header_line,
+                "entry needs rule, file, max, and reason keys",
+            ));
+            return;
+        };
+        let Ok(max) = max.parse::<usize>() else {
+            errors.push(Diagnostic::new("ALLOW", path, header_line, "max must be an integer"));
+            return;
+        };
+        entries.push(AllowEntry { rule: rule_code, file, max, reason, line: header_line });
+    };
+
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut current, &mut entries, &mut errors);
+            current = Some((line_no, HashMap::new()));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            errors.push(Diagnostic::new(
+                "ALLOW",
+                path,
+                line_no,
+                format!("unparsable line {line:?}"),
+            ));
+            continue;
+        };
+        let Some((_, map)) = current.as_mut() else {
+            errors.push(Diagnostic::new("ALLOW", path, line_no, "key outside any [[allow]] entry"));
+            continue;
+        };
+        let key = key.trim().to_string();
+        let mut value = value.trim();
+        if let Some(hash) = value.find(" #") {
+            value = value[..hash].trim();
+        }
+        let value = value.trim_matches('"').to_string();
+        map.insert(key, value);
+    }
+    finish(&mut current, &mut entries, &mut errors);
+
+    // Validate entries.
+    for (i, e) in entries.iter().enumerate() {
+        match rule(&e.rule) {
+            None => errors.push(Diagnostic::new(
+                "ALLOW",
+                path,
+                e.line,
+                format!("unknown rule code {:?}", e.rule),
+            )),
+            Some(r) if !r.ratchetable => errors.push(Diagnostic::new(
+                "ALLOW",
+                path,
+                e.line,
+                format!("rule {} is a structural invariant and cannot be allowlisted", e.rule),
+            )),
+            Some(_) => {}
+        }
+        if e.max == 0 {
+            errors.push(Diagnostic::new(
+                "ALLOW",
+                path,
+                e.line,
+                "max = 0 allows nothing; delete the entry instead",
+            ));
+        }
+        if e.reason.is_empty() {
+            errors.push(Diagnostic::new("ALLOW", path, e.line, "reason must not be empty"));
+        }
+        if entries.iter().take(i).any(|o| o.rule == e.rule && o.file == e.file) {
+            errors.push(Diagnostic::new(
+                "ALLOW",
+                path,
+                e.line,
+                format!("duplicate entry for {} in {}", e.rule, e.file),
+            ));
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(AllowList { entries })
+    } else {
+        Err(errors)
+    }
+}
+
+/// Applies the ratchet: suppresses findings covered by an exact-count
+/// allowance, turns over-cap findings into errors, and reports stale
+/// allowances (actual < max) so debt can only shrink.
+pub fn apply(path: &str, allows: &AllowList, findings: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut counts: HashMap<(String, String), usize> = HashMap::new();
+    for d in &findings {
+        *counts.entry((d.rule.to_string(), d.file.clone())).or_default() += 1;
+    }
+
+    let cap = |d: &Diagnostic| {
+        allows.entries.iter().find(|e| e.rule == d.rule && e.file == d.file).map(|e| e.max)
+    };
+
+    let mut errors: Vec<Diagnostic> = Vec::new();
+    for d in findings {
+        match cap(&d) {
+            Some(max) => {
+                let actual = counts[&(d.rule.to_string(), d.file.clone())];
+                if actual > max {
+                    let mut d = d;
+                    d.message = format!(
+                        "{} ({} findings exceed the lint-allow.toml cap of {})",
+                        d.message, actual, max
+                    );
+                    errors.push(d);
+                }
+            }
+            None => errors.push(d),
+        }
+    }
+    for e in &allows.entries {
+        let actual = counts.get(&(e.rule.clone(), e.file.clone())).copied().unwrap_or(0);
+        if actual < e.max {
+            errors.push(Diagnostic::new(
+                "ALLOW",
+                path,
+                e.line,
+                format!(
+                    "stale allowance: {} in {} has {} finding(s) but allows {}; \
+                     tighten or delete the entry (the ratchet only shrinks)",
+                    e.rule, e.file, actual, e.max
+                ),
+            ));
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "# debt ledger\n\n[[allow]]\nrule = \"P002\"\nfile = \"crates/storage/src/cache.rs\"\nmax = 1\nreason = \"invariant\"\n";
+
+    fn finding(rule: &'static str, file: &str) -> Diagnostic {
+        Diagnostic::new(rule, file, 1, "x")
+    }
+
+    #[test]
+    fn parses_entries() {
+        let list = parse("lint-allow.toml", GOOD).unwrap();
+        assert_eq!(list.entries.len(), 1);
+        assert_eq!(list.entries[0].rule, "P002");
+        assert_eq!(list.entries[0].max, 1);
+        assert_eq!(list.entries[0].line, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_nonratchetable_zero_and_duplicate() {
+        let bad = "[[allow]]\nrule = \"Z999\"\nfile = \"a\"\nmax = 1\nreason = \"r\"\n";
+        assert!(parse("f", bad).is_err());
+        let structural = "[[allow]]\nrule = \"W001\"\nfile = \"a\"\nmax = 1\nreason = \"r\"\n";
+        assert!(parse("f", structural).is_err());
+        let zero = "[[allow]]\nrule = \"P001\"\nfile = \"a\"\nmax = 0\nreason = \"r\"\n";
+        assert!(parse("f", zero).is_err());
+        let dup = format!("{GOOD}\n[[allow]]\nrule = \"P002\"\nfile = \"crates/storage/src/cache.rs\"\nmax = 2\nreason = \"r\"\n");
+        assert!(parse("f", &dup).is_err());
+    }
+
+    #[test]
+    fn exact_count_suppresses() {
+        let list = parse("f", GOOD).unwrap();
+        let errors = apply("f", &list, vec![finding("P002", "crates/storage/src/cache.rs")]);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn over_cap_fails() {
+        let list = parse("f", GOOD).unwrap();
+        let errors = apply(
+            "f",
+            &list,
+            vec![
+                finding("P002", "crates/storage/src/cache.rs"),
+                finding("P002", "crates/storage/src/cache.rs"),
+            ],
+        );
+        assert_eq!(errors.len(), 2);
+        assert!(errors[0].message.contains("exceed"));
+    }
+
+    #[test]
+    fn stale_allowance_fails() {
+        let list = parse("f", GOOD).unwrap();
+        let errors = apply("f", &list, vec![]);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn uncovered_findings_pass_through() {
+        let list = AllowList::default();
+        let errors = apply("f", &list, vec![finding("P001", "crates/net/src/link.rs")]);
+        assert_eq!(errors.len(), 1);
+    }
+}

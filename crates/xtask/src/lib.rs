@@ -1,0 +1,51 @@
+//! Workspace static analysis for the MINOS reproduction.
+//!
+//! The paper's central claim is *symmetry*: every text browsing primitive
+//! (pages, logical units, pattern search) has a voice counterpart (§1–2).
+//! The client/server protocol surface and the simulated-time arithmetic are
+//! the contracts everything else rides on. This crate turns those contracts
+//! into machine checks — four homegrown passes over the workspace source
+//! tree, with no external dependencies (crates.io is unreachable in the
+//! build environment):
+//!
+//! * [`passes::wire`] — **wire-tag audit** (`W0xx`): parses the
+//!   `ServerRequest`/`ServerResponse` enums in `crates/net/src/protocol.rs`
+//!   and verifies tag uniqueness, encode/decode coverage, encode/decode
+//!   agreement, and request/response tag pairing.
+//! * [`passes::panic_free`] — **panic-freedom audit** (`P0xx`): flags
+//!   `unwrap()`, `expect(`, panic-family macros, and bare slice indexing in
+//!   non-`#[cfg(test)]` code of the hot-path crates (`net`, `server`,
+//!   `storage`, `types::codec`).
+//! * [`passes::units`] — **unit-safety audit** (`U0xx`): flags lossy `as`
+//!   casts on duration or widened byte-count arithmetic (the
+//!   `Link::transfer_cost` bug class) everywhere except
+//!   `crates/types/src/time.rs`, which owns the saturating helpers.
+//! * [`passes::symmetry`] — **symmetry audit** (`S0xx`): extracts the
+//!   public browsing-primitive surface of `crates/text` and `crates/voice`
+//!   and fails when either side of the paper's Section 2 vocabulary is
+//!   missing its counterpart.
+//!
+//! Panic-freedom and unit-safety findings may be *ratcheted* through the
+//! committed `lint-allow.toml`: existing debt is enumerated per file with a
+//! cap, the lint fails when a file exceeds its cap **and** when a cap is
+//! stale (fewer findings than allowed), so the debt can only shrink.
+//!
+//! The building blocks — [`source`] (comment/string stripping and
+//! `#[cfg(test)]` masking), [`sig`] (a small `pub fn` signature parser),
+//! [`diag`] (rule registry and diagnostics), [`allow`] (the ratchet file
+//! loader) — are public so the fixture-driven self-tests under `tests/`
+//! can drive each pass against known-bad and known-good snippets.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod diag;
+pub mod passes;
+pub mod runner;
+pub mod sig;
+pub mod source;
+
+pub use diag::{rule, Diagnostic, Rule, RULES};
+pub use runner::{lint_workspace, LintOutcome};
+pub use source::SourceFile;

@@ -1,0 +1,77 @@
+//! `minos-xtask` — workspace static analysis.
+//!
+//! Usage: `cargo run -p minos-xtask -- lint [--root <path>]`
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use minos_xtask::{lint_workspace, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = args.iter();
+    match args.next().map(String::as_str) {
+        Some("lint") => {}
+        Some("rules") => {
+            for r in RULES {
+                println!("{:5} [{}] {}", r.code, r.pass, r.summary);
+            }
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("usage: minos-xtask lint [--root <path>] | minos-xtask rules");
+            if let Some(o) = other {
+                eprintln!("unknown subcommand {o:?}");
+            }
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // The xtask crate lives at <workspace>/crates/xtask, so the default
+    // workspace root is two levels up from the manifest.
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+
+    match lint_workspace(&root) {
+        Ok(outcome) if outcome.is_clean() => {
+            println!(
+                "minos-xtask lint: {} files clean (wire tags, panic-freedom, unit-safety, \
+                 text/voice symmetry)",
+                outcome.checked_files
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(outcome) => {
+            for d in &outcome.errors {
+                eprintln!("{d}");
+            }
+            eprintln!(
+                "minos-xtask lint: {} finding(s) across {} files",
+                outcome.errors.len(),
+                outcome.checked_files
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("minos-xtask lint: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

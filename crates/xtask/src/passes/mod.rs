@@ -1,0 +1,6 @@
+//! The four static-analysis passes.
+
+pub mod panic_free;
+pub mod symmetry;
+pub mod units;
+pub mod wire;

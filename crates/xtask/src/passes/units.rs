@@ -1,0 +1,119 @@
+//! Unit-safety audit (`U001`, `U002`).
+//!
+//! PR 1's `Link::transfer_cost` bug was a lossy `as u64` cast on widened
+//! duration arithmetic: the u64 numerator silently saturated past ~18 TB.
+//! The class is mechanical, so it gets a mechanical check. In non-test
+//! code outside `crates/types/src/time.rs` (which owns the saturating
+//! helpers and is the one place allowed to touch raw microsecond words):
+//!
+//! * `U001` — a narrowing `as u64`/`as u32`/`as usize` cast on a line that
+//!   performs `u128` arithmetic (widened duration *or* byte-count math —
+//!   the exact `transfer_cost` shape). Use
+//!   `SimDuration::from_micros_saturating` instead.
+//! * `U002` — a narrowing cast in duration context: `as u32`/`as usize`
+//!   on a line mentioning micros/millis/secs/duration, or `as u64` on such
+//!   a line that also round-trips through `as f64`. Convert via
+//!   `usize::try_from`/`u32::try_from` or the saturating helpers so the
+//!   loss is explicit.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+const NARROWING: &[&str] = &[" as u64", " as u32", " as usize"];
+const DURATION_WORDS: &[&str] = &["micros", "millis", "secs", "duration"];
+
+/// Runs the pass over already-scoped files (the caller exempts
+/// `crates/types/src/time.rs`).
+pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        for (line_no, line) in file.code_lines() {
+            if file.is_test_line(line_no) {
+                continue;
+            }
+            let lower = line.to_ascii_lowercase();
+            let narrowing: Vec<&str> =
+                NARROWING.iter().copied().filter(|c| line.contains(c)).collect();
+            if narrowing.is_empty() {
+                continue;
+            }
+            if line.contains("u128") {
+                let casts = narrowing.iter().map(|c| c.trim()).collect::<Vec<_>>().join("`, `");
+                out.push(Diagnostic::new(
+                    "U001",
+                    &file.rel,
+                    line_no,
+                    format!(
+                        "narrowing `{casts}` on u128 arithmetic; use \
+                         SimDuration::from_micros_saturating (the transfer_cost bug class)"
+                    ),
+                ));
+                continue;
+            }
+            let duration_ctx = DURATION_WORDS.iter().any(|w| lower.contains(w));
+            if !duration_ctx {
+                continue;
+            }
+            let lossy_small = narrowing.iter().any(|c| *c != " as u64");
+            let lossy_f64 = line.contains(" as f64") && narrowing.contains(&" as u64");
+            if lossy_small || lossy_f64 {
+                out.push(Diagnostic::new(
+                    "U002",
+                    &file.rel,
+                    line_no,
+                    "narrowing cast on duration arithmetic; use try_from or the saturating \
+                     helpers in minos_types::time",
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_on(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_text(PathBuf::from("m.rs"), "m.rs".into(), src.to_string());
+        run(std::slice::from_ref(&f))
+    }
+
+    #[test]
+    fn flags_u128_narrowing() {
+        let diags =
+            run_on("let micros = (bytes as u128 * 1_000_000).div_ceil(bps as u128) as u64;\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "U001");
+    }
+
+    #[test]
+    fn flags_duration_narrowing_to_small_ints() {
+        let diags = run_on("let pages = total.as_micros().div_ceil(page.as_micros()) as usize;\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "U002");
+    }
+
+    #[test]
+    fn flags_f64_round_trip_to_u64_in_duration_context() {
+        let diags = run_on("let us = (base.as_micros() as f64 * factor).max(1.0) as u64;\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "U002");
+    }
+
+    #[test]
+    fn widening_and_out_of_context_casts_are_clean() {
+        let src = "let a = samples.len() as u64 * 1_000_000 / rate as u64;\n\
+                   let b = SimDuration::from_micros(total / completions.len() as u64);\n\
+                   let c = keywords.len() as u64;\n\
+                   let d = idx as usize;\n";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let x = (y as u128) as u64; }\n}\n";
+        assert!(run_on(src).is_empty());
+    }
+}

@@ -1,0 +1,10 @@
+//! Known-bad panic fixture: one of each offender in non-test code.
+
+pub fn serve(blocks: &[Block], i: usize) -> Vec<u8> {
+    let block = lookup(i).unwrap();
+    let meta = parse(block).expect("metadata is always present");
+    if meta.kind == Kind::Unknown {
+        panic!("unknown block kind");
+    }
+    blocks[i].bytes.clone()
+}

@@ -1,0 +1,22 @@
+//! Known-good panic fixture: fallible handling in real code, panics only
+//! inside `#[cfg(test)]`, and the never-panicking idioms the pass exempts.
+
+pub fn serve(blocks: &[Block], i: usize) -> Result<Vec<u8>> {
+    let block = lookup(i).ok_or(MinosError::NotFound)?;
+    let meta = parse(block).unwrap_or_default();
+    let bytes = blocks.get(i).ok_or(MinosError::NotFound)?;
+    let all = &bytes[..];
+    let [first] = head.take_array::<1>()?;
+    Ok(all.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_index() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+        let x: Option<u8> = Some(9);
+        assert_eq!(x.unwrap(), 9);
+    }
+}

@@ -1,0 +1,12 @@
+//! Text-side symmetry fixture: the full Section 2 browsing vocabulary.
+
+pub fn page_count(&self) -> usize {}
+pub fn page_containing(&self, pos: CharPos) -> Option<usize> {}
+pub fn page_number_containing(&self, pos: CharPos) -> Option<PageNumber> {}
+pub fn next_start_after(&self, pos: CharPos, level: LogicalLevel) -> Option<CharPos> {}
+pub fn prev_start_before(&self, pos: CharPos, level: LogicalLevel) -> Option<CharPos> {}
+pub fn available_levels(&self) -> &[LogicalLevel] {}
+pub fn count(&self, level: LogicalLevel) -> usize {}
+pub fn find_next(&self, pattern: &str, from: CharPos) -> Option<CharSpan> {}
+pub fn find_prev(&self, pattern: &str, from: CharPos) -> Option<CharSpan> {}
+pub fn find_all(&self, pattern: &str) -> Vec<CharSpan> {}

@@ -1,0 +1,13 @@
+//! Known-bad voice-side symmetry fixture: the utterance search-all
+//! primitive (`occurrences`) is missing, so text's `find_all` has no
+//! voice counterpart (S001).
+
+pub fn page_count(&self) -> usize {}
+pub fn page_containing(&self, t: SimInstant) -> Option<usize> {}
+pub fn page_number_containing(&self, t: SimInstant) -> Option<PageNumber> {}
+pub fn next_start_after(&self, t: SimInstant, level: LogicalLevel) -> Option<SimInstant> {}
+pub fn prev_start_before(&self, t: SimInstant, level: LogicalLevel) -> Option<SimInstant> {}
+pub fn available_levels(&self) -> &[LogicalLevel] {}
+pub fn count(&self, level: LogicalLevel) -> usize {}
+pub fn next_occurrence(&self, from: SimInstant) -> Option<TimeSpan> {}
+pub fn prev_occurrence(&self, from: SimInstant) -> Option<TimeSpan> {}

@@ -1,0 +1,13 @@
+//! Known-good voice-side symmetry fixture: every browsing primitive has
+//! its voice spelling.
+
+pub fn page_count(&self) -> usize {}
+pub fn page_containing(&self, t: SimInstant) -> Option<usize> {}
+pub fn page_number_containing(&self, t: SimInstant) -> Option<PageNumber> {}
+pub fn next_start_after(&self, t: SimInstant, level: LogicalLevel) -> Option<SimInstant> {}
+pub fn prev_start_before(&self, t: SimInstant, level: LogicalLevel) -> Option<SimInstant> {}
+pub fn available_levels(&self) -> &[LogicalLevel] {}
+pub fn count(&self, level: LogicalLevel) -> usize {}
+pub fn next_occurrence(&self, from: SimInstant) -> Option<TimeSpan> {}
+pub fn prev_occurrence(&self, from: SimInstant) -> Option<TimeSpan> {}
+pub fn occurrences(&self) -> Vec<TimeSpan> {}

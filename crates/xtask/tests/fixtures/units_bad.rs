@@ -1,0 +1,10 @@
+//! Known-bad units fixture: lossy narrowing casts on widened and duration
+//! arithmetic.
+
+pub fn transfer_micros(bytes: u64, rate: u64) -> u64 {
+    (bytes as u128 * 1_000_000 / rate as u128) as u64
+}
+
+pub fn page_index(total: SimDuration, page: SimDuration) -> usize {
+    (total.as_micros() / page.as_micros()) as usize
+}

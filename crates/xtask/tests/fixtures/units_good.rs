@@ -1,0 +1,11 @@
+//! Known-good units fixture: widened arithmetic is narrowed through
+//! saturating/fallible conversions instead of raw `as` casts.
+
+pub fn transfer_cost(bytes: u64, rate: u64) -> SimDuration {
+    let micros = (bytes as u128 * 1_000_000).div_ceil(rate as u128);
+    SimDuration::from_micros_saturating(micros)
+}
+
+pub fn page_index(total: SimDuration, page: SimDuration) -> usize {
+    usize::try_from(total.as_micros() / page.as_micros()).unwrap_or(usize::MAX)
+}

@@ -1,0 +1,52 @@
+//! Known-good wire fixture: unique tags, every variant encoded and decoded,
+//! each request tag has a response tag.
+
+pub enum ServerRequest {
+    Fetch { id: u64 },
+    Query { words: Vec<String> },
+}
+
+pub enum ServerResponse {
+    Object(Vec<u8>),
+    Hits(Vec<u64>),
+}
+
+impl ServerRequest {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            ServerRequest::Fetch { id } => {
+                e.put_u8(1);
+            }
+            ServerRequest::Query { words } => {
+                e.put_u8(2);
+            }
+        }
+    }
+    pub fn decode(bytes: &[u8]) -> Result<ServerRequest> {
+        let req = match d.get_u8()? {
+            1 => ServerRequest::Fetch { id: 0 },
+            2 => ServerRequest::Query { words: vec![] },
+            other => return Err(other),
+        };
+    }
+}
+
+impl ServerResponse {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            ServerResponse::Object(b) => {
+                e.put_u8(1);
+            }
+            ServerResponse::Hits(h) => {
+                e.put_u8(2);
+            }
+        }
+    }
+    pub fn decode(bytes: &[u8]) -> Result<ServerResponse> {
+        let resp = match d.get_u8()? {
+            1 => ServerResponse::Object(vec![]),
+            2 => ServerResponse::Hits(vec![]),
+            other => return Err(other),
+        };
+    }
+}

@@ -1,0 +1,97 @@
+//! Fixture self-tests: every pass flags its known-bad fixture with the
+//! right rule codes and a real `file:line` anchor, stays quiet on the
+//! known-good twin — and the workspace itself lints clean.
+
+use std::path::{Path, PathBuf};
+
+use minos_xtask::passes::{panic_free, symmetry, units, wire};
+use minos_xtask::sig;
+use minos_xtask::{lint_workspace, Diagnostic, SourceFile};
+
+fn fixture(name: &str) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    SourceFile::load(&path, name).expect("fixture file exists")
+}
+
+fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+    rules.dedup();
+    rules
+}
+
+fn assert_anchored(diags: &[Diagnostic], file: &str) {
+    for d in diags {
+        assert_eq!(d.file, file, "diagnostic anchored to the fixture: {d}");
+        assert!(d.line > 0, "diagnostic carries a 1-based line: {d}");
+    }
+}
+
+#[test]
+fn wire_bad_fixture_has_duplicate_tag() {
+    let diags = wire::run(&fixture("wire_bad.rs"), "ServerRequest", "ServerResponse");
+    assert!(rules(&diags).contains(&"W001"), "expected W001, got {diags:?}");
+    assert_anchored(&diags, "wire_bad.rs");
+}
+
+#[test]
+fn wire_good_fixture_is_clean() {
+    let diags = wire::run(&fixture("wire_good.rs"), "ServerRequest", "ServerResponse");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn panic_bad_fixture_trips_every_rule() {
+    let diags = panic_free::run(&[fixture("panic_bad.rs")]);
+    assert_eq!(rules(&diags), vec!["P001", "P002", "P003", "P004"], "got {diags:?}");
+    assert_anchored(&diags, "panic_bad.rs");
+}
+
+#[test]
+fn panic_good_fixture_is_clean() {
+    let diags = panic_free::run(&[fixture("panic_good.rs")]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn units_bad_fixture_trips_both_rules() {
+    let diags = units::run(&[fixture("units_bad.rs")]);
+    assert_eq!(rules(&diags), vec!["U001", "U002"], "got {diags:?}");
+    assert_anchored(&diags, "units_bad.rs");
+}
+
+#[test]
+fn units_good_fixture_is_clean() {
+    let diags = units::run(&[fixture("units_good.rs")]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn asymmetric_voice_fixture_is_s001() {
+    let text = sig::pub_fns(&fixture("symmetry_text.rs"));
+    let voice = sig::pub_fns(&fixture("symmetry_voice_bad.rs"));
+    let diags = symmetry::run(&text, &voice);
+    assert_eq!(rules(&diags), vec!["S001"], "got {diags:?}");
+    assert!(diags[0].message.contains("search all"), "{diags:?}");
+    // S001 anchors at the text primitive that lost its counterpart.
+    assert_anchored(&diags, "symmetry_text.rs");
+}
+
+#[test]
+fn symmetric_fixtures_are_clean() {
+    let text = sig::pub_fns(&fixture("symmetry_text.rs"));
+    let voice = sig::pub_fns(&fixture("symmetry_voice_good.rs"));
+    let diags = symmetry::run(&text, &voice);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let outcome = lint_workspace(&root).expect("workspace is readable");
+    assert!(
+        outcome.is_clean(),
+        "workspace lint must stay clean:\n{}",
+        outcome.errors.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+    assert!(outcome.checked_files > 50, "walker saw the workspace, not a stub");
+}

@@ -11,6 +11,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> minos-xtask lint"
+cargo run -q -p minos-xtask -- lint
+
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
