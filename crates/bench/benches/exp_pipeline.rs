@@ -1,0 +1,93 @@
+//! Experiment E12 — pipelined transport vs the blocking request path.
+//!
+//! N concurrent sessions each pull 8 pages of 8 KB from the optical
+//! server over one shared 10 Mbit/s Ethernet link. The blocking transport
+//! serializes every page into a full round trip; the framed transport
+//! keeps a window of request frames in flight per session, lets the
+//! server interleave connections, and coalesces adjacent spans into one
+//! merged response. The series reports aggregate pages/sec for both
+//! transports and the speedup ratio per session count; the acceptance
+//! claim (pipelined ≥ 2× blocking at N = 16) is also pinned as a unit
+//! test in `minos-presentation`.
+//!
+//! `--smoke` runs a small bounded workload and asserts the pipelined
+//! transport is no slower — the CI hook in `scripts/check.sh`.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use minos_bench::{fast_criterion, row};
+use minos_presentation::sched::{simulate_page_workload, TransportMode, WorkloadReport};
+
+const PAGES_PER_SESSION: usize = 8;
+const PAGE_LEN: u64 = 8192;
+const WINDOW: usize = 8;
+
+fn run(sessions: usize, mode: TransportMode) -> WorkloadReport {
+    simulate_page_workload(sessions, PAGES_PER_SESSION, PAGE_LEN, mode).expect("workload runs")
+}
+
+fn print_series() {
+    row("E12", "workload = 8 x 8 KB pages/session; link = 10 Mbit/s Ethernet;");
+    row("E12", &format!("optical server; pipelined window = {WINDOW} frames/session"));
+    row("E12", "sessions  blocking_pg/s  pipelined_pg/s  speedup");
+    for sessions in [1usize, 4, 16] {
+        let blocking = run(sessions, TransportMode::Blocking);
+        let pipelined = run(sessions, TransportMode::Pipelined { window: WINDOW });
+        row(
+            "E12",
+            &format!(
+                "{sessions:>8}  {:>13.2}  {:>14.2}  {:>6.2}x",
+                blocking.pages_per_sec(),
+                pipelined.pages_per_sec(),
+                pipelined.pages_per_sec() / blocking.pages_per_sec()
+            ),
+        );
+    }
+}
+
+fn smoke() {
+    let blocking = run(2, TransportMode::Blocking);
+    let pipelined = run(2, TransportMode::Pipelined { window: 4 });
+    row(
+        "E12",
+        &format!(
+            "smoke: 2 sessions  blocking {:.2} pg/s  pipelined {:.2} pg/s",
+            blocking.pages_per_sec(),
+            pipelined.pages_per_sec()
+        ),
+    );
+    assert!(
+        pipelined.elapsed <= blocking.elapsed,
+        "pipelined transport must not be slower: {} vs {}",
+        pipelined.elapsed,
+        blocking.elapsed
+    );
+    assert_eq!(pipelined.pages, blocking.pages, "both transports served every page");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e12_pipeline");
+    for sessions in [1usize, 16] {
+        group.bench_with_input(BenchmarkId::new("blocking", sessions), &sessions, |b, &n| {
+            b.iter(|| run(n, TransportMode::Blocking))
+        });
+        group.bench_with_input(BenchmarkId::new("pipelined", sessions), &sessions, |b, &n| {
+            b.iter(|| run(n, TransportMode::Pipelined { window: WINDOW }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    benches();
+}

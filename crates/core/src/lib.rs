@@ -20,7 +20,9 @@
 //! * [`remote`] — the workstation side of the server protocol: remote
 //!   views, miniature browsing, transfer accounting;
 //! * [`prefetch`] — anticipatory prefetching: prediction policies, the
-//!   batched prefetch pipeline, and stall-time accounting (§5).
+//!   batched prefetch pipeline, and stall-time accounting (§5);
+//! * [`sched`] — the multi-session scheduler: N concurrent sessions over
+//!   one shared link, round-robin with audio-first deadlines (§5).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,6 +33,7 @@ pub mod compose;
 pub mod prefetch;
 pub mod process;
 pub mod remote;
+pub mod sched;
 pub mod session;
 pub mod tour;
 pub mod transparency;
@@ -41,7 +44,10 @@ pub use command::{BrowseCommand, BrowseEvent};
 pub use compose::{compose_screen, resolve_figure};
 pub use prefetch::{page_spans, AnticipatingStore, PrefetchBuffer, PrefetchStats, Prefetcher};
 pub use process::{ProcessRunner, ProcessState};
-pub use remote::{MiniatureBrowser, ServerEndpoint, Workstation};
+pub use remote::{Connection, MiniatureBrowser, ServerEndpoint, Ticket, Workstation};
+pub use sched::{
+    simulate_page_workload, HubStore, SessionKey, SessionScheduler, TransportMode, WorkloadReport,
+};
 pub use session::{BrowsingSession, ObjectStore};
 pub use tour::{TourEvent, TourRunner};
 pub use transparency::TransparencyViewer;

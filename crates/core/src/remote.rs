@@ -8,12 +8,25 @@
 //! accounts for every simulated microsecond and byte: request transfer,
 //! server device time, response transfer. Experiments E5 (views vs whole
 //! images) and E6 (miniature-first browsing) read their numbers from here.
+//!
+//! Underneath, every request travels as a [`minos_net::Frame`] on a
+//! pipelined [`Connection`]: [`Connection::submit`] puts a request frame on
+//! the wire and returns a [`Ticket`] immediately, so several requests can
+//! overlap link transfer with server device time; [`Connection::wait`]
+//! collects the response and charges only the time the caller actually had
+//! to wait. The blocking [`Workstation::request`]/
+//! [`Workstation::request_batch`] calls are thin submit-then-wait shims
+//! over this pipeline, so every pre-existing call site keeps its exact
+//! semantics while anticipatory code gets true overlap.
 
 use minos_image::{Bitmap, View};
-use minos_net::{Link, ServerRequest, ServerResponse};
+use minos_net::{Frame, FramePayload, InflightWindow, Link, ServerRequest, ServerResponse};
 use minos_object::{ArchivedObject, DataKind, DataPayload};
 use minos_server::ObjectServer;
-use minos_types::{MinosError, ObjectId, Rect, Result, SimClock, SimDuration, Size};
+use minos_types::{
+    ByteSpan, MinosError, ObjectId, Rect, Result, SimClock, SimDuration, SimInstant, Size,
+};
+use std::collections::{HashMap, VecDeque};
 
 /// Anything that can answer protocol requests with a device-time charge.
 pub trait ServerEndpoint {
@@ -27,24 +40,81 @@ impl ServerEndpoint for ObjectServer {
     }
 }
 
-/// The workstation: a server endpoint reached over a link, with full time
-/// and transfer accounting.
-pub struct Workstation<E: ServerEndpoint> {
+/// A handle to a submitted, not-yet-collected request on a [`Connection`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+/// A request frame accepted for transmission but not yet served: its bytes
+/// finish arriving at the server at `arrival`.
+struct PendingFrame {
+    frame: Frame,
+    arrival: SimInstant,
+}
+
+/// A served response whose bytes finish arriving back at `ready_at`.
+struct Landed {
+    response: ServerResponse,
+    ready_at: SimInstant,
+}
+
+/// Default pipelining budget: requests that may be in flight at once.
+const DEFAULT_WINDOW: usize = 32;
+
+/// A pipelined connection to a server endpoint over a link.
+///
+/// The connection models three serially-reusable resources — the uplink,
+/// the server device, and the downlink — each as a "free at" instant.
+/// Submitting charges the uplink immediately; [`Connection::dispatch`]
+/// moves pending frames through the device and downlink, coalescing a
+/// leading run of adjacent span fetches into one device read and one
+/// merged downlink transfer (the §5 anticipatory shape, preserved from the
+/// batch path so pipelining never costs extra actuator seeks). Responses
+/// land timestamped; waiting charges only the time between "now" and the
+/// response's arrival — that difference is where pipelining wins.
+pub struct Connection<E: ServerEndpoint> {
     endpoint: E,
     link: Link,
     clock: SimClock,
+    conn_id: u64,
+    next_request_id: u64,
+    window: InflightWindow,
+    pending: VecDeque<PendingFrame>,
+    landed: HashMap<u64, Landed>,
+    up_free: SimInstant,
+    dev_free: SimInstant,
+    down_free: SimInstant,
     round_trips: u64,
 }
 
-impl<E: ServerEndpoint> Workstation<E> {
-    /// Connects a workstation to `endpoint` over `link`.
+impl<E: ServerEndpoint> Connection<E> {
+    /// Opens a connection to `endpoint` over `link` with the default
+    /// in-flight window.
     pub fn new(endpoint: E, link: Link) -> Self {
-        Workstation { endpoint, link, clock: SimClock::new(), round_trips: 0 }
+        Connection::with_window(endpoint, link, DEFAULT_WINDOW)
+    }
+
+    /// Opens a connection with an explicit in-flight window capacity
+    /// (capacity 1 degenerates to the old blocking discipline).
+    pub fn with_window(endpoint: E, link: Link, window: usize) -> Self {
+        Connection {
+            endpoint,
+            link,
+            clock: SimClock::new(),
+            conn_id: 1,
+            next_request_id: 1,
+            window: InflightWindow::new(window),
+            pending: VecDeque::new(),
+            landed: HashMap::new(),
+            up_free: SimInstant::EPOCH,
+            dev_free: SimInstant::EPOCH,
+            down_free: SimInstant::EPOCH,
+            round_trips: 0,
+        }
     }
 
     /// Total simulated time spent so far.
     pub fn elapsed(&self) -> SimDuration {
-        self.clock.now().since(minos_types::SimInstant::EPOCH)
+        self.clock.now().since(SimInstant::EPOCH)
     }
 
     /// Payload bytes moved over the link so far.
@@ -52,54 +122,296 @@ impl<E: ServerEndpoint> Workstation<E> {
         self.link.stats().bytes
     }
 
-    /// Request/response round trips so far (a batch counts as one — that is
-    /// its point).
+    /// Link transfer statistics (messages, bytes, busy time).
+    pub fn link_stats(&self) -> minos_net::LinkStats {
+        self.link.stats()
+    }
+
+    /// Round trips so far: times the connection went from idle (nothing in
+    /// flight) to busy. A blocking caller pays one per request; a
+    /// pipelined burst pays one for the whole burst — that is its point.
     pub fn round_trips(&self) -> u64 {
         self.round_trips
     }
 
-    /// Resets the accounting (between experiment configurations).
+    /// Requests submitted and not yet collected.
+    pub fn in_flight(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The in-flight window capacity.
+    pub fn window_capacity(&self) -> usize {
+        self.window.capacity()
+    }
+
+    /// The wrapped endpoint.
+    pub fn endpoint(&self) -> &E {
+        &self.endpoint
+    }
+
+    /// Mutable endpoint access.
+    pub fn endpoint_mut(&mut self) -> &mut E {
+        &mut self.endpoint
+    }
+
+    /// Resets the accounting *and* the pipeline state (between experiment
+    /// configurations): link statistics, the clock, the round-trip count,
+    /// the resource timelines, and any uncollected frames. A ticket from
+    /// before the reset is gone — waiting on it is a protocol error.
     pub fn reset_accounting(&mut self) {
         self.link.reset_stats();
         self.clock = SimClock::new();
         self.round_trips = 0;
+        self.up_free = SimInstant::EPOCH;
+        self.dev_free = SimInstant::EPOCH;
+        self.down_free = SimInstant::EPOCH;
+        self.pending.clear();
+        self.landed.clear();
+        self.window = InflightWindow::new(self.window.capacity());
+    }
+
+    /// Submits one request, charging its uplink transfer, and returns a
+    /// ticket for collecting the response later. If the in-flight window
+    /// is exhausted the call first waits out the oldest response (the
+    /// pipelined analogue of blocking).
+    pub fn submit(&mut self, request: ServerRequest) -> Ticket {
+        self.settle();
+        while self.window.is_full() {
+            self.dispatch();
+            let now = self.clock.now();
+            let Some(next) = self.landed.values().map(|l| l.ready_at).filter(|&t| t > now).min()
+            else {
+                break;
+            };
+            self.clock.advance_to_at_least(next);
+            self.settle();
+        }
+        if self.window.is_empty() {
+            self.round_trips += 1;
+        }
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let frame = Frame::request(self.conn_id, request_id, request);
+        let up = self.link.transfer(frame.wire_size());
+        let arrival = self.clock.now().max(self.up_free) + up;
+        self.up_free = arrival;
+        self.window.open(request_id);
+        self.pending.push_back(PendingFrame { frame, arrival });
+        Ticket(request_id)
+    }
+
+    /// Collects the response for `ticket`, advancing the clock to its
+    /// arrival and returning how long the caller actually waited (zero if
+    /// the response had already landed — that time was won by overlap).
+    /// Server-side errors come back inline as [`ServerResponse::Error`].
+    pub fn wait(&mut self, ticket: Ticket) -> Result<(ServerResponse, SimDuration)> {
+        self.dispatch();
+        let Some(landed) = self.landed.remove(&ticket.0) else {
+            return Err(MinosError::Protocol(format!("unknown or already-collected {ticket:?}")));
+        };
+        let waited = landed.ready_at.saturating_since(self.clock.now());
+        self.clock.advance_to_at_least(landed.ready_at);
+        self.window.close(ticket.0);
+        Ok((landed.response, waited))
+    }
+
+    /// Collects the response for `ticket` only if it has already arrived;
+    /// never advances the clock.
+    pub fn poll(&mut self, ticket: Ticket) -> Option<ServerResponse> {
+        self.dispatch();
+        if self.landed.get(&ticket.0)?.ready_at > self.clock.now() {
+            return None;
+        }
+        self.window.close(ticket.0);
+        self.landed.remove(&ticket.0).map(|l| l.response)
+    }
+
+    /// Retires window slots whose responses have already arrived.
+    fn settle(&mut self) {
+        let now = self.clock.now();
+        let arrived: Vec<u64> =
+            self.landed.iter().filter(|(_, l)| l.ready_at <= now).map(|(&rid, _)| rid).collect();
+        for rid in arrived {
+            self.window.close(rid);
+        }
+    }
+
+    /// Length of the leading run of adjacent span fetches in `pending`.
+    fn leading_span_run(&self) -> usize {
+        let mut len = 0;
+        let mut prev_end: Option<u64> = None;
+        for p in &self.pending {
+            let Some(span) = p.frame.as_request().and_then(|r| r.as_span()) else {
+                break;
+            };
+            if prev_end.is_some_and(|end| end != span.start) {
+                break;
+            }
+            prev_end = Some(span.end);
+            len += 1;
+        }
+        len
+    }
+
+    /// Moves every pending frame through the server device and the
+    /// downlink, landing timestamped responses.
+    fn dispatch(&mut self) {
+        while !self.pending.is_empty() {
+            let run_len = self.leading_span_run();
+            if run_len > 1 {
+                let run: Vec<PendingFrame> = self.pending.drain(..run_len).collect();
+                self.dispatch_coalesced(&run);
+            } else if let Some(p) = self.pending.pop_front() {
+                let (response, took) = match p.frame.as_request() {
+                    Some(request) => self.endpoint.handle(request),
+                    None => (
+                        ServerResponse::Error("pending frame carried no request".into()),
+                        SimDuration::ZERO,
+                    ),
+                };
+                let done = p.arrival.max(self.dev_free) + took;
+                self.dev_free = done;
+                self.deliver(p.frame.request_id, response, done);
+            }
+        }
+    }
+
+    /// Serves a run of adjacent span fetches as one device read and one
+    /// merged downlink transfer, slicing the bytes back per request.
+    fn dispatch_coalesced(&mut self, run: &[PendingFrame]) {
+        let spans: Vec<ByteSpan> =
+            run.iter().filter_map(|p| p.frame.as_request().and_then(|r| r.as_span())).collect();
+        let (Some(first), Some(last), Some(tail)) = (spans.first(), spans.last(), run.last())
+        else {
+            return;
+        };
+        let whole = ByteSpan::new(first.start, last.end);
+        let arrival = tail.arrival;
+        let (response, took) = self.endpoint.handle(&ServerRequest::FetchSpan { span: whole });
+        let done = arrival.max(self.dev_free) + took;
+        self.dev_free = done;
+        match response {
+            ServerResponse::Span(bytes) => {
+                // One merged response frame carries the whole run's bytes;
+                // the probe computes its wire size without copying them.
+                let probe = Frame::response(
+                    self.conn_id,
+                    tail.frame.request_id,
+                    ServerResponse::Span(bytes),
+                );
+                let down = self.link.transfer(probe.wire_size());
+                let delivered = done.max(self.down_free) + down;
+                self.down_free = delivered;
+                let bytes = match probe.payload {
+                    FramePayload::Response(ServerResponse::Span(bytes)) => bytes,
+                    _ => Vec::new(),
+                };
+                for (p, span) in run.iter().zip(&spans) {
+                    let from = (span.start - whole.start) as usize;
+                    let sliced = match bytes.get(from..from + span.len() as usize) {
+                        Some(slice) => ServerResponse::Span(slice.to_vec()),
+                        None => ServerResponse::Error(format!(
+                            "coalesced read lost {span} inside {whole}"
+                        )),
+                    };
+                    self.landed.insert(
+                        p.frame.request_id,
+                        Landed { response: sliced, ready_at: delivered },
+                    );
+                }
+            }
+            other => {
+                let message = match other {
+                    ServerResponse::Error(message) => message,
+                    other => format!("unexpected response {other:?}"),
+                };
+                for p in run {
+                    self.deliver(p.frame.request_id, ServerResponse::Error(message.clone()), done);
+                }
+            }
+        }
+    }
+
+    /// Charges the downlink for one response frame and lands it at its
+    /// delivery instant.
+    fn deliver(&mut self, request_id: u64, response: ServerResponse, done: SimInstant) {
+        let frame = Frame::response(self.conn_id, request_id, response.clone());
+        let down = self.link.transfer(frame.wire_size());
+        let delivered = done.max(self.down_free) + down;
+        self.down_free = delivered;
+        self.landed.insert(request_id, Landed { response, ready_at: delivered });
+    }
+}
+
+/// The workstation: a server endpoint reached over a link, with full time
+/// and transfer accounting. All blocking entry points are submit-then-wait
+/// shims over the pipelined [`Connection`].
+pub struct Workstation<E: ServerEndpoint> {
+    conn: Connection<E>,
+}
+
+impl<E: ServerEndpoint> Workstation<E> {
+    /// Connects a workstation to `endpoint` over `link`.
+    pub fn new(endpoint: E, link: Link) -> Self {
+        Workstation { conn: Connection::new(endpoint, link) }
+    }
+
+    /// Total simulated time spent so far.
+    pub fn elapsed(&self) -> SimDuration {
+        self.conn.elapsed()
+    }
+
+    /// Payload bytes moved over the link so far.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.conn.bytes_transferred()
+    }
+
+    /// Request/response round trips so far (a batch or pipelined burst
+    /// counts as one — that is its point).
+    pub fn round_trips(&self) -> u64 {
+        self.conn.round_trips()
+    }
+
+    /// Resets the accounting (between experiment configurations).
+    pub fn reset_accounting(&mut self) {
+        self.conn.reset_accounting()
     }
 
     /// The wrapped endpoint.
     pub fn endpoint_mut(&mut self) -> &mut E {
-        &mut self.endpoint
+        self.conn.endpoint_mut()
+    }
+
+    /// The underlying pipelined connection.
+    pub fn connection(&self) -> &Connection<E> {
+        &self.conn
+    }
+
+    /// Mutable access to the pipelined connection, for callers that want
+    /// to overlap submissions instead of blocking per request.
+    pub fn connection_mut(&mut self) -> &mut Connection<E> {
+        &mut self.conn
     }
 
     /// Issues one request, charging request transfer + server device time
     /// + response transfer, and surfacing server-side errors.
     pub fn request(&mut self, request: &ServerRequest) -> Result<ServerResponse> {
-        self.round_trips += 1;
-        let up = self.link.transfer(request.wire_size());
-        self.clock.advance(up);
-        let (response, device_time) = self.endpoint.handle(request);
-        self.clock.advance(device_time);
-        let down = self.link.transfer(response.wire_size());
-        self.clock.advance(down);
+        let ticket = self.conn.submit(request.clone());
+        let (response, _) = self.conn.wait(ticket)?;
         if let ServerResponse::Error(message) = response {
             return Err(MinosError::Protocol(message));
         }
         Ok(response)
     }
 
-    /// Issues several requests in one batched round trip, returning one
-    /// response per request in order. The link latency is paid once for
-    /// the whole batch; per-request failures come back as inline
+    /// Issues several requests as one pipelined burst, returning one
+    /// response per request in order. The burst counts as a single round
+    /// trip; adjacent span fetches coalesce into one device read and one
+    /// merged response transfer; per-request failures come back as inline
     /// [`ServerResponse::Error`] entries rather than failing the call.
     pub fn request_batch(&mut self, requests: Vec<ServerRequest>) -> Result<Vec<ServerResponse>> {
-        let expected = requests.len();
-        match self.request(&ServerRequest::Batch { requests })? {
-            ServerResponse::Batch(responses) if responses.len() == expected => Ok(responses),
-            ServerResponse::Batch(responses) => Err(MinosError::Protocol(format!(
-                "batch answered {} of {expected} requests",
-                responses.len()
-            ))),
-            other => Err(MinosError::Protocol(format!("unexpected response {other:?}"))),
-        }
+        let tickets: Vec<Ticket> = requests.into_iter().map(|r| self.conn.submit(r)).collect();
+        tickets.into_iter().map(|t| self.conn.wait(t).map(|(response, _)| response)).collect()
     }
 
     /// Fetches the whole archived object (descriptor + composition),
@@ -331,6 +643,144 @@ mod tests {
         assert_eq!(batched.round_trips(), 1);
         // Two link latencies saved per avoided round trip.
         assert!(batched.elapsed() < serial.elapsed());
+    }
+
+    #[test]
+    fn pipelined_submission_overlaps_device_and_link() {
+        let (mut serial, _) = workstation();
+        let (mut pipelined, _) = workstation();
+        let ids = [ObjectId::new(1), ObjectId::new(2), ObjectId::new(3)];
+        for &id in &ids {
+            serial.fetch_miniature(id).unwrap();
+        }
+        let conn = pipelined.connection_mut();
+        let tickets: Vec<Ticket> =
+            ids.iter().map(|&id| conn.submit(ServerRequest::FetchMiniature { id })).collect();
+        assert_eq!(conn.in_flight(), 3, "nothing collected yet");
+        for ticket in tickets {
+            let (response, _) = conn.wait(ticket).unwrap();
+            assert!(matches!(response, ServerResponse::Miniature(_)));
+        }
+        assert_eq!(conn.in_flight(), 0);
+        assert_eq!(pipelined.round_trips(), 1, "one burst, one round trip");
+        assert!(
+            pipelined.elapsed() < serial.elapsed(),
+            "pipelined {} vs serial {}",
+            pipelined.elapsed(),
+            serial.elapsed()
+        );
+    }
+
+    #[test]
+    fn responses_complete_out_of_submission_order() {
+        let (mut ws, _) = workstation();
+        let conn = ws.connection_mut();
+        let slow = conn.submit(ServerRequest::FetchMiniature { id: ObjectId::new(1) });
+        let fast = conn.submit(ServerRequest::Query { keywords: vec!["shadow".into()] });
+        // Collecting the later submission first works: frames carry ids.
+        let (hits, _) = conn.wait(fast).unwrap();
+        assert_eq!(hits, ServerResponse::Hits(vec![ObjectId::new(1)]));
+        let (mini, waited) = conn.wait(slow).unwrap();
+        assert!(matches!(mini, ServerResponse::Miniature(_)));
+        // The miniature landed before the query was collected (the device
+        // served it first), so no further waiting was needed.
+        assert_eq!(waited, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn adjacent_span_submissions_coalesce_on_the_wire() {
+        let mut server = ObjectServer::new();
+        let data: Vec<u8> = (0..32_768u32).map(|i| (i % 251) as u8).collect();
+        let (record, _) = server.archiver_mut().store(ObjectId::new(9), &data).unwrap();
+        let chunk = record.span.len() / 4;
+
+        let mut serial = Workstation::new(server, Link::ethernet());
+        let spans: Vec<minos_types::ByteSpan> = (0..4)
+            .map(|i| minos_types::ByteSpan::at(record.span.start + i * chunk, chunk))
+            .collect();
+        for &span in &spans {
+            serial.request(&ServerRequest::FetchSpan { span }).unwrap();
+        }
+        let serial_stats = serial.connection().link_stats();
+        assert_eq!(serial_stats.messages, 8, "4 requests + 4 responses");
+
+        let mut server = ObjectServer::new();
+        server.archiver_mut().store(ObjectId::new(9), &data).unwrap();
+        let mut pipelined = Workstation::new(server, Link::ethernet());
+        let conn = pipelined.connection_mut();
+        let tickets: Vec<Ticket> =
+            spans.iter().map(|&span| conn.submit(ServerRequest::FetchSpan { span })).collect();
+        for (ticket, span) in tickets.into_iter().zip(&spans) {
+            let (response, _) = conn.wait(ticket).unwrap();
+            let ServerResponse::Span(bytes) = response else {
+                panic!("unexpected response for {span}");
+            };
+            let expect: Vec<u8> =
+                (span.start..span.end).map(|b| (b as usize % 251) as u8).collect();
+            assert_eq!(bytes, expect, "coalesced slice for {span}");
+        }
+        let stats = pipelined.connection().link_stats();
+        assert_eq!(stats.messages, 5, "4 requests + 1 merged response");
+        assert!(
+            stats.bytes < serial_stats.bytes,
+            "merged {} vs serial {} bytes",
+            stats.bytes,
+            serial_stats.bytes
+        );
+        assert!(pipelined.elapsed() < serial.elapsed());
+    }
+
+    #[test]
+    fn waiting_on_an_unknown_ticket_is_a_protocol_error() {
+        let (mut ws, _) = workstation();
+        let conn = ws.connection_mut();
+        let ticket = conn.submit(ServerRequest::Query { keywords: vec!["shadow".into()] });
+        assert!(conn.wait(ticket).is_ok());
+        assert!(matches!(conn.wait(ticket), Err(MinosError::Protocol(_))), "double collection");
+    }
+
+    #[test]
+    fn reset_accounting_also_clears_pipeline_state() {
+        // Regression: resetting between experiment configurations must
+        // clear the link statistics *and* the pipeline (in-flight frames,
+        // resource timelines), or the next configuration inherits phantom
+        // bytes and a busy downlink.
+        let (mut ws, _) = workstation();
+        let conn = ws.connection_mut();
+        let stale = conn.submit(ServerRequest::FetchMiniature { id: ObjectId::new(1) });
+        conn.submit(ServerRequest::FetchMiniature { id: ObjectId::new(2) });
+        assert!(conn.in_flight() > 0);
+        assert!(ws.bytes_transferred() > 0);
+
+        ws.reset_accounting();
+        assert_eq!(ws.bytes_transferred(), 0);
+        assert_eq!(ws.elapsed(), SimDuration::ZERO);
+        assert_eq!(ws.round_trips(), 0);
+        assert_eq!(ws.connection().in_flight(), 0, "in-flight frames cleared");
+        assert_eq!(ws.connection().link_stats().messages, 0);
+        assert!(
+            matches!(ws.connection_mut().wait(stale), Err(MinosError::Protocol(_))),
+            "tickets from before the reset are gone"
+        );
+
+        // Post-reset accounting covers exactly the new work: one query up,
+        // one hits response down.
+        ws.query(&["shadow"]).unwrap();
+        assert_eq!(ws.connection().link_stats().messages, 2);
+        assert_eq!(ws.round_trips(), 1);
+    }
+
+    #[test]
+    fn blocking_window_degenerates_to_serial_timing() {
+        let (server, _) = server();
+        let mut one = Connection::with_window(server, Link::ethernet(), 1);
+        let t1 = one.submit(ServerRequest::FetchMiniature { id: ObjectId::new(1) });
+        let t2 = one.submit(ServerRequest::FetchMiniature { id: ObjectId::new(2) });
+        // The second submit had to wait out the first response.
+        assert!(one.elapsed() > SimDuration::ZERO);
+        let (_, waited) = one.wait(t1).unwrap();
+        assert_eq!(waited, SimDuration::ZERO, "already waited out by the window");
+        assert!(one.wait(t2).is_ok());
     }
 }
 

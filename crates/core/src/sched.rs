@@ -1,0 +1,667 @@
+//! The multi-session scheduler: N concurrent browsing sessions over one
+//! simulated link and one object server (§5).
+//!
+//! "We envision the overall system architecture for MINOS as being composed
+//! of a multimedia object server subsystem and a number of workstations
+//! interconnected through high capacity links." The framed transport
+//! ([`minos_net::frame`]) lets one server interleave many connections;
+//! this module supplies the client half: a [`SessionScheduler`] that
+//! multiplexes several [`BrowsingSession`]s over one shared link, driving
+//! their clocks together and serving their transfers with round-robin
+//! fairness *except* that audio-driven sessions are always served first —
+//! a stalled reader re-reads a sentence, a stalled playback is an audible
+//! glitch, so audio has the earlier deadline.
+//!
+//! [`simulate_page_workload`] is the module's measuring stick (experiment
+//! E12): the same page-sequential workload run once over the old blocking
+//! discipline and once pipelined, at varying session counts.
+
+use crate::command::{BrowseCommand, BrowseEvent};
+use crate::prefetch::page_spans;
+use crate::session::{BrowsingSession, ObjectStore};
+use minos_net::{Frame, FramePayload, Link, LinkStats, ServerRequest, ServerResponse};
+use minos_object::MultimediaObject;
+use minos_server::{ObjectServer, ServiceStats};
+use minos_text::PaginateConfig;
+use minos_types::{ByteSpan, MinosError, ObjectId, Result, SimClock, SimDuration, SimInstant};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The shared server side of a scheduled workstation group: one server,
+/// one link, one clock, and the three serially-reusable resources
+/// (uplink, device, downlink) as "free at" instants.
+struct Hub {
+    server: ObjectServer,
+    link: Link,
+    clock: SimClock,
+    up_free: SimInstant,
+    dev_free: SimInstant,
+    down_free: SimInstant,
+    /// When each submitted request frame finishes arriving at the server.
+    arrivals: HashMap<(u64, u64), SimInstant>,
+    /// Served responses per connection, each with its delivery instant.
+    landed: HashMap<u64, Vec<(u64, ServerResponse, SimInstant)>>,
+    next_request_id: u64,
+    next_conn: u64,
+}
+
+impl Hub {
+    fn new(server: ObjectServer, link: Link) -> Self {
+        Hub {
+            server,
+            link,
+            clock: SimClock::new(),
+            up_free: SimInstant::EPOCH,
+            dev_free: SimInstant::EPOCH,
+            down_free: SimInstant::EPOCH,
+            arrivals: HashMap::new(),
+            landed: HashMap::new(),
+            next_request_id: 1,
+            next_conn: 1,
+        }
+    }
+
+    /// Puts one request frame on the shared uplink and queues it at the
+    /// server, returning its request id.
+    fn send(&mut self, conn: u64, request: ServerRequest) -> Result<u64> {
+        let rid = self.next_request_id;
+        self.next_request_id += 1;
+        let frame = Frame::request(conn, rid, request);
+        let up = self.link.transfer(frame.wire_size());
+        let arrival = self.clock.now().max(self.up_free) + up;
+        self.up_free = arrival;
+        self.arrivals.insert((conn, rid), arrival);
+        self.server.enqueue(frame)?;
+        Ok(rid)
+    }
+
+    /// Serves everything queued at the server, connections in `order`
+    /// first (the scheduler's fairness policy), then whatever remains in
+    /// the server's own round-robin rotation.
+    fn pump(&mut self, order: &[u64]) {
+        for &conn in order {
+            while let Some((frame, charge)) = self.server.poll_conn(conn) {
+                self.deliver(frame, charge);
+            }
+        }
+        while let Some((frame, charge)) = self.server.poll_timed() {
+            self.deliver(frame, charge);
+        }
+    }
+
+    /// Charges device and downlink time for one served response frame and
+    /// lands it for its connection.
+    fn deliver(&mut self, frame: Frame, charge: SimDuration) {
+        let key = (frame.conn_id, frame.request_id);
+        let arrival = self.arrivals.remove(&key).unwrap_or(self.up_free);
+        let done = arrival.max(self.dev_free) + charge;
+        self.dev_free = done;
+        let down = self.link.transfer(frame.wire_size());
+        let delivered = done.max(self.down_free) + down;
+        self.down_free = delivered;
+        let FramePayload::Response(response) = frame.payload else {
+            return;
+        };
+        self.landed.entry(frame.conn_id).or_default().push((frame.request_id, response, delivered));
+    }
+}
+
+/// An [`ObjectStore`] backed by a scheduler [`Hub`]: demand fetches pump
+/// the shared service loop immediately; `note_upcoming` hints become
+/// request frames whose transfers land during subsequent scheduler ticks,
+/// hidden behind every session's dwell.
+pub struct HubStore {
+    hub: Rc<RefCell<Hub>>,
+    conn_id: u64,
+    /// Objects whose transfer has completed, with their delivery instant.
+    cache: HashMap<ObjectId, (MultimediaObject, SimInstant)>,
+    /// Outstanding object requests by request id.
+    pending: HashMap<u64, ObjectId>,
+    waited: SimDuration,
+}
+
+impl HubStore {
+    fn new(hub: Rc<RefCell<Hub>>, conn_id: u64) -> Self {
+        HubStore {
+            hub,
+            conn_id,
+            cache: HashMap::new(),
+            pending: HashMap::new(),
+            waited: SimDuration::ZERO,
+        }
+    }
+
+    /// The connection id this store submits on.
+    pub fn conn_id(&self) -> u64 {
+        self.conn_id
+    }
+
+    /// Total time this session's user spent waiting on transfers.
+    pub fn waited(&self) -> SimDuration {
+        self.waited
+    }
+
+    /// Moves landed responses for this connection into the object cache.
+    fn collect(&mut self) {
+        let mut hub = self.hub.borrow_mut();
+        let Some(landed) = hub.landed.remove(&self.conn_id) else {
+            return;
+        };
+        for (rid, response, delivered) in landed {
+            let Some(id) = self.pending.remove(&rid) else {
+                continue;
+            };
+            if !matches!(response, ServerResponse::Object(_)) {
+                continue;
+            }
+            if let Some(object) = hub.server.resident_object(id).cloned() {
+                self.cache.insert(id, (object, delivered));
+            }
+        }
+    }
+}
+
+impl ObjectStore for HubStore {
+    fn fetch(&mut self, id: ObjectId) -> Result<MultimediaObject> {
+        self.collect();
+        if !self.cache.contains_key(&id) {
+            // Demand fetch: submit (unless a prefetch is already in
+            // flight) and serve this connection's queue now.
+            if !self.pending.values().any(|&p| p == id) {
+                let rid =
+                    self.hub.borrow_mut().send(self.conn_id, ServerRequest::FetchObject { id })?;
+                self.pending.insert(rid, id);
+            }
+            self.hub.borrow_mut().pump(&[self.conn_id]);
+            self.collect();
+        }
+        let Some((object, available)) = self.cache.remove(&id) else {
+            return Err(MinosError::UnknownObject(id.to_string()));
+        };
+        let mut hub = self.hub.borrow_mut();
+        let wait = available.saturating_since(hub.clock.now());
+        hub.clock.advance_to_at_least(available);
+        self.waited += wait;
+        Ok(object)
+    }
+
+    fn note_upcoming(&mut self, targets: &[ObjectId]) {
+        self.collect();
+        for &id in targets {
+            if self.cache.contains_key(&id) || self.pending.values().any(|&p| p == id) {
+                continue;
+            }
+            // Anticipation must never fail the operation that triggered
+            // it; a rejected prefetch frame is simply no prefetch.
+            if let Ok(rid) =
+                self.hub.borrow_mut().send(self.conn_id, ServerRequest::FetchObject { id })
+            {
+                self.pending.insert(rid, id);
+            }
+        }
+    }
+}
+
+/// A handle to one session slot in a [`SessionScheduler`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionKey(usize);
+
+struct Slot {
+    conn_id: u64,
+    session: BrowsingSession<HubStore>,
+    events: Vec<BrowseEvent>,
+}
+
+/// N concurrent browsing sessions multiplexed over one simulated link and
+/// one object server.
+///
+/// Each [`SessionScheduler::tick`] advances every session's presentation
+/// by the same wall-clock slice and then serves the shared service loop.
+/// Service order is round-robin with a rotating head — no session can
+/// starve — except that audio-driven sessions always go first: their
+/// transfers have real-time deadlines, a text reader's do not.
+pub struct SessionScheduler {
+    hub: Rc<RefCell<Hub>>,
+    slots: Vec<Slot>,
+    cursor: usize,
+}
+
+impl SessionScheduler {
+    /// A scheduler over `server` reached through `link`.
+    pub fn new(server: ObjectServer, link: Link) -> Self {
+        SessionScheduler {
+            hub: Rc::new(RefCell::new(Hub::new(server, link))),
+            slots: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Opens a new browsing session on `id` over its own connection,
+    /// returning its key and the initial presentation events.
+    pub fn open(
+        &mut self,
+        id: ObjectId,
+        config: PaginateConfig,
+        audio_page_len: SimDuration,
+    ) -> Result<(SessionKey, Vec<BrowseEvent>)> {
+        let conn_id = {
+            let mut hub = self.hub.borrow_mut();
+            let conn = hub.next_conn;
+            hub.next_conn += 1;
+            conn
+        };
+        let store = HubStore::new(Rc::clone(&self.hub), conn_id);
+        let (session, events) = BrowsingSession::open(store, id, config, audio_page_len)?;
+        self.slots.push(Slot { conn_id, session, events: Vec::new() });
+        Ok((SessionKey(self.slots.len() - 1), events))
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Applies one browsing command to the session behind `key`, returning
+    /// the events it produced (exactly what a standalone session would).
+    pub fn apply(&mut self, key: SessionKey, command: BrowseCommand) -> Result<Vec<BrowseEvent>> {
+        let slot = self.slot_mut(key)?;
+        slot.session.apply(command)
+    }
+
+    /// The session behind `key` (menus, positions, objects).
+    pub fn session(&self, key: SessionKey) -> Result<&BrowsingSession<HubStore>> {
+        self.slots
+            .get(key.0)
+            .map(|s| &s.session)
+            .ok_or_else(|| MinosError::Internal(format!("no session slot {}", key.0)))
+    }
+
+    /// The deadline-aware service order for the next tick: a rotating
+    /// round-robin of all sessions, stably re-sorted so audio-driven
+    /// sessions come first.
+    pub fn service_order(&self) -> Vec<SessionKey> {
+        let n = self.slots.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..n).map(|i| (self.cursor + i) % n).collect();
+        order.sort_by_key(|&i| self.slots[i].session.audio().is_none());
+        order.into_iter().map(SessionKey).collect()
+    }
+
+    /// Advances every session's presentation by `dt` and serves the shared
+    /// service loop in deadline-aware order. Events produced by the tick
+    /// accumulate per session; drain them with
+    /// [`SessionScheduler::drain_events`].
+    pub fn tick(&mut self, dt: SimDuration) {
+        let order = self.service_order();
+        for &SessionKey(i) in &order {
+            if let Some(slot) = self.slots.get_mut(i) {
+                let events = slot.session.tick(dt);
+                slot.events.extend(events);
+            }
+        }
+        let conns: Vec<u64> = order
+            .iter()
+            .filter_map(|&SessionKey(i)| self.slots.get(i).map(|s| s.conn_id))
+            .collect();
+        let mut hub = self.hub.borrow_mut();
+        hub.pump(&conns);
+        hub.clock.advance(dt);
+        drop(hub);
+        self.cursor = (self.cursor + 1) % self.slots.len().max(1);
+    }
+
+    /// Takes the events `key`'s session produced during ticks since the
+    /// last drain.
+    pub fn drain_events(&mut self, key: SessionKey) -> Result<Vec<BrowseEvent>> {
+        Ok(std::mem::take(&mut self.slot_mut(key)?.events))
+    }
+
+    /// Total simulated time across the whole scheduled group.
+    pub fn elapsed(&self) -> SimDuration {
+        self.hub.borrow().clock.now().since(SimInstant::EPOCH)
+    }
+
+    /// Shared-link transfer statistics.
+    pub fn link_stats(&self) -> LinkStats {
+        self.hub.borrow().link.stats()
+    }
+
+    /// The shared server's service-loop accounting.
+    pub fn service_stats(&self) -> ServiceStats {
+        self.hub.borrow().server.service_stats().clone()
+    }
+
+    fn slot_mut(&mut self, key: SessionKey) -> Result<&mut Slot> {
+        self.slots
+            .get_mut(key.0)
+            .ok_or_else(|| MinosError::Internal(format!("no session slot {}", key.0)))
+    }
+}
+
+/// How [`simulate_page_workload`] moves pages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportMode {
+    /// The old discipline: one request at a time, each paying a full
+    /// uplink + device + downlink round trip before the next starts.
+    Blocking,
+    /// Framed pipelining: up to `window` request frames in flight per
+    /// session, the server interleaving and coalescing across sessions.
+    Pipelined {
+        /// In-flight request frames per session.
+        window: usize,
+    },
+}
+
+/// What one [`simulate_page_workload`] run measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkloadReport {
+    /// Wall-clock time until the last page was delivered.
+    pub elapsed: SimDuration,
+    /// Pages delivered (sessions × pages per session).
+    pub pages: u64,
+    /// Bytes moved over the shared link.
+    pub bytes: u64,
+}
+
+impl WorkloadReport {
+    /// Aggregate throughput in pages per simulated second.
+    pub fn pages_per_sec(&self) -> f64 {
+        let micros = self.elapsed.as_micros();
+        if micros == 0 {
+            return 0.0;
+        }
+        self.pages as f64 * 1_000_000.0 / micros as f64
+    }
+}
+
+/// Runs the E12 workload: `sessions` concurrent page-sequential readers,
+/// each fetching `pages_per_session` pages of `page_len` bytes from its
+/// own archived record, over one shared Ethernet-class link and one
+/// optical-disk server. Every delivered page is verified byte-for-byte
+/// against the stored pattern.
+pub fn simulate_page_workload(
+    sessions: usize,
+    pages_per_session: usize,
+    page_len: u64,
+    mode: TransportMode,
+) -> Result<WorkloadReport> {
+    if sessions == 0 || pages_per_session == 0 || page_len == 0 {
+        return Err(MinosError::Internal("workload needs sessions, pages, and bytes".into()));
+    }
+    let mut server = ObjectServer::new();
+    let mut plans: Vec<(u64, Vec<ByteSpan>)> = Vec::with_capacity(sessions);
+    for s in 0..sessions {
+        let data: Vec<u8> =
+            (0..pages_per_session as u64 * page_len).map(|i| (i % 251) as u8).collect();
+        let (record, _) = server.archiver_mut().store(ObjectId::new(s as u64 + 1), &data)?;
+        plans.push((record.span.start, page_spans(record.span, pages_per_session)));
+    }
+    let mut link = Link::ethernet();
+    let verify = |base: u64, span: ByteSpan, bytes: &[u8]| -> Result<()> {
+        let expect: Vec<u8> =
+            (span.start - base..span.end - base).map(|i| (i % 251) as u8).collect();
+        if bytes != expect {
+            return Err(MinosError::Internal(format!("wrong bytes for {span}")));
+        }
+        Ok(())
+    };
+
+    match mode {
+        TransportMode::Blocking => {
+            let mut now = SimInstant::EPOCH;
+            let mut delivered = 0u64;
+            for page in 0..pages_per_session {
+                for (conn0, (base, spans)) in plans.iter().enumerate() {
+                    let span = spans[page];
+                    let frame = Frame::request(
+                        conn0 as u64 + 1,
+                        delivered + 1,
+                        ServerRequest::FetchSpan { span },
+                    );
+                    now = now + link.transfer(frame.wire_size());
+                    let (response, took) = server.handle(&ServerRequest::FetchSpan { span });
+                    now = now + took;
+                    let reply = Frame::response(frame.conn_id, frame.request_id, response);
+                    now = now + link.transfer(reply.wire_size());
+                    let FramePayload::Response(ServerResponse::Span(bytes)) = &reply.payload else {
+                        return Err(MinosError::Internal(format!("no span bytes for {span}")));
+                    };
+                    verify(*base, span, bytes)?;
+                    delivered += 1;
+                }
+            }
+            Ok(WorkloadReport {
+                elapsed: now.since(SimInstant::EPOCH),
+                pages: delivered,
+                bytes: link.stats().bytes,
+            })
+        }
+        TransportMode::Pipelined { window } => {
+            let window = window.max(1);
+            let mut up_free = SimInstant::EPOCH;
+            let mut dev_free = SimInstant::EPOCH;
+            let mut down_free = SimInstant::EPOCH;
+            let mut arrivals: HashMap<(u64, u64), SimInstant> = HashMap::new();
+            let mut requested: HashMap<(u64, u64), ByteSpan> = HashMap::new();
+            let mut next_page = vec![0usize; sessions];
+            let mut next_rid = 1u64;
+            let mut last_delivered = SimInstant::EPOCH;
+            let mut delivered = 0u64;
+            while next_page.iter().any(|&p| p < pages_per_session) {
+                for (conn0, (_, spans)) in plans.iter().enumerate() {
+                    let from = next_page[conn0];
+                    let to = (from + window).min(pages_per_session);
+                    for span in &spans[from..to] {
+                        let frame = Frame::request(
+                            conn0 as u64 + 1,
+                            next_rid,
+                            ServerRequest::FetchSpan { span: *span },
+                        );
+                        next_rid += 1;
+                        let up = link.transfer(frame.wire_size());
+                        let arrival = up_free + up;
+                        up_free = arrival;
+                        arrivals.insert((frame.conn_id, frame.request_id), arrival);
+                        requested.insert((frame.conn_id, frame.request_id), *span);
+                        server.enqueue(frame)?;
+                    }
+                    next_page[conn0] = to;
+                }
+                while let Some((frame, charge)) = server.poll_timed() {
+                    let key = (frame.conn_id, frame.request_id);
+                    let arrival = arrivals.remove(&key).unwrap_or(up_free);
+                    let done = arrival.max(dev_free) + charge;
+                    dev_free = done;
+                    let down = link.transfer(frame.wire_size());
+                    let at = done.max(down_free) + down;
+                    down_free = at;
+                    last_delivered = last_delivered.max(at);
+                    let FramePayload::Response(ServerResponse::Span(bytes)) = &frame.payload else {
+                        return Err(MinosError::Internal(format!(
+                            "unexpected response frame {}/{}",
+                            frame.conn_id, frame.request_id
+                        )));
+                    };
+                    let (base, _) = plans.get(frame.conn_id as usize - 1).ok_or_else(|| {
+                        MinosError::Internal(format!("unknown connection {}", frame.conn_id))
+                    })?;
+                    let span = requested.remove(&key).ok_or_else(|| {
+                        MinosError::Internal(format!("unrequested response {key:?}"))
+                    })?;
+                    verify(*base, span, bytes)?;
+                    delivered += 1;
+                }
+            }
+            Ok(WorkloadReport {
+                elapsed: last_delivered.since(SimInstant::EPOCH),
+                pages: delivered,
+                bytes: link.stats().bytes,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_corpus::objects::archived_form;
+    use minos_corpus::{audio_xray_report, medical_report, subway_map_object};
+
+    fn corpus_server() -> ObjectServer {
+        let mut server = ObjectServer::new();
+        let report = medical_report(ObjectId::new(1), 42);
+        server.publish(report.clone(), &archived_form(&report)).unwrap();
+        let dictation = audio_xray_report(ObjectId::new(2), 7);
+        server.publish(dictation.clone(), &archived_form(&dictation)).unwrap();
+        let (parent, overlays) =
+            subway_map_object(ObjectId::new(3), ObjectId::new(4), ObjectId::new(5), 11);
+        server.publish(parent.clone(), &archived_form(&parent)).unwrap();
+        for o in overlays {
+            let a = archived_form(&o);
+            server.publish(o, &a).unwrap();
+        }
+        server
+    }
+
+    fn baseline_store() -> HashMap<ObjectId, MultimediaObject> {
+        let mut map = HashMap::new();
+        let report = medical_report(ObjectId::new(1), 42);
+        map.insert(report.id, report);
+        let dictation = audio_xray_report(ObjectId::new(2), 7);
+        map.insert(dictation.id, dictation);
+        let (parent, overlays) =
+            subway_map_object(ObjectId::new(3), ObjectId::new(4), ObjectId::new(5), 11);
+        map.insert(parent.id, parent);
+        for o in overlays {
+            map.insert(o.id, o);
+        }
+        map
+    }
+
+    #[test]
+    fn scheduled_session_matches_standalone_events() {
+        let config = PaginateConfig::default();
+        let page = SimDuration::from_secs(5);
+        let (mut baseline, base_open) =
+            BrowsingSession::open(baseline_store(), ObjectId::new(3), config, page).unwrap();
+
+        let mut sched = SessionScheduler::new(corpus_server(), Link::ethernet());
+        let (key, open_events) = sched.open(ObjectId::new(3), config, page).unwrap();
+        assert_eq!(open_events, base_open);
+
+        for cmd in [
+            BrowseCommand::SelectRelevant(0),
+            BrowseCommand::NextPage,
+            BrowseCommand::ReturnFromRelevant,
+            BrowseCommand::SelectRelevant(1),
+            BrowseCommand::ReturnFromRelevant,
+        ] {
+            let expect = baseline.apply(cmd.clone()).unwrap();
+            let got = sched.apply(key, cmd).unwrap();
+            assert_eq!(got, expect);
+        }
+        assert_eq!(sched.session(key).unwrap().object().id, ObjectId::new(3));
+        // The scheduled run actually moved bytes for the shared link.
+        assert!(sched.link_stats().bytes > 0);
+    }
+
+    #[test]
+    fn concurrent_sessions_stay_isolated() {
+        let config = PaginateConfig::default();
+        let page = SimDuration::from_secs(5);
+        let mut sched = SessionScheduler::new(corpus_server(), Link::ethernet());
+        let (map_key, _) = sched.open(ObjectId::new(3), config, page).unwrap();
+        let (report_key, _) = sched.open(ObjectId::new(1), config, page).unwrap();
+        let (audio_key, _) = sched.open(ObjectId::new(2), config, page).unwrap();
+        assert_eq!(sched.len(), 3);
+
+        sched.apply(map_key, BrowseCommand::SelectRelevant(0)).unwrap();
+        sched.apply(report_key, BrowseCommand::NextPage).unwrap();
+        sched.tick(SimDuration::from_secs(8));
+        sched.apply(audio_key, BrowseCommand::Interrupt).unwrap();
+
+        assert_eq!(sched.session(map_key).unwrap().object().id, ObjectId::new(4));
+        assert_eq!(sched.session(report_key).unwrap().object().id, ObjectId::new(1));
+        assert!(sched.session(audio_key).unwrap().audio().is_some());
+        // The audio tick produced playback events for that session only.
+        assert!(!sched.drain_events(audio_key).unwrap().is_empty());
+        assert!(sched.drain_events(report_key).unwrap().is_empty());
+    }
+
+    #[test]
+    fn audio_sessions_are_served_first() {
+        let config = PaginateConfig::default();
+        let page = SimDuration::from_secs(5);
+        let mut sched = SessionScheduler::new(corpus_server(), Link::ethernet());
+        let (visual_a, _) = sched.open(ObjectId::new(1), config, page).unwrap();
+        let (audio, _) = sched.open(ObjectId::new(2), config, page).unwrap();
+        let (visual_b, _) = sched.open(ObjectId::new(3), config, page).unwrap();
+
+        // Whatever the rotation, the audio session leads every tick.
+        for _ in 0..4 {
+            let order = sched.service_order();
+            assert_eq!(order[0], audio, "audio deadline beats the rotation");
+            sched.tick(SimDuration::from_millis(100));
+        }
+        // Across a full rotation, each visual session leads the non-audio
+        // tail at least once — the rotation cannot starve either.
+        let mut heads = Vec::new();
+        for _ in 0..3 {
+            heads.push(sched.service_order()[1]);
+            sched.tick(SimDuration::from_millis(100));
+        }
+        assert!(heads.contains(&visual_a) && heads.contains(&visual_b), "rotation is fair");
+    }
+
+    #[test]
+    fn prefetched_relevant_objects_cost_no_demand_wait() {
+        let config = PaginateConfig::default();
+        let page = SimDuration::from_secs(5);
+        let mut sched = SessionScheduler::new(corpus_server(), Link::ethernet());
+        let (key, _) = sched.open(ObjectId::new(3), config, page).unwrap();
+        // Opening announced the visible indicators; ticks land their
+        // transfers while the user dwells on the map.
+        for _ in 0..4 {
+            sched.tick(SimDuration::from_secs(1));
+        }
+        let waited_before = sched.session(key).unwrap().store().waited();
+        sched.apply(key, BrowseCommand::SelectRelevant(0)).unwrap();
+        let waited_after = sched.session(key).unwrap().store().waited();
+        assert_eq!(sched.session(key).unwrap().object().id, ObjectId::new(4));
+        assert_eq!(waited_after, waited_before, "the overlay had already landed");
+    }
+
+    #[test]
+    fn workload_reports_are_verified_and_complete() {
+        let blocking = simulate_page_workload(2, 4, 4_096, TransportMode::Blocking).unwrap();
+        assert_eq!(blocking.pages, 8);
+        assert!(blocking.elapsed > SimDuration::ZERO);
+        let piped =
+            simulate_page_workload(2, 4, 4_096, TransportMode::Pipelined { window: 4 }).unwrap();
+        assert_eq!(piped.pages, 8);
+        assert!(piped.elapsed < blocking.elapsed);
+        // Pipelining reorders transfers; it never inflates them. (The
+        // workload charges response frames individually, so byte counts
+        // match the blocking run exactly.)
+        assert!(piped.bytes <= blocking.bytes, "pipelining must not inflate transfer");
+    }
+
+    #[test]
+    fn pipelining_doubles_aggregate_throughput_at_sixteen_sessions() {
+        // The E12 headline, pinned as a test: 16 concurrent page readers,
+        // 8 KB pages, window 8 — pipelined throughput at least doubles.
+        let blocking = simulate_page_workload(16, 8, 8_192, TransportMode::Blocking).unwrap();
+        let piped =
+            simulate_page_workload(16, 8, 8_192, TransportMode::Pipelined { window: 8 }).unwrap();
+        let ratio = piped.pages_per_sec() / blocking.pages_per_sec();
+        assert!(ratio >= 2.0, "pipelined/blocking ratio {ratio:.2}");
+    }
+}

@@ -121,6 +121,16 @@ impl<S: ObjectStore> BrowsingSession<S> {
         &self.top().object
     }
 
+    /// The underlying object store (accounting, prefetch state).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable store access (schedulers drain landed transfers here).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
     /// Nesting depth (1 = the originally opened object).
     pub fn depth(&self) -> usize {
         self.stack.len()

@@ -1,0 +1,271 @@
+//! The framed transport envelope (§5 pipelining).
+//!
+//! The blocking request path serialized every interaction: one request on
+//! the wire, one response back, nothing else in flight. To overlap server
+//! work with link transfer — and to let one server interleave several
+//! workstations — every [`ServerRequest`]/[`ServerResponse`] now travels
+//! inside a [`Frame`]: a `(conn_id, request_id)` envelope that lets
+//! responses complete out of order and still find their way back to the
+//! submitting session. The inner wire tags of the protocol enums are
+//! untouched; the envelope is purely additive framing.
+//!
+//! [`InflightWindow`] is the per-connection flow-control companion: it
+//! bounds how many request frames may be unacknowledged at once, so a
+//! pipelined client cannot bury the server queue arbitrarily deep.
+
+use crate::protocol::{ServerRequest, ServerResponse};
+use minos_types::{Decoder, Encoder, MinosError, Result};
+use std::collections::BTreeSet;
+
+/// The direction-discriminated payload of a [`Frame`].
+///
+/// Wire layout: one envelope tag byte (`1` = request, `2` = response)
+/// followed by the length-prefixed inner protocol encoding. The inner
+/// bytes are exactly what the unframed protocol would have sent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FramePayload {
+    /// A workstation → server request.
+    Request(ServerRequest),
+    /// A server → workstation response.
+    Response(ServerResponse),
+}
+
+impl FramePayload {
+    /// Encodes the envelope tag plus the inner protocol bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            FramePayload::Request(request) => {
+                e.put_u8(1);
+                e.put_bytes(&request.encode());
+            }
+            FramePayload::Response(response) => {
+                e.put_u8(2);
+                e.put_bytes(&response.encode());
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes an envelope payload produced by [`FramePayload::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<FramePayload> {
+        let mut d = Decoder::new(bytes);
+        let payload = match d.get_u8()? {
+            1 => FramePayload::Request(ServerRequest::decode(&d.get_bytes()?)?),
+            2 => FramePayload::Response(ServerResponse::decode(&d.get_bytes()?)?),
+            other => return Err(MinosError::Codec(format!("unknown frame payload tag {other}"))),
+        };
+        d.expect_end()?;
+        Ok(payload)
+    }
+}
+
+/// One framed protocol message: which connection it belongs to, which
+/// outstanding request it answers (or opens), and the payload itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The connection (workstation session) this frame belongs to.
+    pub conn_id: u64,
+    /// The per-connection request this frame opens or answers. Responses
+    /// carry the id of the request they answer, which is what lets them
+    /// complete out of order.
+    pub request_id: u64,
+    /// The enveloped protocol message.
+    pub payload: FramePayload,
+}
+
+impl Frame {
+    /// Wraps a request for submission on `conn_id` as `request_id`.
+    pub fn request(conn_id: u64, request_id: u64, request: ServerRequest) -> Frame {
+        Frame { conn_id, request_id, payload: FramePayload::Request(request) }
+    }
+
+    /// Wraps a response answering `request_id` on `conn_id`.
+    pub fn response(conn_id: u64, request_id: u64, response: ServerResponse) -> Frame {
+        Frame { conn_id, request_id, payload: FramePayload::Response(response) }
+    }
+
+    /// Encodes the envelope: varint `conn_id`, varint `request_id`, then
+    /// the tagged payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_varint(self.conn_id);
+        e.put_varint(self.request_id);
+        e.put_bytes(&self.payload.encode());
+        e.finish()
+    }
+
+    /// Decodes a frame produced by [`Frame::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Frame> {
+        let mut d = Decoder::new(bytes);
+        let conn_id = d.get_varint()?;
+        let request_id = d.get_varint()?;
+        let payload = FramePayload::decode(&d.get_bytes()?)?;
+        d.expect_end()?;
+        Ok(Frame { conn_id, request_id, payload })
+    }
+
+    /// Bytes this frame occupies on the wire.
+    pub fn wire_size(&self) -> u64 {
+        self.encode().len() as u64
+    }
+
+    /// The enveloped request, if this is a request frame.
+    pub fn as_request(&self) -> Option<&ServerRequest> {
+        match &self.payload {
+            FramePayload::Request(request) => Some(request),
+            FramePayload::Response(_) => None,
+        }
+    }
+}
+
+/// Per-connection flow control: the set of request ids submitted but not
+/// yet delivered back, bounded by a fixed capacity.
+///
+/// The window is the pipelining budget — a client keeps submitting until
+/// [`InflightWindow::is_full`], then must wait for a delivery before the
+/// next submit. Capacity 1 degenerates to the old blocking discipline.
+#[derive(Clone, Debug)]
+pub struct InflightWindow {
+    capacity: usize,
+    ids: BTreeSet<u64>,
+}
+
+impl InflightWindow {
+    /// A window admitting up to `capacity` unacknowledged requests
+    /// (a zero capacity is bumped to 1: a window that can never open
+    /// would deadlock the pipeline).
+    pub fn new(capacity: usize) -> Self {
+        InflightWindow { capacity: capacity.max(1), ids: BTreeSet::new() }
+    }
+
+    /// The maximum number of in-flight requests.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently in flight.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Whether the window is exhausted (submit must wait).
+    pub fn is_full(&self) -> bool {
+        self.ids.len() >= self.capacity
+    }
+
+    /// Admits `request_id`; returns `false` (and admits nothing) if the
+    /// window is full or the id is already in flight.
+    pub fn open(&mut self, request_id: u64) -> bool {
+        if self.is_full() || self.ids.contains(&request_id) {
+            return false;
+        }
+        self.ids.insert(request_id)
+    }
+
+    /// Retires `request_id` on delivery; returns `false` if it was not in
+    /// flight.
+    pub fn close(&mut self, request_id: u64) -> bool {
+        self.ids.remove(&request_id)
+    }
+
+    /// The oldest (smallest) in-flight request id — the one a blocked
+    /// submitter should wait on.
+    pub fn oldest(&self) -> Option<u64> {
+        self.ids.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_types::{ByteSpan, ObjectId};
+    use proptest::prelude::*;
+
+    fn sample_request() -> ServerRequest {
+        ServerRequest::FetchSpan { span: ByteSpan::at(1_024, 4_096) }
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let frame = Frame::request(7, 42, sample_request());
+        let back = Frame::decode(&frame.encode()).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(back.as_request(), Some(&sample_request()));
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let frame = Frame::response(1, 9, ServerResponse::Hits(vec![ObjectId::new(3)]));
+        let back = Frame::decode(&frame.encode()).unwrap();
+        assert_eq!(back, frame);
+        assert!(back.as_request().is_none());
+    }
+
+    #[test]
+    fn envelope_overhead_is_small() {
+        let inner = sample_request().wire_size();
+        let framed = Frame::request(1, 1, sample_request()).wire_size();
+        assert!(framed > inner);
+        assert!(framed - inner < 16, "envelope overhead {} bytes", framed - inner);
+    }
+
+    #[test]
+    fn unknown_payload_tag_is_rejected() {
+        let mut e = Encoder::new();
+        e.put_varint(1);
+        e.put_varint(1);
+        e.put_bytes(&[9, 0]);
+        assert!(matches!(Frame::decode(&e.finish()), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Frame::request(1, 1, sample_request()).encode();
+        bytes.push(0);
+        assert!(Frame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn window_admits_up_to_capacity() {
+        let mut w = InflightWindow::new(2);
+        assert_eq!(w.capacity(), 2);
+        assert!(w.open(1));
+        assert!(w.open(2));
+        assert!(w.is_full());
+        assert!(!w.open(3), "full window admits nothing");
+        assert!(!w.open(1), "duplicate ids rejected");
+        assert_eq!(w.oldest(), Some(1));
+        assert!(w.close(1));
+        assert!(!w.close(1), "double close rejected");
+        assert!(w.open(3));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_window_still_opens() {
+        let mut w = InflightWindow::new(0);
+        assert_eq!(w.capacity(), 1);
+        assert!(w.open(1));
+        assert!(w.is_full());
+    }
+
+    proptest! {
+        #[test]
+        fn frame_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Frame::decode(&bytes);
+            let _ = FramePayload::decode(&bytes);
+        }
+
+        #[test]
+        fn frame_encode_decode_identity(conn in 0u64..1 << 40, rid in 0u64..1 << 40) {
+            let frame = Frame::request(conn, rid, sample_request());
+            prop_assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+        }
+    }
+}

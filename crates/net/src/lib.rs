@@ -13,8 +13,10 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod frame;
 pub mod link;
 pub mod protocol;
 
+pub use frame::{Frame, FramePayload, InflightWindow};
 pub use link::{Link, LinkStats, ETHERNET_10MBIT};
 pub use protocol::{ServerRequest, ServerResponse};

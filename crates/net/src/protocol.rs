@@ -190,6 +190,15 @@ impl ServerRequest {
     pub fn wire_size(&self) -> u64 {
         self.encode().len() as u64
     }
+
+    /// The fetched span, if this is a span fetch (used by transports that
+    /// coalesce adjacent span requests into one device read).
+    pub fn as_span(&self) -> Option<ByteSpan> {
+        match self {
+            ServerRequest::FetchSpan { span } => Some(*span),
+            _ => None,
+        }
+    }
 }
 
 impl ServerResponse {

@@ -18,6 +18,8 @@
 
 pub mod index;
 pub mod server;
+pub mod service;
 
 pub use index::InvertedIndex;
 pub use server::{ObjectServer, PublishReceipt};
+pub use service::{ConnectionServiceStats, ServiceStats};

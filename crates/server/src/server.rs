@@ -8,8 +8,9 @@
 //! miniature instead of the whole image is the point of experiments E5/E6.
 
 use crate::index::InvertedIndex;
+use crate::service::{ServiceQueue, ServiceStats};
 use minos_image::{Bitmap, Miniature};
-use minos_net::{ServerRequest, ServerResponse};
+use minos_net::{Frame, ServerRequest, ServerResponse};
 use minos_object::{ArchivedObject, DataPayload, MultimediaObject};
 use minos_storage::{Archiver, OpticalDisk};
 use minos_types::{ByteSpan, MinosError, ObjectId, Result, SimDuration};
@@ -39,6 +40,7 @@ pub struct ObjectServer {
     index: InvertedIndex,
     resident: HashMap<ObjectId, RenderedObject>,
     miniature_factor: u32,
+    service: ServiceQueue,
 }
 
 impl ObjectServer {
@@ -51,6 +53,7 @@ impl ObjectServer {
             index: InvertedIndex::new(),
             resident: HashMap::new(),
             miniature_factor: 8,
+            service: ServiceQueue::default(),
         }
     }
 
@@ -253,6 +256,124 @@ impl ObjectServer {
         run
     }
 
+    /// Accepts one framed request into the queued service loop. Only
+    /// request frames may be enqueued; a response frame is a protocol
+    /// violation and is rejected without queueing.
+    pub fn enqueue(&mut self, frame: Frame) -> Result<()> {
+        if frame.as_request().is_none() {
+            return Err(MinosError::Protocol(format!(
+                "connection {} enqueued a response frame as a request",
+                frame.conn_id
+            )));
+        }
+        self.service.push(frame);
+        Ok(())
+    }
+
+    /// Serves queued work and returns the next completed response frame,
+    /// or `None` when the queue is idle. Connections are served in
+    /// round-robin order, so one deep queue cannot starve the others;
+    /// responses therefore complete out of request-arrival order.
+    pub fn poll(&mut self) -> Option<Frame> {
+        self.poll_timed().map(|(frame, _)| frame)
+    }
+
+    /// Like [`ObjectServer::poll`], but also reports the device time the
+    /// response cost (a coalesced run's read time is split across its
+    /// frames).
+    pub fn poll_timed(&mut self) -> Option<(Frame, SimDuration)> {
+        if let Some(out) = self.service.pop_ready() {
+            return Some(out);
+        }
+        let conn = self.service.next_conn()?;
+        self.serve_conn(conn);
+        self.service.pop_ready()
+    }
+
+    /// Serves the head of one specific connection's queue, bypassing the
+    /// round-robin rotation — the mechanism a deadline-aware scheduler
+    /// (audio before text) uses to impose its own fairness policy.
+    pub fn poll_conn(&mut self, conn_id: u64) -> Option<(Frame, SimDuration)> {
+        if let Some(out) = self.service.pop_ready_for(conn_id) {
+            return Some(out);
+        }
+        if !self.service.claim_conn(conn_id) {
+            return None;
+        }
+        self.serve_conn(conn_id);
+        self.service.pop_ready_for(conn_id)
+    }
+
+    /// Request frames queued and not yet served.
+    pub fn pending_frames(&self) -> usize {
+        self.service.pending()
+    }
+
+    /// Accounting for the queued service loop.
+    pub fn service_stats(&self) -> &ServiceStats {
+        self.service.stats()
+    }
+
+    /// Serves one run from `conn`'s queue: a leading run of adjacent span
+    /// fetches becomes a single coalesced device read sliced back into
+    /// per-frame responses; anything else is served one frame at a time.
+    fn serve_conn(&mut self, conn: u64) {
+        let run = self.service.take_run(conn);
+        if run.is_empty() {
+            return;
+        }
+        let spans: Vec<ByteSpan> =
+            run.iter().filter_map(|f| f.as_request().and_then(|r| r.as_span())).collect();
+        if let (Some(head), Some(tail)) = (spans.first(), spans.last()) {
+            if run.len() > 1 && spans.len() == run.len() {
+                let whole = ByteSpan::new(head.start, tail.end);
+                match self.archiver.read_at(whole) {
+                    Ok((bytes, took)) => {
+                        self.service.note_coalesced();
+                        let share = took / run.len() as u64;
+                        let remainder = took - share * (run.len() as u64 - 1);
+                        for (i, (frame, span)) in run.iter().zip(&spans).enumerate() {
+                            let from = (span.start - whole.start) as usize;
+                            let response = match bytes.get(from..from + span.len() as usize) {
+                                Some(slice) => ServerResponse::Span(slice.to_vec()),
+                                None => ServerResponse::Error(format!(
+                                    "coalesced read lost {span} inside {whole}"
+                                )),
+                            };
+                            let charge = if i == 0 { remainder } else { share };
+                            self.service
+                                .finish(Frame::response(conn, frame.request_id, response), charge);
+                        }
+                    }
+                    Err(e) => {
+                        let message = e.to_string();
+                        for frame in &run {
+                            self.service.finish(
+                                Frame::response(
+                                    conn,
+                                    frame.request_id,
+                                    ServerResponse::Error(message.clone()),
+                                ),
+                                SimDuration::ZERO,
+                            );
+                        }
+                    }
+                }
+                return;
+            }
+        }
+        for frame in run {
+            let (response, took) = match frame.as_request() {
+                Some(request) => self.handle(request),
+                None => (
+                    ServerResponse::Error("queued frame carried no request".into()),
+                    SimDuration::ZERO,
+                ),
+            };
+            self.service.finish(Frame::response(conn, frame.request_id, response), took);
+        }
+    }
+
     /// The typed object, if resident (used by the presentation manager
     /// after it has fetched the object).
     pub fn resident_object(&self, id: ObjectId) -> Option<&MultimediaObject> {
@@ -274,6 +395,7 @@ impl Default for ObjectServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use minos_net::FramePayload;
     use minos_object::{DrivingMode, FormatterSession};
     use minos_types::Rect;
 
@@ -530,5 +652,128 @@ mod tests {
             ServerResponse::Span(bytes) => assert_eq!(bytes.len(), 4),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn service_loop_interleaves_connections_round_robin() {
+        let mut server = ObjectServer::new();
+        let id = make_published(&mut server, 1, "framed service text");
+        let span = server.record_span(id).unwrap();
+        // Connection 1 queues three spans, connection 2 queues one; fair
+        // service must answer connection 2 before connection 1's backlog
+        // drains. Non-adjacent spans so nothing coalesces here.
+        for (rid, start) in [(1, span.start), (2, span.start + 8), (3, span.start)] {
+            server
+                .enqueue(Frame::request(
+                    1,
+                    rid,
+                    ServerRequest::FetchSpan { span: ByteSpan::at(start, 4) },
+                ))
+                .unwrap();
+        }
+        server
+            .enqueue(Frame::request(
+                2,
+                1,
+                ServerRequest::FetchSpan { span: ByteSpan::at(span.start, 4) },
+            ))
+            .unwrap();
+        assert_eq!(server.pending_frames(), 4);
+
+        let order: Vec<(u64, u64)> =
+            std::iter::from_fn(|| server.poll()).map(|f| (f.conn_id, f.request_id)).collect();
+        assert_eq!(order, vec![(1, 1), (2, 1), (1, 2), (1, 3)]);
+        assert_eq!(server.pending_frames(), 0);
+        let stats = server.service_stats();
+        assert_eq!(stats.enqueued, 4);
+        assert_eq!(stats.served, 4);
+        assert!(stats.busy > SimDuration::ZERO);
+        assert_eq!(stats.per_connection[&1].served, 3);
+        assert_eq!(stats.per_connection[&2].served, 1);
+    }
+
+    #[test]
+    fn adjacent_span_frames_coalesce_into_one_device_read() {
+        let mut server = ObjectServer::new();
+        let id = make_published(&mut server, 1, "coalesced service run over the archive");
+        let span = server.record_span(id).unwrap();
+        let chunk = 8u64;
+
+        // Serve the same four adjacent spans once as queued frames and once
+        // as individual blocking requests; the queued run must coalesce.
+        let mut solo = ObjectServer::new();
+        let solo_id = make_published(&mut solo, 1, "coalesced service run over the archive");
+        let solo_span = solo.record_span(solo_id).unwrap();
+        let mut serial = SimDuration::ZERO;
+        for i in 0..4 {
+            let (_, took) = solo.handle(&ServerRequest::FetchSpan {
+                span: ByteSpan::at(solo_span.start + i * chunk, chunk),
+            });
+            serial += took;
+        }
+
+        for i in 0..4u64 {
+            server
+                .enqueue(Frame::request(
+                    5,
+                    i,
+                    ServerRequest::FetchSpan { span: ByteSpan::at(span.start + i * chunk, chunk) },
+                ))
+                .unwrap();
+        }
+        let mut coalesced = SimDuration::ZERO;
+        let mut frames = Vec::new();
+        while let Some((frame, charge)) = server.poll_timed() {
+            coalesced += charge;
+            frames.push(frame);
+        }
+        assert_eq!(frames.len(), 4);
+        for (i, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.request_id, i as u64);
+            match &frame.payload {
+                FramePayload::Response(ServerResponse::Span(bytes)) => {
+                    assert_eq!(bytes.len() as u64, chunk);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(server.service_stats().coalesced_runs, 1);
+        assert_eq!(server.service_stats().busy, coalesced);
+        // One seek + rotation instead of four.
+        assert!(
+            coalesced + SimDuration::from_millis(100) < serial,
+            "coalesced {coalesced} vs serial {serial}"
+        );
+    }
+
+    #[test]
+    fn poll_conn_serves_out_of_rotation_order() {
+        let mut server = ObjectServer::new();
+        let id = make_published(&mut server, 1, "priority service text");
+        let span = server.record_span(id).unwrap();
+        for conn in [1u64, 2, 3] {
+            server
+                .enqueue(Frame::request(
+                    conn,
+                    1,
+                    ServerRequest::FetchSpan { span: ByteSpan::at(span.start, 4) },
+                ))
+                .unwrap();
+        }
+        // A deadline-aware scheduler pulls connection 3 first.
+        let (frame, _) = server.poll_conn(3).unwrap();
+        assert_eq!(frame.conn_id, 3);
+        assert!(server.poll_conn(3).is_none(), "connection 3 has nothing left");
+        let rest: Vec<u64> = std::iter::from_fn(|| server.poll()).map(|f| f.conn_id).collect();
+        assert_eq!(rest, vec![1, 2]);
+    }
+
+    #[test]
+    fn response_frames_cannot_be_enqueued() {
+        let mut server = ObjectServer::new();
+        let frame = Frame::response(1, 1, ServerResponse::Span(vec![1, 2, 3]));
+        assert!(matches!(server.enqueue(frame), Err(MinosError::Protocol(_))));
+        assert_eq!(server.pending_frames(), 0);
+        assert!(server.poll().is_none());
     }
 }

@@ -1,0 +1,151 @@
+//! The queued, multi-connection service loop (§5).
+//!
+//! The blocking path handed the server one request at a time; with framed
+//! transport (see [`minos_net::frame`]) the server instead *queues* request
+//! frames from many connections and serves them in connection-fair
+//! round-robin order. Adjacent span fetches queued by one connection — the
+//! anticipatory-prefetch shape — are still coalesced into a single device
+//! read, exactly as the batch path coalesces them, so pipelining never
+//! costs extra actuator seeks.
+//!
+//! This module holds the queue and its accounting; the serving itself
+//! (device access, rendering) lives on
+//! [`ObjectServer`](crate::server::ObjectServer), which owns the devices.
+
+use minos_net::Frame;
+use minos_types::SimDuration;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Accounting for the queued service loop.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Request frames accepted into the queue.
+    pub enqueued: u64,
+    /// Response frames produced.
+    pub served: u64,
+    /// Total device time charged across all served requests.
+    pub busy: SimDuration,
+    /// Coalesced multi-span device reads performed.
+    pub coalesced_runs: u64,
+    /// Per-connection service accounting.
+    pub per_connection: BTreeMap<u64, ConnectionServiceStats>,
+}
+
+/// Service accounting for one connection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnectionServiceStats {
+    /// Response frames served to this connection.
+    pub served: u64,
+    /// Device time spent on this connection's requests.
+    pub busy: SimDuration,
+}
+
+/// The connection-fair frame queue behind `ObjectServer::enqueue`/`poll`.
+#[derive(Debug, Default)]
+pub(crate) struct ServiceQueue {
+    /// Per-connection FIFO of request frames awaiting service.
+    queues: BTreeMap<u64, VecDeque<Frame>>,
+    /// Round-robin rotation of connections with queued work.
+    rotation: VecDeque<u64>,
+    /// Served responses not yet collected, each with its device charge.
+    ready: VecDeque<(Frame, SimDuration)>,
+    /// Request frames queued but not yet served.
+    pending: usize,
+    stats: ServiceStats,
+}
+
+impl ServiceQueue {
+    /// Accepts one request frame into its connection's queue.
+    pub(crate) fn push(&mut self, frame: Frame) {
+        self.stats.enqueued += 1;
+        self.pending += 1;
+        let conn = frame.conn_id;
+        let queue = self.queues.entry(conn).or_default();
+        if queue.is_empty() && !self.rotation.contains(&conn) {
+            self.rotation.push_back(conn);
+        }
+        queue.push_back(frame);
+    }
+
+    /// Request frames awaiting service.
+    pub(crate) fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Accounting so far.
+    pub(crate) fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// The next connection in round-robin order (removed from the
+    /// rotation; `take_run` re-queues it if work remains).
+    pub(crate) fn next_conn(&mut self) -> Option<u64> {
+        self.rotation.pop_front()
+    }
+
+    /// Removes `conn` from the rotation so it can be served out of turn
+    /// (policy hook for deadline-aware schedulers). Returns whether it had
+    /// queued work.
+    pub(crate) fn claim_conn(&mut self, conn: u64) -> bool {
+        let Some(at) = self.rotation.iter().position(|&c| c == conn) else {
+            return false;
+        };
+        self.rotation.remove(at);
+        true
+    }
+
+    /// Pops `conn`'s leading adjacent-span run (or, failing that, its
+    /// single head frame), re-queueing the connection if frames remain.
+    pub(crate) fn take_run(&mut self, conn: u64) -> Vec<Frame> {
+        let Some(queue) = self.queues.get_mut(&conn) else {
+            return Vec::new();
+        };
+        let mut len = 0usize;
+        let mut prev_end: Option<u64> = None;
+        for frame in queue.iter() {
+            let Some(span) = frame.as_request().and_then(|r| r.as_span()) else {
+                break;
+            };
+            if prev_end.is_some_and(|end| end != span.start) {
+                break;
+            }
+            prev_end = Some(span.end);
+            len += 1;
+        }
+        let take = len.max(1).min(queue.len());
+        let run: Vec<Frame> = queue.drain(..take).collect();
+        self.pending = self.pending.saturating_sub(run.len());
+        if queue.is_empty() {
+            self.queues.remove(&conn);
+        } else {
+            self.rotation.push_back(conn);
+        }
+        run
+    }
+
+    /// Records one served response frame with its device-time charge.
+    pub(crate) fn finish(&mut self, frame: Frame, charge: SimDuration) {
+        self.stats.served += 1;
+        self.stats.busy += charge;
+        let conn = self.stats.per_connection.entry(frame.conn_id).or_default();
+        conn.served += 1;
+        conn.busy += charge;
+        self.ready.push_back((frame, charge));
+    }
+
+    /// Counts one coalesced device read.
+    pub(crate) fn note_coalesced(&mut self) {
+        self.stats.coalesced_runs += 1;
+    }
+
+    /// The oldest uncollected response, if any.
+    pub(crate) fn pop_ready(&mut self) -> Option<(Frame, SimDuration)> {
+        self.ready.pop_front()
+    }
+
+    /// The oldest uncollected response belonging to `conn`, if any.
+    pub(crate) fn pop_ready_for(&mut self, conn: u64) -> Option<(Frame, SimDuration)> {
+        let at = self.ready.iter().position(|(f, _)| f.conn_id == conn)?;
+        self.ready.remove(at)
+    }
+}

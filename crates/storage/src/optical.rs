@@ -85,7 +85,13 @@ impl BlockDevice for OpticalDisk {
             )));
         }
         let took = self.access_cost(span.start, span.len());
-        let data = self.data[span.start as usize..span.end as usize].to_vec();
+        let data = self
+            .data
+            .get(span.start as usize..span.end as usize)
+            .ok_or_else(|| {
+                MinosError::Storage(format!("read {span} outside optical media bounds"))
+            })?
+            .to_vec();
         self.head = span.end;
         self.stats.record_read(span.len(), took);
         Ok((data, took))

@@ -14,6 +14,10 @@
 //! * `W005` — the request and response tag sets pair up: every request
 //!   tag has a response tag and vice versa (the paper's request/reply
 //!   vocabulary is symmetric, like everything else in MINOS).
+//!
+//! [`run_single`] applies `W001`–`W004` to a lone enum with no paired
+//! counterpart — the framed transport's envelope tags in
+//! `crates/net/src/frame.rs` are audited this way.
 
 use crate::diag::Diagnostic;
 use crate::source::SourceFile;
@@ -62,6 +66,16 @@ pub fn run(file: &SourceFile, request_enum: &str, response_enum: &str) -> Vec<Di
             ));
         }
     }
+    out
+}
+
+/// Runs the single-enum half of the audit (`W001`–`W004`) over one enum
+/// with no request/response twin, such as the frame envelope's
+/// `FramePayload`. There is no counterpart, so no `W005` pairing applies.
+pub fn run_single(file: &SourceFile, enum_name: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let wire = extract(file, enum_name, &mut out);
+    check_enum(file, enum_name, &wire, &mut out);
     out
 }
 

@@ -21,6 +21,9 @@ const UNIT_EXEMPT: &str = "crates/types/src/time.rs";
 /// The protocol definition the wire-tag audit parses.
 const PROTOCOL_FILE: &str = "crates/net/src/protocol.rs";
 
+/// The frame envelope whose payload tags the single-enum audit parses.
+const FRAME_FILE: &str = "crates/net/src/frame.rs";
+
 /// The committed debt ratchet.
 const ALLOW_FILE: &str = "lint-allow.toml";
 
@@ -56,6 +59,18 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
             PROTOCOL_FILE,
             1,
             "protocol definition file is missing; the wire-tag audit has nothing to check",
+        )),
+    }
+
+    // (1b) Envelope-tag audit over the framed transport. `FramePayload`
+    // has no request/response twin, so only `W001`–`W004` apply.
+    match files.iter().find(|f| f.rel == FRAME_FILE) {
+        Some(frame) => findings.extend(wire::run_single(frame, "FramePayload")),
+        None => findings.push(Diagnostic::new(
+            "W002",
+            FRAME_FILE,
+            1,
+            "frame envelope file is missing; the envelope-tag audit has nothing to check",
         )),
     }
 

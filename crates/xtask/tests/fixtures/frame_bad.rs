@@ -1,0 +1,28 @@
+//! Known-bad frame fixture: `Response` reuses envelope tag 1, so the
+//! payload enum has a duplicate wire tag (W001) and the decode arm for 2
+//! disagrees with the encode side (W004).
+
+pub enum FramePayload {
+    Request(ServerRequest),
+    Response(ServerResponse),
+}
+
+impl FramePayload {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            FramePayload::Request(request) => {
+                e.put_u8(1);
+            }
+            FramePayload::Response(response) => {
+                e.put_u8(1);
+            }
+        }
+    }
+    pub fn decode(bytes: &[u8]) -> Result<FramePayload> {
+        let payload = match d.get_u8()? {
+            1 => FramePayload::Request(ServerRequest::decode(&d.get_bytes()?)?),
+            2 => FramePayload::Response(ServerResponse::decode(&d.get_bytes()?)?),
+            other => return Err(other),
+        };
+    }
+}

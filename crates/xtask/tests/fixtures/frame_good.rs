@@ -1,0 +1,27 @@
+//! Known-good frame fixture: unique envelope tags, every payload variant
+//! encoded and decoded, encode and decode in agreement.
+
+pub enum FramePayload {
+    Request(ServerRequest),
+    Response(ServerResponse),
+}
+
+impl FramePayload {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            FramePayload::Request(request) => {
+                e.put_u8(1);
+            }
+            FramePayload::Response(response) => {
+                e.put_u8(2);
+            }
+        }
+    }
+    pub fn decode(bytes: &[u8]) -> Result<FramePayload> {
+        let payload = match d.get_u8()? {
+            1 => FramePayload::Request(ServerRequest::decode(&d.get_bytes()?)?),
+            2 => FramePayload::Response(ServerResponse::decode(&d.get_bytes()?)?),
+            other => return Err(other),
+        };
+    }
+}

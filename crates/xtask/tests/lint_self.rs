@@ -40,6 +40,21 @@ fn wire_good_fixture_is_clean() {
 }
 
 #[test]
+fn frame_bad_fixture_has_duplicate_envelope_tag() {
+    let diags = wire::run_single(&fixture("frame_bad.rs"), "FramePayload");
+    let rules = rules(&diags);
+    assert!(rules.contains(&"W001"), "expected W001, got {diags:?}");
+    assert!(rules.contains(&"W004"), "expected W004, got {diags:?}");
+    assert_anchored(&diags, "frame_bad.rs");
+}
+
+#[test]
+fn frame_good_fixture_is_clean() {
+    let diags = wire::run_single(&fixture("frame_good.rs"), "FramePayload");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn panic_bad_fixture_trips_every_rule() {
     let diags = panic_free::run(&[fixture("panic_bad.rs")]);
     assert_eq!(rules(&diags), vec!["P001", "P002", "P003", "P004"], "got {diags:?}");

@@ -17,4 +17,7 @@ cargo run -q -p minos-xtask -- lint
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+echo "==> exp_pipeline --smoke"
+cargo bench -p minos-bench --bench exp_pipeline -- --smoke
+
 echo "All checks passed."

@@ -3,10 +3,15 @@
 //! Whatever the user mashes on the menu — in either driving mode, across
 //! relevant-object boundaries — the session must never panic, must keep its
 //! stack depth ≥ 1, and must keep every reported position inside the
-//! browsed medium.
+//! browsed medium. And running several such sessions concurrently through
+//! the [`SessionScheduler`] must be invisible: each session's event
+//! streams match what the same script produces standalone.
 
 use minos::corpus;
-use minos::presentation::{BrowseCommand, BrowsingSession};
+use minos::corpus::objects::archived_form;
+use minos::net::Link;
+use minos::presentation::{BrowseCommand, BrowseEvent, BrowsingSession, SessionScheduler};
+use minos::server::ObjectServer;
 use minos::text::{LogicalLevel, PaginateConfig};
 use minos::types::{ObjectId, PageNumber, SimDuration, SimInstant};
 use minos::voice::PauseKind;
@@ -14,6 +19,17 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 type Store = HashMap<ObjectId, minos::object::MultimediaObject>;
+
+/// The fuzz corpus published to an object server, for scheduler-backed
+/// sessions over the same objects as [`store`].
+fn corpus_server() -> ObjectServer {
+    let mut server = ObjectServer::new();
+    for obj in store().into_values() {
+        let archived = archived_form(&obj);
+        server.publish(obj, &archived).unwrap();
+    }
+    server
+}
 
 fn store() -> Store {
     let mut map = Store::new();
@@ -90,6 +106,48 @@ proptest! {
             }
             // The menu is always derivable.
             prop_assert!(!session.menu().is_empty());
+        }
+    }
+
+    #[test]
+    fn concurrent_sessions_match_their_standalone_baselines(
+        starts in proptest::collection::vec(1u64..=3, 2..5),
+        script in proptest::collection::vec((any::<u8>(), any::<u8>(), 0u64..5_000), 0..24),
+    ) {
+        let config = PaginateConfig::default();
+        let page = SimDuration::from_secs(5);
+
+        // One standalone baseline per session, each with a private store.
+        let mut baselines = Vec::new();
+        let mut sched = SessionScheduler::new(corpus_server(), Link::ethernet());
+        let mut keys = Vec::new();
+        for &start in &starts {
+            let (session, base_open) =
+                BrowsingSession::open(store(), ObjectId::new(start), config, page).unwrap();
+            let (key, open) = sched.open(ObjectId::new(start), config, page).unwrap();
+            prop_assert_eq!(&open, &base_open, "open events diverge for object {}", start);
+            baselines.push(session);
+            keys.push(key);
+        }
+
+        // Each fuzzed command is applied to every session in turn — the
+        // scheduler interleaves their transfers on the shared link — then
+        // both sides dwell for the same fuzzed tick.
+        for (choice, n, ms) in script {
+            let cmd = command(choice, n);
+            for (i, &key) in keys.iter().enumerate() {
+                let expect = baselines[i].apply(cmd.clone()).ok();
+                let got = sched.apply(key, cmd.clone()).ok();
+                prop_assert_eq!(got, expect, "session {i}: {cmd:?} diverged");
+            }
+            let dt = SimDuration::from_millis(ms);
+            let expected_ticks: Vec<Vec<BrowseEvent>> =
+                baselines.iter_mut().map(|s| s.tick(dt)).collect();
+            sched.tick(dt);
+            for (i, &key) in keys.iter().enumerate() {
+                let got = sched.drain_events(key).unwrap();
+                prop_assert_eq!(&got, &expected_ticks[i], "session {i}: tick events diverged");
+            }
         }
     }
 }

@@ -90,6 +90,41 @@ fn sequential_prefetch_wastes_nothing() {
 }
 
 #[test]
+fn batched_adjacent_pages_share_one_response_message() {
+    // Serial: four adjacent page fetches cost a request and a response
+    // message each — eight messages on the wire.
+    let (mut serial, span) = pipeline(0);
+    let spans = page_spans(span, 4);
+    for s in &spans {
+        let response =
+            serial.workstation_mut().request(&ServerRequest::FetchSpan { span: *s }).unwrap();
+        assert!(matches!(response, ServerResponse::Span(_)));
+    }
+    let serial_stats = serial.workstation().connection().link_stats();
+    assert_eq!(serial_stats.messages, 8, "serial: one round trip per page");
+
+    // Batched: the four requests still go up individually, but the server
+    // coalesces the adjacent spans into one device read and the transport
+    // returns them as a single merged response message — five messages,
+    // strictly fewer framing bytes, identical page content.
+    let (mut batched, span) = pipeline(0);
+    let plan: Vec<ServerRequest> =
+        page_spans(span, 4).into_iter().map(|span| ServerRequest::FetchSpan { span }).collect();
+    let responses = batched.workstation_mut().request_batch(plan.clone()).unwrap();
+    for (i, (need, response)) in plan.iter().zip(&responses).enumerate() {
+        assert_page_bytes(i, need, response);
+    }
+    let batched_stats = batched.workstation().connection().link_stats();
+    assert_eq!(batched_stats.messages, 5, "batched: four requests up, one merged response down");
+    assert!(
+        batched_stats.bytes < serial_stats.bytes,
+        "merged framing moves fewer bytes: {} vs {}",
+        batched_stats.bytes,
+        serial_stats.bytes
+    );
+}
+
+#[test]
 fn wrong_plan_is_waste_never_wrong_content() {
     let (mut pipe, span) = pipeline(2);
     let truth = page_spans(span, PAGES);
