@@ -44,9 +44,12 @@ pub use command::{BrowseCommand, BrowseEvent};
 pub use compose::{compose_screen, resolve_figure};
 pub use prefetch::{page_spans, AnticipatingStore, PrefetchBuffer, PrefetchStats, Prefetcher};
 pub use process::{ProcessRunner, ProcessState};
-pub use remote::{Connection, MiniatureBrowser, ServerEndpoint, Ticket, Workstation};
+pub use remote::{
+    Connection, MiniatureBrowser, ServerEndpoint, Ticket, TransportStats, Workstation,
+};
 pub use sched::{
-    simulate_page_workload, HubStore, SessionKey, SessionScheduler, TransportMode, WorkloadReport,
+    simulate_faulty_page_workload, simulate_page_workload, FaultyWorkloadReport, HubStore,
+    SessionKey, SessionScheduler, TransportMode, WorkloadReport,
 };
 pub use session::{BrowsingSession, ObjectStore};
 pub use tour::{TourEvent, TourRunner};

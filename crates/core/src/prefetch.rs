@@ -645,6 +645,42 @@ mod tests {
     }
 
     #[test]
+    fn faulty_link_pipeline_serves_byte_identical_pages() {
+        // The whole anticipation pipeline over a corrupting link: lost
+        // prefetch frames are retransmitted underneath (or dropped as
+        // waste and demand-fetched), and every page the user sees is still
+        // byte-identical — degradation costs time, never content.
+        let (server, span) = blob_server(65_536);
+        let ws = Workstation::with_faults(
+            server,
+            Link::ethernet(),
+            minos_net::FaultPlan::corrupting(77, 0.2),
+        );
+        let mut pipe = PrefetchBuffer::new(ws, 2);
+        let plan: Vec<ServerRequest> =
+            page_spans(span, 8).into_iter().map(|span| ServerRequest::FetchSpan { span }).collect();
+        pipe.prime(&plan).unwrap();
+        for (i, need) in plan.iter().enumerate() {
+            let (response, _) =
+                pipe.step(need, &plan[i + 1..], SimDuration::from_millis(50)).unwrap();
+            let ServerResponse::Span(bytes) = response else {
+                panic!("unexpected response at page {i}");
+            };
+            let ServerRequest::FetchSpan { span } = need else { unreachable!() };
+            let expect: Vec<u8> =
+                (span.start..span.end).map(|b| (b as usize % 251) as u8).collect();
+            assert_eq!(bytes, expect, "page {i} byte-identical over the faulty link");
+        }
+        let stats = pipe.stats();
+        assert_eq!(stats.hits + stats.misses, 8, "no page was skipped or aborted");
+        let transport = pipe.workstation().transport_stats();
+        assert!(
+            transport.corrupt_frames > 0 && transport.retries > 0,
+            "the faults were really exercised: {transport:?}"
+        );
+    }
+
+    #[test]
     fn prime_reports_opening_latency_not_stall() {
         let (mut pipe, span) = pipeline(2, 65_536);
         let plan: Vec<ServerRequest> =

@@ -20,13 +20,15 @@
 //! semantics while anticipatory code gets true overlap.
 
 use minos_image::{Bitmap, View};
-use minos_net::{Frame, FramePayload, InflightWindow, Link, ServerRequest, ServerResponse};
+use minos_net::{
+    FaultPlan, FaultyLink, Frame, FramePayload, InflightWindow, Link, ServerRequest, ServerResponse,
+};
 use minos_object::{ArchivedObject, DataKind, DataPayload};
 use minos_server::ObjectServer;
 use minos_types::{
     ByteSpan, MinosError, ObjectId, Rect, Result, SimClock, SimDuration, SimInstant, Size,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Anything that can answer protocol requests with a device-time charge.
 pub trait ServerEndpoint {
@@ -57,8 +59,44 @@ struct Landed {
     ready_at: SimInstant,
 }
 
+/// Retransmission state for a request whose response has not yet landed
+/// (kept only on faulty links; a clean link never loses a frame).
+struct Outstanding {
+    request: ServerRequest,
+    deadline: SimInstant,
+    attempt: u32,
+}
+
+/// Recovery accounting: what the connection had to do to survive its link.
+/// Cleared by [`Connection::reset_accounting`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Deadlines that expired before the response landed.
+    pub timeouts: u64,
+    /// Request frames retransmitted after a timeout.
+    pub retries: u64,
+    /// Received frames that failed to decode (checksum mismatch or
+    /// truncation) and were discarded.
+    pub corrupt_frames: u64,
+    /// Responses discarded because their `request_id` had already landed
+    /// or been collected.
+    pub duplicates: u64,
+}
+
 /// Default pipelining budget: requests that may be in flight at once.
 const DEFAULT_WINDOW: usize = 32;
+
+/// Default per-request deadline. The sim serves every surviving frame by
+/// the time a caller waits on it, so a deadline only ever fires on genuine
+/// loss — it can be short without risking spurious retransmits.
+const DEFAULT_TIMEOUT: SimDuration = SimDuration::from_millis(500);
+
+/// Default retransmission budget before a request expires with an inline
+/// error.
+const DEFAULT_MAX_RETRIES: u32 = 4;
+
+/// Ceiling on the exponential backoff between retransmits.
+const BACKOFF_CAP: SimDuration = SimDuration::from_secs(4);
 
 /// A pipelined connection to a server endpoint over a link.
 ///
@@ -73,13 +111,18 @@ const DEFAULT_WINDOW: usize = 32;
 /// response's arrival — that difference is where pipelining wins.
 pub struct Connection<E: ServerEndpoint> {
     endpoint: E,
-    link: Link,
+    link: FaultyLink,
     clock: SimClock,
     conn_id: u64,
     next_request_id: u64,
     window: InflightWindow,
     pending: VecDeque<PendingFrame>,
     landed: HashMap<u64, Landed>,
+    outstanding: HashMap<u64, Outstanding>,
+    collected: HashSet<u64>,
+    transport: TransportStats,
+    timeout: SimDuration,
+    max_retries: u32,
     up_free: SimInstant,
     dev_free: SimInstant,
     down_free: SimInstant,
@@ -96,20 +139,43 @@ impl<E: ServerEndpoint> Connection<E> {
     /// Opens a connection with an explicit in-flight window capacity
     /// (capacity 1 degenerates to the old blocking discipline).
     pub fn with_window(endpoint: E, link: Link, window: usize) -> Self {
+        Connection::with_faults(endpoint, link, window, FaultPlan::none())
+    }
+
+    /// Opens a connection whose link misbehaves according to `plan`. With
+    /// a clean plan this is byte-for-byte identical to [`Connection::new`];
+    /// otherwise every frame crosses the fault layer and the recovery
+    /// machinery (deadlines, retransmission, duplicate suppression)
+    /// engages.
+    pub fn with_faults(endpoint: E, link: Link, window: usize, plan: FaultPlan) -> Self {
         Connection {
             endpoint,
-            link,
+            link: FaultyLink::new(link, plan),
             clock: SimClock::new(),
             conn_id: 1,
             next_request_id: 1,
             window: InflightWindow::new(window),
             pending: VecDeque::new(),
             landed: HashMap::new(),
+            outstanding: HashMap::new(),
+            collected: HashSet::new(),
+            transport: TransportStats::default(),
+            timeout: DEFAULT_TIMEOUT,
+            max_retries: DEFAULT_MAX_RETRIES,
             up_free: SimInstant::EPOCH,
             dev_free: SimInstant::EPOCH,
             down_free: SimInstant::EPOCH,
             round_trips: 0,
         }
+    }
+
+    /// Overrides the recovery policy: per-request deadline and how many
+    /// retransmits are attempted before a request expires with an inline
+    /// [`ServerResponse::Error`].
+    pub fn with_recovery(mut self, timeout: SimDuration, max_retries: u32) -> Self {
+        self.timeout = timeout.max(SimDuration::from_micros(1));
+        self.max_retries = max_retries;
+        self
     }
 
     /// Total simulated time spent so far.
@@ -125,6 +191,17 @@ impl<E: ServerEndpoint> Connection<E> {
     /// Link transfer statistics (messages, bytes, busy time).
     pub fn link_stats(&self) -> minos_net::LinkStats {
         self.link.stats()
+    }
+
+    /// What the fault layer did to this connection's frames.
+    pub fn fault_stats(&self) -> minos_net::FaultStats {
+        self.link.fault_stats()
+    }
+
+    /// What the recovery machinery had to do: timeouts, retries, corrupt
+    /// frames discarded, duplicates suppressed.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport
     }
 
     /// Round trips so far: times the connection went from idle (nothing in
@@ -159,7 +236,7 @@ impl<E: ServerEndpoint> Connection<E> {
     /// the resource timelines, and any uncollected frames. A ticket from
     /// before the reset is gone — waiting on it is a protocol error.
     pub fn reset_accounting(&mut self) {
-        self.link.reset_stats();
+        self.link.reset();
         self.clock = SimClock::new();
         self.round_trips = 0;
         self.up_free = SimInstant::EPOCH;
@@ -167,23 +244,40 @@ impl<E: ServerEndpoint> Connection<E> {
         self.down_free = SimInstant::EPOCH;
         self.pending.clear();
         self.landed.clear();
+        self.outstanding.clear();
+        self.collected.clear();
+        self.transport = TransportStats::default();
         self.window = InflightWindow::new(self.window.capacity());
     }
 
     /// Submits one request, charging its uplink transfer, and returns a
     /// ticket for collecting the response later. If the in-flight window
     /// is exhausted the call first waits out the oldest response (the
-    /// pipelined analogue of blocking).
+    /// pipelined analogue of blocking); on a faulty link a slot whose
+    /// response was lost is forced through the timeout machinery instead
+    /// of being overrun.
     pub fn submit(&mut self, request: ServerRequest) -> Ticket {
         self.settle();
         while self.window.is_full() {
             self.dispatch();
-            let now = self.clock.now();
-            let Some(next) = self.landed.values().map(|l| l.ready_at).filter(|&t| t > now).min()
-            else {
+            self.settle();
+            if !self.window.is_full() {
                 break;
-            };
-            self.clock.advance_to_at_least(next);
+            }
+            let now = self.clock.now();
+            if let Some(next) = self.landed.values().map(|l| l.ready_at).filter(|&t| t > now).min()
+            {
+                self.clock.advance_to_at_least(next);
+                self.settle();
+                continue;
+            }
+            // Window full with nothing landed and nothing arriving: every
+            // open slot's response was lost on the wire. Force the oldest
+            // slot through a timeout round (retransmit or expire) rather
+            // than opening another slot anyway — the old code broke out
+            // here and silently overran the flow-control bound.
+            let Some(oldest) = self.window.oldest() else { break };
+            self.force_progress(oldest);
             self.settle();
         }
         if self.window.is_empty() {
@@ -191,39 +285,143 @@ impl<E: ServerEndpoint> Connection<E> {
         }
         let request_id = self.next_request_id;
         self.next_request_id += 1;
-        let frame = Frame::request(self.conn_id, request_id, request);
-        let up = self.link.transfer(frame.wire_size());
+        if self.link.is_clean() {
+            // Fast path: the typed frame is handed to the server directly;
+            // its wire size is computed arithmetically, so nothing is
+            // copied or encoded on the hot path.
+            let frame = Frame::request(self.conn_id, request_id, request);
+            let up = self.link.charge(frame.wire_size());
+            let arrival = self.clock.now().max(self.up_free) + up;
+            self.up_free = arrival;
+            self.pending.push_back(PendingFrame { frame, arrival });
+        } else {
+            let deadline = self.clock.now() + self.timeout;
+            self.outstanding.insert(request_id, Outstanding { request, deadline, attempt: 0 });
+            self.transmit_request(request_id);
+        }
+        self.window.open(request_id);
+        Ticket(request_id)
+    }
+
+    /// Encodes and transmits the outstanding request `request_id` through
+    /// the fault layer; whatever survives decoding joins the pending queue.
+    fn transmit_request(&mut self, request_id: u64) {
+        let Some(out) = self.outstanding.get(&request_id) else {
+            return;
+        };
+        let frame = Frame::request(self.conn_id, request_id, out.request.clone());
+        let bytes = frame.encode();
+        let (up, deliveries) = self.link.transmit(&bytes);
         let arrival = self.clock.now().max(self.up_free) + up;
         self.up_free = arrival;
-        self.window.open(request_id);
-        self.pending.push_back(PendingFrame { frame, arrival });
-        Ticket(request_id)
+        for delivery in deliveries {
+            match Frame::decode(&delivery.bytes) {
+                Ok(delivered) if delivered.as_request().is_some() => {
+                    self.pending.push_back(PendingFrame {
+                        frame: delivered,
+                        arrival: arrival + delivery.delay,
+                    });
+                }
+                Ok(_) => {}
+                Err(_) => self.transport.corrupt_frames += 1,
+            }
+        }
     }
 
     /// Collects the response for `ticket`, advancing the clock to its
     /// arrival and returning how long the caller actually waited (zero if
     /// the response had already landed — that time was won by overlap).
-    /// Server-side errors come back inline as [`ServerResponse::Error`].
+    /// On a faulty link a lost response is retransmitted after its
+    /// deadline, with capped exponential backoff; a request that exhausts
+    /// its retries comes back as an inline [`ServerResponse::Error`], as do
+    /// server-side errors.
     pub fn wait(&mut self, ticket: Ticket) -> Result<(ServerResponse, SimDuration)> {
-        self.dispatch();
-        let Some(landed) = self.landed.remove(&ticket.0) else {
-            return Err(MinosError::Protocol(format!("unknown or already-collected {ticket:?}")));
-        };
-        let waited = landed.ready_at.saturating_since(self.clock.now());
-        self.clock.advance_to_at_least(landed.ready_at);
-        self.window.close(ticket.0);
-        Ok((landed.response, waited))
+        let started = self.clock.now();
+        loop {
+            self.dispatch();
+            if let Some(landed) = self.landed.remove(&ticket.0) {
+                self.clock.advance_to_at_least(landed.ready_at);
+                let waited = self.clock.now().saturating_since(started);
+                self.window.close(ticket.0);
+                self.outstanding.remove(&ticket.0);
+                if !self.link.is_clean() {
+                    self.collected.insert(ticket.0);
+                }
+                return Ok((landed.response, waited));
+            }
+            if !self.outstanding.contains_key(&ticket.0) {
+                return Err(MinosError::Protocol(format!(
+                    "unknown or already-collected {ticket:?}"
+                )));
+            }
+            self.force_progress(ticket.0);
+        }
     }
 
     /// Collects the response for `ticket` only if it has already arrived;
-    /// never advances the clock.
+    /// never advances the clock (and therefore never times anything out).
     pub fn poll(&mut self, ticket: Ticket) -> Option<ServerResponse> {
         self.dispatch();
         if self.landed.get(&ticket.0)?.ready_at > self.clock.now() {
             return None;
         }
         self.window.close(ticket.0);
+        self.outstanding.remove(&ticket.0);
+        if !self.link.is_clean() {
+            self.collected.insert(ticket.0);
+        }
         self.landed.remove(&ticket.0).map(|l| l.response)
+    }
+
+    /// Forces progress on a slot whose response has not landed: waits out
+    /// its deadline, then either retransmits (doubling the deadline, up to
+    /// [`BACKOFF_CAP`]) or — retries exhausted — expires the request with
+    /// an inline [`ServerResponse::Error`] so the slot can settle and the
+    /// pipeline keeps moving. A slot with no retransmission state (clean
+    /// links keep none) lands an inline error immediately: better a typed
+    /// failure than an overrun window or a hang.
+    fn force_progress(&mut self, request_id: u64) {
+        let Some((deadline, attempt)) =
+            self.outstanding.get(&request_id).map(|o| (o.deadline, o.attempt))
+        else {
+            self.landed.insert(
+                request_id,
+                Landed {
+                    response: ServerResponse::Error(format!(
+                        "request {request_id} lost with no retransmission state"
+                    )),
+                    ready_at: self.clock.now(),
+                },
+            );
+            return;
+        };
+        self.transport.timeouts += 1;
+        self.clock.advance_to_at_least(deadline);
+        if attempt >= self.max_retries {
+            self.outstanding.remove(&request_id);
+            self.landed.insert(
+                request_id,
+                Landed {
+                    response: ServerResponse::Error(format!(
+                        "request {request_id} timed out after {} attempts",
+                        attempt + 1
+                    )),
+                    ready_at: self.clock.now(),
+                },
+            );
+            return;
+        }
+        self.transport.retries += 1;
+        let shift = (attempt + 1).min(16);
+        let backoff =
+            SimDuration::from_micros(self.timeout.as_micros().saturating_mul(1u64 << shift))
+                .min(BACKOFF_CAP);
+        let next_deadline = self.clock.now() + backoff;
+        if let Some(out) = self.outstanding.get_mut(&request_id) {
+            out.attempt = attempt + 1;
+            out.deadline = next_deadline;
+        }
+        self.transmit_request(request_id);
     }
 
     /// Retires window slots whose responses have already arrived.
@@ -254,10 +452,13 @@ impl<E: ServerEndpoint> Connection<E> {
     }
 
     /// Moves every pending frame through the server device and the
-    /// downlink, landing timestamped responses.
+    /// downlink, landing timestamped responses. Coalescing applies only on
+    /// clean links: a mangled merged frame would lose the whole run to one
+    /// bit flip, so faulty links keep per-request frames (integrity and
+    /// retransmission are per frame).
     fn dispatch(&mut self) {
         while !self.pending.is_empty() {
-            let run_len = self.leading_span_run();
+            let run_len = if self.link.is_clean() { self.leading_span_run() } else { 1 };
             if run_len > 1 {
                 let run: Vec<PendingFrame> = self.pending.drain(..run_len).collect();
                 self.dispatch_coalesced(&run);
@@ -299,7 +500,7 @@ impl<E: ServerEndpoint> Connection<E> {
                     tail.frame.request_id,
                     ServerResponse::Span(bytes),
                 );
-                let down = self.link.transfer(probe.wire_size());
+                let down = self.link.charge(probe.wire_size());
                 let delivered = done.max(self.down_free) + down;
                 self.down_free = delivered;
                 let bytes = match probe.payload {
@@ -333,13 +534,41 @@ impl<E: ServerEndpoint> Connection<E> {
     }
 
     /// Charges the downlink for one response frame and lands it at its
-    /// delivery instant.
+    /// delivery instant. On a faulty link the encoded frame crosses the
+    /// fault layer: corrupt copies are counted and discarded (the deadline
+    /// machinery will retransmit), duplicates are suppressed by
+    /// `request_id`.
     fn deliver(&mut self, request_id: u64, response: ServerResponse, done: SimInstant) {
-        let frame = Frame::response(self.conn_id, request_id, response.clone());
-        let down = self.link.transfer(frame.wire_size());
+        if self.link.is_clean() {
+            let frame = Frame::response(self.conn_id, request_id, response.clone());
+            let down = self.link.charge(frame.wire_size());
+            let delivered = done.max(self.down_free) + down;
+            self.down_free = delivered;
+            self.landed.insert(request_id, Landed { response, ready_at: delivered });
+            return;
+        }
+        let frame = Frame::response(self.conn_id, request_id, response);
+        let bytes = frame.encode();
+        let (down, deliveries) = self.link.transmit(&bytes);
         let delivered = done.max(self.down_free) + down;
         self.down_free = delivered;
-        self.landed.insert(request_id, Landed { response, ready_at: delivered });
+        for delivery in deliveries {
+            match Frame::decode(&delivery.bytes) {
+                Ok(received) => {
+                    let rid = received.request_id;
+                    let FramePayload::Response(response) = received.payload else {
+                        continue;
+                    };
+                    if self.collected.contains(&rid) || self.landed.contains_key(&rid) {
+                        self.transport.duplicates += 1;
+                        continue;
+                    }
+                    self.landed
+                        .insert(rid, Landed { response, ready_at: delivered + delivery.delay });
+                }
+                Err(_) => self.transport.corrupt_frames += 1,
+            }
+        }
     }
 }
 
@@ -354,6 +583,19 @@ impl<E: ServerEndpoint> Workstation<E> {
     /// Connects a workstation to `endpoint` over `link`.
     pub fn new(endpoint: E, link: Link) -> Self {
         Workstation { conn: Connection::new(endpoint, link) }
+    }
+
+    /// Connects a workstation whose link misbehaves according to `plan`;
+    /// the connection's recovery machinery keeps the blocking entry points
+    /// working (lost frames retransmit transparently, exhausted requests
+    /// surface as protocol errors).
+    pub fn with_faults(endpoint: E, link: Link, plan: FaultPlan) -> Self {
+        Workstation { conn: Connection::with_faults(endpoint, link, DEFAULT_WINDOW, plan) }
+    }
+
+    /// Recovery accounting (timeouts, retries, corrupt frames, duplicates).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.conn.transport_stats()
     }
 
     /// Total simulated time spent so far.
@@ -768,6 +1010,147 @@ mod tests {
         ws.query(&["shadow"]).unwrap();
         assert_eq!(ws.connection().link_stats().messages, 2);
         assert_eq!(ws.round_trips(), 1);
+    }
+
+    #[test]
+    fn corrupted_frames_are_retransmitted_to_completion() {
+        let (faulty_server, base) = server();
+        let mut ws = Workstation::with_faults(
+            faulty_server,
+            Link::ethernet(),
+            minos_net::FaultPlan::corrupting(1234, 0.2),
+        );
+        let (clean_server, _) = server();
+        let mut clean = Workstation::new(clean_server, Link::ethernet());
+        // Twenty round trips at a 20% per-frame corruption rate: losses are
+        // certain, yet every response must come back byte-identical to the
+        // clean link's.
+        for i in 0..20u64 {
+            let id = ObjectId::new(1 + (i % 2));
+            let faulty_obj = ws.fetch_object(id, base).unwrap();
+            let clean_obj = clean.fetch_object(id, base).unwrap();
+            assert_eq!(faulty_obj.descriptor, clean_obj.descriptor, "round trip {i}");
+        }
+        let stats = ws.transport_stats();
+        assert!(stats.corrupt_frames > 0, "the plan did corrupt frames: {stats:?}");
+        assert!(stats.retries > 0, "losses were recovered by retransmission: {stats:?}");
+        assert_eq!(ws.connection().in_flight(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_inline_errors() {
+        let (server, _) = server();
+        let link = Link::ethernet();
+        let mut conn = Connection::with_faults(
+            server,
+            link,
+            DEFAULT_WINDOW,
+            minos_net::FaultPlan::dropping(7, 1.0),
+        )
+        .with_recovery(SimDuration::from_millis(100), 2);
+        let ticket = conn.submit(ServerRequest::FetchMiniature { id: ObjectId::new(1) });
+        let (response, waited) = conn.wait(ticket).unwrap();
+        assert!(matches!(response, ServerResponse::Error(_)), "got {response:?}");
+        assert!(waited > SimDuration::ZERO, "deadlines were actually waited out");
+        let stats = conn.transport_stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.timeouts, 3, "initial deadline plus one per retry");
+        assert_eq!(conn.in_flight(), 0, "the expired slot settled");
+    }
+
+    #[test]
+    fn duplicate_responses_are_suppressed() {
+        let (server, _) = server();
+        let plan = minos_net::FaultPlan { seed: 3, duplicate: 1.0, ..minos_net::FaultPlan::none() };
+        let mut conn = Connection::with_faults(server, Link::ethernet(), DEFAULT_WINDOW, plan);
+        for i in 0..4u64 {
+            let ticket =
+                conn.submit(ServerRequest::FetchMiniature { id: ObjectId::new(1 + (i % 2)) });
+            let (response, _) = conn.wait(ticket).unwrap();
+            assert!(matches!(response, ServerResponse::Miniature(_)), "got {response:?}");
+        }
+        // Every frame is duplicated in both directions; each duplicate
+        // request yields an extra response whose id has already landed or
+        // been collected.
+        assert!(conn.transport_stats().duplicates >= 4, "{:?}", conn.transport_stats());
+        assert_eq!(conn.in_flight(), 0);
+    }
+
+    #[test]
+    fn full_window_with_lost_responses_is_never_overrun() {
+        // Regression for the window-full loop: with every response lost,
+        // the old code broke out of the wait loop and opened another slot
+        // anyway, overrunning the flow-control bound. The fix forces the
+        // oldest slot through the timeout machinery instead.
+        let (server, _) = server();
+        let mut conn = Connection::with_faults(
+            server,
+            Link::ethernet(),
+            1,
+            minos_net::FaultPlan::dropping(9, 1.0),
+        )
+        .with_recovery(SimDuration::from_millis(50), 1);
+        let t1 = conn.submit(ServerRequest::FetchMiniature { id: ObjectId::new(1) });
+        assert_eq!(conn.in_flight(), 1);
+        // The second submit must first settle the first slot (here: by
+        // expiring it after its retry budget), never exceed capacity 1.
+        let t2 = conn.submit(ServerRequest::FetchMiniature { id: ObjectId::new(2) });
+        assert!(conn.in_flight() <= 1, "window overrun: {} in flight", conn.in_flight());
+        let (r1, _) = conn.wait(t1).unwrap();
+        assert!(matches!(r1, ServerResponse::Error(_)), "first slot expired: {r1:?}");
+        let (r2, _) = conn.wait(t2).unwrap();
+        assert!(matches!(r2, ServerResponse::Error(_)));
+        assert_eq!(conn.in_flight(), 0);
+    }
+
+    #[test]
+    fn transport_stats_fully_cleared_by_reset() {
+        // Regression: every TransportStats counter and the fault-layer
+        // accounting must go back to zero, or the next experiment
+        // configuration inherits phantom recovery work.
+        let (server, _) = server();
+        let mut conn = Connection::with_faults(
+            server,
+            Link::ethernet(),
+            DEFAULT_WINDOW,
+            minos_net::FaultPlan::chaos(11, 0.4),
+        )
+        .with_recovery(SimDuration::from_millis(50), 3);
+        for i in 0..12u64 {
+            let ticket =
+                conn.submit(ServerRequest::FetchMiniature { id: ObjectId::new(1 + (i % 2)) });
+            let _ = conn.wait(ticket);
+        }
+        let stats = conn.transport_stats();
+        assert!(
+            stats.timeouts > 0 || stats.corrupt_frames > 0 || stats.duplicates > 0,
+            "the chaos plan produced recovery work: {stats:?}"
+        );
+        conn.reset_accounting();
+        assert_eq!(conn.transport_stats(), TransportStats::default());
+        assert_eq!(conn.fault_stats(), minos_net::FaultStats::default());
+        assert_eq!(conn.link_stats(), minos_net::LinkStats::default());
+        assert_eq!(conn.in_flight(), 0);
+        assert_eq!(conn.elapsed(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn clean_plan_is_byte_identical_to_a_bare_link() {
+        let (bare_server, _) = server();
+        let mut bare = Workstation::new(bare_server, Link::ethernet());
+        let (planned_server, _) = server();
+        let mut clean_plan = Workstation::with_faults(
+            planned_server,
+            Link::ethernet(),
+            minos_net::FaultPlan::none(),
+        );
+        for ws in [&mut bare, &mut clean_plan] {
+            ws.query(&["shadow"]).unwrap();
+            ws.fetch_miniature(ObjectId::new(2)).unwrap();
+        }
+        assert_eq!(bare.connection().link_stats(), clean_plan.connection().link_stats());
+        assert_eq!(bare.elapsed(), clean_plan.elapsed());
+        assert_eq!(clean_plan.transport_stats(), TransportStats::default());
     }
 
     #[test]

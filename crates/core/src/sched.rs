@@ -15,11 +15,24 @@
 //! [`simulate_page_workload`] is the module's measuring stick (experiment
 //! E12): the same page-sequential workload run once over the old blocking
 //! discipline and once pipelined, at varying session counts.
+//!
+//! [`simulate_faulty_page_workload`] is its fault-tolerant sibling
+//! (experiment E13): one reader over a link that drops, corrupts, and
+//! duplicates frames, measuring the goodput the recovery machinery
+//! (deadlines, retransmission, duplicate suppression) preserves. Inside the
+//! scheduler, [`SessionScheduler::inject_faults`] scopes a [`FaultPlan`] to
+//! one session's connection: its lost prefetches degrade to demand fetches
+//! with a bounded retry budget, while every other session's event stream
+//! stays untouched.
 
 use crate::command::{BrowseCommand, BrowseEvent};
 use crate::prefetch::page_spans;
+use crate::remote::{Connection, Ticket, TransportStats};
 use crate::session::{BrowsingSession, ObjectStore};
-use minos_net::{Frame, FramePayload, Link, LinkStats, ServerRequest, ServerResponse};
+use minos_net::{
+    FaultPlan, FaultRng, FaultStats, Frame, FramePayload, Link, LinkStats, ServerRequest,
+    ServerResponse,
+};
 use minos_object::MultimediaObject;
 use minos_server::{ObjectServer, ServiceStats};
 use minos_text::PaginateConfig;
@@ -27,6 +40,14 @@ use minos_types::{ByteSpan, MinosError, ObjectId, Result, SimClock, SimDuration,
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+
+/// Fault state for one connection whose frames misbehave on the shared
+/// link: the plan, its deterministic stream, and what it did so far.
+struct ConnFaults {
+    plan: FaultPlan,
+    rng: FaultRng,
+    stats: FaultStats,
+}
 
 /// The shared server side of a scheduled workstation group: one server,
 /// one link, one clock, and the three serially-reusable resources
@@ -42,6 +63,8 @@ struct Hub {
     arrivals: HashMap<(u64, u64), SimInstant>,
     /// Served responses per connection, each with its delivery instant.
     landed: HashMap<u64, Vec<(u64, ServerResponse, SimInstant)>>,
+    /// Per-connection fault injection; connections not listed are clean.
+    faults: HashMap<u64, ConnFaults>,
     next_request_id: u64,
     next_conn: u64,
 }
@@ -57,13 +80,27 @@ impl Hub {
             down_free: SimInstant::EPOCH,
             arrivals: HashMap::new(),
             landed: HashMap::new(),
+            faults: HashMap::new(),
             next_request_id: 1,
             next_conn: 1,
         }
     }
 
+    /// Attaches a fault plan to `conn`'s frames (a clean plan detaches).
+    fn set_fault_plan(&mut self, conn: u64, plan: FaultPlan) {
+        if plan.is_clean() {
+            self.faults.remove(&conn);
+        } else {
+            let rng = FaultRng::new(plan.seed);
+            self.faults.insert(conn, ConnFaults { plan, rng, stats: FaultStats::default() });
+        }
+    }
+
     /// Puts one request frame on the shared uplink and queues it at the
-    /// server, returning its request id.
+    /// server, returning its request id. On a faulty connection the frame's
+    /// bytes cross the fault layer first: wire time is charged for the
+    /// original transmission, but only copies that still decode reach the
+    /// server's queue — a lost request simply never produces a response.
     fn send(&mut self, conn: u64, request: ServerRequest) -> Result<u64> {
         let rid = self.next_request_id;
         self.next_request_id += 1;
@@ -72,7 +109,18 @@ impl Hub {
         let arrival = self.clock.now().max(self.up_free) + up;
         self.up_free = arrival;
         self.arrivals.insert((conn, rid), arrival);
-        self.server.enqueue(frame)?;
+        if let Some(f) = self.faults.get_mut(&conn) {
+            let bytes = frame.encode();
+            for delivery in f.plan.apply(&mut f.rng, &bytes, &mut f.stats) {
+                if let Ok(delivered) = Frame::decode(&delivery.bytes) {
+                    if delivered.as_request().is_some() {
+                        self.server.enqueue(delivered)?;
+                    }
+                }
+            }
+        } else {
+            self.server.enqueue(frame)?;
+        }
         Ok(rid)
     }
 
@@ -91,7 +139,10 @@ impl Hub {
     }
 
     /// Charges device and downlink time for one served response frame and
-    /// lands it for its connection.
+    /// lands it for its connection. A faulty connection's response crosses
+    /// its fault layer on the way down: corrupt copies are discarded,
+    /// duplicates land twice (the store's pending map suppresses the second
+    /// copy), and losses leave the requester to retry.
     fn deliver(&mut self, frame: Frame, charge: SimDuration) {
         let key = (frame.conn_id, frame.request_id);
         let arrival = self.arrivals.remove(&key).unwrap_or(self.up_free);
@@ -100,6 +151,24 @@ impl Hub {
         let down = self.link.transfer(frame.wire_size());
         let delivered = done.max(self.down_free) + down;
         self.down_free = delivered;
+        if let Some(f) = self.faults.get_mut(&frame.conn_id) {
+            let conn = frame.conn_id;
+            let bytes = frame.encode();
+            for delivery in f.plan.apply(&mut f.rng, &bytes, &mut f.stats) {
+                let Ok(received) = Frame::decode(&delivery.bytes) else {
+                    continue;
+                };
+                let FramePayload::Response(response) = received.payload else {
+                    continue;
+                };
+                self.landed.entry(conn).or_default().push((
+                    received.request_id,
+                    response,
+                    delivered + delivery.delay,
+                ));
+            }
+            return;
+        }
         let FramePayload::Response(response) = frame.payload else {
             return;
         };
@@ -162,10 +231,24 @@ impl HubStore {
     }
 }
 
+/// Demand-fetch attempts before a [`HubStore`] gives up on an object: the
+/// initial submission plus retransmissions of requests whose frames (or
+/// response frames) were lost on a faulty connection.
+const FETCH_ATTEMPTS: usize = 4;
+
 impl ObjectStore for HubStore {
     fn fetch(&mut self, id: ObjectId) -> Result<MultimediaObject> {
         self.collect();
-        if !self.cache.contains_key(&id) {
+        let mut attempts = 0;
+        while !self.cache.contains_key(&id) && attempts < FETCH_ATTEMPTS {
+            if attempts > 0 {
+                // The previous attempt's frames are lost on the wire. Its
+                // pending entries are stale — left in place they would
+                // suppress resubmission forever (a prefetch whose response
+                // was dropped has the same signature), so drop them before
+                // submitting afresh.
+                self.pending.retain(|_, p| *p != id);
+            }
             // Demand fetch: submit (unless a prefetch is already in
             // flight) and serve this connection's queue now.
             if !self.pending.values().any(|&p| p == id) {
@@ -175,6 +258,7 @@ impl ObjectStore for HubStore {
             }
             self.hub.borrow_mut().pump(&[self.conn_id]);
             self.collect();
+            attempts += 1;
         }
         let Some((object, available)) = self.cache.remove(&id) else {
             return Err(MinosError::UnknownObject(id.to_string()));
@@ -334,6 +418,31 @@ impl SessionScheduler {
         self.hub.borrow().link.stats()
     }
 
+    /// Makes `key`'s connection misbehave according to `plan` from now on
+    /// (a clean plan heals the connection). Every other session's frames
+    /// stay untouched: faults are scoped to one connection's traffic, never
+    /// to the shared link itself.
+    pub fn inject_faults(&mut self, key: SessionKey, plan: FaultPlan) -> Result<()> {
+        let conn_id = self
+            .slots
+            .get(key.0)
+            .map(|s| s.conn_id)
+            .ok_or_else(|| MinosError::Internal(format!("no session slot {}", key.0)))?;
+        self.hub.borrow_mut().set_fault_plan(conn_id, plan);
+        Ok(())
+    }
+
+    /// What the fault layer did to `key`'s connection so far (zeros for a
+    /// connection that was never injected).
+    pub fn fault_stats(&self, key: SessionKey) -> Result<FaultStats> {
+        let conn_id = self
+            .slots
+            .get(key.0)
+            .map(|s| s.conn_id)
+            .ok_or_else(|| MinosError::Internal(format!("no session slot {}", key.0)))?;
+        Ok(self.hub.borrow().faults.get(&conn_id).map(|f| f.stats).unwrap_or_default())
+    }
+
     /// The shared server's service-loop accounting.
     pub fn service_stats(&self) -> ServiceStats {
         self.hub.borrow().server.service_stats().clone()
@@ -380,6 +489,98 @@ impl WorkloadReport {
         }
         self.pages as f64 * 1_000_000.0 / micros as f64
     }
+}
+
+/// What one [`simulate_faulty_page_workload`] run measured — the E13
+/// goodput report: pages that arrived byte-identical, pages lost to
+/// exhausted retries, and what the recovery machinery did to get there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultyWorkloadReport {
+    /// Wall-clock time until the last response (or expiry) was collected.
+    pub elapsed: SimDuration,
+    /// Pages delivered byte-identical to the stored pattern.
+    pub pages: u64,
+    /// Pages whose request exhausted its retry budget.
+    pub failed: u64,
+    /// Bytes moved over the link, retransmissions included.
+    pub bytes: u64,
+    /// What the recovery machinery had to do.
+    pub transport: TransportStats,
+    /// What the fault layer actually did to the frames.
+    pub faults: FaultStats,
+}
+
+impl FaultyWorkloadReport {
+    /// Goodput in verified pages per simulated second.
+    pub fn pages_per_sec(&self) -> f64 {
+        let micros = self.elapsed.as_micros();
+        if micros == 0 {
+            return 0.0;
+        }
+        self.pages as f64 * 1_000_000.0 / micros as f64
+    }
+}
+
+/// Runs the E13 workload: one page reader fetching `pages` pages of
+/// `page_len` bytes through a [`Connection`] whose link misbehaves
+/// according to `plan`, with `window` requests in flight (window 1 is the
+/// old blocking discipline). Every delivered page is verified
+/// byte-for-byte against the stored pattern — a page is either perfect or
+/// counted failed, never partial.
+///
+/// Pages are submitted in a strided order (even indices, then odd), so no
+/// two adjacent spans ever sit next to each other in the pipeline: the
+/// clean baseline cannot coalesce runs that a faulty link must serve
+/// frame-by-frame, and the comparison therefore measures recovery cost
+/// alone.
+pub fn simulate_faulty_page_workload(
+    pages: usize,
+    page_len: u64,
+    window: usize,
+    plan: FaultPlan,
+) -> Result<FaultyWorkloadReport> {
+    if pages == 0 || page_len == 0 {
+        return Err(MinosError::Internal("workload needs pages and bytes".into()));
+    }
+    let mut server = ObjectServer::new();
+    let data: Vec<u8> = (0..pages as u64 * page_len).map(|i| (i % 251) as u8).collect();
+    let (record, _) = server.archiver_mut().store(ObjectId::new(1), &data)?;
+    let base = record.span.start;
+    let spans = page_spans(record.span, pages);
+    let order: Vec<usize> = (0..pages).step_by(2).chain((1..pages).step_by(2)).collect();
+    let mut conn = Connection::with_faults(server, Link::ethernet(), window.max(1), plan);
+    let mut tickets: Vec<(Ticket, usize)> = Vec::with_capacity(pages);
+    for &page in &order {
+        tickets.push((conn.submit(ServerRequest::FetchSpan { span: spans[page] }), page));
+    }
+    let mut delivered = 0u64;
+    let mut failed = 0u64;
+    for (ticket, page) in tickets {
+        let span = spans[page];
+        let (response, _) = conn.wait(ticket)?;
+        match response {
+            ServerResponse::Span(bytes) => {
+                let expect: Vec<u8> =
+                    (span.start - base..span.end - base).map(|i| (i % 251) as u8).collect();
+                if bytes != expect {
+                    return Err(MinosError::Internal(format!("wrong bytes for {span}")));
+                }
+                delivered += 1;
+            }
+            ServerResponse::Error(_) => failed += 1,
+            other => {
+                return Err(MinosError::Internal(format!("unexpected response {other:?}")));
+            }
+        }
+    }
+    Ok(FaultyWorkloadReport {
+        elapsed: conn.elapsed(),
+        pages: delivered,
+        failed,
+        bytes: conn.bytes_transferred(),
+        transport: conn.transport_stats(),
+        faults: conn.fault_stats(),
+    })
 }
 
 /// Runs the E12 workload: `sessions` concurrent page-sequential readers,
@@ -637,6 +838,85 @@ mod tests {
         let waited_after = sched.session(key).unwrap().store().waited();
         assert_eq!(sched.session(key).unwrap().object().id, ObjectId::new(4));
         assert_eq!(waited_after, waited_before, "the overlay had already landed");
+    }
+
+    #[test]
+    fn faulty_connection_leaves_other_sessions_untouched() {
+        let config = PaginateConfig::default();
+        let page = SimDuration::from_secs(5);
+        let run = |plan: Option<FaultPlan>| {
+            let mut sched = SessionScheduler::new(corpus_server(), Link::ethernet());
+            let (report_key, _) = sched.open(ObjectId::new(1), config, page).unwrap();
+            let (audio_key, _) = sched.open(ObjectId::new(2), config, page).unwrap();
+            // The faulty session opens last: its overlay prefetches are
+            // still queued at the server when the plan attaches, so their
+            // response frames really cross the fault layer.
+            let (map_key, _) = sched.open(ObjectId::new(3), config, page).unwrap();
+            if let Some(plan) = plan {
+                sched.inject_faults(map_key, plan).unwrap();
+            }
+            sched.apply(report_key, BrowseCommand::NextPage).unwrap();
+            sched.tick(SimDuration::from_secs(2));
+            sched.apply(map_key, BrowseCommand::SelectRelevant(0)).unwrap();
+            sched.tick(SimDuration::from_secs(2));
+            let map_obj = sched.session(map_key).unwrap().object().id;
+            let faults = sched.fault_stats(map_key).unwrap();
+            let report_events = sched.drain_events(report_key).unwrap();
+            let audio_events = sched.drain_events(audio_key).unwrap();
+            (map_obj, faults, report_events, audio_events)
+        };
+        let (clean_obj, _, clean_report, clean_audio) = run(None);
+        let (faulty_obj, faults, faulty_report, faulty_audio) =
+            run(Some(FaultPlan::dropping(21, 0.3)));
+        // The injected session's frames were really lost, yet its demand
+        // fetch retried through the losses and landed the right overlay...
+        assert!(faults.dropped > 0, "the plan dropped frames: {faults:?}");
+        assert_eq!(faulty_obj, ObjectId::new(4));
+        assert_eq!(faulty_obj, clean_obj);
+        // ...and the other sessions' event streams are untouched by a
+        // neighbor's faulty connection.
+        assert_eq!(faulty_report, clean_report);
+        assert_eq!(faulty_audio, clean_audio);
+    }
+
+    #[test]
+    fn dropped_prefetches_degrade_to_demand_fetches() {
+        let config = PaginateConfig::default();
+        let page = SimDuration::from_secs(5);
+        let mut sched = SessionScheduler::new(corpus_server(), Link::ethernet());
+        let (key, _) = sched.open(ObjectId::new(3), config, page).unwrap();
+        // Every frame vanishes while the user dwells on the map: the
+        // overlay prefetches announced at open are all lost in flight.
+        sched.inject_faults(key, FaultPlan::dropping(5, 1.0)).unwrap();
+        for _ in 0..3 {
+            sched.tick(SimDuration::from_secs(1));
+        }
+        assert!(sched.fault_stats(key).unwrap().dropped > 0, "prefetch responses were lost");
+        // The link heals. Selection must still work: the lost prefetch
+        // degrades to a demand fetch — the stale pending entry it left
+        // behind must not suppress the resubmission — and the user pays a
+        // demand wait, never gets a stale page or a session abort.
+        sched.inject_faults(key, FaultPlan::none()).unwrap();
+        let waited_before = sched.session(key).unwrap().store().waited();
+        sched.apply(key, BrowseCommand::SelectRelevant(0)).unwrap();
+        assert_eq!(sched.session(key).unwrap().object().id, ObjectId::new(4));
+        let waited_after = sched.session(key).unwrap().store().waited();
+        assert!(waited_after > waited_before, "the demand miss paid the transfer wait");
+    }
+
+    #[test]
+    fn faulty_workload_retries_to_byte_identical_completion() {
+        let clean = simulate_faulty_page_workload(16, 4_096, 8, FaultPlan::none()).unwrap();
+        assert_eq!(clean.pages, 16);
+        assert_eq!(clean.failed, 0);
+        assert_eq!(clean.transport, TransportStats::default());
+        let faulty =
+            simulate_faulty_page_workload(16, 4_096, 8, FaultPlan::corrupting(42, 0.1)).unwrap();
+        assert_eq!(faulty.pages, 16, "every page recovered: {:?}", faulty.transport);
+        assert_eq!(faulty.failed, 0);
+        assert!(faulty.faults.corrupted > 0, "{:?}", faulty.faults);
+        assert!(faulty.transport.retries > 0, "{:?}", faulty.transport);
+        assert!(faulty.elapsed >= clean.elapsed, "recovery is never free");
     }
 
     #[test]

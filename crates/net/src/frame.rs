@@ -14,8 +14,27 @@
 //! pipelined client cannot bury the server queue arbitrarily deep.
 
 use crate::protocol::{ServerRequest, ServerResponse};
-use minos_types::{Decoder, Encoder, MinosError, Result};
+use minos_types::{varint_len, Decoder, Encoder, MinosError, Result};
 use std::collections::BTreeSet;
+
+/// Bytes of the CRC32 trailer every encoded frame carries.
+const CRC_TRAILER_LEN: usize = 4;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial). Bitwise rather than
+/// table-driven: frames are small and the sim never transfers enough bytes
+/// for the table to matter, while the bitwise form stays branch- and
+/// index-free (the net crate is panic-audited).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// The direction-discriminated payload of a [`Frame`].
 ///
@@ -45,6 +64,16 @@ impl FramePayload {
             }
         }
         e.finish()
+    }
+
+    /// Bytes [`FramePayload::encode`] produces, computed without encoding:
+    /// one tag byte plus the length-prefixed inner message.
+    pub fn wire_size(&self) -> u64 {
+        let inner = match self {
+            FramePayload::Request(request) => request.wire_size(),
+            FramePayload::Response(response) => response.wire_size(),
+        };
+        1 + varint_len(inner) + inner
     }
 
     /// Decodes an envelope payload produced by [`FramePayload::encode`].
@@ -85,19 +114,40 @@ impl Frame {
         Frame { conn_id, request_id, payload: FramePayload::Response(response) }
     }
 
-    /// Encodes the envelope: varint `conn_id`, varint `request_id`, then
-    /// the tagged payload.
+    /// Encodes the envelope: varint `conn_id`, varint `request_id`, the
+    /// tagged payload, then a CRC32 trailer over everything before it.
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         e.put_varint(self.conn_id);
         e.put_varint(self.request_id);
         e.put_bytes(&self.payload.encode());
-        e.finish()
+        let mut bytes = e.finish();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
     }
 
-    /// Decodes a frame produced by [`Frame::encode`].
+    /// Decodes a frame produced by [`Frame::encode`], verifying the CRC32
+    /// trailer first: bytes altered in transit surface as a typed
+    /// [`MinosError::Corrupt`] instead of a garbage decode.
     pub fn decode(bytes: &[u8]) -> Result<Frame> {
-        let mut d = Decoder::new(bytes);
+        let Some(body_len) = bytes.len().checked_sub(CRC_TRAILER_LEN) else {
+            return Err(MinosError::Codec(format!(
+                "frame of {} bytes is shorter than its checksum trailer",
+                bytes.len()
+            )));
+        };
+        let (body, trailer) =
+            (bytes.get(..body_len).unwrap_or_default(), bytes.get(body_len..).unwrap_or_default());
+        let mut t = Decoder::new(trailer);
+        let stated = t.get_u32()?;
+        let actual = crc32(body);
+        if stated != actual {
+            return Err(MinosError::Corrupt(format!(
+                "frame checksum mismatch: trailer {stated:#010x}, computed {actual:#010x}"
+            )));
+        }
+        let mut d = Decoder::new(body);
         let conn_id = d.get_varint()?;
         let request_id = d.get_varint()?;
         let payload = FramePayload::decode(&d.get_bytes()?)?;
@@ -105,9 +155,16 @@ impl Frame {
         Ok(Frame { conn_id, request_id, payload })
     }
 
-    /// Bytes this frame occupies on the wire.
+    /// Bytes this frame occupies on the wire, computed arithmetically —
+    /// measuring a frame never copies its payload (this sits on the
+    /// per-submission hot path of `core::remote`).
     pub fn wire_size(&self) -> u64 {
-        self.encode().len() as u64
+        let payload = self.payload.wire_size();
+        varint_len(self.conn_id)
+            + varint_len(self.request_id)
+            + varint_len(payload)
+            + payload
+            + CRC_TRAILER_LEN as u64
     }
 
     /// The enveloped request, if this is a request frame.
@@ -221,7 +278,11 @@ mod tests {
         e.put_varint(1);
         e.put_varint(1);
         e.put_bytes(&[9, 0]);
-        assert!(matches!(Frame::decode(&e.finish()), Err(MinosError::Codec(_))));
+        let mut bytes = e.finish();
+        // With a valid checksum the decoder reaches the tag check itself.
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(Frame::decode(&bytes), Err(MinosError::Codec(_))));
     }
 
     #[test]
@@ -229,6 +290,79 @@ mod tests {
         let mut bytes = Frame::request(1, 1, sample_request()).encode();
         bytes.push(0);
         assert!(Frame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn wire_size_matches_encoding_without_materializing_it() {
+        let frames = vec![
+            Frame::request(1, 1, sample_request()),
+            Frame::request(u64::MAX, 1 << 40, sample_request()),
+            Frame::request(
+                3,
+                9,
+                ServerRequest::Query { keywords: vec!["x-ray".into(), "shadow".into()] },
+            ),
+            Frame::request(
+                2,
+                5,
+                ServerRequest::Batch {
+                    requests: vec![sample_request(), ServerRequest::Query { keywords: vec![] }],
+                },
+            ),
+            Frame::response(7, 42, ServerResponse::Span(vec![0xa5; 10_000])),
+            Frame::response(1, 2, ServerResponse::Hits(vec![ObjectId::new(1 << 50)])),
+            Frame::response(1, 3, ServerResponse::Error("lost".into())),
+            Frame::response(
+                1,
+                4,
+                ServerResponse::Batch(vec![
+                    ServerResponse::Span(vec![1, 2, 3]),
+                    ServerResponse::Error("missing".into()),
+                ]),
+            ),
+        ];
+        for frame in frames {
+            assert_eq!(
+                frame.wire_size(),
+                frame.encode().len() as u64,
+                "wire_size must equal the encoded length for {frame:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let bytes = Frame::request(3, 17, sample_request()).encode();
+        for at in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut mangled = bytes.clone();
+                mangled[at] ^= 1 << bit;
+                assert!(
+                    Frame::decode(&mangled).is_err(),
+                    "flip of bit {bit} at byte {at} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_typed() {
+        let mut bytes = Frame::request(1, 1, sample_request()).encode();
+        bytes[0] ^= 0x40;
+        assert!(matches!(Frame::decode(&bytes), Err(MinosError::Corrupt(_))));
+    }
+
+    #[test]
+    fn sub_trailer_frames_are_codec_errors() {
+        assert!(matches!(Frame::decode(&[]), Err(MinosError::Codec(_))));
+        assert!(matches!(Frame::decode(&[1, 2, 3]), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

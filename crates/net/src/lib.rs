@@ -13,10 +13,12 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod frame;
 pub mod link;
 pub mod protocol;
 
+pub use fault::{Delivery, FaultPlan, FaultRng, FaultStats, FaultyLink};
 pub use frame::{Frame, FramePayload, InflightWindow};
 pub use link::{Link, LinkStats, ETHERNET_10MBIT};
 pub use protocol::{ServerRequest, ServerResponse};

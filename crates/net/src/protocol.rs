@@ -10,7 +10,17 @@
 //! and content queries. Both directions have a binary encoding with
 //! round-trip tests; encoded size is what the link model charges.
 
-use minos_types::{ByteSpan, Decoder, Encoder, MinosError, ObjectId, Rect, Result};
+use minos_types::{varint_len, ByteSpan, Decoder, Encoder, MinosError, ObjectId, Rect, Result};
+
+/// Wire bytes of a length-prefixed string or byte block.
+fn prefixed_len(len: usize) -> u64 {
+    prefixed_len_of(len as u64)
+}
+
+/// Wire bytes of a length-prefixed block whose body is `len` bytes.
+fn prefixed_len_of(len: u64) -> u64 {
+    varint_len(len) + len
+}
 
 /// A request from the workstation to the server.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -160,8 +170,11 @@ impl ServerRequest {
             }
             4 => ServerRequest::FetchMiniature { id: ObjectId::new(d.get_u64()?) },
             5 => {
-                let n = d.get_varint()? as usize;
-                let mut keywords = Vec::with_capacity(n.min(256));
+                // Element counts go through `get_len`: every element costs
+                // at least one byte, so a count beyond the remaining input
+                // is rejected before any allocation or loop.
+                let n = d.get_len()?;
+                let mut keywords = Vec::with_capacity(n);
                 for _ in 0..n {
                     keywords.push(d.get_str()?);
                 }
@@ -169,8 +182,8 @@ impl ServerRequest {
             }
             6 => ServerRequest::QueryAttribute { name: d.get_str()?, value: d.get_str()? },
             7 => {
-                let n = d.get_varint()? as usize;
-                let mut requests = Vec::with_capacity(n.min(256));
+                let n = d.get_len()?;
+                let mut requests = Vec::with_capacity(n);
                 for _ in 0..n {
                     let sub = ServerRequest::decode(&d.get_bytes()?)?;
                     if matches!(sub, ServerRequest::Batch { .. }) {
@@ -186,9 +199,25 @@ impl ServerRequest {
         Ok(req)
     }
 
-    /// Bytes on the wire.
+    /// Bytes on the wire, computed arithmetically — measuring a request
+    /// never materializes its encoding.
     pub fn wire_size(&self) -> u64 {
-        self.encode().len() as u64
+        1 + match self {
+            ServerRequest::FetchObject { .. } | ServerRequest::FetchMiniature { .. } => 8,
+            ServerRequest::FetchSpan { span } => varint_len(span.start) + varint_len(span.end),
+            ServerRequest::FetchView { tag, .. } => 8 + prefixed_len(tag.len()) + 16,
+            ServerRequest::Query { keywords } => {
+                varint_len(keywords.len() as u64)
+                    + keywords.iter().map(|k| prefixed_len(k.len())).sum::<u64>()
+            }
+            ServerRequest::QueryAttribute { name, value } => {
+                prefixed_len(name.len()) + prefixed_len(value.len())
+            }
+            ServerRequest::Batch { requests } => {
+                varint_len(requests.len() as u64)
+                    + requests.iter().map(|r| prefixed_len_of(r.wire_size())).sum::<u64>()
+            }
+        }
     }
 
     /// The fetched span, if this is a span fetch (used by transports that
@@ -253,8 +282,9 @@ impl ServerResponse {
             3 => ServerResponse::View(d.get_bytes()?),
             4 => ServerResponse::Miniature(d.get_bytes()?),
             5 => {
-                let n = d.get_varint()? as usize;
-                let mut ids = Vec::with_capacity(n.min(4096));
+                // Bounded against remaining input, as in request decoding.
+                let n = d.get_len()?;
+                let mut ids = Vec::with_capacity(n);
                 for _ in 0..n {
                     ids.push(ObjectId::new(d.get_varint()?));
                 }
@@ -262,8 +292,8 @@ impl ServerResponse {
             }
             6 => ServerResponse::Error(d.get_str()?),
             7 => {
-                let n = d.get_varint()? as usize;
-                let mut responses = Vec::with_capacity(n.min(256));
+                let n = d.get_len()?;
+                let mut responses = Vec::with_capacity(n);
                 for _ in 0..n {
                     let sub = ServerResponse::decode(&d.get_bytes()?)?;
                     if matches!(sub, ServerResponse::Batch(_)) {
@@ -279,9 +309,24 @@ impl ServerResponse {
         Ok(resp)
     }
 
-    /// Bytes on the wire — what the link charges for this response.
+    /// Bytes on the wire — what the link charges for this response —
+    /// computed arithmetically, never copying the payload.
     pub fn wire_size(&self) -> u64 {
-        self.encode().len() as u64
+        1 + match self {
+            ServerResponse::Object(b)
+            | ServerResponse::Span(b)
+            | ServerResponse::View(b)
+            | ServerResponse::Miniature(b) => prefixed_len(b.len()),
+            ServerResponse::Hits(ids) => {
+                varint_len(ids.len() as u64)
+                    + ids.iter().map(|id| varint_len(id.raw())).sum::<u64>()
+            }
+            ServerResponse::Error(msg) => prefixed_len(msg.len()),
+            ServerResponse::Batch(responses) => {
+                varint_len(responses.len() as u64)
+                    + responses.iter().map(|r| prefixed_len_of(r.wire_size())).sum::<u64>()
+            }
+        }
     }
 }
 
@@ -329,7 +374,39 @@ mod tests {
         for resp in responses {
             let bytes = resp.encode();
             assert_eq!(ServerResponse::decode(&bytes).unwrap(), resp, "{resp:?}");
+            assert_eq!(resp.wire_size(), bytes.len() as u64, "wire_size of {resp:?}");
         }
+    }
+
+    #[test]
+    fn batch_wire_sizes_match_encoding() {
+        let req = ServerRequest::Batch { requests: all_requests() };
+        assert_eq!(req.wire_size(), req.encode().len() as u64);
+        let resp = ServerResponse::Batch(vec![
+            ServerResponse::Span(vec![7; 300]),
+            ServerResponse::Error("missing".into()),
+            ServerResponse::Hits(vec![ObjectId::new(u64::MAX)]),
+        ]);
+        assert_eq!(resp.wire_size(), resp.encode().len() as u64);
+    }
+
+    #[test]
+    fn huge_claimed_counts_are_rejected_before_allocation() {
+        // A count varint claiming ~2^62 elements with two bytes of input
+        // left must fail the bound check, not size a Vec or spin a loop.
+        let mut e = Encoder::new();
+        e.put_u8(5); // Query / Hits tag in either direction.
+        e.put_varint(1 << 62);
+        e.put_raw(&[0, 0]);
+        let bytes = e.finish();
+        assert!(matches!(ServerRequest::decode(&bytes), Err(MinosError::Codec(_))));
+        assert!(matches!(ServerResponse::decode(&bytes), Err(MinosError::Codec(_))));
+        let mut e = Encoder::new();
+        e.put_u8(7); // Batch tag.
+        e.put_varint(u64::MAX);
+        let bytes = e.finish();
+        assert!(ServerRequest::decode(&bytes).is_err());
+        assert!(ServerResponse::decode(&bytes).is_err());
     }
 
     #[test]

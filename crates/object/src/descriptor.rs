@@ -120,13 +120,16 @@ impl ObjectDescriptor {
             other => return Err(MinosError::Codec(format!("bad driving mode {other}"))),
         };
         let name = d.get_str()?;
-        let n_attrs = d.get_varint()? as usize;
-        let mut attributes = Vec::with_capacity(n_attrs.min(1024));
+        // Element counts go through `get_len`, bounding them against the
+        // remaining input before any allocation (every element costs at
+        // least one byte).
+        let n_attrs = d.get_len()?;
+        let mut attributes = Vec::with_capacity(n_attrs);
         for _ in 0..n_attrs {
             attributes.push((d.get_str()?, d.get_str()?));
         }
-        let n_entries = d.get_varint()? as usize;
-        let mut entries = Vec::with_capacity(n_entries.min(4096));
+        let n_entries = d.get_len()?;
+        let mut entries = Vec::with_capacity(n_entries);
         for _ in 0..n_entries {
             let tag = d.get_str()?;
             let kind = DataKind::from_tag(d.get_u8()?)?;

@@ -48,8 +48,16 @@ impl ObjectServer {
     /// layer concern; experiment E7 wraps the optical device in a
     /// [`minos_storage::BlockCache`] directly.)
     pub fn new() -> Self {
+        Self::with_disk(OpticalDisk::new())
+    }
+
+    /// A server over an explicitly configured disk — the fault experiments
+    /// hand in an aging [`OpticalDisk`] whose reads transiently fail, and
+    /// every such failure must come back as an inline
+    /// [`ServerResponse::Error`], never a panic or a lost request.
+    pub fn with_disk(disk: OpticalDisk) -> Self {
         ObjectServer {
-            archiver: Archiver::new(OpticalDisk::new()),
+            archiver: Archiver::new(disk),
             index: InvertedIndex::new(),
             resident: HashMap::new(),
             miniature_factor: 8,
@@ -270,6 +278,15 @@ impl ObjectServer {
         Ok(())
     }
 
+    /// Accepts one request frame from raw wire bytes. The frame is decoded
+    /// — and its checksum trailer verified — before it may enter the
+    /// service loop, so a frame mangled in transit is rejected as
+    /// [`MinosError::Corrupt`] instead of being served with altered
+    /// contents.
+    pub fn enqueue_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        self.enqueue(Frame::decode(bytes)?)
+    }
+
     /// Serves queued work and returns the next completed response frame,
     /// or `None` when the queue is idle. Connections are served in
     /// round-robin order, so one deep queue cannot starve the others;
@@ -398,6 +415,47 @@ mod tests {
     use minos_net::FramePayload;
     use minos_object::{DrivingMode, FormatterSession};
     use minos_types::Rect;
+
+    #[test]
+    fn corrupt_wire_bytes_are_rejected_before_service() {
+        let mut server = ObjectServer::new();
+        make_published(&mut server, 1, "some indexed words here");
+        let frame = Frame::request(1, 1, ServerRequest::Query { keywords: vec!["indexed".into()] });
+        let bytes = frame.encode();
+        // A single flipped bit anywhere must fail the checksum and keep the
+        // frame out of the service loop entirely.
+        let mut mangled = bytes.clone();
+        if let Some(byte) = mangled.get_mut(2) {
+            *byte ^= 0x10;
+        }
+        assert!(
+            matches!(server.enqueue_bytes(&mangled), Err(MinosError::Corrupt(_))),
+            "mangled bytes must be rejected as corrupt"
+        );
+        assert!(server.poll().is_none(), "nothing was queued by the rejected frame");
+        // The intact bytes decode and serve normally.
+        server.enqueue_bytes(&bytes).unwrap();
+        let served = server.poll().expect("the intact frame was served");
+        assert!(matches!(
+            served.payload,
+            FramePayload::Response(ServerResponse::Hits(ref hits)) if hits == &[ObjectId::new(1)]
+        ));
+    }
+
+    #[test]
+    fn degraded_disk_reads_surface_as_inline_errors() {
+        // Every read on this disk fails; appends (publication) still work.
+        let mut server = ObjectServer::with_disk(OpticalDisk::new().with_read_faults(3, 1.0));
+        let id = make_published(&mut server, 7, "content on failing media");
+        let (resp, took) = server.handle(&ServerRequest::FetchObject { id });
+        assert!(matches!(resp, ServerResponse::Error(_)), "got {resp:?}");
+        assert_eq!(took, SimDuration::ZERO, "a failed read charges no device time");
+        // The service loop path degrades the same way: the request is
+        // served, the failure rides inline, the queue does not jam.
+        server.enqueue(Frame::request(1, 1, ServerRequest::FetchObject { id })).unwrap();
+        let served = server.poll().expect("the queue kept moving");
+        assert!(matches!(served.payload, FramePayload::Response(ServerResponse::Error(_))));
+    }
 
     fn make_published(server: &mut ObjectServer, id: u64, body: &str) -> ObjectId {
         let oid = ObjectId::new(id);

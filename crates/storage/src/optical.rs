@@ -28,6 +28,10 @@ pub struct OpticalDisk {
     head: u64,
     timing: TimingModel,
     stats: DeviceStats,
+    /// Probability a read transiently fails (media degradation).
+    fault_rate: f64,
+    /// Deterministic state for the fault stream.
+    fault_state: u64,
 }
 
 impl OpticalDisk {
@@ -44,6 +48,8 @@ impl OpticalDisk {
             head: 0,
             timing: OPTICAL_TIMING,
             stats: DeviceStats::default(),
+            fault_rate: 0.0,
+            fault_state: 0,
         }
     }
 
@@ -51,6 +57,34 @@ impl OpticalDisk {
     pub fn with_timing(mut self, timing: TimingModel) -> Self {
         self.timing = timing;
         self
+    }
+
+    /// A disk whose reads transiently fail with probability `rate`,
+    /// deterministically in `seed` — the aging-media error path for the
+    /// fault experiments. A failed read moves nothing, charges no device
+    /// time, and leaves the head in place; retrying the same span may
+    /// succeed. Appends never fault: archival is verified at write time.
+    pub fn with_read_faults(mut self, seed: u64, rate: f64) -> Self {
+        self.fault_state = seed;
+        self.fault_rate = rate;
+        self
+    }
+
+    /// One Bernoulli draw from the deterministic fault stream. SplitMix64,
+    /// inlined so the storage crate stays free of a transport dependency.
+    fn read_fault_fires(&mut self) -> bool {
+        if self.fault_rate <= 0.0 {
+            return false;
+        }
+        if self.fault_rate >= 1.0 {
+            return true;
+        }
+        self.fault_state = self.fault_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.fault_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        ((z >> 11) as f64 / (1u64 << 53) as f64) < self.fault_rate
     }
 }
 
@@ -83,6 +117,9 @@ impl BlockDevice for OpticalDisk {
                 "read {span} past optical frontier {}",
                 self.len()
             )));
+        }
+        if self.read_fault_fires() {
+            return Err(MinosError::Storage(format!("transient read fault at {span}")));
         }
         let took = self.access_cost(span.start, span.len());
         let data = self
@@ -188,6 +225,34 @@ mod tests {
         d.append(&[7; 1000]).unwrap();
         d.read_at(ByteSpan::at(100, 50)).unwrap();
         assert_eq!(d.head_position(), 150);
+    }
+
+    #[test]
+    fn injected_read_faults_are_transient_and_deterministic() {
+        let make = || {
+            let mut d = OpticalDisk::with_capacity(1 << 20).with_read_faults(13, 0.5);
+            d.append(&[9; 1024]).unwrap();
+            d
+        };
+        let mut a = make();
+        let mut b = make();
+        let outcomes_a: Vec<bool> =
+            (0..32).map(|_| a.read_at(ByteSpan::at(0, 16)).is_ok()).collect();
+        let outcomes_b: Vec<bool> =
+            (0..32).map(|_| b.read_at(ByteSpan::at(0, 16)).is_ok()).collect();
+        assert_eq!(outcomes_a, outcomes_b, "equal seeds replay equal fault sequences");
+        assert!(outcomes_a.iter().any(|&ok| ok), "faults are transient: a retry can succeed");
+        assert!(outcomes_a.iter().any(|&ok| !ok), "the fault rate really fires");
+        // A failed read charges nothing: only successful reads are in the
+        // device statistics.
+        let ok_reads = outcomes_a.iter().filter(|&&ok| ok).count() as u64;
+        assert_eq!(a.stats().reads, ok_reads);
+        // A clean disk is unaffected by the machinery.
+        let mut clean = OpticalDisk::with_capacity(1 << 20);
+        clean.append(&[9; 64]).unwrap();
+        for _ in 0..16 {
+            clean.read_at(ByteSpan::at(0, 8)).unwrap();
+        }
     }
 
     #[test]

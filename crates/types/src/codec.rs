@@ -11,6 +11,17 @@
 
 use crate::error::{MinosError, Result};
 
+/// Bytes an unsigned LEB128 varint occupies on the wire, computed without
+/// encoding. Wire-size accounting uses this so measuring a message never
+/// materializes its bytes.
+pub const fn varint_len(v: u64) -> u64 {
+    if v == 0 {
+        return 1;
+    }
+    // ceil(bits / 7): each LEB128 byte carries 7 payload bits.
+    (64 - v.leading_zeros() as u64).div_ceil(7)
+}
+
 /// Writes values into a growable byte buffer.
 #[derive(Debug, Default)]
 pub struct Encoder {
@@ -220,7 +231,7 @@ impl<'a> Decoder<'a> {
                 self.remaining()
             )));
         }
-        Ok(v as usize)
+        usize::try_from(v).map_err(|_| MinosError::Codec(format!("length {v} overflows usize")))
     }
 
     /// Reads a length-prefixed UTF-8 string.
@@ -363,7 +374,23 @@ mod tests {
         assert!(matches!(d.get_str(), Err(MinosError::Codec(_))));
     }
 
+    #[test]
+    fn varint_len_matches_known_encodings() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut e = Encoder::new();
+            e.put_varint(v);
+            assert_eq!(varint_len(v), e.finish().len() as u64, "varint_len({v})");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn varint_len_matches_encoding(v in any::<u64>()) {
+            let mut e = Encoder::new();
+            e.put_varint(v);
+            prop_assert_eq!(varint_len(v), e.finish().len() as u64);
+        }
+
         #[test]
         fn varint_round_trips(v in any::<u64>()) {
             let mut e = Encoder::new();

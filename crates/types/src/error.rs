@@ -36,6 +36,11 @@ pub enum MinosError {
     },
     /// A malformed binary descriptor or codec failure.
     Codec(String),
+    /// A frame whose integrity check failed: the bytes were altered in
+    /// transit (bit flip, truncation past the checksum). Distinct from
+    /// [`MinosError::Codec`] so transports can count and retry corruption
+    /// without masking genuine encoding bugs.
+    Corrupt(String),
     /// A storage-device failure (out of space on the optical disk, read past
     /// end of device, write to write-once sector).
     Storage(String),
@@ -67,6 +72,7 @@ impl fmt::Display for MinosError {
                 write!(f, "parse error at line {line}: {message}")
             }
             MinosError::Codec(s) => write!(f, "codec error: {s}"),
+            MinosError::Corrupt(s) => write!(f, "corrupt frame: {s}"),
             MinosError::Storage(s) => write!(f, "storage error: {s}"),
             MinosError::Protocol(s) => write!(f, "protocol error: {s}"),
             MinosError::Geometry(s) => write!(f, "geometry error: {s}"),
@@ -88,6 +94,13 @@ mod tests {
             MinosError::parse(12, "unknown tag .xx").to_string(),
             "parse error at line 12: unknown tag .xx"
         );
+    }
+
+    #[test]
+    fn corrupt_is_distinct_from_codec() {
+        let corrupt = MinosError::Corrupt("crc mismatch".into());
+        assert_eq!(corrupt.to_string(), "corrupt frame: crc mismatch");
+        assert_ne!(corrupt, MinosError::Codec("crc mismatch".into()));
     }
 
     #[test]

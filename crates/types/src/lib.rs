@@ -19,7 +19,7 @@ pub mod id;
 pub mod span;
 pub mod time;
 
-pub use codec::{Decoder, Encoder};
+pub use codec::{varint_len, Decoder, Encoder};
 pub use error::{MinosError, Result};
 pub use geom::{bounding_box, polygon_contains, Point, Rect, Size};
 pub use id::{DataFileId, ObjectId, PageNumber, PartIndex, SegmentId, VersionId};

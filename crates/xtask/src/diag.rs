@@ -112,6 +112,12 @@ pub const RULES: &[Rule] = &[
         ratchetable: true,
     },
     Rule {
+        code: "U003",
+        pass: "unit-safety",
+        summary: "varint element count narrowed with `as`; bound via Decoder::get_len or try_from",
+        ratchetable: true,
+    },
+    Rule {
         code: "S001",
         pass: "symmetry",
         summary: "text browsing primitive lacks a voice counterpart",

@@ -1,4 +1,4 @@
-//! Unit-safety audit (`U001`, `U002`).
+//! Unit-safety audit (`U001`, `U002`, `U003`).
 //!
 //! PR 1's `Link::transfer_cost` bug was a lossy `as u64` cast on widened
 //! duration arithmetic: the u64 numerator silently saturated past ~18 TB.
@@ -15,6 +15,12 @@
 //!   a line that also round-trips through `as f64`. Convert via
 //!   `usize::try_from`/`u32::try_from` or the saturating helpers so the
 //!   loss is explicit.
+//! * `U003` — a decoded varint narrowed with `as usize`/`as u32` — the
+//!   unbounded-element-count shape from the protocol decode sweep: on
+//!   32-bit targets the cast is lossy, and on corrupt input the count can
+//!   claim memory the message never carries. Bound it against the
+//!   decoder's remaining input (`Decoder::get_len`) or convert with
+//!   `try_from`.
 
 use crate::diag::Diagnostic;
 use crate::source::SourceFile;
@@ -47,6 +53,16 @@ pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
                         "narrowing `{casts}` on u128 arithmetic; use \
                          SimDuration::from_micros_saturating (the transfer_cost bug class)"
                     ),
+                ));
+                continue;
+            }
+            if line.contains("get_varint") && narrowing.iter().any(|c| *c != " as u64") {
+                out.push(Diagnostic::new(
+                    "U003",
+                    &file.rel,
+                    line_no,
+                    "varint narrowed straight to an element count; bound it against the \
+                     decoder's remaining input (Decoder::get_len) or convert with try_from",
                 ));
                 continue;
             }
@@ -100,6 +116,24 @@ mod tests {
         let diags = run_on("let us = (base.as_micros() as f64 * factor).max(1.0) as u64;\n");
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "U002");
+    }
+
+    #[test]
+    fn flags_varint_counts_narrowed_with_as() {
+        let diags = run_on("let n = d.get_varint()? as usize;\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "U003");
+        let diags = run_on("let tag = reader.get_varint().unwrap_or(0) as u32;\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "U003");
+    }
+
+    #[test]
+    fn bounded_varint_counts_are_clean() {
+        // `get_len` bounds against remaining input; a plain u64 varint read
+        // involves no narrowing at all.
+        let src = "let n = d.get_len()?;\nlet v = d.get_varint()?;\n";
+        assert!(run_on(src).is_empty());
     }
 
     #[test]

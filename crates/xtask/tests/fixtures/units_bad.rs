@@ -8,3 +8,7 @@ pub fn transfer_micros(bytes: u64, rate: u64) -> u64 {
 pub fn page_index(total: SimDuration, page: SimDuration) -> usize {
     (total.as_micros() / page.as_micros()) as usize
 }
+
+pub fn element_count(d: &mut Decoder<'_>) -> Result<usize> {
+    Ok(d.get_varint()? as usize)
+}

@@ -9,3 +9,7 @@ pub fn transfer_cost(bytes: u64, rate: u64) -> SimDuration {
 pub fn page_index(total: SimDuration, page: SimDuration) -> usize {
     usize::try_from(total.as_micros() / page.as_micros()).unwrap_or(usize::MAX)
 }
+
+pub fn element_count(d: &mut Decoder<'_>) -> Result<usize> {
+    d.get_len()
+}

@@ -68,9 +68,9 @@ fn panic_good_fixture_is_clean() {
 }
 
 #[test]
-fn units_bad_fixture_trips_both_rules() {
+fn units_bad_fixture_trips_all_rules() {
     let diags = units::run(&[fixture("units_bad.rs")]);
-    assert_eq!(rules(&diags), vec!["U001", "U002"], "got {diags:?}");
+    assert_eq!(rules(&diags), vec!["U001", "U002", "U003"], "got {diags:?}");
     assert_anchored(&diags, "units_bad.rs");
 }
 

@@ -20,4 +20,7 @@ cargo test --workspace --quiet
 echo "==> exp_pipeline --smoke"
 cargo bench -p minos-bench --bench exp_pipeline -- --smoke
 
+echo "==> exp_faults --smoke"
+cargo bench -p minos-bench --bench exp_faults -- --smoke
+
 echo "All checks passed."

@@ -1,0 +1,168 @@
+//! Property test: mangled wire bytes decode to typed errors, never panics.
+//!
+//! `tests/command_fuzz.rs` fuzzes the command surface; this file is its
+//! transport twin. Valid [`Frame`], [`ServerRequest`], and
+//! [`ServerResponse`] encodings are truncated, bit-flipped, and
+//! tag-mutated, and every mangled buffer must come back as `Err` — the
+//! CRC32 trailer makes corruption a *typed* error — without ever decoding
+//! into a frame that differs from the one sent.
+
+use minos::net::frame::crc32;
+use minos::net::{Delivery, FaultPlan, FaultRng, FaultStats, Frame, ServerRequest, ServerResponse};
+use minos::types::{ByteSpan, Encoder, MinosError, ObjectId};
+use proptest::prelude::*;
+
+/// A palette of representative frames: both directions, scalar and batch
+/// payloads, a fuzzed blob for the variable-length bodies.
+fn sample_frame(choice: u8, conn: u64, rid: u64, blob: Vec<u8>) -> Frame {
+    match choice % 4 {
+        0 => {
+            Frame::request(conn, rid, ServerRequest::FetchSpan { span: ByteSpan::at(4_096, 8_192) })
+        }
+        1 => Frame::request(
+            conn,
+            rid,
+            ServerRequest::Batch {
+                requests: vec![
+                    ServerRequest::FetchSpan { span: ByteSpan::at(0, 1_024) },
+                    ServerRequest::Query { keywords: vec!["laser".into(), "disc".into()] },
+                ],
+            },
+        ),
+        2 => Frame::response(conn, rid, ServerResponse::Span(blob)),
+        _ => Frame::response(
+            conn,
+            rid,
+            ServerResponse::Batch(vec![
+                ServerResponse::Span(blob),
+                ServerResponse::Hits(vec![ObjectId::new(7)]),
+                ServerResponse::Error("inline".into()),
+            ]),
+        ),
+    }
+}
+
+/// A frame envelope whose payload tag byte is `tag`, carrying valid inner
+/// bytes and a *valid* checksum — the decoder reaches the tag dispatch
+/// itself instead of tripping on the CRC.
+fn frame_with_payload_tag(conn: u64, rid: u64, tag: u8) -> Vec<u8> {
+    let mut p = Encoder::new();
+    p.put_u8(tag);
+    p.put_bytes(&ServerRequest::FetchMiniature { id: ObjectId::new(9) }.encode());
+    let mut e = Encoder::new();
+    e.put_varint(conn);
+    e.put_varint(rid);
+    e.put_bytes(&p.finish());
+    let mut bytes = e.finish();
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn truncated_frames_are_errors(
+        choice in 0u8..4,
+        conn in 0u64..1 << 32,
+        rid in 0u64..1 << 32,
+        blob in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in any::<usize>(),
+    ) {
+        let bytes = sample_frame(choice, conn, rid, blob).encode();
+        let cut = cut % bytes.len(); // strictly shorter than the full frame
+        prop_assert!(Frame::decode(bytes.get(..cut).unwrap_or_default()).is_err());
+    }
+
+    #[test]
+    fn bit_flips_surface_as_typed_corruption(
+        choice in 0u8..4,
+        conn in 0u64..1 << 32,
+        rid in 0u64..1 << 32,
+        blob in proptest::collection::vec(any::<u8>(), 0..64),
+        at in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = sample_frame(choice, conn, rid, blob).encode();
+        let at = at % bytes.len();
+        if let Some(byte) = bytes.get_mut(at) {
+            *byte ^= 1 << bit;
+        }
+        // Anywhere the flip lands — envelope, payload, or the trailer
+        // itself — the checksum mismatch is what reports it.
+        prop_assert!(matches!(Frame::decode(&bytes), Err(MinosError::Corrupt(_))));
+    }
+
+    #[test]
+    fn mutated_envelope_tags_are_rejected(
+        conn in 0u64..1 << 32,
+        rid in 0u64..1 << 32,
+        tag in 3u8..=255,
+    ) {
+        let bytes = frame_with_payload_tag(conn, rid, tag);
+        prop_assert!(matches!(Frame::decode(&bytes), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn mutated_protocol_tags_are_rejected(tag in 8u8..=255, id in any::<u64>()) {
+        // Overwrite the leading tag byte of valid protocol bytes with a
+        // tag outside the vocabulary of either direction.
+        let mut request = ServerRequest::FetchObject { id: ObjectId::new(id) }.encode();
+        if let Some(lead) = request.get_mut(0) {
+            *lead = tag;
+        }
+        prop_assert!(matches!(ServerRequest::decode(&request), Err(MinosError::Codec(_))));
+        let mut response = ServerResponse::Hits(vec![ObjectId::new(id)]).encode();
+        if let Some(lead) = response.get_mut(0) {
+            *lead = tag;
+        }
+        prop_assert!(matches!(ServerResponse::decode(&response), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn inflated_counts_are_bounded_before_allocation(
+        tag in proptest::sample::select(vec![5u8, 7u8]),
+        count in (1u64 << 32)..=u64::MAX,
+    ) {
+        // A claimed element count of billions with a few bytes of input
+        // must be rejected by the count bound, not by an allocation or a
+        // long loop.
+        let mut e = Encoder::new();
+        e.put_u8(tag);
+        e.put_varint(count);
+        let bytes = e.finish();
+        prop_assert!(ServerRequest::decode(&bytes).is_err());
+        prop_assert!(ServerResponse::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_any_decoder(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = Frame::decode(&bytes);
+        let _ = ServerRequest::decode(&bytes);
+        let _ = ServerResponse::decode(&bytes);
+    }
+
+    #[test]
+    fn fault_mangled_frames_never_decode_to_a_different_frame(
+        choice in 0u8..4,
+        blob in proptest::collection::vec(any::<u8>(), 0..64),
+        seed in any::<u64>(),
+    ) {
+        // Whatever a chaotic link does to the bytes, a successful decode
+        // is always the frame that was sent (a duplicated delivery), never
+        // a silently different one.
+        let frame = sample_frame(choice, 3, 11, blob);
+        let plan = FaultPlan::chaos(seed, 0.8);
+        let mut rng = FaultRng::new(seed);
+        let mut stats = FaultStats::default();
+        let deliveries: Vec<Delivery> = plan.apply(&mut rng, &frame.encode(), &mut stats);
+        for delivery in deliveries {
+            if let Ok(decoded) = Frame::decode(&delivery.bytes) {
+                prop_assert_eq!(&decoded, &frame);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration pin for experiment E13: recovery on a faulty link.
+//!
+//! The acceptance bar from the transport-hardening work: at 1 % frame
+//! corruption the pipelined transport must retry its way to completion —
+//! every page byte-identical, nothing abandoned — while keeping at least
+//! 80 % of its fault-free throughput. The blocking discipline pays a full
+//! timeout per loss, which is exactly the degradation the pipeline hides.
+
+use minos::corpus;
+use minos::corpus::objects::archived_form;
+use minos::net::{FaultPlan, Link, ServerRequest, ServerResponse};
+use minos::presentation::{simulate_faulty_page_workload, Connection, TransportStats};
+use minos::server::ObjectServer;
+use minos::types::ObjectId;
+
+const PAGES: usize = 48;
+const PAGE_LEN: u64 = 8192;
+const WINDOW: usize = 8;
+const SEED: u64 = 1986;
+
+#[test]
+fn pipelined_goodput_survives_one_percent_corruption() {
+    let clean = simulate_faulty_page_workload(PAGES, PAGE_LEN, WINDOW, FaultPlan::none()).unwrap();
+    let faulty =
+        simulate_faulty_page_workload(PAGES, PAGE_LEN, WINDOW, FaultPlan::corrupting(SEED, 0.01))
+            .unwrap();
+    // Byte-identity is verified inside the workload: a page that comes back
+    // different is counted as failed, so pages == PAGES and failed == 0 is
+    // the full correctness claim.
+    assert_eq!(faulty.pages, PAGES as u64, "every page recovered");
+    assert_eq!(faulty.failed, 0, "no request exhausted its retries");
+    assert!(
+        faulty.transport.corrupt_frames > 0 && faulty.transport.retries > 0,
+        "the plan really exercised recovery: {:?}",
+        faulty.transport
+    );
+    let ratio = faulty.pages_per_sec() / clean.pages_per_sec();
+    assert!(ratio >= 0.8, "goodput ratio {ratio:.3} at 1% corruption fell below the 0.8 pin");
+}
+
+#[test]
+fn blocking_transport_pays_the_timeouts_the_pipeline_hides() {
+    let corrupt = FaultPlan::corrupting(SEED, 0.01);
+    let blocking = simulate_faulty_page_workload(PAGES, PAGE_LEN, 1, corrupt).unwrap();
+    let pipelined = simulate_faulty_page_workload(PAGES, PAGE_LEN, WINDOW, corrupt).unwrap();
+    let blocking_clean =
+        simulate_faulty_page_workload(PAGES, PAGE_LEN, 1, FaultPlan::none()).unwrap();
+    // Both disciplines still recover everything…
+    assert_eq!(blocking.pages, PAGES as u64);
+    assert_eq!(blocking.failed, 0);
+    // …but each blocking loss stalls the whole stream for a deadline,
+    // while pipelined deadlines expire behind earlier waits.
+    assert!(
+        blocking.elapsed > blocking_clean.elapsed,
+        "blocking under faults ({:?}) should be slower than clean ({:?})",
+        blocking.elapsed,
+        blocking_clean.elapsed
+    );
+    assert!(
+        pipelined.elapsed < blocking.elapsed,
+        "pipelined recovery ({:?}) should beat blocking recovery ({:?})",
+        pipelined.elapsed,
+        blocking.elapsed
+    );
+}
+
+/// A server with one queryable object, for driving a raw [`Connection`].
+fn query_server() -> ObjectServer {
+    let mut server = ObjectServer::new();
+    let report = corpus::medical_report(ObjectId::new(1), 42);
+    let archived = archived_form(&report);
+    server.publish(report, &archived).unwrap();
+    server
+}
+
+#[test]
+fn reset_accounting_clears_transport_stats() {
+    let mut conn = Connection::with_faults(
+        query_server(),
+        Link::ethernet(),
+        4,
+        FaultPlan::corrupting(9, 0.15),
+    );
+    for _ in 0..12 {
+        let ticket = conn.submit(ServerRequest::Query { keywords: vec!["shadow".into()] });
+        let (response, _) = conn.wait(ticket).unwrap();
+        assert_eq!(response, ServerResponse::Hits(vec![ObjectId::new(1)]));
+    }
+    let dirty = conn.transport_stats();
+    assert!(
+        dirty.corrupt_frames > 0 && dirty.retries > 0,
+        "the faulty link really dirtied the accounting: {dirty:?}"
+    );
+    conn.reset_accounting();
+    assert_eq!(
+        conn.transport_stats(),
+        TransportStats::default(),
+        "reset_accounting must clear every recovery counter"
+    );
+    assert_eq!(conn.fault_stats().frames, 0, "fault-layer counters reset too");
+    // The connection stays usable after the reset.
+    let ticket = conn.submit(ServerRequest::Query { keywords: vec!["shadow".into()] });
+    let (response, _) = conn.wait(ticket).unwrap();
+    assert_eq!(response, ServerResponse::Hits(vec![ObjectId::new(1)]));
+}
