@@ -1,0 +1,196 @@
+//! Experiment E14 — goodput and audio tail latency under offered overload,
+//! with and without admission control.
+//!
+//! N concurrent browsing sessions (session 0 audio-class) each pull 8
+//! pages of 8 KB from the optical server over one shared 10 Mbit/s
+//! Ethernet link, and every demand page tows three speculative
+//! prefetches — a 4x offered load once the session count outruns the
+//! device. The admitted run uses the default [`ServiceConfig`] caps
+//! (per-connection and global bounds, prefetch-first shedding, `Busy`
+//! rejections with a retry hint); the unbounded run queues everything.
+//!
+//! The claim under test: admission control sheds *speculation only* —
+//! every demand page still completes, the queue high-water mark stays
+//! under the configured cap, and the audio-class p99 stays bounded while
+//! the unbounded baseline's tail grows with everything queued ahead of it.
+//!
+//! The series is emitted machine-readable as `BENCH_overload.json` at the
+//! repository root. `--smoke` runs the acceptance pin — at 48 sessions the
+//! admitted run sheds prefetch without a single demand rejection and beats
+//! the unbounded audio p99 — and is hooked into `scripts/check.sh`.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use minos_bench::{fast_criterion, row};
+use minos_presentation::sched::{simulate_overload_workload, OverloadReport};
+use minos_server::ServiceConfig;
+
+const PAGES: usize = 8;
+const PAGE_LEN: u64 = 8192;
+
+/// The E14 load axis: concurrent session counts.
+const SESSIONS: [usize; 5] = [1, 4, 16, 48, 64];
+
+/// The pinned operating point for the smoke acceptance run.
+const SMOKE_SESSIONS: usize = 48;
+
+fn run(sessions: usize, config: ServiceConfig) -> OverloadReport {
+    simulate_overload_workload(sessions, PAGES, PAGE_LEN, config).expect("workload runs")
+}
+
+/// One measured point of the series: both disciplines at one session count.
+struct Point {
+    sessions: usize,
+    admitted: OverloadReport,
+    unbounded: OverloadReport,
+}
+
+fn measure_series() -> Vec<Point> {
+    SESSIONS
+        .iter()
+        .map(|&sessions| Point {
+            sessions,
+            admitted: run(sessions, ServiceConfig::default()),
+            unbounded: run(sessions, ServiceConfig::unbounded()),
+        })
+        .collect()
+}
+
+/// Writes the series as `BENCH_overload.json` at the repository root —
+/// the machine-readable perf-trajectory record for this experiment.
+fn emit_json(points: &[Point]) {
+    let mut series = Vec::new();
+    for p in points {
+        series.push(format!(
+            "    {{\n      \"sessions\": {},\n      \"admitted_goodput_pages_per_sec\": {:.4},\n      \
+             \"unbounded_goodput_pages_per_sec\": {:.4},\n      \
+             \"admitted_audio_p99_us\": {},\n      \"unbounded_audio_p99_us\": {},\n      \
+             \"admitted_shed\": {},\n      \"admitted_busy_rejections\": {},\n      \
+             \"admitted_queue_high_water\": {},\n      \"unbounded_queue_high_water\": {}\n    }}",
+            p.sessions,
+            p.admitted.goodput_pages_per_sec(),
+            p.unbounded.goodput_pages_per_sec(),
+            p.admitted.audio_p99.as_micros(),
+            p.unbounded.audio_p99.as_micros(),
+            p.admitted.shed,
+            p.admitted.busy_rejections,
+            p.admitted.queue_high_water,
+            p.unbounded.queue_high_water,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"E14\",\n  \"workload\": \"N sessions x {PAGES} x {PAGE_LEN} B pages, \
+         3 prefetches per demand page, session 0 audio-class, 10 Mbit/s Ethernet, optical server\",\n  \
+         \"per_conn_cap\": {},\n  \"global_cap\": {},\n  \"series\": [\n{}\n  ]\n}}\n",
+        ServiceConfig::DEFAULT_PER_CONN_CAP,
+        ServiceConfig::DEFAULT_GLOBAL_CAP,
+        series.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_overload.json");
+    if let Err(e) = std::fs::write(path, json) {
+        row("E14", &format!("could not write BENCH_overload.json: {e}"));
+    } else {
+        row("E14", "series written to BENCH_overload.json");
+    }
+}
+
+fn print_series() {
+    row(
+        "E14",
+        &format!("workload = N sessions x {PAGES} x 8 KB pages + 3x prefetch; shared Ethernet;"),
+    );
+    row(
+        "E14",
+        &format!(
+            "admitted caps = {}/conn, {} global, prefetch-first shedding; vs unbounded queues",
+            ServiceConfig::DEFAULT_PER_CONN_CAP,
+            ServiceConfig::DEFAULT_GLOBAL_CAP
+        ),
+    );
+    row("E14", "sessions  adm_pg/s  unb_pg/s  adm_p99_ms  unb_p99_ms  shed  busy  adm_hw  unb_hw");
+    let points = measure_series();
+    for p in &points {
+        row(
+            "E14",
+            &format!(
+                "{:>8}  {:>8.1}  {:>8.1}  {:>10.2}  {:>10.2}  {:>4}  {:>4}  {:>6}  {:>6}",
+                p.sessions,
+                p.admitted.goodput_pages_per_sec(),
+                p.unbounded.goodput_pages_per_sec(),
+                p.admitted.audio_p99.as_micros() as f64 / 1_000.0,
+                p.unbounded.audio_p99.as_micros() as f64 / 1_000.0,
+                p.admitted.shed,
+                p.admitted.busy_rejections,
+                p.admitted.queue_high_water,
+                p.unbounded.queue_high_water,
+            ),
+        );
+    }
+    emit_json(&points);
+}
+
+fn smoke() {
+    let admitted = run(SMOKE_SESSIONS, ServiceConfig::default());
+    let unbounded = run(SMOKE_SESSIONS, ServiceConfig::unbounded());
+    row(
+        "E14",
+        &format!(
+            "smoke: {SMOKE_SESSIONS} sessions  admitted {:.1} pg/s p99 {:.2} ms (shed {})  \
+             unbounded {:.1} pg/s p99 {:.2} ms (high water {})",
+            admitted.goodput_pages_per_sec(),
+            admitted.audio_p99.as_micros() as f64 / 1_000.0,
+            admitted.shed,
+            unbounded.goodput_pages_per_sec(),
+            unbounded.audio_p99.as_micros() as f64 / 1_000.0,
+            unbounded.queue_high_water,
+        ),
+    );
+    // The acceptance pin: under the 4x offered load the shed policy turns
+    // away speculation only — full demand goodput, zero demand/audio
+    // rejections, the queue bounded by its cap — and the audio-class tail
+    // beats the unbounded baseline's collapse.
+    let want = (SMOKE_SESSIONS * PAGES) as u64;
+    assert_eq!(admitted.pages, want, "every demand page completed: {admitted:?}");
+    assert_eq!(unbounded.pages, want, "unbounded baseline also completes: {unbounded:?}");
+    assert!(admitted.shed > 0, "overload actually shed prefetch: {admitted:?}");
+    assert_eq!(admitted.busy_rejections, 0, "demand and audio never turned away: {admitted:?}");
+    assert!(
+        admitted.queue_high_water <= ServiceConfig::DEFAULT_GLOBAL_CAP as u64,
+        "queue bounded by the global cap: {admitted:?}"
+    );
+    assert!(
+        admitted.audio_p99 < unbounded.audio_p99,
+        "audio p99 {:?} (admitted) must beat {:?} (unbounded)",
+        admitted.audio_p99,
+        unbounded.audio_p99
+    );
+    // The full series is cheap (simulated time), so the machine-readable
+    // artifact is always the complete five-point sweep.
+    emit_json(&measure_series());
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e14_overload");
+    for (label, config) in
+        [("admitted", ServiceConfig::default()), ("unbounded", ServiceConfig::unbounded())]
+    {
+        group.bench_with_input(BenchmarkId::new(label, SMOKE_SESSIONS), &config, |b, cfg| {
+            b.iter(|| run(SMOKE_SESSIONS, *cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    benches();
+}

@@ -48,10 +48,11 @@ pub use remote::{
     Connection, MiniatureBrowser, ServerEndpoint, Ticket, TransportStats, Workstation,
 };
 pub use sched::{
-    simulate_faulty_page_workload, simulate_page_workload, FaultyWorkloadReport, HubStore,
-    SessionKey, SessionScheduler, TransportMode, WorkloadReport,
+    simulate_faulty_page_workload, simulate_overload_workload, simulate_page_workload,
+    FaultyWorkloadReport, HubStore, OverloadReport, SessionKey, SessionScheduler, TransportMode,
+    WorkloadReport,
 };
-pub use session::{BrowsingSession, ObjectStore};
+pub use session::{BrowsingSession, ObjectStore, SessionCheckpoint};
 pub use tour::{TourEvent, TourRunner};
 pub use transparency::TransparencyViewer;
 pub use visual::{VisualEngine, VisualView};

@@ -34,11 +34,31 @@ use std::collections::{HashMap, HashSet, VecDeque};
 pub trait ServerEndpoint {
     /// Handles one request.
     fn handle(&mut self, request: &ServerRequest) -> (ServerResponse, SimDuration);
+
+    /// The endpoint's restart epoch. Endpoints that never restart report a
+    /// constant 0; a bump tells the connection its in-flight window was
+    /// lost in the restart and must be replayed.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// Clears any endpoint-side accounting (service-loop counters and
+    /// overload high-water marks). Endpoints without accounting need not
+    /// override.
+    fn reset_stats(&mut self) {}
 }
 
 impl ServerEndpoint for ObjectServer {
     fn handle(&mut self, request: &ServerRequest) -> (ServerResponse, SimDuration) {
         ObjectServer::handle(self, request)
+    }
+
+    fn epoch(&self) -> u64 {
+        ObjectServer::epoch(self)
+    }
+
+    fn reset_stats(&mut self) {
+        self.reset_service_stats();
     }
 }
 
@@ -81,6 +101,12 @@ pub struct TransportStats {
     /// Responses discarded because their `request_id` had already landed
     /// or been collected.
     pub duplicates: u64,
+    /// Server epoch changes survived: the connection re-handshook and
+    /// replayed its in-flight window after a restart.
+    pub epoch_resyncs: u64,
+    /// Request frames replayed (or retransmitted) because a server restart
+    /// dropped them from the service queue.
+    pub replays: u64,
 }
 
 /// Default pipelining budget: requests that may be in flight at once.
@@ -111,6 +137,9 @@ const BACKOFF_CAP: SimDuration = SimDuration::from_secs(4);
 /// response's arrival — that difference is where pipelining wins.
 pub struct Connection<E: ServerEndpoint> {
     endpoint: E,
+    /// The endpoint epoch last handshaken; a mismatch at the next submit
+    /// or wait triggers the resync-and-replay path.
+    server_epoch: u64,
     link: FaultyLink,
     clock: SimClock,
     conn_id: u64,
@@ -148,8 +177,10 @@ impl<E: ServerEndpoint> Connection<E> {
     /// machinery (deadlines, retransmission, duplicate suppression)
     /// engages.
     pub fn with_faults(endpoint: E, link: Link, window: usize, plan: FaultPlan) -> Self {
+        let server_epoch = endpoint.epoch();
         Connection {
             endpoint,
+            server_epoch,
             link: FaultyLink::new(link, plan),
             clock: SimClock::new(),
             conn_id: 1,
@@ -248,6 +279,77 @@ impl<E: ServerEndpoint> Connection<E> {
         self.collected.clear();
         self.transport = TransportStats::default();
         self.window = InflightWindow::new(self.window.capacity());
+        self.endpoint.reset_stats();
+        // A reset adopts the endpoint's current epoch: there is no window
+        // left to replay, so a restart before the reset costs nothing
+        // after it.
+        self.server_epoch = self.endpoint.epoch();
+    }
+
+    /// Detects a server restart (epoch bump) and recovers: a
+    /// `Hello`/`Welcome` handshake round trip is charged on the wire, then
+    /// the in-flight window is replayed *idempotently* — request ids are
+    /// unchanged and ids whose responses already landed or were collected
+    /// are skipped, so no request is ever served twice into the collected
+    /// stream.
+    fn resync_epoch(&mut self) {
+        if self.endpoint.epoch() == self.server_epoch {
+            return;
+        }
+        self.transport.epoch_resyncs += 1;
+        // The handshake round trip: Hello up, device-free answer, Welcome
+        // down, each on its resource timeline.
+        let hello =
+            Frame::request(self.conn_id, 0, ServerRequest::Hello { epoch: self.server_epoch });
+        let up = self.link.charge(hello.wire_size());
+        let hello_arrival = self.clock.now().max(self.up_free) + up;
+        self.up_free = hello_arrival;
+        let (answer, took) =
+            self.endpoint.handle(&ServerRequest::Hello { epoch: self.server_epoch });
+        let done = hello_arrival.max(self.dev_free) + took;
+        self.dev_free = done;
+        let welcome = Frame::response(self.conn_id, 0, answer.clone());
+        let down = self.link.charge(welcome.wire_size());
+        let delivered = done.max(self.down_free) + down;
+        self.down_free = delivered;
+        self.clock.advance_to_at_least(delivered);
+        self.server_epoch = match answer {
+            ServerResponse::Welcome { epoch } => epoch,
+            _ => self.endpoint.epoch(),
+        };
+        if self.link.is_clean() {
+            // Requests that reached the restarted server unanswered died
+            // with its volatile queue; put them back on the uplink with
+            // their original ids.
+            let replay: Vec<Frame> = self.pending.drain(..).map(|p| p.frame).collect();
+            for frame in replay {
+                if self.landed.contains_key(&frame.request_id)
+                    || self.collected.contains(&frame.request_id)
+                {
+                    continue;
+                }
+                self.transport.replays += 1;
+                let up = self.link.charge(frame.wire_size());
+                let arrival = self.clock.now().max(self.up_free) + up;
+                self.up_free = arrival;
+                self.pending.push_back(PendingFrame { frame, arrival });
+            }
+            return;
+        }
+        // Faulty links: in-server copies are gone; every still-outstanding
+        // request goes back through the ordinary transmit machinery (its
+        // deadline state is untouched — a replay is not a timeout).
+        self.pending.clear();
+        let lost: Vec<u64> = self
+            .outstanding
+            .keys()
+            .copied()
+            .filter(|rid| !self.landed.contains_key(rid) && !self.collected.contains(rid))
+            .collect();
+        for rid in lost {
+            self.transport.replays += 1;
+            self.transmit_request(rid);
+        }
     }
 
     /// Submits one request, charging its uplink transfer, and returns a
@@ -257,6 +359,7 @@ impl<E: ServerEndpoint> Connection<E> {
     /// response was lost is forced through the timeout machinery instead
     /// of being overrun.
     pub fn submit(&mut self, request: ServerRequest) -> Ticket {
+        self.resync_epoch();
         self.settle();
         while self.window.is_full() {
             self.dispatch();
@@ -338,6 +441,7 @@ impl<E: ServerEndpoint> Connection<E> {
     pub fn wait(&mut self, ticket: Ticket) -> Result<(ServerResponse, SimDuration)> {
         let started = self.clock.now();
         loop {
+            self.resync_epoch();
             self.dispatch();
             if let Some(landed) = self.landed.remove(&ticket.0) {
                 self.clock.advance_to_at_least(landed.ready_at);
@@ -361,6 +465,7 @@ impl<E: ServerEndpoint> Connection<E> {
     /// Collects the response for `ticket` only if it has already arrived;
     /// never advances the clock (and therefore never times anything out).
     pub fn poll(&mut self, ticket: Ticket) -> Option<ServerResponse> {
+        self.resync_epoch();
         self.dispatch();
         if self.landed.get(&ticket.0)?.ready_at > self.clock.now() {
             return None;
@@ -1126,12 +1231,94 @@ mod tests {
             stats.timeouts > 0 || stats.corrupt_frames > 0 || stats.duplicates > 0,
             "the chaos plan produced recovery work: {stats:?}"
         );
+        // A restart right before the reset adds the epoch counters to the
+        // pile the reset must clear.
+        conn.endpoint_mut().restart();
+        let ticket = conn.submit(ServerRequest::FetchMiniature { id: ObjectId::new(1) });
+        let _ = conn.wait(ticket);
+        assert!(conn.transport_stats().epoch_resyncs > 0);
+        // Queue traffic bumps the endpoint's overload accounting too.
+        conn.endpoint_mut()
+            .enqueue(Frame::request(9, 1, ServerRequest::FetchMiniature { id: ObjectId::new(1) }))
+            .unwrap();
+        let _ = conn.endpoint_mut().poll();
+        assert!(conn.endpoint().service_stats().queue_high_water > 0);
         conn.reset_accounting();
         assert_eq!(conn.transport_stats(), TransportStats::default());
         assert_eq!(conn.fault_stats(), minos_net::FaultStats::default());
         assert_eq!(conn.link_stats(), minos_net::LinkStats::default());
         assert_eq!(conn.in_flight(), 0);
         assert_eq!(conn.elapsed(), SimDuration::ZERO);
+        // The endpoint-side service counters (shed, busy_rejections,
+        // high-water marks) are part of the same reset path.
+        assert_eq!(*conn.endpoint().service_stats(), minos_server::ServiceStats::default());
+    }
+
+    #[test]
+    fn server_restart_mid_flight_replays_the_window_byte_identically() {
+        let (baseline_server, base) = server();
+        let mut baseline = Connection::new(baseline_server, Link::ethernet());
+        let spans: Vec<ByteSpan> = (0..3).map(|i| ByteSpan::at(base + i * 512, 512)).collect();
+        let expect: Vec<ServerResponse> = spans
+            .iter()
+            .map(|&span| {
+                let t = baseline.submit(ServerRequest::FetchSpan { span });
+                baseline.wait(t).unwrap().0
+            })
+            .collect();
+
+        let (restart_server, _) = server();
+        let mut conn = Connection::new(restart_server, Link::ethernet());
+        let tickets: Vec<Ticket> =
+            spans.iter().map(|&span| conn.submit(ServerRequest::FetchSpan { span })).collect();
+        // The window is in flight when the server dies and comes back.
+        conn.endpoint_mut().restart();
+        let got: Vec<ServerResponse> =
+            tickets.into_iter().map(|t| conn.wait(t).unwrap().0).collect();
+        assert_eq!(got, expect, "the replayed window must be byte-identical");
+        let stats = conn.transport_stats();
+        assert_eq!(stats.epoch_resyncs, 1);
+        assert_eq!(stats.replays, 3);
+        // A restart with nothing in flight costs a handshake and replays
+        // nothing — and the pipeline keeps serving.
+        conn.endpoint_mut().restart();
+        let t = conn.submit(ServerRequest::FetchSpan { span: spans[0] });
+        assert_eq!(conn.wait(t).unwrap().0, expect[0]);
+        assert_eq!(conn.transport_stats().epoch_resyncs, 2);
+        assert_eq!(conn.transport_stats().replays, 3);
+    }
+
+    #[test]
+    fn restarts_under_chaos_never_wedge_the_pipeline() {
+        let (server, _) = server();
+        let mut conn = Connection::with_faults(
+            server,
+            Link::ethernet(),
+            4,
+            minos_net::FaultPlan::chaos(23, 0.3),
+        )
+        .with_recovery(SimDuration::from_millis(50), 3);
+        for round in 0..6u64 {
+            let tickets: Vec<Ticket> = (0..3u64)
+                .map(|i| {
+                    conn.submit(ServerRequest::FetchMiniature {
+                        id: ObjectId::new(1 + ((round + i) % 2)),
+                    })
+                })
+                .collect();
+            if round % 2 == 0 {
+                conn.endpoint_mut().restart();
+            }
+            for t in tickets {
+                let (resp, _) = conn.wait(t).unwrap();
+                assert!(
+                    matches!(resp, ServerResponse::Miniature(_) | ServerResponse::Error(_)),
+                    "every slot settles with data or a typed error: {resp:?}"
+                );
+            }
+        }
+        assert!(conn.transport_stats().epoch_resyncs >= 3);
+        assert_eq!(conn.in_flight(), 0);
     }
 
     #[test]

@@ -24,21 +24,32 @@
 //! one session's connection: its lost prefetches degrade to demand fetches
 //! with a bounded retry budget, while every other session's event stream
 //! stays untouched.
+//!
+//! [`simulate_overload_workload`] is the robustness sibling (experiment
+//! E14): N sessions offer roughly four times their demand load as
+//! anticipatory prefetch-class traffic against a server whose admission
+//! control ([`ServiceConfig`]) sheds prefetches first. Audio-class pages
+//! are never shed and are served ahead of the rotation, so their tail
+//! latency tracks the admitted demand backlog instead of collapsing with
+//! the offered overload. The client half of the same policy lives in
+//! [`HubStore::note_upcoming`]: when the server queue is under admission
+//! pressure, anticipation is suspended rather than submitted-and-shed —
+//! the hint degrades to a later demand miss, never to wire noise.
 
 use crate::command::{BrowseCommand, BrowseEvent};
 use crate::prefetch::page_spans;
 use crate::remote::{Connection, Ticket, TransportStats};
 use crate::session::{BrowsingSession, ObjectStore};
 use minos_net::{
-    FaultPlan, FaultRng, FaultStats, Frame, FramePayload, Link, LinkStats, ServerRequest,
+    FaultPlan, FaultRng, FaultStats, Frame, FramePayload, Link, LinkStats, Priority, ServerRequest,
     ServerResponse,
 };
 use minos_object::MultimediaObject;
-use minos_server::{ObjectServer, ServiceStats};
+use minos_server::{ObjectServer, ServiceConfig, ServiceStats};
 use minos_text::PaginateConfig;
 use minos_types::{ByteSpan, MinosError, ObjectId, Result, SimClock, SimDuration, SimInstant};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 /// Fault state for one connection whose frames misbehave on the shared
@@ -96,15 +107,24 @@ impl Hub {
         }
     }
 
-    /// Puts one request frame on the shared uplink and queues it at the
-    /// server, returning its request id. On a faulty connection the frame's
-    /// bytes cross the fault layer first: wire time is charged for the
-    /// original transmission, but only copies that still decode reach the
-    /// server's queue — a lost request simply never produces a response.
-    fn send(&mut self, conn: u64, request: ServerRequest) -> Result<u64> {
+    /// Whether the server's inbound queue is under admission pressure:
+    /// with half the global headroom already spoken for, anticipatory
+    /// traffic should pause and leave the rest to demand fetches.
+    fn under_pressure(&self) -> bool {
+        let cap = self.server.service_config().global_cap;
+        cap != usize::MAX && 2 * self.server.pending_frames() >= cap
+    }
+
+    /// Puts one request frame of the given service class on the shared
+    /// uplink and queues it at the server, returning its request id. On a
+    /// faulty connection the frame's bytes cross the fault layer first:
+    /// wire time is charged for the original transmission, but only copies
+    /// that still decode reach the server's queue — a lost request simply
+    /// never produces a response.
+    fn send(&mut self, conn: u64, priority: Priority, request: ServerRequest) -> Result<u64> {
         let rid = self.next_request_id;
         self.next_request_id += 1;
-        let frame = Frame::request(conn, rid, request);
+        let frame = Frame::request_with_priority(conn, rid, priority, request);
         let up = self.link.transfer(frame.wire_size());
         let arrival = self.clock.now().max(self.up_free) + up;
         self.up_free = arrival;
@@ -183,6 +203,10 @@ impl Hub {
 pub struct HubStore {
     hub: Rc<RefCell<Hub>>,
     conn_id: u64,
+    /// Service class of this session's demand fetches (audio-driven
+    /// sessions upgrade to [`Priority::Audio`]; prefetch hints always go
+    /// out as [`Priority::Prefetch`]).
+    demand_class: Priority,
     /// Objects whose transfer has completed, with their delivery instant.
     cache: HashMap<ObjectId, (MultimediaObject, SimInstant)>,
     /// Outstanding object requests by request id.
@@ -195,6 +219,7 @@ impl HubStore {
         HubStore {
             hub,
             conn_id,
+            demand_class: Priority::Demand,
             cache: HashMap::new(),
             pending: HashMap::new(),
             waited: SimDuration::ZERO,
@@ -204,6 +229,18 @@ impl HubStore {
     /// The connection id this store submits on.
     pub fn conn_id(&self) -> u64 {
         self.conn_id
+    }
+
+    /// Service class this store's demand fetches are tagged with.
+    pub fn demand_class(&self) -> Priority {
+        self.demand_class
+    }
+
+    /// Tags future demand fetches with `class` — the scheduler marks
+    /// audio-driven sessions [`Priority::Audio`] so the server's shed
+    /// policy can never reject their transfers.
+    pub fn set_demand_class(&mut self, class: Priority) {
+        self.demand_class = class;
     }
 
     /// Total time this session's user spent waiting on transfers.
@@ -252,8 +289,11 @@ impl ObjectStore for HubStore {
             // Demand fetch: submit (unless a prefetch is already in
             // flight) and serve this connection's queue now.
             if !self.pending.values().any(|&p| p == id) {
-                let rid =
-                    self.hub.borrow_mut().send(self.conn_id, ServerRequest::FetchObject { id })?;
+                let rid = self.hub.borrow_mut().send(
+                    self.conn_id,
+                    self.demand_class,
+                    ServerRequest::FetchObject { id },
+                )?;
                 self.pending.insert(rid, id);
             }
             self.hub.borrow_mut().pump(&[self.conn_id]);
@@ -276,11 +316,21 @@ impl ObjectStore for HubStore {
             if self.cache.contains_key(&id) || self.pending.values().any(|&p| p == id) {
                 continue;
             }
+            // Deadline-aware shedding, client half: with the server's
+            // queue under admission pressure, anticipation is suspended
+            // rather than submitted-and-shed. The hint degrades to a
+            // later demand miss (the fault-recovery path), never to wire
+            // noise the server must reject.
+            if self.hub.borrow().under_pressure() {
+                return;
+            }
             // Anticipation must never fail the operation that triggered
             // it; a rejected prefetch frame is simply no prefetch.
-            if let Ok(rid) =
-                self.hub.borrow_mut().send(self.conn_id, ServerRequest::FetchObject { id })
-            {
+            if let Ok(rid) = self.hub.borrow_mut().send(
+                self.conn_id,
+                Priority::Prefetch,
+                ServerRequest::FetchObject { id },
+            ) {
                 self.pending.insert(rid, id);
             }
         }
@@ -336,9 +386,21 @@ impl SessionScheduler {
             conn
         };
         let store = HubStore::new(Rc::clone(&self.hub), conn_id);
-        let (session, events) = BrowsingSession::open(store, id, config, audio_page_len)?;
+        let (mut session, events) = BrowsingSession::open(store, id, config, audio_page_len)?;
+        if session.audio().is_some() {
+            // A voice-driven session's transfers have playback deadlines:
+            // tag its demand fetches audio-class so the server's shed
+            // policy can never reject them.
+            session.store_mut().set_demand_class(Priority::Audio);
+        }
         self.slots.push(Slot { conn_id, session, events: Vec::new() });
         Ok((SessionKey(self.slots.len() - 1), events))
+    }
+
+    /// Replaces the shared server's admission-control knobs (queue caps
+    /// and the busy retry hint) for every session.
+    pub fn set_service_config(&mut self, config: ServiceConfig) {
+        self.hub.borrow_mut().server.set_service_config(config);
     }
 
     /// Number of open sessions.
@@ -580,6 +642,236 @@ pub fn simulate_faulty_page_workload(
         bytes: conn.bytes_transferred(),
         transport: conn.transport_stats(),
         faults: conn.fault_stats(),
+    })
+}
+
+/// Demand-page window each overload session keeps in flight.
+const OVERLOAD_WINDOW: usize = 2;
+
+/// Speculative prefetch-class fetches issued per demand page by the
+/// overload workload — one demand page plus three anticipatory fetches is
+/// the paper-scale "4x offered load".
+const OVERLOAD_PREFETCH_FACTOR: usize = 3;
+
+/// What one [`simulate_overload_workload`] run measured — the E14 report:
+/// demand goodput, audio-class tail latency, and what the admission
+/// control shed to keep them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverloadReport {
+    /// Wall-clock time until the last demand page was delivered.
+    pub elapsed: SimDuration,
+    /// Demand pages delivered byte-identical (audio pages included).
+    pub pages: u64,
+    /// Audio-class pages delivered (session 0's stream).
+    pub audio_pages: u64,
+    /// 99th-percentile audio-page service latency (submit to delivery) —
+    /// the playback-stall proxy: latency beyond the page period is time
+    /// the listener hears silence.
+    pub audio_p99: SimDuration,
+    /// Worst audio-page service latency.
+    pub audio_worst: SimDuration,
+    /// Request frames offered, speculative prefetches included.
+    pub offered: u64,
+    /// Speculative prefetch pages the server actually served.
+    pub prefetch_served: u64,
+    /// Prefetch-class frames the admission control shed.
+    pub shed: u64,
+    /// Demand/audio frames rejected outright (no sheddable victim).
+    pub busy_rejections: u64,
+    /// Most request frames queued at once across all connections.
+    pub queue_high_water: u64,
+    /// Bytes moved over the shared link.
+    pub bytes: u64,
+}
+
+impl OverloadReport {
+    /// Demand goodput in verified pages per simulated second.
+    pub fn goodput_pages_per_sec(&self) -> f64 {
+        let micros = self.elapsed.as_micros();
+        if micros == 0 {
+            return 0.0;
+        }
+        self.pages as f64 * 1_000_000.0 / micros as f64
+    }
+}
+
+/// Runs the E14 workload: `sessions` concurrent readers, each keeping
+/// [`OVERLOAD_WINDOW`] demand pages in flight and fanning every demand
+/// page out into [`OVERLOAD_PREFETCH_FACTOR`] speculative prefetch-class
+/// fetches — a 4x offered load against a server admitting under `config`
+/// (pass [`ServiceConfig::unbounded`] for the no-shedding baseline).
+///
+/// Session 0 is the audio-driven reader: its demand pages are
+/// [`Priority::Audio`] (never sheddable) and its connection is served
+/// ahead of the rotation, mirroring the scheduler's deadline policy. Its
+/// per-page service latency distribution is the experiment's stall curve.
+/// Prefetch spans are stride-scattered so the service loop cannot coalesce
+/// them away — the overload is real device work, not adjacent-run sugar.
+///
+/// Every demand page is verified byte-for-byte; a demand page the server
+/// turns away with [`ServerResponse::Busy`] is resubmitted the next round
+/// (with admission control that only happens when no prefetch victim
+/// remains), so a run either completes or reports the failure typed.
+pub fn simulate_overload_workload(
+    sessions: usize,
+    pages_per_session: usize,
+    page_len: u64,
+    config: ServiceConfig,
+) -> Result<OverloadReport> {
+    if sessions == 0 || pages_per_session == 0 || page_len == 0 {
+        return Err(MinosError::Internal("workload needs sessions, pages, and bytes".into()));
+    }
+    let mut server = ObjectServer::new();
+    server.set_service_config(config);
+    let mut plans: Vec<(u64, Vec<ByteSpan>)> = Vec::with_capacity(sessions);
+    for s in 0..sessions {
+        let data: Vec<u8> =
+            (0..pages_per_session as u64 * page_len).map(|i| (i % 251) as u8).collect();
+        let (record, _) = server.archiver_mut().store(ObjectId::new(s as u64 + 1), &data)?;
+        plans.push((record.span.start, page_spans(record.span, pages_per_session)));
+    }
+    let mut link = Link::ethernet();
+    let verify = |base: u64, span: ByteSpan, bytes: &[u8]| -> Result<()> {
+        let expect: Vec<u8> =
+            (span.start - base..span.end - base).map(|i| (i % 251) as u8).collect();
+        if bytes != expect {
+            return Err(MinosError::Internal(format!("wrong bytes for {span}")));
+        }
+        Ok(())
+    };
+
+    struct InFlightPage {
+        span: ByteSpan,
+        page: usize,
+        submitted: SimInstant,
+        prefetch: bool,
+    }
+    let mut up_free = SimInstant::EPOCH;
+    let mut dev_free = SimInstant::EPOCH;
+    let mut down_free = SimInstant::EPOCH;
+    let mut arrivals: HashMap<(u64, u64), SimInstant> = HashMap::new();
+    let mut inflight: HashMap<(u64, u64), InFlightPage> = HashMap::new();
+    let mut todo: Vec<VecDeque<usize>> =
+        (0..sessions).map(|_| (0..pages_per_session).collect()).collect();
+    let mut outstanding = vec![0usize; sessions];
+    let mut batch: Vec<(usize, usize, bool)> = Vec::new();
+    let mut next_rid = 1u64;
+    let mut last_delivered = SimInstant::EPOCH;
+    let mut delivered = 0u64;
+    let mut audio_pages = 0u64;
+    let mut audio_lat: Vec<SimDuration> = Vec::new();
+    let mut offered = 0u64;
+    let mut prefetch_served = 0u64;
+    let mut rounds = 0u32;
+    while todo.iter().any(|q| !q.is_empty()) || outstanding.iter().any(|&o| o > 0) {
+        rounds += 1;
+        if rounds > 100_000 {
+            return Err(MinosError::Internal("overload workload failed to converge".into()));
+        }
+        for s in 0..sessions {
+            while outstanding[s] < OVERLOAD_WINDOW {
+                let Some(page) = todo[s].pop_front() else {
+                    break;
+                };
+                outstanding[s] += 1;
+                batch.push((s, page, false));
+                for j in 1..=OVERLOAD_PREFETCH_FACTOR {
+                    // Stride-scattered speculation: never adjacent to the
+                    // demand span, so runs cannot coalesce it into a
+                    // single cheap device pass.
+                    batch.push((s, (page + j * 7) % pages_per_session, true));
+                }
+            }
+        }
+        for (s, page, prefetch) in batch.drain(..) {
+            let span = plans[s].1[page];
+            let class = if prefetch {
+                Priority::Prefetch
+            } else if s == 0 {
+                Priority::Audio
+            } else {
+                Priority::Demand
+            };
+            let frame = Frame::request_with_priority(
+                s as u64 + 1,
+                next_rid,
+                class,
+                ServerRequest::FetchSpan { span },
+            );
+            next_rid += 1;
+            offered += 1;
+            let submitted = up_free;
+            let arrival = up_free + link.transfer(frame.wire_size());
+            up_free = arrival;
+            arrivals.insert((frame.conn_id, frame.request_id), arrival);
+            inflight.insert(
+                (frame.conn_id, frame.request_id),
+                InFlightPage { span, page, submitted, prefetch },
+            );
+            server.enqueue(frame)?;
+        }
+        // Deadline-aware service: the audio connection drains first, then
+        // the server's own round-robin rotation.
+        while let Some((frame, charge)) = server.poll_conn(1).or_else(|| server.poll_timed()) {
+            let key = (frame.conn_id, frame.request_id);
+            let arrival = arrivals.remove(&key).unwrap_or(up_free);
+            let done = arrival.max(dev_free) + charge;
+            dev_free = done;
+            let at = done.max(down_free) + link.transfer(frame.wire_size());
+            down_free = at;
+            last_delivered = last_delivered.max(at);
+            let Some(meta) = inflight.remove(&key) else {
+                continue;
+            };
+            let s = frame.conn_id as usize - 1;
+            let FramePayload::Response(response) = frame.payload else {
+                continue;
+            };
+            match response {
+                ServerResponse::Span(bytes) => {
+                    if meta.prefetch {
+                        // Speculative bytes cost real device and downlink
+                        // time; the workload discards them.
+                        prefetch_served += 1;
+                        continue;
+                    }
+                    verify(plans[s].0, meta.span, &bytes)?;
+                    outstanding[s] -= 1;
+                    delivered += 1;
+                    if s == 0 {
+                        audio_pages += 1;
+                        audio_lat.push(at.since(meta.submitted));
+                    }
+                }
+                ServerResponse::Busy { .. } => {
+                    if meta.prefetch {
+                        continue;
+                    }
+                    // A turned-away demand page comes back next round.
+                    outstanding[s] -= 1;
+                    todo[s].push_front(meta.page);
+                }
+                other => {
+                    return Err(MinosError::Internal(format!("unexpected response {other:?}")));
+                }
+            }
+        }
+    }
+    audio_lat.sort();
+    let p99_rank = (audio_lat.len() * 99).div_ceil(100).saturating_sub(1);
+    let stats = server.service_stats();
+    Ok(OverloadReport {
+        elapsed: last_delivered.since(SimInstant::EPOCH),
+        pages: delivered,
+        audio_pages,
+        audio_p99: audio_lat.get(p99_rank).copied().unwrap_or(SimDuration::ZERO),
+        audio_worst: audio_lat.last().copied().unwrap_or(SimDuration::ZERO),
+        offered,
+        prefetch_served,
+        shed: stats.shed,
+        busy_rejections: stats.busy_rejections,
+        queue_high_water: stats.queue_high_water,
+        bytes: link.stats().bytes,
     })
 }
 
@@ -943,5 +1235,115 @@ mod tests {
             simulate_page_workload(16, 8, 8_192, TransportMode::Pipelined { window: 8 }).unwrap();
         let ratio = piped.pages_per_sec() / blocking.pages_per_sec();
         assert!(ratio >= 2.0, "pipelined/blocking ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn admission_control_sheds_prefetch_and_keeps_demand_whole() {
+        let caps = ServiceConfig { per_conn_cap: 8, global_cap: 32, ..ServiceConfig::default() };
+        let admitted = simulate_overload_workload(16, 6, 4_096, caps).unwrap();
+        let unbounded =
+            simulate_overload_workload(16, 6, 4_096, ServiceConfig::unbounded()).unwrap();
+        // Every demand page lands byte-identical in both runs — shedding
+        // costs speculation, never the user's page.
+        assert_eq!(admitted.pages, 16 * 6);
+        assert_eq!(unbounded.pages, 16 * 6);
+        assert_eq!(admitted.audio_pages, 6);
+        // The overload is real: the admission control had prefetches to
+        // shed, and it only ever shed prefetches.
+        assert!(admitted.shed > 0, "{admitted:?}");
+        assert_eq!(admitted.busy_rejections, 0, "demand never turned away: {admitted:?}");
+        assert_eq!(unbounded.shed, 0);
+        assert!(admitted.prefetch_served < unbounded.prefetch_served);
+        // The queue really is bounded, and the audio tail is the payoff:
+        // shedding keeps the listener's p99 latency below the unbounded
+        // collapse, and demand goodput above it.
+        assert!(admitted.queue_high_water <= 32, "{admitted:?}");
+        assert!(unbounded.queue_high_water > 32, "{unbounded:?}");
+        assert!(
+            admitted.audio_p99 < unbounded.audio_p99,
+            "admitted {:?} vs unbounded {:?}",
+            admitted.audio_p99,
+            unbounded.audio_p99
+        );
+        assert!(admitted.elapsed < unbounded.elapsed);
+        assert!(admitted.goodput_pages_per_sec() > unbounded.goodput_pages_per_sec());
+    }
+
+    #[test]
+    fn anticipation_suspends_under_admission_pressure() {
+        let config = PaginateConfig::default();
+        let page = SimDuration::from_secs(5);
+        let mut sched = SessionScheduler::new(corpus_server(), Link::ethernet());
+        // One queued frame already counts as pressure under this cap, so
+        // opening the map may announce both overlays but issue at most one
+        // anticipatory fetch before suspending.
+        sched.set_service_config(ServiceConfig {
+            per_conn_cap: 1,
+            global_cap: 1,
+            ..ServiceConfig::default()
+        });
+        let (key, _) = sched.open(ObjectId::new(3), config, page).unwrap();
+        for _ in 0..4 {
+            sched.tick(SimDuration::from_secs(1));
+        }
+        // Suspension means no prefetch was submitted-and-shed: the server
+        // never had to reject anything.
+        assert_eq!(sched.service_stats().shed, 0);
+        assert_eq!(sched.service_stats().busy_rejections, 0);
+        // The first overlay's prefetch went out before pressure and
+        // landed; the second was suspended and degrades to a demand miss.
+        let waited_before = sched.session(key).unwrap().store().waited();
+        sched.apply(key, BrowseCommand::SelectRelevant(0)).unwrap();
+        assert_eq!(sched.session(key).unwrap().object().id, ObjectId::new(4));
+        assert_eq!(sched.session(key).unwrap().store().waited(), waited_before);
+        sched.apply(key, BrowseCommand::ReturnFromRelevant).unwrap();
+        sched.apply(key, BrowseCommand::SelectRelevant(1)).unwrap();
+        assert_eq!(sched.session(key).unwrap().object().id, ObjectId::new(5));
+        assert!(
+            sched.session(key).unwrap().store().waited() > waited_before,
+            "the suspended prefetch degraded to a demand wait"
+        );
+    }
+
+    #[test]
+    fn audio_sessions_tag_their_demand_class() {
+        let config = PaginateConfig::default();
+        let page = SimDuration::from_secs(5);
+        let mut sched = SessionScheduler::new(corpus_server(), Link::ethernet());
+        let (visual, _) = sched.open(ObjectId::new(1), config, page).unwrap();
+        let (audio, _) = sched.open(ObjectId::new(2), config, page).unwrap();
+        assert_eq!(sched.session(visual).unwrap().store().demand_class(), Priority::Demand);
+        assert_eq!(sched.session(audio).unwrap().store().demand_class(), Priority::Audio);
+    }
+
+    #[test]
+    fn zero_elapsed_reports_rate_as_zero() {
+        // Pinned: a degenerate zero-length run reports zero throughput,
+        // never a division-by-zero NaN or infinity.
+        let report = WorkloadReport { elapsed: SimDuration::ZERO, pages: 5, bytes: 1 };
+        assert_eq!(report.pages_per_sec(), 0.0);
+        let faulty = FaultyWorkloadReport {
+            elapsed: SimDuration::ZERO,
+            pages: 5,
+            failed: 0,
+            bytes: 1,
+            transport: TransportStats::default(),
+            faults: FaultStats::default(),
+        };
+        assert_eq!(faulty.pages_per_sec(), 0.0);
+        let overload = OverloadReport {
+            elapsed: SimDuration::ZERO,
+            pages: 5,
+            audio_pages: 5,
+            audio_p99: SimDuration::ZERO,
+            audio_worst: SimDuration::ZERO,
+            offered: 20,
+            prefetch_served: 0,
+            shed: 0,
+            busy_rejections: 0,
+            queue_high_water: 0,
+            bytes: 1,
+        };
+        assert_eq!(overload.goodput_pages_per_sec(), 0.0);
     }
 }

@@ -14,7 +14,8 @@ use crate::visual::{VisualEngine, VisualView};
 use minos_object::{relevant, DrivingMode, MultimediaObject, RelevantLink};
 use minos_screen::{Menu, MenuItem};
 use minos_text::PaginateConfig;
-use minos_types::{MinosError, ObjectId, Result, SimDuration};
+use minos_types::{Decoder, Encoder, MinosError, ObjectId, Result, SimDuration, SimInstant};
+use minos_voice::PlaybackState;
 use std::collections::HashMap;
 
 /// Source of multimedia objects for relevant-object navigation.
@@ -41,6 +42,107 @@ impl ObjectStore for HashMap<ObjectId, MultimediaObject> {
 enum ModeEngine {
     Visual(Box<VisualEngine>),
     Audio(Box<AudioEngine>),
+}
+
+/// Checkpoint of one stack frame: the object, where browsing stood in
+/// it, and the presentation state a rebuilt engine cannot rederive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct FrameCheckpoint {
+    /// The browsed object (the driving mode — and hence the meaning of
+    /// `position` — is rederived from the refetched object).
+    object: ObjectId,
+    /// Visual: character offset. Audio: playback position in µs.
+    position: u64,
+    /// Audio only: whether playback was running (a checkpoint taken
+    /// mid-interrupt must resume interrupted).
+    playing: bool,
+    /// Visual only: show-once messages already displayed.
+    shown_once: Vec<usize>,
+}
+
+/// Wire flag: the frame's audio playback was running at checkpoint time.
+const CHECKPOINT_PLAYING: u8 = 1;
+
+/// A compact, codec'd snapshot of a [`BrowsingSession`]'s browsing state:
+/// the relevant-object stack bottom-up, each frame's position, and the
+/// presentation state a rebuilt engine cannot rederive. Everything else —
+/// pagination, menus, message anchors — is a pure function of the objects
+/// and is rebuilt on [`BrowsingSession::resume`], so the record stays a
+/// few dozen bytes no matter how large the browsed documents are.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionCheckpoint {
+    frames: Vec<FrameCheckpoint>,
+}
+
+/// Version byte leading every encoded checkpoint record.
+const CHECKPOINT_VERSION: u8 = 1;
+
+impl SessionCheckpoint {
+    /// Nesting depth recorded in the snapshot.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The object ids on the recorded stack, bottom-up.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        self.frames.iter().map(|f| f.object).collect()
+    }
+
+    /// Encodes the snapshot to its wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u8(CHECKPOINT_VERSION);
+        e.put_varint(self.frames.len() as u64);
+        for frame in &self.frames {
+            e.put_varint(frame.object.raw());
+            e.put_varint(frame.position);
+            e.put_u8(if frame.playing { CHECKPOINT_PLAYING } else { 0 });
+            e.put_varint(frame.shown_once.len() as u64);
+            for &m in &frame.shown_once {
+                e.put_varint(m as u64);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes a snapshot, rejecting unknown versions, unknown flag bits,
+    /// and trailing bytes with typed errors.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut d = Decoder::new(bytes);
+        let version = d.get_u8()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(MinosError::Codec(format!("unknown checkpoint version {version}")));
+        }
+        let count = d.get_varint()?;
+        if count == 0 {
+            return Err(MinosError::Codec("checkpoint records an empty stack".into()));
+        }
+        let mut frames = Vec::new();
+        for _ in 0..count {
+            let object = ObjectId::new(d.get_varint()?);
+            let position = d.get_varint()?;
+            let flags = d.get_u8()?;
+            if flags & !CHECKPOINT_PLAYING != 0 {
+                return Err(MinosError::Codec(format!("unknown checkpoint flags {flags:#x}")));
+            }
+            let shown = d.get_len()?;
+            let mut shown_once = Vec::with_capacity(shown);
+            for _ in 0..shown {
+                let index = usize::try_from(d.get_varint()?).map_err(|_| {
+                    MinosError::Codec("checkpoint message index overflows usize".into())
+                })?;
+                shown_once.push(index);
+            }
+            frames.push(FrameCheckpoint {
+                object,
+                position,
+                playing: flags & CHECKPOINT_PLAYING != 0,
+                shown_once,
+            });
+        }
+        d.expect_end()?;
+        Ok(SessionCheckpoint { frames })
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -71,6 +173,81 @@ impl<S: ObjectStore> BrowsingSession<S> {
         let events = session.push_object(object)?;
         session.announce_upcoming();
         Ok((session, events))
+    }
+
+    /// Snapshots the browsing state: the relevant-object stack bottom-up
+    /// with each frame's position and presentation state. The snapshot
+    /// holds ids, not objects — [`BrowsingSession::resume`] refetches them,
+    /// so a record survives a server restart as long as the archive does.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        let frames = self
+            .stack
+            .iter()
+            .map(|frame| match &frame.engine {
+                ModeEngine::Visual(e) => FrameCheckpoint {
+                    object: frame.object.id,
+                    position: u64::from(e.position()),
+                    playing: false,
+                    shown_once: e.shown_once(),
+                },
+                ModeEngine::Audio(e) => FrameCheckpoint {
+                    object: frame.object.id,
+                    position: e.position().since(SimInstant::EPOCH).as_micros(),
+                    playing: e.state() == PlaybackState::Playing,
+                    shown_once: Vec::new(),
+                },
+            })
+            .collect();
+        SessionCheckpoint { frames }
+    }
+
+    /// Resumes a session from `checkpoint`: refetches every stacked object
+    /// bottom-up, rebuilds its engine, and seeks it back to the recorded
+    /// position — restoring show-once suppression and playback state, so
+    /// the resumed session presents byte-identically to the one that was
+    /// checkpointed. Entry/seek events are swallowed: nothing "happened"
+    /// from the user's point of view, the session simply continues.
+    pub fn resume(
+        store: S,
+        checkpoint: &SessionCheckpoint,
+        config: PaginateConfig,
+        audio_page_len: SimDuration,
+    ) -> Result<Self> {
+        if checkpoint.frames.is_empty() {
+            return Err(MinosError::WrongState("checkpoint records an empty stack".into()));
+        }
+        let mut session = BrowsingSession { store, stack: Vec::new(), config, audio_page_len };
+        for frame in &checkpoint.frames {
+            let object = session.store.fetch(frame.object)?;
+            if !object.is_archived() {
+                return Err(MinosError::WrongState(format!(
+                    "{} is not archived; browsing applies to archived objects",
+                    object.id
+                )));
+            }
+            let mut engine = session.build_engine(&object)?;
+            match &mut engine {
+                ModeEngine::Visual(e) => {
+                    let position = u32::try_from(frame.position).map_err(|_| {
+                        MinosError::Codec(format!(
+                            "visual position {} exceeds the document range",
+                            frame.position
+                        ))
+                    })?;
+                    e.restore_shown_once(&frame.shown_once);
+                    let _ = e.seek(position);
+                }
+                ModeEngine::Audio(e) => {
+                    let _ = e.seek(SimInstant::EPOCH + SimDuration::from_micros(frame.position));
+                    if frame.playing {
+                        let _ = e.resume();
+                    }
+                }
+            }
+            session.stack.push(Frame { object, engine });
+        }
+        session.announce_upcoming();
+        Ok(session)
     }
 
     /// Reports the visible relevant-object targets to the store so it can
@@ -485,6 +662,166 @@ mod tests {
             SimDuration::from_secs(5),
         );
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_the_codec() {
+        let (mut session, _) = open(3);
+        session.apply(BrowseCommand::SelectRelevant(1)).unwrap();
+        session.apply(BrowseCommand::NextPage).unwrap();
+        let checkpoint = session.checkpoint();
+        assert_eq!(checkpoint.depth(), 2);
+        assert_eq!(checkpoint.objects(), vec![ObjectId::new(3), ObjectId::new(5)]);
+        let decoded = SessionCheckpoint::decode(&checkpoint.encode()).unwrap();
+        assert_eq!(decoded, checkpoint);
+    }
+
+    #[test]
+    fn mutated_checkpoints_fail_typed() {
+        let (session, _) = open(1);
+        let bytes = session.checkpoint().encode();
+        // Truncation, a bumped version byte, unknown flag bits, and
+        // trailing garbage all fail typed — never a panic, never a
+        // silently different session.
+        for cut in 0..bytes.len() {
+            assert!(SessionCheckpoint::decode(&bytes[..cut]).is_err(), "truncated at {cut}");
+        }
+        let mut wrong_version = bytes.clone();
+        wrong_version[0] = 9;
+        assert!(matches!(SessionCheckpoint::decode(&wrong_version), Err(MinosError::Codec(_))));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(SessionCheckpoint::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn resumed_visual_session_presents_byte_identically() {
+        let (mut session, _) = open(1);
+        session.apply(BrowseCommand::NextPage).unwrap();
+        session.apply(BrowseCommand::NextPage).unwrap();
+        let checkpoint = session.checkpoint();
+        let resumed = BrowsingSession::resume(
+            store(),
+            &SessionCheckpoint::decode(&checkpoint.encode()).unwrap(),
+            PaginateConfig::default(),
+            SimDuration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resumed.depth(), session.depth());
+        assert_eq!(resumed.object().id, session.object().id);
+        assert_eq!(resumed.visual_position(), session.visual_position());
+        assert_eq!(resumed.visual_view().unwrap().page, session.visual_view().unwrap().page);
+        assert_eq!(resumed.menu(), session.menu());
+    }
+
+    #[test]
+    fn resume_restores_the_relevant_object_stack() {
+        let (mut session, _) = open(3);
+        session.apply(BrowseCommand::SelectRelevant(0)).unwrap();
+        let checkpoint = session.checkpoint();
+        let mut resumed = BrowsingSession::resume(
+            store(),
+            &checkpoint,
+            PaginateConfig::default(),
+            SimDuration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resumed.depth(), 2);
+        assert_eq!(resumed.object().id, ObjectId::new(4));
+        // The parent's browsing state was reestablished too: returning
+        // lands on the map exactly as the original session would.
+        let expect = session.apply(BrowseCommand::ReturnFromRelevant).unwrap();
+        let got = resumed.apply(BrowseCommand::ReturnFromRelevant).unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(resumed.object().id, ObjectId::new(3));
+    }
+
+    #[test]
+    fn resume_restores_audio_position_and_interrupt_state() {
+        let (mut session, _) = open(2);
+        session.tick(SimDuration::from_secs(8));
+        session.apply(BrowseCommand::Interrupt).unwrap();
+        let interrupted = session.checkpoint();
+        let resumed = BrowsingSession::resume(
+            store(),
+            &interrupted,
+            PaginateConfig::default(),
+            SimDuration::from_secs(5),
+        )
+        .unwrap();
+        let original = session.audio().unwrap();
+        let restored = resumed.audio().unwrap();
+        assert_eq!(restored.position(), original.position());
+        assert_eq!(restored.state(), minos_voice::PlaybackState::Interrupted);
+
+        // And a checkpoint taken while playing resumes playing: the next
+        // tick advances both sessions identically.
+        session.apply(BrowseCommand::Resume).unwrap();
+        let playing = session.checkpoint();
+        let mut resumed = BrowsingSession::resume(
+            store(),
+            &playing,
+            PaginateConfig::default(),
+            SimDuration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resumed.audio().unwrap().state(), minos_voice::PlaybackState::Playing);
+        let expect = session.tick(SimDuration::from_secs(3));
+        let got = resumed.tick(SimDuration::from_secs(3));
+        assert_eq!(got, expect);
+        assert_eq!(resumed.audio().unwrap().position(), session.audio().unwrap().position());
+    }
+
+    #[test]
+    fn resume_preserves_show_once_suppression() {
+        // Browsing into the x-ray pins it once; paging away and back must
+        // not re-pin it — and neither may a resume that crosses the same
+        // position.
+        let (mut session, _) = open(1);
+        let mut pinned_pages = 0;
+        for _ in 0..6 {
+            let events = session.apply(BrowseCommand::NextPage).unwrap();
+            if events.iter().any(|e| matches!(e, BrowseEvent::VisualMessagePinned(_))) {
+                pinned_pages += 1;
+            }
+        }
+        let checkpoint = session.checkpoint();
+        let mut resumed = BrowsingSession::resume(
+            store(),
+            &checkpoint,
+            PaginateConfig::default(),
+            SimDuration::from_secs(5),
+        )
+        .unwrap();
+        // Walk both sessions back to the front and forward again: the
+        // suppression state must agree at every step.
+        for _ in 0..6 {
+            let expect = session.apply(BrowseCommand::PreviousPage).unwrap();
+            let got = resumed.apply(BrowseCommand::PreviousPage).unwrap();
+            assert_eq!(got, expect);
+        }
+        for _ in 0..6 {
+            let expect = session.apply(BrowseCommand::NextPage).unwrap();
+            let got = resumed.apply(BrowseCommand::NextPage).unwrap();
+            assert_eq!(got, expect);
+        }
+        let _ = pinned_pages;
+    }
+
+    #[test]
+    fn resume_with_missing_object_fails_typed() {
+        let (session, _) = open(1);
+        let checkpoint = session.checkpoint();
+        let empty: HashMap<ObjectId, MultimediaObject> = HashMap::new();
+        assert!(matches!(
+            BrowsingSession::resume(
+                empty,
+                &checkpoint,
+                PaginateConfig::default(),
+                SimDuration::from_secs(5),
+            ),
+            Err(MinosError::UnknownObject(_))
+        ));
     }
 
     #[test]

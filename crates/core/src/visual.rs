@@ -332,6 +332,23 @@ impl VisualEngine {
     pub fn seek(&mut self, pos: u32) -> Vec<BrowseEvent> {
         self.goto_pos(pos)
     }
+
+    /// The show-once messages already displayed, in ascending order —
+    /// checkpoint state: a resumed engine that forgot these would re-pin
+    /// a "show once" message the user has already seen.
+    pub fn shown_once(&self) -> Vec<usize> {
+        let mut shown: Vec<usize> = self.shown_once.iter().copied().collect();
+        shown.sort_unstable();
+        shown
+    }
+
+    /// Marks `messages` as already shown (checkpoint restore). Call
+    /// before [`VisualEngine::seek`]: the seek recomputes the active
+    /// region honouring the restored suppression.
+    pub fn restore_shown_once(&mut self, messages: &[usize]) {
+        self.shown_once.extend(messages.iter().copied());
+        self.pinned_now = self.active_region_index().map(|r| self.regions[r].message);
+    }
 }
 
 #[cfg(test)]

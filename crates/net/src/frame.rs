@@ -36,6 +36,49 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// The service class a frame travels under (§5 overload policy).
+///
+/// One wire byte in the [`Frame`] envelope, ordered by urgency: the
+/// server's admission control sheds [`Priority::Prefetch`] traffic first
+/// and preserves [`Priority::Audio`] and [`Priority::Demand`] requests,
+/// so speculation never starves the work a user is actually waiting on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Continuous-media traffic with a playback deadline (never shed).
+    Audio,
+    /// A synchronous user-facing fetch the session is blocked on (never
+    /// shed while any prefetch remains sheddable).
+    Demand,
+    /// Speculative read-ahead; the first class dropped under overload.
+    Prefetch,
+}
+
+impl Priority {
+    /// The envelope byte for this class.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            Priority::Audio => 0,
+            Priority::Demand => 1,
+            Priority::Prefetch => 2,
+        }
+    }
+
+    /// Decodes an envelope byte; unknown classes are typed codec errors.
+    pub fn from_wire(tag: u8) -> Result<Priority> {
+        match tag {
+            0 => Ok(Priority::Audio),
+            1 => Ok(Priority::Demand),
+            2 => Ok(Priority::Prefetch),
+            other => Err(MinosError::Codec(format!("unknown frame priority {other}"))),
+        }
+    }
+
+    /// Whether the admission policy may drop this class under overload.
+    pub fn is_sheddable(self) -> bool {
+        matches!(self, Priority::Prefetch)
+    }
+}
+
 /// The direction-discriminated payload of a [`Frame`].
 ///
 /// Wire layout: one envelope tag byte (`1` = request, `2` = response)
@@ -99,27 +142,58 @@ pub struct Frame {
     /// carry the id of the request they answer, which is what lets them
     /// complete out of order.
     pub request_id: u64,
+    /// The service class the frame travels under; responses echo the
+    /// class of the request they answer.
+    pub priority: Priority,
     /// The enveloped protocol message.
     pub payload: FramePayload,
 }
 
 impl Frame {
-    /// Wraps a request for submission on `conn_id` as `request_id`.
+    /// Wraps a request for submission on `conn_id` as `request_id`
+    /// (demand class — the historical default for synchronous fetches).
     pub fn request(conn_id: u64, request_id: u64, request: ServerRequest) -> Frame {
-        Frame { conn_id, request_id, payload: FramePayload::Request(request) }
+        Frame::request_with_priority(conn_id, request_id, Priority::Demand, request)
+    }
+
+    /// Wraps a request travelling under an explicit service class.
+    pub fn request_with_priority(
+        conn_id: u64,
+        request_id: u64,
+        priority: Priority,
+        request: ServerRequest,
+    ) -> Frame {
+        Frame { conn_id, request_id, priority, payload: FramePayload::Request(request) }
     }
 
     /// Wraps a response answering `request_id` on `conn_id`.
     pub fn response(conn_id: u64, request_id: u64, response: ServerResponse) -> Frame {
-        Frame { conn_id, request_id, payload: FramePayload::Response(response) }
+        Frame {
+            conn_id,
+            request_id,
+            priority: Priority::Demand,
+            payload: FramePayload::Response(response),
+        }
+    }
+
+    /// Echoes this frame's service class onto a response frame.
+    pub fn reply(&self, response: ServerResponse) -> Frame {
+        Frame {
+            conn_id: self.conn_id,
+            request_id: self.request_id,
+            priority: self.priority,
+            payload: FramePayload::Response(response),
+        }
     }
 
     /// Encodes the envelope: varint `conn_id`, varint `request_id`, the
-    /// tagged payload, then a CRC32 trailer over everything before it.
+    /// priority byte, the tagged payload, then a CRC32 trailer over
+    /// everything before it.
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         e.put_varint(self.conn_id);
         e.put_varint(self.request_id);
+        e.put_u8(self.priority.wire_tag());
         e.put_bytes(&self.payload.encode());
         let mut bytes = e.finish();
         let crc = crc32(&bytes);
@@ -150,9 +224,10 @@ impl Frame {
         let mut d = Decoder::new(body);
         let conn_id = d.get_varint()?;
         let request_id = d.get_varint()?;
+        let priority = Priority::from_wire(d.get_u8()?)?;
         let payload = FramePayload::decode(&d.get_bytes()?)?;
         d.expect_end()?;
-        Ok(Frame { conn_id, request_id, payload })
+        Ok(Frame { conn_id, request_id, priority, payload })
     }
 
     /// Bytes this frame occupies on the wire, computed arithmetically —
@@ -162,6 +237,7 @@ impl Frame {
         let payload = self.payload.wire_size();
         varint_len(self.conn_id)
             + varint_len(self.request_id)
+            + 1
             + varint_len(payload)
             + payload
             + CRC_TRAILER_LEN as u64
@@ -277,12 +353,51 @@ mod tests {
         let mut e = Encoder::new();
         e.put_varint(1);
         e.put_varint(1);
-        e.put_bytes(&[9, 0]);
+        e.put_u8(Priority::Demand.wire_tag());
+        e.put_bytes(&[10, 0]);
         let mut bytes = e.finish();
         // With a valid checksum the decoder reaches the tag check itself.
         let crc = crc32(&bytes);
         bytes.extend_from_slice(&crc.to_le_bytes());
         assert!(matches!(Frame::decode(&bytes), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn unknown_priority_byte_is_rejected() {
+        let mut e = Encoder::new();
+        e.put_varint(1);
+        e.put_varint(1);
+        e.put_u8(7);
+        e.put_bytes(&FramePayload::Request(sample_request()).encode());
+        let mut bytes = e.finish();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(Frame::decode(&bytes), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn priority_classes_round_trip() {
+        for priority in [Priority::Audio, Priority::Demand, Priority::Prefetch] {
+            let frame = Frame::request_with_priority(4, 11, priority, sample_request());
+            let back = Frame::decode(&frame.encode()).unwrap();
+            assert_eq!(back.priority, priority);
+            assert_eq!(back, frame);
+            assert_eq!(Priority::from_wire(priority.wire_tag()).unwrap(), priority);
+        }
+        assert!(Priority::from_wire(3).is_err());
+        assert!(Priority::Prefetch.is_sheddable());
+        assert!(!Priority::Audio.is_sheddable());
+        assert!(!Priority::Demand.is_sheddable());
+    }
+
+    #[test]
+    fn replies_echo_the_request_class() {
+        let request = Frame::request_with_priority(4, 11, Priority::Audio, sample_request());
+        let reply = request.reply(ServerResponse::Span(vec![1, 2, 3]));
+        assert_eq!(reply.conn_id, 4);
+        assert_eq!(reply.request_id, 11);
+        assert_eq!(reply.priority, Priority::Audio);
+        assert!(reply.as_request().is_none());
     }
 
     #[test]
@@ -319,6 +434,22 @@ mod tests {
                     ServerResponse::Span(vec![1, 2, 3]),
                     ServerResponse::Error("missing".into()),
                 ]),
+            ),
+            Frame::request(5, 0, ServerRequest::Hello { epoch: u64::MAX }),
+            Frame::request(5, 6, ServerRequest::Probe),
+            Frame::response(5, 0, ServerResponse::Welcome { epoch: 1 << 33 }),
+            Frame::response(
+                5,
+                6,
+                ServerResponse::Busy {
+                    retry_after: minos_types::SimDuration::from_micros(1 << 20),
+                },
+            ),
+            Frame::request_with_priority(
+                6,
+                7,
+                Priority::Prefetch,
+                ServerRequest::FetchSpan { span: ByteSpan::at(0, 8192) },
             ),
         ];
         for frame in frames {

@@ -19,6 +19,6 @@ pub mod link;
 pub mod protocol;
 
 pub use fault::{Delivery, FaultPlan, FaultRng, FaultStats, FaultyLink};
-pub use frame::{Frame, FramePayload, InflightWindow};
+pub use frame::{Frame, FramePayload, InflightWindow, Priority};
 pub use link::{Link, LinkStats, ETHERNET_10MBIT};
 pub use protocol::{ServerRequest, ServerResponse};

@@ -10,7 +10,9 @@
 //! and content queries. Both directions have a binary encoding with
 //! round-trip tests; encoded size is what the link model charges.
 
-use minos_types::{varint_len, ByteSpan, Decoder, Encoder, MinosError, ObjectId, Rect, Result};
+use minos_types::{
+    varint_len, ByteSpan, Decoder, Encoder, MinosError, ObjectId, Rect, Result, SimDuration,
+};
 
 /// Wire bytes of a length-prefixed string or byte block.
 fn prefixed_len(len: usize) -> u64 {
@@ -73,6 +75,20 @@ pub enum ServerRequest {
         /// batch.
         requests: Vec<ServerRequest>,
     },
+    /// (Re-)establishes a connection with the server, announcing the last
+    /// server epoch the workstation saw. The server answers with
+    /// [`ServerResponse::Welcome`] carrying its current epoch; a mismatch
+    /// tells the client its in-flight window was lost to a restart and
+    /// must be replayed.
+    Hello {
+        /// The server epoch the client last observed (0 before any
+        /// handshake).
+        epoch: u64,
+    },
+    /// Asks the server how loaded it is without queueing any work. The
+    /// server answers with [`ServerResponse::Busy`] whose `retry_after`
+    /// is zero when the service queue is idle.
+    Probe,
 }
 
 /// A response from the server.
@@ -94,6 +110,18 @@ pub enum ServerResponse {
     /// order. Individual failures appear as inline [`ServerResponse::Error`]
     /// entries; the batch itself still succeeds.
     Batch(Vec<ServerResponse>),
+    /// Answers [`ServerRequest::Hello`] with the server's current epoch.
+    Welcome {
+        /// The server's current epoch; bumped by every restart.
+        epoch: u64,
+    },
+    /// The admission-control rejection: the service queue is over its cap
+    /// and this request was shed (§5 overload policy). Also answers
+    /// [`ServerRequest::Probe`] as a pure load report.
+    Busy {
+        /// How long the client should wait before resubmitting.
+        retry_after: SimDuration,
+    },
 }
 
 impl ServerRequest {
@@ -141,6 +169,13 @@ impl ServerRequest {
                 for r in requests {
                     e.put_bytes(&r.encode());
                 }
+            }
+            ServerRequest::Hello { epoch } => {
+                e.put_u8(8);
+                e.put_varint(*epoch);
+            }
+            ServerRequest::Probe => {
+                e.put_u8(9);
             }
         }
         e.finish()
@@ -193,6 +228,8 @@ impl ServerRequest {
                 }
                 ServerRequest::Batch { requests }
             }
+            8 => ServerRequest::Hello { epoch: d.get_varint()? },
+            9 => ServerRequest::Probe,
             other => return Err(MinosError::Codec(format!("unknown request tag {other}"))),
         };
         d.expect_end()?;
@@ -217,6 +254,8 @@ impl ServerRequest {
                 varint_len(requests.len() as u64)
                     + requests.iter().map(|r| prefixed_len_of(r.wire_size())).sum::<u64>()
             }
+            ServerRequest::Hello { epoch } => varint_len(*epoch),
+            ServerRequest::Probe => 0,
         }
     }
 
@@ -269,6 +308,14 @@ impl ServerResponse {
                     e.put_bytes(&r.encode());
                 }
             }
+            ServerResponse::Welcome { epoch } => {
+                e.put_u8(8);
+                e.put_varint(*epoch);
+            }
+            ServerResponse::Busy { retry_after } => {
+                e.put_u8(9);
+                e.put_varint(retry_after.as_micros());
+            }
         }
         e.finish()
     }
@@ -303,6 +350,8 @@ impl ServerResponse {
                 }
                 ServerResponse::Batch(responses)
             }
+            8 => ServerResponse::Welcome { epoch: d.get_varint()? },
+            9 => ServerResponse::Busy { retry_after: SimDuration::from_micros(d.get_varint()?) },
             other => return Err(MinosError::Codec(format!("unknown response tag {other}"))),
         };
         d.expect_end()?;
@@ -326,6 +375,8 @@ impl ServerResponse {
                 varint_len(responses.len() as u64)
                     + responses.iter().map(|r| prefixed_len_of(r.wire_size())).sum::<u64>()
             }
+            ServerResponse::Welcome { epoch } => varint_len(*epoch),
+            ServerResponse::Busy { retry_after } => varint_len(retry_after.as_micros()),
         }
     }
 }
@@ -348,6 +399,9 @@ mod tests {
             ServerRequest::Query { keywords: vec!["x-ray".into(), "shadow".into()] },
             ServerRequest::Query { keywords: vec![] },
             ServerRequest::QueryAttribute { name: "author".into(), value: "dr jones".into() },
+            ServerRequest::Hello { epoch: 3 },
+            ServerRequest::Hello { epoch: u64::MAX },
+            ServerRequest::Probe,
         ]
     }
 
@@ -370,6 +424,10 @@ mod tests {
             ServerResponse::Hits(vec![ObjectId::new(1), ObjectId::new(99)]),
             ServerResponse::Hits(vec![]),
             ServerResponse::Error("no such object".into()),
+            ServerResponse::Welcome { epoch: 0 },
+            ServerResponse::Welcome { epoch: u64::MAX },
+            ServerResponse::Busy { retry_after: SimDuration::ZERO },
+            ServerResponse::Busy { retry_after: SimDuration::from_micros(12_500) },
         ];
         for resp in responses {
             let bytes = resp.encode();

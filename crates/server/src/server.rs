@@ -8,7 +8,7 @@
 //! miniature instead of the whole image is the point of experiments E5/E6.
 
 use crate::index::InvertedIndex;
-use crate::service::{ServiceQueue, ServiceStats};
+use crate::service::{ServiceConfig, ServiceQueue, ServiceStats};
 use minos_image::{Bitmap, Miniature};
 use minos_net::{Frame, ServerRequest, ServerResponse};
 use minos_object::{ArchivedObject, DataPayload, MultimediaObject};
@@ -41,6 +41,7 @@ pub struct ObjectServer {
     resident: HashMap<ObjectId, RenderedObject>,
     miniature_factor: u32,
     service: ServiceQueue,
+    epoch: u64,
 }
 
 impl ObjectServer {
@@ -62,7 +63,42 @@ impl ObjectServer {
             resident: HashMap::new(),
             miniature_factor: 8,
             service: ServiceQueue::default(),
+            epoch: 0,
         }
+    }
+
+    /// Replaces the service queue's admission configuration (queued work
+    /// is kept; only the caps and retry hint change).
+    pub fn set_service_config(&mut self, config: ServiceConfig) {
+        self.service.set_config(config);
+    }
+
+    /// The admission configuration in force.
+    pub fn service_config(&self) -> ServiceConfig {
+        self.service.config()
+    }
+
+    /// The server's current epoch. Bumped by every [`ObjectServer::restart`];
+    /// a client that last saw an older epoch knows its in-flight window
+    /// was lost and must be replayed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Simulates a server restart: everything in volatile memory — queued
+    /// request frames and staged responses — is lost, the epoch is bumped,
+    /// and the durable state (archived objects, the index, rendered
+    /// residents) survives. Service accounting is the harness's view, not
+    /// the server's, so it survives too.
+    pub fn restart(&mut self) {
+        self.epoch += 1;
+        self.service.clear_queues();
+    }
+
+    /// Zeroes the service-loop accounting, including the overload counters
+    /// (`shed`, `busy_rejections`, high-water marks).
+    pub fn reset_service_stats(&mut self) {
+        self.service.reset_stats();
     }
 
     /// The archiver (for experiment setup: request spans, device stats).
@@ -185,6 +221,16 @@ impl ObjectServer {
                 SimDuration::ZERO,
             )),
             ServerRequest::Batch { requests } => self.handle_batch(requests),
+            // The epoch handshake: answered from memory, no device time.
+            ServerRequest::Hello { .. } => {
+                Ok((ServerResponse::Welcome { epoch: self.epoch }, SimDuration::ZERO))
+            }
+            // A load probe reports the current retry hint without queueing
+            // anything; an idle server answers with a zero wait.
+            ServerRequest::Probe => Ok((
+                ServerResponse::Busy { retry_after: self.service.retry_hint() },
+                SimDuration::ZERO,
+            )),
         }
     }
 
@@ -274,7 +320,7 @@ impl ObjectServer {
                 frame.conn_id
             )));
         }
-        self.service.push(frame);
+        self.service.admit(frame);
         Ok(())
     }
 
@@ -358,19 +404,14 @@ impl ObjectServer {
                                 )),
                             };
                             let charge = if i == 0 { remainder } else { share };
-                            self.service
-                                .finish(Frame::response(conn, frame.request_id, response), charge);
+                            self.service.finish(frame.reply(response), charge);
                         }
                     }
                     Err(e) => {
                         let message = e.to_string();
                         for frame in &run {
                             self.service.finish(
-                                Frame::response(
-                                    conn,
-                                    frame.request_id,
-                                    ServerResponse::Error(message.clone()),
-                                ),
+                                frame.reply(ServerResponse::Error(message.clone())),
                                 SimDuration::ZERO,
                             );
                         }
@@ -387,7 +428,7 @@ impl ObjectServer {
                     SimDuration::ZERO,
                 ),
             };
-            self.service.finish(Frame::response(conn, frame.request_id, response), took);
+            self.service.finish(frame.reply(response), took);
         }
     }
 
@@ -824,6 +865,78 @@ mod tests {
         assert!(server.poll_conn(3).is_none(), "connection 3 has nothing left");
         let rest: Vec<u64> = std::iter::from_fn(|| server.poll()).map(|f| f.conn_id).collect();
         assert_eq!(rest, vec![1, 2]);
+    }
+
+    #[test]
+    fn hello_and_probe_are_answered_from_memory() {
+        let mut server = ObjectServer::new();
+        let (resp, took) = server.handle(&ServerRequest::Hello { epoch: 0 });
+        assert_eq!(resp, ServerResponse::Welcome { epoch: 0 });
+        assert_eq!(took, SimDuration::ZERO);
+        let (resp, took) = server.handle(&ServerRequest::Probe);
+        assert_eq!(resp, ServerResponse::Busy { retry_after: SimDuration::ZERO });
+        assert_eq!(took, SimDuration::ZERO);
+        // With a backlog the probe's retry hint grows.
+        let id = make_published(&mut server, 1, "probe backlog");
+        server.enqueue(Frame::request(1, 1, ServerRequest::FetchObject { id })).unwrap();
+        let (resp, _) = server.handle(&ServerRequest::Probe);
+        assert!(matches!(
+            resp,
+            ServerResponse::Busy { retry_after } if retry_after > SimDuration::ZERO
+        ));
+    }
+
+    #[test]
+    fn restart_bumps_the_epoch_and_loses_volatile_state() {
+        let mut server = ObjectServer::new();
+        let id = make_published(&mut server, 2, "durable across restart");
+        server.enqueue(Frame::request(1, 1, ServerRequest::FetchObject { id })).unwrap();
+        assert_eq!(server.epoch(), 0);
+        assert_eq!(server.pending_frames(), 1);
+        server.restart();
+        assert_eq!(server.epoch(), 1);
+        assert_eq!(server.pending_frames(), 0, "queued work is volatile");
+        assert!(server.poll().is_none(), "staged responses are volatile");
+        // The archive, index, and residents are durable.
+        let (resp, _) = server.handle(&ServerRequest::FetchObject { id });
+        assert!(matches!(resp, ServerResponse::Object(_)));
+        let (resp, _) = server.handle(&ServerRequest::Query { keywords: vec!["durable".into()] });
+        assert_eq!(resp, ServerResponse::Hits(vec![id]));
+    }
+
+    #[test]
+    fn shed_prefetches_get_busy_replies_through_the_service_loop() {
+        use minos_net::Priority;
+        let mut server = ObjectServer::new();
+        let id = make_published(&mut server, 3, "bounded queue content");
+        let span = server.record_span(id).unwrap();
+        server.set_service_config(crate::service::ServiceConfig {
+            per_conn_cap: 1,
+            global_cap: 1,
+            ..Default::default()
+        });
+        let fetch = ServerRequest::FetchSpan { span: ByteSpan::new(span.start, span.start + 8) };
+        server.enqueue(Frame::request(1, 1, fetch.clone())).unwrap();
+        server
+            .enqueue(Frame::request_with_priority(1, 2, Priority::Prefetch, fetch.clone()))
+            .unwrap();
+        // The shed prefetch's Busy reply is collectable before any device
+        // work happens.
+        let (reply, charge) = server.poll_timed().unwrap();
+        assert_eq!(reply.request_id, 2);
+        assert_eq!(charge, SimDuration::ZERO);
+        assert!(matches!(
+            reply.payload,
+            FramePayload::Response(ServerResponse::Busy { retry_after }) if retry_after > SimDuration::ZERO
+        ));
+        // The demand frame is still served normally.
+        let (served, _) = server.poll_timed().unwrap();
+        assert_eq!(served.request_id, 1);
+        assert!(matches!(served.payload, FramePayload::Response(ServerResponse::Span(_))));
+        assert_eq!(server.service_stats().shed, 1);
+        server.reset_service_stats();
+        assert_eq!(server.service_stats().shed, 0);
+        assert_eq!(server.service_stats().queue_high_water, 0);
     }
 
     #[test]

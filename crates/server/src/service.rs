@@ -8,13 +8,58 @@
 //! read, exactly as the batch path coalesces them, so pipelining never
 //! costs extra actuator seeks.
 //!
+//! Queues are *bounded*: admission control rejects work beyond a
+//! per-connection and a global cap instead of letting an overloaded server
+//! grow its backlog without limit. The shed policy is priority-ordered —
+//! a speculative [`Priority::Prefetch`](minos_net::Priority) frame over
+//! the cap is dropped with a [`ServerResponse::Busy`] reply, while an
+//! audio or demand frame arriving at a full queue first evicts a queued
+//! prefetch to make room and is only rejected when no prefetch remains
+//! sheddable. Speculation is the first thing sacrificed under overload;
+//! the work a user is waiting on is the last.
+//!
 //! This module holds the queue and its accounting; the serving itself
 //! (device access, rendering) lives on
 //! [`ObjectServer`](crate::server::ObjectServer), which owns the devices.
 
-use minos_net::Frame;
+use minos_net::{Frame, ServerResponse};
 use minos_types::SimDuration;
 use std::collections::{BTreeMap, VecDeque};
+
+/// Admission-control knobs for the service queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Most request frames one connection may have queued.
+    pub per_conn_cap: usize,
+    /// Most request frames queued across all connections.
+    pub global_cap: usize,
+    /// Per-queued-frame slice used to estimate the `retry_after` hint a
+    /// [`ServerResponse::Busy`] reply carries.
+    pub retry_slice: SimDuration,
+}
+
+impl ServiceConfig {
+    /// Default per-connection queue cap.
+    pub const DEFAULT_PER_CONN_CAP: usize = 32;
+    /// Default global queue cap.
+    pub const DEFAULT_GLOBAL_CAP: usize = 256;
+
+    /// A configuration that never rejects (the pre-admission-control
+    /// behaviour, kept for the E14 "without shedding" baseline).
+    pub fn unbounded() -> Self {
+        ServiceConfig { per_conn_cap: usize::MAX, global_cap: usize::MAX, ..Self::default() }
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            per_conn_cap: Self::DEFAULT_PER_CONN_CAP,
+            global_cap: Self::DEFAULT_GLOBAL_CAP,
+            retry_slice: SimDuration::from_micros(500),
+        }
+    }
+}
 
 /// Accounting for the queued service loop.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -27,6 +72,14 @@ pub struct ServiceStats {
     pub busy: SimDuration,
     /// Coalesced multi-span device reads performed.
     pub coalesced_runs: u64,
+    /// Prefetch-class frames dropped by admission control (both arrivals
+    /// over the cap and queued prefetches evicted for demand/audio work).
+    pub shed: u64,
+    /// Demand- or audio-class frames rejected because the queue was full
+    /// and nothing sheddable remained.
+    pub busy_rejections: u64,
+    /// Most request frames ever queued at once across all connections.
+    pub queue_high_water: u64,
     /// Per-connection service accounting.
     pub per_connection: BTreeMap<u64, ConnectionServiceStats>,
 }
@@ -38,6 +91,8 @@ pub struct ConnectionServiceStats {
     pub served: u64,
     /// Device time spent on this connection's requests.
     pub busy: SimDuration,
+    /// Most request frames this connection ever had queued at once.
+    pub high_water: u64,
 }
 
 /// The connection-fair frame queue behind `ObjectServer::enqueue`/`poll`.
@@ -51,20 +106,103 @@ pub(crate) struct ServiceQueue {
     ready: VecDeque<(Frame, SimDuration)>,
     /// Request frames queued but not yet served.
     pending: usize,
+    config: ServiceConfig,
     stats: ServiceStats,
 }
 
 impl ServiceQueue {
-    /// Accepts one request frame into its connection's queue.
-    pub(crate) fn push(&mut self, frame: Frame) {
+    /// The admission configuration in force.
+    pub(crate) fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Replaces the admission configuration; queued work is untouched (a
+    /// lowered cap applies to arrivals, it does not shed the backlog).
+    pub(crate) fn set_config(&mut self, config: ServiceConfig) {
+        self.config = config;
+    }
+
+    /// Accepts one request frame into its connection's queue, or sheds it
+    /// under the admission policy. Every frame gets exactly one response:
+    /// rejected frames are answered with [`ServerResponse::Busy`] (zero
+    /// device charge) through the ordinary ready queue.
+    pub(crate) fn admit(&mut self, frame: Frame) {
+        let conn = frame.conn_id;
+        let conn_full =
+            self.queues.get(&conn).map(VecDeque::len).unwrap_or(0) >= self.config.per_conn_cap;
+        let global_full = self.pending >= self.config.global_cap;
+        if conn_full || global_full {
+            if frame.priority.is_sheddable() {
+                self.stats.shed += 1;
+                self.reject(frame);
+                return;
+            }
+            // Preserve the demand/audio frame by evicting a queued
+            // prefetch — from this connection if its own cap is the one
+            // violated (a foreign eviction would not relieve it).
+            let victim_scope = if conn_full { Some(conn) } else { None };
+            match self.evict_prefetch(victim_scope) {
+                Some(victim) => {
+                    self.stats.shed += 1;
+                    self.reject(victim);
+                }
+                None => {
+                    self.stats.busy_rejections += 1;
+                    self.reject(frame);
+                    return;
+                }
+            }
+        }
         self.stats.enqueued += 1;
         self.pending += 1;
-        let conn = frame.conn_id;
+        self.stats.queue_high_water = self.stats.queue_high_water.max(self.pending as u64);
         let queue = self.queues.entry(conn).or_default();
         if queue.is_empty() && !self.rotation.contains(&conn) {
             self.rotation.push_back(conn);
         }
         queue.push_back(frame);
+        let per_conn = self.stats.per_connection.entry(conn).or_default();
+        per_conn.high_water = per_conn.high_water.max(queue.len() as u64);
+    }
+
+    /// Answers a shed or rejected frame with a `Busy` reply carrying the
+    /// current retry hint.
+    fn reject(&mut self, frame: Frame) {
+        let reply = frame.reply(ServerResponse::Busy { retry_after: self.retry_hint() });
+        self.ready.push_back((reply, SimDuration::ZERO));
+    }
+
+    /// Removes the rearmost sheddable (prefetch-class) frame — from
+    /// `scope`'s queue when given, otherwise from the longest queue
+    /// holding one.
+    fn evict_prefetch(&mut self, scope: Option<u64>) -> Option<Frame> {
+        let victim_conn = match scope {
+            Some(conn) => conn,
+            None => self
+                .queues
+                .iter()
+                .filter(|(_, q)| q.iter().any(|f| f.priority.is_sheddable()))
+                .max_by_key(|(_, q)| q.len())
+                .map(|(&conn, _)| conn)?,
+        };
+        let queue = self.queues.get_mut(&victim_conn)?;
+        let at = queue.iter().rposition(|f| f.priority.is_sheddable())?;
+        let victim = queue.remove(at)?;
+        self.pending = self.pending.saturating_sub(1);
+        if queue.is_empty() {
+            self.queues.remove(&victim_conn);
+            if let Some(slot) = self.rotation.iter().position(|&c| c == victim_conn) {
+                self.rotation.remove(slot);
+            }
+        }
+        Some(victim)
+    }
+
+    /// How long a rejected client should wait before resubmitting: one
+    /// service slice per frame already queued ahead of it (zero when
+    /// idle).
+    pub(crate) fn retry_hint(&self) -> SimDuration {
+        self.config.retry_slice * self.pending as u64
     }
 
     /// Request frames awaiting service.
@@ -75,6 +213,21 @@ impl ServiceQueue {
     /// Accounting so far.
     pub(crate) fn stats(&self) -> &ServiceStats {
         &self.stats
+    }
+
+    /// Zeroes the accounting (counters and high-water marks); queued work
+    /// is untouched.
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = ServiceStats::default();
+    }
+
+    /// Drops all queued and staged work — what a restart loses — keeping
+    /// the accounting and the admission configuration.
+    pub(crate) fn clear_queues(&mut self) {
+        self.queues.clear();
+        self.rotation.clear();
+        self.ready.clear();
+        self.pending = 0;
     }
 
     /// The next connection in round-robin order (removed from the
@@ -96,6 +249,7 @@ impl ServiceQueue {
 
     /// Pops `conn`'s leading adjacent-span run (or, failing that, its
     /// single head frame), re-queueing the connection if frames remain.
+    /// The rotation never outgrows the set of capped connection queues.
     pub(crate) fn take_run(&mut self, conn: u64) -> Vec<Frame> {
         let Some(queue) = self.queues.get_mut(&conn) else {
             return Vec::new();
@@ -123,7 +277,9 @@ impl ServiceQueue {
         run
     }
 
-    /// Records one served response frame with its device-time charge.
+    /// Records one served response frame with its device-time charge. The
+    /// ready queue's growth is bounded by admitted pending work (capped by
+    /// the admission policy), one response per request.
     pub(crate) fn finish(&mut self, frame: Frame, charge: SimDuration) {
         self.stats.served += 1;
         self.stats.busy += charge;
@@ -147,5 +303,153 @@ impl ServiceQueue {
     pub(crate) fn pop_ready_for(&mut self, conn: u64) -> Option<(Frame, SimDuration)> {
         let at = self.ready.iter().position(|(f, _)| f.conn_id == conn)?;
         self.ready.remove(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_net::{FramePayload, Priority, ServerRequest};
+    use minos_types::ByteSpan;
+
+    fn queue(config: ServiceConfig) -> ServiceQueue {
+        let mut q = ServiceQueue::default();
+        q.set_config(config);
+        q
+    }
+
+    fn span_frame(conn: u64, rid: u64, priority: Priority) -> Frame {
+        Frame::request_with_priority(
+            conn,
+            rid,
+            priority,
+            ServerRequest::FetchSpan { span: ByteSpan::at(rid * 100, 100) },
+        )
+    }
+
+    fn busy_replies(queue: &mut ServiceQueue) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some((frame, charge)) = queue.pop_ready() {
+            assert_eq!(charge, SimDuration::ZERO, "busy replies charge no device time");
+            match frame.payload {
+                FramePayload::Response(ServerResponse::Busy { .. }) => {
+                    out.push((frame.conn_id, frame.request_id));
+                }
+                other => panic!("expected a busy reply, got {other:?}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn over_cap_prefetch_is_shed_with_a_busy_reply() {
+        let mut q =
+            queue(ServiceConfig { per_conn_cap: 2, global_cap: 100, ..ServiceConfig::default() });
+        q.admit(span_frame(1, 1, Priority::Prefetch));
+        q.admit(span_frame(1, 2, Priority::Prefetch));
+        q.admit(span_frame(1, 3, Priority::Prefetch));
+        assert_eq!(q.pending(), 2, "the cap held");
+        assert_eq!(q.stats().shed, 1);
+        assert_eq!(q.stats().busy_rejections, 0);
+        assert_eq!(busy_replies(&mut q), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn demand_over_cap_evicts_a_queued_prefetch() {
+        let mut q =
+            queue(ServiceConfig { per_conn_cap: 2, global_cap: 100, ..ServiceConfig::default() });
+        q.admit(span_frame(1, 1, Priority::Demand));
+        q.admit(span_frame(1, 2, Priority::Prefetch));
+        q.admit(span_frame(1, 3, Priority::Audio));
+        assert_eq!(q.pending(), 2);
+        assert_eq!(q.stats().shed, 1, "the queued prefetch was evicted");
+        assert_eq!(q.stats().busy_rejections, 0);
+        // The evicted prefetch (rid 2) got the busy reply; the audio frame
+        // took its place.
+        assert_eq!(busy_replies(&mut q), vec![(1, 2)]);
+        let run = q.take_run(1);
+        let kept: Vec<u64> = run.iter().map(|f| f.request_id).collect();
+        assert_eq!(kept, vec![1], "head demand frame intact");
+    }
+
+    #[test]
+    fn demand_is_rejected_only_when_nothing_is_sheddable() {
+        let mut q =
+            queue(ServiceConfig { per_conn_cap: 2, global_cap: 100, ..ServiceConfig::default() });
+        q.admit(span_frame(1, 1, Priority::Demand));
+        q.admit(span_frame(1, 2, Priority::Audio));
+        q.admit(span_frame(1, 3, Priority::Demand));
+        assert_eq!(q.pending(), 2);
+        assert_eq!(q.stats().shed, 0);
+        assert_eq!(q.stats().busy_rejections, 1);
+        assert_eq!(busy_replies(&mut q), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn global_cap_sheds_across_connections() {
+        let mut q =
+            queue(ServiceConfig { per_conn_cap: 100, global_cap: 3, ..ServiceConfig::default() });
+        q.admit(span_frame(1, 1, Priority::Demand));
+        q.admit(span_frame(1, 2, Priority::Prefetch));
+        q.admit(span_frame(1, 3, Priority::Prefetch));
+        // Connection 2's audio frame evicts connection 1's rearmost
+        // prefetch rather than being turned away.
+        q.admit(span_frame(2, 1, Priority::Audio));
+        assert_eq!(q.pending(), 3);
+        assert_eq!(q.stats().shed, 1);
+        assert_eq!(busy_replies(&mut q), vec![(1, 3)]);
+        assert!(q.take_run(2).iter().any(|f| f.priority == Priority::Audio));
+    }
+
+    #[test]
+    fn retry_hint_scales_with_backlog_and_is_zero_when_idle() {
+        let mut q = ServiceQueue::default();
+        assert_eq!(q.retry_hint(), SimDuration::ZERO);
+        q.admit(span_frame(1, 1, Priority::Demand));
+        q.admit(span_frame(1, 2, Priority::Demand));
+        assert_eq!(q.retry_hint(), q.config().retry_slice * 2);
+    }
+
+    #[test]
+    fn high_water_marks_track_peak_depth() {
+        let mut q = ServiceQueue::default();
+        q.admit(span_frame(1, 1, Priority::Demand));
+        q.admit(span_frame(1, 2, Priority::Demand));
+        q.admit(span_frame(2, 1, Priority::Demand));
+        let _ = q.take_run(1);
+        q.admit(span_frame(2, 2, Priority::Demand));
+        let stats = q.stats();
+        assert_eq!(stats.queue_high_water, 3);
+        assert_eq!(stats.per_connection[&1].high_water, 2);
+        assert_eq!(stats.per_connection[&2].high_water, 2);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_overload_counters_and_keeps_work() {
+        let mut q =
+            queue(ServiceConfig { per_conn_cap: 1, global_cap: 100, ..ServiceConfig::default() });
+        q.admit(span_frame(1, 1, Priority::Demand));
+        q.admit(span_frame(1, 2, Priority::Prefetch));
+        q.admit(span_frame(1, 3, Priority::Demand));
+        assert!(q.stats().shed > 0);
+        assert!(q.stats().busy_rejections > 0);
+        assert!(q.stats().queue_high_water > 0);
+        q.reset_stats();
+        assert_eq!(q.stats(), &ServiceStats::default());
+        assert_eq!(q.pending(), 1, "queued work survives a stats reset");
+    }
+
+    #[test]
+    fn clear_queues_drops_work_but_keeps_accounting() {
+        let mut q = ServiceQueue::default();
+        q.admit(span_frame(1, 1, Priority::Demand));
+        q.admit(span_frame(2, 1, Priority::Demand));
+        let enqueued = q.stats().enqueued;
+        q.clear_queues();
+        assert_eq!(q.pending(), 0);
+        assert!(q.next_conn().is_none());
+        assert!(q.pop_ready().is_none());
+        assert_eq!(q.stats().enqueued, enqueued);
+        assert!(q.take_run(1).is_empty());
     }
 }

@@ -118,6 +118,12 @@ pub const RULES: &[Rule] = &[
         ratchetable: true,
     },
     Rule {
+        code: "Q001",
+        pass: "queue-growth",
+        summary: "queue growth (push/push_back) with no reachable capacity check",
+        ratchetable: true,
+    },
+    Rule {
         code: "S001",
         pass: "symmetry",
         summary: "text browsing primitive lacks a voice counterpart",

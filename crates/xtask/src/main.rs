@@ -52,8 +52,8 @@ fn main() -> ExitCode {
     match lint_workspace(&root) {
         Ok(outcome) if outcome.is_clean() => {
             println!(
-                "minos-xtask lint: {} files clean (wire tags, panic-freedom, unit-safety, \
-                 text/voice symmetry)",
+                "minos-xtask lint: {} files clean (wire tags, panic-freedom, queue growth, \
+                 unit-safety, text/voice symmetry)",
                 outcome.checked_files
             );
             ExitCode::SUCCESS

@@ -1,6 +1,7 @@
-//! The four static-analysis passes.
+//! The five static-analysis passes.
 
 pub mod panic_free;
+pub mod queue_growth;
 pub mod symmetry;
 pub mod units;
 pub mod wire;

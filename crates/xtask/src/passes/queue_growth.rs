@@ -1,0 +1,221 @@
+//! Queue-growth audit (`Q001`).
+//!
+//! Admission control only works when every queue on the overload path has
+//! a reachable capacity check. This pass flags `.push(...)` and
+//! `.push_back(...)` growth sites in the transport and service scope whose
+//! enclosing function never consults a capacity — the bug class the E14
+//! admission work exists to prevent: a buffer that grows without bound
+//! under a 4x offered load until the latency tail collapses.
+//!
+//! The heuristic is intentionally local: a growth site is *guarded* when
+//! the enclosing `fn` (signature included) mentions a capacity-shaped
+//! identifier fragment — `full`, `cap`/`capacity`, `limit`, `bound`,
+//! `admit`, `shed`, `evict`, `truncate`. Sites that are bounded elsewhere
+//! (the caller checked, or the collection is drained in lockstep) are
+//! enumerated in `lint-allow.toml` with a reason, and the ratchet keeps
+//! that debt shrink-only.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Method calls that grow a queue or buffer.
+const GROWTH_CALLS: &[&str] = &[".push_back(", ".push("];
+
+/// Identifier fragments (underscore-split, case-folded) that mark the
+/// enclosing function as capacity-aware.
+const CAPACITY_TOKENS: &[&str] = &[
+    "full", "cap", "caps", "capacity", "limit", "bound", "bounded", "admit", "shed", "evict",
+    "truncate",
+];
+
+/// Runs the pass over already-scoped files.
+pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        let extents = fn_extents(&file.code);
+        for call in GROWTH_CALLS {
+            for (pos, _) in file.code.match_indices(call) {
+                // `.push(` must not re-report a `.push_back(` site.
+                if *call == ".push(" && file.code[pos..].starts_with(".push_back(") {
+                    continue;
+                }
+                let line = file.line_of(pos);
+                if file.is_test_line(line) {
+                    continue;
+                }
+                let enclosing = extents
+                    .iter()
+                    .filter(|e| e.start <= pos && pos < e.end)
+                    .max_by_key(|e| e.start);
+                let guarded = enclosing.is_some_and(|e| capacity_aware(&file.code[e.start..e.end]));
+                if !guarded {
+                    out.push(Diagnostic::new(
+                        "Q001",
+                        &file.rel,
+                        line,
+                        format!(
+                            "unchecked queue growth `{}...)`: the enclosing fn never consults \
+                             a capacity (is_full/cap/limit/shed); bound it or ratchet it in \
+                             lint-allow.toml with a reason",
+                            call
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// One `fn` item's extent in the code view: from the `fn` keyword through
+/// the matching close brace of its body.
+struct FnExtent {
+    start: usize,
+    end: usize,
+}
+
+/// Finds every `fn` item (free, inherent, trait-default) and its body
+/// extent. Bodyless trait signatures (`fn f(...);`) are skipped. Nested
+/// functions and closures inside a body simply yield nested extents; the
+/// innermost enclosing one wins at lookup time.
+fn fn_extents(code: &str) -> Vec<FnExtent> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (pos, _) in code.match_indices("fn ") {
+        // Word boundary on the left: `fn` must not be the tail of an
+        // identifier like `gen_fn `.
+        if pos > 0 && (bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'_') {
+            continue;
+        }
+        // Walk the signature to the body's `{`, or bail on a bodyless
+        // `;`. Array types in the signature (`[u8; 4]`) carry their own
+        // semicolons, so only a `;` outside every bracket terminates.
+        let mut depth = 0usize;
+        let mut j = pos + 3;
+        let body_open = loop {
+            match bytes.get(j) {
+                Some(b'(' | b'[' | b'<') => depth += 1,
+                Some(b')' | b']') => depth = depth.saturating_sub(1),
+                // A `>` closes a generic bracket unless it is an arrow's.
+                Some(b'>') if j == 0 || bytes[j - 1] != b'-' => {
+                    depth = depth.saturating_sub(1);
+                }
+                Some(b'{') if depth == 0 => break Some(j),
+                Some(b';') if depth == 0 => break None,
+                None => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = body_open else { continue };
+        let mut brace = 0usize;
+        let mut k = open;
+        let mut end = code.len();
+        while k < bytes.len() {
+            match bytes[k] {
+                b'{' => brace += 1,
+                b'}' => {
+                    brace -= 1;
+                    if brace == 0 {
+                        end = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(FnExtent { start: pos, end });
+    }
+    out
+}
+
+/// Whether a function's text (signature + body) mentions a capacity-shaped
+/// identifier: any underscore-split fragment of any identifier equals one
+/// of [`CAPACITY_TOKENS`], case-folded. Fragment equality — not substring
+/// match — so `escape` never counts as `cap`.
+fn capacity_aware(text: &str) -> bool {
+    let mut word_start: Option<usize> = None;
+    let bytes = text.as_bytes();
+    let check = |from: usize, to: usize| -> bool {
+        text[from..to]
+            .split('_')
+            .any(|part| CAPACITY_TOKENS.iter().any(|t| part.eq_ignore_ascii_case(t)))
+    };
+    for (i, b) in bytes.iter().enumerate() {
+        if b.is_ascii_alphanumeric() || *b == b'_' {
+            word_start.get_or_insert(i);
+        } else if let Some(s) = word_start.take() {
+            if check(s, i) {
+                return true;
+            }
+        }
+    }
+    word_start.is_some_and(|s| check(s, text.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_on(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_text(PathBuf::from("m.rs"), "m.rs".into(), src.to_string());
+        run(std::slice::from_ref(&f))
+    }
+
+    #[test]
+    fn flags_push_and_push_back_without_a_capacity_check() {
+        let diags =
+            run_on("fn grow(q: &mut Q) {\n    q.inbox.push_back(1);\n    q.log.push(2);\n}\n");
+        let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![2, 3], "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "Q001"));
+    }
+
+    #[test]
+    fn capacity_tokens_in_the_enclosing_fn_exempt_the_site() {
+        for guarded in [
+            "fn admit(q: &mut Q) {\n    if q.is_full() { return; }\n    q.inbox.push_back(1);\n}\n",
+            "fn enqueue(q: &mut Q) {\n    if q.len() >= q.global_cap { return; }\n    q.inbox.push_back(1);\n}\n",
+            "fn enqueue(q: &mut Q, limit: usize) {\n    q.inbox.truncate(limit);\n    q.inbox.push_back(1);\n}\n",
+            "fn shed_then_grow(q: &mut Q) {\n    q.inbox.push_back(1);\n}\n",
+        ] {
+            assert!(run_on(guarded).is_empty(), "{guarded}");
+        }
+    }
+
+    #[test]
+    fn fragment_equality_does_not_false_exempt() {
+        // `escape` contains `cap` as a substring but not as a fragment;
+        // `recapture` likewise. Neither guards the growth.
+        let diags = run_on("fn escape_recapture(q: &mut Q) {\n    q.inbox.push_back(1);\n}\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn innermost_fn_wins_for_nested_items() {
+        // The outer fn is capacity-aware, the inner closure-hosting fn is
+        // not: the site binds to the innermost fn and is flagged.
+        let diags = run_on(
+            "fn outer_with_cap(q: &mut Q) {\n    fn inner(q: &mut Q) {\n        q.inbox.push_back(1);\n    }\n    inner(q);\n}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn test_code_and_strings_are_exempt() {
+        let src = "fn live() { let s = \".push_back(\"; }\n#[cfg(test)]\nmod tests {\n    fn t(q: &mut Q) { q.inbox.push_back(1); }\n}\n";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn bodyless_trait_signatures_do_not_confuse_extents() {
+        let src = "trait T {\n    fn declared(&self);\n    fn provided(&mut self) {\n        self.queue.push(1);\n    }\n}\n";
+        let diags = run_on(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 4);
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::allow;
 use crate::diag::Diagnostic;
-use crate::passes::{panic_free, symmetry, units, wire};
+use crate::passes::{panic_free, queue_growth, symmetry, units, wire};
 use crate::sig;
 use crate::source::{self, SourceFile};
 use std::io;
@@ -13,6 +13,12 @@ use std::path::Path;
 /// takes the server down.
 const PANIC_SCOPE: &[&str] =
     &["crates/net/src/", "crates/server/src/", "crates/storage/src/", "crates/types/src/codec.rs"];
+
+/// Files whose queues sit on the overload path: every `push`/`push_back`
+/// there must be reachable from a capacity check, or carry a ratcheted
+/// `lint-allow.toml` entry explaining what bounds it.
+const QUEUE_SCOPE: &[&str] =
+    &["crates/net/src/", "crates/server/src/", "crates/core/src/remote.rs"];
 
 /// The one file allowed to touch raw microsecond words: it owns the
 /// saturating conversion helpers everything else must use.
@@ -43,7 +49,7 @@ impl LintOutcome {
     }
 }
 
-/// Runs all four passes over the workspace rooted at `root` and applies
+/// Runs all five passes over the workspace rooted at `root` and applies
 /// the `lint-allow.toml` ratchet.
 pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
     let files = source::workspace_sources(root)?;
@@ -81,6 +87,14 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
         .cloned()
         .collect();
     findings.extend(panic_free::run(&hot));
+
+    // (2b) Queue-growth audit over the overload path.
+    let queues: Vec<SourceFile> = files
+        .iter()
+        .filter(|f| QUEUE_SCOPE.iter().any(|scope| f.rel.starts_with(scope)))
+        .cloned()
+        .collect();
+    findings.extend(queue_growth::run(&queues));
 
     // (3) Unit-safety audit everywhere but the time module.
     let unit_scope: Vec<SourceFile> =

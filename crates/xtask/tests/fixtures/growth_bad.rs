@@ -1,0 +1,20 @@
+//! Known-bad queue-growth fixture: both growth sites sit in functions
+//! that never consult a capacity, so an overloaded sender can grow the
+//! buffers without bound.
+
+use std::collections::VecDeque;
+
+pub struct Mailbox {
+    inbox: VecDeque<u64>,
+    log: Vec<u64>,
+}
+
+impl Mailbox {
+    pub fn deliver(&mut self, frame: u64) {
+        self.inbox.push_back(frame);
+    }
+
+    pub fn record(&mut self, frame: u64) {
+        self.log.push(frame);
+    }
+}

@@ -1,0 +1,42 @@
+//! Known-good queue-growth fixture: every growth site's enclosing
+//! function consults a capacity before admitting, and test-only growth is
+//! exempt.
+
+use std::collections::VecDeque;
+
+pub struct Mailbox {
+    inbox: VecDeque<u64>,
+    log: Vec<u64>,
+    global_cap: usize,
+}
+
+impl Mailbox {
+    pub fn is_full(&self) -> bool {
+        self.inbox.len() >= self.global_cap
+    }
+
+    pub fn deliver(&mut self, frame: u64) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.inbox.push_back(frame);
+        true
+    }
+
+    pub fn record_bounded(&mut self, frame: u64, limit: usize) {
+        self.log.truncate(limit.saturating_sub(1));
+        self.log.push(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unchecked_growth_in_tests_is_exempt() {
+        let mut scratch = Vec::new();
+        scratch.push(1u64);
+        assert_eq!(scratch.len(), 1);
+    }
+}

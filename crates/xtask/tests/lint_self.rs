@@ -4,7 +4,7 @@
 
 use std::path::{Path, PathBuf};
 
-use minos_xtask::passes::{panic_free, symmetry, units, wire};
+use minos_xtask::passes::{panic_free, queue_growth, symmetry, units, wire};
 use minos_xtask::sig;
 use minos_xtask::{lint_workspace, Diagnostic, SourceFile};
 
@@ -64,6 +64,20 @@ fn panic_bad_fixture_trips_every_rule() {
 #[test]
 fn panic_good_fixture_is_clean() {
     let diags = panic_free::run(&[fixture("panic_good.rs")]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn growth_bad_fixture_flags_both_sites() {
+    let diags = queue_growth::run(&[fixture("growth_bad.rs")]);
+    assert_eq!(rules(&diags), vec!["Q001"], "got {diags:?}");
+    assert_eq!(diags.len(), 2, "push_back and push both flagged: {diags:?}");
+    assert_anchored(&diags, "growth_bad.rs");
+}
+
+#[test]
+fn growth_good_fixture_is_clean() {
+    let diags = queue_growth::run(&[fixture("growth_good.rs")]);
     assert!(diags.is_empty(), "{diags:?}");
 }
 

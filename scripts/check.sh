@@ -23,4 +23,7 @@ cargo bench -p minos-bench --bench exp_pipeline -- --smoke
 echo "==> exp_faults --smoke"
 cargo bench -p minos-bench --bench exp_faults -- --smoke
 
+echo "==> exp_overload --smoke"
+cargo bench -p minos-bench --bench exp_overload -- --smoke
+
 echo "All checks passed."

@@ -8,14 +8,17 @@
 //! into a frame that differs from the one sent.
 
 use minos::net::frame::crc32;
-use minos::net::{Delivery, FaultPlan, FaultRng, FaultStats, Frame, ServerRequest, ServerResponse};
-use minos::types::{ByteSpan, Encoder, MinosError, ObjectId};
+use minos::net::{
+    Delivery, FaultPlan, FaultRng, FaultStats, Frame, Priority, ServerRequest, ServerResponse,
+};
+use minos::types::{ByteSpan, Encoder, MinosError, ObjectId, SimDuration};
 use proptest::prelude::*;
 
 /// A palette of representative frames: both directions, scalar and batch
-/// payloads, a fuzzed blob for the variable-length bodies.
+/// payloads, the overload-control messages (epoch handshake and busy
+/// rejection), a fuzzed blob for the variable-length bodies.
 fn sample_frame(choice: u8, conn: u64, rid: u64, blob: Vec<u8>) -> Frame {
-    match choice % 4 {
+    match choice % 6 {
         0 => {
             Frame::request(conn, rid, ServerRequest::FetchSpan { span: ByteSpan::at(4_096, 8_192) })
         }
@@ -30,6 +33,17 @@ fn sample_frame(choice: u8, conn: u64, rid: u64, blob: Vec<u8>) -> Frame {
             },
         ),
         2 => Frame::response(conn, rid, ServerResponse::Span(blob)),
+        3 => Frame::request_with_priority(
+            conn,
+            rid,
+            Priority::Prefetch,
+            ServerRequest::Hello { epoch: rid },
+        ),
+        4 => Frame::response(
+            conn,
+            rid,
+            ServerResponse::Busy { retry_after: SimDuration::from_micros(conn) },
+        ),
         _ => Frame::response(
             conn,
             rid,
@@ -37,14 +51,15 @@ fn sample_frame(choice: u8, conn: u64, rid: u64, blob: Vec<u8>) -> Frame {
                 ServerResponse::Span(blob),
                 ServerResponse::Hits(vec![ObjectId::new(7)]),
                 ServerResponse::Error("inline".into()),
+                ServerResponse::Welcome { epoch: rid },
             ]),
         ),
     }
 }
 
-/// A frame envelope whose payload tag byte is `tag`, carrying valid inner
-/// bytes and a *valid* checksum — the decoder reaches the tag dispatch
-/// itself instead of tripping on the CRC.
+/// A frame envelope whose payload tag byte is `tag`, carrying a valid
+/// priority byte, valid inner bytes, and a *valid* checksum — the decoder
+/// reaches the tag dispatch itself instead of tripping on the CRC.
 fn frame_with_payload_tag(conn: u64, rid: u64, tag: u8) -> Vec<u8> {
     let mut p = Encoder::new();
     p.put_u8(tag);
@@ -52,6 +67,7 @@ fn frame_with_payload_tag(conn: u64, rid: u64, tag: u8) -> Vec<u8> {
     let mut e = Encoder::new();
     e.put_varint(conn);
     e.put_varint(rid);
+    e.put_u8(Priority::Demand.wire_tag());
     e.put_bytes(&p.finish());
     let mut bytes = e.finish();
     let crc = crc32(&bytes);
@@ -64,7 +80,7 @@ proptest! {
 
     #[test]
     fn truncated_frames_are_errors(
-        choice in 0u8..4,
+        choice in 0u8..6,
         conn in 0u64..1 << 32,
         rid in 0u64..1 << 32,
         blob in proptest::collection::vec(any::<u8>(), 0..64),
@@ -77,7 +93,7 @@ proptest! {
 
     #[test]
     fn bit_flips_surface_as_typed_corruption(
-        choice in 0u8..4,
+        choice in 0u8..6,
         conn in 0u64..1 << 32,
         rid in 0u64..1 << 32,
         blob in proptest::collection::vec(any::<u8>(), 0..64),
@@ -105,7 +121,50 @@ proptest! {
     }
 
     #[test]
-    fn mutated_protocol_tags_are_rejected(tag in 8u8..=255, id in any::<u64>()) {
+    fn mutated_priority_bytes_are_rejected(
+        conn in 0u64..1 << 32,
+        rid in 0u64..1 << 32,
+        priority in 3u8..=255,
+    ) {
+        // Valid envelope, valid payload, recomputed CRC — only the
+        // priority byte is outside the vocabulary, so the typed rejection
+        // comes from the class dispatch, never from the checksum.
+        let mut bytes = Frame::request(conn, rid, ServerRequest::Probe).encode();
+        let at = (minos::types::varint_len(conn) + minos::types::varint_len(rid)) as usize;
+        bytes[at] = priority;
+        let body = bytes.len() - 4;
+        let crc = crc32(&bytes[..body]);
+        bytes.truncate(body);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        prop_assert!(matches!(Frame::decode(&bytes), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn truncated_overload_messages_fail_typed(
+        epoch in any::<u64>(),
+        micros in any::<u64>(),
+        cut in any::<usize>(),
+    ) {
+        // The epoch handshake and busy rejection: whole messages round-trip
+        // exactly; every strict prefix is a typed error, never an alias.
+        let hello = ServerRequest::Hello { epoch };
+        let bytes = hello.encode();
+        prop_assert_eq!(ServerRequest::decode(&bytes).unwrap(), hello);
+        prop_assert!(ServerRequest::decode(&bytes[..cut % bytes.len()]).is_err());
+
+        let welcome = ServerResponse::Welcome { epoch };
+        let bytes = welcome.encode();
+        prop_assert_eq!(ServerResponse::decode(&bytes).unwrap(), welcome);
+        prop_assert!(ServerResponse::decode(&bytes[..cut % bytes.len()]).is_err());
+
+        let busy = ServerResponse::Busy { retry_after: SimDuration::from_micros(micros) };
+        let bytes = busy.encode();
+        prop_assert_eq!(ServerResponse::decode(&bytes).unwrap(), busy);
+        prop_assert!(ServerResponse::decode(&bytes[..cut % bytes.len()]).is_err());
+    }
+
+    #[test]
+    fn mutated_protocol_tags_are_rejected(tag in 10u8..=255, id in any::<u64>()) {
         // Overwrite the leading tag byte of valid protocol bytes with a
         // tag outside the vocabulary of either direction.
         let mut request = ServerRequest::FetchObject { id: ObjectId::new(id) }.encode();
@@ -147,7 +206,7 @@ proptest! {
 
     #[test]
     fn fault_mangled_frames_never_decode_to_a_different_frame(
-        choice in 0u8..4,
+        choice in 0u8..6,
         blob in proptest::collection::vec(any::<u8>(), 0..64),
         seed in any::<u64>(),
     ) {
