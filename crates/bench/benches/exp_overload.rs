@@ -65,7 +65,8 @@ fn emit_json(points: &[Point]) {
              \"unbounded_goodput_pages_per_sec\": {:.4},\n      \
              \"admitted_audio_p99_us\": {},\n      \"unbounded_audio_p99_us\": {},\n      \
              \"admitted_shed\": {},\n      \"admitted_busy_rejections\": {},\n      \
-             \"admitted_queue_high_water\": {},\n      \"unbounded_queue_high_water\": {}\n    }}",
+             \"admitted_queue_high_water\": {},\n      \"unbounded_queue_high_water\": {},\n      \
+             \"admitted_allocs_per_page\": {:.4},\n      \"unbounded_allocs_per_page\": {:.4}\n    }}",
             p.sessions,
             p.admitted.goodput_pages_per_sec(),
             p.unbounded.goodput_pages_per_sec(),
@@ -75,6 +76,8 @@ fn emit_json(points: &[Point]) {
             p.admitted.busy_rejections,
             p.admitted.queue_high_water,
             p.unbounded.queue_high_water,
+            p.admitted.allocations_per_page(),
+            p.unbounded.allocations_per_page(),
         ));
     }
     let json = format!(
@@ -106,13 +109,16 @@ fn print_series() {
             ServiceConfig::DEFAULT_GLOBAL_CAP
         ),
     );
-    row("E14", "sessions  adm_pg/s  unb_pg/s  adm_p99_ms  unb_p99_ms  shed  busy  adm_hw  unb_hw");
+    row(
+        "E14",
+        "sessions  adm_pg/s  unb_pg/s  adm_p99_ms  unb_p99_ms  shed  busy  adm_hw  unb_hw  alloc/pg",
+    );
     let points = measure_series();
     for p in &points {
         row(
             "E14",
             &format!(
-                "{:>8}  {:>8.1}  {:>8.1}  {:>10.2}  {:>10.2}  {:>4}  {:>4}  {:>6}  {:>6}",
+                "{:>8}  {:>8.1}  {:>8.1}  {:>10.2}  {:>10.2}  {:>4}  {:>4}  {:>6}  {:>6}  {:>8.3}",
                 p.sessions,
                 p.admitted.goodput_pages_per_sec(),
                 p.unbounded.goodput_pages_per_sec(),
@@ -122,6 +128,7 @@ fn print_series() {
                 p.admitted.busy_rejections,
                 p.admitted.queue_high_water,
                 p.unbounded.queue_high_water,
+                p.admitted.allocations_per_page(),
             ),
         );
     }
@@ -162,6 +169,23 @@ fn smoke() {
         "audio p99 {:?} (admitted) must beat {:?} (unbounded)",
         admitted.audio_p99,
         unbounded.audio_p99
+    );
+    // The pooled-buffer pin: demand pages and the surviving speculative
+    // fan-out all ride recycled buffers, so fresh payload allocations stay
+    // at or under one per demand page even at 4x offered load.
+    row(
+        "E14",
+        &format!(
+            "smoke: admitted alloc/page {:.3} ({} allocs / {} pages)",
+            admitted.allocations_per_page(),
+            admitted.payload_allocs,
+            admitted.pages
+        ),
+    );
+    assert!(
+        admitted.allocations_per_page() <= 1.0,
+        "pooled buffers hold allocations at or under one per demand page: {:.3}",
+        admitted.allocations_per_page()
     );
     // The full series is cheap (simulated time), so the machine-readable
     // artifact is always the complete five-point sweep.

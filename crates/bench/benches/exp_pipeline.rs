@@ -28,20 +28,35 @@ fn run(sessions: usize, mode: TransportMode) -> WorkloadReport {
 fn print_series() {
     row("E12", "workload = 8 x 8 KB pages/session; link = 10 Mbit/s Ethernet;");
     row("E12", &format!("optical server; pipelined window = {WINDOW} frames/session"));
-    row("E12", "sessions  blocking_pg/s  pipelined_pg/s  speedup");
+    row("E12", "sessions  blocking_pg/s  pipelined_pg/s  speedup  alloc/pg");
     for sessions in [1usize, 4, 16] {
         let blocking = run(sessions, TransportMode::Blocking);
         let pipelined = run(sessions, TransportMode::Pipelined { window: WINDOW });
         row(
             "E12",
             &format!(
-                "{sessions:>8}  {:>13.2}  {:>14.2}  {:>6.2}x",
+                "{sessions:>8}  {:>13.2}  {:>14.2}  {:>6.2}x  {:>8.3}",
                 blocking.pages_per_sec(),
                 pipelined.pages_per_sec(),
-                pipelined.pages_per_sec() / blocking.pages_per_sec()
+                pipelined.pages_per_sec() / blocking.pages_per_sec(),
+                pipelined.allocations_per_page(),
             ),
         );
     }
+    // The zero-copy steady-state point: long sessions amortize the cold
+    // pool's working set to (well) under one allocation per page.
+    let steady =
+        simulate_page_workload(8, 64, PAGE_LEN, TransportMode::Pipelined { window: WINDOW })
+            .expect("workload runs");
+    row(
+        "E12",
+        &format!(
+            "steady state: 8 sessions x 64 pages  {:.3} allocs/page ({} allocs / {} pages)",
+            steady.allocations_per_page(),
+            steady.payload_allocs,
+            steady.pages
+        ),
+    );
 }
 
 fn smoke() {
@@ -62,6 +77,26 @@ fn smoke() {
         blocking.elapsed
     );
     assert_eq!(pipelined.pages, blocking.pages, "both transports served every page");
+    // The pooled-buffer acceptance pin: at the steady-state operating
+    // point (window 8, 64 pages/session) the transport recycles consumed
+    // pages, so fresh payload allocations stay at or under one per page.
+    let steady =
+        simulate_page_workload(8, 64, PAGE_LEN, TransportMode::Pipelined { window: WINDOW })
+            .expect("workload runs");
+    row(
+        "E12",
+        &format!(
+            "smoke: steady-state alloc/page {:.3} ({} allocs / {} pages)",
+            steady.allocations_per_page(),
+            steady.payload_allocs,
+            steady.pages
+        ),
+    );
+    assert!(
+        steady.allocations_per_page() <= 1.0,
+        "pooled buffers hold allocations at or under one per page: {:.3}",
+        steady.allocations_per_page()
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -35,7 +35,9 @@ use minos_image::View;
 use minos_net::{ServerRequest, ServerResponse};
 use minos_object::MultimediaObject;
 use minos_server::ObjectServer;
-use minos_types::{ByteSpan, MinosError, ObjectId, Result, SimClock, SimDuration, SimInstant};
+use minos_types::{
+    ByteSpan, Encoder, MinosError, ObjectId, Result, SimClock, SimDuration, SimInstant,
+};
 use std::collections::HashMap;
 
 /// Divides an archived record into `pages` contiguous spans — the transfer
@@ -334,14 +336,18 @@ impl<E: ServerEndpoint> PrefetchBuffer<E> {
 
     /// The first `limit` plan entries not already buffered or in flight,
     /// deduplicated, skipping the entry `exclude` (the resource being
-    /// served right now).
-    fn uncovered(
+    /// served right now). Entries are borrowed from the plan — nothing is
+    /// cloned here — and coverage checks encode into one reused scratch
+    /// buffer instead of allocating a key per plan entry; only the entries
+    /// actually selected get an owned key.
+    fn uncovered<'p>(
         &self,
-        plan: &[ServerRequest],
+        plan: &'p [ServerRequest],
         limit: usize,
         exclude: Option<&[u8]>,
-    ) -> Result<Vec<(Vec<u8>, ServerRequest)>> {
-        let mut window: Vec<(Vec<u8>, ServerRequest)> = Vec::new();
+    ) -> Result<Vec<(Vec<u8>, &'p ServerRequest)>> {
+        let mut window: Vec<(Vec<u8>, &ServerRequest)> = Vec::new();
+        let mut scratch = Vec::new();
         for request in plan {
             if window.len() >= limit {
                 break;
@@ -349,13 +355,15 @@ impl<E: ServerEndpoint> PrefetchBuffer<E> {
             if matches!(request, ServerRequest::Batch { .. }) {
                 return Err(MinosError::Protocol("plans cannot contain batches".into()));
             }
-            let key = request.encode();
-            let covered = exclude == Some(key.as_slice())
-                || self.buffer.contains_key(&key)
-                || self.inflight.contains_key(&key)
-                || window.iter().any(|(k, _)| *k == key);
+            let mut e = Encoder::reuse(std::mem::take(&mut scratch));
+            request.encode_to(&mut e);
+            scratch = e.finish();
+            let covered = exclude == Some(scratch.as_slice())
+                || self.buffer.contains_key(scratch.as_slice())
+                || self.inflight.contains_key(scratch.as_slice())
+                || window.iter().any(|(k, _)| k.as_slice() == scratch.as_slice());
             if !covered {
-                window.push((key, request.clone()));
+                window.push((scratch.clone(), request));
             }
         }
         Ok(window)
@@ -367,12 +375,12 @@ impl<E: ServerEndpoint> PrefetchBuffer<E> {
     /// are dropped here: an erroneous prediction must never be served, so
     /// it stays a counted waste and the real need falls back to a demand
     /// fetch.
-    fn issue(&mut self, window: Vec<(Vec<u8>, ServerRequest)>) -> Result<SimDuration> {
+    fn issue(&mut self, window: Vec<(Vec<u8>, &ServerRequest)>) -> Result<SimDuration> {
         self.prefetched += window.len() as u64;
         let before = self.ws.elapsed();
         let conn = self.ws.connection_mut();
         let tickets: Vec<(Vec<u8>, crate::remote::Ticket)> =
-            window.into_iter().map(|(key, request)| (key, conn.submit(request))).collect();
+            window.into_iter().map(|(key, request)| (key, conn.submit_ref(request))).collect();
         for (key, ticket) in tickets {
             let (response, _) = conn.wait(ticket)?;
             if !matches!(response, ServerResponse::Error(_)) {
@@ -394,6 +402,31 @@ impl<E: ServerEndpoint> PrefetchBuffer<E> {
     fn land(&mut self) {
         self.buffer.extend(self.inflight.drain());
         self.inflight_remaining = SimDuration::ZERO;
+    }
+
+    /// Hands a consumed response's payload buffer back to the transport
+    /// pool, so the next prefetched page refills it instead of allocating.
+    /// Responses without a bulk payload are simply dropped.
+    pub fn recycle_response(&mut self, response: ServerResponse) {
+        match response {
+            ServerResponse::Span(bytes)
+            | ServerResponse::Object(bytes)
+            | ServerResponse::View(bytes)
+            | ServerResponse::Miniature(bytes) => {
+                self.ws.connection_mut().recycle_payload(bytes);
+            }
+            _ => {}
+        }
+    }
+
+    /// Evicts everything still buffered or in flight — what a closing
+    /// presentation leaves behind — recycling the payload buffers back to
+    /// the transport pool. The entries stay counted as waste.
+    pub fn evict_buffered(&mut self) {
+        self.land();
+        for (_, response) in self.buffer.drain().collect::<Vec<_>>() {
+            self.recycle_response(response);
+        }
     }
 
     /// Presents for `dwell`, hiding an equal share of in-flight fetch time.
@@ -442,9 +475,12 @@ impl ObjectStore for AnticipatingStore {
     fn fetch(&mut self, id: ObjectId) -> Result<MultimediaObject> {
         let need = ServerRequest::FetchObject { id };
         let (response, _stall) = self.pipeline.step(&need, &self.plan, SimDuration::ZERO)?;
-        let ServerResponse::Object(_) = response else {
+        let ServerResponse::Object(bytes) = response else {
             return Err(MinosError::Protocol(format!("unexpected response to {need:?}")));
         };
+        // The archived bytes are consumed here (the resident copy stands
+        // in for the decode); the buffer goes back to the pool.
+        self.pipeline.recycle_response(ServerResponse::Object(bytes));
         // As in the plain server-backed store, the server's resident copy
         // stands in for the workstation-side decode of the fetched bytes.
         self.pipeline
@@ -459,7 +495,9 @@ impl ObjectStore for AnticipatingStore {
         self.plan = self.pipeline.prefetcher().predict_relevant(targets);
         // Anticipation must never fail the browsing operation that
         // triggered it; a failed prediction batch is simply no prefetch.
-        let _ = self.pipeline.anticipate(&self.plan.clone(), self.dwell);
+        // The plan is borrowed in place: `pipeline` and `plan` are
+        // disjoint fields, so no copy is needed per tick.
+        let _ = self.pipeline.anticipate(&self.plan, self.dwell);
     }
 }
 
@@ -678,6 +716,43 @@ mod tests {
             transport.corrupt_frames > 0 && transport.retries > 0,
             "the faults were really exercised: {transport:?}"
         );
+    }
+
+    #[test]
+    fn recycled_pages_keep_the_transport_pool_warm() {
+        // The same presentation run twice: once dropping consumed pages on
+        // the floor, once handing them back to the transport pool. The
+        // recycling run must allocate strictly less and serve leases from
+        // recycled buffers.
+        let run = |recycle: bool| {
+            let (mut pipe, span) = pipeline(3, 65_536);
+            let plan: Vec<ServerRequest> = page_spans(span, 16)
+                .into_iter()
+                .map(|span| ServerRequest::FetchSpan { span })
+                .collect();
+            pipe.prime(&plan).unwrap();
+            for (i, need) in plan.iter().enumerate() {
+                let (response, _) =
+                    pipe.step(need, &plan[i + 1..], SimDuration::from_millis(50)).unwrap();
+                if recycle {
+                    pipe.recycle_response(response);
+                }
+            }
+            pipe.evict_buffered();
+            pipe.workstation().transport_stats()
+        };
+        let dropped = run(false);
+        let recycled = run(true);
+        assert!(dropped.pool_misses > 0, "the pipeline leases from the pool: {dropped:?}");
+        assert!(
+            recycled.pool_misses < dropped.pool_misses,
+            "recycling must cut fresh allocations: {recycled:?} vs {dropped:?}"
+        );
+        assert!(
+            recycled.pool_hits > dropped.pool_hits,
+            "recycling must raise pool hits: {recycled:?} vs {dropped:?}"
+        );
+        assert_eq!(recycled.payload_allocs, recycled.pool_misses);
     }
 
     #[test]

@@ -21,7 +21,8 @@
 
 use minos_image::{Bitmap, View};
 use minos_net::{
-    FaultPlan, FaultyLink, Frame, FramePayload, InflightWindow, Link, ServerRequest, ServerResponse,
+    BufferPool, FaultPlan, FaultyLink, Frame, FramePayload, InflightWindow, Link, Priority,
+    ServerRequest, ServerResponse,
 };
 use minos_object::{ArchivedObject, DataKind, DataPayload};
 use minos_server::ObjectServer;
@@ -80,9 +81,13 @@ struct Landed {
 }
 
 /// Retransmission state for a request whose response has not yet landed
-/// (kept only on faulty links; a clean link never loses a frame).
+/// (kept only on faulty links; a clean link never loses a frame). The
+/// *encoded* frame is what is kept: the request is encoded exactly once at
+/// submit (into a pooled buffer), and every retransmit or epoch replay
+/// resends these bytes verbatim — the old double copy (an owned clone of
+/// the request plus a fresh encode per transmit) is gone.
 struct Outstanding {
-    request: ServerRequest,
+    frame_bytes: Vec<u8>,
     deadline: SimInstant,
     attempt: u32,
 }
@@ -107,6 +112,16 @@ pub struct TransportStats {
     /// Request frames replayed (or retransmitted) because a server restart
     /// dropped them from the service queue.
     pub replays: u64,
+    /// Transmit-buffer pool leases served from the free list — no
+    /// allocation happened.
+    pub pool_hits: u64,
+    /// Pool leases that had to allocate a fresh buffer (a cold pool or a
+    /// burst deeper than the retained free list).
+    pub pool_misses: u64,
+    /// Fresh payload-buffer allocations on the frame hot path. For a
+    /// connection this is its pool misses: once the pool is warm a
+    /// steady-state window transmits with zero of these.
+    pub payload_allocs: u64,
 }
 
 /// Default pipelining budget: requests that may be in flight at once.
@@ -149,6 +164,10 @@ pub struct Connection<E: ServerEndpoint> {
     landed: HashMap<u64, Landed>,
     outstanding: HashMap<u64, Outstanding>,
     collected: HashSet<u64>,
+    /// Transmit and payload buffers leased and recycled across the
+    /// connection's lifetime; its hit/miss accounting is merged into
+    /// [`TransportStats`] by [`Connection::transport_stats`].
+    pool: BufferPool,
     transport: TransportStats,
     timeout: SimDuration,
     max_retries: u32,
@@ -190,6 +209,7 @@ impl<E: ServerEndpoint> Connection<E> {
             landed: HashMap::new(),
             outstanding: HashMap::new(),
             collected: HashSet::new(),
+            pool: BufferPool::new(),
             transport: TransportStats::default(),
             timeout: DEFAULT_TIMEOUT,
             max_retries: DEFAULT_MAX_RETRIES,
@@ -230,9 +250,16 @@ impl<E: ServerEndpoint> Connection<E> {
     }
 
     /// What the recovery machinery had to do: timeouts, retries, corrupt
-    /// frames discarded, duplicates suppressed.
+    /// frames discarded, duplicates suppressed — plus the transmit-pool
+    /// accounting (hits, misses, fresh payload allocations).
     pub fn transport_stats(&self) -> TransportStats {
-        self.transport
+        let pool = self.pool.stats();
+        TransportStats {
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            payload_allocs: self.transport.payload_allocs + pool.misses,
+            ..self.transport
+        }
     }
 
     /// Round trips so far: times the connection went from idle (nothing in
@@ -240,6 +267,18 @@ impl<E: ServerEndpoint> Connection<E> {
     /// pipelined burst pays one for the whole burst — that is its point.
     pub fn round_trips(&self) -> u64 {
         self.round_trips
+    }
+
+    /// Hands a consumed payload buffer back to the connection's transmit
+    /// pool. Callers that drain pipelined span responses can return the
+    /// buffers here so the steady-state hot path re-serves them instead of
+    /// allocating a fresh one per page. Each side recycles into its own
+    /// pool: buffers this connection produced (coalesced batch slices,
+    /// faulty-link decodes) come back here, while payloads the in-process
+    /// server leased on the clean path belong to the server's
+    /// `recycle_payload`.
+    pub fn recycle_payload(&mut self, buf: Vec<u8>) {
+        self.pool.recycle(buf);
     }
 
     /// Requests submitted and not yet collected.
@@ -277,6 +316,7 @@ impl<E: ServerEndpoint> Connection<E> {
         self.landed.clear();
         self.outstanding.clear();
         self.collected.clear();
+        self.pool.reset_stats();
         self.transport = TransportStats::default();
         self.window = InflightWindow::new(self.window.capacity());
         self.endpoint.reset_stats();
@@ -308,13 +348,15 @@ impl<E: ServerEndpoint> Connection<E> {
             self.endpoint.handle(&ServerRequest::Hello { epoch: self.server_epoch });
         let done = hello_arrival.max(self.dev_free) + took;
         self.dev_free = done;
-        let welcome = Frame::response(self.conn_id, 0, answer.clone());
+        // The answer moves into the frame for an arithmetic wire-size
+        // measurement and is read back out of it — never cloned.
+        let welcome = Frame::response(self.conn_id, 0, answer);
         let down = self.link.charge(welcome.wire_size());
         let delivered = done.max(self.down_free) + down;
         self.down_free = delivered;
         self.clock.advance_to_at_least(delivered);
-        self.server_epoch = match answer {
-            ServerResponse::Welcome { epoch } => epoch,
+        self.server_epoch = match welcome.payload {
+            FramePayload::Response(ServerResponse::Welcome { epoch }) => epoch,
             _ => self.endpoint.epoch(),
         };
         if self.link.is_clean() {
@@ -352,13 +394,10 @@ impl<E: ServerEndpoint> Connection<E> {
         }
     }
 
-    /// Submits one request, charging its uplink transfer, and returns a
-    /// ticket for collecting the response later. If the in-flight window
-    /// is exhausted the call first waits out the oldest response (the
-    /// pipelined analogue of blocking); on a faulty link a slot whose
-    /// response was lost is forced through the timeout machinery instead
-    /// of being overrun.
-    pub fn submit(&mut self, request: ServerRequest) -> Ticket {
+    /// Admits the next submission into the flow-control window: resyncs epochs,
+    /// settles arrived responses, waits out (or times out) a full window,
+    /// and allocates the request id.
+    fn admit_slot(&mut self) -> u64 {
         self.resync_epoch();
         self.settle();
         while self.window.is_full() {
@@ -388,6 +427,17 @@ impl<E: ServerEndpoint> Connection<E> {
         }
         let request_id = self.next_request_id;
         self.next_request_id += 1;
+        request_id
+    }
+
+    /// Submits one request, charging its uplink transfer, and returns a
+    /// ticket for collecting the response later. If the in-flight window
+    /// is exhausted the call first waits out the oldest response (the
+    /// pipelined analogue of blocking); on a faulty link a slot whose
+    /// response was lost is forced through the timeout machinery instead
+    /// of being overrun.
+    pub fn submit(&mut self, request: ServerRequest) -> Ticket {
+        let request_id = self.admit_slot();
         if self.link.is_clean() {
             // Fast path: the typed frame is handed to the server directly;
             // its wire size is computed arithmetically, so nothing is
@@ -398,23 +448,57 @@ impl<E: ServerEndpoint> Connection<E> {
             self.up_free = arrival;
             self.pending.push_back(PendingFrame { frame, arrival });
         } else {
-            let deadline = self.clock.now() + self.timeout;
-            self.outstanding.insert(request_id, Outstanding { request, deadline, attempt: 0 });
-            self.transmit_request(request_id);
+            self.submit_encoded(request_id, &request);
         }
         self.window.open(request_id);
         Ticket(request_id)
     }
 
-    /// Encodes and transmits the outstanding request `request_id` through
-    /// the fault layer; whatever survives decoding joins the pending queue.
+    /// [`Connection::submit`] from a borrowed request: the clean path pays
+    /// one clone to build its typed frame; the faulty path encodes straight
+    /// from the borrow into a pooled buffer and never clones at all.
+    pub fn submit_ref(&mut self, request: &ServerRequest) -> Ticket {
+        let request_id = self.admit_slot();
+        if self.link.is_clean() {
+            let frame = Frame::request(self.conn_id, request_id, request.clone());
+            let up = self.link.charge(frame.wire_size());
+            let arrival = self.clock.now().max(self.up_free) + up;
+            self.up_free = arrival;
+            self.pending.push_back(PendingFrame { frame, arrival });
+        } else {
+            self.submit_encoded(request_id, request);
+        }
+        self.window.open(request_id);
+        Ticket(request_id)
+    }
+
+    /// Encodes `request` once — from its borrow, into a pooled buffer —
+    /// records the bytes as retransmission state, and puts them on the
+    /// wire.
+    fn submit_encoded(&mut self, request_id: u64, request: &ServerRequest) {
+        let deadline = self.clock.now() + self.timeout;
+        let mut frame_bytes = self.pool.lease_vec();
+        Frame::encode_request_into(
+            self.conn_id,
+            request_id,
+            Priority::Demand,
+            request,
+            &mut frame_bytes,
+        );
+        self.outstanding.insert(request_id, Outstanding { frame_bytes, deadline, attempt: 0 });
+        self.transmit_request(request_id);
+    }
+
+    /// Puts the outstanding request `request_id`'s stored frame bytes on
+    /// the wire through the fault layer; whatever survives decoding joins
+    /// the pending queue. Every transmission — first send, timeout
+    /// retransmit, epoch replay — resends the identical bytes encoded at
+    /// submit time.
     fn transmit_request(&mut self, request_id: u64) {
         let Some(out) = self.outstanding.get(&request_id) else {
             return;
         };
-        let frame = Frame::request(self.conn_id, request_id, out.request.clone());
-        let bytes = frame.encode();
-        let (up, deliveries) = self.link.transmit(&bytes);
+        let (up, deliveries) = self.link.transmit(&out.frame_bytes);
         let arrival = self.clock.now().max(self.up_free) + up;
         self.up_free = arrival;
         for delivery in deliveries {
@@ -447,7 +531,9 @@ impl<E: ServerEndpoint> Connection<E> {
                 self.clock.advance_to_at_least(landed.ready_at);
                 let waited = self.clock.now().saturating_since(started);
                 self.window.close(ticket.0);
-                self.outstanding.remove(&ticket.0);
+                if let Some(out) = self.outstanding.remove(&ticket.0) {
+                    self.pool.recycle(out.frame_bytes);
+                }
                 if !self.link.is_clean() {
                     self.collected.insert(ticket.0);
                 }
@@ -471,7 +557,9 @@ impl<E: ServerEndpoint> Connection<E> {
             return None;
         }
         self.window.close(ticket.0);
-        self.outstanding.remove(&ticket.0);
+        if let Some(out) = self.outstanding.remove(&ticket.0) {
+            self.pool.recycle(out.frame_bytes);
+        }
         if !self.link.is_clean() {
             self.collected.insert(ticket.0);
         }
@@ -503,7 +591,9 @@ impl<E: ServerEndpoint> Connection<E> {
         self.transport.timeouts += 1;
         self.clock.advance_to_at_least(deadline);
         if attempt >= self.max_retries {
-            self.outstanding.remove(&request_id);
+            if let Some(out) = self.outstanding.remove(&request_id) {
+                self.pool.recycle(out.frame_bytes);
+            }
             self.landed.insert(
                 request_id,
                 Landed {
@@ -615,7 +705,14 @@ impl<E: ServerEndpoint> Connection<E> {
                 for (p, span) in run.iter().zip(&spans) {
                     let from = (span.start - whole.start) as usize;
                     let sliced = match bytes.get(from..from + span.len() as usize) {
-                        Some(slice) => ServerResponse::Span(slice.to_vec()),
+                        Some(slice) => {
+                            // Per-request payloads come out of the pool, so a
+                            // steady-state pipeline re-serves the same buffers
+                            // instead of allocating per page.
+                            let mut payload = self.pool.lease_vec();
+                            payload.extend_from_slice(slice);
+                            ServerResponse::Span(payload)
+                        }
                         None => ServerResponse::Error(format!(
                             "coalesced read lost {span} inside {whole}"
                         )),
@@ -625,6 +722,9 @@ impl<E: ServerEndpoint> Connection<E> {
                         Landed { response: sliced, ready_at: delivered },
                     );
                 }
+                // The merged carrier buffer has been sliced apart; hand it
+                // back so the next merged read reuses it.
+                self.pool.recycle(bytes);
             }
             other => {
                 let message = match other {
@@ -645,15 +745,23 @@ impl<E: ServerEndpoint> Connection<E> {
     /// `request_id`.
     fn deliver(&mut self, request_id: u64, response: ServerResponse, done: SimInstant) {
         if self.link.is_clean() {
-            let frame = Frame::response(self.conn_id, request_id, response.clone());
+            // Move the response into a typed frame to measure its wire
+            // size arithmetically, then take it back out — no copy, no
+            // encoding on the clean path.
+            let frame = Frame::response(self.conn_id, request_id, response);
             let down = self.link.charge(frame.wire_size());
             let delivered = done.max(self.down_free) + down;
             self.down_free = delivered;
+            let response = match frame.payload {
+                FramePayload::Response(response) => response,
+                _ => ServerResponse::Error("response frame lost its payload".into()),
+            };
             self.landed.insert(request_id, Landed { response, ready_at: delivered });
             return;
         }
         let frame = Frame::response(self.conn_id, request_id, response);
-        let bytes = frame.encode();
+        let mut bytes = self.pool.lease_vec();
+        frame.encode_into(&mut bytes);
         let (down, deliveries) = self.link.transmit(&bytes);
         let delivered = done.max(self.down_free) + down;
         self.down_free = delivered;
@@ -674,6 +782,7 @@ impl<E: ServerEndpoint> Connection<E> {
                 Err(_) => self.transport.corrupt_frames += 1,
             }
         }
+        self.pool.recycle(bytes);
     }
 }
 
@@ -724,6 +833,12 @@ impl<E: ServerEndpoint> Workstation<E> {
         self.conn.reset_accounting()
     }
 
+    /// Hands a consumed payload buffer back to the connection's pool (see
+    /// [`Connection::recycle_payload`]).
+    pub fn recycle_payload(&mut self, buf: Vec<u8>) {
+        self.conn.recycle_payload(buf);
+    }
+
     /// The wrapped endpoint.
     pub fn endpoint_mut(&mut self) -> &mut E {
         self.conn.endpoint_mut()
@@ -743,7 +858,7 @@ impl<E: ServerEndpoint> Workstation<E> {
     /// Issues one request, charging request transfer + server device time
     /// + response transfer, and surfacing server-side errors.
     pub fn request(&mut self, request: &ServerRequest) -> Result<ServerResponse> {
-        let ticket = self.conn.submit(request.clone());
+        let ticket = self.conn.submit_ref(request);
         let (response, _) = self.conn.wait(ticket)?;
         if let ServerResponse::Error(message) = response {
             return Err(MinosError::Protocol(message));
@@ -1351,6 +1466,76 @@ mod tests {
         let (_, waited) = one.wait(t1).unwrap();
         assert_eq!(waited, SimDuration::ZERO, "already waited out by the window");
         assert!(one.wait(t2).is_ok());
+    }
+
+    #[test]
+    fn retransmit_buffers_come_from_the_pool_after_warmup() {
+        // Regression for the per-message allocation bug: on a faulty link
+        // every submit used to build a fresh frame payload (and every
+        // retransmit re-encoded it). Now the frame is encoded once into a
+        // pooled buffer and the buffer is recycled when the slot retires,
+        // so steady-state traffic is served from pool hits.
+        let (server, _) = server();
+        let mut conn = Connection::with_faults(
+            server,
+            Link::ethernet(),
+            DEFAULT_WINDOW,
+            minos_net::FaultPlan::chaos(31, 0.3),
+        )
+        .with_recovery(SimDuration::from_millis(50), 3);
+        for i in 0..16u64 {
+            let ticket =
+                conn.submit(ServerRequest::FetchMiniature { id: ObjectId::new(1 + (i % 2)) });
+            let _ = conn.wait(ticket);
+        }
+        let stats = conn.transport_stats();
+        assert!(stats.pool_misses > 0, "the first lease has nothing to reuse: {stats:?}");
+        assert!(
+            stats.pool_hits > stats.pool_misses,
+            "steady state must re-serve recycled buffers: {stats:?}"
+        );
+        assert_eq!(
+            stats.payload_allocs, stats.pool_misses,
+            "every fresh allocation on this path is a pool miss: {stats:?}"
+        );
+        conn.reset_accounting();
+        let cleared = conn.transport_stats();
+        assert_eq!(cleared.pool_hits, 0);
+        assert_eq!(cleared.pool_misses, 0);
+        assert_eq!(cleared.payload_allocs, 0);
+    }
+
+    #[test]
+    fn coalesced_span_payloads_recycle_through_the_pool() {
+        // A coalesced run slices per-request payloads out of one merged
+        // response. Those slices lease from the pool; a caller that hands
+        // consumed payloads back via recycle_payload keeps the allocation
+        // count flat across rounds.
+        let (server, base) = server();
+        let mut conn = Connection::new(server, Link::ethernet());
+        let spans: Vec<ByteSpan> = (0..3).map(|i| ByteSpan::at(base + i * 512, 512)).collect();
+        let mut misses_after_first_round = 0;
+        for round in 0..3 {
+            let tickets: Vec<Ticket> =
+                spans.iter().map(|&span| conn.submit(ServerRequest::FetchSpan { span })).collect();
+            for t in tickets {
+                let (response, _) = conn.wait(t).unwrap();
+                match response {
+                    ServerResponse::Span(bytes) => conn.recycle_payload(bytes),
+                    other => panic!("expected span bytes, got {other:?}"),
+                }
+            }
+            if round == 0 {
+                misses_after_first_round = conn.transport_stats().pool_misses;
+                assert!(misses_after_first_round > 0);
+            }
+        }
+        let stats = conn.transport_stats();
+        assert_eq!(
+            stats.pool_misses, misses_after_first_round,
+            "later rounds must not allocate: {stats:?}"
+        );
+        assert!(stats.pool_hits >= 6, "rounds two and three are all pool hits: {stats:?}");
     }
 }
 

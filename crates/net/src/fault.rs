@@ -20,6 +20,7 @@
 
 use crate::link::{Link, LinkStats};
 use minos_types::SimDuration;
+use std::borrow::Cow;
 
 /// A deterministic pseudo-random stream for fault decisions (SplitMix64).
 ///
@@ -167,10 +168,16 @@ pub struct FaultStats {
 
 /// One copy of a frame that made it out of the fault layer: the (possibly
 /// mangled) bytes and any extra delivery delay beyond the wire transfer.
+///
+/// Pristine copies *borrow* the sender's encoded bytes — the clean path
+/// and unmangled duplicates cost nothing — and the bytes are owned only
+/// when a corruption or truncation actually rewrote them. Receivers that
+/// must keep a copy past the sender's buffer call
+/// [`Cow::into_owned`] on [`Delivery::bytes`].
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Delivery {
+pub struct Delivery<'a> {
     /// The bytes the receiver sees.
-    pub bytes: Vec<u8>,
+    pub bytes: Cow<'a, [u8]>,
     /// Extra hold beyond the transfer time (zero unless reordered).
     pub delay: SimDuration,
 }
@@ -180,28 +187,35 @@ impl FaultPlan {
     /// for a duplicate, otherwise one — mangled or pristine. Decisions are
     /// drawn from `rng` in a fixed order (drop, corrupt, truncate,
     /// reorder, duplicate) so runs replay exactly.
-    pub fn apply(&self, rng: &mut FaultRng, bytes: &[u8], stats: &mut FaultStats) -> Vec<Delivery> {
+    pub fn apply<'a>(
+        &self,
+        rng: &mut FaultRng,
+        bytes: &'a [u8],
+        stats: &mut FaultStats,
+    ) -> Vec<Delivery<'a>> {
         stats.frames += 1;
         if self.is_clean() {
-            return vec![Delivery { bytes: bytes.to_vec(), delay: SimDuration::ZERO }];
+            return vec![Delivery { bytes: Cow::Borrowed(bytes), delay: SimDuration::ZERO }];
         }
         if rng.chance(self.drop) {
             stats.dropped += 1;
             return Vec::new();
         }
-        let mut out = bytes.to_vec();
+        // Copy-on-mangle: the frame stays borrowed until a fault actually
+        // rewrites it.
+        let mut out: Cow<'a, [u8]> = Cow::Borrowed(bytes);
         if rng.chance(self.corrupt) && !out.is_empty() {
             stats.corrupted += 1;
             let at = rng.below(out.len() as u64) as usize;
             let mask = 1u8 << rng.below(8);
-            if let Some(byte) = out.get_mut(at) {
+            if let Some(byte) = out.to_mut().get_mut(at) {
                 *byte ^= mask;
             }
         }
         if rng.chance(self.truncate) && !out.is_empty() {
             stats.truncated += 1;
             let keep = rng.below(out.len() as u64) as usize;
-            out.truncate(keep);
+            out.to_mut().truncate(keep);
         }
         let delay = if rng.chance(self.reorder) {
             stats.delayed += 1;
@@ -209,10 +223,12 @@ impl FaultPlan {
         } else {
             SimDuration::ZERO
         };
-        let mut deliveries = vec![Delivery { bytes: out.clone(), delay }];
+        let mut deliveries = vec![Delivery { bytes: out, delay }];
         if rng.chance(self.duplicate) {
             stats.duplicated += 1;
-            deliveries.push(Delivery { bytes: out, delay: SimDuration::ZERO });
+            // A pristine duplicate borrows too; only a mangled one clones.
+            let copy = deliveries.first().map(|d| d.bytes.clone()).unwrap_or(Cow::Borrowed(bytes));
+            deliveries.push(Delivery { bytes: copy, delay: SimDuration::ZERO });
         }
         deliveries
     }
@@ -277,8 +293,9 @@ impl FaultyLink {
 
     /// Transfers one encoded frame: charges wire time for its full length,
     /// then returns what the far end receives (possibly nothing, possibly
-    /// two copies, possibly mangled bytes).
-    pub fn transmit(&mut self, bytes: &[u8]) -> (SimDuration, Vec<Delivery>) {
+    /// two copies, possibly mangled bytes). Pristine deliveries borrow
+    /// `bytes`; only mangled ones own a rewritten copy.
+    pub fn transmit<'a>(&mut self, bytes: &'a [u8]) -> (SimDuration, Vec<Delivery<'a>>) {
         let took = self.link.transfer(bytes.len() as u64);
         let deliveries = self.plan.apply(&mut self.rng, bytes, &mut self.stats);
         (took, deliveries)
@@ -308,7 +325,13 @@ mod tests {
         let bytes = frame_bytes();
         let (took, deliveries) = fl.transmit(&bytes);
         assert_eq!(took, Link::ethernet().transfer_cost(bytes.len() as u64));
-        assert_eq!(deliveries, vec![Delivery { bytes, delay: SimDuration::ZERO }]);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].bytes, bytes);
+        assert_eq!(deliveries[0].delay, SimDuration::ZERO);
+        assert!(
+            matches!(deliveries[0].bytes, Cow::Borrowed(_)),
+            "the clean path borrows the sender's bytes instead of copying"
+        );
         assert_eq!(fl.fault_stats().frames, 1);
         assert_eq!(fl.fault_stats().dropped, 0);
     }
@@ -335,6 +358,10 @@ mod tests {
         assert_eq!(out.len(), bytes.len());
         let flipped: u32 = out.iter().zip(&bytes).map(|(a, b)| (a ^ b).count_ones()).sum();
         assert_eq!(flipped, 1, "exactly one bit differs");
+        assert!(
+            matches!(out, Cow::Owned(_)),
+            "a mangled frame owns its rewritten bytes; the original is untouched"
+        );
         assert_eq!(fl.fault_stats().corrupted, 1);
     }
 
@@ -347,6 +374,10 @@ mod tests {
         assert_eq!(deliveries.len(), 2);
         assert_eq!(deliveries[0].bytes, bytes);
         assert_eq!(deliveries[1].bytes, bytes);
+        assert!(
+            deliveries.iter().all(|d| matches!(d.bytes, Cow::Borrowed(_))),
+            "pristine duplicates borrow: duplication alone copies nothing"
+        );
         assert_eq!(fl.fault_stats().duplicated, 1);
     }
 
@@ -359,7 +390,8 @@ mod tests {
             ..FaultPlan::none()
         };
         let mut fl = FaultyLink::new(Link::ethernet(), plan);
-        let (_, deliveries) = fl.transmit(&frame_bytes());
+        let bytes = frame_bytes();
+        let (_, deliveries) = fl.transmit(&bytes);
         assert_eq!(deliveries.len(), 1);
         assert_eq!(deliveries[0].delay, SimDuration::from_millis(25));
         assert_eq!(fl.fault_stats().delayed, 1);

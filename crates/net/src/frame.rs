@@ -93,19 +93,30 @@ pub enum FramePayload {
 }
 
 impl FramePayload {
-    /// Encodes the envelope tag plus the inner protocol bytes.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut e = Encoder::new();
+    /// Encodes the envelope tag plus the inner protocol bytes into an
+    /// existing encoder. The inner message's length prefix is computed
+    /// arithmetically from its `wire_size`, then the message encodes in
+    /// place — no intermediate buffer, which is what keeps
+    /// [`Frame::encode_into`] allocation-free on a pooled buffer.
+    pub fn encode_to(&self, e: &mut Encoder) {
         match self {
             FramePayload::Request(request) => {
                 e.put_u8(1);
-                e.put_bytes(&request.encode());
+                e.put_varint(request.wire_size());
+                request.encode_to(e);
             }
             FramePayload::Response(response) => {
                 e.put_u8(2);
-                e.put_bytes(&response.encode());
+                e.put_varint(response.wire_size());
+                response.encode_to(e);
             }
         }
+    }
+
+    /// Encodes the envelope tag plus the inner protocol bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        self.encode_to(&mut e);
         e.finish()
     }
 
@@ -123,8 +134,8 @@ impl FramePayload {
     pub fn decode(bytes: &[u8]) -> Result<FramePayload> {
         let mut d = Decoder::new(bytes);
         let payload = match d.get_u8()? {
-            1 => FramePayload::Request(ServerRequest::decode(&d.get_bytes()?)?),
-            2 => FramePayload::Response(ServerResponse::decode(&d.get_bytes()?)?),
+            1 => FramePayload::Request(ServerRequest::decode(d.get_bytes_ref()?)?),
+            2 => FramePayload::Response(ServerResponse::decode(d.get_bytes_ref()?)?),
             other => return Err(MinosError::Codec(format!("unknown frame payload tag {other}"))),
         };
         d.expect_end()?;
@@ -190,15 +201,56 @@ impl Frame {
     /// priority byte, the tagged payload, then a CRC32 trailer over
     /// everything before it.
     pub fn encode(&self) -> Vec<u8> {
-        let mut e = Encoder::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes the envelope into `out` (cleared first), reusing its
+    /// capacity — the pooled transmit path. Every length prefix is
+    /// computed arithmetically from `wire_size`, so a warm buffer encodes
+    /// a whole frame without a single allocation. Byte-for-byte identical
+    /// to [`Frame::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut e = Encoder::reuse(std::mem::take(out));
         e.put_varint(self.conn_id);
         e.put_varint(self.request_id);
         e.put_u8(self.priority.wire_tag());
-        e.put_bytes(&self.payload.encode());
+        e.put_varint(self.payload.wire_size());
+        self.payload.encode_to(&mut e);
         let mut bytes = e.finish();
         let crc = crc32(&bytes);
         bytes.extend_from_slice(&crc.to_le_bytes());
-        bytes
+        *out = bytes;
+    }
+
+    /// Encodes a request frame's wire bytes straight from a borrowed
+    /// request into `out` — byte-identical to building the [`Frame`] and
+    /// calling [`Frame::encode_into`], without taking ownership of the
+    /// request. This is the transmit path for retransmission state that
+    /// keeps only encoded bytes: the caller encodes once from a borrow,
+    /// resends verbatim ever after.
+    pub fn encode_request_into(
+        conn_id: u64,
+        request_id: u64,
+        priority: Priority,
+        request: &ServerRequest,
+        out: &mut Vec<u8>,
+    ) {
+        let mut e = Encoder::reuse(std::mem::take(out));
+        e.put_varint(conn_id);
+        e.put_varint(request_id);
+        e.put_u8(priority.wire_tag());
+        // The FramePayload::Request layout, inlined from the borrow.
+        let inner = request.wire_size();
+        e.put_varint(1 + varint_len(inner) + inner);
+        e.put_u8(1);
+        e.put_varint(inner);
+        request.encode_to(&mut e);
+        let mut bytes = e.finish();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        *out = bytes;
     }
 
     /// Decodes a frame produced by [`Frame::encode`], verifying the CRC32
@@ -225,7 +277,7 @@ impl Frame {
         let conn_id = d.get_varint()?;
         let request_id = d.get_varint()?;
         let priority = Priority::from_wire(d.get_u8()?)?;
-        let payload = FramePayload::decode(&d.get_bytes()?)?;
+        let payload = FramePayload::decode(d.get_bytes_ref()?)?;
         d.expect_end()?;
         Ok(Frame { conn_id, request_id, priority, payload })
     }
@@ -458,6 +510,60 @@ mod tests {
                 frame.encode().len() as u64,
                 "wire_size must equal the encoded length for {frame:?}"
             );
+        }
+    }
+
+    #[test]
+    fn encode_into_is_byte_identical_and_reuses_the_buffer() {
+        let frames = vec![
+            Frame::request(1, 1, sample_request()),
+            Frame::request(
+                2,
+                5,
+                ServerRequest::Batch {
+                    requests: vec![sample_request(), ServerRequest::Query { keywords: vec![] }],
+                },
+            ),
+            Frame::response(7, 42, ServerResponse::Span(vec![0xa5; 4_096])),
+            Frame::response(
+                1,
+                4,
+                ServerResponse::Batch(vec![
+                    ServerResponse::Span(vec![1, 2, 3]),
+                    ServerResponse::Error("missing".into()),
+                ]),
+            ),
+            Frame::request_with_priority(6, 7, Priority::Prefetch, sample_request()),
+        ];
+        let mut buf = Vec::with_capacity(8_192);
+        let cap = buf.capacity();
+        for frame in frames {
+            buf.extend_from_slice(b"stale bytes from the previous frame");
+            frame.encode_into(&mut buf);
+            assert_eq!(buf, frame.encode(), "encode_into must match encode for {frame:?}");
+            assert_eq!(Frame::decode(&buf).unwrap(), frame);
+            assert_eq!(buf.capacity(), cap, "a warm buffer encodes without reallocating");
+        }
+    }
+
+    #[test]
+    fn encode_request_into_matches_the_owning_encode() {
+        let requests = vec![
+            sample_request(),
+            ServerRequest::Query { keywords: vec!["x-ray".into(), "shadow".into()] },
+            ServerRequest::Batch {
+                requests: vec![sample_request(), ServerRequest::Query { keywords: vec![] }],
+            },
+            ServerRequest::Hello { epoch: u64::MAX },
+            ServerRequest::Probe,
+        ];
+        let mut buf = Vec::new();
+        for request in requests {
+            for priority in [Priority::Audio, Priority::Demand, Priority::Prefetch] {
+                Frame::encode_request_into(9, 1 << 33, priority, &request, &mut buf);
+                let owned = Frame::request_with_priority(9, 1 << 33, priority, request.clone());
+                assert_eq!(buf, owned.encode(), "borrow-encode of {request:?}");
+            }
         }
     }
 

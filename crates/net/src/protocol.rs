@@ -125,9 +125,11 @@ pub enum ServerResponse {
 }
 
 impl ServerRequest {
-    /// Encodes to wire bytes.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut e = Encoder::new();
+    /// Encodes this request into an existing encoder — the inline form
+    /// the framed transport's pooled encode path uses, so wrapping a
+    /// request in a [`crate::Frame`] never materializes an intermediate
+    /// `Vec` per message. [`ServerRequest::encode`] is the owning wrapper.
+    pub fn encode_to(&self, e: &mut Encoder) {
         match self {
             ServerRequest::FetchObject { id } => {
                 e.put_u8(1);
@@ -167,7 +169,10 @@ impl ServerRequest {
                 e.put_u8(7);
                 e.put_varint(requests.len() as u64);
                 for r in requests {
-                    e.put_bytes(&r.encode());
+                    // Length prefix computed arithmetically, body encoded
+                    // in place: no per-sub-request buffer.
+                    e.put_varint(r.wire_size());
+                    r.encode_to(e);
                 }
             }
             ServerRequest::Hello { epoch } => {
@@ -178,6 +183,12 @@ impl ServerRequest {
                 e.put_u8(9);
             }
         }
+    }
+
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        self.encode_to(&mut e);
         e.finish()
     }
 
@@ -220,7 +231,7 @@ impl ServerRequest {
                 let n = d.get_len()?;
                 let mut requests = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let sub = ServerRequest::decode(&d.get_bytes()?)?;
+                    let sub = ServerRequest::decode(d.get_bytes_ref()?)?;
                     if matches!(sub, ServerRequest::Batch { .. }) {
                         return Err(MinosError::Codec("nested request batch".into()));
                     }
@@ -270,9 +281,10 @@ impl ServerRequest {
 }
 
 impl ServerResponse {
-    /// Encodes to wire bytes.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut e = Encoder::new();
+    /// Encodes this response into an existing encoder — the inline form
+    /// the framed transport's pooled encode path uses.
+    /// [`ServerResponse::encode`] is the owning wrapper.
+    pub fn encode_to(&self, e: &mut Encoder) {
         match self {
             ServerResponse::Object(b) => {
                 e.put_u8(1);
@@ -305,7 +317,8 @@ impl ServerResponse {
                 e.put_u8(7);
                 e.put_varint(responses.len() as u64);
                 for r in responses {
-                    e.put_bytes(&r.encode());
+                    e.put_varint(r.wire_size());
+                    r.encode_to(e);
                 }
             }
             ServerResponse::Welcome { epoch } => {
@@ -317,6 +330,12 @@ impl ServerResponse {
                 e.put_varint(retry_after.as_micros());
             }
         }
+    }
+
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        self.encode_to(&mut e);
         e.finish()
     }
 
@@ -342,7 +361,7 @@ impl ServerResponse {
                 let n = d.get_len()?;
                 let mut responses = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let sub = ServerResponse::decode(&d.get_bytes()?)?;
+                    let sub = ServerResponse::decode(d.get_bytes_ref()?)?;
                     if matches!(sub, ServerResponse::Batch(_)) {
                         return Err(MinosError::Codec("nested response batch".into()));
                     }

@@ -10,7 +10,7 @@
 use crate::index::InvertedIndex;
 use crate::service::{ServiceConfig, ServiceQueue, ServiceStats};
 use minos_image::{Bitmap, Miniature};
-use minos_net::{Frame, ServerRequest, ServerResponse};
+use minos_net::{BufferPool, Frame, ServerRequest, ServerResponse};
 use minos_object::{ArchivedObject, DataPayload, MultimediaObject};
 use minos_storage::{Archiver, OpticalDisk};
 use minos_types::{ByteSpan, MinosError, ObjectId, Result, SimDuration};
@@ -41,6 +41,9 @@ pub struct ObjectServer {
     resident: HashMap<ObjectId, RenderedObject>,
     miniature_factor: u32,
     service: ServiceQueue,
+    /// Recycled payload buffers for span reads: steady-state serving
+    /// re-fills returned buffers instead of allocating one per page.
+    pool: BufferPool,
     epoch: u64,
 }
 
@@ -63,8 +66,24 @@ impl ObjectServer {
             resident: HashMap::new(),
             miniature_factor: 8,
             service: ServiceQueue::default(),
+            pool: BufferPool::new(),
             epoch: 0,
         }
+    }
+
+    /// Leases a payload buffer from the server's pool, recording the
+    /// hit/miss in the service accounting.
+    fn lease_payload(&mut self) -> Vec<u8> {
+        let hit = self.pool.free_buffers() > 0;
+        self.service.note_pool(hit);
+        self.pool.lease_vec()
+    }
+
+    /// Hands a consumed payload buffer back to the server's pool. Harness
+    /// code that drains served span frames returns the buffers here so the
+    /// steady-state serving loop stops allocating per page.
+    pub fn recycle_payload(&mut self, buf: Vec<u8>) {
+        self.pool.recycle(buf);
     }
 
     /// Replaces the service queue's admission configuration (queued work
@@ -99,6 +118,7 @@ impl ObjectServer {
     /// (`shed`, `busy_rejections`, high-water marks).
     pub fn reset_service_stats(&mut self) {
         self.service.reset_stats();
+        self.pool.reset_stats();
     }
 
     /// The archiver (for experiment setup: request spans, device stats).
@@ -176,7 +196,8 @@ impl ObjectServer {
                 Ok((ServerResponse::Object(bytes), took))
             }
             ServerRequest::FetchSpan { span } => {
-                let (bytes, took) = self.archiver.read_at(*span)?;
+                let mut bytes = self.lease_payload();
+                let took = self.archiver.read_at_into(*span, &mut bytes)?;
                 Ok((ServerResponse::Span(bytes), took))
             }
             ServerRequest::FetchView { id, tag, rect } => {
@@ -258,20 +279,23 @@ impl ObjectServer {
             if let (Some(first), Some(last)) = (run.first(), run.last()) {
                 if run.len() > 1 {
                     let whole = ByteSpan::new(first.start, last.end);
-                    match self.archiver.read_at(whole) {
-                        Ok((bytes, took)) => {
+                    let mut merged = self.lease_payload();
+                    match self.archiver.read_at_into(whole, &mut merged) {
+                        Ok(took) => {
                             total += took;
                             for span in &run {
                                 let from = (span.start - whole.start) as usize;
                                 let to = from + span.len() as usize;
-                                let slice = bytes.get(from..to).ok_or_else(|| {
-                                    MinosError::Internal(format!(
+                                let Some(slice) = merged.get(from..to) else {
+                                    return Err(MinosError::Internal(format!(
                                         "coalesced read lost {span}: {from}..{to} outside \
                                          {} bytes",
-                                        bytes.len()
-                                    ))
-                                })?;
-                                responses.push(ServerResponse::Span(slice.to_vec()));
+                                        merged.len()
+                                    )));
+                                };
+                                let mut payload = self.lease_payload();
+                                payload.extend_from_slice(slice);
+                                responses.push(ServerResponse::Span(payload));
                             }
                         }
                         Err(e) => {
@@ -280,6 +304,7 @@ impl ObjectServer {
                                 .extend(run.iter().map(|_| ServerResponse::Error(msg.clone())));
                         }
                     }
+                    self.pool.recycle(merged);
                     rest = rest.get(run.len()..).unwrap_or_default();
                     continue;
                 }
@@ -390,15 +415,20 @@ impl ObjectServer {
         if let (Some(head), Some(tail)) = (spans.first(), spans.last()) {
             if run.len() > 1 && spans.len() == run.len() {
                 let whole = ByteSpan::new(head.start, tail.end);
-                match self.archiver.read_at(whole) {
-                    Ok((bytes, took)) => {
+                let mut merged = self.lease_payload();
+                match self.archiver.read_at_into(whole, &mut merged) {
+                    Ok(took) => {
                         self.service.note_coalesced();
                         let share = took / run.len() as u64;
                         let remainder = took - share * (run.len() as u64 - 1);
                         for (i, (frame, span)) in run.iter().zip(&spans).enumerate() {
                             let from = (span.start - whole.start) as usize;
-                            let response = match bytes.get(from..from + span.len() as usize) {
-                                Some(slice) => ServerResponse::Span(slice.to_vec()),
+                            let response = match merged.get(from..from + span.len() as usize) {
+                                Some(slice) => {
+                                    let mut payload = self.lease_payload();
+                                    payload.extend_from_slice(slice);
+                                    ServerResponse::Span(payload)
+                                }
                                 None => ServerResponse::Error(format!(
                                     "coalesced read lost {span} inside {whole}"
                                 )),
@@ -417,6 +447,7 @@ impl ObjectServer {
                         }
                     }
                 }
+                self.pool.recycle(merged);
                 return;
             }
         }
@@ -937,6 +968,52 @@ mod tests {
         server.reset_service_stats();
         assert_eq!(server.service_stats().shed, 0);
         assert_eq!(server.service_stats().queue_high_water, 0);
+    }
+
+    #[test]
+    fn span_payloads_recycle_through_the_server_pool() {
+        // Regression for the per-page allocation bug: a serving loop whose
+        // caller returns consumed payload buffers must stop allocating
+        // after the first round — later leases are pool hits.
+        let mut server = ObjectServer::new();
+        let id = make_published(&mut server, 1, "pooled page data ".repeat(64).as_str());
+        let span = server.record_span(id).unwrap();
+        let mut misses_after_first_round = 0;
+        for round in 0..3 {
+            for rid in 0..4u64 {
+                server
+                    .enqueue(Frame::request(
+                        1,
+                        rid,
+                        ServerRequest::FetchSpan { span: ByteSpan::at(span.start + rid * 64, 64) },
+                    ))
+                    .unwrap();
+            }
+            while let Some(frame) = server.poll() {
+                match frame.payload {
+                    FramePayload::Response(ServerResponse::Span(bytes)) => {
+                        server.recycle_payload(bytes)
+                    }
+                    other => panic!("expected span bytes, got {other:?}"),
+                }
+            }
+            if round == 0 {
+                misses_after_first_round = server.service_stats().pool_misses;
+                assert!(misses_after_first_round > 0);
+            }
+        }
+        let stats = server.service_stats();
+        assert_eq!(
+            stats.pool_misses, misses_after_first_round,
+            "later rounds must not allocate: {stats:?}"
+        );
+        assert!(stats.pool_hits > 0, "rounds two and three lease recycled buffers: {stats:?}");
+        assert_eq!(stats.payload_allocs, stats.pool_misses);
+        server.reset_service_stats();
+        let cleared = server.service_stats();
+        assert_eq!(cleared.pool_hits, 0);
+        assert_eq!(cleared.pool_misses, 0);
+        assert_eq!(cleared.payload_allocs, 0);
     }
 
     #[test]

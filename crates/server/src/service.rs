@@ -80,6 +80,14 @@ pub struct ServiceStats {
     pub busy_rejections: u64,
     /// Most request frames ever queued at once across all connections.
     pub queue_high_water: u64,
+    /// Payload-buffer pool leases served from a recycled buffer.
+    pub pool_hits: u64,
+    /// Payload-buffer pool leases that had to allocate fresh.
+    pub pool_misses: u64,
+    /// Fresh payload-buffer allocations on the serving hot path (equals
+    /// `pool_misses`; kept as its own counter so reports can aggregate the
+    /// transport and service sides uniformly).
+    pub payload_allocs: u64,
     /// Per-connection service accounting.
     pub per_connection: BTreeMap<u64, ConnectionServiceStats>,
 }
@@ -292,6 +300,17 @@ impl ServiceQueue {
     /// Counts one coalesced device read.
     pub(crate) fn note_coalesced(&mut self) {
         self.stats.coalesced_runs += 1;
+    }
+
+    /// Records one payload-buffer pool lease: a hit re-served a recycled
+    /// buffer, a miss allocated fresh.
+    pub(crate) fn note_pool(&mut self, hit: bool) {
+        if hit {
+            self.stats.pool_hits += 1;
+        } else {
+            self.stats.pool_misses += 1;
+            self.stats.payload_allocs += 1;
+        }
     }
 
     /// The oldest uncollected response, if any.

@@ -101,6 +101,13 @@ impl<D: BlockDevice> Archiver<D> {
     pub fn read_at(&mut self, span: ByteSpan) -> Result<(Vec<u8>, SimDuration)> {
         self.device.read_at(span)
     }
+
+    /// Reads an arbitrary span into `out` (cleared first), reusing its
+    /// capacity — the pooled-buffer read path the object server's frame
+    /// service loop uses to avoid a fresh allocation per served span.
+    pub fn read_at_into(&mut self, span: ByteSpan, out: &mut Vec<u8>) -> Result<SimDuration> {
+        self.device.read_at_into(span, out)
+    }
 }
 
 /// A shareable archiver handle implementing [`ArchiverRead`], so the object

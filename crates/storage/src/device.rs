@@ -65,6 +65,17 @@ pub trait BlockDevice {
     /// Reads a span, returning the data and the time charged.
     fn read_at(&mut self, span: ByteSpan) -> Result<(Vec<u8>, SimDuration)>;
 
+    /// Reads a span into `out` (cleared first), reusing its capacity, and
+    /// returns the time charged. The default delegates to
+    /// [`BlockDevice::read_at`]; devices on the hot read path override it
+    /// to copy straight from media into the caller's pooled buffer.
+    fn read_at_into(&mut self, span: ByteSpan, out: &mut Vec<u8>) -> Result<SimDuration> {
+        let (data, took) = self.read_at(span)?;
+        out.clear();
+        out.extend_from_slice(&data);
+        Ok(took)
+    }
+
     /// Appends data at the write frontier, returning its offset and the
     /// time charged.
     fn append(&mut self, data: &[u8]) -> Result<(u64, SimDuration)>;

@@ -134,6 +134,27 @@ impl BlockDevice for OpticalDisk {
         Ok((data, took))
     }
 
+    fn read_at_into(&mut self, span: ByteSpan, out: &mut Vec<u8>) -> Result<SimDuration> {
+        if span.end > self.len() {
+            return Err(MinosError::Storage(format!(
+                "read {span} past optical frontier {}",
+                self.len()
+            )));
+        }
+        if self.read_fault_fires() {
+            return Err(MinosError::Storage(format!("transient read fault at {span}")));
+        }
+        let took = self.access_cost(span.start, span.len());
+        let data = self.data.get(span.start as usize..span.end as usize).ok_or_else(|| {
+            MinosError::Storage(format!("read {span} outside optical media bounds"))
+        })?;
+        out.clear();
+        out.extend_from_slice(data);
+        self.head = span.end;
+        self.stats.record_read(span.len(), took);
+        Ok(took)
+    }
+
     fn append(&mut self, data: &[u8]) -> Result<(u64, SimDuration)> {
         let offset = self.len();
         if offset + data.len() as u64 > self.capacity {
@@ -177,6 +198,21 @@ mod tests {
         assert_eq!(data, b"first record");
         let (data, _) = d.read_at(ByteSpan::at(off_b, 6)).unwrap();
         assert_eq!(data, b"second");
+    }
+
+    #[test]
+    fn read_at_into_reuses_the_buffer_and_matches_read_at() {
+        let mut d = OpticalDisk::with_capacity(1 << 20);
+        d.append(b"pooled read target").unwrap();
+        let mut buf = Vec::with_capacity(64);
+        let cap = buf.capacity();
+        let took = d.read_at_into(ByteSpan::at(0, 6), &mut buf).unwrap();
+        assert_eq!(buf, b"pooled");
+        assert_eq!(buf.capacity(), cap, "the caller's allocation is reused");
+        assert!(took > SimDuration::ZERO);
+        let (owned, _) = d.read_at(ByteSpan::at(0, 6)).unwrap();
+        assert_eq!(owned, buf, "both read paths return the same bytes");
+        assert!(d.read_at_into(ByteSpan::at(10, 100), &mut buf).is_err(), "bounds still checked");
     }
 
     #[test]

@@ -39,6 +39,15 @@ impl Encoder {
         Self { buf: Vec::with_capacity(cap) }
     }
 
+    /// Creates an encoder that writes into `buf`, reusing its capacity.
+    /// The buffer is cleared first; pair with [`Encoder::finish`] to get it
+    /// back. This is how pooled transmit buffers avoid a fresh allocation
+    /// per message.
+    pub fn reuse(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { buf }
+    }
+
     /// Consumes the encoder, returning the encoded bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -244,8 +253,19 @@ impl<'a> Decoder<'a> {
 
     /// Reads a length-prefixed byte block.
     pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        Ok(self.get_bytes_ref()?.to_vec())
+    }
+
+    /// Reads a length-prefixed byte block as a borrowed span of the input.
+    ///
+    /// This is the zero-copy twin of [`Decoder::get_bytes`]: nested
+    /// decoders (frame envelope → payload → protocol message) borrow each
+    /// layer's body instead of materializing an intermediate `Vec` per
+    /// layer. Truncation and length-bound checks are identical to the
+    /// owned path.
+    pub fn get_bytes_ref(&mut self) -> Result<&'a [u8]> {
         let len = self.get_len()?;
-        Ok(self.take(len)?.to_vec())
+        self.take(len)
     }
 
     /// Reads `n` raw bytes.
@@ -323,6 +343,36 @@ mod tests {
         assert_eq!(d.get_bytes().unwrap(), vec![1, 2, 3]);
         assert_eq!(d.get_str().unwrap(), "");
         d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn borrowed_bytes_match_owned_bytes() {
+        let mut e = Encoder::new();
+        e.put_bytes(&[9, 8, 7]);
+        e.put_bytes(&[]);
+        let bytes = e.finish();
+        let mut owned = Decoder::new(&bytes);
+        let mut borrowed = Decoder::new(&bytes);
+        assert_eq!(owned.get_bytes().unwrap(), borrowed.get_bytes_ref().unwrap());
+        assert_eq!(owned.get_bytes().unwrap(), borrowed.get_bytes_ref().unwrap());
+        borrowed.expect_end().unwrap();
+        // Truncated input fails the borrowed path with the same typed
+        // error as the owned path.
+        let mut cut = Decoder::new(&bytes[..2]);
+        assert!(matches!(cut.get_bytes_ref(), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn reused_encoder_clears_and_keeps_capacity() {
+        let mut first = Encoder::new();
+        first.put_bytes(&[1; 64]);
+        let buf = first.finish();
+        let cap = buf.capacity();
+        let mut again = Encoder::reuse(buf);
+        again.put_u8(5);
+        let out = again.finish();
+        assert_eq!(out, vec![5]);
+        assert_eq!(out.capacity(), cap, "reuse keeps the allocation");
     }
 
     #[test]

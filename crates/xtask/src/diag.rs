@@ -124,6 +124,12 @@ pub const RULES: &[Rule] = &[
         ratchetable: true,
     },
     Rule {
+        code: "A001",
+        pass: "alloc-hygiene",
+        summary: "fresh allocation (to_vec/clone/with_capacity) on a pooled hot-path module",
+        ratchetable: true,
+    },
+    Rule {
         code: "S001",
         pass: "symmetry",
         summary: "text browsing primitive lacks a voice counterpart",

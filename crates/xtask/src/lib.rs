@@ -4,7 +4,7 @@
 //! (pages, logical units, pattern search) has a voice counterpart (§1–2).
 //! The client/server protocol surface and the simulated-time arithmetic are
 //! the contracts everything else rides on. This crate turns those contracts
-//! into machine checks — five homegrown passes over the workspace source
+//! into machine checks — six homegrown passes over the workspace source
 //! tree, with no external dependencies (crates.io is unreachable in the
 //! build environment):
 //!
@@ -21,6 +21,12 @@
 //!   (`net`, `server`, `core::remote`) whose enclosing function never
 //!   consults a capacity — the unbounded-buffer bug class the E14
 //!   admission-control work exists to prevent.
+//! * [`passes::alloc_hygiene`] — **allocation-hygiene audit** (`A0xx`):
+//!   flags fresh allocations (`.to_vec()`, `.clone()`,
+//!   `Vec::with_capacity(`) on the pooled hot-path modules
+//!   (`net::frame`, `net::fault`, `core::remote`, `core::prefetch`),
+//!   where the `BufferPool` lease/recycle pattern and borrowed decode
+//!   keep the steady state under one allocation per page.
 //! * [`passes::units`] — **unit-safety audit** (`U0xx`): flags lossy `as`
 //!   casts on duration or widened byte-count arithmetic (the
 //!   `Link::transfer_cost` bug class) everywhere except
@@ -30,8 +36,8 @@
 //!   and fails when either side of the paper's Section 2 vocabulary is
 //!   missing its counterpart.
 //!
-//! Panic-freedom, queue-growth, and unit-safety findings may be
-//! *ratcheted* through the
+//! Panic-freedom, queue-growth, allocation-hygiene, and unit-safety
+//! findings may be *ratcheted* through the
 //! committed `lint-allow.toml`: existing debt is enumerated per file with a
 //! cap, the lint fails when a file exceeds its cap **and** when a cap is
 //! stale (fewer findings than allowed), so the debt can only shrink.

@@ -53,7 +53,7 @@ fn main() -> ExitCode {
         Ok(outcome) if outcome.is_clean() => {
             println!(
                 "minos-xtask lint: {} files clean (wire tags, panic-freedom, queue growth, \
-                 unit-safety, text/voice symmetry)",
+                 alloc hygiene, unit-safety, text/voice symmetry)",
                 outcome.checked_files
             );
             ExitCode::SUCCESS

@@ -1,0 +1,100 @@
+//! Allocation-hygiene audit (`A001`).
+//!
+//! The framed transport's hot path — frame encode, fault injection,
+//! the client connection, and the prefetch pipeline — runs one page per
+//! message at the paper's target rates, so a fresh heap allocation per
+//! message is the difference between the pooled steady state (under one
+//! allocation per page, pinned by E12/E14) and an allocator-bound server.
+//! This pass flags the allocation idioms that defeat the buffer pool on
+//! those modules: `.to_vec()` (copies a borrowed span it could have kept
+//! borrowing), `.clone()` (duplicates an owned message the pool pattern
+//! moves instead), and `Vec::with_capacity(` (mints a buffer the pool
+//! would have leased).
+//!
+//! There is no guard heuristic: on the scoped files the pooled
+//! alternatives (`BufferPool::lease_vec`/`recycle`, borrowed decode via
+//! `get_bytes_ref`, move-in/move-out framing) always exist, so every
+//! remaining allocation is debt. The legitimate residue — a clone taken
+//! *only* on a fault-injection mangle, the one copy a borrowing submit
+//! must pay to build a typed frame — is enumerated in `lint-allow.toml`
+//! with a reason, and the ratchet keeps that debt shrink-only.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Call idioms that allocate a fresh buffer on the hot path. Each entry
+/// pairs the needle with the pooled alternative named in the finding.
+const ALLOC_CALLS: &[(&str, &str)] = &[
+    (".to_vec()", "borrow the span (`get_bytes_ref`) or copy into a leased buffer"),
+    (".clone()", "move the value, or retain encoded bytes instead of a second owned copy"),
+    ("Vec::with_capacity(", "lease from the `BufferPool` and recycle after use"),
+];
+
+/// Runs the pass over already-scoped files.
+pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        for (call, fix) in ALLOC_CALLS {
+            for (pos, _) in file.code.match_indices(call) {
+                let line = file.line_of(pos);
+                if file.is_test_line(line) {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    "A001",
+                    &file.rel,
+                    line,
+                    format!(
+                        "hot-path allocation `{call}`: {fix}, or ratchet it in \
+                         lint-allow.toml with a reason"
+                    ),
+                ));
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_on(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_text(PathBuf::from("m.rs"), "m.rs".into(), src.to_string());
+        run(std::slice::from_ref(&f))
+    }
+
+    #[test]
+    fn flags_every_allocation_idiom() {
+        let diags = run_on(
+            "fn hot(b: &[u8], f: &Frame) {\n    let a = b.to_vec();\n    let c = f.clone();\n    let v: Vec<u8> = Vec::with_capacity(64);\n}\n",
+        );
+        let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![2, 3, 4], "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "A001"));
+    }
+
+    #[test]
+    fn pooled_idioms_are_clean() {
+        let diags = run_on(
+            "fn hot(pool: &BufferPool, b: &[u8]) {\n    let mut v = pool.lease_vec();\n    v.extend_from_slice(b);\n    pool.recycle(v);\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn test_code_and_strings_are_exempt() {
+        let src = "fn live() { let s = \".to_vec()\"; }\n#[cfg(test)]\nmod tests {\n    fn t(b: &[u8]) { let _ = b.to_vec(); }\n}\n";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn clone_closure_names_are_not_matched() {
+        // `.clone()` with arguments or a cloned() iterator adapter is a
+        // different idiom; only the exact nullary call matches.
+        let diags = run_on("fn live(v: &[u8]) { let _ = v.iter().cloned().count(); }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,5 +1,6 @@
-//! The five static-analysis passes.
+//! The six static-analysis passes.
 
+pub mod alloc_hygiene;
 pub mod panic_free;
 pub mod queue_growth;
 pub mod symmetry;

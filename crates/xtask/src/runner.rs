@@ -2,7 +2,7 @@
 
 use crate::allow;
 use crate::diag::Diagnostic;
-use crate::passes::{panic_free, queue_growth, symmetry, units, wire};
+use crate::passes::{alloc_hygiene, panic_free, queue_growth, symmetry, units, wire};
 use crate::sig;
 use crate::source::{self, SourceFile};
 use std::io;
@@ -19,6 +19,16 @@ const PANIC_SCOPE: &[&str] =
 /// `lint-allow.toml` entry explaining what bounds it.
 const QUEUE_SCOPE: &[&str] =
     &["crates/net/src/", "crates/server/src/", "crates/core/src/remote.rs"];
+
+/// Modules on the per-message hot path where the buffer pool is the law:
+/// every fresh allocation (`to_vec`/`clone`/`with_capacity`) must ride a
+/// ratcheted `lint-allow.toml` entry explaining why the pool can't serve it.
+const ALLOC_SCOPE: &[&str] = &[
+    "crates/net/src/frame.rs",
+    "crates/net/src/fault.rs",
+    "crates/core/src/remote.rs",
+    "crates/core/src/prefetch.rs",
+];
 
 /// The one file allowed to touch raw microsecond words: it owns the
 /// saturating conversion helpers everything else must use.
@@ -49,7 +59,7 @@ impl LintOutcome {
     }
 }
 
-/// Runs all five passes over the workspace rooted at `root` and applies
+/// Runs all six passes over the workspace rooted at `root` and applies
 /// the `lint-allow.toml` ratchet.
 pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
     let files = source::workspace_sources(root)?;
@@ -95,6 +105,11 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
         .cloned()
         .collect();
     findings.extend(queue_growth::run(&queues));
+
+    // (2c) Allocation-hygiene audit over the pooled hot-path modules.
+    let pooled: Vec<SourceFile> =
+        files.iter().filter(|f| ALLOC_SCOPE.contains(&f.rel.as_str())).cloned().collect();
+    findings.extend(alloc_hygiene::run(&pooled));
 
     // (3) Unit-safety audit everywhere but the time module.
     let unit_scope: Vec<SourceFile> =

@@ -1,0 +1,22 @@
+//! Known-bad allocation-hygiene fixture: every idiom the pass flags —
+//! a borrowed span copied with `to_vec`, a message duplicated with
+//! `clone` where a move would do, and a buffer minted with
+//! `with_capacity` instead of leased from the pool.
+
+pub struct Retransmit {
+    request: Vec<u8>,
+}
+
+impl Retransmit {
+    pub fn stash(&mut self, wire: &[u8]) {
+        self.request = wire.to_vec();
+    }
+
+    pub fn resend(&self) -> Vec<u8> {
+        self.request.clone()
+    }
+
+    pub fn fresh_payload(len: usize) -> Vec<u8> {
+        Vec::with_capacity(len)
+    }
+}

@@ -4,7 +4,7 @@
 
 use std::path::{Path, PathBuf};
 
-use minos_xtask::passes::{panic_free, queue_growth, symmetry, units, wire};
+use minos_xtask::passes::{alloc_hygiene, panic_free, queue_growth, symmetry, units, wire};
 use minos_xtask::sig;
 use minos_xtask::{lint_workspace, Diagnostic, SourceFile};
 
@@ -78,6 +78,20 @@ fn growth_bad_fixture_flags_both_sites() {
 #[test]
 fn growth_good_fixture_is_clean() {
     let diags = queue_growth::run(&[fixture("growth_good.rs")]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn alloc_bad_fixture_flags_every_idiom() {
+    let diags = alloc_hygiene::run(&[fixture("alloc_bad.rs")]);
+    assert_eq!(rules(&diags), vec!["A001"], "got {diags:?}");
+    assert_eq!(diags.len(), 3, "to_vec, clone, and with_capacity all flagged: {diags:?}");
+    assert_anchored(&diags, "alloc_bad.rs");
+}
+
+#[test]
+fn alloc_good_fixture_is_clean() {
+    let diags = alloc_hygiene::run(&[fixture("alloc_good.rs")]);
     assert!(diags.is_empty(), "{diags:?}");
 }
 

@@ -5,13 +5,16 @@
 //! [`ServerResponse`] encodings are truncated, bit-flipped, and
 //! tag-mutated, and every mangled buffer must come back as `Err` — the
 //! CRC32 trailer makes corruption a *typed* error — without ever decoding
-//! into a frame that differs from the one sent.
+//! into a frame that differs from the one sent. The decoder's borrowed
+//! span path (`get_bytes_ref`), which the frame and protocol layers ride
+//! to avoid per-message copies, gets the same treatment: truncations and
+//! inflated length prefixes fail typed, even under a valid checksum.
 
 use minos::net::frame::crc32;
 use minos::net::{
     Delivery, FaultPlan, FaultRng, FaultStats, Frame, Priority, ServerRequest, ServerResponse,
 };
-use minos::types::{ByteSpan, Encoder, MinosError, ObjectId, SimDuration};
+use minos::types::{ByteSpan, Decoder, Encoder, MinosError, ObjectId, SimDuration};
 use proptest::prelude::*;
 
 /// A palette of representative frames: both directions, scalar and batch
@@ -196,6 +199,54 @@ proptest! {
     }
 
     #[test]
+    fn borrowed_spans_match_owned_and_reject_truncation(
+        blob in proptest::collection::vec(any::<u8>(), 0..128),
+        cut in any::<usize>(),
+    ) {
+        // The zero-copy decode path: `get_bytes_ref` borrows the same
+        // block `get_bytes` copies, and every strict prefix of the
+        // encoding fails the borrowed path with a typed error — whether
+        // the cut lands in the length varint or inside the payload.
+        let mut e = Encoder::new();
+        e.put_bytes(&blob);
+        let bytes = e.finish();
+        let mut owned = Decoder::new(&bytes);
+        let mut borrowed = Decoder::new(&bytes);
+        prop_assert_eq!(owned.get_bytes().unwrap(), borrowed.get_bytes_ref().unwrap());
+        let cut = cut % bytes.len();
+        let mut short = Decoder::new(bytes.get(..cut).unwrap_or_default());
+        prop_assert!(matches!(short.get_bytes_ref(), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
+    fn inflated_span_lengths_are_rejected_before_the_checksum(
+        conn in 0u64..1 << 32,
+        rid in 0u64..1 << 32,
+        inflate in 1u64..1 << 20,
+    ) {
+        // A frame whose interior payload-length varint claims more bytes
+        // than the buffer holds, with the CRC recomputed so the trailer is
+        // *valid*: the rejection must come from the borrowed span's bounds
+        // check (a `Codec` error), never from an over-read or the checksum.
+        let payload_bytes = {
+            let mut p = Encoder::new();
+            p.put_u8(1);
+            p.put_bytes(&ServerRequest::Probe.encode());
+            p.finish()
+        };
+        let mut e = Encoder::new();
+        e.put_varint(conn);
+        e.put_varint(rid);
+        e.put_u8(Priority::Demand.wire_tag());
+        e.put_varint(payload_bytes.len() as u64 + inflate); // lies about the span
+        let mut bytes = e.finish();
+        bytes.extend_from_slice(&payload_bytes);
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        prop_assert!(matches!(Frame::decode(&bytes), Err(MinosError::Codec(_))));
+    }
+
+    #[test]
     fn arbitrary_bytes_never_panic_any_decoder(
         bytes in proptest::collection::vec(any::<u8>(), 0..256),
     ) {
@@ -217,7 +268,8 @@ proptest! {
         let plan = FaultPlan::chaos(seed, 0.8);
         let mut rng = FaultRng::new(seed);
         let mut stats = FaultStats::default();
-        let deliveries: Vec<Delivery> = plan.apply(&mut rng, &frame.encode(), &mut stats);
+        let sent = frame.encode();
+        let deliveries: Vec<Delivery> = plan.apply(&mut rng, &sent, &mut stats);
         for delivery in deliveries {
             if let Ok(decoded) = Frame::decode(&delivery.bytes) {
                 prop_assert_eq!(&decoded, &frame);
