@@ -113,7 +113,7 @@ impl SessionCheckpoint {
         if version != CHECKPOINT_VERSION {
             return Err(MinosError::Codec(format!("unknown checkpoint version {version}")));
         }
-        let count = d.get_varint()?;
+        let count = d.get_len()?;
         if count == 0 {
             return Err(MinosError::Codec("checkpoint records an empty stack".into()));
         }

@@ -149,8 +149,8 @@ impl<D: BlockDevice> BlockCache<D> {
         let block_start = block * block_size;
         let from = span.start.max(block_start) - block_start;
         let to = (span.end.min(block_start + block_size) - block_start).min(data.len() as u64);
-        if from < to {
-            out.extend_from_slice(&data[from as usize..to as usize]);
+        if let Some(part) = data.get(from as usize..to as usize) {
+            out.extend_from_slice(part);
         }
     }
 }

@@ -66,13 +66,20 @@ pub fn simulate_schedule(
 
     while next_arrival < pending.len() || !queue.is_empty() {
         // Admit everything that has arrived by now.
-        while next_arrival < pending.len() && pending[next_arrival].arrival <= now {
-            queue.push(pending[next_arrival]);
+        while let Some(request) = pending.get(next_arrival) {
+            if request.arrival > now {
+                break;
+            }
+            queue.push(*request);
             next_arrival += 1;
         }
         if queue.is_empty() {
-            // Idle until the next arrival.
-            now = pending[next_arrival].arrival;
+            // Idle until the next arrival (the loop condition guarantees
+            // one exists when the queue is empty).
+            match pending.get(next_arrival) {
+                Some(request) => now = request.arrival,
+                None => break,
+            }
             continue;
         }
         // Pick the next request.

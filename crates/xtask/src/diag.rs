@@ -20,6 +20,39 @@ impl Diagnostic {
     pub fn new(rule: &'static str, file: &str, line: usize, message: impl Into<String>) -> Self {
         Diagnostic { rule, file: file.to_string(), line, message: message.into() }
     }
+
+    /// The diagnostic as one stable JSON object (for `lint --json`):
+    /// `{"rule":...,"file":...,"line":...,"message":...}`, keys in that
+    /// fixed order so CI annotations never re-parse human text.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            json_string(self.rule),
+            json_string(&self.file),
+            self.line,
+            json_string(&self.message)
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included). Shared by the
+/// `--json` diagnostics output and the spec extractor's emitter.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Diagnostic {
@@ -130,6 +163,54 @@ pub const RULES: &[Rule] = &[
         ratchetable: true,
     },
     Rule {
+        code: "R001",
+        pass: "reset-completeness",
+        summary: "reset path covers some but not all fields of a Stats/Report struct",
+        ratchetable: true,
+    },
+    Rule {
+        code: "R002",
+        pass: "reset-completeness",
+        summary: "Stats struct has no reset path in its module",
+        ratchetable: true,
+    },
+    Rule {
+        code: "R003",
+        pass: "reset-completeness",
+        summary: "containing type's reset fn never touches a stats-bearing field",
+        ratchetable: true,
+    },
+    Rule {
+        code: "C001",
+        pass: "codec-coverage",
+        summary: "type encodes but has no decode",
+        ratchetable: false,
+    },
+    Rule {
+        code: "C002",
+        pass: "codec-coverage",
+        summary: "raw varint used as an element count; bound it via Decoder::get_len",
+        ratchetable: true,
+    },
+    Rule {
+        code: "C003",
+        pass: "codec-coverage",
+        summary: "versioned encode whose decode never checks the version",
+        ratchetable: false,
+    },
+    Rule {
+        code: "X001",
+        pass: "spec",
+        summary: "extracted protocol spec violates a conformance invariant",
+        ratchetable: false,
+    },
+    Rule {
+        code: "X002",
+        pass: "spec",
+        summary: "extracted protocol spec drifted from the committed golden",
+        ratchetable: false,
+    },
+    Rule {
         code: "S001",
         pass: "symmetry",
         summary: "text browsing primitive lacks a voice counterpart",
@@ -171,5 +252,17 @@ mod tests {
     fn display_is_file_line_code_message() {
         let d = Diagnostic::new("P001", "crates/net/src/link.rs", 7, "unwrap() on hot path");
         assert_eq!(d.to_string(), "crates/net/src/link.rs:7: [P001] unwrap() on hot path");
+    }
+
+    #[test]
+    fn json_output_is_stable_and_escaped() {
+        let d = Diagnostic::new("P001", "a/b.rs", 7, "say \"no\"\n\tto panics");
+        assert_eq!(
+            d.to_json(),
+            "{\"rule\":\"P001\",\"file\":\"a/b.rs\",\"line\":7,\
+             \"message\":\"say \\\"no\\\"\\n\\tto panics\"}"
+        );
+        assert_eq!(json_string("back\\slash"), "\"back\\\\slash\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 }

@@ -4,7 +4,7 @@
 //! (pages, logical units, pattern search) has a voice counterpart (§1–2).
 //! The client/server protocol surface and the simulated-time arithmetic are
 //! the contracts everything else rides on. This crate turns those contracts
-//! into machine checks — six homegrown passes over the workspace source
+//! into machine checks — nine homegrown passes over the workspace source
 //! tree, with no external dependencies (crates.io is unreachable in the
 //! build environment):
 //!
@@ -35,8 +35,23 @@
 //!   public browsing-primitive surface of `crates/text` and `crates/voice`
 //!   and fails when either side of the paper's Section 2 vocabulary is
 //!   missing its counterpart.
+//! * [`passes::reset`] — **reset-completeness audit** (`R0xx`): parses
+//!   every `*Stats`/`*Report` struct in the accounting scope (`net`,
+//!   `server`, `core`) and verifies the module's `reset*`/`clear*`/
+//!   `*_accounting` fns, taken together, rebuild it or touch every field
+//!   — plus delegation drift on the containing types (`R003`).
+//! * [`passes::codec_cov`] — **codec-coverage audit** (`C0xx`): over the
+//!   codec scope, every encoding type must round-trip (`C001`), element
+//!   counts must flow through `Decoder::get_len` (`C002`), and versioned
+//!   records must check their version in decode (`C003`).
+//! * [`spec`] — **protocol spec extraction** (`X0xx`, the `spec`
+//!   subcommand): serializes the wire contract (tags, pairing, priority
+//!   bytes, epoch handshake, CRC trailer) as deterministic JSON, checks
+//!   its conformance invariants (`X001`), and diffs it against the
+//!   committed golden `spec/protocol.json` (`X002`).
 //!
-//! Panic-freedom, queue-growth, allocation-hygiene, and unit-safety
+//! Panic-freedom, queue-growth, allocation-hygiene, unit-safety,
+//! reset-completeness, and `C002` codec-coverage
 //! findings may be *ratcheted* through the
 //! committed `lint-allow.toml`: existing debt is enumerated per file with a
 //! cap, the lint fails when a file exceeds its cap **and** when a cap is
@@ -44,20 +59,24 @@
 //!
 //! The building blocks — [`source`] (comment/string stripping and
 //! `#[cfg(test)]` masking), [`sig`] (a small `pub fn` signature parser),
-//! [`diag`] (rule registry and diagnostics), [`allow`] (the ratchet file
-//! loader) — are public so the fixture-driven self-tests under `tests/`
-//! can drive each pass against known-bad and known-good snippets.
+//! [`parse`] (shared brace-level item parsing), [`diag`] (rule registry
+//! and diagnostics), [`allow`] (the ratchet file loader) — are public so
+//! the fixture-driven self-tests under `tests/` can drive each pass
+//! against known-bad and known-good snippets.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod allow;
 pub mod diag;
+pub mod parse;
 pub mod passes;
 pub mod runner;
 pub mod sig;
 pub mod source;
+pub mod spec;
 
 pub use diag::{rule, Diagnostic, Rule, RULES};
 pub use runner::{lint_workspace, LintOutcome};
 pub use source::SourceFile;
+pub use spec::{spec_workspace, ProtocolSpec, SpecOutcome};

@@ -1,0 +1,405 @@
+//! Reset-completeness audit (`R001`–`R003`).
+//!
+//! Every hardening PR grew a `*Stats` struct, and two of them shipped a
+//! drift bug first: a new counter that `reset_accounting` forgot, caught
+//! by a hand-written regression test. The class is mechanical — a field
+//! exists, no reset path mentions it — so it gets a mechanical check.
+//! Over the accounting scope (`net`, `server`, `core`):
+//!
+//! * `R001` — a module's reset paths (every non-test `reset*`/`clear*`/
+//!   `*_accounting` fn, taken together) mention *some* fields of a
+//!   `*Stats`/`*Report` struct but not all of them. The unmentioned
+//!   fields are exactly the drift-bug class.
+//! * `R002` — a `*Stats` struct with no reset path at all in its module:
+//!   no reset fn names the struct (a wholesale `S::default()` assignment
+//!   counts), none touches any field, and no covered sibling struct
+//!   embeds it. `*Report` structs are exempt — they are per-run outputs,
+//!   built fresh each time, with nothing persistent to clear.
+//! * `R003` — delegation drift: a type that *has* a reset fn holds a
+//!   stats-bearing field (its type is a `*Stats` struct or another type
+//!   with a reset fn, anywhere in the scope) that none of its reset fns
+//!   ever touches. `Connection::reset_accounting` forgetting
+//!   `pool.reset_stats()` is this exact bug.
+//!
+//! Coverage is judged on the *union* of a module's reset fns — split
+//! resets (counters in one fn, queues in another) are fine — and by
+//! identifier-boundary mention, so a struct rebuilt wholesale from
+//! `Default` and one zeroed field-by-field both pass.
+
+use crate::diag::Diagnostic;
+use crate::parse::{fns_in, impl_blocks, mentions_word, struct_fields, structs, FieldItem, FnItem};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A reset-family fn name: `reset*`, `clear*`, or `*_accounting`.
+fn is_reset_name(name: &str) -> bool {
+    name.starts_with("reset") || name.starts_with("clear") || name.ends_with("_accounting")
+}
+
+/// One collected reset fn: its impl owner and its body text.
+struct ResetFn {
+    owner: String,
+    name: String,
+    line: usize,
+    body: String,
+}
+
+/// One collected struct with its fields.
+struct StructInfo {
+    name: String,
+    line: usize,
+    fields: Vec<FieldItem>,
+}
+
+struct FileInfo<'a> {
+    file: &'a SourceFile,
+    structs: Vec<StructInfo>,
+    resets: Vec<ResetFn>,
+}
+
+fn collect(file: &SourceFile) -> FileInfo<'_> {
+    let mut info = FileInfo { file, structs: Vec::new(), resets: Vec::new() };
+    for s in structs(&file.code) {
+        let line = file.line_of(s.at);
+        if file.is_test_line(line) {
+            continue;
+        }
+        let fields = struct_fields(&file.code, s.body);
+        info.structs.push(StructInfo { name: s.name, line, fields });
+    }
+    for block in impl_blocks(&file.code) {
+        for f in fns_in(&file.code, block.body) {
+            let line = file.line_of(f.at);
+            if file.is_test_line(line) || !is_reset_name(&f.name) {
+                continue;
+            }
+            let FnItem { name, body, .. } = f;
+            info.resets.push(ResetFn {
+                owner: block.owner.clone(),
+                name,
+                line,
+                body: file.code[body.0..body.1].to_string(),
+            });
+        }
+    }
+    info
+}
+
+/// Runs the audit over the accounting scope.
+pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let infos: Vec<FileInfo<'_>> = files.iter().map(collect).collect();
+    let mut out = Vec::new();
+
+    // Scope-wide: which type names own a reset fn, and the union of each
+    // owner's reset bodies (an owner's resets may be split across files,
+    // e.g. an inherent reset plus a trait-impl delegation).
+    let mut owner_bodies: BTreeMap<&str, String> = BTreeMap::new();
+    for info in &infos {
+        for r in &info.resets {
+            owner_bodies.entry(&r.owner).or_default().push_str(&r.body);
+        }
+    }
+    let mut stats_bearing: BTreeSet<&str> = owner_bodies.keys().copied().collect();
+    for info in &infos {
+        for s in &info.structs {
+            if s.name.ends_with("Stats") || s.name.ends_with("Report") {
+                stats_bearing.insert(&s.name);
+            }
+        }
+    }
+
+    for info in &infos {
+        run_file(info, &mut out);
+        // R003: delegation drift on types that have reset fns.
+        for s in &info.structs {
+            let Some(bodies) = owner_bodies.get(s.name.as_str()) else {
+                continue;
+            };
+            for field in &s.fields {
+                let bearing = crate::parse::ident_tokens(&field.ty)
+                    .iter()
+                    .any(|t| t != &s.name && stats_bearing.contains(t.as_str()));
+                if bearing && !mentions_word(bodies, &field.name) {
+                    out.push(Diagnostic::new(
+                        "R003",
+                        &info.file.rel,
+                        info.file.line_of(field.at),
+                        format!(
+                            "{}::{} carries accounting ({}) but no reset fn of {} ever \
+                             touches it — delegation drift",
+                            s.name, field.name, field.ty, s.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// R001/R002 within one file: every `*Stats`/`*Report` struct against the
+/// union of the file's reset fns.
+fn run_file(info: &FileInfo<'_>, out: &mut Vec<Diagnostic>) {
+    // First pass: which structs are fully covered (for the containment
+    // rule — a wholesale-reset container covers the structs it embeds).
+    let coverage: Vec<Coverage> = info
+        .structs
+        .iter()
+        .map(|s| {
+            if s.name.ends_with("Stats") || s.name.ends_with("Report") {
+                coverage_of(s, &info.resets)
+            } else {
+                Coverage::NotAudited
+            }
+        })
+        .collect();
+
+    for (i, s) in info.structs.iter().enumerate() {
+        match &coverage[i] {
+            Coverage::NotAudited | Coverage::Full => {}
+            Coverage::Partial { best_fn, best_line, missing } => {
+                for field in missing {
+                    out.push(Diagnostic::new(
+                        "R001",
+                        &info.file.rel,
+                        *best_line,
+                        format!(
+                            "reset path {best_fn} never touches {}::{field} — the field \
+                             survives a reset (the PR 3/PR 4 drift-bug class)",
+                            s.name
+                        ),
+                    ));
+                }
+            }
+            Coverage::None => {
+                if s.name.ends_with("Report") {
+                    continue; // per-run outputs: nothing persistent to clear
+                }
+                let contained = info.structs.iter().enumerate().any(|(j, t)| {
+                    j != i
+                        && matches!(coverage[j], Coverage::Full)
+                        && t.fields.iter().any(|f| mentions_word(&f.ty, &s.name))
+                });
+                if !contained {
+                    out.push(Diagnostic::new(
+                        "R002",
+                        &info.file.rel,
+                        s.line,
+                        format!(
+                            "{} has no reset path in {}: no reset*/clear*/*_accounting fn \
+                             rebuilds it or touches any of its fields",
+                            s.name, info.file.rel
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+enum Coverage {
+    /// Not a Stats/Report struct.
+    NotAudited,
+    /// Wholesale rebuild or every field mentioned.
+    Full,
+    /// Some fields mentioned, some missed.
+    Partial { best_fn: String, best_line: usize, missing: Vec<String> },
+    /// No reset fn names the struct or any field.
+    None,
+}
+
+fn coverage_of(s: &StructInfo, resets: &[ResetFn]) -> Coverage {
+    if resets.iter().any(|r| mentions_word(&r.body, &s.name)) {
+        return Coverage::Full; // wholesale: `S::default()` / `S { .. }`
+    }
+    let mut mentioned: BTreeSet<&str> = BTreeSet::new();
+    let mut best: Option<(&ResetFn, usize)> = None;
+    for r in resets {
+        let count = s.fields.iter().filter(|f| mentions_word(&r.body, &f.name)).count();
+        for f in &s.fields {
+            if mentions_word(&r.body, &f.name) {
+                mentioned.insert(&f.name);
+            }
+        }
+        if count > 0 && best.is_none_or(|(_, c)| count > c) {
+            best = Some((r, count));
+        }
+    }
+    if mentioned.is_empty() {
+        return Coverage::None;
+    }
+    let missing: Vec<String> = s
+        .fields
+        .iter()
+        .filter(|f| !mentioned.contains(f.name.as_str()))
+        .map(|f| f.name.clone())
+        .collect();
+    if missing.is_empty() {
+        return Coverage::Full;
+    }
+    let (r, _) = best.expect("mentioned is non-empty, so a best fn exists");
+    Coverage::Partial { best_fn: format!("{}::{}", r.owner, r.name), best_line: r.line, missing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_on(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_text(PathBuf::from("m.rs"), "m.rs".into(), src.to_string());
+        run(std::slice::from_ref(&f))
+    }
+
+    #[test]
+    fn wholesale_default_reset_is_full_coverage() {
+        let src = "\
+pub struct LinkStats {
+    pub messages: u64,
+    pub bytes: u64,
+}
+pub struct Link {
+    stats: LinkStats,
+}
+impl Link {
+    pub fn reset_stats(&mut self) {
+        self.stats = LinkStats::default();
+    }
+}
+";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn field_by_field_reset_missing_one_is_r001() {
+        let src = "\
+pub struct PipeStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub stall: u64,
+}
+pub struct Pipe {
+    hits: u64,
+    misses: u64,
+    stall: u64,
+}
+impl Pipe {
+    pub fn reset_accounting(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+";
+        let diags = run_on(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "R001");
+        assert!(diags[0].message.contains("stall"), "{diags:?}");
+    }
+
+    #[test]
+    fn stats_struct_without_any_reset_is_r002_but_reports_are_exempt() {
+        let src = "\
+pub struct IdleStats {
+    pub ticks: u64,
+}
+pub struct RunReport {
+    pub pages: u64,
+}
+";
+        let diags = run_on(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "R002");
+        assert!(diags[0].message.contains("IdleStats"));
+    }
+
+    #[test]
+    fn embedded_stats_inside_a_wholesale_container_are_covered() {
+        let src = "\
+pub struct OuterStats {
+    pub served: u64,
+    pub per_conn: BTreeMap<u64, InnerStats>,
+}
+pub struct InnerStats {
+    pub served: u64,
+}
+pub struct Queue {
+    stats: OuterStats,
+}
+impl Queue {
+    fn reset_stats(&mut self) {
+        self.stats = OuterStats::default();
+    }
+}
+";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn unreset_stats_bearing_field_is_r003() {
+        let src = "\
+pub struct PoolStats {
+    pub hits: u64,
+}
+pub struct Pool {
+    stats: PoolStats,
+}
+impl Pool {
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+}
+pub struct Conn {
+    pool: Pool,
+    round_trips: u64,
+}
+impl Conn {
+    pub fn reset_accounting(&mut self) {
+        self.round_trips = 0;
+    }
+}
+";
+        let diags = run_on(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "R003");
+        assert!(diags[0].message.contains("Conn::pool"), "{diags:?}");
+    }
+
+    #[test]
+    fn delegating_reset_covers_the_bearing_field() {
+        let src = "\
+pub struct PoolStats {
+    pub hits: u64,
+}
+pub struct Pool {
+    stats: PoolStats,
+}
+impl Pool {
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+}
+pub struct Conn {
+    pool: Pool,
+}
+impl Conn {
+    pub fn reset_accounting(&mut self) {
+        self.pool.reset_stats();
+    }
+}
+";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    pub struct GhostStats {
+        pub ticks: u64,
+    }
+}
+";
+        assert!(run_on(src).is_empty());
+    }
+}

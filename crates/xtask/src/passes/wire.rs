@@ -126,8 +126,9 @@ fn check_enum(file: &SourceFile, name: &str, wire: &EnumWire, out: &mut Vec<Diag
     }
 }
 
-/// Extracts one enum's wire surface from the file.
-fn extract(file: &SourceFile, enum_name: &str, out: &mut Vec<Diagnostic>) -> EnumWire {
+/// Extracts one enum's wire surface from the file. Shared with the spec
+/// extractor, which serializes the same maps instead of checking them.
+pub(crate) fn extract(file: &SourceFile, enum_name: &str, out: &mut Vec<Diagnostic>) -> EnumWire {
     let mut wire = EnumWire::default();
     let Some(body) = item_body(&file.code, &format!("enum {enum_name}")) else {
         out.push(Diagnostic::new(

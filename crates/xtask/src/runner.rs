@@ -2,7 +2,9 @@
 
 use crate::allow;
 use crate::diag::Diagnostic;
-use crate::passes::{alloc_hygiene, panic_free, queue_growth, symmetry, units, wire};
+use crate::passes::{
+    alloc_hygiene, codec_cov, panic_free, queue_growth, reset, symmetry, units, wire,
+};
 use crate::sig;
 use crate::source::{self, SourceFile};
 use std::io;
@@ -34,6 +36,20 @@ const ALLOC_SCOPE: &[&str] = &[
 /// saturating conversion helpers everything else must use.
 const UNIT_EXEMPT: &str = "crates/types/src/time.rs";
 
+/// The accounting scope of the reset-completeness audit: every crate that
+/// grew a `*Stats` struct in a hardening PR (and shipped a reset-drift bug
+/// in two of them).
+const RESET_SCOPE: &[&str] = &["crates/net/src/", "crates/server/src/", "crates/core/src/"];
+
+/// The hand-written codecs the codec-coverage audit holds to round-trip,
+/// bounded-count, and version-check discipline.
+const CODEC_SCOPE: &[&str] = &[
+    "crates/types/src/codec.rs",
+    "crates/net/src/protocol.rs",
+    "crates/net/src/frame.rs",
+    "crates/core/src/session.rs",
+];
+
 /// The protocol definition the wire-tag audit parses.
 const PROTOCOL_FILE: &str = "crates/net/src/protocol.rs";
 
@@ -59,7 +75,7 @@ impl LintOutcome {
     }
 }
 
-/// Runs all six passes over the workspace rooted at `root` and applies
+/// Runs all the passes over the workspace rooted at `root` and applies
 /// the `lint-allow.toml` ratchet.
 pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
     let files = source::workspace_sources(root)?;
@@ -115,6 +131,19 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
     let unit_scope: Vec<SourceFile> =
         files.iter().filter(|f| f.rel != UNIT_EXEMPT).cloned().collect();
     findings.extend(units::run(&unit_scope));
+
+    // (3b) Reset-completeness audit over the accounting scope.
+    let accounting: Vec<SourceFile> = files
+        .iter()
+        .filter(|f| RESET_SCOPE.iter().any(|scope| f.rel.starts_with(scope)))
+        .cloned()
+        .collect();
+    findings.extend(reset::run(&accounting));
+
+    // (3c) Codec-coverage audit over the hand-written codecs.
+    let codecs: Vec<SourceFile> =
+        files.iter().filter(|f| CODEC_SCOPE.contains(&f.rel.as_str())).cloned().collect();
+    findings.extend(codec_cov::run(&codecs));
 
     // (4) Text/voice symmetry audit.
     let text: Vec<SourceFile> =

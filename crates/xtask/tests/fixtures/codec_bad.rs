@@ -1,0 +1,40 @@
+//! Known-bad codec-coverage fixture: trips C001, C002, and C003.
+
+/// C001: encodes but never decodes.
+pub struct OneWay {
+    pub id: u64,
+}
+
+impl OneWay {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_varint(self.id);
+        e.finish()
+    }
+}
+
+/// C002 and C003 live here: the count skips get_len and the decode never
+/// looks at RECORD_VERSION.
+pub struct Record {
+    pub items: Vec<u8>,
+}
+
+impl Record {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u8(RECORD_VERSION);
+        e.put_varint(self.items.len() as u64);
+        e.finish()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Record> {
+        let mut d = Decoder::new(bytes);
+        let _version = d.get_u8()?;
+        let count = d.get_varint()?;
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            items.push(d.get_u8()?);
+        }
+        Ok(Record { items })
+    }
+}

@@ -1,0 +1,39 @@
+//! Known-bad reset-completeness fixture: trips R001, R002, and R003.
+
+/// R001: the reset fn below touches `hits` and `misses` but never `stall`.
+pub struct PipeStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub stall: u64,
+}
+
+pub struct Pipe {
+    hits: u64,
+    misses: u64,
+    stall: u64,
+}
+
+impl Pipe {
+    pub fn reset_accounting(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// R002: no reset fn in this file rebuilds or touches OrphanStats.
+pub struct OrphanStats {
+    pub ticks: u64,
+}
+
+/// R003: Conn has a reset fn, but it never touches the stats-bearing
+/// `pipe` field — delegation drift.
+pub struct Conn {
+    pipe: Pipe,
+    round_trips: u64,
+}
+
+impl Conn {
+    pub fn reset_accounting(&mut self) {
+        self.round_trips = 0;
+    }
+}

@@ -1,0 +1,65 @@
+//! Known-good reset-completeness fixture: wholesale rebuilds, split
+//! resets, containment, delegation, and the Report exemption all pass.
+
+/// Covered wholesale: the reset fn rebuilds it from Default.
+pub struct LinkStats {
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+/// Covered by containment: embedded in the wholesale-covered LinkStats
+/// owner's sibling below.
+pub struct PerConnStats {
+    pub served: u64,
+}
+
+pub struct QueueStats {
+    pub served: u64,
+    pub per_conn: Vec<PerConnStats>,
+}
+
+/// Exempt: `*Report` structs are per-run outputs, built fresh each time.
+pub struct RunReport {
+    pub pages: u64,
+    pub stalls: u64,
+}
+
+pub struct Link {
+    stats: LinkStats,
+}
+
+impl Link {
+    pub fn reset_stats(&mut self) {
+        self.stats = LinkStats::default();
+    }
+}
+
+pub struct Queue {
+    stats: QueueStats,
+    depth: usize,
+}
+
+impl Queue {
+    /// Split reset: one fn rebuilds the stats...
+    pub fn reset_stats(&mut self) {
+        self.stats = QueueStats::default();
+    }
+
+    /// ...and another clears the transient state.
+    pub fn clear_backlog(&mut self) {
+        self.depth = 0;
+    }
+}
+
+/// Delegation covered: the reset fn touches the stats-bearing field.
+pub struct Conn {
+    link: Link,
+    round_trips: u64,
+}
+
+impl Conn {
+    pub fn reset_accounting(&mut self) {
+        self.link.reset_stats();
+        self.round_trips = 0;
+    }
+}

@@ -1,0 +1,89 @@
+//! Known-good spec fixture: a coherent wire contract. Used as both the
+//! protocol file and the frame file of the extractor.
+
+const CRC_TRAILER_LEN: usize = 4;
+
+pub enum ServerRequest {
+    Fetch { id: u64 },
+    Hello { epoch: u64 },
+}
+
+pub enum ServerResponse {
+    Object(Vec<u8>),
+    Welcome { epoch: u64 },
+}
+
+pub enum FramePayload {
+    Request(ServerRequest),
+    Response(ServerResponse),
+}
+
+impl ServerRequest {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            ServerRequest::Fetch { id } => {
+                e.put_u8(1);
+            }
+            ServerRequest::Hello { epoch } => {
+                e.put_u8(8);
+            }
+        }
+    }
+    pub fn decode(bytes: &[u8]) -> Result<ServerRequest> {
+        let req = match d.get_u8()? {
+            1 => ServerRequest::Fetch { id: 0 },
+            8 => ServerRequest::Hello { epoch: 0 },
+            other => return Err(other),
+        };
+    }
+}
+
+impl ServerResponse {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            ServerResponse::Object(b) => {
+                e.put_u8(1);
+            }
+            ServerResponse::Welcome { epoch } => {
+                e.put_u8(8);
+            }
+        }
+    }
+    pub fn decode(bytes: &[u8]) -> Result<ServerResponse> {
+        let resp = match d.get_u8()? {
+            1 => ServerResponse::Object(vec![]),
+            8 => ServerResponse::Welcome { epoch: 0 },
+            other => return Err(other),
+        };
+    }
+}
+
+impl FramePayload {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            FramePayload::Request(r) => {
+                e.put_u8(1);
+            }
+            FramePayload::Response(r) => {
+                e.put_u8(2);
+            }
+        }
+    }
+    pub fn decode(bytes: &[u8]) -> Result<FramePayload> {
+        let p = match d.get_u8()? {
+            1 => FramePayload::Request(r),
+            2 => FramePayload::Response(r),
+            other => return Err(other),
+        };
+    }
+}
+
+impl Priority {
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            Priority::Audio => 0,
+            Priority::Demand => 1,
+            Priority::Prefetch => 2,
+        }
+    }
+}

@@ -4,9 +4,11 @@
 
 use std::path::{Path, PathBuf};
 
-use minos_xtask::passes::{alloc_hygiene, panic_free, queue_growth, symmetry, units, wire};
+use minos_xtask::passes::{
+    alloc_hygiene, codec_cov, panic_free, queue_growth, reset, symmetry, units, wire,
+};
 use minos_xtask::sig;
-use minos_xtask::{lint_workspace, Diagnostic, SourceFile};
+use minos_xtask::{lint_workspace, Diagnostic, ProtocolSpec, SourceFile};
 
 fn fixture(name: &str) -> SourceFile {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
@@ -125,6 +127,83 @@ fn symmetric_fixtures_are_clean() {
     let voice = sig::pub_fns(&fixture("symmetry_voice_good.rs"));
     let diags = symmetry::run(&text, &voice);
     assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn reset_bad_fixture_trips_every_rule() {
+    let diags = reset::run(&[fixture("reset_bad.rs")]);
+    let mut seen = rules(&diags);
+    seen.sort_unstable();
+    assert_eq!(seen, vec!["R001", "R002", "R003"], "got {diags:?}");
+    assert!(
+        diags.iter().any(|d| d.rule == "R001" && d.message.contains("stall")),
+        "R001 names the missed field: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == "R003" && d.message.contains("Conn::pipe")),
+        "R003 names the drifted field: {diags:?}"
+    );
+    assert_anchored(&diags, "reset_bad.rs");
+}
+
+#[test]
+fn reset_good_fixture_is_clean() {
+    let diags = reset::run(&[fixture("reset_good.rs")]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn codec_bad_fixture_trips_every_rule() {
+    let diags = codec_cov::run(&[fixture("codec_bad.rs")]);
+    let mut seen = rules(&diags);
+    seen.sort_unstable();
+    assert_eq!(seen, vec!["C001", "C002", "C003"], "got {diags:?}");
+    assert!(
+        diags.iter().any(|d| d.rule == "C001" && d.message.contains("OneWay")),
+        "C001 names the one-way type: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == "C003" && d.message.contains("RECORD_VERSION")),
+        "C003 names the unchecked const: {diags:?}"
+    );
+    assert_anchored(&diags, "codec_bad.rs");
+}
+
+#[test]
+fn codec_good_fixture_is_clean() {
+    let diags = codec_cov::run(&[fixture("codec_good.rs")]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn spec_bad_fixture_fails_conformance() {
+    let f = fixture("spec_bad.rs");
+    let spec = ProtocolSpec::extract(&f, &f);
+    let diags = spec.conformance("spec_bad.rs", "spec_bad.rs");
+    assert_eq!(rules(&diags), vec!["X001"], "got {diags:?}");
+    assert!(
+        diags.iter().any(|d| d.message.contains("no paired request tag")),
+        "unpaired response tag flagged: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("share wire byte 0")),
+        "duplicate priority byte flagged: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("CRC trailer")),
+        "missing CRC trailer flagged: {diags:?}"
+    );
+    assert_anchored(&diags, "spec_bad.rs");
+}
+
+#[test]
+fn spec_good_fixture_conforms() {
+    let f = fixture("spec_good.rs");
+    let spec = ProtocolSpec::extract(&f, &f);
+    let diags = spec.conformance("spec_good.rs", "spec_good.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(spec.hello_tag, Some(8));
+    assert_eq!(spec.crc_trailer_len, Some(4));
 }
 
 #[test]

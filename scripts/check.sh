@@ -14,6 +14,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> minos-xtask lint"
 cargo run -q -p minos-xtask -- lint
 
+echo "==> minos-xtask spec --check"
+cargo run -q -p minos-xtask -- spec --check
+
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
