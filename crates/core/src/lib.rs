@@ -21,8 +21,10 @@
 //!   views, miniature browsing, transfer accounting;
 //! * [`prefetch`] — anticipatory prefetching: prediction policies, the
 //!   batched prefetch pipeline, and stall-time accounting (§5);
+//! * [`kernel`] — the discrete-event simulation kernel: hierarchical
+//!   timer wheel, typed wake events, ready queue, and trace ring;
 //! * [`sched`] — the multi-session scheduler: N concurrent sessions over
-//!   one shared link, round-robin with audio-first deadlines (§5).
+//!   one shared link, event-driven with audio-first deadlines (§5).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +32,7 @@
 pub mod audio;
 pub mod command;
 pub mod compose;
+pub mod kernel;
 pub mod prefetch;
 pub mod process;
 pub mod remote;
@@ -42,6 +45,7 @@ pub mod visual;
 pub use audio::AudioEngine;
 pub use command::{BrowseCommand, BrowseEvent};
 pub use compose::{compose_screen, resolve_figure};
+pub use kernel::{Kernel, KernelEvent, KernelStats, TimerId};
 pub use prefetch::{page_spans, AnticipatingStore, PrefetchBuffer, PrefetchStats, Prefetcher};
 pub use process::{ProcessRunner, ProcessState};
 pub use remote::{
@@ -49,8 +53,8 @@ pub use remote::{
 };
 pub use sched::{
     simulate_faulty_page_workload, simulate_overload_workload, simulate_page_workload,
-    FaultyWorkloadReport, HubStore, OverloadReport, SessionKey, SessionScheduler, TransportMode,
-    WorkloadReport,
+    simulate_sched_workload, FaultyWorkloadReport, HubStore, OverloadReport, SchedReport,
+    SessionKey, SessionScheduler, TransportMode, WorkloadReport,
 };
 pub use session::{BrowsingSession, ObjectStore, SessionCheckpoint};
 pub use tour::{TourEvent, TourRunner};

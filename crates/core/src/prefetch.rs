@@ -28,6 +28,7 @@
 //! read through the same request/response types, so the bytes a step
 //! returns are identical to an unpredicted demand fetch.
 
+use crate::kernel::{Kernel, KernelEvent, KernelStats};
 use crate::remote::{ServerEndpoint, Workstation};
 use crate::session::ObjectStore;
 use minos_image::view::MoveDirection;
@@ -183,6 +184,11 @@ pub struct PrefetchBuffer<E: ServerEndpoint> {
     inflight: HashMap<Vec<u8>, ServerResponse>,
     /// Fetch time of the in-flight batch not yet hidden behind dwell.
     inflight_remaining: SimDuration,
+    /// The event kernel anticipation rides on: every refill opportunity
+    /// fires as a [`KernelEvent::PrefetchWindowOpen`] timer, so window
+    /// openings (and the ones that found nothing to issue) are traced
+    /// and counted like every other deadline in the system.
+    kernel: Kernel,
     clock: SimClock,
     hits: u64,
     misses: u64,
@@ -201,6 +207,7 @@ impl<E: ServerEndpoint> PrefetchBuffer<E> {
             buffer: HashMap::new(),
             inflight: HashMap::new(),
             inflight_remaining: SimDuration::ZERO,
+            kernel: Kernel::new(),
             clock: SimClock::new(),
             hits: 0,
             misses: 0,
@@ -247,6 +254,9 @@ impl<E: ServerEndpoint> PrefetchBuffer<E> {
         self.evict_buffered();
         self.inflight_remaining = SimDuration::ZERO;
         self.ws.reset_accounting();
+        // The presentation clock restarts at the epoch, so the kernel's
+        // timeline restarts with it, counters included.
+        self.kernel = Kernel::new();
         self.clock = SimClock::new();
         self.hits = 0;
         self.misses = 0;
@@ -320,7 +330,7 @@ impl<E: ServerEndpoint> PrefetchBuffer<E> {
                 response
             }
         };
-        self.refill(plan, Some(&key))?;
+        self.arm_window(plan, Some(&key))?;
         self.hide(dwell);
         self.stall += stall;
         Ok((response, stall))
@@ -331,9 +341,46 @@ impl<E: ServerEndpoint> PrefetchBuffer<E> {
     /// likely to want next. Issues a prediction batch if the link is free
     /// and hides it behind the dwell.
     pub fn anticipate(&mut self, plan: &[ServerRequest], dwell: SimDuration) -> Result<()> {
-        self.refill(plan, None)?;
+        self.arm_window(plan, None)?;
         self.hide(dwell);
         Ok(())
+    }
+
+    /// Routes one refill opportunity through the event kernel: the
+    /// anticipation window's opening is armed as a
+    /// [`KernelEvent::PrefetchWindowOpen`] deadline at the presentation
+    /// clock's current instant and the refill runs as that event's
+    /// handler. A window that opens with the link busy, the buffer full,
+    /// or nothing left to predict issues no batch and is counted a
+    /// spurious wake.
+    fn arm_window(&mut self, plan: &[ServerRequest], exclude: Option<&[u8]>) -> Result<()> {
+        let now = self.clock.now();
+        self.kernel.post(now, KernelEvent::PrefetchWindowOpen { session: 0 });
+        self.kernel.advance_to(now);
+        while let Some(event) = self.kernel.take_ready() {
+            if !matches!(event, KernelEvent::PrefetchWindowOpen { .. }) {
+                self.kernel.note_spurious();
+                continue;
+            }
+            let quiet = self.inflight.is_empty();
+            self.refill(plan, exclude)?;
+            if quiet && self.inflight.is_empty() {
+                self.kernel.note_spurious();
+            }
+        }
+        Ok(())
+    }
+
+    /// The timer-wheel counters behind anticipation: windows fired,
+    /// armed, and the ones that found nothing to issue.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel.stats()
+    }
+
+    /// Drains the pipeline kernel's trace ring as a JSON array (see
+    /// [`Kernel::drain_trace_json`]).
+    pub fn drain_kernel_trace(&mut self) -> String {
+        self.kernel.drain_trace_json()
     }
 
     /// Issues the next prediction batch when the link is free, the buffer

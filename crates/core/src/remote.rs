@@ -19,6 +19,7 @@
 //! over this pipeline, so every pre-existing call site keeps its exact
 //! semantics while anticipatory code gets true overlap.
 
+use crate::kernel::{Kernel, KernelEvent, TimerId};
 use minos_image::{Bitmap, View};
 use minos_net::{
     BufferPool, FaultPlan, FaultyLink, Frame, FramePayload, InflightWindow, Link, Priority,
@@ -90,6 +91,9 @@ struct Outstanding {
     frame_bytes: Vec<u8>,
     deadline: SimInstant,
     attempt: u32,
+    /// The timer-wheel entry armed for `deadline`; cancelled when the
+    /// response lands, rearmed on every retransmit.
+    timer: TimerId,
 }
 
 /// Recovery accounting: what the connection had to do to survive its link.
@@ -168,6 +172,11 @@ pub struct Connection<E: ServerEndpoint> {
     /// connection's lifetime; its hit/miss accounting is merged into
     /// [`TransportStats`] by [`Connection::transport_stats`].
     pool: BufferPool,
+    /// The discrete-event kernel holding every outstanding request's
+    /// retransmit deadline, so a lost response on an otherwise-idle
+    /// connection is discovered by [`Connection::advance_to`] at its
+    /// deadline instead of lazily at the next collection.
+    kernel: Kernel,
     transport: TransportStats,
     timeout: SimDuration,
     max_retries: u32,
@@ -210,6 +219,7 @@ impl<E: ServerEndpoint> Connection<E> {
             outstanding: HashMap::new(),
             collected: HashSet::new(),
             pool: BufferPool::new(),
+            kernel: Kernel::new(),
             transport: TransportStats::default(),
             timeout: DEFAULT_TIMEOUT,
             max_retries: DEFAULT_MAX_RETRIES,
@@ -317,6 +327,9 @@ impl<E: ServerEndpoint> Connection<E> {
         self.outstanding.clear();
         self.collected.clear();
         self.pool.reset_stats();
+        // The clock restarts at the epoch, so every armed deadline is
+        // stale: replace the kernel wholesale, counters included.
+        self.kernel = Kernel::new();
         self.transport = TransportStats::default();
         self.window = InflightWindow::new(self.window.capacity());
         self.endpoint.reset_stats();
@@ -485,7 +498,9 @@ impl<E: ServerEndpoint> Connection<E> {
             request,
             &mut frame_bytes,
         );
-        self.outstanding.insert(request_id, Outstanding { frame_bytes, deadline, attempt: 0 });
+        let timer = self.kernel.arm(deadline, KernelEvent::RetryDue { request_id, attempt: 0 });
+        self.outstanding
+            .insert(request_id, Outstanding { frame_bytes, deadline, attempt: 0, timer });
         self.transmit_request(request_id);
     }
 
@@ -532,6 +547,7 @@ impl<E: ServerEndpoint> Connection<E> {
                 let waited = self.clock.now().saturating_since(started);
                 self.window.close(ticket.0);
                 if let Some(out) = self.outstanding.remove(&ticket.0) {
+                    self.kernel.cancel(out.timer);
                     self.pool.recycle(out.frame_bytes);
                 }
                 if !self.link.is_clean() {
@@ -558,12 +574,79 @@ impl<E: ServerEndpoint> Connection<E> {
         }
         self.window.close(ticket.0);
         if let Some(out) = self.outstanding.remove(&ticket.0) {
+            self.kernel.cancel(out.timer);
             self.pool.recycle(out.frame_bytes);
         }
         if !self.link.is_clean() {
             self.collected.insert(ticket.0);
         }
         self.landed.remove(&ticket.0).map(|l| l.response)
+    }
+
+    /// Drives the connection to `at` without collecting anything. The
+    /// timer wheel discovers every retransmit deadline that falls due in
+    /// the interval and fires it: a lost response on an otherwise-idle
+    /// connection retransmits (or expires) *at its deadline*, instead of
+    /// waiting for the next [`Connection::wait`] to stumble on it. Fired
+    /// deadlines whose response landed in the meantime are counted as
+    /// spurious wakes and ignored.
+    pub fn advance_to(&mut self, at: SimInstant) {
+        self.resync_epoch();
+        self.dispatch();
+        // Step armed-deadline to armed-deadline: the clock reaches each
+        // deadline exactly when it fires, so a retransmit's backoff
+        // chains from the deadline — identical to the wait() discipline —
+        // instead of from the far end of the jump. next_deadline may
+        // name an intermediate cascade tick where nothing fires yet;
+        // those rounds drain empty and the loop steps on.
+        while let Some(next) = self.kernel.next_deadline() {
+            if next > at {
+                break;
+            }
+            self.clock.advance_to_at_least(next);
+            self.drain_retry_wakes();
+        }
+        self.clock.advance_to_at_least(at);
+        self.kernel.advance_to(self.clock.now());
+        self.drain_retry_wakes();
+        self.dispatch();
+        self.settle();
+    }
+
+    /// Fires every kernel event due at the current clock and handles the
+    /// retransmit wakes among them. Re-advances each round because a
+    /// handler can arm a deadline already behind kernel time (a capped
+    /// backoff), which lands due immediately and must still be flushed.
+    fn drain_retry_wakes(&mut self) {
+        loop {
+            self.kernel.advance_to(self.clock.now());
+            let Some(event) = self.kernel.take_ready() else { break };
+            let KernelEvent::RetryDue { request_id, attempt } = event else {
+                self.kernel.note_spurious();
+                continue;
+            };
+            let now = self.clock.now();
+            let due = self
+                .outstanding
+                .get(&request_id)
+                .is_some_and(|o| o.attempt == attempt && o.deadline <= now);
+            if due && !self.landed.contains_key(&request_id) {
+                self.force_progress(request_id);
+            } else {
+                self.kernel.note_spurious();
+            }
+        }
+    }
+
+    /// The timer-wheel counters for this connection's recovery machinery.
+    pub fn kernel_stats(&self) -> crate::kernel::KernelStats {
+        self.kernel.stats()
+    }
+
+    /// Drains the connection kernel's trace ring as a JSON array (see
+    /// [`Kernel::drain_trace_json`]).
+    pub fn drain_kernel_trace(&mut self) -> String {
+        self.kernel.drain_trace_json()
     }
 
     /// Forces progress on a slot whose response has not landed: waits out
@@ -574,8 +657,8 @@ impl<E: ServerEndpoint> Connection<E> {
     /// links keep none) lands an inline error immediately: better a typed
     /// failure than an overrun window or a hang.
     fn force_progress(&mut self, request_id: u64) {
-        let Some((deadline, attempt)) =
-            self.outstanding.get(&request_id).map(|o| (o.deadline, o.attempt))
+        let Some((deadline, attempt, timer)) =
+            self.outstanding.get(&request_id).map(|o| (o.deadline, o.attempt, o.timer))
         else {
             self.landed.insert(
                 request_id,
@@ -590,6 +673,7 @@ impl<E: ServerEndpoint> Connection<E> {
         };
         self.transport.timeouts += 1;
         self.clock.advance_to_at_least(deadline);
+        self.kernel.cancel(timer);
         if attempt >= self.max_retries {
             if let Some(out) = self.outstanding.remove(&request_id) {
                 self.pool.recycle(out.frame_bytes);
@@ -612,9 +696,13 @@ impl<E: ServerEndpoint> Connection<E> {
             SimDuration::from_micros(self.timeout.as_micros().saturating_mul(1u64 << shift))
                 .min(BACKOFF_CAP);
         let next_deadline = self.clock.now() + backoff;
+        let timer = self
+            .kernel
+            .arm(next_deadline, KernelEvent::RetryDue { request_id, attempt: attempt + 1 });
         if let Some(out) = self.outstanding.get_mut(&request_id) {
             out.attempt = attempt + 1;
             out.deadline = next_deadline;
+            out.timer = timer;
         }
         self.transmit_request(request_id);
     }

@@ -35,21 +35,27 @@
 //! [`HubStore::note_upcoming`]: when the server queue is under admission
 //! pressure, anticipation is suspended rather than submitted-and-shed —
 //! the hint degrades to a later demand miss, never to wire noise.
+//!
+//! [`simulate_sched_workload`] is the scale sibling (experiment E15): a
+//! fleet of up to 10,000 connected sessions of which only a few hundred
+//! are active, driven entirely by the discrete-event [`Kernel`] — work
+//! scales with armed deadlines, so the idle sessions cost nothing.
 
 use crate::command::{BrowseCommand, BrowseEvent};
+use crate::kernel::{Kernel, KernelEvent, KernelStats};
 use crate::prefetch::page_spans;
 use crate::remote::{Connection, Ticket, TransportStats};
 use crate::session::{BrowsingSession, ObjectStore};
 use minos_net::{
-    FaultPlan, FaultRng, FaultStats, Frame, FramePayload, Link, LinkStats, Priority, ServerRequest,
-    ServerResponse,
+    BufferPool, FaultPlan, FaultRng, FaultStats, Frame, FramePayload, Link, LinkStats, Priority,
+    ServerRequest, ServerResponse,
 };
 use minos_object::MultimediaObject;
 use minos_server::{ObjectServer, ServiceConfig, ServiceStats};
 use minos_text::PaginateConfig;
 use minos_types::{ByteSpan, MinosError, ObjectId, Result, SimClock, SimDuration, SimInstant};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 
 /// Fault state for one connection whose frames misbehave on the shared
@@ -76,6 +82,10 @@ struct Hub {
     landed: HashMap<u64, Vec<(u64, ServerResponse, SimInstant)>>,
     /// Per-connection fault injection; connections not listed are clean.
     faults: HashMap<u64, ConnFaults>,
+    /// The discrete-event kernel: audio deadlines and completion wakes
+    /// flow through it in event-driven mode, so only sessions with a
+    /// fired deadline or a landed response are ever visited.
+    kernel: Kernel,
     next_request_id: u64,
     next_conn: u64,
 }
@@ -92,6 +102,7 @@ impl Hub {
             arrivals: HashMap::new(),
             landed: HashMap::new(),
             faults: HashMap::new(),
+            kernel: Kernel::new(),
             next_request_id: 1,
             next_conn: 1,
         }
@@ -151,6 +162,27 @@ impl Hub {
         for &conn in order {
             while let Some((frame, charge)) = self.server.poll_conn(conn) {
                 self.deliver(frame, charge);
+            }
+        }
+        while let Some((frame, charge)) = self.server.poll_timed() {
+            self.deliver(frame, charge);
+        }
+    }
+
+    /// [`Hub::pump`] for the event-driven path: serves exactly the woken
+    /// connections in `order` (same per-connection discipline, so the
+    /// response stream is byte-identical to pumping all N), counting
+    /// wakes that found their work already collected, then drains
+    /// whatever remains in the server's own rotation.
+    fn pump_woken(&mut self, order: &[u64]) {
+        for &conn in order {
+            let mut served = false;
+            while let Some((frame, charge)) = self.server.poll_conn(conn) {
+                served = true;
+                self.deliver(frame, charge);
+            }
+            if !served {
+                self.kernel.note_spurious();
             }
         }
         while let Some((frame, charge)) = self.server.poll_timed() {
@@ -347,27 +379,65 @@ struct Slot {
     events: Vec<BrowseEvent>,
 }
 
+/// Which service loop a [`SessionScheduler`] runs per tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SchedMode {
+    /// Wake-list driven: the kernel fires audio deadlines and completion
+    /// wakes, and only woken sessions/connections are visited.
+    EventKernel,
+    /// The original full rotation scan, kept as the reference
+    /// implementation the equivalence tests pin the kernel path against.
+    LegacyRotation,
+}
+
 /// N concurrent browsing sessions multiplexed over one simulated link and
 /// one object server.
 ///
-/// Each [`SessionScheduler::tick`] advances every session's presentation
-/// by the same wall-clock slice and then serves the shared service loop.
+/// Each [`SessionScheduler::tick`] advances session presentations by the
+/// same wall-clock slice and then serves the shared service loop.
 /// Service order is round-robin with a rotating head — no session can
 /// starve — except that audio-driven sessions always go first: their
 /// transfers have real-time deadlines, a text reader's do not.
+///
+/// By default the tick is event-driven: the [`Kernel`] wakes exactly the
+/// audio-paced sessions and the connections the server completed work
+/// for, in the same deadline-aware order the full rotation would have
+/// produced, so an idle text session costs nothing per tick. The
+/// pre-kernel full scan survives behind [`SessionScheduler::legacy`] and
+/// is pinned byte-identical by the golden-stream equivalence tests.
 pub struct SessionScheduler {
     hub: Rc<RefCell<Hub>>,
     slots: Vec<Slot>,
     cursor: usize,
+    mode: SchedMode,
+    /// Slot indices of audio-driven sessions — the kernel arms their
+    /// playback deadlines; everyone else sleeps until a response lands.
+    audio_set: BTreeSet<usize>,
+    /// Connection id → slot index, for ordering completion wakes.
+    conn_slots: HashMap<u64, usize>,
 }
 
 impl SessionScheduler {
     /// A scheduler over `server` reached through `link`.
     pub fn new(server: ObjectServer, link: Link) -> Self {
+        Self::with_mode(server, link, SchedMode::EventKernel)
+    }
+
+    /// A scheduler running the pre-kernel full rotation scan every tick.
+    /// Retained as the reference implementation for equivalence pinning;
+    /// prefer [`SessionScheduler::new`].
+    pub fn legacy(server: ObjectServer, link: Link) -> Self {
+        Self::with_mode(server, link, SchedMode::LegacyRotation)
+    }
+
+    fn with_mode(server: ObjectServer, link: Link, mode: SchedMode) -> Self {
         SessionScheduler {
             hub: Rc::new(RefCell::new(Hub::new(server, link))),
             slots: Vec::new(),
             cursor: 0,
+            mode,
+            audio_set: BTreeSet::new(),
+            conn_slots: HashMap::new(),
         }
     }
 
@@ -394,7 +464,12 @@ impl SessionScheduler {
             session.store_mut().set_demand_class(Priority::Audio);
         }
         self.slots.push(Slot { conn_id, session, events: Vec::new() });
-        Ok((SessionKey(self.slots.len() - 1), events))
+        let index = self.slots.len() - 1;
+        if self.slots[index].session.audio().is_some() {
+            self.audio_set.insert(index);
+        }
+        self.conn_slots.insert(conn_id, index);
+        Ok((SessionKey(index), events))
     }
 
     /// Replaces the shared server's admission-control knobs (queue caps
@@ -417,7 +492,20 @@ impl SessionScheduler {
     /// the events it produced (exactly what a standalone session would).
     pub fn apply(&mut self, key: SessionKey, command: BrowseCommand) -> Result<Vec<BrowseEvent>> {
         let slot = self.slot_mut(key)?;
-        slot.session.apply(command)
+        let events = slot.session.apply(command);
+        // Commands can switch the driving mode; keep the kernel's audio
+        // wake membership current.
+        let is_audio = slot.session.audio().is_some();
+        self.set_audio_membership(key.0, is_audio);
+        events
+    }
+
+    fn set_audio_membership(&mut self, index: usize, is_audio: bool) {
+        if is_audio {
+            self.audio_set.insert(index);
+        } else {
+            self.audio_set.remove(&index);
+        }
     }
 
     /// The session behind `key` (menus, positions, objects).
@@ -446,6 +534,15 @@ impl SessionScheduler {
     /// accumulate per session; drain them with
     /// [`SessionScheduler::drain_events`].
     pub fn tick(&mut self, dt: SimDuration) {
+        match self.mode {
+            SchedMode::EventKernel => self.tick_kernel(dt),
+            SchedMode::LegacyRotation => self.tick_legacy(dt),
+        }
+    }
+
+    /// The reference full scan: ticks every session and pumps every
+    /// connection, woken or not.
+    fn tick_legacy(&mut self, dt: SimDuration) {
         let order = self.service_order();
         for &SessionKey(i) in &order {
             if let Some(slot) = self.slots.get_mut(i) {
@@ -459,9 +556,109 @@ impl SessionScheduler {
             .collect();
         let mut hub = self.hub.borrow_mut();
         hub.pump(&conns);
+        // The legacy scan never consults the wake list; drain it so marks
+        // cannot pile up across a mode's lifetime.
+        let _ = hub.server.take_woken();
         hub.clock.advance(dt);
         drop(hub);
         self.cursor = (self.cursor + 1) % self.slots.len().max(1);
+    }
+
+    /// The event-driven tick. A visual session's per-tick advance is a
+    /// pure no-op and an idle connection's pump visit finds nothing, so
+    /// this path visits only sessions with an armed audio deadline and
+    /// connections with a completion wake — byte-identical to the full
+    /// scan because it preserves the scan's deadline-aware relative
+    /// order for exactly the members the scan would have done work for.
+    fn tick_kernel(&mut self, dt: SimDuration) {
+        let n = self.slots.len();
+        if n == 0 {
+            let mut hub = self.hub.borrow_mut();
+            hub.pump(&[]);
+            hub.clock.advance(dt);
+            return;
+        }
+        let cursor = self.cursor;
+        // Audio-first ordering must see the same mode snapshot the legacy
+        // scan's single pre-tick service_order() saw.
+        let audio_before = self.audio_set.clone();
+        // Fire this tick's audio playback deadlines through the kernel.
+        let mut audio_wake: Vec<usize> = Vec::new();
+        {
+            let mut hub = self.hub.borrow_mut();
+            let now = hub.clock.now();
+            for &i in &self.audio_set {
+                hub.kernel.post(now, KernelEvent::AudioDeadline { session: i as u64 });
+            }
+            hub.kernel.advance_to(now);
+            while let Some(event) = hub.kernel.take_ready() {
+                match event {
+                    KernelEvent::AudioDeadline { session } => audio_wake.push(session as usize),
+                    _ => hub.kernel.note_spurious(),
+                }
+            }
+        }
+        // Advance woken audio sessions in the rotation order the full
+        // scan would have reached them in.
+        audio_wake.sort_by_key(|&i| (n + i - cursor) % n);
+        for &i in &audio_wake {
+            if let Some(slot) = self.slots.get_mut(i) {
+                let events = slot.session.tick(dt);
+                slot.events.extend(events);
+                let is_audio = slot.session.audio().is_some();
+                self.set_audio_membership(i, is_audio);
+            }
+        }
+        // Completion wakes: every connection the server enqueued or
+        // finished work for since the last drain, routed through the
+        // kernel so the trace and counters see them.
+        let mut conn_wake: Vec<u64> = Vec::new();
+        {
+            let mut hub = self.hub.borrow_mut();
+            let now = hub.clock.now();
+            // request_id 0 marks a connection-level wake: it covers every
+            // response in the connection's ready batch.
+            let woken = hub.server.take_woken();
+            for conn in woken {
+                hub.kernel.post(now, KernelEvent::ResponseLanded { conn, request_id: 0 });
+            }
+            hub.kernel.advance_to(now);
+            while let Some(event) = hub.kernel.take_ready() {
+                match event {
+                    KernelEvent::ResponseLanded { conn, .. } => conn_wake.push(conn),
+                    _ => hub.kernel.note_spurious(),
+                }
+            }
+        }
+        // Deadline-aware order over the woken subset: audio-driven
+        // connections first, rotation position breaking ties — the same
+        // total order the full scan serves.
+        conn_wake.sort_by_key(|conn| match self.conn_slots.get(conn).copied() {
+            Some(i) => (!audio_before.contains(&i), (n + i - cursor) % n),
+            None => (true, usize::MAX),
+        });
+        {
+            let mut hub = self.hub.borrow_mut();
+            hub.pump_woken(&conn_wake);
+            // Marks recorded during the pump refer to responses the pump
+            // itself delivered; drop them so they don't wake next tick.
+            let _ = hub.server.take_woken();
+            hub.clock.advance(dt);
+        }
+        self.cursor = (self.cursor + 1) % n;
+    }
+
+    /// The event kernel's counters: events fired, timers armed, spurious
+    /// wakes, and the ready queue's high-water mark. Zeros under
+    /// [`SessionScheduler::legacy`].
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.hub.borrow().kernel.stats()
+    }
+
+    /// Drains the kernel's trace ring as a JSON array (see
+    /// [`Kernel::drain_trace_json`]).
+    pub fn drain_kernel_trace(&mut self) -> String {
+        self.hub.borrow_mut().kernel.drain_trace_json()
     }
 
     /// Takes the events `key`'s session produced during ticks since the
@@ -750,6 +947,9 @@ pub fn simulate_overload_workload(
     }
     let mut server = ObjectServer::new();
     server.set_service_config(config);
+    // Stock the payload pool up front so cold-start leases hit the free
+    // list: payload_allocs then measures steady state, not warmup.
+    server.prewarm_payloads(BufferPool::DEFAULT_RETAIN_CAP, page_len as usize);
     let mut plans: Vec<(u64, Vec<ByteSpan>)> = Vec::with_capacity(sessions);
     for s in 0..sessions {
         let data: Vec<u8> =
@@ -921,6 +1121,9 @@ pub fn simulate_page_workload(
         return Err(MinosError::Internal("workload needs sessions, pages, and bytes".into()));
     }
     let mut server = ObjectServer::new();
+    // Stock the payload pool up front so cold-start leases hit the free
+    // list: payload_allocs then measures steady state, not warmup.
+    server.prewarm_payloads(BufferPool::DEFAULT_RETAIN_CAP, page_len as usize);
     let mut plans: Vec<(u64, Vec<ByteSpan>)> = Vec::with_capacity(sessions);
     for s in 0..sessions {
         let data: Vec<u8> =
@@ -1035,6 +1238,189 @@ pub fn simulate_page_workload(
             })
         }
     }
+}
+
+/// Audio page period for [`simulate_sched_workload`]'s audio sessions.
+const SCHED_AUDIO_PERIOD: SimDuration = SimDuration::from_millis(250);
+
+/// Reading dwell between page turns for the workload's text sessions.
+const SCHED_TEXT_DWELL: SimDuration = SimDuration::from_secs(1);
+
+/// Every eighth active session in [`simulate_sched_workload`] is
+/// audio-paced; the rest are text readers.
+const SCHED_AUDIO_STRIDE: usize = 8;
+
+/// What one [`simulate_sched_workload`] run measured — the E15 report:
+/// how the event kernel's work scales with *active* sessions while idle
+/// sessions cost nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedReport {
+    /// Sessions in the fleet, idle dwellers included.
+    pub sessions: u64,
+    /// Sessions actually turning pages.
+    pub active: u64,
+    /// Of the active, sessions paced by an audio playback deadline.
+    pub audio_sessions: u64,
+    /// Pages delivered (active sessions × pages per session).
+    pub pages: u64,
+    /// Of those, pages delivered to audio-paced sessions.
+    pub audio_pages: u64,
+    /// Kernel events fired over the whole run — the work actually done,
+    /// which scales with `active`, never with `sessions`.
+    pub events: u64,
+    /// Timers armed over the whole run.
+    pub timers_armed: u64,
+    /// Wakes that found nothing to do.
+    pub spurious_wakes: u64,
+    /// Most events ever pending delivery at once.
+    pub ready_high_water: u64,
+    /// 99th-percentile audio page service latency (deadline to delivery).
+    pub audio_p99: SimDuration,
+    /// Simulated time until the last page landed.
+    pub sim_elapsed: SimDuration,
+}
+
+/// Runs the E15 workload: a fleet of `sessions` connected sessions of
+/// which only `active` are doing anything — every
+/// [`SCHED_AUDIO_STRIDE`]th active session turns a page each
+/// [`SCHED_AUDIO_PERIOD`] on an audio playback deadline, the rest dwell
+/// [`SCHED_TEXT_DWELL`] between page turns. Each page turn is one
+/// request/response through shared uplink, device, and downlink
+/// timelines (the E14 resource model), with the response's arrival armed
+/// back into the [`Kernel`] as a completion wake.
+///
+/// The run loop is pure discrete-event simulation: it jumps from armed
+/// deadline to armed deadline via [`Kernel::next_deadline`], so the
+/// `sessions - active` idle dwellers — who have no timer armed — are
+/// never visited. Total events fired is a function of `active` alone;
+/// that invariant is the experiment's headline and is pinned by the
+/// `exp_sched` smoke gate.
+pub fn simulate_sched_workload(
+    sessions: usize,
+    active: usize,
+    pages_per_session: usize,
+    page_len: u64,
+) -> Result<SchedReport> {
+    if sessions == 0 || pages_per_session == 0 || page_len == 0 {
+        return Err(MinosError::Internal("workload needs sessions, pages, and bytes".into()));
+    }
+    let active = active.min(sessions);
+    let mut kernel = Kernel::new();
+    let mut link = Link::ethernet();
+    // The shared resource timelines: one uplink, one storage device, one
+    // downlink — the same serialization model the E14 workload charges.
+    let mut up_free = SimInstant::EPOCH;
+    let mut dev_free = SimInstant::EPOCH;
+    let mut down_free = SimInstant::EPOCH;
+    // Device charge for one page: optical seek-free streaming at the
+    // archive's sustained rate, folded into a single per-page figure.
+    let device_charge = SimDuration::from_micros(200 + page_len / 4);
+
+    struct ActiveSession {
+        remaining: usize,
+        period: SimDuration,
+        audio: bool,
+        /// When the in-flight page's deadline fired, for latency.
+        fired_at: SimInstant,
+    }
+    let mut states: Vec<ActiveSession> = (0..active)
+        .map(|i| ActiveSession {
+            remaining: pages_per_session,
+            period: if i % SCHED_AUDIO_STRIDE == 0 { SCHED_AUDIO_PERIOD } else { SCHED_TEXT_DWELL },
+            audio: i % SCHED_AUDIO_STRIDE == 0,
+            fired_at: SimInstant::EPOCH,
+        })
+        .collect();
+    let audio_sessions = states.iter().filter(|s| s.audio).count() as u64;
+    // Arm each active session's first page deadline. Idle sessions arm
+    // nothing: they exist only as the fleet headcount.
+    for (i, s) in states.iter().enumerate() {
+        let event = if s.audio {
+            KernelEvent::AudioDeadline { session: i as u64 }
+        } else {
+            KernelEvent::DeadlineFired { key: i as u64 }
+        };
+        kernel.arm(SimInstant::EPOCH + s.period, event);
+    }
+    let mut pages = 0u64;
+    let mut audio_pages = 0u64;
+    let mut audio_lat: Vec<SimDuration> = Vec::new();
+    let frame_wire = Frame::request(
+        1,
+        1,
+        ServerRequest::FetchSpan { span: ByteSpan { start: 0, end: page_len } },
+    )
+    .wire_size();
+    while let Some(at) = kernel.next_deadline() {
+        kernel.advance_to(at);
+        while let Some(event) = kernel.take_ready() {
+            let session = match event {
+                KernelEvent::AudioDeadline { session } => session as usize,
+                KernelEvent::DeadlineFired { key } => key as usize,
+                KernelEvent::ResponseLanded { conn, .. } => {
+                    // The page landed: count it and, if the session has
+                    // pages left, arm its next dwell/playback deadline.
+                    let i = conn as usize;
+                    let Some(state) = states.get_mut(i) else {
+                        kernel.note_spurious();
+                        continue;
+                    };
+                    state.remaining -= 1;
+                    pages += 1;
+                    if state.audio {
+                        audio_pages += 1;
+                        audio_lat.push(kernel.now().since(state.fired_at));
+                    }
+                    if state.remaining > 0 {
+                        let next = if state.audio {
+                            KernelEvent::AudioDeadline { session: conn }
+                        } else {
+                            KernelEvent::DeadlineFired { key: conn }
+                        };
+                        kernel.arm(kernel.now() + state.period, next);
+                    }
+                    continue;
+                }
+                _ => {
+                    kernel.note_spurious();
+                    continue;
+                }
+            };
+            // A page deadline fired: issue the request through the shared
+            // resources and arm the delivery as a completion wake.
+            let Some(state) = states.get_mut(session) else {
+                kernel.note_spurious();
+                continue;
+            };
+            state.fired_at = kernel.now();
+            let arrival = kernel.now().max(up_free) + link.transfer(frame_wire);
+            up_free = arrival;
+            let done = arrival.max(dev_free) + device_charge;
+            dev_free = done;
+            let delivered = done.max(down_free) + link.transfer(frame_wire + page_len);
+            down_free = delivered;
+            kernel.arm(
+                delivered,
+                KernelEvent::ResponseLanded { conn: session as u64, request_id: 0 },
+            );
+        }
+    }
+    audio_lat.sort();
+    let p99_rank = (audio_lat.len() * 99).div_ceil(100).saturating_sub(1);
+    let stats = kernel.stats();
+    Ok(SchedReport {
+        sessions: sessions as u64,
+        active: active as u64,
+        audio_sessions,
+        pages,
+        audio_pages,
+        events: stats.events_fired,
+        timers_armed: stats.timers_armed,
+        spurious_wakes: stats.spurious_wakes,
+        ready_high_water: stats.ready_high_water,
+        audio_p99: audio_lat.get(p99_rank).copied().unwrap_or(SimDuration::ZERO),
+        sim_elapsed: kernel.now().since(SimInstant::EPOCH),
+    })
 }
 
 #[cfg(test)]
@@ -1281,7 +1667,10 @@ mod tests {
         let report =
             simulate_page_workload(8, 64, 8_192, TransportMode::Pipelined { window: 8 }).unwrap();
         assert_eq!(report.pages, 8 * 64);
-        assert!(report.payload_allocs > 0, "the cold pool still allocates its working set");
+        assert_eq!(
+            report.payload_allocs, 0,
+            "the prewarmed pool serves every page without a fresh allocation"
+        );
         assert!(
             report.allocations_per_page() <= 1.0,
             "allocations per page {:.3} ({} allocs / {} pages)",
@@ -1367,6 +1756,66 @@ mod tests {
             sched.session(key).unwrap().store().waited() > waited_before,
             "the suspended prefetch degraded to a demand wait"
         );
+    }
+
+    #[test]
+    fn sched_workload_cost_is_invariant_in_idle_sessions() {
+        // The E15 invariant: a fleet 150x larger costs exactly the same
+        // kernel work when the active set is the same — idle sessions arm
+        // nothing and are never visited.
+        let small = simulate_sched_workload(64, 32, 4, 4_096).unwrap();
+        let large = simulate_sched_workload(10_000, 32, 4, 4_096).unwrap();
+        assert_eq!(small.pages, 32 * 4);
+        assert_eq!(small.audio_sessions, 4);
+        assert_eq!(small.events, large.events);
+        assert_eq!(small.timers_armed, large.timers_armed);
+        assert_eq!(small.sim_elapsed, large.sim_elapsed);
+        assert_eq!(small.audio_p99, large.audio_p99);
+        assert_eq!(large.spurious_wakes, 0, "every wake did real work");
+        assert_eq!(large.sessions, 10_000);
+        assert!(large.audio_pages > 0);
+        assert!(large.audio_p99 > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn kernel_and_legacy_ticks_produce_identical_event_streams() {
+        // The in-module equivalence smoke (the fuzzed golden-stream
+        // harness lives in tests/command_fuzz.rs): same sessions, same
+        // commands, same ticks — byte-identical events and transfer
+        // accounting in both modes.
+        let config = PaginateConfig::default();
+        let page = SimDuration::from_secs(5);
+        let run = |legacy: bool| {
+            let mut sched = if legacy {
+                SessionScheduler::legacy(corpus_server(), Link::ethernet())
+            } else {
+                SessionScheduler::new(corpus_server(), Link::ethernet())
+            };
+            let (map_key, open_map) = sched.open(ObjectId::new(3), config, page).unwrap();
+            let (audio_key, open_audio) = sched.open(ObjectId::new(2), config, page).unwrap();
+            let (report_key, open_report) = sched.open(ObjectId::new(1), config, page).unwrap();
+            let mut events = vec![open_map, open_audio, open_report];
+            for _ in 0..3 {
+                sched.tick(SimDuration::from_secs(1));
+            }
+            events.push(sched.apply(map_key, BrowseCommand::SelectRelevant(0)).unwrap());
+            events.push(sched.apply(report_key, BrowseCommand::NextPage).unwrap());
+            sched.tick(SimDuration::from_secs(2));
+            events.push(sched.apply(audio_key, BrowseCommand::Interrupt).unwrap());
+            sched.tick(SimDuration::from_secs(2));
+            for key in [map_key, audio_key, report_key] {
+                events.push(sched.drain_events(key).unwrap());
+            }
+            (events, sched.link_stats(), sched.elapsed(), sched.kernel_stats())
+        };
+        let (kernel_events, kernel_link, kernel_elapsed, kernel_stats) = run(false);
+        let (legacy_events, legacy_link, legacy_elapsed, legacy_stats) = run(true);
+        assert_eq!(kernel_events, legacy_events);
+        assert_eq!(kernel_link, legacy_link);
+        assert_eq!(kernel_elapsed, legacy_elapsed);
+        // Only the kernel path goes through the event kernel.
+        assert!(kernel_stats.events_fired > 0);
+        assert_eq!(legacy_stats, KernelStats::default());
     }
 
     #[test]

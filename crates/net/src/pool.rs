@@ -34,6 +34,9 @@ pub struct PoolStats {
     pub discarded: u64,
     /// Most buffers ever held on the free list at once.
     pub high_water: u64,
+    /// Buffers stocked up front by [`BufferPool::prewarm`], counted apart
+    /// from `recycled` so warmup never reads as steady-state traffic.
+    pub prewarmed: u64,
 }
 
 /// The shared state behind a pool handle and its outstanding leases.
@@ -115,6 +118,24 @@ impl BufferPool {
     /// retention cap).
     pub fn recycle(&self, buf: Vec<u8>) {
         self.inner.borrow_mut().give_back(buf);
+    }
+
+    /// Stocks the free list with up to `buffers` empty buffers of
+    /// `capacity` bytes each, bounded by the retention cap. Cold-start
+    /// leases then hit the free list instead of allocating, so small-run
+    /// alloc metrics measure the steady state, not first-lease warmup.
+    /// Prewarmed buffers are counted in [`PoolStats::prewarmed`], not
+    /// `recycled`.
+    pub fn prewarm(&self, buffers: usize, capacity: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let capacity = capacity.max(1);
+        let mut added = 0;
+        while added < buffers && inner.free.len() < inner.retain_cap {
+            added += 1;
+            inner.stats.prewarmed += 1;
+            inner.free.push(Vec::with_capacity(capacity));
+            inner.stats.high_water = inner.stats.high_water.max(inner.free.len() as u64);
+        }
     }
 
     /// Buffers currently on the free list.
@@ -262,6 +283,25 @@ mod tests {
             l
         };
         drop(lease); // the pool is gone; the buffer is simply freed
+    }
+
+    #[test]
+    fn prewarmed_leases_hit_without_counting_as_recycles() {
+        let pool = BufferPool::new();
+        pool.prewarm(4, 4_096);
+        assert_eq!(pool.free_buffers(), 4);
+        let stats = pool.stats();
+        assert_eq!(stats.prewarmed, 4);
+        assert_eq!(stats.recycled, 0);
+        let buf = pool.lease_vec();
+        assert!(buf.capacity() >= 4_096, "prewarmed capacity is real");
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0), "cold start is a hit now");
+        // Prewarm respects the retention cap.
+        let small = BufferPool::with_retain_cap(2);
+        small.prewarm(10, 64);
+        assert_eq!(small.free_buffers(), 2);
+        assert_eq!(small.stats().prewarmed, 2);
     }
 
     #[test]

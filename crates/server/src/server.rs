@@ -86,6 +86,15 @@ impl ObjectServer {
         self.pool.recycle(buf);
     }
 
+    /// Stocks the payload pool with `buffers` empty buffers of `capacity`
+    /// bytes before any traffic, counted separately in
+    /// [`minos_net::PoolStats::prewarmed`] — cold-start leases then hit
+    /// the free list instead of registering as allocations, so small-N
+    /// alloc metrics measure the steady state rather than warmup.
+    pub fn prewarm_payloads(&mut self, buffers: usize, capacity: usize) {
+        self.pool.prewarm(buffers, capacity);
+    }
+
     /// Replaces the service queue's admission configuration (queued work
     /// is kept; only the caps and retry hint change).
     pub fn set_service_config(&mut self, config: ServiceConfig) {
@@ -395,6 +404,14 @@ impl ObjectServer {
     /// Request frames queued and not yet served.
     pub fn pending_frames(&self) -> usize {
         self.service.pending()
+    }
+
+    /// Drains the connections with a response landed (served or rejected)
+    /// since the last drain — the completion wake list. Event-driven
+    /// callers collect their deliveries with per-connection polls of
+    /// exactly these connections instead of polling all N.
+    pub fn take_woken(&mut self) -> Vec<u64> {
+        self.service.take_woken()
     }
 
     /// Accounting for the queued service loop.

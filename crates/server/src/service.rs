@@ -24,7 +24,7 @@
 
 use minos_net::{Frame, ServerResponse};
 use minos_types::SimDuration;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Admission-control knobs for the service queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,6 +114,11 @@ pub(crate) struct ServiceQueue {
     ready: VecDeque<(Frame, SimDuration)>,
     /// Request frames queued but not yet served.
     pending: usize,
+    /// Connections with server-side activity (a request admitted or a
+    /// response landed) since the last wake drain — the wake list the
+    /// event-driven scheduler consumes instead of polling every
+    /// connection.
+    woken: BTreeSet<u64>,
     config: ServiceConfig,
     stats: ServiceStats,
 }
@@ -136,6 +141,9 @@ impl ServiceQueue {
     /// device charge) through the ordinary ready queue.
     pub(crate) fn admit(&mut self, frame: Frame) {
         let conn = frame.conn_id;
+        // Arrival is a wake: the event-driven scheduler must visit this
+        // connection on its next pump even if nothing has landed yet.
+        self.woken.insert(conn);
         let conn_full =
             self.queues.get(&conn).map(VecDeque::len).unwrap_or(0) >= self.config.per_conn_cap;
         let global_full = self.pending >= self.config.global_cap;
@@ -177,6 +185,7 @@ impl ServiceQueue {
     /// current retry hint.
     fn reject(&mut self, frame: Frame) {
         let reply = frame.reply(ServerResponse::Busy { retry_after: self.retry_hint() });
+        self.woken.insert(reply.conn_id);
         self.ready.push_back((reply, SimDuration::ZERO));
     }
 
@@ -235,6 +244,7 @@ impl ServiceQueue {
         self.queues.clear();
         self.rotation.clear();
         self.ready.clear();
+        self.woken.clear();
         self.pending = 0;
     }
 
@@ -294,6 +304,7 @@ impl ServiceQueue {
         let conn = self.stats.per_connection.entry(frame.conn_id).or_default();
         conn.served += 1;
         conn.busy += charge;
+        self.woken.insert(frame.conn_id);
         self.ready.push_back((frame, charge));
     }
 
@@ -311,6 +322,15 @@ impl ServiceQueue {
             self.stats.pool_misses += 1;
             self.stats.payload_allocs += 1;
         }
+    }
+
+    /// Drains the connections that have had a response land (served or
+    /// `Busy`-rejected) since the last drain, in connection-id order.
+    /// Event-driven callers pump exactly these instead of polling all N.
+    pub(crate) fn take_woken(&mut self) -> Vec<u64> {
+        let woken: Vec<u64> = self.woken.iter().copied().collect();
+        self.woken.clear();
+        woken
     }
 
     /// The oldest uncollected response, if any.

@@ -91,7 +91,11 @@ impl<D: BlockDevice> BlockCache<D> {
 
     fn evict_if_full(&mut self) {
         while self.blocks.len() >= self.capacity_blocks {
-            let (_, block) = self.lru.pop_first().expect("LRU order tracks every block");
+            // An empty recency map with resident blocks would mean the LRU
+            // order lost track of them; stop evicting rather than spin.
+            let Some((_, block)) = self.lru.pop_first() else {
+                break;
+            };
             self.blocks.remove(&block);
         }
     }

@@ -84,7 +84,11 @@ impl BlockDevice for MagneticDisk {
             )));
         }
         let took = self.access_cost(span.start, span.len());
-        let data = self.data[span.start as usize..span.end as usize].to_vec();
+        let data = self
+            .data
+            .get(span.start as usize..span.end as usize)
+            .ok_or_else(|| MinosError::Storage(format!("read {span} outside magnetic media")))?
+            .to_vec();
         self.head = span.end;
         self.stats.record_read(span.len(), took);
         Ok((data, took))
@@ -116,7 +120,12 @@ impl BlockDevice for MagneticDisk {
             )));
         }
         let took = self.access_cost(offset, data.len() as u64);
-        self.data[offset as usize..end as usize].copy_from_slice(data);
+        self.data
+            .get_mut(offset as usize..end as usize)
+            .ok_or_else(|| {
+                MinosError::Storage(format!("write [{offset}, {end}) outside magnetic media"))
+            })?
+            .copy_from_slice(data);
         self.head = end;
         self.stats.record_write(data.len() as u64, took);
         Ok(took)

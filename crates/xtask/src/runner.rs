@@ -19,8 +19,12 @@ const PANIC_SCOPE: &[&str] =
 /// Files whose queues sit on the overload path: every `push`/`push_back`
 /// there must be reachable from a capacity check, or carry a ratcheted
 /// `lint-allow.toml` entry explaining what bounds it.
-const QUEUE_SCOPE: &[&str] =
-    &["crates/net/src/", "crates/server/src/", "crates/core/src/remote.rs"];
+const QUEUE_SCOPE: &[&str] = &[
+    "crates/net/src/",
+    "crates/server/src/",
+    "crates/core/src/remote.rs",
+    "crates/core/src/kernel.rs",
+];
 
 /// Modules on the per-message hot path where the buffer pool is the law:
 /// every fresh allocation (`to_vec`/`clone`/`with_capacity`) must ride a

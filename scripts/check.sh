@@ -29,4 +29,7 @@ cargo bench -p minos-bench --bench exp_faults -- --smoke
 echo "==> exp_overload --smoke"
 cargo bench -p minos-bench --bench exp_overload -- --smoke
 
+echo "==> exp_sched --smoke"
+cargo bench -p minos-bench --bench exp_sched -- --smoke
+
 echo "All checks passed."

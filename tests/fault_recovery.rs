@@ -11,7 +11,7 @@ use minos::corpus::objects::archived_form;
 use minos::net::{FaultPlan, Link, ServerRequest, ServerResponse};
 use minos::presentation::{simulate_faulty_page_workload, Connection, TransportStats};
 use minos::server::ObjectServer;
-use minos::types::ObjectId;
+use minos::types::{ObjectId, SimDuration, SimInstant};
 
 const PAGES: usize = 48;
 const PAGE_LEN: u64 = 8192;
@@ -71,6 +71,45 @@ fn query_server() -> ObjectServer {
     let archived = archived_form(&report);
     server.publish(report, &archived).unwrap();
     server
+}
+
+#[test]
+fn idle_connection_retransmits_at_its_deadline() {
+    // A response lost on an otherwise-idle connection: nothing ever calls
+    // wait(), so before the timer wheel the loss sat undiscovered until
+    // the next collection. Driving the connection with advance_to() must
+    // fire the retransmit deadline at the deadline — and only then.
+    let timeout = SimDuration::from_millis(500);
+    let mut conn =
+        Connection::with_faults(query_server(), Link::ethernet(), 4, FaultPlan::dropping(7, 1.0))
+            .with_recovery(timeout, 2);
+    let ticket = conn.submit(ServerRequest::Query { keywords: vec!["shadow".into()] });
+
+    // Just short of the deadline: armed, but nothing fires.
+    conn.advance_to(SimInstant::EPOCH + SimDuration::from_millis(499));
+    assert_eq!(conn.transport_stats().timeouts, 0, "no deadline may fire early");
+    assert!(conn.kernel_stats().timers_armed >= 1);
+
+    // At the deadline the wheel wakes the slot: one timeout, one
+    // retransmit, a fresh (backed-off) deadline armed.
+    conn.advance_to(SimInstant::EPOCH + timeout);
+    let after_first = conn.transport_stats();
+    assert_eq!(after_first.timeouts, 1, "the deadline fired exactly at 500ms");
+    assert_eq!(after_first.retries, 1, "the loss was retransmitted, not expired");
+
+    // Every retransmit is dropped too; driving far enough exhausts the
+    // retry budget and the request expires with a typed inline error.
+    conn.advance_to(SimInstant::EPOCH + SimDuration::from_secs(30));
+    let exhausted = conn.transport_stats();
+    assert_eq!(exhausted.timeouts, 3, "initial send + 2 retries all timed out");
+    assert_eq!(exhausted.retries, 2, "the retry budget was spent");
+    let stats = conn.kernel_stats();
+    assert!(stats.events_fired >= 3, "each deadline fired through the wheel: {stats:?}");
+    let (response, _) = conn.wait(ticket).unwrap();
+    assert!(
+        matches!(response, ServerResponse::Error(_)),
+        "the expired request surfaces as a typed error, not a hang: {response:?}"
+    );
 }
 
 #[test]
