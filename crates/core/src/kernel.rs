@@ -68,6 +68,12 @@ pub enum KernelEvent {
         /// Consumer-chosen session tag.
         session: u64,
     },
+    /// A fleet member has request frames due to arrive: the service pump
+    /// should visit that member (and drain its wake list) at this instant.
+    ServerWake {
+        /// Fleet index of the member to pump.
+        member: u64,
+    },
 }
 
 /// Kernel counters, cleared wholesale by [`Kernel::reset_stats`].
@@ -310,6 +316,9 @@ fn event_json(event: &KernelEvent, out: &mut String) {
         }
         KernelEvent::PrefetchWindowOpen { session } => {
             write!(out, "\"event\":\"PrefetchWindowOpen\",\"session\":{session}")
+        }
+        KernelEvent::ServerWake { member } => {
+            write!(out, "\"event\":\"ServerWake\",\"member\":{member}")
         }
     };
 }

@@ -24,7 +24,10 @@
 //! * [`kernel`] — the discrete-event simulation kernel: hierarchical
 //!   timer wheel, typed wake events, ready queue, and trace ring;
 //! * [`sched`] — the multi-session scheduler: N concurrent sessions over
-//!   one shared link, event-driven with audio-first deadlines (§5).
+//!   one shared link, event-driven with audio-first deadlines (§5);
+//! * [`fleet`] — the sharded object-server fleet: rendezvous placement,
+//!   k-way replication, and replica failover over the epoch handshake
+//!   (§2, §5).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,6 +35,7 @@
 pub mod audio;
 pub mod command;
 pub mod compose;
+pub mod fleet;
 pub mod kernel;
 pub mod prefetch;
 pub mod process;
@@ -45,6 +49,10 @@ pub mod visual;
 pub use audio::AudioEngine;
 pub use command::{BrowseCommand, BrowseEvent};
 pub use compose::{compose_screen, resolve_figure};
+pub use fleet::{
+    rendezvous_order, simulate_fleet_workload, Fleet, FleetConnection, FleetReport, FleetRestart,
+    FleetStats, FleetTicket, FleetWorkloadConfig, Placement, Replica,
+};
 pub use kernel::{Kernel, KernelEvent, KernelStats, TimerId};
 pub use prefetch::{page_spans, AnticipatingStore, PrefetchBuffer, PrefetchStats, Prefetcher};
 pub use process::{ProcessRunner, ProcessState};

@@ -69,16 +69,18 @@ impl ServerEndpoint for ObjectServer {
 pub struct Ticket(u64);
 
 /// A request frame accepted for transmission but not yet served: its bytes
-/// finish arriving at the server at `arrival`.
-struct PendingFrame {
-    frame: Frame,
-    arrival: SimInstant,
+/// finish arriving at the server at `arrival`. Shared with the fleet
+/// transport ([`crate::fleet`]), which runs the same three-timeline wire
+/// discipline against many members.
+pub(crate) struct PendingFrame {
+    pub(crate) frame: Frame,
+    pub(crate) arrival: SimInstant,
 }
 
 /// A served response whose bytes finish arriving back at `ready_at`.
-struct Landed {
-    response: ServerResponse,
-    ready_at: SimInstant,
+pub(crate) struct Landed {
+    pub(crate) response: ServerResponse,
+    pub(crate) ready_at: SimInstant,
 }
 
 /// Retransmission state for a request whose response has not yet landed
@@ -116,6 +118,11 @@ pub struct TransportStats {
     /// Request frames replayed (or retransmitted) because a server restart
     /// dropped them from the service queue.
     pub replays: u64,
+    /// Requests re-aimed at a sibling replica after their target member
+    /// restarted or timed out. Always zero on a single-endpoint
+    /// [`Connection`]; counted by the fleet transport ([`crate::fleet`]),
+    /// which has somewhere else to go.
+    pub failovers: u64,
     /// Transmit-buffer pool leases served from the free list — no
     /// allocation happened.
     pub pool_hits: u64,

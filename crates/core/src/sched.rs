@@ -896,6 +896,14 @@ pub struct OverloadReport {
     /// Fresh payload-buffer allocations on the serving hot path
     /// (speculative pages included — their buffers recycle too).
     pub payload_allocs: u64,
+    /// Demand/audio pages resubmitted after a [`ServerResponse::Busy`]
+    /// turn-away — each waited out the server's `retry_after` hint on a
+    /// kernel timer before going back on the wire.
+    pub busy_retries: u64,
+    /// Busy resubmissions that left the client before their `retry_after`
+    /// hint elapsed. Always zero: the retry timer gates the uplink, and
+    /// the E14 pin asserts it stays that way.
+    pub premature_retries: u64,
 }
 
 impl OverloadReport {
@@ -933,9 +941,12 @@ impl OverloadReport {
 /// them away — the overload is real device work, not adjacent-run sugar.
 ///
 /// Every demand page is verified byte-for-byte; a demand page the server
-/// turns away with [`ServerResponse::Busy`] is resubmitted the next round
-/// (with admission control that only happens when no prefetch victim
-/// remains), so a run either completes or reports the failure typed.
+/// turns away with [`ServerResponse::Busy`] is parked on a kernel
+/// `RetryDue` timer armed at delivery time plus the reply's `retry_after`
+/// hint, and resubmitted only once that timer fires — the client honors
+/// the server's own backlog estimate instead of hammering an overloaded
+/// admission gate on the very next round. A run either completes or
+/// reports the failure typed.
 pub fn simulate_overload_workload(
     sessions: usize,
     pages_per_session: usize,
@@ -989,12 +1000,35 @@ pub fn simulate_overload_workload(
     let mut audio_lat: Vec<SimDuration> = Vec::new();
     let mut offered = 0u64;
     let mut prefetch_served = 0u64;
+    let mut busy_retries = 0u64;
+    let mut premature_retries = 0u64;
+    // Demand pages turned away with `Busy` park here (keyed by the
+    // rejected request id) until their kernel `RetryDue` timer fires;
+    // their window slot stays held so the session does not overdrive the
+    // server while it waits.
+    let mut kernel = Kernel::new();
+    let mut deferred: HashMap<u64, (usize, usize, SimInstant)> = HashMap::new();
+    let mut retry_batch: Vec<(usize, usize, SimInstant)> = Vec::new();
+    let drain_due_retries =
+        |kernel: &mut Kernel,
+         deferred: &mut HashMap<u64, (usize, usize, SimInstant)>,
+         retry_batch: &mut Vec<(usize, usize, SimInstant)>| {
+            while let Some(event) = kernel.take_ready() {
+                if let KernelEvent::RetryDue { request_id, .. } = event {
+                    if let Some(entry) = deferred.remove(&request_id) {
+                        retry_batch.push(entry);
+                    }
+                }
+            }
+        };
     let mut rounds = 0u32;
     while todo.iter().any(|q| !q.is_empty()) || outstanding.iter().any(|&o| o > 0) {
         rounds += 1;
         if rounds > 100_000 {
             return Err(MinosError::Internal("overload workload failed to converge".into()));
         }
+        kernel.advance_to(up_free.max(down_free));
+        drain_due_retries(&mut kernel, &mut deferred, &mut retry_batch);
         for s in 0..sessions {
             while outstanding[s] < OVERLOAD_WINDOW {
                 let Some(page) = todo[s].pop_front() else {
@@ -1009,6 +1043,52 @@ pub fn simulate_overload_workload(
                     batch.push((s, (page + j * 7) % pages_per_session, true));
                 }
             }
+        }
+        if batch.is_empty() && retry_batch.is_empty() && !deferred.is_empty() {
+            // Every live page is parked on a retry timer and the server is
+            // drained: nothing can move until a timer fires, so jump
+            // simulated time to the next deadline. Intermediate
+            // `next_deadline` values may be cascade ticks that ready
+            // nothing — keep stepping until a retry surfaces.
+            while retry_batch.is_empty() {
+                let Some(deadline) = kernel.next_deadline() else {
+                    return Err(MinosError::Internal(
+                        "deferred retries with no armed timer".into(),
+                    ));
+                };
+                kernel.advance_to(deadline);
+                drain_due_retries(&mut kernel, &mut deferred, &mut retry_batch);
+            }
+            // The wait was real wall-clock idleness for the client side.
+            up_free = up_free.max(kernel.now());
+        }
+        for (s, page, due) in retry_batch.drain(..) {
+            let span = plans[s].1[page];
+            let class = if s == 0 { Priority::Audio } else { Priority::Demand };
+            let frame = Frame::request_with_priority(
+                s as u64 + 1,
+                next_rid,
+                class,
+                ServerRequest::FetchSpan { span },
+            );
+            next_rid += 1;
+            offered += 1;
+            busy_retries += 1;
+            // The retry may not leave before the server's hint elapses —
+            // the uplink timeline is pushed out to the due instant if it
+            // would otherwise be free earlier.
+            let leave = up_free.max(due);
+            if leave < due {
+                premature_retries += 1;
+            }
+            let arrival = leave + link.transfer(frame.wire_size());
+            up_free = arrival;
+            arrivals.insert((frame.conn_id, frame.request_id), arrival);
+            inflight.insert(
+                (frame.conn_id, frame.request_id),
+                InFlightPage { span, page, submitted: leave, prefetch: false },
+            );
+            server.enqueue(frame)?;
         }
         for (s, page, prefetch) in batch.drain(..) {
             let span = plans[s].1[page];
@@ -1073,13 +1153,20 @@ pub fn simulate_overload_workload(
                         audio_lat.push(at.since(meta.submitted));
                     }
                 }
-                ServerResponse::Busy { .. } => {
+                ServerResponse::Busy { retry_after } => {
                     if meta.prefetch {
                         continue;
                     }
-                    // A turned-away demand page comes back next round.
-                    outstanding[s] -= 1;
-                    todo[s].push_front(meta.page);
+                    // Honor the hint: the turned-away demand page parks on
+                    // a retry timer and resubmits only after `retry_after`
+                    // has elapsed past the reply's delivery. Its window
+                    // slot stays held — the session must not use the
+                    // rejection as licence to offer even more load.
+                    kernel.arm(
+                        at + retry_after,
+                        KernelEvent::RetryDue { request_id: key.1, attempt: 0 },
+                    );
+                    deferred.insert(key.1, (s, meta.page, at + retry_after));
                 }
                 other => {
                     return Err(MinosError::Internal(format!("unexpected response {other:?}")));
@@ -1103,6 +1190,8 @@ pub fn simulate_overload_workload(
         queue_high_water: stats.queue_high_water,
         bytes: link.stats().bytes,
         payload_allocs: stats.payload_allocs,
+        busy_retries,
+        premature_retries,
     })
 }
 
@@ -1723,6 +1812,22 @@ mod tests {
     }
 
     #[test]
+    fn busy_resubmissions_wait_out_the_retry_hint() {
+        // A per-connection cap of 1 guarantees demand-class rejections:
+        // the second windowed demand page finds its connection's queue
+        // full of un-sheddable demand work and is turned away with a
+        // `Busy { retry_after }` hint.
+        let tight = ServiceConfig { per_conn_cap: 1, global_cap: 64, ..ServiceConfig::default() };
+        let report = simulate_overload_workload(8, 6, 4_096, tight).unwrap();
+        assert_eq!(report.pages, 8 * 6, "every turned-away page eventually lands");
+        assert!(report.busy_rejections > 0, "the cap actually rejected demand: {report:?}");
+        assert!(report.busy_retries > 0, "rejected pages came back as retries: {report:?}");
+        // The pin: no resubmission ever left the client before the
+        // server's hint elapsed. The retry timer gates the uplink.
+        assert_eq!(report.premature_retries, 0, "{report:?}");
+    }
+
+    #[test]
     fn anticipation_suspends_under_admission_pressure() {
         let config = PaginateConfig::default();
         let page = SimDuration::from_secs(5);
@@ -1861,6 +1966,8 @@ mod tests {
             queue_high_water: 0,
             bytes: 1,
             payload_allocs: 0,
+            busy_retries: 0,
+            premature_retries: 0,
         };
         assert_eq!(overload.goodput_pages_per_sec(), 0.0);
     }

@@ -118,9 +118,18 @@ impl ObjectServer {
     /// and the durable state (archived objects, the index, rendered
     /// residents) survives. Service accounting is the harness's view, not
     /// the server's, so it survives too.
+    ///
+    /// The wake list is rebuilt rather than carried over: stale entries
+    /// would name connections whose frames evaporated with the queues,
+    /// while the connections that actually lost work are re-marked woken
+    /// so an event-driven scheduler revisits exactly those and notices
+    /// (via the epoch handshake) that a replay is due.
     pub fn restart(&mut self) {
         self.epoch += 1;
-        self.service.clear_queues();
+        let orphans = self.service.clear_queues();
+        for conn in orphans {
+            self.service.wake(conn);
+        }
     }
 
     /// Zeroes the service-loop accounting, including the overload counters
@@ -950,6 +959,32 @@ mod tests {
         assert!(matches!(resp, ServerResponse::Object(_)));
         let (resp, _) = server.handle(&ServerRequest::Query { keywords: vec!["durable".into()] });
         assert_eq!(resp, ServerResponse::Hits(vec![id]));
+    }
+
+    #[test]
+    fn restart_wakes_exactly_the_connections_that_lost_frames() {
+        let mut server = ObjectServer::new();
+        let id = make_published(&mut server, 4, "wake list across restart");
+        // Connection 9's frame is served and collected before the restart:
+        // it is on the wake list (arrival + landing both mark it) but has
+        // nothing queued or staged left to lose.
+        server.enqueue(Frame::request(9, 1, ServerRequest::FetchObject { id })).unwrap();
+        let (served, _) = server.poll_conn(9).expect("connection 9's frame was served");
+        assert_eq!(served.conn_id, 9);
+        // Connections 1 and 2 still have queued frames when the crash hits.
+        server.enqueue(Frame::request(1, 1, ServerRequest::FetchObject { id })).unwrap();
+        server.enqueue(Frame::request(2, 1, ServerRequest::FetchObject { id })).unwrap();
+        server.restart();
+        let woken = server.take_woken();
+        assert_eq!(
+            woken,
+            vec![1, 2],
+            "exactly the connections whose frames were dropped are woken"
+        );
+        assert!(
+            server.take_woken().is_empty() && server.poll().is_none(),
+            "the rebuilt wake list drains once and nothing is pollable"
+        );
     }
 
     #[test]

@@ -43,6 +43,12 @@ impl ServiceConfig {
     pub const DEFAULT_PER_CONN_CAP: usize = 32;
     /// Default global queue cap.
     pub const DEFAULT_GLOBAL_CAP: usize = 256;
+    /// Floor applied to the `retry_after` hint a `Busy` reply carries. A
+    /// `retry_slice` of zero (or an idle queue at the instant of a
+    /// per-connection rejection) would otherwise advertise
+    /// `retry_after: 0`, inviting the client to resubmit immediately and
+    /// spin against an admission gate that has not moved.
+    pub const MIN_RETRY_AFTER: SimDuration = SimDuration::from_micros(50);
 
     /// A configuration that never rejects (the pre-admission-control
     /// behaviour, kept for the E14 "without shedding" baseline).
@@ -90,6 +96,32 @@ pub struct ServiceStats {
     pub payload_allocs: u64,
     /// Per-connection service accounting.
     pub per_connection: BTreeMap<u64, ConnectionServiceStats>,
+}
+
+impl ServiceStats {
+    /// Folds another server's accounting into this one — the fleet-wide
+    /// aggregate a `Fleet` reports across its members. Counters and device
+    /// time add; high-water marks take the max (each mark describes one
+    /// queue's peak, and queues in different servers never share depth);
+    /// per-connection entries merge by connection id.
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.enqueued += other.enqueued;
+        self.served += other.served;
+        self.busy += other.busy;
+        self.coalesced_runs += other.coalesced_runs;
+        self.shed += other.shed;
+        self.busy_rejections += other.busy_rejections;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.payload_allocs += other.payload_allocs;
+        for (&conn, theirs) in &other.per_connection {
+            let ours = self.per_connection.entry(conn).or_default();
+            ours.served += theirs.served;
+            ours.busy += theirs.busy;
+            ours.high_water = ours.high_water.max(theirs.high_water);
+        }
+    }
 }
 
 /// Service accounting for one connection.
@@ -148,9 +180,14 @@ impl ServiceQueue {
             self.queues.get(&conn).map(VecDeque::len).unwrap_or(0) >= self.config.per_conn_cap;
         let global_full = self.pending >= self.config.global_cap;
         if conn_full || global_full {
+            // Snapshot the hint at the moment of rejection: the shed path
+            // below answers *after* evicting a queued prefetch, and a hint
+            // computed then would describe a queue one frame shorter than
+            // the one that turned the victim away.
+            let hint = self.retry_hint();
             if frame.priority.is_sheddable() {
                 self.stats.shed += 1;
-                self.reject(frame);
+                self.reject(frame, hint);
                 return;
             }
             // Preserve the demand/audio frame by evicting a queued
@@ -160,11 +197,11 @@ impl ServiceQueue {
             match self.evict_prefetch(victim_scope) {
                 Some(victim) => {
                     self.stats.shed += 1;
-                    self.reject(victim);
+                    self.reject(victim, hint);
                 }
                 None => {
                     self.stats.busy_rejections += 1;
-                    self.reject(frame);
+                    self.reject(frame, hint);
                     return;
                 }
             }
@@ -182,9 +219,12 @@ impl ServiceQueue {
     }
 
     /// Answers a shed or rejected frame with a `Busy` reply carrying the
-    /// current retry hint.
-    fn reject(&mut self, frame: Frame) {
-        let reply = frame.reply(ServerResponse::Busy { retry_after: self.retry_hint() });
+    /// retry hint sampled when the admission decision was made, clamped to
+    /// [`ServiceConfig::MIN_RETRY_AFTER`] so no configuration can emit a
+    /// `retry_after: 0` spin invitation.
+    fn reject(&mut self, frame: Frame, hint: SimDuration) {
+        let retry_after = hint.max(ServiceConfig::MIN_RETRY_AFTER);
+        let reply = frame.reply(ServerResponse::Busy { retry_after });
         self.woken.insert(reply.conn_id);
         self.ready.push_back((reply, SimDuration::ZERO));
     }
@@ -239,13 +279,26 @@ impl ServiceQueue {
     }
 
     /// Drops all queued and staged work — what a restart loses — keeping
-    /// the accounting and the admission configuration.
-    pub(crate) fn clear_queues(&mut self) {
+    /// the accounting and the admission configuration. The wake list is
+    /// cleared too: its entries name connections whose frames were just
+    /// dropped, and a stale wake would send the event-driven scheduler to
+    /// poll a connection with nothing staged. Returns the connections that
+    /// lost queued or staged frames so the caller can re-mark exactly
+    /// those as woken — they must be revisited to notice the loss.
+    pub(crate) fn clear_queues(&mut self) -> Vec<u64> {
+        let mut orphans: BTreeSet<u64> = self.queues.keys().copied().collect();
+        orphans.extend(self.ready.iter().map(|(frame, _)| frame.conn_id));
         self.queues.clear();
         self.rotation.clear();
         self.ready.clear();
         self.woken.clear();
         self.pending = 0;
+        orphans.into_iter().collect()
+    }
+
+    /// Marks `conn` for the next wake drain without touching its queue.
+    pub(crate) fn wake(&mut self, conn: u64) {
+        self.woken.insert(conn);
     }
 
     /// The next connection in round-robin order (removed from the
@@ -380,6 +433,19 @@ mod tests {
         out
     }
 
+    fn busy_hints(queue: &mut ServiceQueue) -> Vec<SimDuration> {
+        let mut out = Vec::new();
+        while let Some((frame, _)) = queue.pop_ready() {
+            match frame.payload {
+                FramePayload::Response(ServerResponse::Busy { retry_after }) => {
+                    out.push(retry_after);
+                }
+                other => panic!("expected a busy reply, got {other:?}"),
+            }
+        }
+        out
+    }
+
     #[test]
     fn over_cap_prefetch_is_shed_with_a_busy_reply() {
         let mut q =
@@ -490,5 +556,102 @@ mod tests {
         assert!(q.pop_ready().is_none());
         assert_eq!(q.stats().enqueued, enqueued);
         assert!(q.take_run(1).is_empty());
+    }
+
+    #[test]
+    fn clear_queues_reports_orphans_and_drops_stale_wakes() {
+        let mut q = ServiceQueue::default();
+        q.admit(span_frame(1, 1, Priority::Demand));
+        q.admit(span_frame(2, 1, Priority::Demand));
+        // Connection 3 has a staged (served, uncollected) response only.
+        q.finish(
+            Frame::response(3, 1, ServerResponse::Busy { retry_after: SimDuration::ZERO }),
+            SimDuration::ZERO,
+        );
+        let orphans = q.clear_queues();
+        assert_eq!(orphans, vec![1, 2, 3], "queued and staged connections both orphaned");
+        assert!(
+            q.take_woken().is_empty(),
+            "stale wakes naming dropped frames do not survive a clear"
+        );
+    }
+
+    #[test]
+    fn busy_retry_after_is_floored_even_with_a_zero_slice() {
+        let mut q = queue(ServiceConfig {
+            per_conn_cap: 0,
+            global_cap: 100,
+            retry_slice: SimDuration::ZERO,
+        });
+        q.admit(span_frame(1, 1, Priority::Demand));
+        assert_eq!(q.stats().busy_rejections, 1);
+        let hints = busy_hints(&mut q);
+        assert_eq!(hints, vec![ServiceConfig::MIN_RETRY_AFTER]);
+        assert!(hints[0] > SimDuration::ZERO, "no retry_after: 0 spin invitation");
+    }
+
+    #[test]
+    fn rejection_hints_are_monotone_with_backlog() {
+        let slice = SimDuration::from_micros(500);
+        let mut q = queue(ServiceConfig { per_conn_cap: 1, global_cap: 100, retry_slice: slice });
+        q.admit(span_frame(1, 1, Priority::Demand));
+        q.admit(span_frame(1, 2, Priority::Demand)); // rejected at backlog 1
+        q.admit(span_frame(2, 1, Priority::Demand));
+        q.admit(span_frame(2, 2, Priority::Demand)); // rejected at backlog 2
+        let hints = busy_hints(&mut q);
+        assert_eq!(hints, vec![slice, slice * 2]);
+        assert!(hints.windows(2).all(|w| w[0] <= w[1]), "hint grows with backlog");
+    }
+
+    #[test]
+    fn evicted_victim_hint_reflects_pre_eviction_backlog() {
+        let slice = SimDuration::from_micros(500);
+        let mut q = queue(ServiceConfig { per_conn_cap: 2, global_cap: 100, retry_slice: slice });
+        q.admit(span_frame(1, 1, Priority::Demand));
+        q.admit(span_frame(1, 2, Priority::Prefetch));
+        q.admit(span_frame(1, 3, Priority::Audio));
+        // Two frames were pending at the instant the audio frame forced the
+        // eviction; the victim's hint must describe that queue, not the
+        // one-shorter queue left after it was removed.
+        assert_eq!(busy_hints(&mut q), vec![slice * 2]);
+    }
+
+    #[test]
+    fn service_stats_merge_aggregates_counters_and_maxes_high_water() {
+        let mut a = ServiceStats {
+            enqueued: 4,
+            served: 3,
+            busy: SimDuration::from_micros(40),
+            shed: 1,
+            queue_high_water: 5,
+            ..ServiceStats::default()
+        };
+        a.per_connection.insert(
+            1,
+            ConnectionServiceStats { served: 3, busy: SimDuration::from_micros(40), high_water: 2 },
+        );
+        let mut b = ServiceStats {
+            enqueued: 2,
+            served: 2,
+            busy: SimDuration::from_micros(10),
+            busy_rejections: 1,
+            queue_high_water: 3,
+            ..ServiceStats::default()
+        };
+        b.per_connection.insert(
+            1,
+            ConnectionServiceStats { served: 2, busy: SimDuration::from_micros(10), high_water: 4 },
+        );
+        b.per_connection.insert(2, ConnectionServiceStats::default());
+        a.merge(&b);
+        assert_eq!(a.enqueued, 6);
+        assert_eq!(a.served, 5);
+        assert_eq!(a.busy, SimDuration::from_micros(50));
+        assert_eq!(a.shed, 1);
+        assert_eq!(a.busy_rejections, 1);
+        assert_eq!(a.queue_high_water, 5, "high water is a max, not a sum");
+        assert_eq!(a.per_connection[&1].served, 5);
+        assert_eq!(a.per_connection[&1].high_water, 4);
+        assert!(a.per_connection.contains_key(&2));
     }
 }

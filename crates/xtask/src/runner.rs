@@ -24,6 +24,7 @@ const QUEUE_SCOPE: &[&str] = &[
     "crates/server/src/",
     "crates/core/src/remote.rs",
     "crates/core/src/kernel.rs",
+    "crates/core/src/fleet.rs",
 ];
 
 /// Modules on the per-message hot path where the buffer pool is the law:

@@ -32,4 +32,7 @@ cargo bench -p minos-bench --bench exp_overload -- --smoke
 echo "==> exp_sched --smoke"
 cargo bench -p minos-bench --bench exp_sched -- --smoke
 
+echo "==> exp_fleet --smoke"
+cargo bench -p minos-bench --bench exp_fleet -- --smoke
+
 echo "All checks passed."
