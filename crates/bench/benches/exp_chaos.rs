@@ -1,0 +1,267 @@
+//! Experiment E17 — the self-healing fleet under a chaos schedule.
+//!
+//! The E16 demand-page workload runs against a 4-member, 2-way-replicated
+//! fleet while a declarative, seeded failure schedule replays against it:
+//! one member crashes mid-run and stays down, a second member turns gray
+//! (every charge multiplied) for a long window, and a third member's
+//! optical media decays at 0.1% latent bit rot per read. The self-healing
+//! machinery — kernel-timer heartbeats feeding the health monitor,
+//! proactive re-replication onto ring successors, scrub with read-repair
+//! against publish-time CRCs, and hedged audio reads around the gray
+//! member — has to absorb all of it.
+//!
+//! The pins (`--smoke`, hooked into `scripts/check.sh`): zero lost pages
+//! (every page delivered byte-identical — the harness verifies bytes
+//! inline), replication restored to k before run end, zero corrupt pages
+//! after the final sweep, zero hint-violating Busy resubmissions, and
+//! hedged audio p99 no worse than twice the healthy-fleet baseline.
+//!
+//! The three measured rows (healthy, chaos hedged, chaos unhedged) are
+//! emitted machine-readable as `BENCH_chaos.json` at the repository root.
+
+use criterion::{criterion_group, Criterion};
+use minos_bench::{fast_criterion, row};
+use minos_presentation::chaos::{
+    simulate_chaos_workload, ChaosReport, ChaosSchedule, ChaosWorkloadConfig,
+};
+use minos_presentation::fleet::rendezvous_order;
+use minos_server::ServiceConfig;
+use minos_types::{ObjectId, SimDuration, SimInstant};
+
+const MEMBERS: usize = 4;
+const REPLICATION: usize = 2;
+const SESSIONS: usize = 8;
+const AUDIO_SESSIONS: usize = 4;
+const PAGES: usize = 8;
+const PAGE_LEN: u64 = 32768;
+const SEED: u64 = 0xC8A0_5E17;
+
+/// The latent decay rate on the rotting member: 0.1% per read.
+const ROT_PPM: u32 = 1_000;
+
+/// The three afflicted members, derived from the same rendezvous
+/// placement the fleet uses so every failure actually lands on a member
+/// with work: the gray member holds the second replica of the first
+/// audio session's object (it serves that session's later pages, so
+/// hedges have something to race), and the crash and rot fall on two
+/// other members.
+fn afflicted() -> (usize, usize, usize) {
+    let slow = rendezvous_order(ObjectId::new(1), MEMBERS)[1];
+    let crash = (0..MEMBERS).find(|&m| m != slow).expect("fleet has more than one member");
+    let rot =
+        (0..MEMBERS).find(|&m| m != slow && m != crash).expect("fleet has more than two members");
+    (slow, crash, rot)
+}
+
+/// The E17 schedule: one member crashes mid-run and never returns (the
+/// repair queue owes its copies to the survivors), a second turns gray at
+/// 8x from shortly after the health baseline warms until far past run
+/// end, and a third member's media rots quietly the whole time.
+fn chaos_schedule() -> ChaosSchedule {
+    let ms = |t: u64| SimInstant::EPOCH + SimDuration::from_millis(t);
+    let (slow, crash, rot) = afflicted();
+    ChaosSchedule::new(SEED)
+        .crash_at(crash, ms(40))
+        .slow_between(slow, ms(25), ms(100_000), 8)
+        .bit_rot(rot, ROT_PPM)
+}
+
+fn run(schedule: ChaosSchedule, hedge: Option<SimDuration>) -> ChaosReport {
+    simulate_chaos_workload(ChaosWorkloadConfig {
+        members: MEMBERS,
+        replication: REPLICATION,
+        sessions: SESSIONS,
+        audio_sessions: AUDIO_SESSIONS,
+        pages_per_session: PAGES,
+        page_len: PAGE_LEN,
+        schedule,
+        hedge_delay: hedge,
+        heartbeat: SimDuration::from_millis(5),
+        scrub_interval: Some(SimDuration::from_millis(25)),
+        repair_spacing: SimDuration::from_millis(2),
+        service: ServiceConfig::default(),
+    })
+    .expect("chaos workload runs")
+}
+
+/// The hedge delay: fire the speculative duplicate once the original has
+/// been owed noticeably longer than a healthy wire round trip.
+const HEDGE_DELAY: SimDuration = SimDuration::from_millis(20);
+
+fn healthy() -> ChaosReport {
+    run(ChaosSchedule::new(SEED), None)
+}
+
+fn chaos_hedged() -> ChaosReport {
+    run(chaos_schedule(), Some(HEDGE_DELAY))
+}
+
+fn chaos_unhedged() -> ChaosReport {
+    run(chaos_schedule(), None)
+}
+
+fn json_row(name: &str, r: &ChaosReport) -> String {
+    format!(
+        "    \"{name}\": {{\n      \"pages\": {},\n      \"lost_pages\": {},\n      \
+         \"elapsed_us\": {},\n      \"audio_p99_us\": {},\n      \"hedges_fired\": {},\n      \
+         \"hedge_wins\": {},\n      \"duplicates_suppressed\": {},\n      \
+         \"down_transitions\": {},\n      \"slow_transitions\": {},\n      \
+         \"replays\": {},\n      \"repairs_completed\": {},\n      \
+         \"repair_bytes\": {},\n      \"scrub_pages\": {},\n      \"scrub_detected\": {},\n      \
+         \"scrub_heals\": {},\n      \"read_repairs\": {},\n      \"bit_rot_flips\": {},\n      \
+         \"final_corrupt_pages\": {},\n      \"premature_busy_retries\": {},\n      \
+         \"replication_ok\": {}\n    }}",
+        r.pages,
+        r.lost_pages,
+        r.elapsed.as_micros(),
+        r.audio_p99.as_micros(),
+        r.hedges_fired,
+        r.hedge_wins,
+        r.duplicates_suppressed,
+        r.down_transitions,
+        r.slow_transitions,
+        r.replays,
+        r.repairs_completed,
+        r.repair_bytes,
+        r.scrub_pages,
+        r.scrub_detected,
+        r.scrub_heals,
+        r.read_repairs,
+        r.bit_rot_flips,
+        r.final_corrupt_pages,
+        r.premature_busy_retries,
+        r.replication_ok,
+    )
+}
+
+/// Writes the three rows as `BENCH_chaos.json` at the repository root.
+fn emit_json(healthy: &ChaosReport, hedged: &ChaosReport, unhedged: &ChaosReport) {
+    let json = format!(
+        "{{\n  \"experiment\": \"E17\",\n  \"workload\": \"{SESSIONS} sessions x {PAGES} x \
+         {PAGE_LEN} B demand pages, {MEMBERS} members k={REPLICATION}, one mid-run crash, one \
+         8x gray member, {ROT_PPM} ppm latent bit rot, heartbeat health monitor, proactive \
+         re-replication, scrub + read-repair, hedged audio reads\",\n  \"rows\": {{\n{},\n{},\n{}\n  \
+         }}\n}}\n",
+        json_row("healthy", healthy),
+        json_row("chaos_hedged", hedged),
+        json_row("chaos_unhedged", unhedged),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
+    if let Err(e) = std::fs::write(path, json) {
+        row("E17", &format!("could not write BENCH_chaos.json: {e}"));
+    } else {
+        row("E17", "rows written to BENCH_chaos.json");
+    }
+}
+
+fn print_row(name: &str, r: &ChaosReport) {
+    row(
+        "E17",
+        &format!(
+            "{name:>14}: pages {}  audio_p99 {:.1} ms  slow {}  hedges {}/{}  repairs {}  \
+             scrub det/heal {}/{}  read_repairs {}  flips {}  residual_corrupt {}",
+            r.pages,
+            r.audio_p99.as_micros() as f64 / 1_000.0,
+            r.slow_transitions,
+            r.hedge_wins,
+            r.hedges_fired,
+            r.repairs_completed,
+            r.scrub_detected,
+            r.scrub_heals,
+            r.read_repairs,
+            r.bit_rot_flips,
+            r.final_corrupt_pages,
+        ),
+    );
+}
+
+fn print_series() {
+    row(
+        "E17",
+        &format!(
+            "workload = {SESSIONS} sessions x {PAGES} x {} KB pages; {MEMBERS} members \
+             k={REPLICATION}; crash @40ms, 8x gray @25ms.., {ROT_PPM} ppm rot",
+            PAGE_LEN / 1024
+        ),
+    );
+    let base = healthy();
+    let hedged = chaos_hedged();
+    let unhedged = chaos_unhedged();
+    print_row("healthy", &base);
+    print_row("chaos hedged", &hedged);
+    print_row("chaos unhedged", &unhedged);
+    emit_json(&base, &hedged, &unhedged);
+}
+
+fn smoke() {
+    let base = healthy();
+    let hedged = chaos_hedged();
+    let unhedged = chaos_unhedged();
+    print_row("healthy", &base);
+    print_row("chaos hedged", &hedged);
+    print_row("chaos unhedged", &unhedged);
+    let want = (SESSIONS * PAGES) as u64;
+    for (name, r) in [("healthy", &base), ("hedged", &hedged), ("unhedged", &unhedged)] {
+        // The byte-identity pin: the harness verifies every delivered page
+        // against the published pattern and its stored CRC inline, so a
+        // complete run IS a byte-identical run.
+        assert_eq!(r.pages, want, "{name}: every page delivered: {r:?}");
+        assert_eq!(r.lost_pages, 0, "{name}: zero lost pages: {r:?}");
+        assert_eq!(
+            r.final_corrupt_pages, 0,
+            "{name}: the final sweep healed every rotten page: {r:?}"
+        );
+        assert_eq!(r.premature_busy_retries, 0, "{name}: no resubmission beat its hint: {r:?}");
+        assert!(r.replication_ok, "{name}: replication restored to k on live members: {r:?}");
+    }
+    // The healing pins: the crash was detected and every copy the dead
+    // member held was rebuilt onto a ring successor.
+    assert!(hedged.down_transitions >= 1, "the crash was detected: {hedged:?}");
+    assert!(hedged.repairs_completed >= 1, "lost copies were re-replicated: {hedged:?}");
+    // The hedge path actually exercised: audio pages aimed at the gray
+    // member raced a speculative duplicate.
+    assert!(hedged.hedges_fired >= 1, "hedges fired against the gray member: {hedged:?}");
+    assert_eq!(unhedged.hedges_fired, 0, "hedging off means no hedges: {unhedged:?}");
+    // The hedge pin: with one member gray at 8x, hedged audio p99 stays
+    // within 2x of the healthy fleet's.
+    let ratio = hedged.audio_p99.as_micros() as f64 / base.audio_p99.as_micros().max(1) as f64;
+    row(
+        "E17",
+        &format!(
+            "smoke: audio_p99 healthy {:.1} ms  hedged {:.1} ms  unhedged {:.1} ms  ratio {ratio:.2}",
+            base.audio_p99.as_micros() as f64 / 1_000.0,
+            hedged.audio_p99.as_micros() as f64 / 1_000.0,
+            unhedged.audio_p99.as_micros() as f64 / 1_000.0,
+        ),
+    );
+    assert!(
+        ratio <= 2.0,
+        "hedged audio p99 {ratio:.2}x exceeded the 2x-of-healthy pin: {hedged:?} vs {base:?}"
+    );
+    emit_json(&base, &hedged, &unhedged);
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e17_chaos");
+    group.bench_function("chaos_hedged", |b| b.iter(chaos_hedged));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    if std::env::args().any(|a| a == "--series") {
+        print_series();
+        return;
+    }
+    benches();
+}

@@ -39,6 +39,10 @@ const SESSIONS: [usize; 3] = [16, 64, 256];
 /// The pinned operating point for the smoke acceptance run.
 const SMOKE_SESSIONS: usize = 64;
 
+/// Leading sessions per run that page at audio priority and are
+/// latency-tracked for the audio p99 column.
+const AUDIO_SESSIONS: usize = 8;
+
 fn run(
     members: usize,
     replication: usize,
@@ -49,6 +53,7 @@ fn run(
         members,
         replication,
         sessions,
+        audio_sessions: AUDIO_SESSIONS,
         pages_per_session: PAGES,
         page_len: PAGE_LEN,
         restart,
@@ -105,13 +110,15 @@ fn emit_json(points: &[Point], restart: &FleetReport) {
         series.push(format!(
             "    {{\n      \"members\": {},\n      \"replication\": {},\n      \
              \"sessions\": {},\n      \"goodput_pages_per_sec\": {:.4},\n      \
-             \"elapsed_us\": {},\n      \"busy_deferred\": {},\n      \
+             \"elapsed_us\": {},\n      \"audio_p99_us\": {},\n      \
+             \"busy_deferred\": {},\n      \
              \"served_per_member\": [{}]\n    }}",
             p.members,
             p.replication,
             p.sessions,
             p.report.goodput_pages_per_sec(),
             p.report.elapsed.as_micros(),
+            p.report.audio_p99.as_micros(),
             p.report.busy_deferred,
             p.report.served_per_member.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", "),
         ));
@@ -149,18 +156,23 @@ fn print_series() {
             PAGE_LEN / 1024
         ),
     );
-    row("E16", "members  k  sessions  pages/s  elapsed_ms  busy_deferred  served_per_member");
+    row(
+        "E16",
+        "members  k  sessions  pages/s  elapsed_ms  audio_p99_ms  busy_deferred  \
+         served_per_member",
+    );
     let points = measure_series();
     for p in &points {
         row(
             "E16",
             &format!(
-                "{:>7}  {}  {:>8}  {:>7.1}  {:>10.1}  {:>13}  {:?}",
+                "{:>7}  {}  {:>8}  {:>7.1}  {:>10.1}  {:>12.1}  {:>13}  {:?}",
                 p.members,
                 p.replication,
                 p.sessions,
                 p.report.goodput_pages_per_sec(),
                 p.report.elapsed.as_micros() as f64 / 1_000.0,
+                p.report.audio_p99.as_micros() as f64 / 1_000.0,
                 p.report.busy_deferred,
                 p.report.served_per_member,
             ),

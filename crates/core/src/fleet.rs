@@ -32,12 +32,31 @@
 //! against N members through the shared link, wake-list-driven via
 //! [`KernelEvent::ServerWake`], with an optional mid-run member restart to
 //! pin that replicated pages survive a crash byte-identical.
+//!
+//! On top of the reactive failover sits the self-healing layer:
+//!
+//! * **Health monitoring** — [`HealthMonitor`] runs kernel-timer-driven
+//!   `Ping`/`Pong` heartbeats with a per-member `Up → Suspect → Down`
+//!   state machine, plus a `Slow` gray-failure state derived from each
+//!   member's own rolling latency baseline. The `Pong { epoch }` echo
+//!   also closes the idle-connection gap: a restart is noticed at the
+//!   next heartbeat, not at the next submit.
+//! * **Proactive re-replication** — a member declared `Down` feeds the
+//!   [`RepairQueue`]; each lost replica is rebuilt from a surviving,
+//!   checksum-verified copy onto its ring successor
+//!   ([`Fleet::repair_replica`]), restoring the replication factor
+//!   *before* a second fault can lose pages.
+//! * **Scrub and read-repair** — every publish stores per-page CRCs
+//!   ([`PageChecksums`]); [`Fleet::scrub_member`] walks a member's
+//!   archive verifying them, and [`Fleet::heal_copy`] re-homes a corrupt
+//!   copy from a verified sibling (a fresh WORM append — optical media
+//!   cannot be patched in place).
 
 use crate::kernel::{Kernel, KernelEvent, TimerId};
 use crate::prefetch::page_spans;
 use crate::remote::{Landed, PendingFrame, TransportStats};
 use minos_net::{
-    BufferPool, FaultPlan, FaultyLink, Frame, FramePayload, InflightWindow, Link, Priority,
+    crc32, BufferPool, FaultPlan, FaultyLink, Frame, FramePayload, InflightWindow, Link, Priority,
     ServerRequest, ServerResponse,
 };
 use minos_server::{ObjectServer, ServiceConfig, ServiceStats};
@@ -101,7 +120,8 @@ pub struct Replica {
 }
 
 /// Where an object lives: its replica set in rendezvous order (primary
-/// first). Derived once at publish time and immutable thereafter.
+/// first). Derived at publish time; the repair path replaces a lost or
+/// corrupt entry in place when it rebuilds a copy elsewhere.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Placement {
     replicas: Vec<Replica>,
@@ -133,6 +153,58 @@ impl Placement {
         let at = self.replicas.iter().position(|r| r.member == member).unwrap_or(0);
         self.replicas[(at + 1) % self.replicas.len()]
     }
+
+    /// Replaces the replica held by `member` with `with` — the repair
+    /// path's placement update after re-replication (the copy moved to a
+    /// ring successor) or a WORM heal (the copy stayed home but its span
+    /// moved to the fresh append).
+    fn replace_replica(&mut self, member: usize, with: Replica) {
+        if let Some(slot) = self.replicas.iter_mut().find(|r| r.member == member) {
+            *slot = with;
+        }
+    }
+}
+
+/// Per-page CRC32 checksums of an object, computed at publish time — the
+/// ground truth scrub and read-repair verify stored copies against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageChecksums {
+    /// Page granularity the object was published at.
+    pub page_len: u64,
+    /// CRC32 of each page in order (the final page may be short).
+    pub crcs: Vec<u32>,
+}
+
+/// What one replica repair moved: where the clean bytes came from, where
+/// the rebuilt copy landed, and what the devices charged — the caller
+/// merges these into its own device timelines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairReceipt {
+    /// The object whose copy was rebuilt.
+    pub object: ObjectId,
+    /// Member the verified source bytes were read from.
+    pub source: usize,
+    /// Member the rebuilt copy was appended onto.
+    pub target: usize,
+    /// Bytes rebuilt.
+    pub bytes: u64,
+    /// Device time the source read cost.
+    pub read_time: SimDuration,
+    /// Device time the target append cost.
+    pub write_time: SimDuration,
+}
+
+/// What one scrub pass over a member's archive found.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Objects whose copy on the member was walked.
+    pub objects: u64,
+    /// Pages checksum-verified.
+    pub pages: u64,
+    /// `(object, page)` pairs whose stored bytes failed their checksum.
+    pub corrupt: Vec<(ObjectId, usize)>,
+    /// Device time the verification reads cost.
+    pub device_time: SimDuration,
 }
 
 /// A fleet of [`ObjectServer`] members with rendezvous placement and
@@ -141,6 +213,9 @@ pub struct Fleet {
     members: Vec<ObjectServer>,
     replication: usize,
     placements: HashMap<ObjectId, Placement>,
+    /// Publish-time page checksums, keyed by object — what scrub and
+    /// read-repair verify stored copies against.
+    checksums: HashMap<ObjectId, PageChecksums>,
 }
 
 impl Fleet {
@@ -160,6 +235,7 @@ impl Fleet {
             members: (0..members).map(|_| ObjectServer::new()).collect(),
             replication,
             placements: HashMap::new(),
+            checksums: HashMap::new(),
         })
     }
 
@@ -175,8 +251,25 @@ impl Fleet {
 
     /// Stores `bytes` as `object` on its `k` rendezvous members and
     /// records the placement. Publishing the same id again overwrites the
-    /// placement (each member's archiver appends a fresh record).
+    /// placement (each member's archiver appends a fresh record). The
+    /// checksum granularity is the whole object; page-granular workloads
+    /// publish through [`Fleet::publish_paged`] instead.
     pub fn publish_bytes(&mut self, object: ObjectId, bytes: &[u8]) -> Result<Placement> {
+        self.publish_paged(object, bytes, (bytes.len() as u64).max(1))
+    }
+
+    /// Stores `bytes` as `object` on its `k` rendezvous members, records
+    /// the placement, and remembers a CRC32 per `page_len`-sized page —
+    /// the ground truth the scrub and read-repair paths verify against.
+    pub fn publish_paged(
+        &mut self,
+        object: ObjectId,
+        bytes: &[u8],
+        page_len: u64,
+    ) -> Result<Placement> {
+        if page_len == 0 {
+            return Err(MinosError::Internal("publish page length must be positive".into()));
+        }
         // The replica list is sized exactly at the replication factor.
         let mut replicas = Vec::with_capacity(self.replication);
         for member in
@@ -185,9 +278,178 @@ impl Fleet {
             let (record, _) = self.members[member].archiver_mut().store(object, bytes)?;
             replicas.push(Replica { member, span: record.span });
         }
+        let crcs = bytes.chunks(page_len as usize).map(crc32).collect();
+        self.checksums.insert(object, PageChecksums { page_len, crcs });
         let placement = Placement { replicas };
         self.placements.insert(object, placement.clone());
         Ok(placement)
+    }
+
+    /// The publish-time page checksums of `object`, if it has been
+    /// published.
+    pub fn checksums(&self, object: ObjectId) -> Option<&PageChecksums> {
+        self.checksums.get(&object)
+    }
+
+    /// Verifies `member`'s stored copy of `object` page by page against
+    /// the publish-time checksums. Returns the indices of corrupt pages
+    /// (empty when the copy is clean) and the device time the
+    /// verification reads cost.
+    pub fn verify_copy(
+        &mut self,
+        object: ObjectId,
+        member: usize,
+    ) -> Result<(Vec<usize>, SimDuration)> {
+        let Some(replica) = self
+            .placements
+            .get(&object)
+            .and_then(|p| p.replicas.iter().find(|r| r.member == member))
+            .copied()
+        else {
+            return Err(MinosError::UnknownObject(format!("{object} on member {member}")));
+        };
+        let Some((page_len, pages)) =
+            self.checksums.get(&object).map(|s| (s.page_len, s.crcs.len()))
+        else {
+            return Err(MinosError::UnknownObject(format!("{object} has no checksums")));
+        };
+        // Worst case every page is corrupt: the list's capacity is the
+        // page count, never more.
+        let mut corrupt = Vec::with_capacity(pages);
+        let mut device_time = SimDuration::ZERO;
+        for page in 0..pages {
+            let start = replica.span.start + page as u64 * page_len;
+            let len = replica.span.end.saturating_sub(start).min(page_len);
+            let (bytes, took) =
+                self.members[member].archiver_mut().read_at(ByteSpan::at(start, len))?;
+            device_time += took;
+            let want = self.checksums.get(&object).and_then(|s| s.crcs.get(page)).copied();
+            if want != Some(crc32(&bytes)) {
+                corrupt.push(page);
+            }
+        }
+        Ok((corrupt, device_time))
+    }
+
+    /// Every object with a replica on `member`, in id order — what a
+    /// failure detector owes the repair queue when that member dies.
+    pub fn objects_on(&self, member: usize) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self
+            .placements
+            .iter()
+            .filter(|(_, p)| p.replicas.iter().any(|r| r.member == member))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The first member on `object`'s rendezvous ring that holds no
+    /// replica and is not in `exclude` — where proactive re-replication
+    /// puts a rebuilt copy after its holder dies. `None` when every
+    /// member already holds a copy or is excluded.
+    pub fn ring_successor(&self, object: ObjectId, exclude: &[usize]) -> Option<usize> {
+        let placement = self.placements.get(&object)?;
+        rendezvous_order(object, self.members.len())
+            .into_iter()
+            .find(|m| !exclude.contains(m) && !placement.replicas.iter().any(|r| r.member == *m))
+    }
+
+    /// Rebuilds `object`'s replica lost with member `lost` from the copy
+    /// on `source`, appending it onto `target`'s archive (a fresh WORM
+    /// version) and swapping the placement entry. `lost == target`
+    /// re-homes a corrupt copy on its own member — the read-repair heal.
+    /// The source bytes are checksum-verified first: repairing from a
+    /// rotten sibling would multiply the corruption, so that fails typed
+    /// and the caller tries the next sibling.
+    pub fn repair_replica(
+        &mut self,
+        object: ObjectId,
+        lost: usize,
+        source: usize,
+        target: usize,
+    ) -> Result<RepairReceipt> {
+        let Some(placement) = self.placements.get(&object) else {
+            return Err(MinosError::UnknownObject(object.to_string()));
+        };
+        let Some(src) = placement.replicas.iter().find(|r| r.member == source).copied() else {
+            return Err(MinosError::Internal(format!(
+                "{object} has no source replica on member {source}"
+            )));
+        };
+        if target != lost && placement.replicas.iter().any(|r| r.member == target) {
+            return Err(MinosError::Internal(format!(
+                "{object} already has a replica on member {target}"
+            )));
+        }
+        if target >= self.members.len() {
+            return Err(MinosError::Internal(format!(
+                "repair target {target} outside fleet of {}",
+                self.members.len()
+            )));
+        }
+        let (bytes, read_time) = self.members[source].archiver_mut().read_at(src.span)?;
+        if let Some(sums) = self.checksums.get(&object) {
+            for (page, chunk) in bytes.chunks(sums.page_len as usize).enumerate() {
+                if sums.crcs.get(page).copied() != Some(crc32(chunk)) {
+                    return Err(MinosError::Corrupt(format!(
+                        "{object} source copy on member {source} fails checksum at page {page}"
+                    )));
+                }
+            }
+        }
+        let (record, write_time) = self.members[target].archiver_mut().store(object, &bytes)?;
+        if let Some(placement) = self.placements.get_mut(&object) {
+            placement.replace_replica(lost, Replica { member: target, span: record.span });
+        }
+        Ok(RepairReceipt {
+            object,
+            source,
+            target,
+            bytes: bytes.len() as u64,
+            read_time,
+            write_time,
+        })
+    }
+
+    /// Walks every object with a replica on `member`, verifying each page
+    /// against its publish-time checksum — the background scrub pass.
+    /// Objects are visited in id order so equal-seeded runs scrub equal
+    /// sequences. Healing what it finds is the caller's move
+    /// ([`Fleet::heal_copy`]).
+    pub fn scrub_member(&mut self, member: usize) -> Result<ScrubReport> {
+        let ids = self.objects_on(member);
+        let mut report = ScrubReport::default();
+        for id in ids {
+            let (corrupt, took) = self.verify_copy(id, member)?;
+            report.objects += 1;
+            report.pages += self.checksums.get(&id).map_or(0, |s| s.crcs.len() as u64);
+            report.device_time += took;
+            report.corrupt.extend(corrupt.into_iter().map(|page| (id, page)));
+        }
+        Ok(report)
+    }
+
+    /// Heals `member`'s corrupt copy of `object` from the first sibling
+    /// whose own copy verifies: the clean bytes are re-appended on
+    /// `member` (WORM media cannot be patched in place) and the placement
+    /// follows the fresh span.
+    pub fn heal_copy(&mut self, object: ObjectId, member: usize) -> Result<RepairReceipt> {
+        let Some(placement) = self.placements.get(&object) else {
+            return Err(MinosError::UnknownObject(object.to_string()));
+        };
+        let siblings: Vec<usize> =
+            placement.replicas.iter().map(|r| r.member).filter(|&m| m != member).collect();
+        for source in siblings {
+            match self.repair_replica(object, member, source, member) {
+                Ok(receipt) => return Ok(receipt),
+                Err(MinosError::Corrupt(_)) => continue,
+                Err(other) => return Err(other),
+            }
+        }
+        Err(MinosError::Corrupt(format!(
+            "{object} has no verifiable sibling to heal member {member} from"
+        )))
     }
 
     /// Where `object` lives, if it has been published.
@@ -258,6 +520,298 @@ impl Fleet {
         for member in &mut self.members {
             member.reset_service_stats();
         }
+    }
+}
+
+/// Consecutive heartbeat misses before a member is suspected.
+const SUSPECT_AFTER: u32 = 1;
+/// Consecutive heartbeat misses before a member is declared down.
+const DOWN_AFTER: u32 = 2;
+/// A heartbeat this many times the member's own rolling baseline marks
+/// gray failure ([`MemberHealth::Slow`]).
+const SLOW_MULT: u64 = 4;
+/// Heartbeat samples before the latency baseline is trusted for `Slow`
+/// detection — early samples seed the EWMA instead.
+const BASELINE_WARMUP: u32 = 3;
+/// Consecutive healthy heartbeats before a `Slow` member recovers to
+/// `Up` (a `Suspect`/`Down` member recovers on the first pong: the echo
+/// is positive proof of life).
+const RECOVER_AFTER: u32 = 2;
+
+/// Health of one fleet member as the failure detector sees it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MemberHealth {
+    /// Answering heartbeats at its usual latency.
+    #[default]
+    Up,
+    /// Missed one heartbeat: possibly a dropped frame, possibly worse.
+    Suspect,
+    /// Missed enough consecutive heartbeats to be declared dead — traffic
+    /// reroutes and proactive re-replication starts.
+    Down,
+    /// Still answering, but far above its own latency baseline: the gray
+    /// failure that audio-class hedged reads route around.
+    Slow,
+}
+
+/// Heartbeat accounting, cleared wholesale by
+/// [`HealthMonitor::reset_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthStats {
+    /// Heartbeat pings sent.
+    pub pings: u64,
+    /// Pong echoes received.
+    pub pongs: u64,
+    /// Heartbeats that went unanswered.
+    pub misses: u64,
+    /// Transitions into [`MemberHealth::Down`].
+    pub down_transitions: u64,
+    /// Transitions into [`MemberHealth::Slow`].
+    pub slow_transitions: u64,
+    /// Recoveries back to [`MemberHealth::Up`].
+    pub recoveries: u64,
+    /// Pong echoes whose restart epoch disagreed with the connection's
+    /// view — each one triggers an immediate resync.
+    pub epoch_mismatches: u64,
+}
+
+/// The per-member failure detector fed by `Ping`/`Pong` heartbeats.
+///
+/// Misses walk a member `Up → Suspect → Down`; a pong is positive proof
+/// of life and recovers it immediately. Each member also carries a
+/// rolling latency baseline (EWMA of its own healthy echoes): an echo
+/// [`SLOW_MULT`]× above a warmed baseline marks the member
+/// [`MemberHealth::Slow`] without poisoning the baseline, and
+/// [`RECOVER_AFTER`] consecutive healthy echoes clear it.
+#[derive(Clone, Debug)]
+pub struct HealthMonitor {
+    state: Vec<MemberHealth>,
+    misses: Vec<u32>,
+    healthy: Vec<u32>,
+    baseline_us: Vec<u64>,
+    samples: Vec<u32>,
+    stats: HealthStats,
+}
+
+impl HealthMonitor {
+    /// A monitor over `members` members, all initially `Up`.
+    pub fn new(members: usize) -> Self {
+        HealthMonitor {
+            state: vec![MemberHealth::Up; members],
+            misses: vec![0; members],
+            healthy: vec![0; members],
+            baseline_us: vec![0; members],
+            samples: vec![0; members],
+            stats: HealthStats::default(),
+        }
+    }
+
+    /// The detector's current view of `member` (`Up` out of range).
+    pub fn state(&self, member: usize) -> MemberHealth {
+        self.state.get(member).copied().unwrap_or_default()
+    }
+
+    /// Whether the detector has declared `member` dead.
+    pub fn is_down(&self, member: usize) -> bool {
+        self.state(member) == MemberHealth::Down
+    }
+
+    /// The member's rolling latency baseline (zero until warmed).
+    pub fn baseline(&self, member: usize) -> SimDuration {
+        let us = self.baseline_us.get(member).copied().unwrap_or(0);
+        if self.samples.get(member).copied().unwrap_or(0) < BASELINE_WARMUP {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros(us)
+    }
+
+    /// Records one ping sent to `member`.
+    pub fn note_ping(&mut self, member: usize) {
+        if member < self.state.len() {
+            self.stats.pings += 1;
+        }
+    }
+
+    /// A pong arrived `latency` after its ping: clears the miss streak,
+    /// recovers a suspected/down member, and classifies gray failure
+    /// against the member's own baseline. Returns the state after the
+    /// sample.
+    pub fn note_pong(&mut self, member: usize, latency: SimDuration) -> MemberHealth {
+        if member >= self.state.len() {
+            return MemberHealth::Up;
+        }
+        self.stats.pongs += 1;
+        self.misses[member] = 0;
+        let us = latency.as_micros().max(1);
+        let warmed = self.samples[member] >= BASELINE_WARMUP;
+        if warmed && us > self.baseline_us[member].saturating_mul(SLOW_MULT) {
+            // A gray sample does not poison the baseline: the detector
+            // keeps comparing against the member's healthy self.
+            if self.state[member] != MemberHealth::Slow {
+                self.stats.slow_transitions += 1;
+            }
+            self.state[member] = MemberHealth::Slow;
+            self.healthy[member] = 0;
+            return MemberHealth::Slow;
+        }
+        self.samples[member] += 1;
+        self.baseline_us[member] = if self.baseline_us[member] == 0 {
+            us
+        } else {
+            (self.baseline_us[member] * 7 + us) / 8
+        };
+        match self.state[member] {
+            MemberHealth::Up => {}
+            MemberHealth::Suspect | MemberHealth::Down => {
+                self.state[member] = MemberHealth::Up;
+                self.healthy[member] = 0;
+                self.stats.recoveries += 1;
+            }
+            MemberHealth::Slow => {
+                self.healthy[member] += 1;
+                if self.healthy[member] >= RECOVER_AFTER {
+                    self.state[member] = MemberHealth::Up;
+                    self.healthy[member] = 0;
+                    self.stats.recoveries += 1;
+                }
+            }
+        }
+        self.state[member]
+    }
+
+    /// A heartbeat went unanswered: one miss suspects the member, enough
+    /// consecutive misses declare it down. Returns the state after the
+    /// miss.
+    pub fn note_miss(&mut self, member: usize) -> MemberHealth {
+        if member >= self.state.len() {
+            return MemberHealth::Up;
+        }
+        self.stats.misses += 1;
+        self.misses[member] += 1;
+        self.healthy[member] = 0;
+        if self.misses[member] >= DOWN_AFTER {
+            if self.state[member] != MemberHealth::Down {
+                self.stats.down_transitions += 1;
+            }
+            self.state[member] = MemberHealth::Down;
+        } else if self.misses[member] >= SUSPECT_AFTER && self.state[member] != MemberHealth::Down {
+            self.state[member] = MemberHealth::Suspect;
+        }
+        self.state[member]
+    }
+
+    /// Records a pong whose restart epoch disagreed with the sender's
+    /// view.
+    pub fn note_epoch_mismatch(&mut self) {
+        self.stats.epoch_mismatches += 1;
+    }
+
+    /// Heartbeat accounting so far.
+    pub fn stats(&self) -> HealthStats {
+        self.stats
+    }
+
+    /// Clears the accounting (detector state survives — a reset must not
+    /// forget who is down).
+    pub fn reset_stats(&mut self) {
+        self.stats = HealthStats::default();
+    }
+}
+
+/// One queued re-replication task: rebuild `object`'s copy that was lost
+/// with member `lost`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairTask {
+    /// The object owed a copy.
+    pub object: ObjectId,
+    /// The member whose copy was lost.
+    pub lost: usize,
+}
+
+/// Re-replication accounting, cleared wholesale by
+/// [`RepairQueue::reset_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Tasks admitted into the queue.
+    pub admitted: u64,
+    /// Tasks rejected as duplicates of an already-admitted loss.
+    pub deduped: u64,
+    /// Repairs that completed and restored a copy.
+    pub completed: u64,
+    /// Repairs that failed (no verifiable source or no free target).
+    pub failed: u64,
+    /// Bytes rebuilt by completed repairs.
+    pub bytes_rebuilt: u64,
+}
+
+/// The background repair queue the failure detector feeds.
+///
+/// The queue is bounded by dedup admission: each `(object, member)` loss
+/// is admitted at most once, so however often the detector re-reports a
+/// down member the queue can never outgrow the placement table. Draining
+/// it is the orchestrator's job, one task per `RepairDue` kernel timer —
+/// that serial spacing is the throttle that keeps repair traffic from
+/// starving foreground audio.
+#[derive(Debug, Default)]
+pub struct RepairQueue {
+    queue: VecDeque<RepairTask>,
+    admitted: HashSet<(ObjectId, usize)>,
+    stats: RepairStats,
+}
+
+impl RepairQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        RepairQueue::default()
+    }
+
+    /// Admits one repair task unless the same loss was already admitted —
+    /// the dedup set is the queue's capacity bound.
+    pub fn admit(&mut self, task: RepairTask) -> bool {
+        if !self.admitted.insert((task.object, task.lost)) {
+            self.stats.deduped += 1;
+            return false;
+        }
+        self.stats.admitted += 1;
+        self.queue.push_back(task);
+        true
+    }
+
+    /// Takes the oldest pending task.
+    pub fn pop(&mut self) -> Option<RepairTask> {
+        self.queue.pop_front()
+    }
+
+    /// Pending (admitted, not yet popped) tasks.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no tasks are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Records one finished repair and the bytes it rebuilt.
+    pub fn note_completed(&mut self, bytes: u64) {
+        self.stats.completed += 1;
+        self.stats.bytes_rebuilt += bytes;
+    }
+
+    /// Records one repair that could not be completed.
+    pub fn note_failed(&mut self) {
+        self.stats.failed += 1;
+    }
+
+    /// Repair accounting so far.
+    pub fn stats(&self) -> RepairStats {
+        self.stats
+    }
+
+    /// Clears the accounting (the dedup set survives: a loss already
+    /// repaired or in flight must not be re-admitted by a stats reset).
+    pub fn reset_stats(&mut self) {
+        self.stats = RepairStats::default();
     }
 }
 
@@ -343,6 +897,13 @@ pub struct FleetConnection {
     /// One device timeline per member: the shared wire feeds N devices.
     dev_free: Vec<SimInstant>,
     down_free: SimInstant,
+    /// Heartbeat interval once [`FleetConnection::enable_heartbeat`] has
+    /// armed the health monitor; `None` keeps heartbeats off.
+    heartbeat: Option<SimDuration>,
+    /// Per-member failure detector fed by the heartbeats.
+    health: HealthMonitor,
+    /// Nonce of the next heartbeat ping.
+    next_nonce: u64,
 }
 
 impl FleetConnection {
@@ -385,6 +946,9 @@ impl FleetConnection {
             up_free: SimInstant::EPOCH,
             dev_free: vec![SimInstant::EPOCH; members],
             down_free: SimInstant::EPOCH,
+            heartbeat: None,
+            health: HealthMonitor::new(members),
+            next_nonce: 1,
         }
     }
 
@@ -464,6 +1028,70 @@ impl FleetConnection {
         self.pool.recycle(buf);
     }
 
+    /// Starts the deterministic health monitor: every `interval`, each
+    /// member is pinged on a kernel timer and the `Pong { epoch }` echo
+    /// feeds the per-member latency baseline. The echo also closes the
+    /// idle-connection gap: a mismatched restart epoch triggers the
+    /// resync (handshake + replay) at the heartbeat, so an idle
+    /// connection notices a member restart without waiting for its next
+    /// submit.
+    pub fn enable_heartbeat(&mut self, interval: SimDuration) {
+        let interval = interval.max(SimDuration::from_micros(1));
+        self.heartbeat = Some(interval);
+        for m in 0..self.fleet.members.len() {
+            self.kernel
+                .arm(self.clock.now() + interval, KernelEvent::HealthTick { member: m as u64 });
+        }
+    }
+
+    /// The failure detector fed by the heartbeats.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// Sends one heartbeat to member `m` at the current instant. The ping
+    /// and its echo are charged on the shared wire (the server answers
+    /// `Ping` from memory, no device time); the echo's round trip feeds
+    /// the member's baseline, and a stale epoch in the echo triggers the
+    /// resync machinery immediately. Re-arms the member's next tick.
+    fn heartbeat_member(&mut self, m: usize) {
+        if m >= self.fleet.members.len() {
+            self.kernel.note_spurious();
+            return;
+        }
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        self.health.note_ping(m);
+        let ping = ServerRequest::Ping { nonce };
+        let sent = self.clock.now();
+        let up = self.link.charge(Frame::request(FLEET_CONN, 0, ping).wire_size());
+        let arrival = sent.max(self.up_free) + up;
+        self.up_free = arrival;
+        let (answer, _) = self.fleet.members[m].handle(&ServerRequest::Ping { nonce });
+        let echo_epoch = match &answer {
+            ServerResponse::Pong { epoch, .. } => Some(*epoch),
+            _ => None,
+        };
+        let down = self.link.charge(Frame::response(FLEET_CONN, 0, answer).wire_size());
+        let delivered = arrival.max(self.down_free) + down;
+        self.down_free = delivered;
+        self.health.note_pong(m, delivered.saturating_since(sent));
+        if let Some(epoch) = echo_epoch {
+            if epoch != self.member_epochs[m] {
+                // The restart is noticed by the heartbeat, not by the
+                // next submit: resync (handshake + replay) right here.
+                self.health.note_epoch_mismatch();
+                self.resync_epochs();
+            }
+        }
+        if let Some(interval) = self.heartbeat {
+            self.kernel.arm(
+                self.clock.now().max(delivered) + interval,
+                KernelEvent::HealthTick { member: m as u64 },
+            );
+        }
+    }
+
     /// Resets the accounting *and* the pipeline state (between experiment
     /// configurations). A ticket from before the reset is gone — waiting
     /// on it is a protocol error.
@@ -495,6 +1123,17 @@ impl FleetConnection {
         // after it.
         for (m, last) in self.member_epochs.iter_mut().enumerate() {
             *last = self.fleet.members[m].epoch();
+        }
+        // The detector restarts clean, and — since the wholesale kernel
+        // swap dropped the armed ticks — an enabled heartbeat re-arms
+        // from the fresh epoch.
+        self.health = HealthMonitor::new(self.fleet.members.len());
+        self.next_nonce = 1;
+        if let Some(interval) = self.heartbeat {
+            for m in 0..self.fleet.members.len() {
+                self.kernel
+                    .arm(self.clock.now() + interval, KernelEvent::HealthTick { member: m as u64 });
+            }
         }
     }
 
@@ -585,11 +1224,13 @@ impl FleetConnection {
     /// retransmit deadline and `Busy` retry timer due in the interval
     /// fires at its exact instant.
     pub fn advance_to(&mut self, at: SimInstant) {
-        self.resync_epochs();
         self.dispatch();
         // Step deadline-to-deadline so backoffs chain from the deadline
         // itself; intermediate cascade ticks drain empty and the loop
-        // steps on.
+        // steps on. Heartbeat ticks fire in here too, so with the monitor
+        // enabled a member restart is detected at its first heartbeat —
+        // which is why the resync runs *after* the timer drain, as a
+        // safety net for heartbeat-less connections, not before it.
         while let Some(next) = self.kernel.next_deadline() {
             if next > at {
                 break;
@@ -600,6 +1241,7 @@ impl FleetConnection {
         self.clock.advance_to_at_least(at);
         self.kernel.advance_to(self.clock.now());
         self.drain_retry_wakes();
+        self.resync_epochs();
         self.dispatch();
         self.settle();
     }
@@ -866,25 +1508,27 @@ impl FleetConnection {
     }
 
     /// Fires every kernel event due at the current clock and handles the
-    /// retry wakes among them; re-advances each round because a handler
-    /// can arm a deadline already behind kernel time.
+    /// retry wakes and heartbeat ticks among them; re-advances each round
+    /// because a handler can arm a deadline already behind kernel time.
     fn drain_retry_wakes(&mut self) {
         loop {
             self.kernel.advance_to(self.clock.now());
             let Some(event) = self.kernel.take_ready() else { break };
-            let KernelEvent::RetryDue { request_id, attempt } = event else {
-                self.kernel.note_spurious();
-                continue;
-            };
-            let now = self.clock.now();
-            let due = self
-                .outstanding
-                .get(&request_id)
-                .is_some_and(|o| o.attempt == attempt && o.deadline <= now);
-            if due && !self.landed.contains_key(&request_id) {
-                self.force_progress(request_id);
-            } else {
-                self.kernel.note_spurious();
+            match event {
+                KernelEvent::RetryDue { request_id, attempt } => {
+                    let now = self.clock.now();
+                    let due = self
+                        .outstanding
+                        .get(&request_id)
+                        .is_some_and(|o| o.attempt == attempt && o.deadline <= now);
+                    if due && !self.landed.contains_key(&request_id) {
+                        self.force_progress(request_id);
+                    } else {
+                        self.kernel.note_spurious();
+                    }
+                }
+                KernelEvent::HealthTick { member } => self.heartbeat_member(member as usize),
+                _ => self.kernel.note_spurious(),
             }
         }
     }
@@ -1001,6 +1645,10 @@ pub struct FleetWorkloadConfig {
     pub replication: usize,
     /// Concurrent page-reader sessions.
     pub sessions: usize,
+    /// Leading sessions (`min(audio_sessions, sessions)`) that submit at
+    /// [`Priority::Audio`] and have their page latency tracked for the
+    /// report's p99 column.
+    pub audio_sessions: usize,
     /// Demand pages each session reads.
     pub pages_per_session: usize,
     /// Bytes per page.
@@ -1039,6 +1687,9 @@ pub struct FleetReport {
     /// Pages served by each member, in fleet order — the placement-balance
     /// evidence.
     pub served_per_member: Vec<u64>,
+    /// 99th-percentile submit-to-delivery latency of the audio-class
+    /// pages (zero when the run had no audio sessions).
+    pub audio_p99: SimDuration,
 }
 
 impl FleetReport {
@@ -1082,11 +1733,13 @@ pub fn simulate_fleet_workload(config: FleetWorkloadConfig) -> Result<FleetRepor
         members,
         replication,
         sessions,
+        audio_sessions,
         pages_per_session,
         page_len,
         restart,
         service,
     } = config;
+    let audio_sessions = audio_sessions.min(sessions);
     if sessions == 0 || pages_per_session == 0 || page_len == 0 {
         return Err(MinosError::Internal("workload needs sessions, pages, and bytes".into()));
     }
@@ -1116,13 +1769,18 @@ pub fn simulate_fleet_workload(config: FleetWorkloadConfig) -> Result<FleetRepor
     }
     let mut link = Link::ethernet();
 
-    /// One submitted demand page: who asked, which page, and which member
-    /// currently owes the answer.
+    /// One submitted demand page: who asked, which page, which member
+    /// currently owes the answer, and when it was first submitted (busy
+    /// deferrals and replays keep the original instant — the audio p99
+    /// measures what the listener felt, not the last attempt).
     struct InFlightPage {
         session: usize,
         page: usize,
         member: usize,
+        issued: SimInstant,
     }
+    let session_priority =
+        |s: usize| if s < audio_sessions { Priority::Audio } else { Priority::Demand };
     let mut up_free = SimInstant::EPOCH;
     let mut down_free = SimInstant::EPOCH;
     let mut dev_free = vec![SimInstant::EPOCH; members];
@@ -1147,6 +1805,9 @@ pub fn simulate_fleet_workload(config: FleetWorkloadConfig) -> Result<FleetRepor
     let mut replays = 0u64;
     let mut busy_deferred = 0u64;
     let mut premature_busy_retries = 0u64;
+    // One latency sample per audio page: bounded by the audio sessions'
+    // share of the page budget.
+    let mut audio_lat: Vec<SimDuration> = Vec::with_capacity(audio_sessions * pages_per_session);
     let mut restarted = false;
     let mut rounds = 0u32;
     while todo.iter().any(|q| !q.is_empty()) || outstanding.iter().any(|&o| o > 0) {
@@ -1172,11 +1833,18 @@ pub fn simulate_fleet_workload(config: FleetWorkloadConfig) -> Result<FleetRepor
                 let replicas = plans[s].0.replicas();
                 let replica = replicas[page * replicas.len() / pages_per_session];
                 let span = plans[s].1[&replica.member][page];
-                let frame = Frame::request(s as u64 + 1, rid, ServerRequest::FetchSpan { span });
+                let frame = Frame::request_with_priority(
+                    s as u64 + 1,
+                    rid,
+                    session_priority(s),
+                    ServerRequest::FetchSpan { span },
+                );
+                let issued = up_free;
                 let arrival = up_free + link.transfer(frame.wire_size());
                 up_free = arrival;
                 arrivals.insert(rid, arrival);
-                inflight.insert(rid, InFlightPage { session: s, page, member: replica.member });
+                inflight
+                    .insert(rid, InFlightPage { session: s, page, member: replica.member, issued });
                 fleet
                     .member_mut(replica.member)
                     .expect("replica indices are in range")
@@ -1232,8 +1900,12 @@ pub fn simulate_fleet_workload(config: FleetWorkloadConfig) -> Result<FleetRepor
                 }
                 p.member = next.member;
                 let span = plans[p.session].1[&next.member][p.page];
-                let frame =
-                    Frame::request(p.session as u64 + 1, rid, ServerRequest::FetchSpan { span });
+                let frame = Frame::request_with_priority(
+                    p.session as u64 + 1,
+                    rid,
+                    session_priority(p.session),
+                    ServerRequest::FetchSpan { span },
+                );
                 let arrival = up_free + link.transfer(frame.wire_size());
                 up_free = arrival;
                 arrivals.insert(rid, arrival);
@@ -1278,7 +1950,7 @@ pub fn simulate_fleet_workload(config: FleetWorkloadConfig) -> Result<FleetRepor
                                 let Some(meta) = inflight.get(&rid) else {
                                     continue;
                                 };
-                                let (s, page) = (meta.session, meta.page);
+                                let (s, page, issued) = (meta.session, meta.page, meta.issued);
                                 let FramePayload::Response(response) = frame.payload else {
                                     continue;
                                 };
@@ -1301,6 +1973,9 @@ pub fn simulate_fleet_workload(config: FleetWorkloadConfig) -> Result<FleetRepor
                                         inflight.remove(&rid);
                                         outstanding[s] -= 1;
                                         delivered += 1;
+                                        if s < audio_sessions {
+                                            audio_lat.push(at.saturating_since(issued));
+                                        }
                                     }
                                     ServerResponse::Busy { retry_after } => {
                                         // Honor the hint: park the page on
@@ -1345,8 +2020,12 @@ pub fn simulate_fleet_workload(config: FleetWorkloadConfig) -> Result<FleetRepor
                     let p = inflight.get(&request_id).expect("deferred pages stay in flight");
                     let (s, page, m) = (p.session, p.page, p.member);
                     let span = plans[s].1[&m][page];
-                    let frame =
-                        Frame::request(s as u64 + 1, request_id, ServerRequest::FetchSpan { span });
+                    let frame = Frame::request_with_priority(
+                        s as u64 + 1,
+                        request_id,
+                        session_priority(s),
+                        ServerRequest::FetchSpan { span },
+                    );
                     // The resubmission may not leave before the hint
                     // elapses: the uplink is pushed out to the due
                     // instant if it would otherwise be free earlier.
@@ -1377,6 +2056,9 @@ pub fn simulate_fleet_workload(config: FleetWorkloadConfig) -> Result<FleetRepor
         }
     }
     let stats = fleet.service_stats();
+    audio_lat.sort_unstable();
+    let p99_rank = (audio_lat.len() * 99).div_ceil(100).saturating_sub(1);
+    let audio_p99 = audio_lat.get(p99_rank).copied().unwrap_or(SimDuration::ZERO);
     Ok(FleetReport {
         elapsed: last_delivered.since(SimInstant::EPOCH),
         pages: delivered,
@@ -1391,6 +2073,7 @@ pub fn simulate_fleet_workload(config: FleetWorkloadConfig) -> Result<FleetRepor
         served_per_member: (0..members)
             .map(|m| fleet.member(m).map_or(0, |s| s.service_stats().served))
             .collect(),
+        audio_p99,
     })
 }
 
@@ -1579,6 +2262,7 @@ mod tests {
             members: 1,
             replication: 1,
             sessions: 6,
+            audio_sessions: 2,
             pages_per_session: 4,
             page_len: 2048,
             restart: None,
@@ -1588,6 +2272,7 @@ mod tests {
         assert_eq!(solo.pages, 24);
         assert_eq!(solo.epoch_resyncs, 0);
         assert_eq!(solo.premature_busy_retries, 0);
+        assert!(solo.audio_p99 > SimDuration::ZERO, "audio sessions must be measured: {solo:?}");
 
         let crashed = simulate_fleet_workload(FleetWorkloadConfig {
             members: 3,
@@ -1604,5 +2289,148 @@ mod tests {
             crashed.served_per_member.iter().all(|&s| s > 0),
             "replication must spread load: {crashed:?}"
         );
+    }
+
+    #[test]
+    fn health_monitor_walks_up_suspect_down_and_recovers() {
+        let mut health = HealthMonitor::new(2);
+        assert_eq!(health.state(0), MemberHealth::Up);
+        assert_eq!(health.note_miss(0), MemberHealth::Suspect);
+        assert_eq!(health.note_miss(0), MemberHealth::Down);
+        assert!(health.is_down(0));
+        // The sibling's view is independent.
+        assert_eq!(health.state(1), MemberHealth::Up);
+        // One pong is positive proof of life: immediate recovery.
+        assert_eq!(health.note_pong(0, SimDuration::from_micros(100)), MemberHealth::Up);
+        let stats = health.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.down_transitions, 1);
+        assert_eq!(stats.recoveries, 1);
+        health.reset_stats();
+        assert_eq!(health.stats(), HealthStats::default());
+    }
+
+    #[test]
+    fn health_monitor_flags_gray_failure_against_own_baseline() {
+        let mut health = HealthMonitor::new(1);
+        // Warm the baseline with healthy ~100µs echoes.
+        for _ in 0..4 {
+            assert_eq!(health.note_pong(0, SimDuration::from_micros(100)), MemberHealth::Up);
+        }
+        assert_eq!(health.baseline(0), SimDuration::from_micros(100));
+        // A 10× echo is gray failure, and it must not poison the baseline.
+        assert_eq!(health.note_pong(0, SimDuration::from_micros(1000)), MemberHealth::Slow);
+        assert_eq!(health.baseline(0), SimDuration::from_micros(100));
+        // Recovery needs a streak of healthy echoes.
+        assert_eq!(health.note_pong(0, SimDuration::from_micros(110)), MemberHealth::Slow);
+        assert_eq!(health.note_pong(0, SimDuration::from_micros(110)), MemberHealth::Up);
+        let stats = health.stats();
+        assert_eq!(stats.slow_transitions, 1);
+        assert_eq!(stats.recoveries, 1);
+    }
+
+    #[test]
+    fn repair_replica_restores_the_replication_factor_on_the_ring_successor() {
+        let mut fleet = Fleet::new(4, 2).expect("valid shape");
+        let object = ObjectId::new(21);
+        let body: Vec<u8> = (0..8192u64).map(|i| ((i * 5) % 251) as u8).collect();
+        let placement = fleet.publish_paged(object, &body, 2048).expect("publish");
+        let lost = placement.primary().member;
+        let survivor = placement.next_after(lost).member;
+        let target = fleet.ring_successor(object, &[lost]).expect("spare member exists");
+        assert!(!placement.replicas().iter().any(|r| r.member == target));
+        let receipt = fleet.repair_replica(object, lost, survivor, target).expect("repair");
+        assert_eq!(receipt.bytes, body.len() as u64);
+        assert!(receipt.read_time > SimDuration::ZERO && receipt.write_time > SimDuration::ZERO);
+        // The placement now names the successor instead of the dead
+        // member, and the rebuilt copy verifies clean.
+        let healed = fleet.placement(object).expect("placement survives").clone();
+        let holders: Vec<usize> = healed.replicas().iter().map(|r| r.member).collect();
+        assert!(holders.contains(&target) && !holders.contains(&lost), "{holders:?}");
+        let (corrupt, _) = fleet.verify_copy(object, target).expect("verify");
+        assert!(corrupt.is_empty(), "rebuilt copy must verify: {corrupt:?}");
+        // A second repair of the same loss is refused: the target already
+        // holds a copy.
+        assert!(fleet.repair_replica(object, lost, survivor, target).is_err());
+    }
+
+    #[test]
+    fn scrub_detects_bit_rot_and_heal_copy_repairs_in_place() {
+        let mut fleet = Fleet::new(3, 2).expect("valid shape");
+        let object = ObjectId::new(33);
+        let body: Vec<u8> = (0..8192u64).map(|i| ((i * 11) % 251) as u8).collect();
+        let placement = fleet.publish_paged(object, &body, 2048).expect("publish");
+        let victim = placement.primary().member;
+        // Rot exactly one read on the victim's media, then freeze decay so
+        // the scrub itself reads deterministically clean media.
+        let device = fleet.member_mut(victim).expect("victim exists").archiver_mut().device_mut();
+        device.set_bit_rot(77, 1.0);
+        let rotted = fleet.verify_copy(object, victim).expect("verification read");
+        assert!(!rotted.0.is_empty(), "rate-1.0 rot must corrupt a verified page");
+        let device = fleet.member_mut(victim).expect("victim exists").archiver_mut().device_mut();
+        device.set_bit_rot(0, 0.0);
+        assert!(device.bit_rot_flips() > 0);
+        // The scrub pass finds the damage...
+        let scrub = fleet.scrub_member(victim).expect("scrub");
+        assert_eq!(scrub.objects, 1);
+        assert_eq!(scrub.pages, 4);
+        assert!(!scrub.corrupt.is_empty(), "{scrub:?}");
+        assert!(scrub.corrupt.iter().all(|&(id, _)| id == object));
+        // ...and the heal re-homes a verified sibling copy in place.
+        let receipt = fleet.heal_copy(object, victim).expect("heal");
+        assert_eq!(receipt.target, victim, "heal stays on the corrupt member");
+        assert_ne!(receipt.source, victim, "clean bytes come from a sibling");
+        let rescrub = fleet.scrub_member(victim).expect("re-scrub");
+        assert!(rescrub.corrupt.is_empty(), "healed copy must verify: {rescrub:?}");
+    }
+
+    #[test]
+    fn idle_heartbeat_notices_a_member_restart_without_a_submit() {
+        let mut fleet = Fleet::new(2, 2).expect("valid shape");
+        let object = ObjectId::new(8);
+        fleet.publish_bytes(object, &vec![9u8; 4096]).expect("publish");
+        let mut conn = FleetConnection::new(fleet, Link::ethernet());
+        conn.enable_heartbeat(SimDuration::from_millis(1));
+        // The connection is idle — nothing submitted — when member 1
+        // restarts. Before the heartbeat existed, the stale epoch went
+        // unnoticed until the next fetch_page.
+        conn.fleet_mut().restart_member(1).expect("member 1 exists");
+        conn.advance_to(SimInstant::EPOCH + SimDuration::from_millis(10));
+        let health = conn.health().stats();
+        assert!(health.pings >= 2, "both members heartbeat: {health:?}");
+        assert_eq!(health.pongs, health.pings, "healthy members echo every ping: {health:?}");
+        assert!(health.epoch_mismatches >= 1, "the restart must be noticed: {health:?}");
+        assert!(
+            conn.transport_stats().epoch_resyncs >= 1,
+            "the heartbeat must trigger the resync: {:?}",
+            conn.transport_stats()
+        );
+        // The detector never declared anyone down: the member answered
+        // its very first post-restart ping.
+        assert_eq!(conn.health().state(1), MemberHealth::Up);
+        // And the data path still works.
+        let ticket = conn.fetch_page(object, ByteSpan::at(0, 4096)).expect("submit");
+        let (response, _) = conn.wait(ticket).expect("collect");
+        assert!(matches!(response, ServerResponse::Span(_)));
+    }
+
+    #[test]
+    fn repair_queue_dedups_admissions() {
+        let mut queue = RepairQueue::new();
+        let task = RepairTask { object: ObjectId::new(1), lost: 0 };
+        assert!(queue.admit(task));
+        assert!(!queue.admit(task), "the same loss is admitted once");
+        assert!(queue.admit(RepairTask { object: ObjectId::new(1), lost: 1 }));
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.pop(), Some(task));
+        queue.note_completed(4096);
+        let stats = queue.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.deduped, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.bytes_rebuilt, 4096);
+        queue.reset_stats();
+        assert_eq!(queue.stats(), RepairStats::default());
+        assert!(!queue.is_empty(), "reset clears accounting, not pending work");
     }
 }

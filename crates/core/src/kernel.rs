@@ -74,6 +74,24 @@ pub enum KernelEvent {
         /// Fleet index of the member to pump.
         member: u64,
     },
+    /// The health monitor's heartbeat interval elapsed for a member: a
+    /// `Ping` is due (and the previous one's silence is a miss).
+    HealthTick {
+        /// Fleet index of the member to ping.
+        member: u64,
+    },
+    /// A throttled repair-queue slot opened: the re-replication pump may
+    /// start the next repair task.
+    RepairDue {
+        /// Repair-queue task tag (consumer-chosen).
+        task: u64,
+    },
+    /// A hedge delay expired with the original request still in flight: a
+    /// speculative duplicate should be fired at a sibling replica.
+    HedgeFire {
+        /// The outstanding request being hedged.
+        request_id: u64,
+    },
 }
 
 /// Kernel counters, cleared wholesale by [`Kernel::reset_stats`].
@@ -319,6 +337,15 @@ fn event_json(event: &KernelEvent, out: &mut String) {
         }
         KernelEvent::ServerWake { member } => {
             write!(out, "\"event\":\"ServerWake\",\"member\":{member}")
+        }
+        KernelEvent::HealthTick { member } => {
+            write!(out, "\"event\":\"HealthTick\",\"member\":{member}")
+        }
+        KernelEvent::RepairDue { task } => {
+            write!(out, "\"event\":\"RepairDue\",\"task\":{task}")
+        }
+        KernelEvent::HedgeFire { request_id } => {
+            write!(out, "\"event\":\"HedgeFire\",\"request_id\":{request_id}")
         }
     };
 }
@@ -695,12 +722,20 @@ mod tests {
         k.post(at, KernelEvent::DeadlineFired { key: 11 });
         k.post(at, KernelEvent::AudioDeadline { session: 2 });
         k.post(at, KernelEvent::PrefetchWindowOpen { session: 6 });
+        k.post(at, KernelEvent::ServerWake { member: 4 });
+        k.post(at, KernelEvent::HealthTick { member: 1 });
+        k.post(at, KernelEvent::RepairDue { task: 9 });
+        k.post(at, KernelEvent::HedgeFire { request_id: 12 });
         let json = k.drain_trace_json();
         for needle in [
             "\"event\":\"ResponseLanded\",\"conn\":3,\"request_id\":8",
             "\"event\":\"DeadlineFired\",\"key\":11",
             "\"event\":\"AudioDeadline\",\"session\":2",
             "\"event\":\"PrefetchWindowOpen\",\"session\":6",
+            "\"event\":\"ServerWake\",\"member\":4",
+            "\"event\":\"HealthTick\",\"member\":1",
+            "\"event\":\"RepairDue\",\"task\":9",
+            "\"event\":\"HedgeFire\",\"request_id\":12",
         ] {
             assert!(json.contains(needle), "{json}");
         }

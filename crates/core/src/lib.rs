@@ -27,12 +27,18 @@
 //!   one shared link, event-driven with audio-first deadlines (§5);
 //! * [`fleet`] — the sharded object-server fleet: rendezvous placement,
 //!   k-way replication, and replica failover over the epoch handshake
-//!   (§2, §5).
+//!   (§2, §5);
+//! * [`chaos`] — the chaos-schedule orchestrator: declarative failure
+//!   schedules (crashes, restarts, slowdowns, partitions, bit rot)
+//!   driven through the self-healing fleet — health heartbeats,
+//!   proactive re-replication, scrub with read-repair, and hedged
+//!   audio reads.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod audio;
+pub mod chaos;
 pub mod command;
 pub mod compose;
 pub mod fleet;
@@ -47,11 +53,17 @@ pub mod transparency;
 pub mod visual;
 
 pub use audio::AudioEngine;
+pub use chaos::{
+    simulate_chaos_workload, ChaosEvent, ChaosReport, ChaosSchedule, ChaosStats,
+    ChaosWorkloadConfig,
+};
 pub use command::{BrowseCommand, BrowseEvent};
 pub use compose::{compose_screen, resolve_figure};
 pub use fleet::{
     rendezvous_order, simulate_fleet_workload, Fleet, FleetConnection, FleetReport, FleetRestart,
-    FleetStats, FleetTicket, FleetWorkloadConfig, Placement, Replica,
+    FleetStats, FleetTicket, FleetWorkloadConfig, HealthMonitor, HealthStats, MemberHealth,
+    PageChecksums, Placement, RepairQueue, RepairReceipt, RepairStats, RepairTask, Replica,
+    ScrubReport,
 };
 pub use kernel::{Kernel, KernelEvent, KernelStats, TimerId};
 pub use prefetch::{page_spans, AnticipatingStore, PrefetchBuffer, PrefetchStats, Prefetcher};

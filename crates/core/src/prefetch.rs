@@ -49,16 +49,17 @@ pub fn page_spans(record: ByteSpan, pages: usize) -> Vec<ByteSpan> {
     assert!(pages > 0, "a record has at least one page");
     let base = record.len() / pages as u64;
     let remainder = record.len() % pages as u64;
-    let mut out = Vec::with_capacity(pages);
     let mut start = record.start;
-    for i in 0..pages as u64 {
-        // The first `remainder` pages carry one extra byte so the spans
-        // tile the record without gaps.
-        let size = base + u64::from(i < remainder);
-        out.push(ByteSpan::at(start, size));
-        start += size;
-    }
-    out
+    (0..pages as u64)
+        .map(|i| {
+            // The first `remainder` pages carry one extra byte so the
+            // spans tile the record without gaps.
+            let size = base + u64::from(i < remainder);
+            let span = ByteSpan::at(start, size);
+            start += size;
+            span
+        })
+        .collect()
 }
 
 /// The prediction policies: given where the presentation is, what will the
@@ -403,8 +404,8 @@ impl<E: ServerEndpoint> PrefetchBuffer<E> {
     /// deduplicated, skipping the entry `exclude` (the resource being
     /// served right now). Entries are borrowed from the plan — nothing is
     /// cloned here — and coverage checks encode into one reused scratch
-    /// buffer instead of allocating a key per plan entry; only the entries
-    /// actually selected get an owned key.
+    /// buffer instead of allocating a key per plan entry; an entry
+    /// actually selected takes the scratch buffer as its owned key.
     fn uncovered<'p>(
         &self,
         plan: &'p [ServerRequest],
@@ -428,7 +429,10 @@ impl<E: ServerEndpoint> PrefetchBuffer<E> {
                 || self.inflight.contains_key(scratch.as_slice())
                 || window.iter().any(|(k, _)| k.as_slice() == scratch.as_slice());
             if !covered {
-                window.push((scratch.clone(), request));
+                // The admitted entry takes the scratch buffer outright;
+                // the next iteration's encode starts from an empty vec
+                // and grows it back. Only admissions cost an allocation.
+                window.push((std::mem::take(&mut scratch), request));
             }
         }
         Ok(window)

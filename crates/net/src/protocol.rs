@@ -89,6 +89,15 @@ pub enum ServerRequest {
     /// server answers with [`ServerResponse::Busy`] whose `retry_after`
     /// is zero when the service queue is idle.
     Probe,
+    /// A heartbeat from the health monitor. The server answers from
+    /// memory with [`ServerResponse::Pong`] echoing the nonce and
+    /// reporting its current epoch, so an *idle* connection still
+    /// notices a restart (the epoch bumps) and a silent member is
+    /// detected by the missing echo.
+    Ping {
+        /// Matches the heartbeat to its echo across reordering.
+        nonce: u64,
+    },
 }
 
 /// A response from the server.
@@ -121,6 +130,14 @@ pub enum ServerResponse {
     Busy {
         /// How long the client should wait before resubmitting.
         retry_after: SimDuration,
+    },
+    /// Answers [`ServerRequest::Ping`]: the heartbeat echo, carrying the
+    /// server's current epoch so restart detection is not request-driven.
+    Pong {
+        /// The nonce of the `Ping` being answered.
+        nonce: u64,
+        /// The server's current epoch; bumped by every restart.
+        epoch: u64,
     },
 }
 
@@ -182,6 +199,10 @@ impl ServerRequest {
             ServerRequest::Probe => {
                 e.put_u8(9);
             }
+            ServerRequest::Ping { nonce } => {
+                e.put_u8(10);
+                e.put_varint(*nonce);
+            }
         }
     }
 
@@ -241,6 +262,7 @@ impl ServerRequest {
             }
             8 => ServerRequest::Hello { epoch: d.get_varint()? },
             9 => ServerRequest::Probe,
+            10 => ServerRequest::Ping { nonce: d.get_varint()? },
             other => return Err(MinosError::Codec(format!("unknown request tag {other}"))),
         };
         d.expect_end()?;
@@ -267,6 +289,28 @@ impl ServerRequest {
             }
             ServerRequest::Hello { epoch } => varint_len(*epoch),
             ServerRequest::Probe => 0,
+            ServerRequest::Ping { nonce } => varint_len(*nonce),
+        }
+    }
+
+    /// A field-by-field copy for the heap-free request variants — the
+    /// control-plane messages (`FetchObject`, `FetchSpan`,
+    /// `FetchMiniature`, `Hello`, `Probe`, `Ping`) that a borrowing
+    /// submit path can duplicate without touching the allocator. Returns
+    /// `None` for the heap-carrying variants, which must go through the
+    /// pooled encode path instead.
+    pub fn plain_copy(&self) -> Option<ServerRequest> {
+        match self {
+            ServerRequest::FetchObject { id } => Some(ServerRequest::FetchObject { id: *id }),
+            ServerRequest::FetchSpan { span } => Some(ServerRequest::FetchSpan { span: *span }),
+            ServerRequest::FetchMiniature { id } => Some(ServerRequest::FetchMiniature { id: *id }),
+            ServerRequest::Hello { epoch } => Some(ServerRequest::Hello { epoch: *epoch }),
+            ServerRequest::Probe => Some(ServerRequest::Probe),
+            ServerRequest::Ping { nonce } => Some(ServerRequest::Ping { nonce: *nonce }),
+            ServerRequest::FetchView { .. }
+            | ServerRequest::Query { .. }
+            | ServerRequest::QueryAttribute { .. }
+            | ServerRequest::Batch { .. } => None,
         }
     }
 
@@ -329,6 +373,11 @@ impl ServerResponse {
                 e.put_u8(9);
                 e.put_varint(retry_after.as_micros());
             }
+            ServerResponse::Pong { nonce, epoch } => {
+                e.put_u8(10);
+                e.put_varint(*nonce);
+                e.put_varint(*epoch);
+            }
         }
     }
 
@@ -371,6 +420,11 @@ impl ServerResponse {
             }
             8 => ServerResponse::Welcome { epoch: d.get_varint()? },
             9 => ServerResponse::Busy { retry_after: SimDuration::from_micros(d.get_varint()?) },
+            10 => {
+                let nonce = d.get_varint()?;
+                let epoch = d.get_varint()?;
+                ServerResponse::Pong { nonce, epoch }
+            }
             other => return Err(MinosError::Codec(format!("unknown response tag {other}"))),
         };
         d.expect_end()?;
@@ -396,6 +450,7 @@ impl ServerResponse {
             }
             ServerResponse::Welcome { epoch } => varint_len(*epoch),
             ServerResponse::Busy { retry_after } => varint_len(retry_after.as_micros()),
+            ServerResponse::Pong { nonce, epoch } => varint_len(*nonce) + varint_len(*epoch),
         }
     }
 }
@@ -421,6 +476,8 @@ mod tests {
             ServerRequest::Hello { epoch: 3 },
             ServerRequest::Hello { epoch: u64::MAX },
             ServerRequest::Probe,
+            ServerRequest::Ping { nonce: 0 },
+            ServerRequest::Ping { nonce: u64::MAX },
         ]
     }
 
@@ -447,6 +504,8 @@ mod tests {
             ServerResponse::Welcome { epoch: u64::MAX },
             ServerResponse::Busy { retry_after: SimDuration::ZERO },
             ServerResponse::Busy { retry_after: SimDuration::from_micros(12_500) },
+            ServerResponse::Pong { nonce: 0, epoch: 0 },
+            ServerResponse::Pong { nonce: u64::MAX, epoch: 17 },
         ];
         for resp in responses {
             let bytes = resp.encode();

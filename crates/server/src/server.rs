@@ -270,6 +270,12 @@ impl ObjectServer {
                 ServerResponse::Busy { retry_after: self.service.retry_hint() },
                 SimDuration::ZERO,
             )),
+            // The heartbeat echo: answered from memory like the handshake,
+            // carrying the current epoch so an idle client's health monitor
+            // notices a restart without submitting any work.
+            ServerRequest::Ping { nonce } => {
+                Ok((ServerResponse::Pong { nonce: *nonce, epoch: self.epoch }, SimDuration::ZERO))
+            }
         }
     }
 
@@ -933,6 +939,12 @@ mod tests {
         let (resp, took) = server.handle(&ServerRequest::Probe);
         assert_eq!(resp, ServerResponse::Busy { retry_after: SimDuration::ZERO });
         assert_eq!(took, SimDuration::ZERO);
+        let (resp, took) = server.handle(&ServerRequest::Ping { nonce: 42 });
+        assert_eq!(resp, ServerResponse::Pong { nonce: 42, epoch: 0 });
+        assert_eq!(took, SimDuration::ZERO);
+        server.restart();
+        let (resp, _) = server.handle(&ServerRequest::Ping { nonce: 43 });
+        assert_eq!(resp, ServerResponse::Pong { nonce: 43, epoch: 1 }, "pong reports the restart");
         // With a backlog the probe's retry hint grows.
         let id = make_published(&mut server, 1, "probe backlog");
         server.enqueue(Frame::request(1, 1, ServerRequest::FetchObject { id })).unwrap();

@@ -39,6 +39,13 @@ impl<D: BlockDevice> Archiver<D> {
         &self.device
     }
 
+    /// Mutable access to the underlying device — the chaos orchestrator's
+    /// route to fault knobs (e.g. enabling latent bit rot) on media that
+    /// is already serving.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.device
+    }
+
     /// Next write offset — callers encoding an archived object need the
     /// base before storing (offset rebasing, §4).
     pub fn next_offset(&self) -> u64 {

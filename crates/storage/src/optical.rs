@@ -32,6 +32,12 @@ pub struct OpticalDisk {
     fault_rate: f64,
     /// Deterministic state for the fault stream.
     fault_state: u64,
+    /// Probability a read surfaces latent bit rot (per read).
+    rot_rate: f64,
+    /// Deterministic state for the bit-rot stream.
+    rot_state: u64,
+    /// Bits flipped in the media by latent rot so far.
+    rot_flips: u64,
 }
 
 impl OpticalDisk {
@@ -50,6 +56,9 @@ impl OpticalDisk {
             stats: DeviceStats::default(),
             fault_rate: 0.0,
             fault_state: 0,
+            rot_rate: 0.0,
+            rot_state: 0,
+            rot_flips: 0,
         }
     }
 
@@ -68,6 +77,59 @@ impl OpticalDisk {
         self.fault_state = seed;
         self.fault_rate = rate;
         self
+    }
+
+    /// A disk whose media suffers latent bit rot: each successful read
+    /// has probability `rate` of *persistently* flipping one bit inside
+    /// the span it touches, deterministically in `seed`. Decay is
+    /// physics, not a write — the WORM interface still refuses
+    /// overwrites, the read returns the now-corrupt bytes with normal
+    /// timing, and only a checksum can tell. The scrub/read-repair path
+    /// exists to catch exactly this.
+    pub fn with_bit_rot(mut self, seed: u64, rate: f64) -> Self {
+        self.set_bit_rot(seed, rate);
+        self
+    }
+
+    /// Enables (or re-seeds) latent bit rot on a live disk — the chaos
+    /// orchestrator's knob for media already serving a fleet member.
+    pub fn set_bit_rot(&mut self, seed: u64, rate: f64) {
+        self.rot_state = seed;
+        self.rot_rate = rate;
+    }
+
+    /// Bits flipped by latent rot over the disk's lifetime.
+    pub fn bit_rot_flips(&self) -> u64 {
+        self.rot_flips
+    }
+
+    /// One SplitMix64 step of the rot stream.
+    fn rot_draw(&mut self) -> u64 {
+        self.rot_state = self.rot_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rot_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Possibly decays one bit of the media inside `span` before a read
+    /// returns it. The flip lands at a rot-stream-chosen offset, so equal
+    /// seeds decay equal bits — chaos schedules replay exactly.
+    fn apply_bit_rot(&mut self, span: ByteSpan) {
+        if self.rot_rate <= 0.0 || span.is_empty() {
+            return;
+        }
+        let draw = self.rot_draw();
+        if ((draw >> 11) as f64 / (1u64 << 53) as f64) >= self.rot_rate {
+            return;
+        }
+        let within = self.rot_draw();
+        let offset = span.start + within % span.len();
+        let bit = (within >> 32) % 8;
+        if let Some(byte) = self.data.get_mut(offset as usize) {
+            *byte ^= 1 << bit;
+            self.rot_flips += 1;
+        }
     }
 
     /// One Bernoulli draw from the deterministic fault stream. SplitMix64,
@@ -121,6 +183,7 @@ impl BlockDevice for OpticalDisk {
         if self.read_fault_fires() {
             return Err(MinosError::Storage(format!("transient read fault at {span}")));
         }
+        self.apply_bit_rot(span);
         let took = self.access_cost(span.start, span.len());
         let data = self
             .data
@@ -144,6 +207,7 @@ impl BlockDevice for OpticalDisk {
         if self.read_fault_fires() {
             return Err(MinosError::Storage(format!("transient read fault at {span}")));
         }
+        self.apply_bit_rot(span);
         let took = self.access_cost(span.start, span.len());
         let data = self.data.get(span.start as usize..span.end as usize).ok_or_else(|| {
             MinosError::Storage(format!("read {span} outside optical media bounds"))
@@ -289,6 +353,49 @@ mod tests {
         for _ in 0..16 {
             clean.read_at(ByteSpan::at(0, 8)).unwrap();
         }
+    }
+
+    #[test]
+    fn bit_rot_decays_the_media_persistently_and_deterministically() {
+        let make = || {
+            let mut d = OpticalDisk::with_capacity(1 << 20).with_bit_rot(29, 1.0);
+            d.append(&[0xAA; 256]).unwrap();
+            d
+        };
+        let mut a = make();
+        let mut b = make();
+        let (bytes_a, _) = a.read_at(ByteSpan::at(0, 256)).unwrap();
+        let (bytes_b, _) = b.read_at(ByteSpan::at(0, 256)).unwrap();
+        assert_eq!(bytes_a, bytes_b, "equal seeds decay equal bits");
+        assert_eq!(a.bit_rot_flips(), 1, "rate 1.0 rots one bit per read");
+        let flipped: Vec<usize> =
+            bytes_a.iter().enumerate().filter(|(_, &by)| by != 0xAA).map(|(i, _)| i).collect();
+        assert_eq!(flipped.len(), 1, "exactly one byte differs");
+        // The decay is persistent: turning rot off and re-reading still
+        // shows the flipped bit — the media itself changed, not the copy.
+        a.set_bit_rot(0, 0.0);
+        let (again, _) = a.read_at(ByteSpan::at(0, 256)).unwrap();
+        assert_eq!(again, bytes_a, "the flip is in the media, not the read path");
+        // The WORM interface still refuses to repair in place.
+        assert!(a.write_at(flipped[0] as u64, &[0xAA]).is_err());
+        // A rot-free disk is untouched by the machinery.
+        let mut clean = OpticalDisk::with_capacity(1 << 20);
+        clean.append(&[0xAA; 64]).unwrap();
+        let (bytes, _) = clean.read_at(ByteSpan::at(0, 64)).unwrap();
+        assert!(bytes.iter().all(|&by| by == 0xAA));
+        assert_eq!(clean.bit_rot_flips(), 0);
+    }
+
+    #[test]
+    fn bit_rot_at_low_rate_spares_most_reads() {
+        let mut d = OpticalDisk::with_capacity(1 << 20).with_bit_rot(7, 0.05);
+        d.append(&[0x55; 1024]).unwrap();
+        for _ in 0..200 {
+            let _ = d.read_at(ByteSpan::at(0, 512)).unwrap();
+        }
+        let flips = d.bit_rot_flips();
+        assert!(flips > 0, "200 draws at 5% fire at least once");
+        assert!(flips < 60, "the rate bounds the decay: {flips} flips");
     }
 
     #[test]

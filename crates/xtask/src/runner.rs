@@ -25,6 +25,7 @@ const QUEUE_SCOPE: &[&str] = &[
     "crates/core/src/remote.rs",
     "crates/core/src/kernel.rs",
     "crates/core/src/fleet.rs",
+    "crates/core/src/chaos.rs",
 ];
 
 /// Modules on the per-message hot path where the buffer pool is the law:

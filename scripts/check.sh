@@ -35,4 +35,7 @@ cargo bench -p minos-bench --bench exp_sched -- --smoke
 echo "==> exp_fleet --smoke"
 cargo bench -p minos-bench --bench exp_fleet -- --smoke
 
+echo "==> exp_chaos --smoke"
+cargo bench -p minos-bench --bench exp_chaos -- --smoke
+
 echo "All checks passed."
